@@ -1,0 +1,51 @@
+//! First In, First Out.
+
+use crate::metadata::Metadata;
+use crate::traits::CacheAlgorithm;
+
+/// FIFO evicts the object that was inserted first, ignoring later accesses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fifo;
+
+impl CacheAlgorithm for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn priority(&self, metadata: &Metadata, _now: u64) -> f64 {
+        metadata.insert_ts as f64
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["insert_ts"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::AccessContext;
+
+    #[test]
+    fn evicts_oldest_insertion() {
+        let alg = Fifo;
+        let first = Metadata::on_insert(10, 64, &AccessContext::at(10));
+        let second = Metadata::on_insert(20, 64, &AccessContext::at(20));
+        assert!(alg.priority(&first, 100) < alg.priority(&second, 100));
+    }
+
+    #[test]
+    fn later_accesses_do_not_rescue_an_object() {
+        let alg = Fifo;
+        let mut first = Metadata::on_insert(10, 64, &AccessContext::at(10));
+        for t in 11..1_000 {
+            first.record_access(&AccessContext::at(t));
+        }
+        let second = Metadata::on_insert(20, 64, &AccessContext::at(20));
+        assert!(alg.priority(&first, 2_000) < alg.priority(&second, 2_000));
+    }
+}

@@ -1,0 +1,83 @@
+//! GreedyDual-Size-Frequency (GDSF).
+
+use super::Inflation;
+use crate::metadata::Metadata;
+use crate::traits::{AccessContext, CacheAlgorithm};
+
+/// GDSF extends GDS by weighting the value with the access frequency:
+/// `H = L + freq · cost / size`.
+#[derive(Debug, Default)]
+pub struct Gdsf {
+    inflation: Inflation,
+}
+
+impl Gdsf {
+    /// Creates a GDSF instance with inflation value 0.
+    pub fn new() -> Self {
+        Gdsf::default()
+    }
+}
+
+impl CacheAlgorithm for Gdsf {
+    fn name(&self) -> &'static str {
+        "gdsf"
+    }
+
+    fn update(&self, metadata: &mut Metadata, _ctx: &AccessContext) {
+        let h = self.inflation.get()
+            + metadata.freq as f64 * metadata.cost / metadata.size.max(1) as f64;
+        metadata.set_ext_f64(0, h);
+    }
+
+    fn priority(&self, metadata: &Metadata, _now: u64) -> f64 {
+        metadata.ext_f64(0)
+    }
+
+    fn on_evict(&self, victim_priority: f64) {
+        self.inflation.raise_to(victim_priority);
+    }
+
+    fn uses_extension(&self) -> bool {
+        true
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["freq", "size", "cost", "ext"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        14
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_raises_the_value() {
+        let alg = Gdsf::new();
+        let ctx = AccessContext::at(0);
+        let mut cold = Metadata::on_insert(0, 256, &ctx);
+        alg.update(&mut cold, &ctx);
+        let mut hot = Metadata::on_insert(0, 256, &ctx);
+        alg.update(&mut hot, &ctx);
+        for t in 1..20 {
+            let ctx = AccessContext::at(t);
+            hot.record_access(&ctx);
+            alg.update(&mut hot, &ctx);
+        }
+        assert!(alg.priority(&cold, 30) < alg.priority(&hot, 30));
+    }
+
+    #[test]
+    fn size_still_matters() {
+        let alg = Gdsf::new();
+        let ctx = AccessContext::at(0);
+        let mut large = Metadata::on_insert(0, 8_192, &ctx);
+        alg.update(&mut large, &ctx);
+        let mut small = Metadata::on_insert(0, 64, &ctx);
+        alg.update(&mut small, &ctx);
+        assert!(alg.priority(&large, 1) < alg.priority(&small, 1));
+    }
+}

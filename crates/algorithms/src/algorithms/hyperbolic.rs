@@ -1,0 +1,74 @@
+//! Hyperbolic caching (Blankstein et al., ATC '17).
+
+use crate::metadata::Metadata;
+use crate::traits::CacheAlgorithm;
+
+/// Hyperbolic caching scores each object by its access rate since insertion,
+/// `freq / (now − insert_ts)`, and evicts the object with the lowest rate.
+///
+/// Unlike LFU the score keeps decaying for idle objects (the denominator
+/// grows), and unlike LRU a burst of historical popularity still counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Hyperbolic;
+
+impl CacheAlgorithm for Hyperbolic {
+    fn name(&self) -> &'static str {
+        "hyperbolic"
+    }
+
+    fn priority(&self, metadata: &Metadata, now: u64) -> f64 {
+        let age = metadata.age(now).max(1) as f64;
+        metadata.freq as f64 / age
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["freq", "insert_ts"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        11
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::AccessContext;
+
+    #[test]
+    fn higher_access_rate_wins() {
+        let alg = Hyperbolic;
+        let mut hot = Metadata::on_insert(0, 64, &AccessContext::at(0));
+        for t in 1..=50 {
+            hot.record_access(&AccessContext::at(t));
+        }
+        let mut cold = Metadata::on_insert(0, 64, &AccessContext::at(0));
+        cold.record_access(&AccessContext::at(30));
+        assert!(alg.priority(&cold, 100) < alg.priority(&hot, 100));
+    }
+
+    #[test]
+    fn idle_objects_decay() {
+        let alg = Hyperbolic;
+        let mut m = Metadata::on_insert(0, 64, &AccessContext::at(0));
+        for t in 1..=10 {
+            m.record_access(&AccessContext::at(t));
+        }
+        let fresh = alg.priority(&m, 20);
+        let stale = alg.priority(&m, 10_000);
+        assert!(stale < fresh);
+    }
+
+    #[test]
+    fn young_objects_are_not_unfairly_favoured_forever() {
+        let alg = Hyperbolic;
+        // One access right after insertion gives a huge instantaneous rate,
+        // but the advantage evaporates as time passes.
+        let young = Metadata::on_insert(1_000, 64, &AccessContext::at(1_000));
+        let mut veteran = Metadata::on_insert(0, 64, &AccessContext::at(0));
+        for t in (0..1_000).step_by(10) {
+            veteran.record_access(&AccessContext::at(t));
+        }
+        assert!(alg.priority(&young, 5_000) < alg.priority(&veteran, 5_000));
+    }
+}

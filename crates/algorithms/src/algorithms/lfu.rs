@@ -1,0 +1,54 @@
+//! Least Frequently Used.
+
+use crate::metadata::Metadata;
+use crate::traits::CacheAlgorithm;
+
+/// LFU evicts the object with the smallest access frequency.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lfu;
+
+impl CacheAlgorithm for Lfu {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn priority(&self, metadata: &Metadata, _now: u64) -> f64 {
+        metadata.freq as f64
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["freq"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::AccessContext;
+
+    #[test]
+    fn evicts_least_frequently_used() {
+        let alg = Lfu;
+        let mut hot = Metadata::on_insert(0, 64, &AccessContext::at(0));
+        for t in 1..10 {
+            hot.record_access(&AccessContext::at(t));
+        }
+        let cold = Metadata::on_insert(100, 64, &AccessContext::at(100));
+        assert!(alg.priority(&cold, 200) < alg.priority(&hot, 200));
+    }
+
+    #[test]
+    fn recency_does_not_matter() {
+        let alg = Lfu;
+        let mut old_but_hot = Metadata::on_insert(0, 64, &AccessContext::at(0));
+        old_but_hot.record_access(&AccessContext::at(1));
+        old_but_hot.record_access(&AccessContext::at(2));
+        let mut fresh_but_cold = Metadata::on_insert(1_000, 64, &AccessContext::at(1_000));
+        fresh_but_cold.record_access(&AccessContext::at(1_001));
+        assert!(alg.priority(&fresh_but_cold, 2_000) < alg.priority(&old_but_hot, 2_000));
+    }
+}

@@ -1,0 +1,91 @@
+//! LFU with Dynamic Aging (LFUDA).
+
+use super::Inflation;
+use crate::metadata::Metadata;
+use crate::traits::{AccessContext, CacheAlgorithm};
+
+/// LFUDA values an object at `H = L + freq`, where `L` grows with every
+/// eviction.  The aging term prevents formerly popular objects from
+/// occupying the cache forever, which is plain LFU's main weakness.
+#[derive(Debug, Default)]
+pub struct Lfuda {
+    inflation: Inflation,
+}
+
+impl Lfuda {
+    /// Creates an LFUDA instance with inflation value 0.
+    pub fn new() -> Self {
+        Lfuda::default()
+    }
+}
+
+impl CacheAlgorithm for Lfuda {
+    fn name(&self) -> &'static str {
+        "lfuda"
+    }
+
+    fn update(&self, metadata: &mut Metadata, _ctx: &AccessContext) {
+        let h = self.inflation.get() + metadata.freq as f64;
+        metadata.set_ext_f64(0, h);
+    }
+
+    fn priority(&self, metadata: &Metadata, _now: u64) -> f64 {
+        metadata.ext_f64(0)
+    }
+
+    fn on_evict(&self, victim_priority: f64) {
+        self.inflation.raise_to(victim_priority);
+    }
+
+    fn uses_extension(&self) -> bool {
+        true
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["freq", "ext"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        14
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_lfu_before_any_eviction() {
+        let alg = Lfuda::new();
+        let ctx = AccessContext::at(0);
+        let mut hot = Metadata::on_insert(0, 64, &ctx);
+        alg.update(&mut hot, &ctx);
+        for t in 1..5 {
+            let ctx = AccessContext::at(t);
+            hot.record_access(&ctx);
+            alg.update(&mut hot, &ctx);
+        }
+        let mut cold = Metadata::on_insert(10, 64, &AccessContext::at(10));
+        alg.update(&mut cold, &AccessContext::at(10));
+        assert!(alg.priority(&cold, 20) < alg.priority(&hot, 20));
+    }
+
+    #[test]
+    fn aging_lets_new_objects_overtake_stale_hot_ones() {
+        let alg = Lfuda::new();
+        // A formerly hot object stops being accessed.
+        let ctx = AccessContext::at(0);
+        let mut stale = Metadata::on_insert(0, 64, &ctx);
+        for t in 1..10 {
+            let ctx = AccessContext::at(t);
+            stale.record_access(&ctx);
+            alg.update(&mut stale, &ctx);
+        }
+        // Evictions drive the inflation value above the stale object's score.
+        alg.on_evict(50.0);
+        let ctx = AccessContext::at(100);
+        let mut fresh = Metadata::on_insert(100, 64, &ctx);
+        alg.update(&mut fresh, &ctx);
+        assert!(alg.priority(&stale, 200) < alg.priority(&fresh, 200));
+    }
+}

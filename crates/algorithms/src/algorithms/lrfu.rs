@@ -1,0 +1,128 @@
+//! LRFU: a spectrum between LRU and LFU.
+
+use crate::metadata::Metadata;
+use crate::traits::{AccessContext, CacheAlgorithm};
+
+/// LRFU maintains a Combined Recency and Frequency (CRF) score that decays
+/// exponentially with time: on every access `crf = 1 + crf · 2^(−λ·Δt)`.
+///
+/// A large `λ` approaches LRU (only the latest access matters); `λ → 0`
+/// approaches LFU (all accesses count equally).  The CRF value and the time
+/// of its last update live in the extension metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct Lrfu {
+    lambda: f64,
+}
+
+impl Default for Lrfu {
+    fn default() -> Self {
+        // A mild decay: half-life of ~10 000 time units.
+        Lrfu::new(1e-4)
+    }
+}
+
+impl Lrfu {
+    /// Creates an LRFU instance with decay constant `lambda` (per time unit).
+    pub fn new(lambda: f64) -> Self {
+        Lrfu {
+            lambda: lambda.max(0.0),
+        }
+    }
+
+    fn decayed_crf(&self, metadata: &Metadata, now: u64) -> f64 {
+        let crf = metadata.ext_f64(0);
+        let last_update = metadata.ext[1];
+        let dt = now.saturating_sub(last_update) as f64;
+        crf * (-self.lambda * dt).exp2()
+    }
+}
+
+impl CacheAlgorithm for Lrfu {
+    fn name(&self) -> &'static str {
+        "lrfu"
+    }
+
+    fn update(&self, metadata: &mut Metadata, ctx: &AccessContext) {
+        let crf = 1.0 + self.decayed_crf(metadata, ctx.now);
+        metadata.set_ext_f64(0, crf);
+        metadata.ext[1] = ctx.now;
+    }
+
+    fn priority(&self, metadata: &Metadata, now: u64) -> f64 {
+        self.decayed_crf(metadata, now)
+    }
+
+    fn uses_extension(&self) -> bool {
+        true
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["last_ts", "ext"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        17
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert(alg: &Lrfu, now: u64) -> Metadata {
+        let ctx = AccessContext::at(now);
+        let mut m = Metadata::on_insert(now, 64, &ctx);
+        alg.update(&mut m, &ctx);
+        m
+    }
+
+    fn access(alg: &Lrfu, m: &mut Metadata, now: u64) {
+        let ctx = AccessContext::at(now);
+        m.record_access(&ctx);
+        alg.update(m, &ctx);
+    }
+
+    #[test]
+    fn more_accesses_mean_higher_priority() {
+        let alg = Lrfu::new(1e-4);
+        let mut hot = insert(&alg, 0);
+        for t in [10, 20, 30, 40] {
+            access(&alg, &mut hot, t);
+        }
+        let cold = insert(&alg, 35);
+        assert!(alg.priority(&cold, 50) < alg.priority(&hot, 50));
+    }
+
+    #[test]
+    fn crf_decays_over_time() {
+        let alg = Lrfu::new(1e-3);
+        let m = insert(&alg, 0);
+        let fresh = alg.priority(&m, 0);
+        let stale = alg.priority(&m, 10_000);
+        assert!(stale < fresh);
+        assert!(stale > 0.0);
+    }
+
+    #[test]
+    fn large_lambda_behaves_like_lru() {
+        let alg = Lrfu::new(1.0);
+        // "hot" has many old accesses, "recent" has one fresh access.
+        let mut hot = insert(&alg, 0);
+        for t in [1, 2, 3, 4, 5] {
+            access(&alg, &mut hot, t);
+        }
+        let recent = insert(&alg, 100);
+        assert!(alg.priority(&hot, 101) < alg.priority(&recent, 101));
+    }
+
+    #[test]
+    fn zero_lambda_behaves_like_lfu() {
+        let alg = Lrfu::new(0.0);
+        let mut hot = insert(&alg, 0);
+        for t in [1, 2, 3] {
+            access(&alg, &mut hot, t);
+        }
+        let recent = insert(&alg, 1_000_000);
+        assert!(alg.priority(&recent, 1_000_001) < alg.priority(&hot, 1_000_001));
+    }
+}

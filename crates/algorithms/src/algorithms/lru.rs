@@ -1,0 +1,53 @@
+//! Least Recently Used.
+
+use crate::metadata::Metadata;
+use crate::traits::CacheAlgorithm;
+
+/// LRU evicts the object with the oldest last-access timestamp.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lru;
+
+impl CacheAlgorithm for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn priority(&self, metadata: &Metadata, _now: u64) -> f64 {
+        metadata.last_ts as f64
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["last_ts"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::AccessContext;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let alg = Lru;
+        let mut old = Metadata::on_insert(10, 64, &AccessContext::at(10));
+        let mut new = Metadata::on_insert(20, 64, &AccessContext::at(20));
+        old.record_access(&AccessContext::at(100));
+        new.record_access(&AccessContext::at(500));
+        assert!(alg.priority(&old, 600) < alg.priority(&new, 600));
+    }
+
+    #[test]
+    fn frequency_does_not_matter() {
+        let alg = Lru;
+        let mut frequent = Metadata::on_insert(0, 64, &AccessContext::at(0));
+        for t in 1..100 {
+            frequent.record_access(&AccessContext::at(t));
+        }
+        let recent = Metadata::on_insert(200, 64, &AccessContext::at(200));
+        assert!(alg.priority(&frequent, 300) < alg.priority(&recent, 300));
+    }
+}

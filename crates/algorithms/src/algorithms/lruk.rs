@@ -1,0 +1,131 @@
+//! LRU-K (O'Neil et al., SIGMOD '93).
+
+use crate::metadata::{Metadata, EXT_WORDS};
+use crate::traits::{AccessContext, CacheAlgorithm};
+
+/// LRU-K evicts the object whose K-th most recent access is the oldest.
+///
+/// The K most recent access timestamps are kept in a small ring buffer inside
+/// the extension metadata, indexed by the access frequency — the same trick
+/// as Listing 1 in the paper.  Objects with fewer than K accesses fall back
+/// to FIFO ordering on their insertion timestamp.
+#[derive(Debug, Clone, Copy)]
+pub struct LruK {
+    k: usize,
+}
+
+impl Default for LruK {
+    fn default() -> Self {
+        LruK::new(2)
+    }
+}
+
+impl LruK {
+    /// Creates an LRU-K instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the available extension words.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1 && k <= EXT_WORDS, "K must be in 1..={EXT_WORDS}");
+        LruK { k }
+    }
+
+    /// The configured K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl CacheAlgorithm for LruK {
+    fn name(&self) -> &'static str {
+        "lruk"
+    }
+
+    fn update(&self, metadata: &mut Metadata, ctx: &AccessContext) {
+        let idx = (metadata.freq as usize) % self.k;
+        metadata.ext[idx] = ctx.now;
+    }
+
+    fn priority(&self, metadata: &Metadata, _now: u64) -> f64 {
+        if (metadata.freq as usize) < self.k {
+            return metadata.insert_ts as f64;
+        }
+        let idx = (metadata.freq as usize - self.k + 1) % self.k;
+        metadata.ext[idx] as f64
+    }
+
+    fn uses_extension(&self) -> bool {
+        true
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["insert_ts", "freq", "ext"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        23
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(alg: &LruK, m: &mut Metadata, now: u64) {
+        let ctx = AccessContext::at(now);
+        m.record_access(&ctx);
+        alg.update(m, &ctx);
+    }
+
+    fn insert(alg: &LruK, now: u64) -> Metadata {
+        let ctx = AccessContext::at(now);
+        let mut m = Metadata::on_insert(now, 64, &ctx);
+        alg.update(&mut m, &ctx);
+        m
+    }
+
+    #[test]
+    fn falls_back_to_fifo_below_k_accesses() {
+        let alg = LruK::new(2);
+        let first = insert(&alg, 10);
+        let second = insert(&alg, 20);
+        assert!(alg.priority(&first, 100) < alg.priority(&second, 100));
+    }
+
+    #[test]
+    fn uses_kth_most_recent_access() {
+        let alg = LruK::new(2);
+        // Object A: accesses at 10 (insert), 100 → 2nd most recent = 10.
+        let mut a = insert(&alg, 10);
+        access(&alg, &mut a, 100);
+        // Object B: accesses at 20 (insert), 30, 90 → 2nd most recent = 30.
+        let mut b = insert(&alg, 20);
+        access(&alg, &mut b, 30);
+        access(&alg, &mut b, 90);
+        // A's 2nd-most-recent access (10) is older than B's (30), so A goes.
+        assert!(alg.priority(&a, 200) < alg.priority(&b, 200));
+    }
+
+    #[test]
+    fn k_equal_one_degenerates_to_lru() {
+        let alg = LruK::new(1);
+        let mut a = insert(&alg, 10);
+        access(&alg, &mut a, 500);
+        let mut b = insert(&alg, 20);
+        access(&alg, &mut b, 100);
+        assert!(alg.priority(&b, 600) < alg.priority(&a, 600));
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_zero_is_rejected() {
+        let _ = LruK::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_beyond_extension_capacity_is_rejected() {
+        let _ = LruK::new(EXT_WORDS + 1);
+    }
+}

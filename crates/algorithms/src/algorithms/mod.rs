@@ -1,0 +1,110 @@
+//! The twelve caching algorithms of Table 3.
+//!
+//! Each algorithm lives in its own module and is expressed purely as a
+//! priority function plus (for the advanced ones) an extension-metadata
+//! update rule, mirroring how little code each needs on top of Ditto's
+//! client-centric caching framework.
+
+mod fifo;
+mod gds;
+mod gdsf;
+mod hyperbolic;
+mod lfu;
+mod lfuda;
+mod lirs;
+mod lrfu;
+mod lru;
+mod lruk;
+mod mru;
+mod size;
+
+pub use fifo::Fifo;
+pub use gds::Gds;
+pub use gdsf::Gdsf;
+pub use hyperbolic::Hyperbolic;
+pub use lfu::Lfu;
+pub use lfuda::Lfuda;
+pub use lirs::Lirs;
+pub use lrfu::Lrfu;
+pub use lru::Lru;
+pub use lruk::LruK;
+pub use mru::Mru;
+pub use size::SizeAlg;
+
+/// Shared helper for the aging ("inflation") value `L` used by GreedyDual
+/// style algorithms (GDS, GDSF, LFUDA).
+///
+/// The paper runs these algorithms per client; the inflation value is kept in
+/// an atomic so one algorithm instance can be shared by all client threads of
+/// a process without synchronisation overhead.
+#[derive(Debug, Default)]
+pub(crate) struct Inflation {
+    bits: std::sync::atomic::AtomicU64,
+}
+
+impl Inflation {
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// Raises `L` to `value` if it is larger than the current value.
+    pub(crate) fn raise_to(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut current = self.bits.load(std::sync::atomic::Ordering::Relaxed);
+        while value > f64::from_bits(current) {
+            match self.bits.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                std::sync::atomic::Ordering::Relaxed,
+                std::sync::atomic::Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflation_starts_at_zero_and_is_monotonic() {
+        let l = Inflation::default();
+        assert_eq!(l.get(), 0.0);
+        l.raise_to(2.5);
+        assert_eq!(l.get(), 2.5);
+        l.raise_to(1.0);
+        assert_eq!(l.get(), 2.5, "inflation never decreases");
+        l.raise_to(7.25);
+        assert_eq!(l.get(), 7.25);
+    }
+
+    #[test]
+    fn inflation_ignores_non_finite_values() {
+        let l = Inflation::default();
+        l.raise_to(f64::NAN);
+        l.raise_to(f64::INFINITY);
+        assert_eq!(l.get(), 0.0);
+    }
+
+    #[test]
+    fn inflation_concurrent_raises() {
+        use std::sync::Arc;
+        let l = Arc::new(Inflation::default());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let l = Arc::clone(&l);
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        l.raise_to((t * 1_000 + i) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(l.get(), 3_999.0);
+    }
+}

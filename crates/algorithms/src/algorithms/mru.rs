@@ -1,0 +1,58 @@
+//! Most Recently Used.
+
+use crate::metadata::Metadata;
+use crate::traits::CacheAlgorithm;
+
+/// MRU evicts the object with the *newest* last-access timestamp.
+///
+/// Useful for cyclic scan patterns where the most recently touched object is
+/// the least likely to be touched again soon.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Mru;
+
+impl CacheAlgorithm for Mru {
+    fn name(&self) -> &'static str {
+        "mru"
+    }
+
+    fn priority(&self, metadata: &Metadata, _now: u64) -> f64 {
+        -(metadata.last_ts as f64)
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["last_ts"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::AccessContext;
+
+    #[test]
+    fn evicts_most_recently_used() {
+        let alg = Mru;
+        let mut old = Metadata::on_insert(10, 64, &AccessContext::at(10));
+        let mut new = Metadata::on_insert(20, 64, &AccessContext::at(20));
+        old.record_access(&AccessContext::at(100));
+        new.record_access(&AccessContext::at(500));
+        assert!(alg.priority(&new, 600) < alg.priority(&old, 600));
+    }
+
+    #[test]
+    fn is_exact_opposite_of_lru_ordering() {
+        use super::super::Lru;
+        let lru = Lru;
+        let mru = Mru;
+        let a = Metadata::on_insert(100, 64, &AccessContext::at(100));
+        let b = Metadata::on_insert(200, 64, &AccessContext::at(200));
+        assert_eq!(
+            lru.priority(&a, 300) < lru.priority(&b, 300),
+            mru.priority(&a, 300) > mru.priority(&b, 300)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! SIZE: evict the largest object first.
+
+use crate::metadata::Metadata;
+use crate::traits::CacheAlgorithm;
+
+/// SIZE evicts the largest object, maximising the number of (small) objects
+/// that fit in the cache.
+///
+/// Named `SizeAlg` to avoid clashing with the ubiquitous `Size` identifier.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SizeAlg;
+
+impl CacheAlgorithm for SizeAlg {
+    fn name(&self) -> &'static str {
+        "size"
+    }
+
+    fn priority(&self, metadata: &Metadata, _now: u64) -> f64 {
+        -(metadata.size as f64)
+    }
+
+    fn info_used(&self) -> &'static [&'static str] {
+        &["size"]
+    }
+
+    fn rule_loc(&self) -> usize {
+        9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::AccessContext;
+
+    #[test]
+    fn evicts_largest_object() {
+        let alg = SizeAlg;
+        let small = Metadata::on_insert(0, 64, &AccessContext::at(0));
+        let large = Metadata::on_insert(0, 4_096, &AccessContext::at(0));
+        assert!(alg.priority(&large, 10) < alg.priority(&small, 10));
+    }
+
+    #[test]
+    fn equal_sizes_have_equal_priority() {
+        let alg = SizeAlg;
+        let a = Metadata::on_insert(5, 256, &AccessContext::at(5));
+        let b = Metadata::on_insert(99, 256, &AccessContext::at(99));
+        assert_eq!(alg.priority(&a, 100), alg.priority(&b, 100));
+    }
+}

@@ -1,0 +1,44 @@
+//! Caching algorithms as eviction-priority and metadata-update rules.
+//!
+//! Ditto's client-centric caching framework (§4.2 of the paper) reduces a
+//! caching algorithm to two small functions:
+//!
+//! * a **priority function** mapping an object's recorded access information
+//!   ([`Metadata`]) to a real number — on eviction, the sampled object with
+//!   the *lowest* priority is the victim;
+//! * an optional **update rule** that maintains algorithm-specific extension
+//!   metadata on every access.
+//!
+//! This crate provides the [`CacheAlgorithm`] trait expressing that contract
+//! plus the twelve algorithms of Table 3 (LRU, LFU, MRU, GDS, LIRS, FIFO,
+//! SIZE, GDSF, LRFU, LRU-K, LFUDA and HYPERBOLIC).  The same rules drive both
+//! the full DM cache in `ditto-core` and the fast single-machine hit-rate
+//! simulators used by the adaptivity experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use ditto_algorithms::{registry, AccessContext, AccessKind, Metadata};
+//!
+//! let lru = registry::by_name("lru").unwrap();
+//! let mut hot = Metadata::on_insert(100, 256, &AccessContext::at(100));
+//! let mut cold = Metadata::on_insert(50, 256, &AccessContext::at(50));
+//! hot.record_access(&AccessContext::at(900));
+//! lru.update(&mut hot, &AccessContext::at(900));
+//! cold.record_access(&AccessContext::at(200));
+//! lru.update(&mut cold, &AccessContext::at(200));
+//! // LRU evicts the object with the smallest last-access timestamp.
+//! assert!(lru.priority(&cold, 1_000) < lru.priority(&hot, 1_000));
+//! ```
+
+pub mod algorithms;
+pub mod metadata;
+pub mod registry;
+pub mod traits;
+
+pub use algorithms::{
+    Fifo, Gds, Gdsf, Hyperbolic, Lfu, Lfuda, Lirs, Lrfu, Lru, LruK, Mru, SizeAlg,
+};
+pub use metadata::{Metadata, EXT_WORDS};
+pub use registry::{all_algorithms, by_name, AlgorithmInfo};
+pub use traits::{AccessContext, AccessKind, CacheAlgorithm};

@@ -1,0 +1,146 @@
+//! Per-object access information (Table 1 of the paper).
+
+use crate::traits::AccessContext;
+use serde::{Deserialize, Serialize};
+
+/// Number of 8-byte extension words available to advanced algorithms.
+///
+/// The default metadata lives in the sample-friendly hash-table slot; the
+/// extension words are stored in a metadata header ahead of the object
+/// (§4.4, "Metadata extensions").
+pub const EXT_WORDS: usize = 4;
+
+/// The access information recorded for every cached object.
+///
+/// The *global* fields (`size`, `insert_ts`, `last_ts`, `freq`) are
+/// maintained collaboratively by all clients inside the hash-table slot.
+/// The *local* fields (`latency_ns`, `cost`) are estimated client-side and
+/// never cross the network.  The extension words belong to algorithms that
+/// opt in via [`crate::CacheAlgorithm::uses_extension`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metadata {
+    /// Object size in bytes.
+    pub size: u32,
+    /// Timestamp of insertion into the cache.
+    pub insert_ts: u64,
+    /// Timestamp of the most recent access.
+    pub last_ts: u64,
+    /// Number of accesses since insertion (including the insert).
+    pub freq: u64,
+    /// Estimated access latency in nanoseconds (local information).
+    pub latency_ns: u64,
+    /// Estimated cost of re-fetching the object from backing storage
+    /// (local information).
+    pub cost: f64,
+    /// Extension metadata for advanced algorithms.
+    pub ext: [u64; EXT_WORDS],
+}
+
+impl Default for Metadata {
+    fn default() -> Self {
+        Metadata {
+            size: 0,
+            insert_ts: 0,
+            last_ts: 0,
+            freq: 0,
+            latency_ns: 0,
+            cost: 1.0,
+            ext: [0; EXT_WORDS],
+        }
+    }
+}
+
+impl Metadata {
+    /// Builds the metadata of a freshly inserted object.
+    pub fn on_insert(now: u64, size: u32, ctx: &AccessContext) -> Self {
+        Metadata {
+            size,
+            insert_ts: now,
+            last_ts: now,
+            freq: 1,
+            latency_ns: ctx.miss_latency_ns,
+            cost: ctx.fetch_cost,
+            ext: [0; EXT_WORDS],
+        }
+    }
+
+    /// Applies the default update rule for a cache hit: bump the access
+    /// frequency and refresh the last-access timestamp.
+    pub fn record_access(&mut self, ctx: &AccessContext) {
+        self.freq = self.freq.saturating_add(1);
+        self.last_ts = ctx.now;
+    }
+
+    /// Reads extension word `i` as an `f64` (bit pattern preserving).
+    pub fn ext_f64(&self, i: usize) -> f64 {
+        f64::from_bits(self.ext[i])
+    }
+
+    /// Writes extension word `i` as an `f64` (bit pattern preserving).
+    pub fn set_ext_f64(&mut self, i: usize, v: f64) {
+        self.ext[i] = v.to_bits();
+    }
+
+    /// Age of the object (time since insertion) at time `now`.
+    pub fn age(&self, now: u64) -> u64 {
+        now.saturating_sub(self.insert_ts)
+    }
+
+    /// Time since the most recent access at time `now`.
+    pub fn idle(&self, now: u64) -> u64 {
+        now.saturating_sub(self.last_ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::AccessContext;
+
+    #[test]
+    fn insert_initialises_fields() {
+        let ctx = AccessContext::at(500).with_miss_penalty(700, 2.5);
+        let m = Metadata::on_insert(500, 256, &ctx);
+        assert_eq!(m.insert_ts, 500);
+        assert_eq!(m.last_ts, 500);
+        assert_eq!(m.freq, 1);
+        assert_eq!(m.size, 256);
+        assert_eq!(m.latency_ns, 700);
+        assert_eq!(m.cost, 2.5);
+        assert_eq!(m.ext, [0; EXT_WORDS]);
+    }
+
+    #[test]
+    fn record_access_updates_recency_and_frequency() {
+        let mut m = Metadata::on_insert(10, 64, &AccessContext::at(10));
+        m.record_access(&AccessContext::at(90));
+        m.record_access(&AccessContext::at(120));
+        assert_eq!(m.freq, 3);
+        assert_eq!(m.last_ts, 120);
+        assert_eq!(m.insert_ts, 10);
+    }
+
+    #[test]
+    fn ext_f64_roundtrip() {
+        let mut m = Metadata::default();
+        m.set_ext_f64(2, -3.75);
+        assert_eq!(m.ext_f64(2), -3.75);
+        assert_eq!(m.ext_f64(0), 0.0);
+    }
+
+    #[test]
+    fn age_and_idle_saturate() {
+        let m = Metadata::on_insert(100, 1, &AccessContext::at(100));
+        assert_eq!(m.age(150), 50);
+        assert_eq!(m.age(50), 0);
+        assert_eq!(m.idle(130), 30);
+    }
+
+    #[test]
+    fn freq_saturates_at_max() {
+        let mut m = Metadata::on_insert(0, 1, &AccessContext::at(0));
+        m.freq = u64::MAX;
+        m.record_access(&AccessContext::at(1));
+        assert_eq!(m.freq, u64::MAX);
+    }
+}

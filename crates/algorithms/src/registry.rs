@@ -1,0 +1,132 @@
+//! A registry of all built-in caching algorithms.
+
+use crate::algorithms::{
+    Fifo, Gds, Gdsf, Hyperbolic, Lfu, Lfuda, Lirs, Lrfu, Lru, LruK, Mru, SizeAlg,
+};
+use crate::traits::CacheAlgorithm;
+use std::sync::Arc;
+
+/// Static description of an algorithm, used to regenerate Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmInfo {
+    /// Algorithm name (upper-case, as printed in the paper).
+    pub name: &'static str,
+    /// Lines of code of its priority/update rules in this implementation.
+    pub loc: usize,
+    /// Access-information fields the rules read.
+    pub info: Vec<&'static str>,
+    /// Whether extension metadata stored with objects is required.
+    pub uses_extension: bool,
+}
+
+/// Returns fresh instances of all twelve built-in algorithms, in the order of
+/// Table 3.
+pub fn all_algorithms() -> Vec<Arc<dyn CacheAlgorithm>> {
+    vec![
+        Arc::new(Lru),
+        Arc::new(Lfu),
+        Arc::new(Mru),
+        Arc::new(Gds::new()),
+        Arc::new(Lirs),
+        Arc::new(Fifo),
+        Arc::new(SizeAlg),
+        Arc::new(Gdsf::new()),
+        Arc::new(Lrfu::default()),
+        Arc::new(LruK::default()),
+        Arc::new(Lfuda::new()),
+        Arc::new(Hyperbolic),
+    ]
+}
+
+/// Looks up an algorithm by its lower-case name (e.g. `"lru"`, `"gdsf"`).
+pub fn by_name(name: &str) -> Option<Arc<dyn CacheAlgorithm>> {
+    let lowered = name.to_ascii_lowercase();
+    let target = lowered.trim();
+    let target = match target {
+        "lru-k" | "lru_k" => "lruk",
+        other => other,
+    };
+    all_algorithms()
+        .into_iter()
+        .find(|alg| alg.name() == target)
+}
+
+/// Table-3 style summary of every built-in algorithm.
+pub fn table3() -> Vec<AlgorithmInfo> {
+    all_algorithms()
+        .iter()
+        .map(|alg| AlgorithmInfo {
+            name: match alg.name() {
+                "lru" => "LRU",
+                "lfu" => "LFU",
+                "mru" => "MRU",
+                "gds" => "GDS",
+                "lirs" => "LIRS",
+                "fifo" => "FIFO",
+                "size" => "SIZE",
+                "gdsf" => "GDSF",
+                "lrfu" => "LRFU",
+                "lruk" => "LRUK",
+                "lfuda" => "LFUDA",
+                "hyperbolic" => "HYPERBOLIC",
+                _ => "UNKNOWN",
+            },
+            loc: alg.rule_loc(),
+            info: alg.info_used().to_vec(),
+            uses_extension: alg.uses_extension(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_twelve_algorithms() {
+        let algs = all_algorithms();
+        assert_eq!(algs.len(), 12);
+        let mut names: Vec<_> = algs.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12, "algorithm names must be unique");
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(by_name("LRU").is_some());
+        assert!(by_name("GdSf").is_some());
+        assert!(by_name("lru-k").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn table3_matches_paper_scale() {
+        let table = table3();
+        assert_eq!(table.len(), 12);
+        for row in &table {
+            // The paper reports 9–23 LOC per algorithm; ours stay in range.
+            assert!(row.loc >= 9 && row.loc <= 23, "{}: {}", row.name, row.loc);
+            assert!(!row.info.is_empty());
+        }
+        let avg: f64 = table.iter().map(|r| r.loc as f64).sum::<f64>() / table.len() as f64;
+        assert!(avg <= 15.0, "average LOC should stay small, got {avg}");
+    }
+
+    #[test]
+    fn priorities_are_finite_for_ordinary_objects() {
+        use crate::metadata::Metadata;
+        use crate::traits::AccessContext;
+        let ctx = AccessContext::at(100);
+        let mut m = Metadata::on_insert(100, 256, &ctx);
+        for alg in all_algorithms() {
+            alg.update(&mut m, &ctx);
+            let p = alg.priority(&m, 200);
+            assert!(
+                p.is_finite() || alg.name() == "lirs",
+                "{} produced a non-finite priority for a touched object",
+                alg.name()
+            );
+        }
+    }
+}

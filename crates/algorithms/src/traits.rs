@@ -1,0 +1,148 @@
+//! The caching-algorithm contract: priority functions and update rules.
+
+use crate::metadata::Metadata;
+use serde::{Deserialize, Serialize};
+
+/// The kind of access being recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The object was found in the cache.
+    Hit,
+    /// The object was inserted after a miss (or by an explicit `Set`).
+    Insert,
+    /// An existing object was overwritten by a `Set`.
+    Update,
+}
+
+/// Context describing one access, passed to update rules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessContext {
+    /// Current timestamp.  Experiments may use nanoseconds of simulated time
+    /// or a logical access counter; algorithms only rely on monotonicity.
+    pub now: u64,
+    /// What kind of access triggered the update.
+    pub kind: AccessKind,
+    /// Latency paid to fetch the object on a miss, in nanoseconds.
+    pub miss_latency_ns: u64,
+    /// Abstract cost of re-fetching the object from backing storage.
+    pub fetch_cost: f64,
+}
+
+impl AccessContext {
+    /// A hit at time `now` with default miss penalty and cost.
+    pub fn at(now: u64) -> Self {
+        AccessContext {
+            now,
+            kind: AccessKind::Hit,
+            miss_latency_ns: 0,
+            fetch_cost: 1.0,
+        }
+    }
+
+    /// Sets the access kind (builder style).
+    pub fn with_kind(mut self, kind: AccessKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the miss penalty and fetch cost (builder style).
+    pub fn with_miss_penalty(mut self, latency_ns: u64, cost: f64) -> Self {
+        self.miss_latency_ns = latency_ns;
+        self.fetch_cost = cost;
+        self
+    }
+}
+
+/// A caching algorithm expressed as Ditto priority / update rules.
+///
+/// The framework applies the *default* metadata update (bumping `freq` and
+/// `last_ts`, see [`Metadata::record_access`]) on every access and then calls
+/// [`CacheAlgorithm::update`] so the algorithm can maintain its extension
+/// metadata.  On eviction the framework samples K objects and evicts the one
+/// whose [`CacheAlgorithm::priority`] is smallest.
+pub trait CacheAlgorithm: Send + Sync {
+    /// Short lower-case name, e.g. `"lru"`.
+    fn name(&self) -> &'static str;
+
+    /// Eviction priority of an object: the sampled object with the lowest
+    /// value is evicted.  `now` is the current timestamp in the same unit as
+    /// the metadata timestamps.
+    fn priority(&self, metadata: &Metadata, now: u64) -> f64;
+
+    /// Algorithm-specific metadata update rule, invoked after the default
+    /// fields have been refreshed.  The default implementation does nothing.
+    fn update(&self, metadata: &mut Metadata, ctx: &AccessContext) {
+        let _ = (metadata, ctx);
+    }
+
+    /// Hook invoked when an object chosen by this algorithm is evicted;
+    /// aging algorithms (GDS, GDSF, LFUDA) use it to advance their
+    /// inflation value `L`.  The default implementation does nothing.
+    fn on_evict(&self, victim_priority: f64) {
+        let _ = victim_priority;
+    }
+
+    /// Whether the algorithm stores extension metadata with the object
+    /// (requiring the metadata header described in §4.4).
+    fn uses_extension(&self) -> bool {
+        false
+    }
+
+    /// Names of the access-information fields the algorithm reads
+    /// (the "Info." row of Table 3).
+    fn info_used(&self) -> &'static [&'static str];
+
+    /// Lines of code of the algorithm's priority/update rules, as counted in
+    /// this implementation (the "LOC" row of Table 3).
+    fn rule_loc(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant;
+
+    impl CacheAlgorithm for Constant {
+        fn name(&self) -> &'static str {
+            "const"
+        }
+        fn priority(&self, _m: &Metadata, _now: u64) -> f64 {
+            1.0
+        }
+        fn info_used(&self) -> &'static [&'static str] {
+            &[]
+        }
+        fn rule_loc(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let alg = Constant;
+        let mut m = Metadata::default();
+        // The default update/on_evict are no-ops and must not panic.
+        alg.update(&mut m, &AccessContext::at(1));
+        alg.on_evict(3.0);
+        assert!(!alg.uses_extension());
+        assert_eq!(alg.priority(&m, 0), 1.0);
+    }
+
+    #[test]
+    fn context_builders() {
+        let ctx = AccessContext::at(42)
+            .with_kind(AccessKind::Insert)
+            .with_miss_penalty(500_000, 3.0);
+        assert_eq!(ctx.now, 42);
+        assert_eq!(ctx.kind, AccessKind::Insert);
+        assert_eq!(ctx.miss_latency_ns, 500_000);
+        assert_eq!(ctx.fetch_cost, 3.0);
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let alg: Box<dyn CacheAlgorithm> = Box::new(Constant);
+        assert_eq!(alg.name(), "const");
+    }
+}

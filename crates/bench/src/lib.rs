@@ -1,0 +1,330 @@
+//! Shared experiment harness for the figure and table reproductions.
+//!
+//! Every system under test is wrapped behind [`SystemUnderTest`] /
+//! [`ClientUnderTest`] so each experiment can run Ditto and the baselines
+//! through exactly the same multi-client replay loop and report the same
+//! metrics (throughput from the DM resource model, hit rate, latency
+//! percentiles).
+
+use ditto_baselines::{
+    CliqueMapCache, CliqueMapClient, CliqueMapConfig, ListVariant, LockedListCache,
+    LockedListClient, LockedListConfig,
+};
+use ditto_core::{DittoCache, DittoClient, DittoConfig};
+use ditto_dm::{run_clients, DmConfig, MemoryPool, RunReport};
+use ditto_workloads::{replay, CacheBackend, ReplayOptions, ReplayStats, Request};
+use serde::{Deserialize, Serialize};
+
+/// The systems compared across the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Ditto with adaptive LRU+LFU experts.
+    Ditto,
+    /// Ditto restricted to a single LRU expert.
+    DittoLru,
+    /// Ditto restricted to a single LFU expert.
+    DittoLfu,
+    /// CliqueMap with server-side precise LRU.
+    CmLru,
+    /// CliqueMap with server-side precise LFU.
+    CmLfu,
+    /// Shard-LRU: 32 lock-protected LRU lists maintained by clients.
+    ShardLru,
+    /// KVC: a single lock-protected LRU list (Figure 2).
+    Kvc,
+    /// KVS: plain key-value store without caching structures (Figure 2).
+    Kvs,
+}
+
+impl SystemKind {
+    /// Display name used in figure rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemKind::Ditto => "Ditto",
+            SystemKind::DittoLru => "Ditto-LRU",
+            SystemKind::DittoLfu => "Ditto-LFU",
+            SystemKind::CmLru => "CM-LRU",
+            SystemKind::CmLfu => "CM-LFU",
+            SystemKind::ShardLru => "Shard-LRU",
+            SystemKind::Kvc => "KVC",
+            SystemKind::Kvs => "KVS",
+        }
+    }
+}
+
+/// A deployed system (remote structures + shared state).
+pub enum SystemUnderTest {
+    /// Any Ditto configuration.
+    Ditto(DittoCache),
+    /// CliqueMap.
+    CliqueMap(CliqueMapCache),
+    /// Lock-based list caches (Shard-LRU / KVC / KVS).
+    Locked(LockedListCache),
+}
+
+/// A per-thread client of a [`SystemUnderTest`].
+pub enum ClientUnderTest {
+    /// Ditto client.
+    Ditto(DittoClient),
+    /// CliqueMap client.
+    CliqueMap(CliqueMapClient),
+    /// Lock-based list client.
+    Locked(LockedListClient),
+}
+
+impl SystemUnderTest {
+    /// Deploys `kind` with the given object capacity on a fresh pool derived
+    /// from `dm`.
+    pub fn build(kind: SystemKind, capacity_objects: u64, dm: DmConfig) -> Self {
+        match kind {
+            SystemKind::Ditto | SystemKind::DittoLru | SystemKind::DittoLfu => {
+                let config = match kind {
+                    SystemKind::Ditto => DittoConfig::with_capacity(capacity_objects),
+                    SystemKind::DittoLru => DittoConfig::single_algorithm(capacity_objects, "lru"),
+                    _ => DittoConfig::single_algorithm(capacity_objects, "lfu"),
+                };
+                SystemUnderTest::Ditto(
+                    DittoCache::with_dedicated_pool(config, dm).expect("ditto cache"),
+                )
+            }
+            SystemKind::CmLru | SystemKind::CmLfu => {
+                let config = if kind == SystemKind::CmLru {
+                    CliqueMapConfig::lru(capacity_objects)
+                } else {
+                    CliqueMapConfig::lfu(capacity_objects)
+                };
+                SystemUnderTest::CliqueMap(CliqueMapCache::new(MemoryPool::new(dm), config))
+            }
+            SystemKind::ShardLru => SystemUnderTest::Locked(LockedListCache::new(
+                MemoryPool::new(dm),
+                LockedListConfig::shard_lru(capacity_objects),
+            )),
+            SystemKind::Kvc => SystemUnderTest::Locked(LockedListCache::new(
+                MemoryPool::new(dm),
+                LockedListConfig::kvc(capacity_objects),
+            )),
+            SystemKind::Kvs => SystemUnderTest::Locked(LockedListCache::new(
+                MemoryPool::new(dm),
+                LockedListConfig {
+                    variant: ListVariant::Kvs,
+                    ..LockedListConfig::kvs()
+                },
+            )),
+        }
+    }
+
+    /// Deploys a Ditto variant from an explicit configuration (used by the
+    /// ablation and parameter-sweep figures).
+    pub fn ditto_with_config(config: DittoConfig, dm: DmConfig) -> Self {
+        SystemUnderTest::Ditto(DittoCache::with_dedicated_pool(config, dm).expect("ditto cache"))
+    }
+
+    /// The memory pool backing the system.
+    pub fn pool(&self) -> &MemoryPool {
+        match self {
+            SystemUnderTest::Ditto(c) => c.pool(),
+            SystemUnderTest::CliqueMap(c) => c.pool(),
+            SystemUnderTest::Locked(c) => c.pool(),
+        }
+    }
+
+    /// Opens a new per-thread client.
+    pub fn client(&self) -> ClientUnderTest {
+        match self {
+            SystemUnderTest::Ditto(c) => ClientUnderTest::Ditto(c.client()),
+            SystemUnderTest::CliqueMap(c) => ClientUnderTest::CliqueMap(c.client()),
+            SystemUnderTest::Locked(c) => ClientUnderTest::Locked(c.client()),
+        }
+    }
+
+    /// Global expert weights (Ditto only).
+    pub fn global_weights(&self) -> Option<Vec<f64>> {
+        match self {
+            SystemUnderTest::Ditto(c) => Some(c.global_weights()),
+            _ => None,
+        }
+    }
+}
+
+impl ClientUnderTest {
+    /// Flushes client-buffered state (frequency counters, weight penalties).
+    pub fn finish(&mut self) {
+        if let ClientUnderTest::Ditto(c) = self {
+            c.flush();
+        }
+    }
+}
+
+impl CacheBackend for ClientUnderTest {
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        match self {
+            ClientUnderTest::Ditto(c) => c.get(key),
+            ClientUnderTest::CliqueMap(c) => c.get(key),
+            ClientUnderTest::Locked(c) => c.get(key),
+        }
+    }
+
+    fn set(&mut self, key: &[u8], value: &[u8]) {
+        match self {
+            ClientUnderTest::Ditto(c) => DittoClient::set(c, key, value),
+            ClientUnderTest::CliqueMap(c) => c.set(key, value),
+            ClientUnderTest::Locked(c) => c.set(key, value),
+        }
+    }
+
+    fn miss_penalty(&mut self, us: u64) {
+        match self {
+            ClientUnderTest::Ditto(c) => CacheBackend::miss_penalty(c, us),
+            ClientUnderTest::CliqueMap(c) => c.miss_penalty(us),
+            ClientUnderTest::Locked(c) => c.miss_penalty(us),
+        }
+    }
+
+    fn backend_name(&self) -> &str {
+        match self {
+            ClientUnderTest::Ditto(c) => c.backend_name(),
+            ClientUnderTest::CliqueMap(c) => c.backend_name(),
+            ClientUnderTest::Locked(c) => c.backend_name(),
+        }
+    }
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredRun {
+    /// System name.
+    pub system: String,
+    /// Number of client threads.
+    pub clients: usize,
+    /// Resource-model report (throughput, latency, bottleneck).
+    pub report: RunReport,
+    /// Hit/miss statistics aggregated over all clients.
+    pub replay: ReplayStats,
+}
+
+impl MeasuredRun {
+    /// Hit rate over `Get` requests.
+    pub fn hit_rate(&self) -> f64 {
+        self.replay.hit_rate()
+    }
+}
+
+/// Pre-loads a system with requests distributed round-robin over `clients`
+/// loader threads (not measured).
+pub fn load_phase(sut: &SystemUnderTest, clients: usize, requests: &[Request]) {
+    run_clients(sut.pool(), clients, |ctx| {
+        let mut client = sut.client();
+        let shard: Vec<Request> = requests
+            .iter()
+            .skip(ctx.index)
+            .step_by(ctx.total)
+            .copied()
+            .collect();
+        replay(&mut client, shard, ReplayOptions::default());
+        client.finish();
+    });
+    sut.pool().reset_stats();
+}
+
+/// Runs a measured phase: `clients` threads each replay the request slice
+/// returned by `per_client` and the aggregate report is returned.
+pub fn measured_phase(
+    sut: &SystemUnderTest,
+    system_name: &str,
+    clients: usize,
+    opts: ReplayOptions,
+    per_client: &(dyn Fn(usize) -> Vec<Request> + Sync),
+) -> MeasuredRun {
+    let (report, stats) = run_clients(sut.pool(), clients, |ctx| {
+        let mut client = sut.client();
+        let requests = per_client(ctx.index);
+        let stats = replay(&mut client, requests, opts);
+        client.finish();
+        stats
+    });
+    let mut replay_total = ReplayStats::default();
+    for s in &stats {
+        replay_total.merge(s);
+    }
+    MeasuredRun {
+        system: system_name.to_string(),
+        clients,
+        report,
+        replay: replay_total,
+    }
+}
+
+/// Convenience: replays a whole trace split across clients against a freshly
+/// built system, returning the measured run (used by the trace figures).
+pub fn run_trace(
+    kind: SystemKind,
+    capacity_objects: u64,
+    clients: usize,
+    trace: &[Request],
+    opts: ReplayOptions,
+) -> MeasuredRun {
+    let sut = SystemUnderTest::build(kind, capacity_objects, DmConfig::default());
+    measured_phase(&sut, kind.name(), clients, opts, &|index| {
+        trace
+            .iter()
+            .skip(index)
+            .step_by(clients)
+            .copied()
+            .collect()
+    })
+}
+
+/// Formats a figure row: pads the label and prints `value` columns.
+pub fn print_row(label: &str, values: &[(&str, f64)]) {
+    print!("{label:<28}");
+    for (name, value) in values {
+        print!(" {name}={value:<10.4}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_build_and_serve() {
+        for kind in [
+            SystemKind::Ditto,
+            SystemKind::DittoLru,
+            SystemKind::CmLru,
+            SystemKind::ShardLru,
+            SystemKind::Kvs,
+        ] {
+            let sut = SystemUnderTest::build(kind, 2_000, DmConfig::small());
+            let mut client = sut.client();
+            client.set(b"k", b"v");
+            assert_eq!(client.get(b"k").as_deref(), Some(&b"v"[..]), "{}", kind.name());
+            client.finish();
+        }
+    }
+
+    #[test]
+    fn measured_phase_reports_all_requests() {
+        let sut = SystemUnderTest::build(SystemKind::Ditto, 2_000, DmConfig::default());
+        let requests: Vec<Request> = (0..500u64).map(Request::get).collect();
+        let run = measured_phase(&sut, "Ditto", 2, ReplayOptions::default(), &|i| {
+            requests.iter().skip(i).step_by(2).copied().collect()
+        });
+        assert_eq!(run.replay.requests, 500);
+        assert!(run.report.throughput_mops > 0.0);
+    }
+
+    #[test]
+    fn run_trace_produces_hit_rates() {
+        let trace: Vec<Request> = (0..2_000u64).map(|i| Request::get(i % 100)).collect();
+        let run = run_trace(
+            SystemKind::DittoLru,
+            1_000,
+            2,
+            &trace,
+            ReplayOptions::default(),
+        );
+        assert!(run.hit_rate() > 0.8, "hit rate {}", run.hit_rate());
+    }
+}

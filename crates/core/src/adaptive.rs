@@ -1,0 +1,317 @@
+//! Distributed adaptive caching: expert weights, regret minimisation and the
+//! lazy weight-update scheme (§4.3, §4.3.2).
+//!
+//! Each client keeps a *local* copy of the expert weights and makes eviction
+//! decisions with it.  Regret penalties are buffered locally and shipped in
+//! batches to the [`WeightService`] running on the memory-node controller,
+//! which applies them to the *global* weights and returns the merged values.
+//! Local and global weights therefore drift slightly between syncs, which the
+//! paper shows does not hurt adaptivity.
+
+use ditto_dm::rpc::{wire, RpcHandler, RpcOutcome};
+use ditto_dm::{DmError, DmResult, MemoryNode};
+use parking_lot::Mutex;
+use rand::Rng;
+
+/// Lowest weight an expert can decay to; keeps a losing expert exploratory
+/// rather than permanently silenced (as in LeCaR).
+pub const MIN_WEIGHT: f64 = 0.01;
+
+/// Controller CPU cost of one weight-update RPC, in nanoseconds.
+const WEIGHT_RPC_CPU_NS: u64 = 1_500;
+
+/// Per-client expert weights plus the lazy-update penalty buffer.
+#[derive(Debug, Clone)]
+pub struct ExpertWeights {
+    weights: Vec<f64>,
+    learning_rate: f64,
+    discount: f64,
+    pending_penalties: Vec<f64>,
+    pending_updates: usize,
+    batch: usize,
+}
+
+impl ExpertWeights {
+    /// Creates uniform weights for `num_experts` experts.
+    ///
+    /// `discount` is the per-position decay `d` applied to older history
+    /// entries (`d = 0.005^(1/N)` in the paper); `batch` is the number of
+    /// local updates buffered before a global synchronisation.
+    pub fn new(num_experts: usize, learning_rate: f64, discount: f64, batch: usize) -> Self {
+        let num_experts = num_experts.max(1);
+        ExpertWeights {
+            weights: vec![1.0 / num_experts as f64; num_experts],
+            learning_rate,
+            discount: discount.clamp(0.0, 1.0),
+            pending_penalties: vec![0.0; num_experts],
+            pending_updates: 0,
+            batch: batch.max(1),
+        }
+    }
+
+    /// Number of experts.
+    pub fn num_experts(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Current (local) weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Chooses an expert index with probability proportional to its weight.
+    pub fn choose_expert<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.weights.iter().sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut draw = rng.gen::<f64>() * total;
+        for (i, w) in self.weights.iter().enumerate() {
+            draw -= w;
+            if draw <= 0.0 {
+                return i;
+            }
+        }
+        self.weights.len() - 1
+    }
+
+    /// Applies a regret for the experts in `expert_bitmap`, where the bad
+    /// eviction sits `position` entries back in the history.
+    ///
+    /// Returns `true` when enough penalties have accumulated to warrant a
+    /// global synchronisation.
+    pub fn apply_regret(&mut self, expert_bitmap: u64, position: u64) -> bool {
+        let penalty = self.discount.powf(position as f64);
+        for i in 0..self.weights.len() {
+            if crate::history::expert_bitmap::contains(expert_bitmap, i) {
+                self.weights[i] *= (-self.learning_rate * penalty).exp();
+                self.pending_penalties[i] += penalty;
+            }
+        }
+        self.normalize();
+        self.pending_updates += 1;
+        self.pending_updates >= self.batch
+    }
+
+    /// Takes the buffered penalties (compressed as per-expert sums, §4.3.2)
+    /// and resets the buffer.
+    pub fn take_pending(&mut self) -> Vec<f64> {
+        self.pending_updates = 0;
+        std::mem::replace(&mut self.pending_penalties, vec![0.0; self.weights.len()])
+    }
+
+    /// Number of regrets buffered since the last synchronisation.
+    pub fn pending_updates(&self) -> usize {
+        self.pending_updates
+    }
+
+    /// Replaces the local weights with the global values returned by the
+    /// controller.
+    pub fn set_weights(&mut self, weights: &[f64]) {
+        if weights.len() == self.weights.len() {
+            self.weights.copy_from_slice(weights);
+            self.normalize();
+        }
+    }
+
+    fn normalize(&mut self) {
+        for w in &mut self.weights {
+            if !w.is_finite() || *w < MIN_WEIGHT {
+                *w = MIN_WEIGHT;
+            }
+        }
+        let total: f64 = self.weights.iter().sum();
+        for w in &mut self.weights {
+            *w /= total;
+        }
+    }
+}
+
+/// Wire encoding of the weight-update RPC.
+pub mod weight_wire {
+    use super::*;
+
+    /// Encodes a penalty batch.
+    pub fn encode_penalties(penalties: &[f64]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + penalties.len() * 8);
+        wire::put_u32(&mut buf, penalties.len() as u32);
+        for p in penalties {
+            wire::put_f64(&mut buf, *p);
+        }
+        buf
+    }
+
+    /// Decodes a weight vector from a controller reply.
+    pub fn decode_weights(resp: &[u8]) -> DmResult<Vec<f64>> {
+        let n = wire::get_u32(resp, 0).ok_or_else(|| DmError::RpcFailed {
+            reason: "short weight reply".to_string(),
+        })? as usize;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(wire::get_f64(resp, 4 + i * 8).ok_or_else(|| DmError::RpcFailed {
+                reason: "truncated weight reply".to_string(),
+            })?);
+        }
+        Ok(out)
+    }
+}
+
+/// The controller-side service holding the global expert weights.
+pub struct WeightService {
+    weights: Mutex<Vec<f64>>,
+    learning_rate: f64,
+}
+
+impl WeightService {
+    /// Creates the service with uniform global weights.
+    pub fn new(num_experts: usize, learning_rate: f64) -> Self {
+        let num_experts = num_experts.max(1);
+        WeightService {
+            weights: Mutex::new(vec![1.0 / num_experts as f64; num_experts]),
+            learning_rate,
+        }
+    }
+
+    /// Current global weights (for inspection).
+    pub fn weights(&self) -> Vec<f64> {
+        self.weights.lock().clone()
+    }
+}
+
+impl RpcHandler for WeightService {
+    fn handle(&self, _node: &MemoryNode, request: &[u8]) -> DmResult<RpcOutcome> {
+        let n = wire::get_u32(request, 0).ok_or_else(|| DmError::RpcFailed {
+            reason: "short weight-update request".to_string(),
+        })? as usize;
+        let mut weights = self.weights.lock();
+        if n != weights.len() {
+            return Err(DmError::RpcFailed {
+                reason: format!("expected {} penalties, got {n}", weights.len()),
+            });
+        }
+        for (i, w) in weights.iter_mut().enumerate() {
+            let penalty = wire::get_f64(request, 4 + i * 8).ok_or_else(|| DmError::RpcFailed {
+                reason: "truncated weight-update request".to_string(),
+            })?;
+            *w *= (-self.learning_rate * penalty).exp();
+            if !w.is_finite() || *w < MIN_WEIGHT {
+                *w = MIN_WEIGHT;
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
+        let mut resp = Vec::with_capacity(4 + weights.len() * 8);
+        wire::put_u32(&mut resp, weights.len() as u32);
+        for w in weights.iter() {
+            wire::put_f64(&mut resp, *w);
+        }
+        Ok(RpcOutcome::new(resp, WEIGHT_RPC_CPU_NS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_start_uniform_and_sum_to_one() {
+        let w = ExpertWeights::new(2, 0.1, 0.99, 100);
+        assert_eq!(w.weights(), &[0.5, 0.5]);
+        assert_eq!(w.num_experts(), 2);
+    }
+
+    #[test]
+    fn regret_decreases_the_guilty_expert() {
+        let mut w = ExpertWeights::new(2, 0.5, 0.999, 100);
+        for _ in 0..20 {
+            w.apply_regret(0b01, 0);
+        }
+        assert!(w.weights()[0] < w.weights()[1]);
+        assert!((w.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.weights()[0] >= MIN_WEIGHT / 2.0);
+    }
+
+    #[test]
+    fn older_regrets_are_penalised_less() {
+        let mut fresh = ExpertWeights::new(2, 0.5, 0.9, 100);
+        let mut stale = ExpertWeights::new(2, 0.5, 0.9, 100);
+        fresh.apply_regret(0b01, 0);
+        stale.apply_regret(0b01, 50);
+        assert!(fresh.weights()[0] < stale.weights()[0]);
+    }
+
+    #[test]
+    fn batch_threshold_triggers_sync() {
+        let mut w = ExpertWeights::new(2, 0.1, 0.99, 3);
+        assert!(!w.apply_regret(0b10, 0));
+        assert!(!w.apply_regret(0b10, 1));
+        assert!(w.apply_regret(0b10, 2));
+        let pending = w.take_pending();
+        assert_eq!(pending.len(), 2);
+        assert!(pending[1] > pending[0]);
+        assert_eq!(w.pending_updates(), 0);
+    }
+
+    #[test]
+    fn choose_expert_follows_weights() {
+        let mut w = ExpertWeights::new(2, 1.0, 0.99, 100);
+        for _ in 0..200 {
+            w.apply_regret(0b01, 0);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let picks_of_1 = (0..1_000).filter(|_| w.choose_expert(&mut rng) == 1).count();
+        assert!(picks_of_1 > 800, "expert 1 picked only {picks_of_1} times");
+    }
+
+    #[test]
+    fn set_weights_ignores_mismatched_lengths() {
+        let mut w = ExpertWeights::new(2, 0.1, 0.99, 10);
+        w.set_weights(&[0.9, 0.1, 0.0]);
+        assert_eq!(w.weights(), &[0.5, 0.5]);
+        w.set_weights(&[0.8, 0.2]);
+        assert!((w.weights()[0] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let payload = weight_wire::encode_penalties(&[1.5, 0.25]);
+        let decoded = weight_wire::decode_weights(&payload).unwrap();
+        assert_eq!(decoded, vec![1.5, 0.25]);
+        assert!(weight_wire::decode_weights(&payload[..7]).is_err());
+    }
+
+    #[test]
+    fn weight_service_applies_penalties() {
+        use ditto_dm::{DmConfig, MemoryPool};
+        let pool = MemoryPool::new(DmConfig::small());
+        let service = std::sync::Arc::new(WeightService::new(2, 0.5));
+        pool.register_handler(ditto_dm::rpc::WEIGHT_SERVICE, service.clone());
+        let client = pool.connect();
+        let req = weight_wire::encode_penalties(&[5.0, 0.0]);
+        let resp = client.rpc(0, ditto_dm::rpc::WEIGHT_SERVICE, &req).unwrap();
+        let weights = weight_wire::decode_weights(&resp).unwrap();
+        assert!(weights[0] < weights[1]);
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(service.weights(), weights);
+    }
+
+    #[test]
+    fn weight_service_rejects_bad_requests() {
+        use ditto_dm::{DmConfig, MemoryPool};
+        let pool = MemoryPool::new(DmConfig::small());
+        pool.register_handler(
+            ditto_dm::rpc::WEIGHT_SERVICE,
+            std::sync::Arc::new(WeightService::new(2, 0.5)),
+        );
+        let client = pool.connect();
+        assert!(client.rpc(0, ditto_dm::rpc::WEIGHT_SERVICE, &[]).is_err());
+        let wrong_len = weight_wire::encode_penalties(&[1.0, 2.0, 3.0]);
+        assert!(client
+            .rpc(0, ditto_dm::rpc::WEIGHT_SERVICE, &wrong_len)
+            .is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The shared cache instance: remote structures, experts and statistics.
+
+use crate::adaptive::WeightService;
+use crate::config::DittoConfig;
+use crate::error::{CacheError, CacheResult};
+use crate::hashtable::SampleFriendlyHashTable;
+use crate::history::EvictionHistory;
+use crate::slot::BUCKET_SIZE;
+use crate::stats::CacheStats;
+use ditto_algorithms::{registry, CacheAlgorithm};
+use ditto_dm::rpc::WEIGHT_SERVICE;
+use ditto_dm::{DmConfig, MemoryPool, RemoteAddr};
+use std::sync::Arc;
+
+/// A Ditto cache deployed on a disaggregated memory pool.
+///
+/// `DittoCache` owns the remote structures (hash table, history counter) and
+/// the process-wide shared state (experts, global-weight service handle,
+/// statistics).  Each client thread obtains its own [`crate::DittoClient`]
+/// through [`DittoCache::client`]; the cache itself is cheap to clone.
+#[derive(Clone)]
+pub struct DittoCache {
+    pool: MemoryPool,
+    config: Arc<DittoConfig>,
+    table: SampleFriendlyHashTable,
+    history: EvictionHistory,
+    scratch: RemoteAddr,
+    experts: Arc<Vec<Arc<dyn CacheAlgorithm>>>,
+    stats: Arc<CacheStats>,
+    weight_service: Arc<WeightService>,
+}
+
+impl DittoCache {
+    /// Deploys a cache on an existing memory pool.
+    pub fn new(pool: MemoryPool, config: DittoConfig) -> CacheResult<Self> {
+        config.validate().map_err(CacheError::InvalidConfig)?;
+        let mut experts = Vec::with_capacity(config.experts.len());
+        for name in &config.experts {
+            let alg = registry::by_name(name)
+                .ok_or_else(|| CacheError::UnknownAlgorithm(name.clone()))?;
+            experts.push(alg);
+        }
+        let table = SampleFriendlyHashTable::create(&pool, config.num_buckets())?;
+        let history = EvictionHistory::create(&pool, config.history_len())?;
+        let scratch = pool.reserve(4096)?;
+        let weight_service = Arc::new(WeightService::new(experts.len(), config.learning_rate));
+        pool.register_handler(WEIGHT_SERVICE, weight_service.clone());
+        let stats = Arc::new(CacheStats::new(experts.len()));
+        Ok(DittoCache {
+            pool,
+            config: Arc::new(config),
+            table,
+            history,
+            scratch,
+            experts: Arc::new(experts),
+            stats,
+            weight_service,
+        })
+    }
+
+    /// Builds a dedicated memory pool sized for `config` and deploys the
+    /// cache on it.
+    ///
+    /// The pool gets enough memory for the hash table plus
+    /// `capacity_objects` average-sized objects, so allocation failures — and
+    /// therefore evictions — start once the configured capacity is reached.
+    pub fn with_dedicated_pool(config: DittoConfig, mut dm: DmConfig) -> CacheResult<Self> {
+        let table_bytes = config.num_buckets() * BUCKET_SIZE as u64;
+        let object_bytes = config.capacity_objects * config.avg_object_blocks() * 64;
+        // Margin for the history counter, the scratch page, allocator
+        // alignment and per-client segment remainders.
+        let margin = 64 * 1024 + object_bytes / 50;
+        dm.memory_node_capacity = table_bytes + object_bytes + margin;
+        Self::new(MemoryPool::new(dm), config)
+    }
+
+    /// Convenience constructor: dedicated pool with default DM timings.
+    pub fn with_capacity(capacity_objects: u64) -> CacheResult<Self> {
+        Self::with_dedicated_pool(DittoConfig::with_capacity(capacity_objects), DmConfig::default())
+    }
+
+    /// Opens a new client (one per application thread).
+    pub fn client(&self) -> crate::client::DittoClient {
+        crate::client::DittoClient::new(self.clone())
+    }
+
+    /// The underlying memory pool.
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &DittoConfig {
+        &self.config
+    }
+
+    /// Shared cache statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The expert caching algorithms, in configuration order.
+    pub fn experts(&self) -> &[Arc<dyn CacheAlgorithm>] {
+        &self.experts
+    }
+
+    /// The current *global* expert weights held by the controller.
+    pub fn global_weights(&self) -> Vec<f64> {
+        self.weight_service.weights()
+    }
+
+    /// Whether any configured expert requires extension metadata stored with
+    /// the objects.
+    pub fn uses_extension(&self) -> bool {
+        self.experts.iter().any(|e| e.uses_extension())
+    }
+
+    pub(crate) fn table(&self) -> SampleFriendlyHashTable {
+        self.table
+    }
+
+    pub(crate) fn history(&self) -> EvictionHistory {
+        self.history
+    }
+
+    pub(crate) fn scratch(&self) -> RemoteAddr {
+        self.scratch
+    }
+
+    pub(crate) fn config_arc(&self) -> Arc<DittoConfig> {
+        Arc::clone(&self.config)
+    }
+
+    pub(crate) fn experts_arc(&self) -> Arc<Vec<Arc<dyn CacheAlgorithm>>> {
+        Arc::clone(&self.experts)
+    }
+
+    pub(crate) fn stats_arc(&self) -> Arc<CacheStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_default_config() {
+        let cache = DittoCache::with_capacity(1_000).unwrap();
+        assert_eq!(cache.experts().len(), 2);
+        assert_eq!(cache.global_weights().len(), 2);
+        assert!(!cache.uses_extension());
+        assert!(cache.config().adaptive);
+    }
+
+    #[test]
+    fn unknown_expert_is_rejected() {
+        let config = DittoConfig::with_capacity(100).with_experts(vec!["lru", "belady"]);
+        let err = DittoCache::with_dedicated_pool(config, DmConfig::small())
+            .err()
+            .expect("unknown algorithm must be rejected");
+        assert!(matches!(err, CacheError::UnknownAlgorithm(name) if name == "belady"));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = DittoConfig::with_capacity(100);
+        config.experts.clear();
+        assert!(matches!(
+            DittoCache::with_dedicated_pool(config, DmConfig::small()).err(),
+            Some(CacheError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn dedicated_pool_is_sized_to_capacity() {
+        let cache = DittoCache::with_capacity(10_000).unwrap();
+        let cap = cache.pool().capacity();
+        // Enough for 10k × 5 blocks plus the table, but not wildly more.
+        assert!(cap > 10_000 * 5 * 64);
+        assert!(cap < 10_000 * 5 * 64 * 4);
+    }
+
+    #[test]
+    fn extension_detection_follows_experts() {
+        let config = DittoConfig::with_capacity(100).with_experts(vec!["lru", "gdsf"]);
+        let cache = DittoCache::with_dedicated_pool(config, DmConfig::small()).unwrap();
+        assert!(cache.uses_extension());
+    }
+
+    #[test]
+    fn clients_share_statistics() {
+        let cache = DittoCache::with_capacity(1_000).unwrap();
+        let c1 = cache.client();
+        let c2 = cache.client();
+        drop((c1, c2));
+        assert_eq!(cache.stats().snapshot().hits, 0);
+    }
+}

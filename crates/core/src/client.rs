@@ -1,0 +1,815 @@
+//! The Ditto client: client-centric `Get`/`Set` with sample-based eviction
+//! and distributed adaptive caching (§4.2, §4.3).
+//!
+//! One `DittoClient` is owned by each application thread.  All data-path
+//! operations use only one-sided verbs against the memory pool:
+//!
+//! * **Get** — one `RDMA_READ` of the bucket, one `RDMA_READ` of the object,
+//!   then an asynchronous `RDMA_WRITE` of the stateless access information
+//!   and a (frequency-counter-cached) `RDMA_FAA` of the access count.
+//! * **Set** — bucket `RDMA_READ`, object `RDMA_WRITE`, `RDMA_CAS` of the
+//!   slot's atomic field, plus the asynchronous metadata write.
+//! * **Eviction** — one `RDMA_READ` sampling K consecutive slots, a per-expert
+//!   priority evaluation, a weighted victim choice, an `RDMA_FAA` on the
+//!   global history counter and an `RDMA_CAS` converting the victim slot into
+//!   an embedded history entry.
+
+use crate::adaptive::{weight_wire, ExpertWeights};
+use crate::cache::DittoCache;
+use crate::config::DittoConfig;
+use crate::fc_cache::FcCache;
+use crate::hash::{fingerprint, fnv1a64};
+use crate::hashtable::SampleFriendlyHashTable;
+use crate::history::{expert_bitmap, EvictionHistory};
+use crate::object;
+use crate::slot::{AtomicField, Slot, SLOT_SIZE};
+use crate::stats::CacheStats;
+use ditto_algorithms::{AccessContext, AccessKind, CacheAlgorithm, Metadata, EXT_WORDS};
+use ditto_dm::rpc::WEIGHT_SERVICE;
+use ditto_dm::{ClientAllocator, DmClient, DmError, RemoteAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Maximum CAS retries before an operation gives up.
+const MAX_RETRIES: usize = 8;
+/// Maximum eviction attempts while trying to free memory for one allocation.
+const MAX_EVICTION_ATTEMPTS: usize = 256;
+
+/// A per-thread Ditto cache client.
+pub struct DittoClient {
+    dm: DmClient,
+    config: Arc<DittoConfig>,
+    table: SampleFriendlyHashTable,
+    history: EvictionHistory,
+    scratch: RemoteAddr,
+    experts: Arc<Vec<Arc<dyn CacheAlgorithm>>>,
+    stats: Arc<CacheStats>,
+    alloc: ClientAllocator,
+    fc: FcCache,
+    weights: ExpertWeights,
+    rng: StdRng,
+    counter_estimate: u64,
+    counter_known: bool,
+    misses_since_refresh: u64,
+    use_extension: bool,
+}
+
+impl DittoClient {
+    pub(crate) fn new(cache: DittoCache) -> Self {
+        let config = cache.config_arc();
+        let dm = cache.pool().connect();
+        let segment = config.alloc_segment_objects.max(1) * config.avg_object_blocks() * 64;
+        let alloc = ClientAllocator::with_segment_size(0, segment);
+        let fc = FcCache::new(config.fc_threshold, config.fc_capacity_entries());
+        let weights = ExpertWeights::new(
+            cache.experts().len(),
+            config.learning_rate,
+            config.discount_rate(),
+            if config.enable_lazy_weight_update {
+                config.weight_sync_batch
+            } else {
+                1
+            },
+        );
+        let seed = 0x5eed_0000 + dm.client_id() as u64;
+        DittoClient {
+            use_extension: cache.uses_extension(),
+            table: cache.table(),
+            history: cache.history(),
+            scratch: cache.scratch(),
+            experts: cache.experts_arc(),
+            stats: cache.stats_arc(),
+            alloc,
+            fc,
+            weights,
+            rng: StdRng::seed_from_u64(seed),
+            counter_estimate: 0,
+            counter_known: false,
+            misses_since_refresh: 0,
+            config,
+            dm,
+        }
+    }
+
+    /// The underlying DM client (simulated clock, verb statistics).
+    pub fn dm(&self) -> &DmClient {
+        &self.dm
+    }
+
+    /// The client's current local expert weights.
+    pub fn local_weights(&self) -> &[f64] {
+        self.weights.weights()
+    }
+
+    /// Looks up `key`, returning the value on a hit.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.dm.begin_op();
+        let result = self.get_inner(key);
+        self.dm.end_op();
+        result
+    }
+
+    /// Inserts or updates `key` with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object does not fit the 254-block (≈16 KiB) size-class
+    /// limit, or if the memory pool cannot be made to fit the object even
+    /// after repeated evictions (a sizing bug rather than a run-time
+    /// condition).
+    pub fn set(&mut self, key: &[u8], value: &[u8]) {
+        self.dm.begin_op();
+        self.set_inner(key, value);
+        self.dm.end_op();
+    }
+
+    /// Flushes buffered state: pending frequency-counter increments and
+    /// pending expert-weight penalties.  Call at the end of an experiment.
+    pub fn flush(&mut self) {
+        let flushes = self.fc.flush_all();
+        for (addr, delta) in flushes {
+            self.dm.faa(addr, delta);
+            self.stats.record_fc_flush();
+        }
+        if self.weights.pending_updates() > 0 {
+            self.sync_weights();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Get path
+    // ------------------------------------------------------------------
+
+    fn get_inner(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let hash = fnv1a64(key);
+        let fp = fingerprint(hash);
+        for _ in 0..MAX_RETRIES {
+            let (slots, found) = self.search(hash, fp);
+            let Some((slot_addr, slot)) = found else {
+                self.on_miss(&slots, hash);
+                return None;
+            };
+            let obj_bytes = self
+                .dm
+                .read(slot.atomic.object_addr(), slot.atomic.object_bytes() as usize);
+            let Some(decoded) = object::decode(&obj_bytes) else {
+                // Raced with an eviction that already reused the blocks.
+                continue;
+            };
+            if decoded.key != key {
+                // Fingerprint + hash collision or a concurrent replacement.
+                continue;
+            }
+            self.record_access(slot_addr, &slot, Some(&decoded.ext), AccessKind::Hit);
+            self.stats.record_hit();
+            return Some(decoded.value);
+        }
+        self.stats.record_miss();
+        None
+    }
+
+    fn on_miss(&mut self, slots: &[(RemoteAddr, Slot)], hash: u64) {
+        if self.config.adaptive {
+            if self.config.enable_lightweight_history {
+                self.check_regret(slots, hash);
+            } else {
+                // Ablation: a separate history structure needs its own index
+                // lookup on every miss.
+                let _ = self.dm.read(self.scratch, 64);
+                self.check_regret(slots, hash);
+            }
+        }
+        self.stats.record_miss();
+    }
+
+    fn search(
+        &mut self,
+        hash: u64,
+        fp: u8,
+    ) -> (Vec<(RemoteAddr, Slot)>, Option<(RemoteAddr, Slot)>) {
+        let primary = self.table.primary_bucket(hash);
+        let mut slots = self.table.read_bucket(&self.dm, primary);
+        if let Some(found) = Self::find_live(&slots, hash, fp) {
+            return (slots, Some(found));
+        }
+        let secondary = self.table.secondary_bucket(hash);
+        let more = self.table.read_bucket(&self.dm, secondary);
+        let found = Self::find_live(&more, hash, fp);
+        slots.extend(more);
+        (slots, found)
+    }
+
+    fn find_live(slots: &[(RemoteAddr, Slot)], hash: u64, fp: u8) -> Option<(RemoteAddr, Slot)> {
+        slots
+            .iter()
+            .find(|(_, s)| s.atomic.is_object() && s.atomic.fp == fp && s.hash == hash)
+            .copied()
+    }
+
+    fn record_access(
+        &mut self,
+        slot_addr: RemoteAddr,
+        slot: &Slot,
+        ext: Option<&[u64; EXT_WORDS]>,
+        kind: AccessKind,
+    ) {
+        let now = self.dm.now_ns();
+        // Stateless information: a single asynchronous WRITE.
+        self.dm
+            .write_async(SampleFriendlyHashTable::last_ts_addr(slot_addr), &now.to_le_bytes());
+        if !self.config.enable_sample_friendly_table {
+            // Ablation: without the co-designed table the stateless fields are
+            // scattered and need an additional write on the data path.
+            self.dm
+                .write_async(self.scratch.add(8), &now.to_le_bytes());
+        }
+        // Stateful information: the frequency counter, combined client-side.
+        let freq_addr = SampleFriendlyHashTable::freq_addr(slot_addr);
+        if self.config.enable_fc_cache {
+            for (addr, delta) in self.fc.record(freq_addr) {
+                self.dm.faa(addr, delta);
+                self.stats.record_fc_flush();
+            }
+        } else {
+            self.dm.faa(freq_addr, 1);
+            self.stats.record_fc_flush();
+        }
+        // Extension metadata for advanced algorithms (§4.4).
+        if self.use_extension {
+            let mut metadata = slot.metadata();
+            metadata.record_access(&AccessContext::at(now));
+            if let Some(ext) = ext {
+                metadata.ext = *ext;
+            }
+            let ctx = AccessContext::at(now).with_kind(kind);
+            for expert in self.experts.iter() {
+                expert.update(&mut metadata, &ctx);
+            }
+            let mut buf = [0u8; EXT_WORDS * 8];
+            for (i, w) in metadata.ext.iter().enumerate() {
+                buf[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+            }
+            let ext_addr = slot.atomic.object_addr().add(object::ext_offset());
+            self.dm.write_async(ext_addr, &buf);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Regrets and adaptive weights
+    // ------------------------------------------------------------------
+
+    fn refresh_counter_estimate(&mut self) {
+        if !self.counter_known || self.misses_since_refresh >= self.config.history_counter_refresh {
+            self.counter_estimate = self.history.read_counter(&self.dm);
+            self.counter_known = true;
+            self.misses_since_refresh = 0;
+        }
+    }
+
+    fn check_regret(&mut self, slots: &[(RemoteAddr, Slot)], hash: u64) {
+        self.misses_since_refresh += 1;
+        let entry = slots
+            .iter()
+            .find(|(_, s)| s.atomic.is_history() && s.hash == hash);
+        let Some((_, entry)) = entry else {
+            return;
+        };
+        self.refresh_counter_estimate();
+        let id = entry.atomic.history_id();
+        if !self.history.is_valid(self.counter_estimate, id) {
+            return;
+        }
+        let position = self.history.position(self.counter_estimate, id);
+        self.stats.record_regret();
+        let sync_needed = self.weights.apply_regret(entry.expert_bitmap(), position);
+        if sync_needed || !self.config.enable_lazy_weight_update {
+            self.sync_weights();
+        }
+    }
+
+    fn sync_weights(&mut self) {
+        let penalties = self.weights.take_pending();
+        let request = weight_wire::encode_penalties(&penalties);
+        match self.dm.rpc(0, WEIGHT_SERVICE, &request) {
+            Ok(response) => {
+                if let Ok(weights) = weight_wire::decode_weights(&response) {
+                    self.weights.set_weights(&weights);
+                }
+                self.stats.record_weight_sync();
+            }
+            Err(_) => {
+                // The controller being unreachable only delays adaptation.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Set path
+    // ------------------------------------------------------------------
+
+    fn set_inner(&mut self, key: &[u8], value: &[u8]) {
+        self.stats.record_set();
+        let hash = fnv1a64(key);
+        let fp = fingerprint(hash);
+        let encoded = object::encode(key, value, self.use_extension, &[0; EXT_WORDS]);
+        let size_class = encoded.len() / 64;
+        assert!(
+            size_class <= 254,
+            "object of {} bytes exceeds the 254-block size-class limit",
+            encoded.len()
+        );
+        let obj_addr = self.alloc_with_eviction(encoded.len());
+        self.dm.write(obj_addr, &encoded);
+        let new_atomic = AtomicField::for_object(fp, size_class as u8, obj_addr);
+
+        for _ in 0..MAX_RETRIES {
+            let (slots, existing) = self.search(hash, fp);
+            if let Some((slot_addr, slot)) = existing {
+                if self.replace_existing(slot_addr, &slot, new_atomic) {
+                    return;
+                }
+                continue;
+            }
+            if let Some((slot_addr, observed)) = self.choose_insert_slot(&slots) {
+                if self.install_new(slot_addr, &observed, new_atomic, hash) {
+                    return;
+                }
+                continue;
+            }
+            if self.bucket_evict_and_insert(&slots, new_atomic, hash) {
+                return;
+            }
+        }
+        // Persistent CAS interference; release the object memory so nothing
+        // leaks.  The request is dropped, mirroring a failed insert.
+        self.alloc.free(obj_addr, encoded.len());
+    }
+
+    fn replace_existing(
+        &mut self,
+        slot_addr: RemoteAddr,
+        slot: &Slot,
+        new_atomic: AtomicField,
+    ) -> bool {
+        let expected = slot.atomic.encode();
+        if self.dm.cas(slot_addr, expected, new_atomic.encode()) != expected {
+            return false;
+        }
+        self.record_access(slot_addr, slot, None, AccessKind::Update);
+        self.alloc
+            .free(slot.atomic.object_addr(), slot.atomic.object_bytes() as usize);
+        true
+    }
+
+    fn install_new(
+        &mut self,
+        slot_addr: RemoteAddr,
+        observed: &Slot,
+        new_atomic: AtomicField,
+        hash: u64,
+    ) -> bool {
+        let expected = observed.atomic.encode();
+        if self.dm.cas(slot_addr, expected, new_atomic.encode()) != expected {
+            return false;
+        }
+        self.write_fresh_metadata(slot_addr, hash);
+        true
+    }
+
+    fn write_fresh_metadata(&mut self, slot_addr: RemoteAddr, hash: u64) {
+        let now = self.dm.now_ns();
+        let mut buf = [0u8; 32];
+        buf[0..8].copy_from_slice(&hash.to_le_bytes());
+        buf[8..16].copy_from_slice(&now.to_le_bytes());
+        buf[16..24].copy_from_slice(&now.to_le_bytes());
+        buf[24..32].copy_from_slice(&1u64.to_le_bytes());
+        self.dm
+            .write_async(SampleFriendlyHashTable::hash_addr(slot_addr), &buf);
+    }
+
+    /// Picks the slot an insert should claim, preferring empty slots, then
+    /// expired history entries, then the oldest valid history entry.
+    fn choose_insert_slot(&mut self, slots: &[(RemoteAddr, Slot)]) -> Option<(RemoteAddr, Slot)> {
+        if let Some(found) = slots.iter().find(|(_, s)| s.atomic.is_empty()) {
+            return Some(*found);
+        }
+        let history_entries: Vec<&(RemoteAddr, Slot)> =
+            slots.iter().filter(|(_, s)| s.atomic.is_history()).collect();
+        if history_entries.is_empty() {
+            return None;
+        }
+        self.refresh_counter_estimate();
+        if let Some(expired) = history_entries.iter().find(|(_, s)| {
+            !self
+                .history
+                .is_valid(self.counter_estimate, s.atomic.history_id())
+        }) {
+            return Some(**expired);
+        }
+        history_entries
+            .into_iter()
+            .max_by_key(|(_, s)| {
+                self.history
+                    .position(self.counter_estimate, s.atomic.history_id())
+            })
+            .copied()
+    }
+
+    fn bucket_evict_and_insert(
+        &mut self,
+        slots: &[(RemoteAddr, Slot)],
+        new_atomic: AtomicField,
+        hash: u64,
+    ) -> bool {
+        let candidates: Vec<(RemoteAddr, Slot)> = slots
+            .iter()
+            .filter(|(_, s)| s.atomic.is_object())
+            .copied()
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let (victim_idx, bitmap, chosen) = self.select_victim(&candidates);
+        let (victim_addr, victim) = candidates[victim_idx];
+        let expected = victim.atomic.encode();
+        if self.dm.cas(victim_addr, expected, new_atomic.encode()) != expected {
+            return false;
+        }
+        self.notify_eviction(&candidates, victim_idx, bitmap);
+        self.alloc
+            .free(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
+        self.write_fresh_metadata(victim_addr, hash);
+        self.stats.record_bucket_eviction();
+        self.stats.record_eviction(chosen);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction
+    // ------------------------------------------------------------------
+
+    fn alloc_with_eviction(&mut self, size: usize) -> RemoteAddr {
+        for _ in 0..MAX_EVICTION_ATTEMPTS {
+            match self.alloc.alloc(&self.dm, size) {
+                Ok(addr) => return addr,
+                Err(DmError::OutOfMemory { .. }) => {
+                    self.evict_once();
+                }
+                Err(e) => panic!("allocation failed: {e}"),
+            }
+        }
+        panic!("unable to free memory for a {size}-byte object after {MAX_EVICTION_ATTEMPTS} evictions");
+    }
+
+    /// Performs one sampling eviction.  Returns `true` when an object was
+    /// evicted and its memory recycled.
+    pub fn evict_once(&mut self) -> bool {
+        let sample_size = self.config.sample_size;
+        let mut candidates: Vec<(RemoteAddr, Slot)> = Vec::with_capacity(sample_size * 2);
+        for attempt in 0..8 {
+            let sample = if self.config.enable_sample_friendly_table {
+                self.table.read_sample(&self.dm, &mut self.rng, sample_size)
+            } else {
+                // Ablation: metadata scattered with the objects requires one
+                // READ per sampled candidate.
+                let mut out = Vec::with_capacity(sample_size);
+                for _ in 0..sample_size {
+                    let idx = self.rng.gen_range(0..self.table.num_slots());
+                    let addr = self.table.global_slot_addr(idx);
+                    let bytes = self.dm.read(addr, SLOT_SIZE);
+                    out.push((addr, Slot::from_bytes(&bytes)));
+                }
+                out
+            };
+            candidates.extend(sample.into_iter().filter(|(_, s)| s.atomic.is_object()));
+            if candidates.len() >= 2 || (attempt >= 3 && !candidates.is_empty()) {
+                break;
+            }
+        }
+        if candidates.is_empty() {
+            return false;
+        }
+        let (victim_idx, bitmap, chosen) = self.select_victim(&candidates);
+        let (victim_addr, victim) = candidates[victim_idx];
+        let expected = victim.atomic.encode();
+
+        if self.config.adaptive && self.config.enable_lightweight_history {
+            let (hist_id, new_counter) = self.history.acquire_id(&self.dm);
+            self.counter_estimate = new_counter;
+            self.counter_known = true;
+            let hist_atomic = AtomicField::for_history(victim.atomic.fp, hist_id);
+            if self.dm.cas(victim_addr, expected, hist_atomic.encode()) != expected {
+                return false;
+            }
+            self.dm.write_async(
+                SampleFriendlyHashTable::insert_ts_addr(victim_addr),
+                &bitmap.to_le_bytes(),
+            );
+            self.stats.record_history_insert();
+        } else if self.config.adaptive {
+            // Ablation: maintain a separate remote FIFO queue and hash index
+            // for the history (FAA on the queue tail, WRITE of the entry and
+            // CAS into the index), then clear the slot.
+            if self.dm.cas(victim_addr, expected, 0) != expected {
+                return false;
+            }
+            self.dm.faa(self.scratch.add(16), 1);
+            self.dm.write_async(self.scratch.add(24), &[0u8; 16]);
+            let _ = self.dm.cas(self.scratch.add(40), 0, 0);
+            self.stats.record_history_insert();
+        } else if self.dm.cas(victim_addr, expected, 0) != expected {
+            return false;
+        }
+
+        self.notify_eviction(&candidates, victim_idx, bitmap);
+        self.alloc
+            .free(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
+        self.stats.record_eviction(chosen);
+        true
+    }
+
+    /// Evaluates every expert over the candidates and picks the victim of the
+    /// expert chosen by the (weighted) adaptive policy.
+    ///
+    /// Returns `(victim index, expert bitmap, chosen expert)`, where the
+    /// bitmap marks every expert whose own choice coincides with the victim.
+    fn select_victim(&mut self, candidates: &[(RemoteAddr, Slot)]) -> (usize, u64, usize) {
+        let now = self.dm.now_ns();
+        let metadata: Vec<Metadata> = candidates
+            .iter()
+            .map(|(_, s)| self.candidate_metadata(s))
+            .collect();
+        let picks: Vec<usize> = self
+            .experts
+            .iter()
+            .map(|expert| {
+                let mut best = 0usize;
+                let mut best_priority = f64::INFINITY;
+                for (i, m) in metadata.iter().enumerate() {
+                    let p = expert.priority(m, now);
+                    if p < best_priority {
+                        best_priority = p;
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect();
+        let chosen = if self.config.adaptive {
+            self.weights.choose_expert(&mut self.rng)
+        } else {
+            0
+        };
+        let victim_idx = picks[chosen.min(picks.len() - 1)];
+        let mut bitmap = 0u64;
+        for (i, pick) in picks.iter().enumerate() {
+            if *pick == victim_idx {
+                bitmap = expert_bitmap::with_expert(bitmap, i);
+            }
+        }
+        (victim_idx, bitmap, chosen)
+    }
+
+    fn candidate_metadata(&self, slot: &Slot) -> Metadata {
+        let mut metadata = slot.metadata();
+        if self.use_extension {
+            // Advanced algorithms keep their extension metadata with the
+            // object; fetch the header (§4.4: extra READs on eviction).
+            let addr = slot.atomic.object_addr().add(object::ext_offset());
+            let bytes = self.dm.read(addr, EXT_WORDS * 8);
+            for (i, chunk) in bytes.chunks_exact(8).enumerate().take(EXT_WORDS) {
+                metadata.ext[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte word"));
+            }
+        }
+        metadata
+    }
+
+    fn notify_eviction(&self, candidates: &[(RemoteAddr, Slot)], victim_idx: usize, bitmap: u64) {
+        let now = self.dm.now_ns();
+        let metadata = self.candidate_metadata(&candidates[victim_idx].1);
+        for (i, expert) in self.experts.iter().enumerate() {
+            if expert_bitmap::contains(bitmap, i) {
+                expert.on_evict(expert.priority(&metadata, now));
+            }
+        }
+    }
+}
+
+impl ditto_workloads::CacheBackend for DittoClient {
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        DittoClient::get(self, key)
+    }
+
+    fn set(&mut self, key: &[u8], value: &[u8]) {
+        DittoClient::set(self, key, value)
+    }
+
+    fn miss_penalty(&mut self, us: u64) {
+        self.dm.sleep_us(us);
+    }
+
+    fn backend_name(&self) -> &str {
+        if self.config.adaptive {
+            "ditto"
+        } else {
+            "ditto-single"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cache::DittoCache;
+    use crate::config::DittoConfig;
+    use ditto_dm::DmConfig;
+
+    fn small_cache(capacity: u64) -> DittoCache {
+        DittoCache::with_dedicated_pool(DittoConfig::with_capacity(capacity), DmConfig::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn get_on_empty_cache_misses() {
+        let cache = small_cache(1_000);
+        let mut client = cache.client();
+        assert_eq!(client.get(b"nope"), None);
+        assert_eq!(cache.stats().snapshot().misses, 1);
+    }
+
+    #[test]
+    fn set_then_get_roundtrip() {
+        let cache = small_cache(1_000);
+        let mut client = cache.client();
+        client.set(b"user1", b"value-1");
+        assert_eq!(client.get(b"user1").as_deref(), Some(&b"value-1"[..]));
+        let snap = cache.stats().snapshot();
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.sets, 1);
+    }
+
+    #[test]
+    fn update_replaces_value() {
+        let cache = small_cache(1_000);
+        let mut client = cache.client();
+        client.set(b"k", b"old");
+        client.set(b"k", b"newer-value");
+        assert_eq!(client.get(b"k").as_deref(), Some(&b"newer-value"[..]));
+    }
+
+    #[test]
+    fn values_are_isolated_per_key() {
+        let cache = small_cache(1_000);
+        let mut client = cache.client();
+        for i in 0..100u64 {
+            client.set(format!("key{i}").as_bytes(), format!("value{i}").as_bytes());
+        }
+        for i in 0..100u64 {
+            assert_eq!(
+                client.get(format!("key{i}").as_bytes()),
+                Some(format!("value{i}").into_bytes()),
+                "key{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn other_clients_see_written_objects() {
+        let cache = small_cache(1_000);
+        let mut writer = cache.client();
+        let mut reader = cache.client();
+        writer.set(b"shared", b"payload");
+        assert_eq!(reader.get(b"shared").as_deref(), Some(&b"payload"[..]));
+    }
+
+    #[test]
+    fn eviction_keeps_cache_bounded_and_serving() {
+        let cache = small_cache(300);
+        let mut client = cache.client();
+        for i in 0..2_000u64 {
+            client.set(format!("key{i}").as_bytes(), &[1u8; 200]);
+        }
+        let snap = cache.stats().snapshot();
+        assert!(snap.evictions + snap.bucket_evictions > 1_000, "evictions: {snap:?}");
+        // Recently inserted keys are still present.
+        let mut recent_hits = 0;
+        for i in 1_990..2_000u64 {
+            if client.get(format!("key{i}").as_bytes()).is_some() {
+                recent_hits += 1;
+            }
+        }
+        assert!(recent_hits >= 5, "only {recent_hits}/10 recent keys survive");
+    }
+
+    #[test]
+    fn history_entries_and_regrets_are_collected() {
+        let cache = small_cache(200);
+        let mut client = cache.client();
+        // Fill far beyond capacity so evictions populate the history.
+        for i in 0..1_500u64 {
+            client.set(format!("key{i}").as_bytes(), &[0u8; 200]);
+        }
+        // Touch evicted keys again: misses that hit the history are regrets.
+        for i in 0..400u64 {
+            let _ = client.get(format!("key{i}").as_bytes());
+        }
+        let snap = cache.stats().snapshot();
+        assert!(snap.history_inserts > 0);
+        assert!(snap.regrets > 0, "expected regrets, got {snap:?}");
+    }
+
+    #[test]
+    fn weights_adapt_after_many_regrets() {
+        let cache = small_cache(200);
+        let mut client = cache.client();
+        for i in 0..1_500u64 {
+            client.set(format!("key{i}").as_bytes(), &[0u8; 200]);
+        }
+        for round in 0..5 {
+            for i in 0..400u64 {
+                let _ = client.get(format!("key{}", round * 400 + i).as_bytes());
+            }
+        }
+        client.flush();
+        let weights = cache.global_weights();
+        assert_eq!(weights.len(), 2);
+        assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(cache.stats().snapshot().weight_syncs > 0);
+    }
+
+    #[test]
+    fn non_adaptive_single_algorithm_works() {
+        let config = DittoConfig::single_algorithm(300, "lfu");
+        let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+        let mut client = cache.client();
+        for i in 0..1_000u64 {
+            client.set(format!("key{i}").as_bytes(), &[0u8; 200]);
+        }
+        let snap = cache.stats().snapshot();
+        assert!(snap.evictions + snap.bucket_evictions > 0);
+        assert_eq!(snap.history_inserts, 0, "no history without adaptivity");
+    }
+
+    #[test]
+    fn extension_algorithms_roundtrip() {
+        let config = DittoConfig::with_capacity(300).with_experts(vec!["gdsf", "lruk"]);
+        let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+        let mut client = cache.client();
+        for i in 0..600u64 {
+            client.set(format!("key{i}").as_bytes(), &[0u8; 200]);
+        }
+        for i in 500..600u64 {
+            let _ = client.get(format!("key{i}").as_bytes());
+        }
+        assert!(cache.stats().snapshot().hits > 0);
+    }
+
+    #[test]
+    fn get_costs_two_reads_on_a_primary_bucket_hit() {
+        let cache = small_cache(1_000);
+        let mut client = cache.client();
+        client.set(b"probe", b"x");
+        cache.pool().reset_stats();
+        let _ = client.get(b"probe");
+        let reads = cache.pool().stats().node_snapshots()[0].reads;
+        assert!(reads <= 3, "expected ≤3 READs per Get, saw {reads}");
+        assert!(reads >= 2);
+    }
+
+    #[test]
+    fn fc_cache_reduces_faa_traffic() {
+        let cache = small_cache(1_000);
+        let mut client = cache.client();
+        client.set(b"hot", b"x");
+        cache.pool().reset_stats();
+        for _ in 0..100 {
+            let _ = client.get(b"hot");
+        }
+        let faa = cache.pool().stats().node_snapshots()[0].faa;
+        assert!(faa <= 12, "FC cache should batch FAAs, saw {faa}");
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_corrupt_each_other() {
+        let cache = small_cache(2_000);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    let mut client = cache.client();
+                    for i in 0..300u64 {
+                        let key = format!("t{t}-key{i}");
+                        client.set(key.as_bytes(), key.as_bytes());
+                    }
+                    for i in 0..300u64 {
+                        let key = format!("t{t}-key{i}");
+                        if let Some(v) = client.get(key.as_bytes()) {
+                            assert_eq!(v, key.as_bytes(), "corrupted value for {key}");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.stats().snapshot().hits > 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Configuration of the Ditto cache.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::DittoCache`].
+///
+/// The defaults follow §5.1 of the paper: 5-object eviction samples, a
+/// frequency-counter threshold of 10 with a 10 MB client-side cache, a
+/// learning rate of 0.1, weight synchronisation every 100 local updates, and
+/// an eviction history as long as the cache (in objects).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DittoConfig {
+    /// Cache capacity in objects; the memory pool is sized so that roughly
+    /// this many objects fit before allocations fail and evictions start.
+    pub capacity_objects: u64,
+    /// Expected object size in bytes (value only), used to size the pool.
+    pub avg_object_size: u32,
+    /// Extra bytes per object (key + object header), used to size the pool.
+    pub object_overhead_bytes: u32,
+    /// Hash-table slots allocated per cached object (live + history slots).
+    pub slots_per_object: f64,
+    /// Number of objects sampled per eviction (K).
+    pub sample_size: usize,
+    /// Length of the logical FIFO eviction history; 0 means "equal to
+    /// `capacity_objects`" (the paper's setting).
+    pub history_size: u64,
+    /// Frequency-counter cache flush threshold *t*.
+    pub fc_threshold: u64,
+    /// Frequency-counter cache size in megabytes.
+    pub fc_cache_mb: f64,
+    /// Regret-minimisation learning rate λ.
+    pub learning_rate: f64,
+    /// Number of locally buffered weight updates before syncing with the
+    /// memory-node controller.
+    pub weight_sync_batch: usize,
+    /// Names of the expert caching algorithms (see `ditto_algorithms::registry`).
+    pub experts: Vec<String>,
+    /// Run the distributed adaptive caching scheme.  When `false` the cache
+    /// uses only `experts[0]` and skips the history/weight machinery
+    /// (the paper's Ditto-LRU / Ditto-LFU configurations).
+    pub adaptive: bool,
+    /// Ablation toggle: store default metadata inside the hash-table slot
+    /// (the sample-friendly hash table, §4.2.1).  Disabling it models
+    /// metadata scattered with the objects.
+    pub enable_sample_friendly_table: bool,
+    /// Ablation toggle: embed history entries in the hash table (§4.3.1).
+    /// Disabling it models a separate remote FIFO queue plus index.
+    pub enable_lightweight_history: bool,
+    /// Ablation toggle: batch expert-weight updates (§4.3.2).  Disabling it
+    /// synchronises with the controller on every regret.
+    pub enable_lazy_weight_update: bool,
+    /// Ablation toggle: client-side frequency-counter cache (§4.2.2).
+    pub enable_fc_cache: bool,
+    /// How many misses may elapse before a client refreshes its cached copy
+    /// of the global history counter.
+    pub history_counter_refresh: u64,
+    /// Segment size (in objects) requested from the memory node at a time by
+    /// each client's allocator.
+    pub alloc_segment_objects: u64,
+}
+
+impl Default for DittoConfig {
+    fn default() -> Self {
+        DittoConfig {
+            capacity_objects: 100_000,
+            avg_object_size: 256,
+            object_overhead_bytes: 32,
+            slots_per_object: 3.0,
+            sample_size: 5,
+            history_size: 0,
+            fc_threshold: 10,
+            fc_cache_mb: 10.0,
+            learning_rate: 0.1,
+            weight_sync_batch: 100,
+            experts: vec!["lru".to_string(), "lfu".to_string()],
+            adaptive: true,
+            enable_sample_friendly_table: true,
+            enable_lightweight_history: true,
+            enable_lazy_weight_update: true,
+            enable_fc_cache: true,
+            history_counter_refresh: 256,
+            alloc_segment_objects: 16,
+        }
+    }
+}
+
+impl DittoConfig {
+    /// Default configuration with the given object capacity.
+    pub fn with_capacity(capacity_objects: u64) -> Self {
+        DittoConfig {
+            capacity_objects: capacity_objects.max(1),
+            ..DittoConfig::default()
+        }
+    }
+
+    /// A non-adaptive configuration running a single caching algorithm
+    /// (e.g. the paper's Ditto-LRU baseline).
+    pub fn single_algorithm(capacity_objects: u64, algorithm: &str) -> Self {
+        DittoConfig {
+            capacity_objects: capacity_objects.max(1),
+            experts: vec![algorithm.to_string()],
+            adaptive: false,
+            ..DittoConfig::default()
+        }
+    }
+
+    /// Sets the expert list (builder style) and enables adaptive caching.
+    pub fn with_experts<S: Into<String>>(mut self, experts: Vec<S>) -> Self {
+        self.experts = experts.into_iter().map(Into::into).collect();
+        self.adaptive = self.experts.len() > 1;
+        self
+    }
+
+    /// Sets the average object size (builder style).
+    pub fn with_object_size(mut self, bytes: u32) -> Self {
+        self.avg_object_size = bytes;
+        self
+    }
+
+    /// Sets the sample size K (builder style).
+    pub fn with_sample_size(mut self, k: usize) -> Self {
+        self.sample_size = k.max(1);
+        self
+    }
+
+    /// Effective history length (resolves the "0 = capacity" default).
+    pub fn history_len(&self) -> u64 {
+        if self.history_size == 0 {
+            self.capacity_objects
+        } else {
+            self.history_size
+        }
+    }
+
+    /// Number of 64-byte blocks an average object occupies.
+    pub fn avg_object_blocks(&self) -> u64 {
+        ((self.avg_object_size + self.object_overhead_bytes) as u64).div_ceil(64)
+    }
+
+    /// Maximum number of entries the frequency-counter cache may hold
+    /// (each entry is accounted at 32 bytes, per §5.6).
+    pub fn fc_capacity_entries(&self) -> usize {
+        ((self.fc_cache_mb * 1_000_000.0) / 32.0).max(1.0) as usize
+    }
+
+    /// Number of hash-table buckets, rounded up to a power of two.
+    pub fn num_buckets(&self) -> u64 {
+        let slots = (self.capacity_objects as f64 * self.slots_per_object).ceil() as u64;
+        let buckets = slots.div_ceil(crate::slot::SLOTS_PER_BUCKET as u64);
+        buckets.next_power_of_two().max(4)
+    }
+
+    /// The LeCaR discount rate `d = 0.005^(1/N)` where `N` is the history
+    /// length.
+    pub fn discount_rate(&self) -> f64 {
+        0.005_f64.powf(1.0 / self.history_len().max(1) as f64)
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.experts.is_empty() {
+            return Err("at least one expert algorithm is required".to_string());
+        }
+        if self.adaptive && self.experts.len() < 2 {
+            return Err("adaptive caching needs at least two experts".to_string());
+        }
+        if self.experts.len() > 64 {
+            return Err("the expert bitmap supports at most 64 experts".to_string());
+        }
+        if self.sample_size == 0 {
+            return Err("sample_size must be at least 1".to_string());
+        }
+        if !(0.0..=10.0).contains(&self.learning_rate) {
+            return Err("learning_rate out of range".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = DittoConfig::default();
+        assert_eq!(c.sample_size, 5);
+        assert_eq!(c.fc_threshold, 10);
+        assert_eq!(c.fc_cache_mb, 10.0);
+        assert_eq!(c.learning_rate, 0.1);
+        assert_eq!(c.weight_sync_batch, 100);
+        assert_eq!(c.experts, vec!["lru", "lfu"]);
+        assert!(c.adaptive);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn history_defaults_to_capacity() {
+        let c = DittoConfig::with_capacity(5_000);
+        assert_eq!(c.history_len(), 5_000);
+        let c = DittoConfig {
+            history_size: 123,
+            ..c
+        };
+        assert_eq!(c.history_len(), 123);
+    }
+
+    #[test]
+    fn single_algorithm_disables_adaptivity() {
+        let c = DittoConfig::single_algorithm(1_000, "lfu");
+        assert!(!c.adaptive);
+        assert_eq!(c.experts, vec!["lfu"]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn num_buckets_is_a_power_of_two_and_large_enough() {
+        let c = DittoConfig::with_capacity(10_000);
+        let buckets = c.num_buckets();
+        assert!(buckets.is_power_of_two());
+        assert!(buckets * crate::slot::SLOTS_PER_BUCKET as u64 >= 30_000);
+    }
+
+    #[test]
+    fn discount_rate_is_below_one() {
+        let c = DittoConfig::with_capacity(1_000);
+        let d = c.discount_rate();
+        assert!(d > 0.9 && d < 1.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = DittoConfig::default();
+        c.experts.clear();
+        assert!(c.validate().is_err());
+
+        let c = DittoConfig {
+            adaptive: true,
+            experts: vec!["lru".to_string()],
+            ..DittoConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = DittoConfig {
+            sample_size: 0,
+            ..DittoConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn object_blocks_account_for_overhead() {
+        let c = DittoConfig::default();
+        // 256 B value + 32 B overhead = 288 B → 5 blocks.
+        assert_eq!(c.avg_object_blocks(), 5);
+    }
+
+    #[test]
+    fn with_experts_enables_adaptivity_for_multiple() {
+        let c = DittoConfig::with_capacity(10).with_experts(vec!["lru", "lfu", "fifo"]);
+        assert!(c.adaptive);
+        assert_eq!(c.experts.len(), 3);
+        let c = DittoConfig::with_capacity(10).with_experts(vec!["gdsf"]);
+        assert!(!c.adaptive);
+    }
+}

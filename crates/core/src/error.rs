@@ -1,0 +1,68 @@
+//! Error type of the Ditto cache.
+
+use ditto_dm::DmError;
+use std::fmt;
+
+/// Result alias for cache operations.
+pub type CacheResult<T> = Result<T, CacheError>;
+
+/// Errors reported while building or operating a Ditto cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// An expert algorithm name could not be resolved.
+    UnknownAlgorithm(String),
+    /// The underlying DM substrate reported an error.
+    Dm(DmError),
+    /// An object exceeds the maximum representable size class.
+    ObjectTooLarge {
+        /// Requested object size in bytes (key + value + headers).
+        bytes: usize,
+        /// Maximum supported size in bytes.
+        max: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
+            CacheError::UnknownAlgorithm(name) => write!(f, "unknown caching algorithm: {name}"),
+            CacheError::Dm(e) => write!(f, "disaggregated-memory error: {e}"),
+            CacheError::ObjectTooLarge { bytes, max } => {
+                write!(f, "object of {bytes} bytes exceeds the maximum of {max} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<DmError> for CacheError {
+    fn from(e: DmError) -> Self {
+        CacheError::Dm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CacheError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CacheError::UnknownAlgorithm("zap".into())
+            .to_string()
+            .contains("zap"));
+        assert!(CacheError::ObjectTooLarge { bytes: 10, max: 5 }
+            .to_string()
+            .contains("10"));
+    }
+
+    #[test]
+    fn dm_errors_convert() {
+        let e: CacheError = DmError::NoSuchNode { mn_id: 3 }.into();
+        assert!(matches!(e, CacheError::Dm(DmError::NoSuchNode { mn_id: 3 })));
+    }
+}

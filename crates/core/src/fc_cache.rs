@@ -1,0 +1,183 @@
+//! The client-side frequency-counter (FC) cache (§4.2.2).
+//!
+//! Updating the stateful `freq` counter normally costs one `RDMA_FAA` per
+//! access, which both consumes the memory node's RNIC message rate and
+//! contends on the RNIC's internal atomics locks.  Borrowing the
+//! write-combining idea from modern CPUs, the FC cache buffers the increments
+//! per hash-table slot and only issues an `RDMA_FAA` when
+//!
+//! * an entry's buffered delta reaches the threshold *t*, or
+//! * the cache is full and the entry with the oldest insertion time is
+//!   evicted to make room.
+
+use ditto_dm::RemoteAddr;
+use std::collections::HashMap;
+
+/// One pending flush: the frequency-field address and the buffered delta.
+pub type FcFlush = (RemoteAddr, u64);
+
+#[derive(Debug, Clone, Copy)]
+struct FcEntry {
+    delta: u64,
+    inserted_seq: u64,
+}
+
+/// Client-local write-combining buffer for frequency-counter updates.
+#[derive(Debug)]
+pub struct FcCache {
+    entries: HashMap<u64, FcEntry>,
+    threshold: u64,
+    capacity: usize,
+    seq: u64,
+}
+
+impl FcCache {
+    /// Creates an FC cache flushing at `threshold` increments and holding at
+    /// most `capacity` distinct entries.
+    pub fn new(threshold: u64, capacity: usize) -> Self {
+        FcCache {
+            entries: HashMap::new(),
+            threshold: threshold.max(1),
+            capacity: capacity.max(1),
+            seq: 0,
+        }
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total buffered (unflushed) increments.
+    pub fn buffered_increments(&self) -> u64 {
+        self.entries.values().map(|e| e.delta).sum()
+    }
+
+    /// Records one access to the frequency counter at `freq_addr`.
+    ///
+    /// Returns the flushes (at most two) the caller must apply with
+    /// `RDMA_FAA`: one when this entry reached the threshold, and possibly
+    /// one for an entry evicted to make room.
+    pub fn record(&mut self, freq_addr: RemoteAddr) -> Vec<FcFlush> {
+        let key = freq_addr.pack();
+        let mut flushes = Vec::new();
+        self.seq += 1;
+        let seq = self.seq;
+
+        let entry = self.entries.entry(key).or_insert(FcEntry {
+            delta: 0,
+            inserted_seq: seq,
+        });
+        entry.delta += 1;
+        if entry.delta >= self.threshold {
+            flushes.push((freq_addr, entry.delta));
+            self.entries.remove(&key);
+        } else if self.entries.len() > self.capacity {
+            // Evict the entry with the earliest insertion time (FIFO), as the
+            // paper prescribes.
+            if let Some((&oldest_key, _)) = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.inserted_seq)
+            {
+                let evicted = self.entries.remove(&oldest_key).expect("entry exists");
+                flushes.push((RemoteAddr::unpack(oldest_key), evicted.delta));
+            }
+        }
+        flushes
+    }
+
+    /// Drains every buffered entry (e.g. at the end of an experiment) so no
+    /// increments are lost.
+    pub fn flush_all(&mut self) -> Vec<FcFlush> {
+        let mut out: Vec<FcFlush> = self
+            .entries
+            .drain()
+            .map(|(k, e)| (RemoteAddr::unpack(k), e.delta))
+            .collect();
+        out.sort_by_key(|(addr, _)| addr.pack());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u64) -> RemoteAddr {
+        RemoteAddr::new(0, 1_000 + i * 40)
+    }
+
+    #[test]
+    fn flushes_when_threshold_reached() {
+        let mut fc = FcCache::new(3, 100);
+        assert!(fc.record(addr(1)).is_empty());
+        assert!(fc.record(addr(1)).is_empty());
+        let flushes = fc.record(addr(1));
+        assert_eq!(flushes, vec![(addr(1), 3)]);
+        assert!(fc.is_empty());
+    }
+
+    #[test]
+    fn reduces_faa_count_by_threshold_factor() {
+        let mut fc = FcCache::new(10, 100);
+        let mut faas = 0;
+        for _ in 0..1_000 {
+            faas += fc.record(addr(7)).len();
+        }
+        assert_eq!(faas, 100, "1000 accesses with t=10 must yield 100 FAAs");
+    }
+
+    #[test]
+    fn capacity_overflow_evicts_oldest_entry() {
+        let mut fc = FcCache::new(100, 2);
+        assert!(fc.record(addr(1)).is_empty());
+        assert!(fc.record(addr(2)).is_empty());
+        // Inserting a third distinct entry evicts the oldest (addr 1).
+        let flushes = fc.record(addr(3));
+        assert_eq!(flushes, vec![(addr(1), 1)]);
+        assert_eq!(fc.len(), 2);
+    }
+
+    #[test]
+    fn flush_all_drains_every_entry() {
+        let mut fc = FcCache::new(100, 10);
+        fc.record(addr(1));
+        fc.record(addr(1));
+        fc.record(addr(2));
+        let mut flushes = fc.flush_all();
+        flushes.sort_by_key(|(a, _)| a.offset);
+        assert_eq!(flushes, vec![(addr(1), 2), (addr(2), 1)]);
+        assert!(fc.is_empty());
+        assert_eq!(fc.buffered_increments(), 0);
+    }
+
+    #[test]
+    fn no_increment_is_ever_lost() {
+        let mut fc = FcCache::new(5, 3);
+        let mut flushed = 0u64;
+        let accesses = 10_000u64;
+        for i in 0..accesses {
+            for (_, delta) in fc.record(addr(i % 7)) {
+                flushed += delta;
+            }
+        }
+        for (_, delta) in fc.flush_all() {
+            flushed += delta;
+        }
+        assert_eq!(flushed, accesses);
+    }
+
+    #[test]
+    fn threshold_one_behaves_like_no_cache() {
+        let mut fc = FcCache::new(1, 100);
+        let flushes = fc.record(addr(4));
+        assert_eq!(flushes, vec![(addr(4), 1)]);
+    }
+}

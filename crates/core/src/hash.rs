@@ -1,0 +1,65 @@
+//! Key hashing used by the sample-friendly hash table.
+
+/// 64-bit FNV-1a hash of a byte string.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Finalisation mix (splitmix64) so low bits are well distributed even for
+    // short keys.
+    mix64(h)
+}
+
+/// A second, independent hash used for the alternative bucket choice.
+pub fn secondary_hash(hash: u64) -> u64 {
+    mix64(hash ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// The 1-byte fingerprint stored in the slot's atomic field.
+pub fn fingerprint(hash: u64) -> u8 {
+    (hash >> 56) as u8
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_discriminating() {
+        assert_eq!(fnv1a64(b"user1"), fnv1a64(b"user1"));
+        assert_ne!(fnv1a64(b"user1"), fnv1a64(b"user2"));
+        assert_ne!(fnv1a64(b""), fnv1a64(b"\0"));
+    }
+
+    #[test]
+    fn secondary_hash_differs_from_primary() {
+        let h = fnv1a64(b"user42");
+        assert_ne!(secondary_hash(h), h);
+        assert_eq!(secondary_hash(h), secondary_hash(h));
+    }
+
+    #[test]
+    fn fingerprint_is_top_byte() {
+        let h = 0xAB00_0000_0000_0001u64;
+        assert_eq!(fingerprint(h), 0xAB);
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        // Sequential keys must not collide in the low bits (bucket index).
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..1_000u64 {
+            let key = format!("user{i:016}");
+            buckets.insert(fnv1a64(key.as_bytes()) % 256);
+        }
+        assert!(buckets.len() > 200, "only {} distinct buckets", buckets.len());
+    }
+}

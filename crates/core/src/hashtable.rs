@@ -1,0 +1,263 @@
+//! The sample-friendly hash table (§4.2.1).
+//!
+//! The table lives in the memory pool; this struct is a cheap client-side
+//! descriptor (base address plus geometry).  Storing the default access
+//! metadata next to the slot pointer is what allows
+//!
+//! * eviction candidates to be sampled with a *single* `RDMA_READ` of
+//!   consecutive slots, and
+//! * access information to be updated with one `RDMA_WRITE` (stateless
+//!   fields) plus one `RDMA_FAA` (the stateful frequency counter).
+
+use crate::hash::{fnv1a64, secondary_hash};
+use crate::slot::{Slot, BUCKET_SIZE, SLOTS_PER_BUCKET, SLOT_SIZE};
+use ditto_dm::{DmClient, DmResult, MemoryPool, RemoteAddr};
+use rand::Rng;
+
+/// Client-side descriptor of the remote hash table.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleFriendlyHashTable {
+    base: RemoteAddr,
+    num_buckets: u64,
+}
+
+impl SampleFriendlyHashTable {
+    /// Reserves and initialises a table with `num_buckets` buckets (rounded
+    /// up to a power of two) on memory node 0.
+    pub fn create(pool: &MemoryPool, num_buckets: u64) -> DmResult<Self> {
+        let num_buckets = num_buckets.next_power_of_two().max(4);
+        let bytes = num_buckets * BUCKET_SIZE as u64;
+        let base = pool.reserve(bytes)?;
+        Ok(SampleFriendlyHashTable { base, num_buckets })
+    }
+
+    /// Re-creates a descriptor from its parts (e.g. when sharing the table
+    /// address across processes).
+    pub fn from_parts(base: RemoteAddr, num_buckets: u64) -> Self {
+        SampleFriendlyHashTable { base, num_buckets }
+    }
+
+    /// Base address of the table.
+    pub fn base(&self) -> RemoteAddr {
+        self.base
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> u64 {
+        self.num_buckets
+    }
+
+    /// Total number of slots.
+    pub fn num_slots(&self) -> u64 {
+        self.num_buckets * SLOTS_PER_BUCKET as u64
+    }
+
+    /// Total size of the table in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.num_buckets * BUCKET_SIZE as u64
+    }
+
+    /// Hash of a key as used by the table.
+    pub fn hash_key(key: &[u8]) -> u64 {
+        fnv1a64(key)
+    }
+
+    /// Primary bucket index for a key hash.
+    pub fn primary_bucket(&self, hash: u64) -> u64 {
+        hash & (self.num_buckets - 1)
+    }
+
+    /// Secondary (alternative) bucket index for a key hash.
+    pub fn secondary_bucket(&self, hash: u64) -> u64 {
+        let idx = secondary_hash(hash) & (self.num_buckets - 1);
+        if idx == self.primary_bucket(hash) {
+            (idx + 1) & (self.num_buckets - 1)
+        } else {
+            idx
+        }
+    }
+
+    /// Address of bucket `bucket_idx`.
+    pub fn bucket_addr(&self, bucket_idx: u64) -> RemoteAddr {
+        self.base.add((bucket_idx % self.num_buckets) * BUCKET_SIZE as u64)
+    }
+
+    /// Address of slot `slot_idx` within bucket `bucket_idx`.
+    pub fn slot_addr(&self, bucket_idx: u64, slot_idx: usize) -> RemoteAddr {
+        self.bucket_addr(bucket_idx).add((slot_idx % SLOTS_PER_BUCKET) as u64 * SLOT_SIZE as u64)
+    }
+
+    /// Address of the slot with global index `global_idx` (row-major order).
+    pub fn global_slot_addr(&self, global_idx: u64) -> RemoteAddr {
+        let idx = global_idx % self.num_slots();
+        self.base.add(idx * SLOT_SIZE as u64)
+    }
+
+    /// Reads and decodes one bucket with a single `RDMA_READ`.
+    pub fn read_bucket(&self, client: &DmClient, bucket_idx: u64) -> Vec<(RemoteAddr, Slot)> {
+        let addr = self.bucket_addr(bucket_idx);
+        let bytes = client.read(addr, BUCKET_SIZE);
+        (0..SLOTS_PER_BUCKET)
+            .map(|i| {
+                (
+                    addr.add((i * SLOT_SIZE) as u64),
+                    Slot::from_bytes(&bytes[i * SLOT_SIZE..(i + 1) * SLOT_SIZE]),
+                )
+            })
+            .collect()
+    }
+
+    /// Reads `count` consecutive slots starting at a random position with a
+    /// single `RDMA_READ` — the sampling primitive of the client-centric
+    /// caching framework.
+    pub fn read_sample<R: Rng + ?Sized>(
+        &self,
+        client: &DmClient,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<(RemoteAddr, Slot)> {
+        let count = count.clamp(1, self.num_slots() as usize);
+        // Keep the read within the table by clamping the starting slot.
+        let max_start = self.num_slots() - count as u64;
+        let start = if max_start == 0 {
+            0
+        } else {
+            rng.gen_range(0..=max_start)
+        };
+        let addr = self.global_slot_addr(start);
+        let bytes = client.read(addr, count * SLOT_SIZE);
+        (0..count)
+            .map(|i| {
+                (
+                    addr.add((i * SLOT_SIZE) as u64),
+                    Slot::from_bytes(&bytes[i * SLOT_SIZE..(i + 1) * SLOT_SIZE]),
+                )
+            })
+            .collect()
+    }
+
+    /// Address of the atomic field of the slot at `slot_addr`.
+    pub fn atomic_addr(slot_addr: RemoteAddr) -> RemoteAddr {
+        slot_addr
+    }
+
+    /// Address of the hash field of the slot at `slot_addr`.
+    pub fn hash_addr(slot_addr: RemoteAddr) -> RemoteAddr {
+        slot_addr.add(crate::slot::OFF_HASH)
+    }
+
+    /// Address of the insert-timestamp field of the slot at `slot_addr`.
+    pub fn insert_ts_addr(slot_addr: RemoteAddr) -> RemoteAddr {
+        slot_addr.add(crate::slot::OFF_INSERT_TS)
+    }
+
+    /// Address of the last-access-timestamp field of the slot at `slot_addr`.
+    pub fn last_ts_addr(slot_addr: RemoteAddr) -> RemoteAddr {
+        slot_addr.add(crate::slot::OFF_LAST_TS)
+    }
+
+    /// Address of the frequency field of the slot at `slot_addr`.
+    pub fn freq_addr(slot_addr: RemoteAddr) -> RemoteAddr {
+        slot_addr.add(crate::slot::OFF_FREQ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::AtomicField;
+    use ditto_dm::DmConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MemoryPool, SampleFriendlyHashTable) {
+        let pool = MemoryPool::new(DmConfig::small());
+        let table = SampleFriendlyHashTable::create(&pool, 64).unwrap();
+        (pool, table)
+    }
+
+    #[test]
+    fn geometry_is_power_of_two() {
+        let (_pool, table) = setup();
+        assert_eq!(table.num_buckets(), 64);
+        assert_eq!(table.num_slots(), 64 * 8);
+        assert_eq!(table.size_bytes(), 64 * 320);
+    }
+
+    #[test]
+    fn create_rounds_bucket_count_up() {
+        let pool = MemoryPool::new(DmConfig::small());
+        let table = SampleFriendlyHashTable::create(&pool, 100).unwrap();
+        assert_eq!(table.num_buckets(), 128);
+    }
+
+    #[test]
+    fn bucket_indices_stay_in_range_and_differ() {
+        let (_pool, table) = setup();
+        for key in 0..500u64 {
+            let h = SampleFriendlyHashTable::hash_key(&key.to_le_bytes());
+            let p = table.primary_bucket(h);
+            let s = table.secondary_bucket(h);
+            assert!(p < table.num_buckets());
+            assert!(s < table.num_buckets());
+            assert_ne!(p, s, "primary and secondary bucket must differ");
+        }
+    }
+
+    #[test]
+    fn slot_addresses_are_disjoint_and_aligned() {
+        let (_pool, table) = setup();
+        let a = table.slot_addr(0, 0);
+        let b = table.slot_addr(0, 1);
+        let c = table.slot_addr(1, 0);
+        assert_eq!(b.offset - a.offset, SLOT_SIZE as u64);
+        assert_eq!(c.offset - a.offset, BUCKET_SIZE as u64);
+        assert_eq!(a.offset % 8, 0);
+    }
+
+    #[test]
+    fn read_bucket_roundtrips_written_slot() {
+        let (pool, table) = setup();
+        let client = pool.connect();
+        let slot = Slot {
+            atomic: AtomicField::for_object(7, 4, RemoteAddr::new(0, 640)),
+            hash: 42,
+            insert_ts: 1,
+            last_ts: 2,
+            freq: 3,
+        };
+        let addr = table.slot_addr(5, 3);
+        client.write(addr, &slot.to_bytes());
+        let bucket = table.read_bucket(&client, 5);
+        assert_eq!(bucket.len(), SLOTS_PER_BUCKET);
+        assert_eq!(bucket[3].1, slot);
+        assert_eq!(bucket[3].0, addr);
+        assert!(bucket[0].1.atomic.is_empty());
+    }
+
+    #[test]
+    fn sampling_uses_one_read_and_returns_count_slots() {
+        let (pool, table) = setup();
+        let client = pool.connect();
+        let mut rng = StdRng::seed_from_u64(1);
+        pool.reset_stats();
+        let sample = table.read_sample(&client, &mut rng, 5);
+        assert_eq!(sample.len(), 5);
+        assert_eq!(pool.stats().node_snapshots()[0].reads, 1);
+        // Sampled addresses are consecutive slots inside the table.
+        for pair in sample.windows(2) {
+            assert_eq!(pair[1].0.offset - pair[0].0.offset, SLOT_SIZE as u64);
+        }
+        let last = sample.last().unwrap().0.offset + SLOT_SIZE as u64;
+        assert!(last <= table.base().offset + table.size_bytes());
+    }
+
+    #[test]
+    fn field_addresses_match_layout() {
+        let slot = RemoteAddr::new(0, 1_000);
+        assert_eq!(SampleFriendlyHashTable::hash_addr(slot).offset, 1_008);
+        assert_eq!(SampleFriendlyHashTable::insert_ts_addr(slot).offset, 1_016);
+        assert_eq!(SampleFriendlyHashTable::last_ts_addr(slot).offset, 1_024);
+        assert_eq!(SampleFriendlyHashTable::freq_addr(slot).offset, 1_032);
+    }
+}

@@ -1,0 +1,176 @@
+//! The lightweight eviction history (§4.3.1).
+//!
+//! History entries are *embedded* in hash-table slots (see
+//! [`crate::slot::AtomicField::for_history`]); this module provides the
+//! logical-FIFO machinery around them: the 48-bit global history counter,
+//! client-side expiration checks and the expert bitmap stored in the
+//! `insert_ts` field of a history slot.
+
+use ditto_dm::{DmClient, DmResult, MemoryPool, RemoteAddr};
+
+/// Number of bits of the circular global history counter.
+pub const HISTORY_COUNTER_BITS: u32 = 48;
+/// Wrap-around period of the history counter.
+pub const HISTORY_COUNTER_PERIOD: u64 = 1 << HISTORY_COUNTER_BITS;
+
+/// Client-side descriptor of the logical FIFO eviction history.
+#[derive(Debug, Clone, Copy)]
+pub struct EvictionHistory {
+    counter_addr: RemoteAddr,
+    capacity: u64,
+}
+
+impl EvictionHistory {
+    /// Reserves the global history counter in the memory pool.
+    pub fn create(pool: &MemoryPool, capacity: u64) -> DmResult<Self> {
+        let counter_addr = pool.reserve(8)?;
+        Ok(EvictionHistory {
+            counter_addr,
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// Builds a descriptor from its parts.
+    pub fn from_parts(counter_addr: RemoteAddr, capacity: u64) -> Self {
+        EvictionHistory {
+            counter_addr,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Address of the global history counter.
+    pub fn counter_addr(&self) -> RemoteAddr {
+        self.counter_addr
+    }
+
+    /// Capacity (length) of the logical FIFO queue.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Acquires a fresh history id with one `RDMA_FAA` and returns it along
+    /// with the counter value *after* the increment (the client's new local
+    /// estimate of the queue tail).
+    pub fn acquire_id(&self, client: &DmClient) -> (u64, u64) {
+        let old = client.faa(self.counter_addr, 1) % HISTORY_COUNTER_PERIOD;
+        (old, (old + 1) % HISTORY_COUNTER_PERIOD)
+    }
+
+    /// Reads the current value of the global history counter (one
+    /// `RDMA_READ`); used to refresh a client's local estimate.
+    pub fn read_counter(&self, client: &DmClient) -> u64 {
+        client.read_u64(self.counter_addr) % HISTORY_COUNTER_PERIOD
+    }
+
+    /// Number of entries between `entry_id` and the queue tail
+    /// `counter_value`, accounting for counter wrap-around.
+    pub fn position(&self, counter_value: u64, entry_id: u64) -> u64 {
+        let counter_value = counter_value % HISTORY_COUNTER_PERIOD;
+        let entry_id = entry_id % HISTORY_COUNTER_PERIOD;
+        if counter_value >= entry_id {
+            counter_value - entry_id
+        } else {
+            counter_value + HISTORY_COUNTER_PERIOD - entry_id
+        }
+    }
+
+    /// Whether the entry with `entry_id` is still inside the logical FIFO
+    /// queue, given the client's estimate of the global counter.
+    pub fn is_valid(&self, counter_value: u64, entry_id: u64) -> bool {
+        self.position(counter_value, entry_id) <= self.capacity
+    }
+}
+
+/// Expert bitmaps stored in the `insert_ts` field of history entries.
+pub mod expert_bitmap {
+    /// Sets bit `expert` in `bitmap`.
+    pub fn with_expert(bitmap: u64, expert: usize) -> u64 {
+        bitmap | (1u64 << (expert % 64))
+    }
+
+    /// Whether bit `expert` is set.
+    pub fn contains(bitmap: u64, expert: usize) -> bool {
+        bitmap & (1u64 << (expert % 64)) != 0
+    }
+
+    /// Iterates over the experts present in the bitmap.
+    pub fn experts(bitmap: u64) -> impl Iterator<Item = usize> {
+        (0..64usize).filter(move |i| bitmap & (1u64 << i) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_dm::DmConfig;
+
+    fn setup(capacity: u64) -> (MemoryPool, EvictionHistory) {
+        let pool = MemoryPool::new(DmConfig::small());
+        let history = EvictionHistory::create(&pool, capacity).unwrap();
+        (pool, history)
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let (pool, history) = setup(10);
+        let client = pool.connect();
+        let (a, next_a) = history.acquire_id(&client);
+        let (b, _) = history.acquire_id(&client);
+        assert_eq!(a, 0);
+        assert_eq!(next_a, 1);
+        assert_eq!(b, 1);
+        assert_eq!(history.read_counter(&client), 2);
+    }
+
+    #[test]
+    fn validity_window_is_capacity_entries() {
+        let (_pool, history) = setup(10);
+        assert!(history.is_valid(5, 0));
+        assert!(history.is_valid(10, 0));
+        assert!(!history.is_valid(11, 0));
+        assert_eq!(history.position(11, 0), 11);
+    }
+
+    #[test]
+    fn wraparound_is_handled() {
+        let (_pool, history) = setup(10);
+        let near_wrap = HISTORY_COUNTER_PERIOD - 3;
+        // Counter wrapped to 2; the entry was issued 5 positions ago.
+        assert_eq!(history.position(2, near_wrap), 5);
+        assert!(history.is_valid(2, near_wrap));
+        assert!(!history.is_valid(20, near_wrap));
+    }
+
+    #[test]
+    fn bitmap_roundtrip() {
+        use expert_bitmap::*;
+        let b = with_expert(with_expert(0, 0), 5);
+        assert!(contains(b, 0));
+        assert!(contains(b, 5));
+        assert!(!contains(b, 1));
+        assert_eq!(experts(b).collect::<Vec<_>>(), vec![0, 5]);
+    }
+
+    #[test]
+    fn concurrent_id_acquisition_yields_unique_ids() {
+        let (pool, history) = setup(100);
+        let mut all: Vec<u64> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pool = pool.clone();
+                    s.spawn(move || {
+                        let client = pool.connect();
+                        (0..250).map(|_| history.acquire_id(&client).0).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1_000);
+    }
+}

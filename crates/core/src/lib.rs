@@ -1,0 +1,54 @@
+//! Ditto: an elastic and adaptive caching system on disaggregated memory.
+//!
+//! This crate implements the paper's two contributions on top of the
+//! [`ditto_dm`] substrate:
+//!
+//! 1. the **client-centric caching framework** (§4.2) — the sample-friendly
+//!    hash table ([`hashtable`]), object layout ([`object`]), client-side
+//!    frequency-counter cache ([`fc_cache`]) and the `Get`/`Set`/eviction
+//!    data path ([`client`]) that runs arbitrary caching algorithms with only
+//!    one-sided remote-memory verbs;
+//! 2. **distributed adaptive caching** (§4.3) — the embedded lightweight
+//!    eviction history ([`history`]), regret-minimisation expert weights and
+//!    the lazy weight-update scheme ([`adaptive`]).
+//!
+//! [`sim`] additionally provides a process-local simulator that reuses the
+//! same algorithm rules and adaptive machinery for fast hit-rate sweeps.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ditto_core::{DittoCache, DittoConfig};
+//! use ditto_dm::DmConfig;
+//!
+//! let config = DittoConfig::with_capacity(10_000);
+//! let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+//! let mut client = cache.client();
+//! client.set(b"user42", b"profile-data");
+//! assert_eq!(client.get(b"user42").as_deref(), Some(&b"profile-data"[..]));
+//! ```
+
+pub mod adaptive;
+pub mod cache;
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod fc_cache;
+pub mod hash;
+pub mod hashtable;
+pub mod history;
+pub mod object;
+pub mod sim;
+pub mod slot;
+pub mod stats;
+
+pub use adaptive::{ExpertWeights, WeightService};
+pub use cache::DittoCache;
+pub use client::DittoClient;
+pub use config::DittoConfig;
+pub use error::{CacheError, CacheResult};
+pub use fc_cache::FcCache;
+pub use hashtable::SampleFriendlyHashTable;
+pub use history::EvictionHistory;
+pub use sim::{simulate_hit_rate, SimCache, SimConfig, SimStats};
+pub use stats::{CacheStats, CacheStatsSnapshot};

@@ -1,0 +1,168 @@
+//! On-memory-pool object layout.
+//!
+//! A cached object occupies a whole number of 64-byte blocks:
+//!
+//! ```text
+//! [ key_len: u16 | val_len: u32 | flags: u16 ]  -- 8-byte header
+//! [ extension metadata: EXT_WORDS × 8 bytes  ]  -- only when an expert needs it (§4.4)
+//! [ key bytes ][ value bytes ][ padding to 64 ]
+//! ```
+
+use ditto_algorithms::EXT_WORDS;
+
+/// Size of the fixed object header in bytes.
+pub const OBJECT_HEADER: usize = 8;
+/// Size of the optional extension-metadata header in bytes.
+pub const EXT_HEADER: usize = EXT_WORDS * 8;
+/// Flag bit recorded when the extension header is present.
+const FLAG_HAS_EXT: u16 = 1;
+
+/// Total encoded length (before block rounding) of an object.
+pub fn encoded_len(key_len: usize, value_len: usize, with_ext: bool) -> usize {
+    OBJECT_HEADER + if with_ext { EXT_HEADER } else { 0 } + key_len + value_len
+}
+
+/// Number of 64-byte blocks the object occupies.
+pub fn size_class(key_len: usize, value_len: usize, with_ext: bool) -> usize {
+    encoded_len(key_len, value_len, with_ext).div_ceil(64)
+}
+
+/// Encodes an object into its block representation.
+///
+/// # Panics
+///
+/// Panics if the key exceeds `u16::MAX` bytes or the value `u32::MAX` bytes.
+pub fn encode(key: &[u8], value: &[u8], with_ext: bool, ext: &[u64; EXT_WORDS]) -> Vec<u8> {
+    assert!(key.len() <= u16::MAX as usize, "key too long");
+    assert!(value.len() <= u32::MAX as usize, "value too long");
+    let len = encoded_len(key.len(), value.len(), with_ext);
+    let padded = len.div_ceil(64) * 64;
+    let mut out = vec![0u8; padded];
+    out[0..2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    out[2..6].copy_from_slice(&(value.len() as u32).to_le_bytes());
+    let flags: u16 = if with_ext { FLAG_HAS_EXT } else { 0 };
+    out[6..8].copy_from_slice(&flags.to_le_bytes());
+    let mut cursor = OBJECT_HEADER;
+    if with_ext {
+        for (i, word) in ext.iter().enumerate() {
+            out[cursor + i * 8..cursor + i * 8 + 8].copy_from_slice(&word.to_le_bytes());
+        }
+        cursor += EXT_HEADER;
+    }
+    out[cursor..cursor + key.len()].copy_from_slice(key);
+    cursor += key.len();
+    out[cursor..cursor + value.len()].copy_from_slice(value);
+    out
+}
+
+/// A decoded object view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedObject {
+    /// The stored key.
+    pub key: Vec<u8>,
+    /// The stored value.
+    pub value: Vec<u8>,
+    /// The extension metadata words (zero when absent).
+    pub ext: [u64; EXT_WORDS],
+    /// Whether an extension header was present.
+    pub has_ext: bool,
+}
+
+/// Decodes an object from the bytes read out of the memory pool.
+///
+/// Returns `None` if the header is inconsistent with the available bytes
+/// (e.g. the slot raced with an eviction and the blocks were reused).
+pub fn decode(bytes: &[u8]) -> Option<DecodedObject> {
+    if bytes.len() < OBJECT_HEADER {
+        return None;
+    }
+    let key_len = u16::from_le_bytes(bytes[0..2].try_into().ok()?) as usize;
+    let val_len = u32::from_le_bytes(bytes[2..6].try_into().ok()?) as usize;
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().ok()?);
+    let has_ext = flags & FLAG_HAS_EXT != 0;
+    let mut cursor = OBJECT_HEADER;
+    let mut ext = [0u64; EXT_WORDS];
+    if has_ext {
+        if bytes.len() < cursor + EXT_HEADER {
+            return None;
+        }
+        for (i, word) in ext.iter_mut().enumerate() {
+            *word = u64::from_le_bytes(bytes[cursor + i * 8..cursor + i * 8 + 8].try_into().ok()?);
+        }
+        cursor += EXT_HEADER;
+    }
+    if bytes.len() < cursor + key_len + val_len {
+        return None;
+    }
+    let key = bytes[cursor..cursor + key_len].to_vec();
+    cursor += key_len;
+    let value = bytes[cursor..cursor + val_len].to_vec();
+    Some(DecodedObject {
+        key,
+        value,
+        ext,
+        has_ext,
+    })
+}
+
+/// Byte offset of the extension metadata inside an encoded object.
+pub fn ext_offset() -> u64 {
+    OBJECT_HEADER as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_without_extension() {
+        let bytes = encode(b"user1", b"hello world", false, &[0; EXT_WORDS]);
+        assert_eq!(bytes.len() % 64, 0);
+        let d = decode(&bytes).unwrap();
+        assert_eq!(d.key, b"user1");
+        assert_eq!(d.value, b"hello world");
+        assert!(!d.has_ext);
+    }
+
+    #[test]
+    fn roundtrip_with_extension() {
+        let ext = [1, 2, 3, 4];
+        let bytes = encode(b"k", &vec![7u8; 300], true, &ext);
+        let d = decode(&bytes).unwrap();
+        assert_eq!(d.ext, ext);
+        assert!(d.has_ext);
+        assert_eq!(d.value.len(), 300);
+    }
+
+    #[test]
+    fn size_class_matches_encoded_length() {
+        for (k, v, e) in [(5usize, 256usize, false), (20, 256, true), (1, 1, false)] {
+            let bytes = encode(&vec![b'k'; k], &vec![b'v'; v], e, &[0; EXT_WORDS]);
+            assert_eq!(bytes.len(), size_class(k, v, e) * 64);
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected() {
+        let bytes = encode(b"user1", &vec![1u8; 100], false, &[0; EXT_WORDS]);
+        assert!(decode(&bytes[..4]).is_none());
+        assert!(decode(&bytes[..16]).is_none());
+        assert!(decode(&[]).is_none());
+    }
+
+    #[test]
+    fn garbage_header_is_rejected() {
+        // A header claiming a huge value length must not panic.
+        let mut bytes = vec![0u8; 64];
+        bytes[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn empty_key_and_value_are_supported() {
+        let bytes = encode(b"", b"", false, &[0; EXT_WORDS]);
+        let d = decode(&bytes).unwrap();
+        assert!(d.key.is_empty());
+        assert!(d.value.is_empty());
+    }
+}

@@ -1,0 +1,483 @@
+//! A fast in-memory cache simulator sharing Ditto's eviction machinery.
+//!
+//! The motivation and adaptivity figures (3, 4, 5, 18, 20–22) sweep dozens of
+//! workloads × cache sizes × client counts and only need *hit rates*, not DM
+//! message counts.  [`SimCache`] reproduces Ditto's behaviour — sample-based
+//! eviction, priority functions, the FIFO eviction history and the
+//! regret-minimisation weights — on plain process memory, so those sweeps run
+//! orders of magnitude faster than the full DM data path while exercising the
+//! exact same `ditto-algorithms` rules and `ExpertWeights` logic.
+
+use crate::adaptive::ExpertWeights;
+use crate::error::{CacheError, CacheResult};
+use crate::history::expert_bitmap;
+use ditto_algorithms::{registry, AccessContext, AccessKind, CacheAlgorithm, Metadata};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Configuration of a [`SimCache`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Capacity in objects.
+    pub capacity_objects: usize,
+    /// Eviction sample size K.
+    pub sample_size: usize,
+    /// Expert algorithm names.
+    pub experts: Vec<String>,
+    /// Whether to run the adaptive scheme (otherwise `experts[0]` only).
+    pub adaptive: bool,
+    /// Regret-minimisation learning rate.
+    pub learning_rate: f64,
+    /// History length in entries (0 = same as capacity).
+    pub history_size: usize,
+    /// RNG seed for sampling and expert choice.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Adaptive LRU+LFU configuration (Ditto's default experts).
+    pub fn adaptive(capacity_objects: usize) -> Self {
+        SimConfig {
+            capacity_objects: capacity_objects.max(1),
+            sample_size: 5,
+            experts: vec!["lru".to_string(), "lfu".to_string()],
+            adaptive: true,
+            learning_rate: 0.1,
+            history_size: 0,
+            seed: 7,
+        }
+    }
+
+    /// Single fixed algorithm configuration (e.g. plain LRU).
+    pub fn single(capacity_objects: usize, algorithm: &str) -> Self {
+        SimConfig {
+            experts: vec![algorithm.to_string()],
+            adaptive: false,
+            ..SimConfig::adaptive(capacity_objects)
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn history_len(&self) -> usize {
+        if self.history_size == 0 {
+            self.capacity_objects
+        } else {
+            self.history_size
+        }
+    }
+}
+
+/// Hit/miss statistics of a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// `Get` hits.
+    pub hits: u64,
+    /// `Get` misses.
+    pub misses: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Regrets collected from the eviction history.
+    pub regrets: u64,
+}
+
+impl SimStats {
+    /// Hit rate over `Get` requests.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    metadata: Metadata,
+    value: Vec<u8>,
+    key_index: usize,
+}
+
+struct HistoryEntry {
+    id: u64,
+    bitmap: u64,
+}
+
+/// The in-memory simulator.
+pub struct SimCache {
+    config: SimConfig,
+    experts: Vec<Arc<dyn CacheAlgorithm>>,
+    weights: ExpertWeights,
+    entries: HashMap<Vec<u8>, Entry>,
+    keys: Vec<Vec<u8>>,
+    history: HashMap<Vec<u8>, HistoryEntry>,
+    history_fifo: VecDeque<Vec<u8>>,
+    history_counter: u64,
+    clock: u64,
+    rng: StdRng,
+    stats: SimStats,
+}
+
+impl SimCache {
+    /// Builds a simulator from its configuration.
+    pub fn new(config: SimConfig) -> CacheResult<Self> {
+        if config.experts.is_empty() {
+            return Err(CacheError::InvalidConfig("no experts configured".into()));
+        }
+        let mut experts = Vec::with_capacity(config.experts.len());
+        for name in &config.experts {
+            experts.push(
+                registry::by_name(name).ok_or_else(|| CacheError::UnknownAlgorithm(name.clone()))?,
+            );
+        }
+        Self::with_experts(config, experts)
+    }
+
+    /// Builds a simulator with explicitly provided expert instances — the
+    /// entry point for user-defined caching algorithms that are not part of
+    /// the built-in registry (the `custom_algorithm` example uses this).
+    pub fn with_experts(
+        config: SimConfig,
+        experts: Vec<Arc<dyn CacheAlgorithm>>,
+    ) -> CacheResult<Self> {
+        if experts.is_empty() {
+            return Err(CacheError::InvalidConfig("no experts configured".into()));
+        }
+        let discount = 0.005_f64.powf(1.0 / config.history_len().max(1) as f64);
+        let weights = ExpertWeights::new(experts.len(), config.learning_rate, discount, 1);
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(SimCache {
+            experts,
+            weights,
+            entries: HashMap::new(),
+            keys: Vec::new(),
+            history: HashMap::new(),
+            history_fifo: VecDeque::new(),
+            history_counter: 0,
+            clock: 0,
+            rng,
+            stats: SimStats::default(),
+            config,
+        })
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Current expert weights.
+    pub fn weights(&self) -> &[f64] {
+        self.weights.weights()
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn touch(&mut self, key: &[u8], kind: AccessKind) {
+        let now = self.clock;
+        if let Some(entry) = self.entries.get_mut(key) {
+            let ctx = AccessContext::at(now).with_kind(kind);
+            entry.metadata.record_access(&ctx);
+            for expert in &self.experts {
+                expert.update(&mut entry.metadata, &ctx);
+            }
+        }
+    }
+
+    fn check_regret(&mut self, key: &[u8]) {
+        let Some(entry) = self.history.get(key) else {
+            return;
+        };
+        let position = self.history_counter.saturating_sub(entry.id);
+        if position as usize > self.config.history_len() {
+            return;
+        }
+        self.stats.regrets += 1;
+        let bitmap = entry.bitmap;
+        self.weights.apply_regret(bitmap, position);
+        // Local weights are the global weights in the simulator.
+        let _ = self.weights.take_pending();
+    }
+
+    fn evict_once(&mut self) {
+        if self.keys.is_empty() {
+            return;
+        }
+        let k = self.config.sample_size.max(1).min(self.keys.len());
+        let mut candidate_idx: Vec<usize> = Vec::with_capacity(k);
+        while candidate_idx.len() < k {
+            let idx = self.rng.gen_range(0..self.keys.len());
+            if !candidate_idx.contains(&idx) {
+                candidate_idx.push(idx);
+            }
+        }
+        let now = self.clock;
+        let picks: Vec<usize> = self
+            .experts
+            .iter()
+            .map(|expert| {
+                let mut best = candidate_idx[0];
+                let mut best_priority = f64::INFINITY;
+                for &idx in &candidate_idx {
+                    let m = &self.entries[&self.keys[idx]].metadata;
+                    let p = expert.priority(m, now);
+                    if p < best_priority {
+                        best_priority = p;
+                        best = idx;
+                    }
+                }
+                best
+            })
+            .collect();
+        let chosen = if self.config.adaptive {
+            self.weights.choose_expert(&mut self.rng)
+        } else {
+            0
+        };
+        let victim_idx = picks[chosen.min(picks.len() - 1)];
+        let mut bitmap = 0u64;
+        for (i, pick) in picks.iter().enumerate() {
+            if *pick == victim_idx {
+                bitmap = expert_bitmap::with_expert(bitmap, i);
+            }
+        }
+        let victim_key = self.keys[victim_idx].clone();
+        let victim = self.entries.remove(&victim_key).expect("victim exists");
+        for (i, expert) in self.experts.iter().enumerate() {
+            if expert_bitmap::contains(bitmap, i) {
+                expert.on_evict(expert.priority(&victim.metadata, now));
+            }
+        }
+        // Remove from the key index (swap-remove, patching the moved entry).
+        let last = self.keys.len() - 1;
+        self.keys.swap(victim_idx, last);
+        self.keys.pop();
+        if victim_idx < self.keys.len() {
+            let moved_key = self.keys[victim_idx].clone();
+            if let Some(moved) = self.entries.get_mut(&moved_key) {
+                moved.key_index = victim_idx;
+            }
+        }
+        self.stats.evictions += 1;
+
+        if self.config.adaptive {
+            self.history_counter += 1;
+            self.history.insert(
+                victim_key.clone(),
+                HistoryEntry {
+                    id: self.history_counter,
+                    bitmap,
+                },
+            );
+            self.history_fifo.push_back(victim_key);
+            while self.history_fifo.len() > self.config.history_len() {
+                if let Some(expired) = self.history_fifo.pop_front() {
+                    self.history.remove(&expired);
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, key: &[u8], value: &[u8]) {
+        while self.entries.len() >= self.config.capacity_objects {
+            self.evict_once();
+        }
+        let now = self.clock;
+        let ctx = AccessContext::at(now).with_kind(AccessKind::Insert);
+        let mut metadata = Metadata::on_insert(now, value.len() as u32, &ctx);
+        for expert in &self.experts {
+            expert.update(&mut metadata, &ctx);
+        }
+        self.keys.push(key.to_vec());
+        self.entries.insert(
+            key.to_vec(),
+            Entry {
+                metadata,
+                value: value.to_vec(),
+                key_index: self.keys.len() - 1,
+            },
+        );
+        self.history.remove(key);
+    }
+}
+
+impl ditto_workloads::CacheBackend for SimCache {
+    fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.tick();
+        if self.entries.contains_key(key) {
+            self.touch(key, AccessKind::Hit);
+            self.stats.hits += 1;
+            self.entries.get(key).map(|e| e.value.clone())
+        } else {
+            self.stats.misses += 1;
+            if self.config.adaptive {
+                self.check_regret(key);
+            }
+            None
+        }
+    }
+
+    fn set(&mut self, key: &[u8], value: &[u8]) {
+        self.tick();
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.value = value.to_vec();
+            self.touch(key, AccessKind::Update);
+        } else {
+            self.insert(key, value);
+        }
+    }
+
+    fn backend_name(&self) -> &str {
+        if self.config.adaptive {
+            "sim-adaptive"
+        } else {
+            "sim-single"
+        }
+    }
+}
+
+/// Convenience: replays `requests` against a fresh simulator and returns its
+/// hit rate.
+pub fn simulate_hit_rate(
+    requests: &[ditto_workloads::Request],
+    config: SimConfig,
+) -> CacheResult<f64> {
+    let mut cache = SimCache::new(config)?;
+    let stats = ditto_workloads::replay(
+        &mut cache,
+        requests.iter().copied(),
+        ditto_workloads::ReplayOptions::default(),
+    );
+    Ok(stats.hit_rate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ditto_workloads::{replay, CacheBackend, ReplayOptions, Request};
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut cache = SimCache::new(SimConfig::single(100, "lru")).unwrap();
+        for i in 0..1_000u64 {
+            cache.set(format!("k{i}").as_bytes(), b"v");
+        }
+        assert!(cache.len() <= 100);
+        assert!(cache.stats().evictions >= 900);
+    }
+
+    #[test]
+    fn get_returns_stored_value() {
+        let mut cache = SimCache::new(SimConfig::single(10, "lru")).unwrap();
+        cache.set(b"a", b"alpha");
+        assert_eq!(cache.get(b"a").as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(cache.get(b"b"), None);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_sim_prefers_recent_keys() {
+        let mut cache = SimCache::new(SimConfig::single(50, "lru")).unwrap();
+        for i in 0..50u64 {
+            cache.set(format!("k{i}").as_bytes(), b"v");
+        }
+        // Touch the last 25 keys, then insert 25 more to force evictions.
+        for i in 25..50u64 {
+            let _ = cache.get(format!("k{i}").as_bytes());
+        }
+        for i in 100..125u64 {
+            cache.set(format!("k{i}").as_bytes(), b"v");
+        }
+        let recent: usize = (25..50u64)
+            .filter(|i| cache.get(format!("k{i}").as_bytes()).is_some())
+            .count();
+        let old: usize = (0..25u64)
+            .filter(|i| cache.get(format!("k{i}").as_bytes()).is_some())
+            .count();
+        assert!(recent > old, "recent {recent} vs old {old}");
+    }
+
+    #[test]
+    fn adaptive_sim_tracks_the_better_expert_on_lfu_friendly_work() {
+        use ditto_workloads::traces::{lfu_friendly, TraceSpec};
+        let spec = TraceSpec::new(4_000, 60_000).with_seed(3);
+        let trace = lfu_friendly(&spec);
+        let capacity = 400;
+
+        let lru = simulate_hit_rate(&trace, SimConfig::single(capacity, "lru")).unwrap();
+        let lfu = simulate_hit_rate(&trace, SimConfig::single(capacity, "lfu")).unwrap();
+        let adaptive = simulate_hit_rate(&trace, SimConfig::adaptive(capacity)).unwrap();
+        assert!(lfu > lru, "workload should be LFU-friendly: lfu={lfu} lru={lru}");
+        let floor = lru.min(lfu) - 0.02;
+        assert!(adaptive >= floor, "adaptive {adaptive} below floor {floor}");
+    }
+
+    #[test]
+    fn regrets_are_collected_in_adaptive_mode() {
+        // The history must be long enough for a cyclically re-accessed key to
+        // still be present when it comes around again.
+        let config = SimConfig {
+            history_size: 400,
+            ..SimConfig::adaptive(50)
+        };
+        let mut cache = SimCache::new(config).unwrap();
+        let requests: Vec<Request> = (0..5_000u64).map(|i| Request::get(i % 300)).collect();
+        replay(&mut cache, requests, ReplayOptions::default());
+        assert!(cache.stats().regrets > 0);
+        assert!((cache.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_algorithm_is_rejected() {
+        assert!(matches!(
+            SimCache::new(SimConfig::single(10, "belady")),
+            Err(CacheError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn replay_driver_integration() {
+        let mut cache = SimCache::new(SimConfig::single(1_000, "lru")).unwrap();
+        let requests: Vec<Request> = (0..10_000u64).map(|i| Request::get(i % 500)).collect();
+        let stats = replay(&mut cache, requests, ReplayOptions::default());
+        assert!(stats.hit_rate() > 0.9, "hit rate {}", stats.hit_rate());
+        assert_eq!(stats.hit_rate(), {
+            let s = cache.stats();
+            s.hits as f64 / (s.hits + s.misses) as f64
+        });
+    }
+
+    #[test]
+    fn eviction_updates_key_index_consistently() {
+        let mut cache = SimCache::new(SimConfig::single(20, "fifo")).unwrap();
+        for i in 0..200u64 {
+            cache.set(format!("k{i}").as_bytes(), b"v");
+            // Every entry must agree with its slot in the key vector.
+            for (idx, key) in cache.keys.iter().enumerate() {
+                assert_eq!(cache.entries[key].key_index, idx);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Cache-level statistics shared by all Ditto clients of a process.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Concurrent counters describing cache behaviour.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    sets: AtomicU64,
+    evictions: AtomicU64,
+    bucket_evictions: AtomicU64,
+    history_inserts: AtomicU64,
+    regrets: AtomicU64,
+    weight_syncs: AtomicU64,
+    fc_flushes: AtomicU64,
+    expert_victories: Vec<AtomicU64>,
+}
+
+impl CacheStats {
+    /// Creates statistics for a cache with `num_experts` experts.
+    pub fn new(num_experts: usize) -> Self {
+        let mut expert_victories = Vec::with_capacity(num_experts);
+        expert_victories.resize_with(num_experts, AtomicU64::default);
+        CacheStats {
+            expert_victories,
+            ..CacheStats::default()
+        }
+    }
+
+    /// Records a `Get` hit.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `Get` miss.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `Set`.
+    pub fn record_set(&self) {
+        self.sets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a sampling (memory-pressure) eviction decided by `expert`.
+    pub fn record_eviction(&self, expert: usize) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        if let Some(e) = self.expert_victories.get(expert) {
+            e.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an eviction forced by a full bucket.
+    pub fn record_bucket_eviction(&self) {
+        self.bucket_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the insertion of a history entry.
+    pub fn record_history_insert(&self) {
+        self.history_inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a regret (a miss found in the eviction history).
+    pub fn record_regret(&self) {
+        self.regrets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one weight synchronisation with the controller.
+    pub fn record_weight_sync(&self) {
+        self.weight_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one frequency-counter cache flush (an actual `RDMA_FAA`).
+    pub fn record_fc_flush(&self) {
+        self.fc_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sets: self.sets.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bucket_evictions: self.bucket_evictions.load(Ordering::Relaxed),
+            history_inserts: self.history_inserts.load(Ordering::Relaxed),
+            regrets: self.regrets.load(Ordering::Relaxed),
+            weight_syncs: self.weight_syncs.load(Ordering::Relaxed),
+            fc_flushes: self.fc_flushes.load(Ordering::Relaxed),
+            expert_victories: self
+                .expert_victories
+                .iter()
+                .map(|e| e.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.sets.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.bucket_evictions.store(0, Ordering::Relaxed);
+        self.history_inserts.store(0, Ordering::Relaxed);
+        self.regrets.store(0, Ordering::Relaxed);
+        self.weight_syncs.store(0, Ordering::Relaxed);
+        self.fc_flushes.store(0, Ordering::Relaxed);
+        for e in &self.expert_victories {
+            e.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStatsSnapshot {
+    /// `Get` hits.
+    pub hits: u64,
+    /// `Get` misses.
+    pub misses: u64,
+    /// `Set` operations.
+    pub sets: u64,
+    /// Sampling evictions.
+    pub evictions: u64,
+    /// Bucket-overflow evictions.
+    pub bucket_evictions: u64,
+    /// History entries inserted.
+    pub history_inserts: u64,
+    /// Regrets collected.
+    pub regrets: u64,
+    /// Weight synchronisations with the controller.
+    pub weight_syncs: u64,
+    /// Frequency-counter flushes (`RDMA_FAA`s actually issued).
+    pub fc_flushes: u64,
+    /// Evictions attributed to each expert.
+    pub expert_victories: Vec<u64>,
+}
+
+impl CacheStatsSnapshot {
+    /// Hit rate over `Get` requests.
+    pub fn hit_rate(&self) -> f64 {
+        let gets = self.hits + self.misses;
+        if gets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / gets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let stats = CacheStats::new(2);
+        stats.record_hit();
+        stats.record_hit();
+        stats.record_miss();
+        stats.record_set();
+        stats.record_eviction(1);
+        stats.record_bucket_eviction();
+        stats.record_history_insert();
+        stats.record_regret();
+        stats.record_weight_sync();
+        stats.record_fc_flush();
+        let snap = stats.snapshot();
+        assert_eq!(snap.hits, 2);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.sets, 1);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.expert_victories, vec![0, 1]);
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        stats.reset();
+        assert_eq!(stats.snapshot(), CacheStatsSnapshot {
+            expert_victories: vec![0, 0],
+            ..CacheStatsSnapshot::default()
+        });
+    }
+
+    #[test]
+    fn out_of_range_expert_is_ignored() {
+        let stats = CacheStats::new(1);
+        stats.record_eviction(5);
+        let snap = stats.snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.expert_victories, vec![0]);
+    }
+
+    #[test]
+    fn hit_rate_of_empty_stats_is_zero() {
+        assert_eq!(CacheStatsSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        use std::sync::Arc;
+        let stats = Arc::new(CacheStats::new(2));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let stats = Arc::clone(&stats);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        stats.record_hit();
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.snapshot().hits, 40_000);
+    }
+}

@@ -1,0 +1,328 @@
+//! Two-level memory management (FUSEE-style) used by Ditto.
+//!
+//! The memory-node controller hands out coarse *segments* through the
+//! `ALLOC`/`FREE` RPC interface; clients carve fixed 64-byte blocks out of
+//! their current segment and recycle freed blocks locally.  After the cache
+//! warms up, evictions keep refilling the local free lists, so steady-state
+//! `Set` operations allocate without any extra round trip — matching the
+//! paper's assumption that memory management stays off the data path.
+
+use crate::addr::RemoteAddr;
+use crate::client::DmClient;
+use crate::error::{DmError, DmResult};
+use crate::memnode::MemoryNode;
+use crate::rpc::{wire, RpcHandler, RpcOutcome, ALLOC_SERVICE};
+use std::collections::HashMap;
+
+/// Granularity of client-side block allocation, matching the 64-byte memory
+/// blocks of the sample-friendly hash table's `size` field.
+pub const BLOCK_SIZE: u64 = 64;
+
+/// Default size of a segment requested from the memory node.
+pub const DEFAULT_SEGMENT_SIZE: u64 = 1 << 20;
+
+/// Opcode for segment allocation.
+const OP_ALLOC: u8 = 0;
+/// Opcode for segment release.
+const OP_FREE: u8 = 1;
+/// Response status for success.
+const STATUS_OK: u8 = 0;
+/// Response status for an out-of-memory condition.
+const STATUS_OOM: u8 = 1;
+
+/// Controller CPU cost of one allocation RPC (nanoseconds).
+const ALLOC_CPU_NS: u64 = 600;
+
+/// The controller-side segment allocation service (service id
+/// [`ALLOC_SERVICE`]).
+#[derive(Default)]
+pub struct AllocService {}
+
+impl AllocService {
+    /// Creates the service.
+    pub fn new() -> Self {
+        AllocService {}
+    }
+
+    /// Encodes an `ALLOC` request for `size` bytes.
+    pub fn encode_alloc(size: u64) -> Vec<u8> {
+        let mut buf = vec![OP_ALLOC];
+        wire::put_u64(&mut buf, size);
+        buf
+    }
+
+    /// Encodes a `FREE` request.
+    pub fn encode_free(offset: u64, size: u64) -> Vec<u8> {
+        let mut buf = vec![OP_FREE];
+        wire::put_u64(&mut buf, offset);
+        wire::put_u64(&mut buf, size);
+        buf
+    }
+
+    /// Decodes an `ALLOC` response into the segment offset.
+    pub fn decode_alloc(resp: &[u8]) -> DmResult<u64> {
+        match resp.first() {
+            Some(&STATUS_OK) => wire::get_u64(resp, 1).ok_or_else(|| DmError::RpcFailed {
+                reason: "short ALLOC response".to_string(),
+            }),
+            Some(&STATUS_OOM) => Err(DmError::OutOfMemory {
+                requested: wire::get_u64(resp, 1).unwrap_or(0),
+                available: wire::get_u64(resp, 9).unwrap_or(0),
+            }),
+            _ => Err(DmError::RpcFailed {
+                reason: "malformed ALLOC response".to_string(),
+            }),
+        }
+    }
+}
+
+impl RpcHandler for AllocService {
+    fn handle(&self, node: &MemoryNode, request: &[u8]) -> DmResult<RpcOutcome> {
+        let opcode = *request.first().ok_or_else(|| DmError::RpcFailed {
+            reason: "empty allocation request".to_string(),
+        })?;
+        match opcode {
+            OP_ALLOC => {
+                let size = wire::get_u64(request, 1).ok_or_else(|| DmError::RpcFailed {
+                    reason: "short ALLOC request".to_string(),
+                })?;
+                let mut resp = Vec::with_capacity(9);
+                match node.alloc_segment(size) {
+                    Ok(offset) => {
+                        resp.push(STATUS_OK);
+                        wire::put_u64(&mut resp, offset);
+                    }
+                    Err(DmError::OutOfMemory {
+                        requested,
+                        available,
+                    }) => {
+                        resp.push(STATUS_OOM);
+                        wire::put_u64(&mut resp, requested);
+                        wire::put_u64(&mut resp, available);
+                    }
+                    Err(e) => return Err(e),
+                }
+                Ok(RpcOutcome::new(resp, ALLOC_CPU_NS))
+            }
+            OP_FREE => {
+                let offset = wire::get_u64(request, 1).ok_or_else(|| DmError::RpcFailed {
+                    reason: "short FREE request".to_string(),
+                })?;
+                let size = wire::get_u64(request, 9).ok_or_else(|| DmError::RpcFailed {
+                    reason: "short FREE request".to_string(),
+                })?;
+                node.free_segment(offset, size);
+                Ok(RpcOutcome::new(vec![STATUS_OK], ALLOC_CPU_NS))
+            }
+            other => Err(DmError::RpcFailed {
+                reason: format!("unknown allocation opcode {other}"),
+            }),
+        }
+    }
+}
+
+/// Client-side block allocator (the second level of the scheme).
+///
+/// One instance is owned by each cache client.  Freed blocks are recycled
+/// locally; new segments are fetched with an `ALLOC` RPC only when the local
+/// free lists and the current segment are exhausted.
+pub struct ClientAllocator {
+    mn_id: u16,
+    segment_size: u64,
+    current_offset: u64,
+    current_remaining: u64,
+    free_lists: HashMap<u64, Vec<u64>>,
+    allocated_blocks: u64,
+    segments_fetched: u64,
+}
+
+impl ClientAllocator {
+    /// Creates an allocator that requests segments from memory node `mn_id`.
+    pub fn new(mn_id: u16) -> Self {
+        Self::with_segment_size(mn_id, DEFAULT_SEGMENT_SIZE)
+    }
+
+    /// Creates an allocator with a custom segment size.
+    pub fn with_segment_size(mn_id: u16, segment_size: u64) -> Self {
+        ClientAllocator {
+            mn_id,
+            segment_size: segment_size.max(BLOCK_SIZE),
+            current_offset: 0,
+            current_remaining: 0,
+            free_lists: HashMap::new(),
+            allocated_blocks: 0,
+            segments_fetched: 0,
+        }
+    }
+
+    /// Rounds `size` up to a whole number of blocks.
+    pub fn blocks_for(size: usize) -> u64 {
+        ((size as u64).max(1)).div_ceil(BLOCK_SIZE)
+    }
+
+    /// Number of segments fetched from the memory node so far.
+    pub fn segments_fetched(&self) -> u64 {
+        self.segments_fetched
+    }
+
+    /// Number of blocks currently handed out (allocated minus freed).
+    pub fn live_blocks(&self) -> u64 {
+        self.allocated_blocks
+    }
+
+    /// Allocates space for `size` bytes.
+    ///
+    /// Returns [`DmError::OutOfMemory`] when the memory node cannot provide a
+    /// new segment; the caller is expected to evict and retry.
+    pub fn alloc(&mut self, client: &DmClient, size: usize) -> DmResult<RemoteAddr> {
+        let blocks = Self::blocks_for(size);
+        let bytes = blocks * BLOCK_SIZE;
+        if bytes > self.segment_size {
+            return Err(DmError::AllocationTooLarge {
+                requested: bytes,
+                max: self.segment_size,
+            });
+        }
+        if let Some(list) = self.free_lists.get_mut(&blocks) {
+            if let Some(offset) = list.pop() {
+                self.allocated_blocks += blocks;
+                return Ok(RemoteAddr::new(self.mn_id, offset));
+            }
+        }
+        if self.current_remaining < bytes {
+            self.fetch_segment(client)?;
+        }
+        let offset = self.current_offset;
+        self.current_offset += bytes;
+        self.current_remaining -= bytes;
+        self.allocated_blocks += blocks;
+        Ok(RemoteAddr::new(self.mn_id, offset))
+    }
+
+    /// Returns a previously allocated range to the local free lists.
+    pub fn free(&mut self, addr: RemoteAddr, size: usize) {
+        let blocks = Self::blocks_for(size);
+        self.free_lists
+            .entry(blocks)
+            .or_default()
+            .push(addr.offset);
+        self.allocated_blocks = self.allocated_blocks.saturating_sub(blocks);
+    }
+
+    fn fetch_segment(&mut self, client: &DmClient) -> DmResult<()> {
+        let req = AllocService::encode_alloc(self.segment_size);
+        let resp = client.rpc(self.mn_id, ALLOC_SERVICE, &req)?;
+        let offset = AllocService::decode_alloc(&resp)?;
+        self.current_offset = offset;
+        self.current_remaining = self.segment_size;
+        self.segments_fetched += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DmConfig;
+    use crate::pool::MemoryPool;
+
+    fn setup() -> (MemoryPool, DmClient) {
+        let pool = MemoryPool::new(DmConfig::small());
+        let client = pool.connect();
+        (pool, client)
+    }
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        assert_eq!(ClientAllocator::blocks_for(1), 1);
+        assert_eq!(ClientAllocator::blocks_for(64), 1);
+        assert_eq!(ClientAllocator::blocks_for(65), 2);
+        assert_eq!(ClientAllocator::blocks_for(256), 4);
+        assert_eq!(ClientAllocator::blocks_for(0), 1);
+    }
+
+    #[test]
+    fn alloc_returns_disjoint_block_aligned_addresses() {
+        let (_pool, client) = setup();
+        let mut alloc = ClientAllocator::new(0);
+        let a = alloc.alloc(&client, 256).unwrap();
+        let b = alloc.alloc(&client, 256).unwrap();
+        assert_eq!(a.offset % BLOCK_SIZE, 0);
+        assert_eq!(b.offset % BLOCK_SIZE, 0);
+        assert!(b.offset >= a.offset + 256 || a.offset >= b.offset + 256);
+        assert_eq!(alloc.segments_fetched(), 1);
+    }
+
+    #[test]
+    fn freed_blocks_are_recycled_without_rpc() {
+        let (_pool, client) = setup();
+        let mut alloc = ClientAllocator::new(0);
+        let a = alloc.alloc(&client, 256).unwrap();
+        alloc.free(a, 256);
+        let fetched = alloc.segments_fetched();
+        let b = alloc.alloc(&client, 256).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(alloc.segments_fetched(), fetched);
+    }
+
+    #[test]
+    fn allocation_larger_than_segment_is_rejected() {
+        let (_pool, client) = setup();
+        let mut alloc = ClientAllocator::with_segment_size(0, 1024);
+        assert!(matches!(
+            alloc.alloc(&client, 4096),
+            Err(DmError::AllocationTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn exhausting_the_node_reports_oom() {
+        let pool = MemoryPool::new(DmConfig::small().with_capacity(256 * 1024));
+        let client = pool.connect();
+        let mut alloc = ClientAllocator::with_segment_size(0, 64 * 1024);
+        let mut failures = 0;
+        for _ in 0..1024 {
+            if matches!(
+                alloc.alloc(&client, 60 * 1024),
+                Err(DmError::OutOfMemory { .. })
+            ) {
+                failures += 1;
+                break;
+            }
+        }
+        assert_eq!(failures, 1, "allocator should eventually hit OOM");
+    }
+
+    #[test]
+    fn live_block_accounting() {
+        let (_pool, client) = setup();
+        let mut alloc = ClientAllocator::new(0);
+        let a = alloc.alloc(&client, 128).unwrap();
+        assert_eq!(alloc.live_blocks(), 2);
+        alloc.free(a, 128);
+        assert_eq!(alloc.live_blocks(), 0);
+    }
+
+    #[test]
+    fn segments_are_returned_via_rpc() {
+        let (pool, client) = setup();
+        let req = AllocService::encode_alloc(4096);
+        let resp = client.rpc(0, ALLOC_SERVICE, &req).unwrap();
+        let offset = AllocService::decode_alloc(&resp).unwrap();
+        let free = AllocService::encode_free(offset, 4096);
+        let resp = client.rpc(0, ALLOC_SERVICE, &free).unwrap();
+        assert_eq!(resp, vec![STATUS_OK]);
+        // The same segment comes back on the next allocation.
+        let resp = client.rpc(0, ALLOC_SERVICE, &req).unwrap();
+        assert_eq!(AllocService::decode_alloc(&resp).unwrap(), offset);
+        let _ = pool;
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        let (_pool, client) = setup();
+        assert!(client.rpc(0, ALLOC_SERVICE, &[]).is_err());
+        assert!(client.rpc(0, ALLOC_SERVICE, &[OP_ALLOC, 1, 2]).is_err());
+        assert!(client.rpc(0, ALLOC_SERVICE, &[42]).is_err());
+    }
+}

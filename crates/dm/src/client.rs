@@ -1,0 +1,407 @@
+//! Client-side connection handle exposing the one-sided verb API.
+
+use crate::addr::RemoteAddr;
+use crate::config::DmConfig;
+use crate::error::{DmError, DmResult};
+use crate::pool::MemoryPool;
+use crate::stats::VerbKind;
+use std::cell::Cell;
+
+/// A per-thread connection to the memory pool.
+///
+/// Every verb executes a real operation against the shared arena and advances
+/// this client's *simulated clock* by the verb's round-trip latency.  The
+/// clock never sleeps in real time, so experiments run as fast as the host
+/// allows while still producing DM-scale latency and throughput numbers.
+///
+/// `DmClient` is intentionally `!Sync`: each simulated client thread owns its
+/// own connection, mirroring one queue pair per client thread on real RDMA.
+pub struct DmClient {
+    pool: MemoryPool,
+    client_id: u32,
+    clock_ns: Cell<u64>,
+    op_start_ns: Cell<u64>,
+}
+
+impl DmClient {
+    pub(crate) fn new(pool: MemoryPool, client_id: u32) -> Self {
+        // A client joining an ongoing experiment starts at the current
+        // simulated time, not at zero.
+        let start = pool.stats().clock_baseline_ns();
+        DmClient {
+            pool,
+            client_id,
+            clock_ns: Cell::new(start),
+            op_start_ns: Cell::new(start),
+        }
+    }
+
+    /// The pool this client is connected to.
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// The pool configuration (verb latencies, message rates, ...).
+    pub fn config(&self) -> &DmConfig {
+        self.pool.config()
+    }
+
+    /// This client's identifier (unique within the pool).
+    pub fn client_id(&self) -> u32 {
+        self.client_id
+    }
+
+    /// Current simulated time of this client in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock_ns.get()
+    }
+
+    /// Advances the simulated clock by `ns` nanoseconds (local work or
+    /// deliberate back-off; consumes no network resources).
+    pub fn advance_ns(&self, ns: u64) {
+        self.clock_ns.set(self.clock_ns.get() + ns);
+    }
+
+    /// Advances the simulated clock by `us` microseconds.
+    pub fn sleep_us(&self, us: u64) {
+        self.advance_ns(us * 1_000);
+    }
+
+    fn charge(&self, addr_mn: u16, kind: VerbKind, bytes: usize, latency_ns: u64) {
+        self.advance_ns(latency_ns);
+        self.pool.stats().record_verb(addr_mn, kind, bytes);
+    }
+
+    fn node(&self, mn_id: u16) -> &crate::memnode::MemoryNode {
+        self.pool
+            .node(mn_id)
+            .unwrap_or_else(|_| panic!("verb issued to unknown memory node {mn_id}"))
+            .as_ref()
+    }
+
+    /// One-sided `RDMA_READ` of `len` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address range is invalid; remote addresses are produced
+    /// by the allocator, so an invalid range indicates a bug in the caller.
+    pub fn read(&self, addr: RemoteAddr, len: usize) -> Vec<u8> {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, len);
+        self.charge(addr.mn_id, VerbKind::Read, len, latency);
+        self.node(addr.mn_id)
+            .read(addr.offset, len)
+            .unwrap_or_else(|e| panic!("RDMA_READ failed: {e}"))
+    }
+
+    /// One-sided `RDMA_READ` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address range is invalid (see [`DmClient::read`]).
+    pub fn read_into(&self, addr: RemoteAddr, buf: &mut [u8]) {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, buf.len());
+        self.charge(addr.mn_id, VerbKind::Read, buf.len(), latency);
+        self.node(addr.mn_id)
+            .read_into(addr.offset, buf)
+            .unwrap_or_else(|e| panic!("RDMA_READ failed: {e}"));
+    }
+
+    /// One-sided `RDMA_WRITE` of `data` at `addr` (on the critical path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address range is invalid (see [`DmClient::read`]).
+    pub fn write(&self, addr: RemoteAddr, data: &[u8]) {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.write_latency_ns, data.len());
+        self.charge(addr.mn_id, VerbKind::Write, data.len(), latency);
+        self.node(addr.mn_id)
+            .write(addr.offset, data)
+            .unwrap_or_else(|e| panic!("RDMA_WRITE failed: {e}"));
+    }
+
+    /// Asynchronous (unsignalled) `RDMA_WRITE`: leaves the critical path but
+    /// still consumes the target RNIC's message rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address range is invalid (see [`DmClient::read`]).
+    pub fn write_async(&self, addr: RemoteAddr, data: &[u8]) {
+        let cfg = self.pool.config();
+        if cfg.async_writes_consume_messages {
+            self.pool
+                .stats()
+                .record_verb(addr.mn_id, VerbKind::Write, data.len());
+        }
+        self.node(addr.mn_id)
+            .write(addr.offset, data)
+            .unwrap_or_else(|e| panic!("RDMA_WRITE failed: {e}"));
+    }
+
+    /// Convenience: read an 8-byte little-endian word (counts as a READ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is invalid or unaligned.
+    pub fn read_u64(&self, addr: RemoteAddr) -> u64 {
+        let cfg = self.pool.config();
+        self.charge(addr.mn_id, VerbKind::Read, 8, cfg.read_latency_ns);
+        self.node(addr.mn_id)
+            .load_u64(addr.offset)
+            .unwrap_or_else(|e| panic!("RDMA_READ failed: {e}"))
+    }
+
+    /// Convenience: write an 8-byte little-endian word (counts as a WRITE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is invalid or unaligned.
+    pub fn write_u64(&self, addr: RemoteAddr, value: u64) {
+        let cfg = self.pool.config();
+        self.charge(addr.mn_id, VerbKind::Write, 8, cfg.write_latency_ns);
+        self.node(addr.mn_id)
+            .store_u64(addr.offset, value)
+            .unwrap_or_else(|e| panic!("RDMA_WRITE failed: {e}"));
+    }
+
+    /// `RDMA_CAS` on the 8-byte word at `addr`.
+    ///
+    /// Returns the old value; the swap succeeded iff it equals `expected`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is invalid or unaligned.
+    pub fn cas(&self, addr: RemoteAddr, expected: u64, new: u64) -> u64 {
+        let cfg = self.pool.config();
+        self.charge(addr.mn_id, VerbKind::Cas, 8, cfg.cas_latency_ns);
+        self.node(addr.mn_id)
+            .cas(addr.offset, expected, new)
+            .unwrap_or_else(|e| panic!("RDMA_CAS failed: {e}"))
+    }
+
+    /// `RDMA_FAA` on the 8-byte word at `addr`; returns the old value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is invalid or unaligned.
+    pub fn faa(&self, addr: RemoteAddr, delta: u64) -> u64 {
+        let cfg = self.pool.config();
+        self.charge(addr.mn_id, VerbKind::Faa, 8, cfg.faa_latency_ns);
+        self.node(addr.mn_id)
+            .faa(addr.offset, delta)
+            .unwrap_or_else(|e| panic!("RDMA_FAA failed: {e}"))
+    }
+
+    /// Two-sided RPC to the controller of memory node `mn_id`.
+    ///
+    /// The reply is returned on success; the controller CPU time reported by
+    /// the handler is charged to the node's CPU budget.
+    pub fn rpc(&self, mn_id: u16, service: u8, request: &[u8]) -> DmResult<Vec<u8>> {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.rpc_latency_ns, request.len());
+        self.advance_ns(latency);
+        self.pool
+            .stats()
+            .record_verb(mn_id, VerbKind::Rpc, request.len());
+        let node = self.pool.node(mn_id)?;
+        let outcome = node.dispatch_rpc(service, request)?;
+        self.pool
+            .stats()
+            .record_rpc_cpu(mn_id, cfg.rpc_base_cpu_ns + outcome.cpu_ns);
+        Ok(outcome.response)
+    }
+
+    /// Marks the beginning of an application-level operation.
+    pub fn begin_op(&self) {
+        self.op_start_ns.set(self.clock_ns.get());
+    }
+
+    /// Marks the end of an application-level operation, recording its latency
+    /// in the pool-wide histogram.  Returns the operation latency in ns.
+    pub fn end_op(&self) -> u64 {
+        let latency = self.clock_ns.get().saturating_sub(self.op_start_ns.get());
+        self.pool.stats().record_op(latency);
+        latency
+    }
+
+    /// Publishes this client's final clock to the pool statistics.  Called by
+    /// the harness at the end of a run; may also be called manually.
+    pub fn publish_clock(&self) {
+        self.pool.stats().publish_client_clock(self.clock_ns.get());
+    }
+
+    /// Resets the simulated clock to the pool's current clock baseline
+    /// (e.g. between warm-up and the measured phase of an experiment).
+    pub fn reset_clock(&self) {
+        let baseline = self.pool.stats().clock_baseline_ns();
+        self.clock_ns.set(baseline);
+        self.op_start_ns.set(baseline);
+    }
+
+    /// Publishes the clock automatically when the client goes away so that
+    /// harness reports include every client created during a run, not only
+    /// the ones the harness allocated itself.
+    fn publish_on_drop(&self) {
+        self.publish_clock();
+    }
+
+    /// Returns an error if the given address is not valid in this pool
+    /// (utility for higher layers that want fallible validation).
+    pub fn validate(&self, addr: RemoteAddr, len: usize) -> DmResult<()> {
+        let node = self.pool.node(addr.mn_id)?;
+        if addr.offset + len as u64 <= node.capacity() {
+            Ok(())
+        } else {
+            Err(DmError::OutOfBounds {
+                mn_id: addr.mn_id,
+                offset: addr.offset,
+                len,
+                capacity: node.capacity(),
+            })
+        }
+    }
+}
+
+impl Drop for DmClient {
+    fn drop(&mut self) {
+        self.publish_on_drop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DmConfig;
+    use crate::memnode::MemoryNode;
+    use crate::rpc::RpcOutcome;
+    use std::sync::Arc;
+
+    fn pool() -> MemoryPool {
+        MemoryPool::new(DmConfig::small())
+    }
+
+    #[test]
+    fn verbs_advance_clock_and_count_messages() {
+        let pool = pool();
+        let client = pool.connect();
+        let addr = pool.reserve(64).unwrap();
+        assert_eq!(client.now_ns(), 0);
+        client.write(addr, &[7u8; 16]);
+        let after_write = client.now_ns();
+        assert!(after_write >= pool.config().write_latency_ns);
+        let data = client.read(addr, 16);
+        assert_eq!(data, vec![7u8; 16]);
+        assert!(client.now_ns() > after_write);
+        let snaps = pool.stats().node_snapshots();
+        assert_eq!(snaps[0].messages, 2);
+        assert_eq!(snaps[0].reads, 1);
+        assert_eq!(snaps[0].writes, 1);
+    }
+
+    #[test]
+    fn async_write_does_not_advance_clock() {
+        let pool = pool();
+        let client = pool.connect();
+        let addr = pool.reserve(64).unwrap();
+        client.write_async(addr, b"deferred");
+        assert_eq!(client.now_ns(), 0);
+        assert_eq!(client.read(addr, 8), b"deferred");
+        // The async write still consumed a message.
+        assert_eq!(pool.stats().node_snapshots()[0].writes, 1);
+    }
+
+    #[test]
+    fn cas_and_faa_work_through_client() {
+        let pool = pool();
+        let client = pool.connect();
+        let addr = pool.reserve(64).unwrap();
+        client.write_u64(addr, 5);
+        assert_eq!(client.cas(addr, 5, 9), 5);
+        assert_eq!(client.read_u64(addr), 9);
+        assert_eq!(client.faa(addr, 2), 9);
+        assert_eq!(client.read_u64(addr), 11);
+    }
+
+    #[test]
+    fn op_latency_is_recorded() {
+        let pool = pool();
+        let client = pool.connect();
+        let addr = pool.reserve(64).unwrap();
+        client.begin_op();
+        client.read(addr, 64);
+        client.read(addr, 64);
+        let latency = client.end_op();
+        assert!(latency >= 2 * pool.config().read_latency_ns);
+        assert_eq!(pool.stats().ops(), 1);
+        assert!(pool.stats().latency().max_ns() >= latency);
+    }
+
+    #[test]
+    fn rpc_charges_controller_cpu() {
+        let pool = pool();
+        pool.register_handler(
+            20,
+            Arc::new(|_n: &MemoryNode, req: &[u8]| {
+                Ok(RpcOutcome::new(vec![req.len() as u8], 1_500))
+            }),
+        );
+        let client = pool.connect();
+        let resp = client.rpc(0, 20, b"abc").unwrap();
+        assert_eq!(resp, vec![3]);
+        let snap = &pool.stats().node_snapshots()[0];
+        assert_eq!(snap.rpcs, 1);
+        assert_eq!(snap.rpc_cpu_ns, 1_500 + pool.config().rpc_base_cpu_ns);
+        assert!(client.now_ns() >= pool.config().rpc_latency_ns);
+    }
+
+    #[test]
+    fn rpc_to_missing_service_fails() {
+        let pool = pool();
+        let client = pool.connect();
+        assert!(matches!(
+            client.rpc(0, 99, b""),
+            Err(DmError::NoSuchService { service: 99 })
+        ));
+    }
+
+    #[test]
+    fn sleep_advances_clock_without_messages() {
+        let pool = pool();
+        let client = pool.connect();
+        client.sleep_us(5);
+        assert_eq!(client.now_ns(), 5_000);
+        assert_eq!(pool.stats().node_snapshots()[0].messages, 0);
+    }
+
+    #[test]
+    fn reset_clock_and_publish() {
+        let pool = pool();
+        let client = pool.connect();
+        client.sleep_us(10);
+        client.publish_clock();
+        assert_eq!(pool.stats().max_client_clock_ns(), 10_000);
+        client.reset_clock();
+        assert_eq!(client.now_ns(), 0);
+    }
+
+    #[test]
+    fn validate_checks_bounds() {
+        let pool = pool();
+        let client = pool.connect();
+        let cap = pool.config().memory_node_capacity;
+        assert!(client.validate(RemoteAddr::new(0, 0), 64).is_ok());
+        assert!(client.validate(RemoteAddr::new(0, cap), 1).is_err());
+        assert!(client.validate(RemoteAddr::new(5, 0), 1).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_out_of_bounds_panics() {
+        let pool = pool();
+        let client = pool.connect();
+        let cap = pool.config().memory_node_capacity;
+        let _ = client.read(RemoteAddr::new(0, cap - 4), 64);
+    }
+}

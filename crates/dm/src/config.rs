@@ -1,0 +1,160 @@
+//! Configuration of the simulated disaggregated-memory fabric.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the DM substrate.
+///
+/// Latencies are expressed in nanoseconds of *simulated* time and model the
+/// round-trip cost of a verb as observed by the issuing client.  Defaults are
+/// chosen to match the ballpark of a 100 Gbps RoCE fabric with ConnectX-6
+/// RNICs as used in the paper (≈2 µs per one-sided verb RTT, a few µs for an
+/// RPC round trip, tens of millions of verbs per second per RNIC).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DmConfig {
+    /// Number of memory nodes in the pool.
+    pub num_memory_nodes: u16,
+    /// Capacity of each memory node in bytes.
+    pub memory_node_capacity: u64,
+    /// Number of controller CPU cores per memory node (weak compute).
+    pub mn_cpu_cores: u32,
+    /// Round-trip latency of an `RDMA_READ`, in nanoseconds.
+    pub read_latency_ns: u64,
+    /// Round-trip latency of an `RDMA_WRITE`, in nanoseconds.
+    pub write_latency_ns: u64,
+    /// Round-trip latency of an `RDMA_CAS`, in nanoseconds.
+    pub cas_latency_ns: u64,
+    /// Round-trip latency of an `RDMA_FAA`, in nanoseconds.
+    pub faa_latency_ns: u64,
+    /// Round-trip latency of an RPC to the memory-node controller, in ns.
+    pub rpc_latency_ns: u64,
+    /// Extra per-verb latency added per 1 KiB of payload, in nanoseconds.
+    ///
+    /// Models serialisation delay of larger transfers on the link.
+    pub per_kib_latency_ns: u64,
+    /// Maximum verbs (messages) per second the RNIC of one memory node can
+    /// serve.  This is the bottleneck that caps Ditto in §5.3.
+    pub mn_message_rate: u64,
+    /// CPU nanoseconds charged on the controller for a minimal RPC.
+    pub rpc_base_cpu_ns: u64,
+    /// Whether asynchronous (unsignalled) WRITEs still consume a message slot.
+    ///
+    /// The paper posts metadata updates asynchronously; they leave the
+    /// critical path but still consume RNIC message rate, so this is `true`
+    /// by default.
+    pub async_writes_consume_messages: bool,
+}
+
+impl Default for DmConfig {
+    fn default() -> Self {
+        DmConfig {
+            num_memory_nodes: 1,
+            memory_node_capacity: 256 * 1024 * 1024,
+            mn_cpu_cores: 1,
+            read_latency_ns: 2_000,
+            write_latency_ns: 2_000,
+            cas_latency_ns: 2_200,
+            faa_latency_ns: 2_200,
+            rpc_latency_ns: 5_000,
+            per_kib_latency_ns: 80,
+            mn_message_rate: 40_000_000,
+            rpc_base_cpu_ns: 700,
+            async_writes_consume_messages: true,
+        }
+    }
+}
+
+impl DmConfig {
+    /// A small configuration suitable for unit tests and doc examples
+    /// (16 MiB of pool memory, otherwise default timings).
+    pub fn small() -> Self {
+        DmConfig {
+            memory_node_capacity: 16 * 1024 * 1024,
+            ..DmConfig::default()
+        }
+    }
+
+    /// Configuration mirroring the paper's testbed: one memory node with a
+    /// single controller core and a 100 Gbps-class RNIC.
+    pub fn paper_testbed() -> Self {
+        DmConfig::default()
+    }
+
+    /// Sets the per-node memory capacity (builder style).
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.memory_node_capacity = bytes;
+        self
+    }
+
+    /// Sets the number of memory nodes (builder style).
+    pub fn with_memory_nodes(mut self, n: u16) -> Self {
+        self.num_memory_nodes = n;
+        self
+    }
+
+    /// Sets the number of controller cores per memory node (builder style).
+    pub fn with_mn_cores(mut self, cores: u32) -> Self {
+        self.mn_cpu_cores = cores;
+        self
+    }
+
+    /// Sets the RNIC message rate per memory node (builder style).
+    pub fn with_message_rate(mut self, verbs_per_sec: u64) -> Self {
+        self.mn_message_rate = verbs_per_sec;
+        self
+    }
+
+    /// Returns the latency in nanoseconds for a transfer of `len` payload
+    /// bytes on top of the base verb latency `base_ns`.
+    pub fn transfer_latency_ns(&self, base_ns: u64, len: usize) -> u64 {
+        base_ns + (len as u64 * self.per_kib_latency_ns) / 1024
+    }
+
+    /// Total memory capacity of the pool in bytes.
+    pub fn total_capacity(&self) -> u64 {
+        self.memory_node_capacity * self.num_memory_nodes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_single_weak_mn() {
+        let c = DmConfig::default();
+        assert_eq!(c.num_memory_nodes, 1);
+        assert_eq!(c.mn_cpu_cores, 1);
+        assert!(c.mn_message_rate > 1_000_000);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = DmConfig::default()
+            .with_capacity(1024)
+            .with_memory_nodes(4)
+            .with_mn_cores(8)
+            .with_message_rate(1_000);
+        assert_eq!(c.memory_node_capacity, 1024);
+        assert_eq!(c.num_memory_nodes, 4);
+        assert_eq!(c.mn_cpu_cores, 8);
+        assert_eq!(c.mn_message_rate, 1_000);
+        assert_eq!(c.total_capacity(), 4096);
+    }
+
+    #[test]
+    fn transfer_latency_scales_with_payload() {
+        let c = DmConfig::default();
+        let small = c.transfer_latency_ns(2_000, 64);
+        let large = c.transfer_latency_ns(2_000, 64 * 1024);
+        assert!(large > small);
+        assert_eq!(c.transfer_latency_ns(2_000, 0), 2_000);
+    }
+
+    #[test]
+    fn config_is_serde() {
+        // Ensure the type implements Serialize/Deserialize (the figure
+        // harness serialises configurations alongside results).
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<DmConfig>();
+    }
+}

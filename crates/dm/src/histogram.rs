@@ -1,0 +1,255 @@
+//! Lock-free latency histogram with logarithmic buckets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of sub-buckets per power of two (resolution of the histogram).
+const SUB_BUCKETS: usize = 16;
+/// Number of powers of two covered (1 ns .. ~1.1 s).
+const MAGNITUDES: usize = 30;
+/// Total bucket count.
+const BUCKETS: usize = SUB_BUCKETS * MAGNITUDES;
+
+/// A concurrent latency histogram.
+///
+/// Values are recorded in nanoseconds into log-scaled buckets, so recording
+/// is a single atomic increment and the relative quantile error is bounded by
+/// `1 / SUB_BUCKETS` (≈6 %).  All methods are safe to call concurrently from
+/// any number of client threads.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, || AtomicU64::new(0));
+        LatencyHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(value_ns: u64) -> usize {
+        // Values below SUB_BUCKETS get exact buckets; larger values are
+        // bucketed HDR-style: 16 sub-buckets per power of two.
+        if value_ns < SUB_BUCKETS as u64 {
+            return value_ns as usize;
+        }
+        let base_mag = SUB_BUCKETS.trailing_zeros() as usize; // log2(SUB_BUCKETS) = 4
+        let magnitude = 63 - value_ns.leading_zeros() as usize;
+        let shift = magnitude - base_mag;
+        let sub = ((value_ns >> shift) as usize) - SUB_BUCKETS;
+        let idx = (magnitude - base_mag + 1) * SUB_BUCKETS + sub;
+        idx.min(BUCKETS - 1)
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let base_mag = SUB_BUCKETS.trailing_zeros() as usize;
+        let mag_block = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        let magnitude = mag_block + base_mag - 1;
+        let shift = magnitude - base_mag;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Records a latency sample in nanoseconds.
+    pub fn record(&self, value_ns: u64) {
+        let idx = Self::bucket_index(value_ns);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(value_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(value_ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds, or 0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / c as f64
+        }
+    }
+
+    /// Maximum recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Returns the latency at percentile `p` (0.0–1.0) in nanoseconds.
+    ///
+    /// Returns 0 when the histogram is empty.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = ((total as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::bucket_value(idx);
+            }
+        }
+        self.max_ns()
+    }
+
+    /// Median latency in nanoseconds.
+    pub fn median_ns(&self) -> u64 {
+        self.percentile_ns(0.5)
+    }
+
+    /// 99th-percentile latency in nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Resets the histogram to the empty state.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.percentile_ns(0.99), 0);
+    }
+
+    #[test]
+    fn single_value_percentiles() {
+        let h = LatencyHistogram::new();
+        h.record(5_000);
+        assert_eq!(h.count(), 1);
+        let p50 = h.median_ns();
+        // Log-bucket resolution allows ~6 % error.
+        assert!(p50 >= 4_500 && p50 <= 5_500, "p50 = {p50}");
+        assert_eq!(h.max_ns(), 5_000);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i);
+        }
+        let p50 = h.percentile_ns(0.50);
+        let p90 = h.percentile_ns(0.90);
+        let p99 = h.percentile_ns(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= 4_000 && p50 <= 6_000, "p50 = {p50}");
+        assert!(p99 >= 9_000, "p99 = {p99}");
+    }
+
+    #[test]
+    fn mean_matches_inputs() {
+        let h = LatencyHistogram::new();
+        h.record(1_000);
+        h.record(3_000);
+        assert_eq!(h.mean_ns(), 2_000.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(100);
+        b.record(200);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.max_ns() >= 300);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = LatencyHistogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.percentile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LatencyHistogram::new();
+        h.record(3);
+        assert_eq!(h.percentile_ns(1.0), 3);
+    }
+
+    #[test]
+    fn large_values_do_not_overflow_buckets() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX / 4);
+        assert!(h.percentile_ns(1.0) > 0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    h.record(1_000 + t * 100 + i % 50);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 8_000);
+    }
+}

@@ -1,0 +1,70 @@
+//! Disaggregated-memory (DM) substrate for the Ditto reproduction.
+//!
+//! The paper runs on a CloudLab cluster where compute nodes (CNs) access
+//! memory nodes (MNs) through one-sided RDMA verbs.  This crate provides an
+//! in-process substitute that preserves the *structural* properties the
+//! paper's arguments rest on:
+//!
+//! * every one-sided verb (`READ`, `WRITE`, `ATOMIC_CAS`, `ATOMIC_FAA`)
+//!   executes a real operation against a shared memory arena, so concurrent
+//!   clients observe genuine races, CAS failures and lock contention;
+//! * every verb advances the issuing client's *simulated clock* by a
+//!   configurable round-trip latency and charges the target memory node's
+//!   RNIC message budget;
+//! * RPCs to the memory-node controller additionally charge the controller's
+//!   (deliberately weak) CPU budget;
+//! * experiment harnesses derive throughput and tail latency from these
+//!   accounts, so the bottleneck ordering of the paper (RNIC message rate for
+//!   Ditto, MN CPU for CliqueMap, lock retries for Shard-LRU) is reproduced
+//!   even though the absolute numbers come from a model rather than hardware.
+//!
+//! # Architecture
+//!
+//! * [`MemoryPool`] owns one or more [`MemoryNode`]s and the shared
+//!   [`PoolStats`] accounting.
+//! * [`DmClient`] is a per-thread connection handle exposing the verb API and
+//!   a per-client simulated clock.
+//! * [`alloc::ClientAllocator`] implements the two-level memory management
+//!   scheme (segment `ALLOC`/`FREE` RPCs plus client-local block recycling)
+//!   used by FUSEE and adopted by Ditto.
+//! * [`harness`] runs a closure on `N` simulated client threads and collects
+//!   a [`stats::RunReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ditto_dm::{DmConfig, MemoryPool};
+//!
+//! let pool = MemoryPool::new(DmConfig::small());
+//! let client = pool.connect();
+//! let addr = pool.reserve(64).unwrap();
+//! client.write(addr, b"hello disaggregated world");
+//! let data = client.read(addr, 25);
+//! assert_eq!(&data[..], b"hello disaggregated world");
+//! ```
+
+pub mod addr;
+pub mod alloc;
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod harness;
+pub mod histogram;
+pub mod lock;
+pub mod memnode;
+pub mod pool;
+pub mod rpc;
+pub mod stats;
+
+pub use addr::RemoteAddr;
+pub use alloc::ClientAllocator;
+pub use client::DmClient;
+pub use config::DmConfig;
+pub use error::{DmError, DmResult};
+pub use harness::{run_clients, ClientCtx};
+pub use histogram::LatencyHistogram;
+pub use lock::{LockAcquisition, RemoteLock};
+pub use memnode::MemoryNode;
+pub use pool::MemoryPool;
+pub use rpc::{RpcHandler, RpcOutcome};
+pub use stats::{PoolStats, RunReport};

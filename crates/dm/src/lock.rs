@@ -1,0 +1,218 @@
+//! Remote spin locks, the primitive that makes lock-based caching data
+//! structures expensive on DM (§3.1 of the paper).
+//!
+//! A [`RemoteLock`] occupies one 8-byte word in the memory pool.  The word
+//! holds the *simulated release time* of the last critical section plus a
+//! lock bit.  An acquisition attempt fails — and must retry after a back-off,
+//! consuming another RNIC message — when either
+//!
+//! * another client really holds the lock right now (genuine CAS failure), or
+//! * the lock's last release time lies in the acquirer's simulated future,
+//!   meaning that in DM time the lock was still held when this client tried.
+//!
+//! The second condition is what lets contention appear at simulated scale:
+//! client clocks advance by microseconds per verb while the real critical
+//! section lasts only nanoseconds, so without it almost every CAS would
+//! succeed on the first try and the lock-contention collapse of KVC and
+//! Shard-LRU (Figure 2, Figure 14) could not be reproduced.
+
+use crate::addr::RemoteAddr;
+use crate::client::DmClient;
+
+/// Lock bit stored in the most significant bit of the lock word.
+const LOCKED_BIT: u64 = 1 << 63;
+/// Mask for the timestamp part of the lock word.
+const TS_MASK: u64 = LOCKED_BIT - 1;
+
+/// Outcome of a lock acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockAcquisition {
+    /// Number of failed attempts before the lock was acquired.
+    pub retries: u64,
+    /// Simulated nanoseconds spent waiting (back-off included).
+    pub wait_ns: u64,
+}
+
+/// A spin lock stored in disaggregated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteLock {
+    addr: RemoteAddr,
+    backoff_ns: u64,
+    max_retries: u64,
+}
+
+impl RemoteLock {
+    /// Creates a handle to the lock word at `addr`.
+    ///
+    /// `backoff_ns` is the simulated back-off applied after a failed attempt
+    /// (Shard-LRU uses 5 µs in the paper).
+    pub fn new(addr: RemoteAddr, backoff_ns: u64) -> Self {
+        RemoteLock {
+            addr,
+            backoff_ns: backoff_ns.max(1),
+            max_retries: 10_000,
+        }
+    }
+
+    /// The lock word address.
+    pub fn addr(&self) -> RemoteAddr {
+        self.addr
+    }
+
+    /// Acquires the lock, spinning with back-off until it succeeds.
+    ///
+    /// Returns statistics about the acquisition so callers can account for
+    /// wasted RNIC messages.
+    pub fn acquire(&self, client: &DmClient) -> LockAcquisition {
+        let mut retries = 0u64;
+        let start = client.now_ns();
+        loop {
+            let observed = client.read_u64(self.addr);
+            let locked = observed & LOCKED_BIT != 0;
+            let free_at = observed & TS_MASK;
+            let now = client.now_ns();
+            if !locked && free_at <= now {
+                let desired = (now & TS_MASK) | LOCKED_BIT;
+                let old = client.cas(self.addr, observed, desired);
+                if old == observed {
+                    return LockAcquisition {
+                        retries,
+                        wait_ns: client.now_ns() - start,
+                    };
+                }
+            }
+            retries += 1;
+            if retries >= self.max_retries {
+                // Pathological lag: jump the clock forward to the release time
+                // instead of spinning forever.
+                if free_at > client.now_ns() {
+                    client.advance_ns(free_at - client.now_ns());
+                }
+            }
+            // Wait at least one back-off; when the release time is known to be
+            // further in the simulated future, wait (a bounded chunk of) that
+            // gap so a lagging client converges in a handful of retries.
+            let now = client.now_ns();
+            let wait = if free_at > now {
+                (free_at - now).clamp(self.backoff_ns, self.backoff_ns * 8)
+            } else {
+                self.backoff_ns
+            };
+            client.advance_ns(wait);
+        }
+    }
+
+    /// Releases the lock, stamping it with the caller's current simulated
+    /// time so later acquirers observe how long the critical section lasted.
+    pub fn release(&self, client: &DmClient) {
+        client.write_u64(self.addr, client.now_ns() & TS_MASK);
+    }
+
+    /// Runs `f` under the lock and returns its result together with the
+    /// acquisition statistics.
+    pub fn with<R>(&self, client: &DmClient, f: impl FnOnce() -> R) -> (R, LockAcquisition) {
+        let acq = self.acquire(client);
+        let result = f();
+        self.release(client);
+        (result, acq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DmConfig;
+    use crate::pool::MemoryPool;
+
+    fn setup() -> (MemoryPool, RemoteAddr) {
+        let pool = MemoryPool::new(DmConfig::small());
+        let addr = pool.reserve(8).unwrap();
+        (pool, addr)
+    }
+
+    #[test]
+    fn uncontended_acquire_succeeds_immediately() {
+        let (pool, addr) = setup();
+        let client = pool.connect();
+        let lock = RemoteLock::new(addr, 5_000);
+        let acq = lock.acquire(&client);
+        assert_eq!(acq.retries, 0);
+        lock.release(&client);
+    }
+
+    #[test]
+    fn reacquire_after_release() {
+        let (pool, addr) = setup();
+        let client = pool.connect();
+        let lock = RemoteLock::new(addr, 5_000);
+        lock.acquire(&client);
+        client.sleep_us(3);
+        lock.release(&client);
+        let acq = lock.acquire(&client);
+        assert_eq!(acq.retries, 0, "own release time is never in the future");
+        lock.release(&client);
+    }
+
+    #[test]
+    fn lagging_client_observes_simulated_contention() {
+        let (pool, addr) = setup();
+        let holder = pool.connect();
+        let lock = RemoteLock::new(addr, 5_000);
+        // The holder performs a long critical section, pushing the release
+        // timestamp far into simulated time.
+        lock.acquire(&holder);
+        holder.sleep_us(100);
+        lock.release(&holder);
+
+        // A fresh client starts at simulated time 0, so the release lies in
+        // its future and it must back off at least once.
+        let late = pool.connect();
+        let acq = lock.acquire(&late);
+        assert!(acq.retries > 0, "expected simulated contention");
+        assert!(acq.wait_ns >= 5_000);
+        lock.release(&late);
+    }
+
+    #[test]
+    fn with_runs_closure_under_lock() {
+        let (pool, addr) = setup();
+        let client = pool.connect();
+        let lock = RemoteLock::new(addr, 1_000);
+        let (value, acq) = lock.with(&client, || 7 * 6);
+        assert_eq!(value, 42);
+        assert_eq!(acq.retries, 0);
+        // Lock word is released (lock bit clear).
+        let raw = client.read_u64(addr);
+        assert_eq!(raw & LOCKED_BIT, 0);
+    }
+
+    #[test]
+    fn real_mutual_exclusion_under_threads() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let (pool, lock_addr) = setup();
+        let counter_addr = pool.reserve(8).unwrap();
+        let in_section = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                let in_section = Arc::clone(&in_section);
+                s.spawn(move || {
+                    let client = pool.connect();
+                    let lock = RemoteLock::new(lock_addr, 100);
+                    for _ in 0..200 {
+                        lock.acquire(&client);
+                        // At most one thread may be inside the section.
+                        assert_eq!(in_section.fetch_add(1, Ordering::SeqCst), 0);
+                        let v = client.read_u64(counter_addr);
+                        client.write_u64(counter_addr, v + 1);
+                        in_section.fetch_sub(1, Ordering::SeqCst);
+                        lock.release(&client);
+                    }
+                });
+            }
+        });
+        let client = pool.connect();
+        assert_eq!(client.read_u64(counter_addr), 800);
+    }
+}

@@ -1,0 +1,397 @@
+//! A memory node (MN): a large memory arena plus a weak controller.
+//!
+//! The arena is stored as 8-byte atomic words so that concurrent clients can
+//! issue real `CAS`/`FAA` operations against it.  Byte-granularity reads and
+//! writes operate word-wise; partial-word writes use a CAS loop so writes to
+//! *different* byte ranges sharing a word never clobber each other.
+
+use crate::error::{DmError, DmResult};
+use crate::rpc::{RpcHandler, RpcOutcome};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Alignment (bytes) of all reservations and segment allocations.
+pub const ALLOC_ALIGN: u64 = 64;
+
+/// A single memory node in the pool.
+pub struct MemoryNode {
+    id: u16,
+    words: Vec<AtomicU64>,
+    capacity: u64,
+    /// Bump cursor for reservations and fresh segments (in bytes).
+    cursor: AtomicU64,
+    /// Freed segments grouped by size, reused before bumping the cursor.
+    free_segments: Mutex<HashMap<u64, Vec<u64>>>,
+    /// Registered controller services.
+    handlers: RwLock<HashMap<u8, Arc<dyn RpcHandler>>>,
+}
+
+impl MemoryNode {
+    /// Creates a node with `capacity` bytes of memory.
+    pub fn new(id: u16, capacity: u64) -> Self {
+        let capacity = capacity.next_multiple_of(8);
+        let num_words = (capacity / 8) as usize;
+        let mut words = Vec::with_capacity(num_words);
+        words.resize_with(num_words, || AtomicU64::new(0));
+        MemoryNode {
+            id,
+            words,
+            capacity,
+            // Offset 0 is never handed out so that a packed address of 0 can
+            // serve as the NULL pointer in hash-table slots.
+            cursor: AtomicU64::new(ALLOC_ALIGN),
+            free_segments: Mutex::new(HashMap::new()),
+            handlers: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Capacity of the node in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved or allocated (high-water mark).
+    pub fn used_bytes(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    fn check_range(&self, offset: u64, len: usize) -> DmResult<()> {
+        if offset
+            .checked_add(len as u64)
+            .map(|end| end <= self.capacity)
+            .unwrap_or(false)
+        {
+            Ok(())
+        } else {
+            Err(DmError::OutOfBounds {
+                mn_id: self.id,
+                offset,
+                len,
+                capacity: self.capacity,
+            })
+        }
+    }
+
+    /// Reads `len` bytes starting at `offset`.
+    pub fn read(&self, offset: u64, len: usize) -> DmResult<Vec<u8>> {
+        self.check_range(offset, len)?;
+        let mut out = vec![0u8; len];
+        self.read_into(offset, &mut out)?;
+        Ok(out)
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset` into `buf`.
+    pub fn read_into(&self, offset: u64, buf: &mut [u8]) -> DmResult<()> {
+        self.check_range(offset, buf.len())?;
+        let mut remaining = buf;
+        let mut pos = offset;
+        while !remaining.is_empty() {
+            let word_idx = (pos / 8) as usize;
+            let in_word = (pos % 8) as usize;
+            let take = (8 - in_word).min(remaining.len());
+            let word = self.words[word_idx].load(Ordering::Acquire).to_le_bytes();
+            remaining[..take].copy_from_slice(&word[in_word..in_word + take]);
+            remaining = &mut remaining[take..];
+            pos += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `offset`.
+    pub fn write(&self, offset: u64, data: &[u8]) -> DmResult<()> {
+        self.check_range(offset, data.len())?;
+        let mut remaining = data;
+        let mut pos = offset;
+        while !remaining.is_empty() {
+            let word_idx = (pos / 8) as usize;
+            let in_word = (pos % 8) as usize;
+            let take = (8 - in_word).min(remaining.len());
+            let slot = &self.words[word_idx];
+            if take == 8 {
+                let value = u64::from_le_bytes(remaining[..8].try_into().expect("8 bytes"));
+                slot.store(value, Ordering::Release);
+            } else {
+                // Partial word: merge with a CAS loop so concurrent writers of
+                // the other bytes in this word are not clobbered.
+                loop {
+                    let old = slot.load(Ordering::Acquire);
+                    let mut bytes = old.to_le_bytes();
+                    bytes[in_word..in_word + take].copy_from_slice(&remaining[..take]);
+                    let new = u64::from_le_bytes(bytes);
+                    if slot
+                        .compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            remaining = &remaining[take..];
+            pos += take as u64;
+        }
+        Ok(())
+    }
+
+    fn atomic_word(&self, offset: u64) -> DmResult<&AtomicU64> {
+        if offset % 8 != 0 {
+            return Err(DmError::Unaligned { offset });
+        }
+        self.check_range(offset, 8)?;
+        Ok(&self.words[(offset / 8) as usize])
+    }
+
+    /// Atomically loads the 8-byte word at `offset`.
+    pub fn load_u64(&self, offset: u64) -> DmResult<u64> {
+        Ok(self.atomic_word(offset)?.load(Ordering::Acquire))
+    }
+
+    /// Atomically stores the 8-byte word at `offset`.
+    pub fn store_u64(&self, offset: u64, value: u64) -> DmResult<()> {
+        self.atomic_word(offset)?.store(value, Ordering::Release);
+        Ok(())
+    }
+
+    /// Atomic compare-and-swap on the 8-byte word at `offset`.
+    ///
+    /// Returns the value observed before the operation; the swap succeeded
+    /// iff that value equals `expected`.
+    pub fn cas(&self, offset: u64, expected: u64, new: u64) -> DmResult<u64> {
+        let word = self.atomic_word(offset)?;
+        match word.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(old) => Ok(old),
+            Err(old) => Ok(old),
+        }
+    }
+
+    /// Atomic fetch-and-add on the 8-byte word at `offset`.
+    ///
+    /// Returns the value observed before the addition.
+    pub fn faa(&self, offset: u64, delta: u64) -> DmResult<u64> {
+        Ok(self.atomic_word(offset)?.fetch_add(delta, Ordering::AcqRel))
+    }
+
+    /// Reserves `size` bytes (setup-time allocation, e.g. hash-table space).
+    ///
+    /// Reservations never return to the node; use segments for recyclable
+    /// memory.
+    pub fn reserve(&self, size: u64) -> DmResult<u64> {
+        self.allocate_raw(size)
+    }
+
+    /// Allocates a segment of `size` bytes, reusing a previously freed
+    /// segment of the same size when available.
+    pub fn alloc_segment(&self, size: u64) -> DmResult<u64> {
+        let size = size.next_multiple_of(ALLOC_ALIGN);
+        if let Some(off) = self.free_segments.lock().get_mut(&size).and_then(Vec::pop) {
+            return Ok(off);
+        }
+        self.allocate_raw(size)
+    }
+
+    /// Returns a segment previously handed out by [`MemoryNode::alloc_segment`].
+    pub fn free_segment(&self, offset: u64, size: u64) {
+        let size = size.next_multiple_of(ALLOC_ALIGN);
+        self.free_segments.lock().entry(size).or_default().push(offset);
+    }
+
+    fn allocate_raw(&self, size: u64) -> DmResult<u64> {
+        let size = size.next_multiple_of(ALLOC_ALIGN).max(ALLOC_ALIGN);
+        loop {
+            let current = self.cursor.load(Ordering::Relaxed);
+            let end = current.checked_add(size).ok_or(DmError::OutOfMemory {
+                requested: size,
+                available: 0,
+            })?;
+            if end > self.capacity {
+                return Err(DmError::OutOfMemory {
+                    requested: size,
+                    available: self.capacity.saturating_sub(current),
+                });
+            }
+            if self
+                .cursor
+                .compare_exchange_weak(current, end, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(current);
+            }
+        }
+    }
+
+    /// Registers (or replaces) the controller service with id `service`.
+    pub fn register_handler(&self, service: u8, handler: Arc<dyn RpcHandler>) {
+        self.handlers.write().insert(service, handler);
+    }
+
+    /// Dispatches an RPC to the controller service `service`.
+    pub fn dispatch_rpc(&self, service: u8, request: &[u8]) -> DmResult<RpcOutcome> {
+        let handler = self
+            .handlers
+            .read()
+            .get(&service)
+            .cloned()
+            .ok_or(DmError::NoSuchService { service })?;
+        handler.handle(self, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let node = MemoryNode::new(0, 4096);
+        node.write(64, b"disaggregated").unwrap();
+        assert_eq!(node.read(64, 13).unwrap(), b"disaggregated");
+    }
+
+    #[test]
+    fn unaligned_write_and_read() {
+        let node = MemoryNode::new(0, 4096);
+        node.write(67, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]).unwrap();
+        assert_eq!(
+            node.read(67, 11).unwrap(),
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
+        );
+        // Neighbouring bytes are untouched.
+        assert_eq!(node.read(64, 3).unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_read_fails() {
+        let node = MemoryNode::new(3, 128);
+        let err = node.read(120, 16).unwrap_err();
+        assert!(matches!(err, DmError::OutOfBounds { mn_id: 3, .. }));
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let node = MemoryNode::new(0, 4096);
+        node.store_u64(128, 42).unwrap();
+        let old = node.cas(128, 42, 100).unwrap();
+        assert_eq!(old, 42);
+        assert_eq!(node.load_u64(128).unwrap(), 100);
+        // Failed CAS returns the current value and does not modify memory.
+        let old = node.cas(128, 42, 7).unwrap();
+        assert_eq!(old, 100);
+        assert_eq!(node.load_u64(128).unwrap(), 100);
+    }
+
+    #[test]
+    fn cas_requires_alignment() {
+        let node = MemoryNode::new(0, 4096);
+        assert!(matches!(
+            node.cas(127, 0, 1),
+            Err(DmError::Unaligned { offset: 127 })
+        ));
+    }
+
+    #[test]
+    fn faa_accumulates() {
+        let node = MemoryNode::new(0, 4096);
+        assert_eq!(node.faa(256, 5).unwrap(), 0);
+        assert_eq!(node.faa(256, 3).unwrap(), 5);
+        assert_eq!(node.load_u64(256).unwrap(), 8);
+    }
+
+    #[test]
+    fn reserve_is_aligned_and_disjoint() {
+        let node = MemoryNode::new(0, 1 << 20);
+        let a = node.reserve(100).unwrap();
+        let b = node.reserve(100).unwrap();
+        assert_eq!(a % ALLOC_ALIGN, 0);
+        assert_eq!(b % ALLOC_ALIGN, 0);
+        assert!(b >= a + 128);
+        assert_ne!(a, 0, "offset 0 is reserved as the NULL address");
+    }
+
+    #[test]
+    fn reserve_exhausts_capacity() {
+        let node = MemoryNode::new(0, 1024);
+        let mut count = 0;
+        while node.reserve(256).is_ok() {
+            count += 1;
+            assert!(count < 100, "reserve never failed");
+        }
+        assert!(count >= 2);
+        assert!(matches!(
+            node.reserve(256).unwrap_err(),
+            DmError::OutOfMemory { .. }
+        ));
+    }
+
+    #[test]
+    fn segments_are_recycled() {
+        let node = MemoryNode::new(0, 1 << 20);
+        let a = node.alloc_segment(4096).unwrap();
+        node.free_segment(a, 4096);
+        let b = node.alloc_segment(4096).unwrap();
+        assert_eq!(a, b, "freed segment should be reused");
+    }
+
+    #[test]
+    fn rpc_dispatch_and_missing_service() {
+        let node = MemoryNode::new(0, 4096);
+        assert!(matches!(
+            node.dispatch_rpc(9, b"x"),
+            Err(DmError::NoSuchService { service: 9 })
+        ));
+        node.register_handler(
+            9,
+            Arc::new(|_node: &MemoryNode, req: &[u8]| {
+                Ok(RpcOutcome::new(req.iter().rev().copied().collect(), 500))
+            }),
+        );
+        let out = node.dispatch_rpc(9, b"abc").unwrap();
+        assert_eq!(out.response, b"cba");
+        assert_eq!(out.cpu_ns, 500);
+    }
+
+    #[test]
+    fn concurrent_faa_is_atomic() {
+        let node = Arc::new(MemoryNode::new(0, 4096));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let node = Arc::clone(&node);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    node.faa(512, 1).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(node.load_u64(512).unwrap(), 80_000);
+    }
+
+    #[test]
+    fn concurrent_partial_writes_do_not_clobber() {
+        // Two threads repeatedly write adjacent 4-byte halves of one word.
+        let node = Arc::new(MemoryNode::new(0, 4096));
+        let a = Arc::clone(&node);
+        let b = Arc::clone(&node);
+        let t1 = std::thread::spawn(move || {
+            for _ in 0..20_000 {
+                a.write(1024, &[0xAA; 4]).unwrap();
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for _ in 0..20_000 {
+                b.write(1028, &[0xBB; 4]).unwrap();
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(node.read(1024, 4).unwrap(), vec![0xAA; 4]);
+        assert_eq!(node.read(1028, 4).unwrap(), vec![0xBB; 4]);
+    }
+}

@@ -1,0 +1,190 @@
+//! The memory pool: the set of memory nodes plus shared accounting.
+
+use crate::addr::RemoteAddr;
+use crate::alloc::AllocService;
+use crate::client::DmClient;
+use crate::config::DmConfig;
+use crate::error::{DmError, DmResult};
+use crate::memnode::MemoryNode;
+use crate::rpc::{RpcHandler, ALLOC_SERVICE};
+use crate::stats::PoolStats;
+use std::sync::Arc;
+
+struct PoolInner {
+    config: DmConfig,
+    nodes: Vec<Arc<MemoryNode>>,
+    stats: PoolStats,
+}
+
+/// A handle to the disaggregated memory pool.
+///
+/// The pool is cheaply clonable; every clone refers to the same memory nodes
+/// and statistics.  Client threads obtain per-thread [`DmClient`] connections
+/// through [`MemoryPool::connect`].
+#[derive(Clone)]
+pub struct MemoryPool {
+    inner: Arc<PoolInner>,
+}
+
+impl MemoryPool {
+    /// Creates a pool as described by `config` and registers the built-in
+    /// segment-allocation service on every node.
+    pub fn new(config: DmConfig) -> Self {
+        let nodes: Vec<Arc<MemoryNode>> = (0..config.num_memory_nodes)
+            .map(|id| Arc::new(MemoryNode::new(id, config.memory_node_capacity)))
+            .collect();
+        let stats = PoolStats::new(config.num_memory_nodes);
+        let pool = MemoryPool {
+            inner: Arc::new(PoolInner {
+                config,
+                nodes,
+                stats,
+            }),
+        };
+        let alloc = Arc::new(AllocService::new());
+        for node in &pool.inner.nodes {
+            node.register_handler(ALLOC_SERVICE, alloc.clone());
+        }
+        pool
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &DmConfig {
+        &self.inner.config
+    }
+
+    /// Shared resource accounting.
+    pub fn stats(&self) -> &PoolStats {
+        &self.inner.stats
+    }
+
+    /// Resets all accounting counters (e.g. after a warm-up phase).
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+    }
+
+    /// Number of memory nodes.
+    pub fn num_nodes(&self) -> u16 {
+        self.inner.nodes.len() as u16
+    }
+
+    /// Returns the memory node with id `mn_id`.
+    pub fn node(&self, mn_id: u16) -> DmResult<&Arc<MemoryNode>> {
+        self.inner
+            .nodes
+            .get(mn_id as usize)
+            .ok_or(DmError::NoSuchNode { mn_id })
+    }
+
+    /// Opens a new client connection with its own simulated clock.
+    pub fn connect(&self) -> DmClient {
+        let id = self.inner.stats.next_client_id() as u32;
+        DmClient::new(self.clone(), id)
+    }
+
+    /// Reserves `size` bytes on memory node 0 (setup-time allocation for
+    /// fixed structures such as the hash table or global counters).
+    pub fn reserve(&self, size: u64) -> DmResult<RemoteAddr> {
+        self.reserve_on(0, size)
+    }
+
+    /// Reserves `size` bytes on the given memory node.
+    pub fn reserve_on(&self, mn_id: u16, size: u64) -> DmResult<RemoteAddr> {
+        let node = self.node(mn_id)?;
+        let offset = node.reserve(size)?;
+        Ok(RemoteAddr::new(mn_id, offset))
+    }
+
+    /// Registers an RPC service on every memory node.
+    pub fn register_handler(&self, service: u8, handler: Arc<dyn RpcHandler>) {
+        for node in &self.inner.nodes {
+            node.register_handler(service, handler.clone());
+        }
+    }
+
+    /// Registers an RPC service on a single memory node.
+    pub fn register_handler_on(
+        &self,
+        mn_id: u16,
+        service: u8,
+        handler: Arc<dyn RpcHandler>,
+    ) -> DmResult<()> {
+        self.node(mn_id)?.register_handler(service, handler);
+        Ok(())
+    }
+
+    /// Total bytes used (high-water mark) across all nodes.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.nodes.iter().map(|n| n.used_bytes()).sum()
+    }
+
+    /// Total capacity across all nodes in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.nodes.iter().map(|n| n.capacity()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::RpcOutcome;
+
+    #[test]
+    fn pool_creates_configured_nodes() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(3));
+        assert_eq!(pool.num_nodes(), 3);
+        assert!(pool.node(2).is_ok());
+        assert!(matches!(
+            pool.node(3),
+            Err(DmError::NoSuchNode { mn_id: 3 })
+        ));
+        assert_eq!(pool.capacity(), 3 * DmConfig::small().memory_node_capacity);
+    }
+
+    #[test]
+    fn reserve_returns_distinct_addresses() {
+        let pool = MemoryPool::new(DmConfig::small());
+        let a = pool.reserve(128).unwrap();
+        let b = pool.reserve(128).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.mn_id, 0);
+    }
+
+    #[test]
+    fn connect_assigns_unique_client_ids() {
+        let pool = MemoryPool::new(DmConfig::small());
+        let a = pool.connect();
+        let b = pool.connect();
+        assert_ne!(a.client_id(), b.client_id());
+    }
+
+    #[test]
+    fn handlers_can_be_registered_pool_wide() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+        pool.register_handler(
+            42,
+            Arc::new(|_n: &MemoryNode, _r: &[u8]| Ok(RpcOutcome::new(vec![1], 10))),
+        );
+        for mn in 0..2 {
+            let out = pool.node(mn).unwrap().dispatch_rpc(42, &[]).unwrap();
+            assert_eq!(out.response, vec![1]);
+        }
+    }
+
+    #[test]
+    fn alloc_service_registered_by_default() {
+        let pool = MemoryPool::new(DmConfig::small());
+        // The allocation service answers on every node; detailed behaviour is
+        // covered in `alloc::tests`.
+        assert!(pool.node(0).unwrap().dispatch_rpc(ALLOC_SERVICE, &[]).is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let pool = MemoryPool::new(DmConfig::small());
+        let clone = pool.clone();
+        let addr = pool.reserve(64).unwrap();
+        clone.node(0).unwrap().write(addr.offset, b"shared").unwrap();
+        assert_eq!(pool.node(0).unwrap().read(addr.offset, 6).unwrap(), b"shared");
+    }
+}

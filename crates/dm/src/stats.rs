@@ -1,0 +1,461 @@
+//! Resource accounting for the simulated DM fabric.
+//!
+//! Throughput on disaggregated memory is bounded by one of three resources:
+//! the compute available to clients (their simulated clocks), the RNIC
+//! message rate of a memory node, or the controller CPU of a memory node.
+//! [`PoolStats`] tracks all three; [`RunReport`] turns a measurement interval
+//! into throughput / latency numbers by stretching the elapsed time to the
+//! most-saturated resource, which is the mechanism behind every throughput
+//! figure in the paper's evaluation.
+
+use crate::config::DmConfig;
+use crate::histogram::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Kinds of one-sided verbs tracked by the accounting layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerbKind {
+    /// One-sided RDMA READ.
+    Read,
+    /// One-sided RDMA WRITE.
+    Write,
+    /// Atomic compare-and-swap.
+    Cas,
+    /// Atomic fetch-and-add.
+    Faa,
+    /// Two-sided RPC to the memory-node controller.
+    Rpc,
+}
+
+/// Per-memory-node counters.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    /// Total RNIC messages (all verbs, including RPC requests).
+    pub messages: AtomicU64,
+    /// READ verbs.
+    pub reads: AtomicU64,
+    /// WRITE verbs.
+    pub writes: AtomicU64,
+    /// CAS verbs.
+    pub cas: AtomicU64,
+    /// FAA verbs.
+    pub faa: AtomicU64,
+    /// RPC requests.
+    pub rpcs: AtomicU64,
+    /// Controller CPU time consumed by RPC handlers, in nanoseconds.
+    pub rpc_cpu_ns: AtomicU64,
+    /// Bytes moved to/from this node.
+    pub bytes: AtomicU64,
+}
+
+impl NodeStats {
+    fn record(&self, kind: VerbKind, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let counter = match kind {
+            VerbKind::Read => &self.reads,
+            VerbKind::Write => &self.writes,
+            VerbKind::Cas => &self.cas,
+            VerbKind::Faa => &self.faa,
+            VerbKind::Rpc => &self.rpcs,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            messages: self.messages.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cas: self.cas.load(Ordering::Relaxed),
+            faa: self.faa.load(Ordering::Relaxed),
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            rpc_cpu_ns: self.rpc_cpu_ns.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one node's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// Total RNIC messages.
+    pub messages: u64,
+    /// READ verbs.
+    pub reads: u64,
+    /// WRITE verbs.
+    pub writes: u64,
+    /// CAS verbs.
+    pub cas: u64,
+    /// FAA verbs.
+    pub faa: u64,
+    /// RPC requests.
+    pub rpcs: u64,
+    /// Controller CPU nanoseconds.
+    pub rpc_cpu_ns: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+impl NodeSnapshot {
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn delta(&self, earlier: &NodeSnapshot) -> NodeSnapshot {
+        NodeSnapshot {
+            messages: self.messages.saturating_sub(earlier.messages),
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            cas: self.cas.saturating_sub(earlier.cas),
+            faa: self.faa.saturating_sub(earlier.faa),
+            rpcs: self.rpcs.saturating_sub(earlier.rpcs),
+            rpc_cpu_ns: self.rpc_cpu_ns.saturating_sub(earlier.rpc_cpu_ns),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Shared accounting for a [`crate::MemoryPool`].
+pub struct PoolStats {
+    nodes: Vec<NodeStats>,
+    ops: AtomicU64,
+    op_latency: LatencyHistogram,
+    max_client_clock_ns: AtomicU64,
+    clock_baseline_ns: AtomicU64,
+    clients_spawned: AtomicU64,
+}
+
+impl PoolStats {
+    /// Creates accounting for `num_nodes` memory nodes.
+    pub fn new(num_nodes: u16) -> Self {
+        let mut nodes = Vec::with_capacity(num_nodes as usize);
+        nodes.resize_with(num_nodes as usize, NodeStats::default);
+        PoolStats {
+            nodes,
+            ops: AtomicU64::new(0),
+            op_latency: LatencyHistogram::new(),
+            max_client_clock_ns: AtomicU64::new(0),
+            clock_baseline_ns: AtomicU64::new(0),
+            clients_spawned: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a verb of `kind` moving `bytes` payload bytes to node `mn_id`.
+    pub fn record_verb(&self, mn_id: u16, kind: VerbKind, bytes: usize) {
+        if let Some(node) = self.nodes.get(mn_id as usize) {
+            node.record(kind, bytes);
+        }
+    }
+
+    /// Charges `cpu_ns` of controller CPU time on node `mn_id`.
+    pub fn record_rpc_cpu(&self, mn_id: u16, cpu_ns: u64) {
+        if let Some(node) = self.nodes.get(mn_id as usize) {
+            node.rpc_cpu_ns.fetch_add(cpu_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a completed application-level operation with its latency.
+    pub fn record_op(&self, latency_ns: u64) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.op_latency.record(latency_ns);
+    }
+
+    /// Publishes a client's final simulated clock (harness bookkeeping).
+    pub fn publish_client_clock(&self, clock_ns: u64) {
+        self.max_client_clock_ns
+            .fetch_max(clock_ns, Ordering::Relaxed);
+    }
+
+    /// Registers that a new client connected (used for ids and reporting).
+    pub fn next_client_id(&self) -> u64 {
+        self.clients_spawned.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of application-level operations recorded so far.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// The shared operation-latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.op_latency
+    }
+
+    /// Snapshot of all per-node counters.
+    pub fn node_snapshots(&self) -> Vec<NodeSnapshot> {
+        self.nodes.iter().map(NodeStats::snapshot).collect()
+    }
+
+    /// Largest client clock published so far, in nanoseconds.
+    pub fn max_client_clock_ns(&self) -> u64 {
+        self.max_client_clock_ns.load(Ordering::Relaxed)
+    }
+
+    /// Simulated time at which the current measurement interval started.
+    ///
+    /// Client clocks are globally monotonic across measurement phases (new
+    /// clients join at the time the previous phase ended), so per-phase
+    /// elapsed time is `max_client_clock_ns() - clock_baseline_ns()`.
+    pub fn clock_baseline_ns(&self) -> u64 {
+        self.clock_baseline_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest client clock published during the current measurement
+    /// interval, relative to the interval's start.
+    pub fn elapsed_client_ns(&self) -> u64 {
+        self.max_client_clock_ns()
+            .saturating_sub(self.clock_baseline_ns())
+    }
+
+    /// Resets every counter and the latency histogram.
+    ///
+    /// The clock baseline advances to the largest clock published so far, so
+    /// clients connected after the reset continue from that point in
+    /// simulated time instead of starting over at zero.
+    pub fn reset(&self) {
+        self.clock_baseline_ns
+            .fetch_max(self.max_client_clock_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        for n in &self.nodes {
+            n.messages.store(0, Ordering::Relaxed);
+            n.reads.store(0, Ordering::Relaxed);
+            n.writes.store(0, Ordering::Relaxed);
+            n.cas.store(0, Ordering::Relaxed);
+            n.faa.store(0, Ordering::Relaxed);
+            n.rpcs.store(0, Ordering::Relaxed);
+            n.rpc_cpu_ns.store(0, Ordering::Relaxed);
+            n.bytes.store(0, Ordering::Relaxed);
+        }
+        self.ops.store(0, Ordering::Relaxed);
+        self.op_latency.reset();
+        self.max_client_clock_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The resource that limited a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Clients could not issue requests any faster (latency bound).
+    ClientCompute,
+    /// The RNIC message rate of a memory node saturated.
+    NicMessageRate,
+    /// The controller CPU of a memory node saturated.
+    MnCpu,
+}
+
+/// Result of a measured run over the DM substrate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Application-level operations completed.
+    pub total_ops: u64,
+    /// Effective elapsed simulated time in seconds (stretched to the most
+    /// saturated resource).
+    pub simulated_seconds: f64,
+    /// Largest per-client simulated clock in seconds.
+    pub client_seconds: f64,
+    /// Throughput in million operations per second.
+    pub throughput_mops: f64,
+    /// Mean operation latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Median operation latency in microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile operation latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Average RNIC messages per operation.
+    pub messages_per_op: f64,
+    /// Total RNIC messages per node.
+    pub node_messages: Vec<u64>,
+    /// Controller CPU seconds consumed per node.
+    pub node_cpu_seconds: Vec<f64>,
+    /// Which resource bounded the run.
+    pub bottleneck: Bottleneck,
+    /// Number of client threads that took part in the run.
+    pub clients: usize,
+}
+
+impl RunReport {
+    /// Builds a report from counter deltas.
+    ///
+    /// `before`/`after` are node snapshots bracketing the measurement,
+    /// `ops` the number of operations completed in between,
+    /// `max_client_clock_ns` the largest per-client simulated clock and the
+    /// latency percentiles are taken from `latency`.
+    pub fn from_measurement(
+        config: &DmConfig,
+        before: &[NodeSnapshot],
+        after: &[NodeSnapshot],
+        ops: u64,
+        max_client_clock_ns: u64,
+        latency: &LatencyHistogram,
+        clients: usize,
+    ) -> RunReport {
+        let deltas: Vec<NodeSnapshot> = after
+            .iter()
+            .zip(before.iter())
+            .map(|(a, b)| a.delta(b))
+            .collect();
+        let client_seconds = max_client_clock_ns as f64 / 1e9;
+        let nic_seconds = deltas
+            .iter()
+            .map(|d| d.messages as f64 / config.mn_message_rate as f64)
+            .fold(0.0_f64, f64::max);
+        let cpu_seconds_per_node: Vec<f64> = deltas
+            .iter()
+            .map(|d| d.rpc_cpu_ns as f64 / 1e9 / config.mn_cpu_cores.max(1) as f64)
+            .collect();
+        let cpu_seconds = cpu_seconds_per_node.iter().copied().fold(0.0_f64, f64::max);
+
+        let simulated_seconds = client_seconds.max(nic_seconds).max(cpu_seconds).max(1e-12);
+        let bottleneck = {
+            let mut best = (client_seconds, Bottleneck::ClientCompute);
+            if nic_seconds > best.0 {
+                best = (nic_seconds, Bottleneck::NicMessageRate);
+            }
+            if cpu_seconds > best.0 {
+                best = (cpu_seconds, Bottleneck::MnCpu);
+            }
+            best.1
+        };
+
+        let total_messages: u64 = deltas.iter().map(|d| d.messages).sum();
+        RunReport {
+            total_ops: ops,
+            simulated_seconds,
+            client_seconds,
+            throughput_mops: ops as f64 / simulated_seconds / 1e6,
+            mean_latency_us: latency.mean_ns() / 1_000.0,
+            p50_latency_us: latency.median_ns() as f64 / 1_000.0,
+            p99_latency_us: latency.p99_ns() as f64 / 1_000.0,
+            messages_per_op: if ops == 0 {
+                0.0
+            } else {
+                total_messages as f64 / ops as f64
+            },
+            node_messages: deltas.iter().map(|d| d.messages).collect(),
+            node_cpu_seconds: deltas.iter().map(|d| d.rpc_cpu_ns as f64 / 1e9).collect(),
+            bottleneck,
+            clients,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(messages: u64, cpu_ns: u64) -> NodeSnapshot {
+        NodeSnapshot {
+            messages,
+            rpc_cpu_ns: cpu_ns,
+            ..NodeSnapshot::default()
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let stats = PoolStats::new(2);
+        stats.record_verb(0, VerbKind::Read, 64);
+        stats.record_verb(0, VerbKind::Cas, 8);
+        stats.record_verb(1, VerbKind::Rpc, 128);
+        stats.record_rpc_cpu(1, 700);
+        let snaps = stats.node_snapshots();
+        assert_eq!(snaps[0].messages, 2);
+        assert_eq!(snaps[0].reads, 1);
+        assert_eq!(snaps[0].cas, 1);
+        assert_eq!(snaps[1].rpcs, 1);
+        assert_eq!(snaps[1].rpc_cpu_ns, 700);
+        assert_eq!(snaps[0].bytes, 72);
+    }
+
+    #[test]
+    fn record_verb_out_of_range_is_ignored() {
+        let stats = PoolStats::new(1);
+        stats.record_verb(9, VerbKind::Read, 64);
+        assert_eq!(stats.node_snapshots()[0].messages, 0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let stats = PoolStats::new(1);
+        stats.record_verb(0, VerbKind::Write, 64);
+        stats.record_op(1_000);
+        stats.publish_client_clock(5_000);
+        stats.reset();
+        assert_eq!(stats.ops(), 0);
+        assert_eq!(stats.node_snapshots()[0].messages, 0);
+        assert_eq!(stats.max_client_clock_ns(), 0);
+    }
+
+    #[test]
+    fn client_bound_report() {
+        // Few messages, long client time: client compute is the bottleneck.
+        let config = DmConfig::default();
+        let before = vec![snap(0, 0)];
+        let after = vec![snap(1_000, 0)];
+        let lat = LatencyHistogram::new();
+        lat.record(10_000);
+        let r = RunReport::from_measurement(&config, &before, &after, 1_000, 2_000_000_000, &lat, 4);
+        assert_eq!(r.bottleneck, Bottleneck::ClientCompute);
+        assert!((r.simulated_seconds - 2.0).abs() < 1e-9);
+        assert!((r.messages_per_op - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nic_bound_report() {
+        // Many messages in a short client time: the RNIC message rate limits.
+        let config = DmConfig::default().with_message_rate(1_000_000);
+        let before = vec![snap(0, 0)];
+        let after = vec![snap(10_000_000, 0)];
+        let lat = LatencyHistogram::new();
+        let r = RunReport::from_measurement(&config, &before, &after, 5_000_000, 1_000_000_000, &lat, 64);
+        assert_eq!(r.bottleneck, Bottleneck::NicMessageRate);
+        // 10 M messages at 1 M msg/s = 10 s.
+        assert!((r.simulated_seconds - 10.0).abs() < 1e-6);
+        assert!((r.throughput_mops - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cpu_bound_report() {
+        // Heavy RPC CPU usage on a single weak core dominates.
+        let config = DmConfig::default();
+        let before = vec![snap(0, 0)];
+        let after = vec![snap(100, 5_000_000_000)];
+        let lat = LatencyHistogram::new();
+        let r = RunReport::from_measurement(&config, &before, &after, 100, 1_000_000, &lat, 1);
+        assert_eq!(r.bottleneck, Bottleneck::MnCpu);
+        assert!((r.simulated_seconds - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_mn_cores_relieve_cpu_bottleneck() {
+        let before = vec![snap(0, 0)];
+        let after = vec![snap(100, 5_000_000_000)];
+        let lat = LatencyHistogram::new();
+        let weak = RunReport::from_measurement(
+            &DmConfig::default().with_mn_cores(1),
+            &before,
+            &after,
+            100,
+            1_000_000,
+            &lat,
+            1,
+        );
+        let strong = RunReport::from_measurement(
+            &DmConfig::default().with_mn_cores(10),
+            &before,
+            &after,
+            100,
+            1_000_000,
+            &lat,
+            1,
+        );
+        assert!(strong.throughput_mops > weak.throughput_mops * 5.0);
+    }
+
+    #[test]
+    fn snapshot_delta_saturates() {
+        let a = snap(10, 5);
+        let b = snap(3, 9);
+        let d = a.delta(&b);
+        assert_eq!(d.messages, 7);
+        assert_eq!(d.rpc_cpu_ns, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The phase-changing workload of Figure 19.
+//!
+//! LeCaR evaluates adaptive caching with a synthetic workload that
+//! periodically switches between being favourable to LRU and favourable to
+//! LFU; the paper reuses it to show that only an adaptive cache tracks both
+//! phases.  [`changing_workload`] reproduces that structure over a shared key
+//! space.
+
+use crate::request::Request;
+use crate::traces::{lfu_friendly, lru_friendly, TraceSpec};
+
+/// Generates a workload with `phases` alternating LRU-/LFU-friendly phases.
+///
+/// Every phase issues `spec.num_requests / phases` requests against the same
+/// key space, starting with an LRU-friendly phase.
+pub fn changing_workload(spec: &TraceSpec, phases: usize) -> Vec<Request> {
+    let phases = phases.max(1);
+    let per_phase = (spec.num_requests / phases as u64).max(1);
+    let mut out = Vec::with_capacity(spec.num_requests as usize);
+    for phase in 0..phases {
+        let phase_spec = TraceSpec {
+            num_requests: per_phase,
+            seed: spec.seed.wrapping_add(phase as u64 * 0x51ab),
+            ..*spec
+        };
+        let mut chunk = if phase % 2 == 0 {
+            lru_friendly(&phase_spec)
+        } else {
+            lfu_friendly(&phase_spec)
+        };
+        out.append(&mut chunk);
+    }
+    out
+}
+
+/// Identifies the phase boundaries of a workload produced by
+/// [`changing_workload`], useful for plotting per-phase hit rates.
+pub fn phase_boundaries(total_requests: usize, phases: usize) -> Vec<usize> {
+    let phases = phases.max(1);
+    let per_phase = (total_requests / phases).max(1);
+    (1..phases).map(|p| p * per_phase).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traces::footprint;
+
+    #[test]
+    fn produces_requested_number_of_phases_and_requests() {
+        let spec = TraceSpec::new(5_000, 80_000).with_seed(3);
+        let trace = changing_workload(&spec, 4);
+        assert_eq!(trace.len() as u64, spec.num_requests);
+        assert!(footprint(&trace) <= spec.num_keys);
+    }
+
+    #[test]
+    fn phases_share_the_key_space() {
+        let spec = TraceSpec::new(2_000, 40_000).with_seed(3);
+        let trace = changing_workload(&spec, 4);
+        let quarter = trace.len() / 4;
+        let first: std::collections::HashSet<u64> =
+            trace[..quarter].iter().map(|r| r.key).collect();
+        let second: std::collections::HashSet<u64> =
+            trace[quarter..2 * quarter].iter().map(|r| r.key).collect();
+        assert!(first.intersection(&second).count() > 0);
+    }
+
+    #[test]
+    fn boundaries_split_evenly() {
+        assert_eq!(phase_boundaries(100, 4), vec![25, 50, 75]);
+        assert_eq!(phase_boundaries(100, 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = TraceSpec::new(1_000, 10_000).with_seed(11);
+        assert_eq!(changing_workload(&spec, 4), changing_workload(&spec, 4));
+    }
+}

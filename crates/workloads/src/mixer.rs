@@ -1,0 +1,169 @@
+//! Interleaving utilities modelling concurrent clients and application mixes.
+//!
+//! §3.2 of the paper shows that hit rates change when (a) several
+//! applications with different access patterns share the cache and their
+//! client counts shift, and (b) one workload is executed by a varying number
+//! of concurrent clients, which reorders the globally observed request
+//! stream.  These helpers reproduce both effects deterministically.
+
+use crate::request::Request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Interleaves several request streams by drawing chunks of up to
+/// `max_chunk` requests from a randomly chosen non-empty stream.
+///
+/// Streams keep their internal order (each models one application or one
+/// client), but the global order interleaves them — exactly what a memory
+/// node observes when independent clients issue requests concurrently.
+pub fn interleave_streams(streams: &[Vec<Request>], seed: u64, max_chunk: usize) -> Vec<Request> {
+    let max_chunk = max_chunk.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cursors = vec![0usize; streams.len()];
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let remaining: Vec<usize> = (0..streams.len())
+            .filter(|&i| cursors[i] < streams[i].len())
+            .collect();
+        let pick = remaining[rng.gen_range(0..remaining.len())];
+        let chunk = rng.gen_range(1..=max_chunk);
+        let end = (cursors[pick] + chunk).min(streams[pick].len());
+        out.extend_from_slice(&streams[pick][cursors[pick]..end]);
+        cursors[pick] = end;
+    }
+    out
+}
+
+/// Splits `trace` round-robin into `n` per-client streams.
+pub fn partition_clients(trace: &[Request], n: usize) -> Vec<Vec<Request>> {
+    let n = n.max(1);
+    let mut shards = vec![Vec::with_capacity(trace.len() / n + 1); n];
+    for (i, r) in trace.iter().enumerate() {
+        shards[i % n].push(*r);
+    }
+    shards
+}
+
+/// Models `n` clients concurrently executing `trace`: the trace is
+/// partitioned round-robin and the per-client streams are re-interleaved in
+/// random chunks.  With `n = 1` the trace is returned unchanged.
+pub fn interleave_clients(trace: &[Request], n: usize, seed: u64) -> Vec<Request> {
+    if n <= 1 {
+        return trace.to_vec();
+    }
+    let shards = partition_clients(trace, n);
+    interleave_streams(&shards, seed, 64)
+}
+
+/// Mixes several applications' traces proportionally to their client counts.
+///
+/// Each application keeps its own key space (keys are offset into disjoint
+/// ranges) and contributes requests proportionally to `clients`; the streams
+/// are then chunk-interleaved.  Returns the mixed trace.
+pub fn mix_applications(apps: &[(Vec<Request>, usize)], seed: u64) -> Vec<Request> {
+    let total_clients: usize = apps.iter().map(|(_, c)| *c).sum();
+    let total_clients = total_clients.max(1);
+    let mut streams = Vec::with_capacity(apps.len());
+    for (idx, (trace, clients)) in apps.iter().enumerate() {
+        if *clients == 0 || trace.is_empty() {
+            streams.push(Vec::new());
+            continue;
+        }
+        // Volume proportional to the client share.
+        let share = *clients as f64 / total_clients as f64;
+        let take = ((trace.len() as f64) * share).round() as usize;
+        let take = take.min(trace.len()).max(1);
+        let offset = (idx as u64) << 40;
+        let stream: Vec<Request> = trace[..take]
+            .iter()
+            .map(|r| Request {
+                key: r.key | offset,
+                ..*r
+            })
+            .collect();
+        streams.push(stream);
+    }
+    interleave_streams(&streams, seed, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(start: u64, n: u64) -> Vec<Request> {
+        (start..start + n).map(Request::get).collect()
+    }
+
+    #[test]
+    fn interleave_preserves_all_requests_and_order_within_streams() {
+        let a = seq(0, 100);
+        let b = seq(1_000, 50);
+        let mixed = interleave_streams(&[a.clone(), b.clone()], 3, 8);
+        assert_eq!(mixed.len(), 150);
+        let from_a: Vec<u64> = mixed.iter().map(|r| r.key).filter(|k| *k < 1_000).collect();
+        let from_b: Vec<u64> = mixed.iter().map(|r| r.key).filter(|k| *k >= 1_000).collect();
+        assert_eq!(from_a, (0..100).collect::<Vec<_>>());
+        assert_eq!(from_b, (1_000..1_050).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_round_robin() {
+        let trace = seq(0, 10);
+        let shards = partition_clients(&trace, 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].iter().map(|r| r.key).collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+        assert_eq!(shards[1].iter().map(|r| r.key).collect::<Vec<_>>(), vec![1, 4, 7]);
+        assert_eq!(shards[2].iter().map(|r| r.key).collect::<Vec<_>>(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn single_client_interleaving_is_identity() {
+        let trace = seq(0, 20);
+        assert_eq!(interleave_clients(&trace, 1, 9), trace);
+    }
+
+    #[test]
+    fn more_clients_reorder_the_trace() {
+        let trace = seq(0, 1_000);
+        let reordered = interleave_clients(&trace, 16, 9);
+        assert_eq!(reordered.len(), trace.len());
+        assert_ne!(reordered, trace);
+        let mut keys: Vec<u64> = reordered.iter().map(|r| r.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaving_is_deterministic_per_seed() {
+        let trace = seq(0, 500);
+        assert_eq!(
+            interleave_clients(&trace, 8, 1),
+            interleave_clients(&trace, 8, 1)
+        );
+        assert_ne!(
+            interleave_clients(&trace, 8, 1),
+            interleave_clients(&trace, 8, 2)
+        );
+    }
+
+    #[test]
+    fn application_mix_respects_client_shares() {
+        let a = seq(0, 10_000);
+        let b = seq(0, 10_000);
+        let mixed = mix_applications(&[(a, 3), (b, 1)], 5);
+        let app0 = mixed.iter().filter(|r| r.key >> 40 == 0).count();
+        let app1 = mixed.iter().filter(|r| r.key >> 40 == 1).count();
+        assert!(app0 > app1 * 2, "app0={app0} app1={app1}");
+        // Key spaces are disjoint.
+        assert!(mixed.iter().all(|r| r.key >> 40 <= 1));
+    }
+
+    #[test]
+    fn zero_client_apps_contribute_nothing() {
+        let a = seq(0, 100);
+        let b = seq(0, 100);
+        let mixed = mix_applications(&[(a, 0), (b, 2)], 5);
+        assert!(mixed.iter().all(|r| r.key >> 40 == 1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Request and operation types shared by all workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// The operation a request performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read the object (`GET`).
+    Get,
+    /// Overwrite the object (`UPDATE` in YCSB terms).
+    Update,
+    /// Insert a new object (`INSERT` in YCSB terms).
+    Insert,
+}
+
+/// One request of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Key identifier.  Keys are dense `u64`s; [`Request::key_bytes`] turns
+    /// them into the byte keys stored in the cache.
+    pub key: u64,
+    /// Operation kind.
+    pub op: Op,
+    /// Value size in bytes (used by `Update`/`Insert` and by the cache-aside
+    /// fill after a `Get` miss).
+    pub value_size: u32,
+}
+
+impl Request {
+    /// A `GET` request for `key` with the default 256-byte value size.
+    pub fn get(key: u64) -> Self {
+        Request {
+            key,
+            op: Op::Get,
+            value_size: crate::DEFAULT_VALUE_SIZE,
+        }
+    }
+
+    /// An `UPDATE` request for `key`.
+    pub fn update(key: u64) -> Self {
+        Request {
+            key,
+            op: Op::Update,
+            value_size: crate::DEFAULT_VALUE_SIZE,
+        }
+    }
+
+    /// An `INSERT` request for `key`.
+    pub fn insert(key: u64) -> Self {
+        Request {
+            key,
+            op: Op::Insert,
+            value_size: crate::DEFAULT_VALUE_SIZE,
+        }
+    }
+
+    /// Sets the value size (builder style).
+    pub fn with_value_size(mut self, size: u32) -> Self {
+        self.value_size = size;
+        self
+    }
+
+    /// The byte representation of the key as stored in the cache.
+    ///
+    /// YCSB-style keys ("user4023…") are emulated with a fixed prefix plus
+    /// the decimal key id, giving realistic key lengths without storing
+    /// strings in every generated request.
+    pub fn key_bytes(&self) -> Vec<u8> {
+        Self::key_to_bytes(self.key)
+    }
+
+    /// Byte representation of an arbitrary key id.
+    pub fn key_to_bytes(key: u64) -> Vec<u8> {
+        format!("user{key:016}").into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_op() {
+        assert_eq!(Request::get(1).op, Op::Get);
+        assert_eq!(Request::update(1).op, Op::Update);
+        assert_eq!(Request::insert(1).op, Op::Insert);
+    }
+
+    #[test]
+    fn key_bytes_are_stable_and_unique() {
+        let a = Request::get(42).key_bytes();
+        let b = Request::get(42).key_bytes();
+        let c = Request::get(43).key_bytes();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn with_value_size_overrides_default() {
+        let r = Request::get(7).with_value_size(1024);
+        assert_eq!(r.value_size, 1024);
+        assert_eq!(Request::get(7).value_size, crate::DEFAULT_VALUE_SIZE);
+    }
+}

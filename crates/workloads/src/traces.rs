@@ -1,0 +1,238 @@
+//! Synthetic trace generators with controllable recency/frequency affinity.
+//!
+//! The adaptivity experiments only require workloads whose *best* caching
+//! algorithm differs (and flips as the cache size or the client mix changes).
+//! Two building blocks provide that control:
+//!
+//! * [`lru_friendly`] — a drifting working set.  Keys are intensely re-used
+//!   while they sit inside a sliding window and almost never afterwards, so
+//!   recency is an excellent signal and accumulated frequency is misleading.
+//! * [`lfu_friendly`] — a stable skewed core with periodic one-off scans.
+//!   The scans pollute an LRU cache but never build up frequency, so LFU
+//!   retains the hot core and wins.
+//!
+//! [`mixed`] stitches both together with a configurable ratio, which is how
+//! the named real-world stand-ins in [`crate::corpus`] are built.
+
+use crate::request::Request;
+use crate::zipf::Zipfian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Number of distinct keys (the workload footprint).
+    pub num_keys: u64,
+    /// Number of requests to generate.
+    pub num_requests: u64,
+    /// Value size in bytes.
+    pub value_size: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            num_keys: 100_000,
+            num_requests: 1_000_000,
+            value_size: crate::DEFAULT_VALUE_SIZE,
+            seed: 1,
+        }
+    }
+}
+
+impl TraceSpec {
+    /// Creates a spec with the given footprint and length.
+    pub fn new(num_keys: u64, num_requests: u64) -> Self {
+        TraceSpec {
+            num_keys: num_keys.max(1),
+            num_requests,
+            ..TraceSpec::default()
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the value size (builder style).
+    pub fn with_value_size(mut self, size: u32) -> Self {
+        self.value_size = size;
+        self
+    }
+}
+
+/// Generates an LRU-friendly trace: a working-set window slides over the key
+/// space, so recently used keys are re-used soon and stale keys never return.
+pub fn lru_friendly(spec: &TraceSpec) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let window = (spec.num_keys / 10).clamp(1, spec.num_keys);
+    // The window slides across the whole key space roughly three times over
+    // the duration of the trace.
+    let slide_every = (spec.num_requests / (spec.num_keys.max(1) * 3).max(1)).max(1);
+    let mut window_start: u64 = 0;
+    let mut requests = Vec::with_capacity(spec.num_requests as usize);
+    let in_window = Zipfian::new(window, 0.6);
+    for i in 0..spec.num_requests {
+        if i % slide_every == 0 && i > 0 {
+            window_start = (window_start + 1) % spec.num_keys;
+        }
+        let key = if rng.gen::<f64>() < 0.95 {
+            // Inside the window, mildly skewed towards its leading edge.
+            (window_start + in_window.sample(&mut rng)) % spec.num_keys
+        } else {
+            rng.gen_range(0..spec.num_keys)
+        };
+        requests.push(Request::get(key).with_value_size(spec.value_size));
+    }
+    requests
+}
+
+/// Generates an LFU-friendly trace: a stable Zipfian core plus periodic
+/// one-off scans that pollute recency-based caches.
+pub fn lfu_friendly(spec: &TraceSpec) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let core_keys = (spec.num_keys / 2).max(1);
+    let zipf = Zipfian::new(core_keys, 0.9);
+    // Scans walk sequentially through the second half of the key space.
+    let mut scan_cursor = core_keys;
+    let scan_burst = (spec.num_keys / 20).max(16);
+    let scan_every = (spec.num_requests / 50).max(scan_burst * 2);
+    let mut requests = Vec::with_capacity(spec.num_requests as usize);
+    let mut i = 0u64;
+    while i < spec.num_requests {
+        if i % scan_every == scan_every - 1 {
+            // Emit a scan burst of cold, never-repeated keys.
+            for _ in 0..scan_burst.min(spec.num_requests - i) {
+                requests.push(Request::get(scan_cursor).with_value_size(spec.value_size));
+                scan_cursor = core_keys + ((scan_cursor + 1 - core_keys) % (spec.num_keys - core_keys).max(1));
+                i += 1;
+            }
+            continue;
+        }
+        let key = zipf.sample(&mut rng);
+        requests.push(Request::get(key).with_value_size(spec.value_size));
+        i += 1;
+    }
+    requests
+}
+
+/// Blends an LRU-friendly and an LFU-friendly stream over the same key space.
+///
+/// `lru_fraction` ∈ [0, 1] controls how much of the request volume comes from
+/// the recency-driven stream.
+pub fn mixed(spec: &TraceSpec, lru_fraction: f64) -> Vec<Request> {
+    let lru_fraction = lru_fraction.clamp(0.0, 1.0);
+    let lru_spec = TraceSpec {
+        num_requests: (spec.num_requests as f64 * lru_fraction) as u64,
+        ..*spec
+    };
+    let lfu_spec = TraceSpec {
+        num_requests: spec.num_requests - lru_spec.num_requests,
+        seed: spec.seed.wrapping_add(0x9e37),
+        ..*spec
+    };
+    let a = lru_friendly(&lru_spec);
+    let b = lfu_friendly(&lfu_spec);
+    crate::mixer::interleave_streams(&[a, b], spec.seed, 32)
+}
+
+/// Number of distinct keys referenced by a request sequence (the footprint
+/// the paper sizes caches against).
+pub fn footprint(requests: &[Request]) -> u64 {
+    let mut keys: Vec<u64> = requests.iter().map(|r| r.key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> TraceSpec {
+        TraceSpec::new(2_000, 40_000).with_seed(7)
+    }
+
+    #[test]
+    fn traces_have_requested_length() {
+        let spec = small_spec();
+        assert_eq!(lru_friendly(&spec).len() as u64, spec.num_requests);
+        assert_eq!(lfu_friendly(&spec).len() as u64, spec.num_requests);
+        assert_eq!(mixed(&spec, 0.5).len() as u64, spec.num_requests);
+    }
+
+    #[test]
+    fn keys_stay_in_declared_footprint() {
+        let spec = small_spec();
+        for r in lru_friendly(&spec).iter().chain(lfu_friendly(&spec).iter()) {
+            assert!(r.key < spec.num_keys);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = small_spec();
+        assert_eq!(lru_friendly(&spec), lru_friendly(&spec));
+        assert_eq!(lfu_friendly(&spec), lfu_friendly(&spec));
+    }
+
+    #[test]
+    fn lru_friendly_reuses_recent_keys() {
+        // A key referenced now should most often be referenced again within a
+        // short horizon (the sliding window guarantees temporal locality).
+        let spec = small_spec();
+        let trace = lru_friendly(&spec);
+        let horizon = 2_000;
+        let mut reused = 0;
+        let mut sampled = 0;
+        for i in (0..trace.len() - horizon).step_by(97) {
+            sampled += 1;
+            if trace[i + 1..i + horizon].iter().any(|r| r.key == trace[i].key) {
+                reused += 1;
+            }
+        }
+        assert!(
+            reused as f64 / sampled as f64 > 0.6,
+            "reuse ratio {}",
+            reused as f64 / sampled as f64
+        );
+    }
+
+    #[test]
+    fn lfu_friendly_has_a_stable_hot_core() {
+        let spec = small_spec();
+        let trace = lfu_friendly(&spec);
+        // The 5 % most popular keys should capture the majority of requests.
+        let mut counts = std::collections::HashMap::new();
+        for r in &trace {
+            *counts.entry(r.key).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top = freqs.iter().take(freqs.len() / 20 + 1).sum::<u64>();
+        assert!(
+            top as f64 / trace.len() as f64 > 0.5,
+            "hot-core share {}",
+            top as f64 / trace.len() as f64
+        );
+    }
+
+    #[test]
+    fn footprint_counts_unique_keys() {
+        let reqs = vec![Request::get(1), Request::get(2), Request::get(1)];
+        assert_eq!(footprint(&reqs), 2);
+        assert_eq!(footprint(&[]), 0);
+    }
+
+    #[test]
+    fn mixed_respects_extreme_fractions() {
+        let spec = small_spec();
+        assert_eq!(mixed(&spec, 0.0).len(), mixed(&spec, 1.0).len());
+    }
+}

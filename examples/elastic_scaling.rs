@@ -1,0 +1,86 @@
+//! Elasticity: adjust compute and memory resources while the cache serves
+//! traffic, and compare with a Redis-like cluster of monolithic VMs.
+//!
+//! On disaggregated memory the number of client threads (compute) and the
+//! cache capacity (memory) are independent knobs: adding CPU cores raises
+//! throughput immediately and adding memory raises the hit rate without any
+//! data migration.  The Redis-like baseline has to reshard and migrate data,
+//! which delays the benefit by minutes (§2.1, Figures 1 and 13).
+//!
+//! Run with: `cargo run --release --example elastic_scaling`
+
+use ditto::baselines::{MonolithicConfig, RedisLikeCluster, ScaleEvent};
+use ditto::cache::{DittoCache, DittoConfig};
+use ditto::dm::{run_clients, DmConfig};
+use ditto::workloads::{replay, ReplayOptions, YcsbSpec, YcsbWorkload};
+
+fn ditto_throughput(cache: &DittoCache, spec: &YcsbSpec, clients: usize) -> f64 {
+    let (report, _) = run_clients(cache.pool(), clients, |ctx| {
+        let mut client = cache.client();
+        let requests = spec.run_requests_seeded(YcsbWorkload::C, 77 + ctx.index as u64);
+        let per_client = requests.len() / ctx.total;
+        replay(
+            &mut client,
+            requests[..per_client].iter().copied(),
+            ReplayOptions::default(),
+        );
+        client.flush();
+    });
+    report.throughput_mops
+}
+
+fn main() {
+    let spec = YcsbSpec {
+        record_count: 30_000,
+        request_count: 40_000,
+        ..YcsbSpec::default()
+    };
+    let cache = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(30_000),
+        DmConfig::default(),
+    )
+    .expect("cache construction");
+
+    // Load the records once.
+    let load = spec;
+    run_clients(cache.pool(), 8, |ctx| {
+        let mut client = cache.client();
+        replay(
+            &mut client,
+            load.load_shard(ctx.index, ctx.total),
+            ReplayOptions::default(),
+        );
+    });
+
+    println!("== Ditto: compute scaling without migration ==");
+    for clients in [4, 8, 16, 32] {
+        let mops = ditto_throughput(&cache, &spec, clients);
+        println!("  {clients:>3} client threads -> {mops:.2} Mops (takes effect immediately)");
+    }
+
+    println!();
+    println!("== Redis-like cluster: scaling 32 -> 64 -> 32 nodes ==");
+    let cluster = RedisLikeCluster::new(MonolithicConfig::default());
+    let events = [
+        ScaleEvent { at_seconds: 180.0, target_nodes: 64 },
+        ScaleEvent { at_seconds: 900.0, target_nodes: 32 },
+    ];
+    let timeline = cluster.scale_timeline(32, &events, 1_500.0, 60.0);
+    for point in &timeline {
+        println!(
+            "  t={:>5.0}s nodes={:>2} migrating={:<5} throughput={:.2} Mops p99={:.0} us",
+            point.seconds,
+            point.serving_nodes,
+            point.migrating,
+            point.throughput_mops,
+            point.p99_us
+        );
+    }
+    let migration_secs = cluster.migration_seconds(32, 64);
+    println!();
+    println!(
+        "resharding 32 -> 64 nodes migrates data for {:.1} minutes before the added \
+         resources pay off; Ditto's scaling above took effect on the next request",
+        migration_secs / 60.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: deploy Ditto on a simulated disaggregated-memory pool, run a
+//! small skewed workload from several client threads and print the resulting
+//! throughput, latency and adaptive-caching statistics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ditto::cache::{DittoCache, DittoConfig};
+use ditto::dm::{run_clients, DmConfig};
+use ditto::workloads::{replay, ReplayOptions, YcsbSpec, YcsbWorkload};
+
+fn main() {
+    // A cache holding 20 000 objects of ~256 B on a single memory node with a
+    // weak (1-core) controller, exactly like the paper's testbed topology.
+    let config = DittoConfig::with_capacity(20_000);
+    let cache = DittoCache::with_dedicated_pool(config, DmConfig::default())
+        .expect("cache construction");
+
+    // A scaled-down YCSB-B workload (95 % GET / 5 % UPDATE, Zipfian 0.99).
+    let spec = YcsbSpec {
+        record_count: 40_000,
+        request_count: 60_000,
+        ..YcsbSpec::default()
+    };
+    let num_clients = 8;
+
+    // Load phase: shard the records across clients (not measured).
+    let load_spec = spec;
+    let (_, _) = run_clients(cache.pool(), num_clients, |ctx| {
+        let mut client = cache.client();
+        let shard = load_spec.load_shard(ctx.index, ctx.total);
+        replay(&mut client, shard, ReplayOptions::default());
+        client.flush();
+    });
+    cache.stats().reset();
+
+    // Run phase: every client replays its own Zipfian request stream.
+    let run_spec = spec;
+    let (report, _) = run_clients(cache.pool(), num_clients, |ctx| {
+        let mut client = cache.client();
+        let requests = run_spec.run_requests_seeded(YcsbWorkload::B, 1_000 + ctx.index as u64);
+        let per_client = requests.len() / ctx.total;
+        let start = ctx.index * per_client;
+        let stats = replay(
+            &mut client,
+            requests[start..start + per_client].iter().copied(),
+            ReplayOptions::default(),
+        );
+        client.flush();
+        stats
+    });
+
+    let cache_stats = cache.stats().snapshot();
+    println!("== Ditto quickstart ==");
+    println!("clients                : {num_clients}");
+    println!("throughput             : {:.2} Mops", report.throughput_mops);
+    println!("median latency         : {:.1} us", report.p50_latency_us);
+    println!("p99 latency            : {:.1} us", report.p99_latency_us);
+    println!("RNIC messages per op   : {:.2}", report.messages_per_op);
+    println!("bottleneck             : {:?}", report.bottleneck);
+    println!("hit rate               : {:.1} %", cache_stats.hit_rate() * 100.0);
+    println!("evictions              : {}", cache_stats.evictions + cache_stats.bucket_evictions);
+    println!("regrets collected      : {}", cache_stats.regrets);
+    println!("global expert weights  : {:?}", cache.global_weights());
+}

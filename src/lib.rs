@@ -1,0 +1,23 @@
+//! Umbrella crate for the Ditto reproduction.
+//!
+//! Ditto is an elastic and adaptive caching system for disaggregated memory
+//! (SOSP 2023).  This crate re-exports the public API of every sub-crate so
+//! downstream users can depend on a single crate:
+//!
+//! * [`dm`] — the disaggregated-memory substrate (memory pool, one-sided
+//!   verbs, RPC, resource accounting).
+//! * [`algorithms`] — the caching-algorithm library (priority / update rules).
+//! * [`cache`] — the Ditto client-centric caching framework and distributed
+//!   adaptive caching.
+//! * [`workloads`] — YCSB and synthetic real-world workload generators.
+//! * [`baselines`] — CliqueMap, Shard-LRU and Redis-like baselines.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+pub use ditto_algorithms as algorithms;
+pub use ditto_baselines as baselines;
+pub use ditto_core as cache;
+pub use ditto_dm as dm;
+pub use ditto_workloads as workloads;

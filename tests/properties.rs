@@ -1,0 +1,189 @@
+//! Property-based tests over the core data structures and invariants.
+
+use ditto::algorithms::{registry, AccessContext, Metadata};
+use ditto::cache::fc_cache::FcCache;
+use ditto::cache::slot::{AtomicField, Slot, SLOT_SIZE};
+use ditto::cache::ExpertWeights;
+use ditto::dm::{DmConfig, MemoryNode, MemoryPool, RemoteAddr};
+use ditto::workloads::Zipfian;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    /// Packing a remote address and unpacking it is the identity.
+    #[test]
+    fn remote_addr_pack_roundtrip(mn in 0u16..=u16::MAX, offset in 0u64..(1u64 << 48)) {
+        let addr = RemoteAddr::new(mn, offset);
+        prop_assert_eq!(RemoteAddr::unpack(addr.pack()), addr);
+    }
+
+    /// The slot atomic field survives encode/decode for every valid input.
+    #[test]
+    fn atomic_field_roundtrip(
+        fp in any::<u8>(),
+        size_class in 1u8..=254,
+        mn in 0u16..256,
+        offset in (0u64..(1u64 << 40)).prop_map(|o| o & !63),
+    ) {
+        let field = AtomicField::for_object(fp, size_class, RemoteAddr::new(mn, offset));
+        let decoded = AtomicField::decode(field.encode());
+        prop_assert_eq!(decoded, field);
+        prop_assert!(decoded.is_object());
+        prop_assert_eq!(decoded.object_addr(), RemoteAddr::new(mn, offset));
+    }
+
+    /// Whole slots survive the 40-byte wire encoding.
+    #[test]
+    fn slot_bytes_roundtrip(
+        fp in any::<u8>(),
+        size_class in 1u8..=254,
+        offset in (64u64..(1u64 << 30)).prop_map(|o| o & !63),
+        hash in any::<u64>(),
+        insert_ts in any::<u64>(),
+        last_ts in any::<u64>(),
+        freq in any::<u64>(),
+    ) {
+        let slot = Slot {
+            atomic: AtomicField::for_object(fp, size_class, RemoteAddr::new(0, offset)),
+            hash,
+            insert_ts,
+            last_ts,
+            freq,
+        };
+        let bytes = slot.to_bytes();
+        prop_assert_eq!(bytes.len(), SLOT_SIZE);
+        prop_assert_eq!(Slot::from_bytes(&bytes), slot);
+    }
+
+    /// Arbitrary writes to the memory node read back unchanged.
+    #[test]
+    fn memory_node_write_read_roundtrip(
+        offset in 0u64..60_000,
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let node = MemoryNode::new(0, 64 * 1024);
+        node.write(offset, &data).unwrap();
+        prop_assert_eq!(node.read(offset, data.len()).unwrap(), data);
+    }
+
+    /// The frequency-counter cache never loses or invents increments.
+    #[test]
+    fn fc_cache_conserves_increments(
+        threshold in 1u64..20,
+        capacity in 1usize..32,
+        accesses in proptest::collection::vec(0u64..50, 1..2_000),
+    ) {
+        let mut fc = FcCache::new(threshold, capacity);
+        let mut flushed = 0u64;
+        for slot in &accesses {
+            for (_, delta) in fc.record(RemoteAddr::new(0, 64 + slot * 40)) {
+                flushed += delta;
+            }
+        }
+        for (_, delta) in fc.flush_all() {
+            flushed += delta;
+        }
+        prop_assert_eq!(flushed, accesses.len() as u64);
+    }
+
+    /// Expert weights always form a probability distribution, whatever the
+    /// regret sequence.
+    #[test]
+    fn expert_weights_stay_normalised(
+        num_experts in 2usize..6,
+        regrets in proptest::collection::vec((any::<u64>(), 0u64..10_000), 0..300),
+    ) {
+        let mut weights = ExpertWeights::new(num_experts, 0.3, 0.999, 10);
+        for (bitmap, position) in regrets {
+            weights.apply_regret(bitmap, position);
+            let sum: f64 = weights.weights().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "weights sum to {}", sum);
+            prop_assert!(weights.weights().iter().all(|w| *w > 0.0 && w.is_finite()));
+        }
+    }
+
+    /// Zipfian samples always fall inside the key space.
+    #[test]
+    fn zipfian_samples_in_range(n in 1u64..100_000, seed in any::<u64>()) {
+        let zipf = Zipfian::ycsb(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+            prop_assert!(zipf.sample_scrambled(&mut rng) < n);
+        }
+    }
+
+    /// Every built-in algorithm produces a total, deterministic ordering for
+    /// arbitrary metadata (no NaNs sneak into priorities).
+    #[test]
+    fn algorithm_priorities_are_deterministic(
+        insert_ts in 0u64..1_000_000,
+        extra_accesses in 0u64..50,
+        size in 1u32..100_000,
+        now_delta in 0u64..1_000_000,
+    ) {
+        for alg in registry::all_algorithms() {
+            let ctx = AccessContext::at(insert_ts);
+            let mut m = Metadata::on_insert(insert_ts, size, &ctx);
+            alg.update(&mut m, &ctx);
+            for i in 0..extra_accesses {
+                let ctx = AccessContext::at(insert_ts + i + 1);
+                m.record_access(&ctx);
+                alg.update(&mut m, &ctx);
+            }
+            let now = insert_ts + extra_accesses + now_delta;
+            let a = alg.priority(&m, now);
+            let b = alg.priority(&m, now);
+            prop_assert!(!a.is_nan(), "{} produced NaN", alg.name());
+            prop_assert_eq!(a, b, "{} is non-deterministic", alg.name());
+        }
+    }
+
+    /// Concurrent-looking sequences of FAA on the pool are linearisable to a
+    /// plain sum (the substrate's atomics are real atomics).
+    #[test]
+    fn pool_faa_accumulates(deltas in proptest::collection::vec(1u64..100, 1..100)) {
+        let pool = MemoryPool::new(DmConfig::small());
+        let addr = pool.reserve(8).unwrap();
+        let client = pool.connect();
+        let mut expected = 0u64;
+        for d in &deltas {
+            client.faa(addr, *d);
+            expected += d;
+        }
+        prop_assert_eq!(client.read_u64(addr), expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The Ditto cache never returns a value that was not stored under the
+    /// requested key, for arbitrary small workloads.
+    #[test]
+    fn ditto_never_returns_wrong_values(
+        ops in proptest::collection::vec((0u64..200, any::<bool>()), 1..400),
+    ) {
+        use ditto::cache::{DittoCache, DittoConfig};
+        use std::collections::HashMap;
+        let cache = DittoCache::with_dedicated_pool(
+            DittoConfig::with_capacity(100),
+            DmConfig::default(),
+        ).unwrap();
+        let mut client = cache.client();
+        let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (key, is_set) in ops {
+            let key_bytes = format!("key{key}");
+            if is_set {
+                let value = format!("value-{key}");
+                client.set(key_bytes.as_bytes(), value.as_bytes());
+                expected.insert(key, value.into_bytes());
+            } else if let Some(value) = client.get(key_bytes.as_bytes()) {
+                // A hit must return exactly what was last stored (misses are
+                // always allowed — the cache may have evicted the key).
+                let stored = expected.get(&key);
+                prop_assert_eq!(Some(&value), stored, "wrong value for key{}", key);
+            }
+        }
+    }
+}
