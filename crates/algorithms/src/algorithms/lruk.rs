@@ -27,7 +27,7 @@ impl LruK {
     ///
     /// Panics if `k` is zero or exceeds the available extension words.
     pub fn new(k: usize) -> Self {
-        assert!(k >= 1 && k <= EXT_WORDS, "K must be in 1..={EXT_WORDS}");
+        assert!((1..=EXT_WORDS).contains(&k), "K must be in 1..={EXT_WORDS}");
         LruK { k }
     }
 

@@ -1,26 +1,21 @@
 //! Hit-rate simulation benchmarks: how fast the adaptive simulator replays
 //! the workload stand-ins used by the adaptivity figures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ditto_bench::timing::bench;
 use ditto_core::sim::{simulate_hit_rate, SimConfig};
 use ditto_workloads::corpus::{webmail, CorpusScale};
 
-fn bench_hitrate(c: &mut Criterion) {
+fn main() {
     let trace = webmail(CorpusScale(0.02));
     let capacity = (trace.footprint / 10).max(64) as usize;
-    let mut group = c.benchmark_group("hit_rate_sim");
-    group.sample_size(10);
-    group.bench_function("lru", |b| {
-        b.iter(|| simulate_hit_rate(&trace.requests, SimConfig::single(capacity, "lru")).unwrap())
+    println!("hit_rate_sim ({} requests)", trace.requests.len());
+    bench("lru", 10, || {
+        simulate_hit_rate(&trace.requests, SimConfig::single(capacity, "lru")).unwrap()
     });
-    group.bench_function("lfu", |b| {
-        b.iter(|| simulate_hit_rate(&trace.requests, SimConfig::single(capacity, "lfu")).unwrap())
+    bench("lfu", 10, || {
+        simulate_hit_rate(&trace.requests, SimConfig::single(capacity, "lfu")).unwrap()
     });
-    group.bench_function("adaptive_lru_lfu", |b| {
-        b.iter(|| simulate_hit_rate(&trace.requests, SimConfig::adaptive(capacity)).unwrap())
+    bench("adaptive_lru_lfu", 10, || {
+        simulate_hit_rate(&trace.requests, SimConfig::adaptive(capacity)).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_hitrate);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
 //! Micro-benchmarks of single `Get`/`Set` operations on the DM substrate for
 //! Ditto and the baselines (real execution cost of the data path; the
-//! simulated-time metrics are produced by the `figures` binary).
+//! simulated-time metrics are produced by the `ops_bench` binary).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ditto_bench::timing::bench_iters;
 use ditto_bench::{SystemKind, SystemUnderTest};
 use ditto_dm::DmConfig;
 use ditto_workloads::CacheBackend;
 
-fn bench_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_op");
-    group.sample_size(20);
+fn main() {
+    println!("single_op");
     for kind in [
         SystemKind::Ditto,
         SystemKind::DittoLru,
@@ -22,23 +21,12 @@ fn bench_ops(c: &mut Criterion) {
         for i in 0..5_000u64 {
             client.set(format!("key{i}").as_bytes(), &[7u8; 256]);
         }
-        let mut cursor = 0u64;
-        group.bench_function(format!("get/{}", kind.name()), |b| {
-            b.iter(|| {
-                cursor = (cursor + 1) % 5_000;
-                client.get(format!("key{cursor}").as_bytes())
-            })
+        bench_iters(&format!("get/{}", kind.name()), 20_000, |i| {
+            client.get(format!("key{}", i % 5_000).as_bytes())
         });
-        group.bench_function(format!("set/{}", kind.name()), |b| {
-            b.iter(|| {
-                cursor = (cursor + 1) % 5_000;
-                client.set(format!("key{cursor}").as_bytes(), &[9u8; 256]);
-            })
+        bench_iters(&format!("set/{}", kind.name()), 20_000, |i| {
+            client.set(format!("key{}", i % 5_000).as_bytes(), &[9u8; 256]);
         });
         client.finish();
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ops);
-criterion_main!(benches);

@@ -1,34 +1,27 @@
-//! End-to-end YCSB-C runs (Figure 14's core comparison) as a Criterion bench:
-//! measures the real execution time of replaying a fixed request budget on
-//! Ditto and the baselines with 8 client threads.
+//! End-to-end YCSB-C runs (Figure 14's core comparison): measures the real
+//! execution time of replaying a fixed request budget on Ditto and the
+//! baselines with 8 client threads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ditto_bench::timing::bench;
 use ditto_bench::{load_phase, measured_phase, SystemKind, SystemUnderTest};
 use ditto_dm::DmConfig;
 use ditto_workloads::{ReplayOptions, YcsbSpec, YcsbWorkload};
 
-fn bench_ycsb(c: &mut Criterion) {
+fn main() {
     let spec = YcsbSpec {
         record_count: 10_000,
         request_count: 20_000,
         ..YcsbSpec::default()
     };
-    let mut group = c.benchmark_group("ycsb_c_8clients");
-    group.sample_size(10);
+    println!("ycsb_c_8clients");
     for kind in [SystemKind::Ditto, SystemKind::CmLru, SystemKind::ShardLru] {
         let sut = SystemUnderTest::build(kind, spec.record_count * 2, DmConfig::default());
         load_phase(&sut, 8, &spec.load_requests());
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                measured_phase(&sut, kind.name(), 8, ReplayOptions::default(), &|i| {
-                    let requests = spec.run_requests_seeded(YcsbWorkload::C, i as u64);
-                    requests[..1_000].to_vec()
-                })
+        bench(kind.name(), 10, || {
+            measured_phase(&sut, kind.name(), 8, ReplayOptions::default(), &|i| {
+                let requests = spec.run_requests_seeded(YcsbWorkload::C, i as u64);
+                requests[..1_000].to_vec()
             })
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ycsb);
-criterion_main!(benches);

@@ -157,7 +157,6 @@ fn fig2(scale: f64) {
         load_phase(&sut, 8, &spec.load_requests());
         let mut values = Vec::new();
         for clients in [1usize, 4, 8, 16, 32, 64] {
-            let spec = spec;
             let run = measured_phase(&sut, kind.name(), clients, ReplayOptions::default(), &|i| {
                 let requests = spec.run_requests_seeded(YcsbWorkload::C, 100 + i as u64);
                 requests[..(per_client / clients.max(1)).max(500).min(requests.len())].to_vec()
@@ -279,7 +278,6 @@ fn fig13(scale: f64) {
         ("8 client cores (-8)", 8),
     ];
     for (name, clients) in phases {
-        let spec = spec;
         let run = measured_phase(&sut, "Ditto", clients, ReplayOptions::default(), &|i| {
             let requests = spec.run_requests_seeded(YcsbWorkload::C, 7 + i as u64);
             requests[..(4_000).min(requests.len())].to_vec()
@@ -304,7 +302,6 @@ fn fig14(scale: f64) {
             load_phase(&sut, 8, &spec.load_requests());
             print!("{:<12}", kind.name());
             for &clients in &client_counts {
-                let spec = spec;
                 let run = measured_phase(&sut, kind.name(), clients, ReplayOptions::default(), &|i| {
                     let requests = spec.run_requests_seeded(workload, 31 + i as u64);
                     requests[..(2_000).min(requests.len())].to_vec()
@@ -334,7 +331,6 @@ fn fig15(scale: f64) {
             for kind in [SystemKind::Ditto, SystemKind::CmLru] {
                 let sut = SystemUnderTest::build(kind, capacity, dm.clone());
                 load_phase(&sut, 8, &spec.load_requests());
-                let spec = spec;
                 let run = measured_phase(&sut, kind.name(), clients, ReplayOptions::default(), &|i| {
                     let requests = spec.run_requests_seeded(workload, 77 + i as u64);
                     requests[..(2_000).min(requests.len())].to_vec()
@@ -558,7 +554,8 @@ fn fig24(scale: f64) {
     let clients = 8;
     println!("webmail stand-in without miss penalty, {} clients", clients);
     println!("{:<34} {:>10} {:>10}", "configuration", "Mops", "msgs/op");
-    let variants: Vec<(&str, Box<dyn Fn(&mut DittoConfig)>)> = vec![
+    type Ablation = (&'static str, Box<dyn Fn(&mut DittoConfig)>);
+    let variants: Vec<Ablation> = vec![
         ("Ditto (all techniques)", Box::new(|_c: &mut DittoConfig| {})),
         (
             "- sample-friendly hash table",
@@ -624,7 +621,6 @@ fn fig25(scale: f64) {
         }
         let sut = SystemUnderTest::ditto_with_config(config, DmConfig::default());
         load_phase(&sut, 8, &spec.load_requests());
-        let spec = spec;
         let run = measured_phase(&sut, "Ditto", clients, ReplayOptions::default(), &|i| {
             let requests = spec.run_requests_seeded(YcsbWorkload::C, 55 + i as u64);
             requests[..(3_000).min(requests.len())].to_vec()
@@ -638,7 +634,7 @@ fn fig25(scale: f64) {
 
 /// Table 3: lines of code and access information per algorithm.
 fn tab3() {
-    println!("{:<12} {:>5}  {}", "algorithm", "LOC", "access information used");
+    println!("{:<12} {:>5}  access information used", "algorithm", "LOC");
     let table = registry::table3();
     for row in &table {
         println!("{:<12} {:>5}  {:?}", row.name, row.loc, row.info);

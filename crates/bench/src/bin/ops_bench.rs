@@ -1,0 +1,193 @@
+//! Get-heavy ops microbenchmark of the doorbell-batched, zero-allocation
+//! data path.
+//!
+//! Replays a seeded YCSB-C trace (gets with cache-aside fills) against a
+//! `DittoClient` twice — doorbell batching on and off — and reports
+//! simulated ops/s, verbs per op, doorbells per op and p50/p99 operation
+//! latency as JSON in `BENCH_ops.json`, so future changes can track the
+//! performance trajectory.
+//!
+//! The process exits non-zero if the batched configuration does not deliver
+//! ≥1.3× simulated throughput, or if the two configurations diverge in
+//! hit/miss counts (batching must never change cache behaviour).
+//!
+//! ```text
+//! cargo run --release -p ditto-bench --bin ops_bench
+//! cargo run --release -p ditto-bench --bin ops_bench -- --requests 500000
+//! ```
+
+use ditto_core::{DittoCache, DittoConfig};
+use ditto_dm::DmConfig;
+use ditto_workloads::{YcsbSpec, YcsbWorkload};
+
+#[derive(Debug, Clone)]
+struct ModeReport {
+    ops: u64,
+    sim_seconds: f64,
+    ops_per_sec: f64,
+    verbs_per_op: f64,
+    doorbells_per_op: f64,
+    mean_batch_size: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+fn run_mode(batching: bool, spec: &YcsbSpec, capacity: u64) -> ModeReport {
+    let config = DittoConfig::with_capacity(capacity).with_doorbell_batching(batching);
+    let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+    let mut client = cache.client();
+
+    // Load phase: pre-populate every record (not measured).
+    let mut value = vec![0u8; spec.value_size as usize];
+    for key in 0..spec.record_count {
+        value.fill(key as u8);
+        client.set(&key.to_le_bytes(), &value);
+    }
+    // Publish the load-phase clock before resetting so the measurement
+    // baseline advances to "now" and simulated time stays monotonic with
+    // respect to the timestamps already stored in the table.
+    client.dm().publish_clock();
+    cache.pool().reset_stats();
+    client.dm().reset_clock();
+    let baseline_ns = client.dm().now_ns();
+
+    // Measured get-heavy phase with cache-aside fills on miss.
+    let mut value_buf = Vec::with_capacity(spec.value_size as usize);
+    for request in spec.run_requests(YcsbWorkload::C) {
+        let key = request.key_bytes();
+        if !client.get_into(&key, &mut value_buf) {
+            value.fill(request.key as u8);
+            client.set(&key, &value);
+        }
+    }
+    client.flush();
+
+    let stats = cache.pool().stats();
+    let snap = &stats.node_snapshots()[0];
+    let cache_snap = cache.stats().snapshot();
+    let ops = stats.ops();
+    let sim_seconds = (client.dm().now_ns() - baseline_ns) as f64 / 1e9;
+    ModeReport {
+        ops,
+        sim_seconds,
+        ops_per_sec: ops as f64 / sim_seconds,
+        verbs_per_op: snap.messages as f64 / ops as f64,
+        doorbells_per_op: stats.doorbells() as f64 / ops as f64,
+        mean_batch_size: stats.mean_batch_size(),
+        p50_us: stats.latency().median_ns() as f64 / 1_000.0,
+        p99_us: stats.latency().p99_ns() as f64 / 1_000.0,
+        hits: cache_snap.hits,
+        misses: cache_snap.misses,
+        evictions: cache_snap.evictions + cache_snap.bucket_evictions,
+    }
+}
+
+fn mode_json(report: &ModeReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"ops\": {},\n",
+            "      \"simulated_seconds\": {:.6},\n",
+            "      \"ops_per_sec\": {:.1},\n",
+            "      \"verbs_per_op\": {:.4},\n",
+            "      \"doorbells_per_op\": {:.4},\n",
+            "      \"mean_batch_size\": {:.4},\n",
+            "      \"p50_latency_us\": {:.3},\n",
+            "      \"p99_latency_us\": {:.3},\n",
+            "      \"hits\": {},\n",
+            "      \"misses\": {},\n",
+            "      \"evictions\": {}\n",
+            "    }}"
+        ),
+        report.ops,
+        report.sim_seconds,
+        report.ops_per_sec,
+        report.verbs_per_op,
+        report.doorbells_per_op,
+        report.mean_batch_size,
+        report.p50_us,
+        report.p99_us,
+        report.hits,
+        report.misses,
+        report.evictions,
+    )
+}
+
+fn main() {
+    let mut requests: u64 = 200_000;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs a number");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let spec = YcsbSpec {
+        record_count: 10_000,
+        request_count: requests,
+        ..YcsbSpec::default()
+    }
+    .with_seed(42);
+    // Capacity below the record count: the get-heavy phase mixes hits,
+    // misses with cache-aside fills, and eviction pressure.
+    let capacity = spec.record_count * 7 / 10;
+
+    eprintln!("ops_bench: YCSB-C, {requests} requests, {} records", spec.record_count);
+    let batched = run_mode(true, &spec, capacity);
+    eprintln!(
+        "  batched:   {:>12.0} ops/s  {:.2} verbs/op  {:.2} µs p50  {:.2} µs p99",
+        batched.ops_per_sec, batched.verbs_per_op, batched.p50_us, batched.p99_us
+    );
+    let unbatched = run_mode(false, &spec, capacity);
+    eprintln!(
+        "  unbatched: {:>12.0} ops/s  {:.2} verbs/op  {:.2} µs p50  {:.2} µs p99",
+        unbatched.ops_per_sec, unbatched.verbs_per_op, unbatched.p50_us, unbatched.p99_us
+    );
+    let speedup = batched.ops_per_sec / unbatched.ops_per_sec;
+    eprintln!("  speedup:   {speedup:.3}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"ops\",\n",
+            "  \"workload\": \"ycsb-c\",\n",
+            "  \"requests\": {},\n",
+            "  \"records\": {},\n",
+            "  \"capacity_objects\": {},\n",
+            "  \"modes\": {{\n",
+            "    \"batched\": {},\n",
+            "    \"unbatched\": {}\n",
+            "  }},\n",
+            "  \"speedup\": {:.4}\n",
+            "}}\n"
+        ),
+        requests,
+        spec.record_count,
+        capacity,
+        mode_json(&batched),
+        mode_json(&unbatched),
+        speedup,
+    );
+    std::fs::write("BENCH_ops.json", &json).expect("write BENCH_ops.json");
+    println!("{json}");
+
+    // Acceptance gates: behaviour parity and the batching win.
+    assert_eq!(
+        (batched.hits, batched.misses),
+        (unbatched.hits, unbatched.misses),
+        "hit/miss parity broken between batched and unbatched modes"
+    );
+    assert!(
+        speedup >= 1.3,
+        "doorbell batching must deliver >=1.3x simulated ops/s, measured {speedup:.3}x"
+    );
+}

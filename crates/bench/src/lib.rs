@@ -15,6 +15,8 @@ use ditto_dm::{run_clients, DmConfig, MemoryPool, RunReport};
 use ditto_workloads::{replay, CacheBackend, ReplayOptions, ReplayStats, Request};
 use serde::{Deserialize, Serialize};
 
+pub mod timing;
+
 /// The systems compared across the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SystemKind {
@@ -64,8 +66,8 @@ pub enum SystemUnderTest {
 
 /// A per-thread client of a [`SystemUnderTest`].
 pub enum ClientUnderTest {
-    /// Ditto client.
-    Ditto(DittoClient),
+    /// Ditto client (boxed: far larger than the other clients).
+    Ditto(Box<DittoClient>),
     /// CliqueMap client.
     CliqueMap(CliqueMapClient),
     /// Lock-based list client.
@@ -131,7 +133,7 @@ impl SystemUnderTest {
     /// Opens a new per-thread client.
     pub fn client(&self) -> ClientUnderTest {
         match self {
-            SystemUnderTest::Ditto(c) => ClientUnderTest::Ditto(c.client()),
+            SystemUnderTest::Ditto(c) => ClientUnderTest::Ditto(Box::new(c.client())),
             SystemUnderTest::CliqueMap(c) => ClientUnderTest::CliqueMap(c.client()),
             SystemUnderTest::Locked(c) => ClientUnderTest::Locked(c.client()),
         }
@@ -174,7 +176,7 @@ impl CacheBackend for ClientUnderTest {
 
     fn miss_penalty(&mut self, us: u64) {
         match self {
-            ClientUnderTest::Ditto(c) => CacheBackend::miss_penalty(c, us),
+            ClientUnderTest::Ditto(c) => CacheBackend::miss_penalty(&mut **c, us),
             ClientUnderTest::CliqueMap(c) => c.miss_penalty(us),
             ClientUnderTest::Locked(c) => c.miss_penalty(us),
         }

@@ -1,0 +1,76 @@
+//! Minimal wall-clock timing harness for the `harness = false` benches.
+//!
+//! The crates.io `criterion` dependency is unavailable offline; this module
+//! provides the small subset the benches need — warm-up, repeated timed
+//! runs and a mean/min/max report on stdout.
+
+use std::time::Instant;
+
+/// Times `f` over `samples` runs (after one warm-up run) and prints a
+/// one-line report.  Returns the mean nanoseconds per run.
+pub fn bench<R>(label: &str, samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let samples = samples.max(1);
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed().as_nanos() as f64);
+    }
+    let mean = times.iter().sum::<f64>() / samples as f64;
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = times.iter().copied().fold(0.0_f64, f64::max);
+    println!(
+        "{label:<40} mean {:>12} ns/iter  (min {:>12}, max {:>12}, n={samples})",
+        fmt_thousands(mean),
+        fmt_thousands(min),
+        fmt_thousands(max),
+    );
+    mean
+}
+
+/// Times `iters` iterations of `f` inside one measured run and prints the
+/// per-iteration cost.  Returns the mean nanoseconds per iteration.
+pub fn bench_iters<R>(label: &str, iters: u64, mut f: impl FnMut(u64) -> R) -> f64 {
+    let iters = iters.max(1);
+    for i in 0..iters.min(100) {
+        std::hint::black_box(f(i));
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        std::hint::black_box(f(i));
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:<40} {:>12} ns/iter  (n={iters})", fmt_thousands(per_iter));
+    per_iter
+}
+
+fn fmt_thousands(v: f64) -> String {
+    let v = v.round() as u64;
+    let s = v.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_mean() {
+        let mean = bench("noop", 3, || 1 + 1);
+        assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(fmt_thousands(1234567.0), "1,234,567");
+        assert_eq!(fmt_thousands(999.0), "999");
+    }
+}

@@ -51,6 +51,13 @@ pub struct DittoConfig {
     pub enable_lazy_weight_update: bool,
     /// Ablation toggle: client-side frequency-counter cache (§4.2.2).
     pub enable_fc_cache: bool,
+    /// Issue independent data-path verbs (the two bucket READs of a lookup,
+    /// the object WRITE + bucket READs of a `Set`, the scattered slot READs
+    /// of an eviction sample) as RNIC doorbell batches, charging one
+    /// doorbell plus the slowest round trip instead of the sum (§4.2).
+    /// Disabling it issues the identical verbs sequentially — the ablation
+    /// measured by the ops microbenchmark.
+    pub enable_doorbell_batching: bool,
     /// How many misses may elapse before a client refreshes its cached copy
     /// of the global history counter.
     pub history_counter_refresh: u64,
@@ -78,6 +85,7 @@ impl Default for DittoConfig {
             enable_lightweight_history: true,
             enable_lazy_weight_update: true,
             enable_fc_cache: true,
+            enable_doorbell_batching: true,
             history_counter_refresh: 256,
             alloc_segment_objects: 16,
         }
@@ -122,6 +130,18 @@ impl DittoConfig {
         self.sample_size = k.max(1);
         self
     }
+
+    /// Enables or disables doorbell batching on the data path (builder
+    /// style).
+    pub fn with_doorbell_batching(mut self, enabled: bool) -> Self {
+        self.enable_doorbell_batching = enabled;
+        self
+    }
+
+    /// Largest supported eviction sample size; bounds the fixed-capacity
+    /// candidate buffers of the allocation-free data path (the paper uses
+    /// K = 5).
+    pub const MAX_SAMPLE_SIZE: usize = 32;
 
     /// Effective history length (resolves the "0 = capacity" default).
     pub fn history_len(&self) -> u64 {
@@ -169,6 +189,12 @@ impl DittoConfig {
         }
         if self.sample_size == 0 {
             return Err("sample_size must be at least 1".to_string());
+        }
+        if self.sample_size > Self::MAX_SAMPLE_SIZE {
+            return Err(format!(
+                "sample_size must be at most {} (fixed-capacity candidate buffers)",
+                Self::MAX_SAMPLE_SIZE
+            ));
         }
         if !(0.0..=10.0).contains(&self.learning_rate) {
             return Err("learning_rate out of range".to_string());

@@ -16,6 +16,47 @@ use std::collections::HashMap;
 /// One pending flush: the frequency-field address and the buffered delta.
 pub type FcFlush = (RemoteAddr, u64);
 
+/// The flushes produced by one [`FcCache::record`] call — at most two (the
+/// entry that hit the threshold plus a capacity eviction), stored inline so
+/// the hot path never allocates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FcFlushes {
+    items: [Option<FcFlush>; 2],
+    len: usize,
+}
+
+impl FcFlushes {
+    fn push(&mut self, flush: FcFlush) {
+        debug_assert!(self.len < 2);
+        self.items[self.len] = Some(flush);
+        self.len += 1;
+    }
+
+    /// Number of flushes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no flush is due.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies the flushes into a `Vec` (test/diagnostic convenience).
+    pub fn to_vec(self) -> Vec<FcFlush> {
+        self.into_iter().collect()
+    }
+}
+
+impl IntoIterator for FcFlushes {
+    type Item = FcFlush;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<FcFlush>, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().flatten()
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct FcEntry {
     delta: u64,
@@ -60,12 +101,12 @@ impl FcCache {
 
     /// Records one access to the frequency counter at `freq_addr`.
     ///
-    /// Returns the flushes (at most two) the caller must apply with
-    /// `RDMA_FAA`: one when this entry reached the threshold, and possibly
-    /// one for an entry evicted to make room.
-    pub fn record(&mut self, freq_addr: RemoteAddr) -> Vec<FcFlush> {
+    /// Returns the flushes (at most two, inline — no allocation) the caller
+    /// must apply with `RDMA_FAA`: one when this entry reached the
+    /// threshold, and possibly one for an entry evicted to make room.
+    pub fn record(&mut self, freq_addr: RemoteAddr) -> FcFlushes {
         let key = freq_addr.pack();
-        let mut flushes = Vec::new();
+        let mut flushes = FcFlushes::default();
         self.seq += 1;
         let seq = self.seq;
 
@@ -120,7 +161,7 @@ mod tests {
         assert!(fc.record(addr(1)).is_empty());
         assert!(fc.record(addr(1)).is_empty());
         let flushes = fc.record(addr(1));
-        assert_eq!(flushes, vec![(addr(1), 3)]);
+        assert_eq!(flushes.to_vec(), vec![(addr(1), 3)]);
         assert!(fc.is_empty());
     }
 
@@ -141,7 +182,7 @@ mod tests {
         assert!(fc.record(addr(2)).is_empty());
         // Inserting a third distinct entry evicts the oldest (addr 1).
         let flushes = fc.record(addr(3));
-        assert_eq!(flushes, vec![(addr(1), 1)]);
+        assert_eq!(flushes.to_vec(), vec![(addr(1), 1)]);
         assert_eq!(fc.len(), 2);
     }
 
@@ -178,6 +219,6 @@ mod tests {
     fn threshold_one_behaves_like_no_cache() {
         let mut fc = FcCache::new(1, 100);
         let flushes = fc.record(addr(4));
-        assert_eq!(flushes, vec![(addr(4), 1)]);
+        assert_eq!(flushes.to_vec(), vec![(addr(4), 1)]);
     }
 }

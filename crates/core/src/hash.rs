@@ -28,6 +28,68 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A fast, non-cryptographic hasher for process-local hash maps (the
+/// `FxHasher` algorithm from the Rust compiler, reimplemented here because
+/// the build environment has no network access to the `rustc-hash` crate).
+///
+/// The figure sweeps replay tens of millions of requests through
+/// [`crate::sim::SimCache`], whose per-request cost is dominated by hash-map
+/// lookups; Fx hashing is several times faster than the SipHash default for
+/// the short byte-string keys involved.  Not DoS-resistant — only use for
+/// trusted, process-local keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        // Classic Fx leaves the low bits poorly mixed (a multiply only
+        // propagates entropy upwards), and hash maps index buckets with
+        // exactly those bits; finish with an xor-shift mix like newer
+        // rustc-hash versions do.
+        mix64(self.hash)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.write_u64(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ value).wrapping_mul(FX_SEED);
+    }
+
+    fn write_u8(&mut self, value: u8) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(value as u64);
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,6 +112,26 @@ mod tests {
     fn fingerprint_is_top_byte() {
         let h = 0xAB00_0000_0000_0001u64;
         assert_eq!(fingerprint(h), 0xAB);
+    }
+
+    #[test]
+    fn fx_hashmap_roundtrip_and_spread() {
+        let mut map: FxHashMap<Vec<u8>, u64> = FxHashMap::default();
+        for i in 0..1_000u64 {
+            map.insert(format!("key{i}").into_bytes(), i);
+        }
+        for i in 0..1_000u64 {
+            assert_eq!(map.get(format!("key{i}").as_bytes()), Some(&i));
+        }
+        // The hasher itself must spread sequential keys across buckets.
+        use std::hash::{Hash, Hasher};
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..1_000u64 {
+            let mut h = FxHasher::default();
+            format!("key{i}").as_bytes().hash(&mut h);
+            low_bits.insert(h.finish() % 256);
+        }
+        assert!(low_bits.len() > 200, "only {} distinct buckets", low_bits.len());
     }
 
     #[test]

@@ -94,6 +94,10 @@ impl SampleFriendlyHashTable {
     }
 
     /// Reads and decodes one bucket with a single `RDMA_READ`.
+    ///
+    /// Allocates the result; the allocation-free data path reads bucket
+    /// bytes into a client scratch buffer (batched with other verbs) and
+    /// decodes them with [`SampleFriendlyHashTable::decode_slots`].
     pub fn read_bucket(&self, client: &DmClient, bucket_idx: u64) -> Vec<(RemoteAddr, Slot)> {
         let addr = self.bucket_addr(bucket_idx);
         let bytes = client.read(addr, BUCKET_SIZE);
@@ -107,15 +111,35 @@ impl SampleFriendlyHashTable {
             .collect()
     }
 
-    /// Reads `count` consecutive slots starting at a random position with a
-    /// single `RDMA_READ` — the sampling primitive of the client-centric
-    /// caching framework.
-    pub fn read_sample<R: Rng + ?Sized>(
+    /// Decodes consecutive slots out of `bytes` previously read from `addr`,
+    /// appending `(slot address, decoded slot)` pairs to `out` without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a whole number of slots or `out` lacks the
+    /// capacity.
+    pub fn decode_slots(
+        addr: RemoteAddr,
+        bytes: &[u8],
+        out: &mut impl Extend<(RemoteAddr, Slot)>,
+    ) {
+        assert!(bytes.len().is_multiple_of(SLOT_SIZE), "partial slot in bucket bytes");
+        out.extend(bytes.chunks_exact(SLOT_SIZE).enumerate().map(|(i, chunk)| {
+            (addr.add((i * SLOT_SIZE) as u64), Slot::from_bytes(chunk))
+        }));
+    }
+
+    /// Picks the span of `count` consecutive slots starting at a uniformly
+    /// random position, returning its base address and clamped length — the
+    /// sampling primitive of the client-centric caching framework, split
+    /// from the read so callers can fetch the span into their own buffer
+    /// (possibly inside a doorbell batch).
+    pub fn sample_span<R: Rng + ?Sized>(
         &self,
-        client: &DmClient,
         rng: &mut R,
         count: usize,
-    ) -> Vec<(RemoteAddr, Slot)> {
+    ) -> (RemoteAddr, usize) {
         let count = count.clamp(1, self.num_slots() as usize);
         // Keep the read within the table by clamping the starting slot.
         let max_start = self.num_slots() - count as u64;
@@ -124,16 +148,23 @@ impl SampleFriendlyHashTable {
         } else {
             rng.gen_range(0..=max_start)
         };
-        let addr = self.global_slot_addr(start);
+        (self.global_slot_addr(start), count)
+    }
+
+    /// Reads `count` consecutive slots starting at a random position with a
+    /// single `RDMA_READ` (allocating convenience wrapper over
+    /// [`SampleFriendlyHashTable::sample_span`]).
+    pub fn read_sample<R: Rng + ?Sized>(
+        &self,
+        client: &DmClient,
+        rng: &mut R,
+        count: usize,
+    ) -> Vec<(RemoteAddr, Slot)> {
+        let (addr, count) = self.sample_span(rng, count);
         let bytes = client.read(addr, count * SLOT_SIZE);
-        (0..count)
-            .map(|i| {
-                (
-                    addr.add((i * SLOT_SIZE) as u64),
-                    Slot::from_bytes(&bytes[i * SLOT_SIZE..(i + 1) * SLOT_SIZE]),
-                )
-            })
-            .collect()
+        let mut out = Vec::with_capacity(count);
+        Self::decode_slots(addr, &bytes, &mut out);
+        out
     }
 
     /// Address of the atomic field of the slot at `slot_addr`.

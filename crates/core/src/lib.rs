@@ -37,6 +37,7 @@ pub mod fc_cache;
 pub mod hash;
 pub mod hashtable;
 pub mod history;
+pub mod inline;
 pub mod object;
 pub mod sim;
 pub mod slot;

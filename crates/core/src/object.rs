@@ -29,15 +29,37 @@ pub fn size_class(key_len: usize, value_len: usize, with_ext: bool) -> usize {
 
 /// Encodes an object into its block representation.
 ///
+/// Allocates a fresh buffer; the allocation-free data path uses
+/// [`encode_into`] with a per-client scratch buffer instead.
+///
 /// # Panics
 ///
 /// Panics if the key exceeds `u16::MAX` bytes or the value `u32::MAX` bytes.
 pub fn encode(key: &[u8], value: &[u8], with_ext: bool, ext: &[u64; EXT_WORDS]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(key, value, with_ext, ext, &mut out);
+    out
+}
+
+/// Encodes an object into `out`, reusing its capacity (`out` is cleared
+/// first).  In steady state a client-owned `out` never reallocates.
+///
+/// # Panics
+///
+/// Panics if the key exceeds `u16::MAX` bytes or the value `u32::MAX` bytes.
+pub fn encode_into(
+    key: &[u8],
+    value: &[u8],
+    with_ext: bool,
+    ext: &[u64; EXT_WORDS],
+    out: &mut Vec<u8>,
+) {
     assert!(key.len() <= u16::MAX as usize, "key too long");
     assert!(value.len() <= u32::MAX as usize, "value too long");
     let len = encoded_len(key.len(), value.len(), with_ext);
     let padded = len.div_ceil(64) * 64;
-    let mut out = vec![0u8; padded];
+    out.clear();
+    out.resize(padded, 0);
     out[0..2].copy_from_slice(&(key.len() as u16).to_le_bytes());
     out[2..6].copy_from_slice(&(value.len() as u32).to_le_bytes());
     let flags: u16 = if with_ext { FLAG_HAS_EXT } else { 0 };
@@ -52,7 +74,6 @@ pub fn encode(key: &[u8], value: &[u8], with_ext: bool, ext: &[u64; EXT_WORDS]) 
     out[cursor..cursor + key.len()].copy_from_slice(key);
     cursor += key.len();
     out[cursor..cursor + value.len()].copy_from_slice(value);
-    out
 }
 
 /// A decoded object view.
@@ -68,11 +89,29 @@ pub struct DecodedObject {
     pub has_ext: bool,
 }
 
-/// Decodes an object from the bytes read out of the memory pool.
+/// A zero-copy view of an encoded object, borrowing the underlying bytes.
+///
+/// The allocation-free data path decodes objects through this view so a
+/// `Get` can validate the key and copy the value straight out of the
+/// client's scratch buffer without intermediate `Vec`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectView<'a> {
+    /// The stored key.
+    pub key: &'a [u8],
+    /// The stored value.
+    pub value: &'a [u8],
+    /// The extension metadata words (zero when absent).
+    pub ext: [u64; EXT_WORDS],
+    /// Whether an extension header was present.
+    pub has_ext: bool,
+}
+
+/// Decodes a borrowed view of an object from the bytes read out of the
+/// memory pool, without allocating.
 ///
 /// Returns `None` if the header is inconsistent with the available bytes
 /// (e.g. the slot raced with an eviction and the blocks were reused).
-pub fn decode(bytes: &[u8]) -> Option<DecodedObject> {
+pub fn view(bytes: &[u8]) -> Option<ObjectView<'_>> {
     if bytes.len() < OBJECT_HEADER {
         return None;
     }
@@ -91,17 +130,30 @@ pub fn decode(bytes: &[u8]) -> Option<DecodedObject> {
         }
         cursor += EXT_HEADER;
     }
-    if bytes.len() < cursor + key_len + val_len {
+    let needed = cursor.checked_add(key_len)?.checked_add(val_len)?;
+    if bytes.len() < needed {
         return None;
     }
-    let key = bytes[cursor..cursor + key_len].to_vec();
+    let key = &bytes[cursor..cursor + key_len];
     cursor += key_len;
-    let value = bytes[cursor..cursor + val_len].to_vec();
-    Some(DecodedObject {
+    let value = &bytes[cursor..cursor + val_len];
+    Some(ObjectView {
         key,
         value,
         ext,
         has_ext,
+    })
+}
+
+/// Decodes an object from the bytes read out of the memory pool, copying the
+/// key and value into owned buffers (convenience wrapper over [`view`]).
+pub fn decode(bytes: &[u8]) -> Option<DecodedObject> {
+    let v = view(bytes)?;
+    Some(DecodedObject {
+        key: v.key.to_vec(),
+        value: v.value.to_vec(),
+        ext: v.ext,
+        has_ext: v.has_ext,
     })
 }
 
@@ -144,7 +196,7 @@ mod tests {
 
     #[test]
     fn truncated_bytes_are_rejected() {
-        let bytes = encode(b"user1", &vec![1u8; 100], false, &[0; EXT_WORDS]);
+        let bytes = encode(b"user1", &[1u8; 100], false, &[0; EXT_WORDS]);
         assert!(decode(&bytes[..4]).is_none());
         assert!(decode(&bytes[..16]).is_none());
         assert!(decode(&[]).is_none());
@@ -156,6 +208,32 @@ mod tests {
         let mut bytes = vec![0u8; 64];
         bytes[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn view_borrows_without_copying() {
+        let bytes = encode(b"user1", b"hello world", false, &[0; EXT_WORDS]);
+        let v = view(&bytes).unwrap();
+        assert_eq!(v.key, b"user1");
+        assert_eq!(v.value, b"hello world");
+        assert!(!v.has_ext);
+        // The view points into the original buffer.
+        assert_eq!(v.key.as_ptr(), bytes[OBJECT_HEADER..].as_ptr());
+    }
+
+    #[test]
+    fn encode_into_reuses_capacity() {
+        let mut buf = Vec::new();
+        encode_into(b"key", &[1u8; 200], false, &[0; EXT_WORDS], &mut buf);
+        let first = buf.len();
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        encode_into(b"key", &[2u8; 100], false, &[0; EXT_WORDS], &mut buf);
+        assert!(buf.len() <= first);
+        assert_eq!(buf.capacity(), cap, "re-encoding a smaller object must not reallocate");
+        assert_eq!(buf.as_ptr(), ptr);
+        let d = decode(&buf).unwrap();
+        assert_eq!(d.value, vec![2u8; 100]);
     }
 
     #[test]

@@ -10,12 +10,13 @@
 
 use crate::adaptive::ExpertWeights;
 use crate::error::{CacheError, CacheResult};
+use crate::hash::FxHashMap;
 use crate::history::expert_bitmap;
 use ditto_algorithms::{registry, AccessContext, AccessKind, CacheAlgorithm, Metadata};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Configuration of a [`SimCache`].
@@ -112,18 +113,27 @@ struct HistoryEntry {
 }
 
 /// The in-memory simulator.
+///
+/// Keyed with the fast [`FxHashMap`](crate::hash::FxHashMap) (the figure
+/// sweeps are dominated by these lookups), and its eviction sampling loop is
+/// allocation-free: candidate indices live in a reusable buffer and victim
+/// keys move by ownership instead of being cloned.
 pub struct SimCache {
     config: SimConfig,
     experts: Vec<Arc<dyn CacheAlgorithm>>,
     weights: ExpertWeights,
-    entries: HashMap<Vec<u8>, Entry>,
+    entries: FxHashMap<Vec<u8>, Entry>,
     keys: Vec<Vec<u8>>,
-    history: HashMap<Vec<u8>, HistoryEntry>,
+    history: FxHashMap<Vec<u8>, HistoryEntry>,
     history_fifo: VecDeque<Vec<u8>>,
     history_counter: u64,
     clock: u64,
     rng: StdRng,
     stats: SimStats,
+    /// Reusable scratch for the indices sampled by one eviction.
+    candidate_idx: Vec<usize>,
+    /// Reusable scratch for the per-expert victim picks.
+    picks: Vec<usize>,
 }
 
 impl SimCache {
@@ -154,18 +164,22 @@ impl SimCache {
         let discount = 0.005_f64.powf(1.0 / config.history_len().max(1) as f64);
         let weights = ExpertWeights::new(experts.len(), config.learning_rate, discount, 1);
         let rng = StdRng::seed_from_u64(config.seed);
+        let sample_size = config.sample_size.max(1);
+        let num_experts = experts.len();
         Ok(SimCache {
             experts,
             weights,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             keys: Vec::new(),
-            history: HashMap::new(),
+            history: FxHashMap::default(),
             history_fifo: VecDeque::new(),
             history_counter: 0,
             clock: 0,
             rng,
             stats: SimStats::default(),
             config,
+            candidate_idx: Vec::with_capacity(sample_size),
+            picks: Vec::with_capacity(num_experts),
         })
     }
 
@@ -225,57 +239,54 @@ impl SimCache {
             return;
         }
         let k = self.config.sample_size.max(1).min(self.keys.len());
-        let mut candidate_idx: Vec<usize> = Vec::with_capacity(k);
-        while candidate_idx.len() < k {
+        // The sampling loop reuses the per-cache scratch buffers: no heap
+        // allocation per eviction.
+        self.candidate_idx.clear();
+        while self.candidate_idx.len() < k {
             let idx = self.rng.gen_range(0..self.keys.len());
-            if !candidate_idx.contains(&idx) {
-                candidate_idx.push(idx);
+            if !self.candidate_idx.contains(&idx) {
+                self.candidate_idx.push(idx);
             }
         }
         let now = self.clock;
-        let picks: Vec<usize> = self
-            .experts
-            .iter()
-            .map(|expert| {
-                let mut best = candidate_idx[0];
-                let mut best_priority = f64::INFINITY;
-                for &idx in &candidate_idx {
-                    let m = &self.entries[&self.keys[idx]].metadata;
-                    let p = expert.priority(m, now);
-                    if p < best_priority {
-                        best_priority = p;
-                        best = idx;
-                    }
+        self.picks.clear();
+        for expert in &self.experts {
+            let mut best = self.candidate_idx[0];
+            let mut best_priority = f64::INFINITY;
+            for &idx in &self.candidate_idx {
+                let m = &self.entries[&self.keys[idx]].metadata;
+                let p = expert.priority(m, now);
+                if p < best_priority {
+                    best_priority = p;
+                    best = idx;
                 }
-                best
-            })
-            .collect();
+            }
+            self.picks.push(best);
+        }
         let chosen = if self.config.adaptive {
             self.weights.choose_expert(&mut self.rng)
         } else {
             0
         };
-        let victim_idx = picks[chosen.min(picks.len() - 1)];
+        let victim_idx = self.picks[chosen.min(self.picks.len() - 1)];
         let mut bitmap = 0u64;
-        for (i, pick) in picks.iter().enumerate() {
+        for (i, pick) in self.picks.iter().enumerate() {
             if *pick == victim_idx {
                 bitmap = expert_bitmap::with_expert(bitmap, i);
             }
         }
-        let victim_key = self.keys[victim_idx].clone();
+        // Swap-remove the victim key, taking ownership so nothing is cloned;
+        // the entry moved into the vacated index is patched in place.
+        let victim_key = self.keys.swap_remove(victim_idx);
         let victim = self.entries.remove(&victim_key).expect("victim exists");
         for (i, expert) in self.experts.iter().enumerate() {
             if expert_bitmap::contains(bitmap, i) {
                 expert.on_evict(expert.priority(&victim.metadata, now));
             }
         }
-        // Remove from the key index (swap-remove, patching the moved entry).
-        let last = self.keys.len() - 1;
-        self.keys.swap(victim_idx, last);
-        self.keys.pop();
         if victim_idx < self.keys.len() {
-            let moved_key = self.keys[victim_idx].clone();
-            if let Some(moved) = self.entries.get_mut(&moved_key) {
+            let moved_key = &self.keys[victim_idx];
+            if let Some(moved) = self.entries.get_mut(moved_key) {
                 moved.key_index = victim_idx;
             }
         }
@@ -283,6 +294,10 @@ impl SimCache {
 
         if self.config.adaptive {
             self.history_counter += 1;
+            // The owned victim key moves into the FIFO; the history map keys
+            // alias it logically but maps need owned keys, so reuse the
+            // victim's allocation for the map and hand the FIFO a copy only
+            // when the history is enabled at all.
             self.history.insert(
                 victim_key.clone(),
                 HistoryEntry {

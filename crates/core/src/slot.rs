@@ -152,6 +152,18 @@ pub struct Slot {
     pub freq: u64,
 }
 
+impl Default for Slot {
+    fn default() -> Self {
+        Slot::empty()
+    }
+}
+
+impl Default for AtomicField {
+    fn default() -> Self {
+        AtomicField::EMPTY
+    }
+}
+
 impl Slot {
     /// An empty slot.
     pub fn empty() -> Self {

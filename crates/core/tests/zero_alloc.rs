@@ -1,0 +1,98 @@
+//! Steady-state heap allocations per `Get`/`Set` must be **zero**.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase that sizes every per-client scratch buffer (bucket/sample scratch,
+//! object read buffer, encode buffer, FC-cache map, allocator free lists),
+//! replaying further hits, updates and eviction-triggering inserts must not
+//! allocate at all.
+//!
+//! This file deliberately contains a single test: the allocation counter is
+//! process-global, so concurrently running tests would pollute the count.
+
+use ditto_core::{DittoCache, DittoConfig};
+use ditto_dm::DmConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn count_allocations(f: impl FnOnce()) -> u64 {
+    COUNTING.store(true, Ordering::SeqCst);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    COUNTING.store(false, Ordering::SeqCst);
+    after - before
+}
+
+#[test]
+fn steady_state_get_and_set_do_not_allocate() {
+    let config = DittoConfig::with_capacity(600);
+    let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+    let mut client = cache.client();
+    let mut value_buf = Vec::with_capacity(512);
+    let key = |i: u64| -> [u8; 8] { i.to_le_bytes() };
+
+    // Warm-up: run the exact op mix the measured phase will run, twice over,
+    // so every reusable buffer, free list and hash map reaches its
+    // steady-state footprint (inserts overflow capacity, so evictions and
+    // history inserts happen here too).
+    for round in 0..2u64 {
+        for i in 0..1_000u64 {
+            client.set(&key(i), &[round as u8; 200]);
+        }
+        for i in 0..1_000u64 {
+            let _ = client.get_into(&key(i), &mut value_buf);
+        }
+    }
+
+    // Measured phase: hits, misses, updates and eviction-triggering inserts.
+    let allocations = count_allocations(|| {
+        for round in 2..4u64 {
+            for i in 0..1_000u64 {
+                client.set(&key(i), &[round as u8; 200]);
+            }
+            for i in 0..1_000u64 {
+                let _ = client.get_into(&key(i), &mut value_buf);
+            }
+        }
+    });
+
+    let snap = cache.stats().snapshot();
+    assert!(snap.hits > 0, "measured phase should produce hits: {snap:?}");
+    assert!(
+        snap.evictions + snap.bucket_evictions > 0,
+        "measured phase should evict: {snap:?}"
+    );
+    assert_eq!(
+        allocations, 0,
+        "steady-state Get/Set must not allocate (counted {allocations} allocations \
+         over 4000 operations)"
+    );
+}

@@ -7,7 +7,7 @@ use std::fmt;
 ///
 /// The address packs into a single `u64` (16-bit node id, 48-bit offset),
 /// matching the 6-byte pointers stored in Ditto's hash-table slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RemoteAddr {
     /// Identifier of the memory node that owns the bytes.
     pub mn_id: u16,

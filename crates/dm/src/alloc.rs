@@ -183,20 +183,44 @@ impl ClientAllocator {
                 max: self.segment_size,
             });
         }
-        if let Some(list) = self.free_lists.get_mut(&blocks) {
-            if let Some(offset) = list.pop() {
-                self.allocated_blocks += blocks;
-                return Ok(RemoteAddr::new(self.mn_id, offset));
-            }
+        if let Some(addr) = self.alloc_local(size) {
+            return Ok(addr);
         }
-        if self.current_remaining < bytes {
-            self.fetch_segment(client)?;
-        }
+        self.fetch_segment(client)?;
         let offset = self.current_offset;
         self.current_offset += bytes;
         self.current_remaining -= bytes;
         self.allocated_blocks += blocks;
         Ok(RemoteAddr::new(self.mn_id, offset))
+    }
+
+    /// Allocates from the local free lists or the current segment only,
+    /// without ever talking to the memory node.
+    ///
+    /// Returns `None` when local resources cannot serve the request.  The
+    /// cache client uses this under memory pressure: once the pool is full a
+    /// segment `ALLOC` RPC is doomed to fail, so recycling via eviction
+    /// first keeps the doomed RPC (and its round trip) off the data path.
+    pub fn alloc_local(&mut self, size: usize) -> Option<RemoteAddr> {
+        let blocks = Self::blocks_for(size);
+        let bytes = blocks * BLOCK_SIZE;
+        if bytes > self.segment_size {
+            return None;
+        }
+        if let Some(list) = self.free_lists.get_mut(&blocks) {
+            if let Some(offset) = list.pop() {
+                self.allocated_blocks += blocks;
+                return Some(RemoteAddr::new(self.mn_id, offset));
+            }
+        }
+        if self.current_remaining >= bytes {
+            let offset = self.current_offset;
+            self.current_offset += bytes;
+            self.current_remaining -= bytes;
+            self.allocated_blocks += blocks;
+            return Some(RemoteAddr::new(self.mn_id, offset));
+        }
+        None
     }
 
     /// Returns a previously allocated range to the local free lists.

@@ -1,6 +1,7 @@
 //! Client-side connection handle exposing the one-sided verb API.
 
 use crate::addr::RemoteAddr;
+use crate::batch::BatchBuilder;
 use crate::config::DmConfig;
 use crate::error::{DmError, DmResult};
 use crate::pool::MemoryPool;
@@ -79,6 +80,39 @@ impl DmClient {
             .as_ref()
     }
 
+    pub(crate) fn node_ref(&self, mn_id: u16) -> &crate::memnode::MemoryNode {
+        self.node(mn_id)
+    }
+
+    /// Starts a doorbell batch of independent verbs (see [`BatchBuilder`]).
+    ///
+    /// The batch completes in `doorbell_latency_ns + n × verb_issue_ns +
+    /// max(per-verb transfer latency)` instead of the sum of the individual
+    /// round trips; every verb still consumes one RNIC message.
+    pub fn batch<'buf>(&self) -> BatchBuilder<'_, 'buf> {
+        BatchBuilder::new(self)
+    }
+
+    /// Issues several independent `RDMA_READ`s as one doorbell batch, each
+    /// into its own caller-provided buffer.
+    ///
+    /// Returns the latency charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address range is invalid or more than
+    /// [`crate::batch::MAX_BATCH`] reads are requested.
+    pub fn read_batch<'buf, I>(&self, reads: I) -> u64
+    where
+        I: IntoIterator<Item = (RemoteAddr, &'buf mut [u8])>,
+    {
+        let mut batch = self.batch();
+        for (addr, buf) in reads {
+            batch.read_into(addr, buf);
+        }
+        batch.execute()
+    }
+
     /// One-sided `RDMA_READ` of `len` bytes at `addr`.
     ///
     /// # Panics
@@ -147,7 +181,8 @@ impl DmClient {
     /// Panics if the address is invalid or unaligned.
     pub fn read_u64(&self, addr: RemoteAddr) -> u64 {
         let cfg = self.pool.config();
-        self.charge(addr.mn_id, VerbKind::Read, 8, cfg.read_latency_ns);
+        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, 8);
+        self.charge(addr.mn_id, VerbKind::Read, 8, latency);
         self.node(addr.mn_id)
             .load_u64(addr.offset)
             .unwrap_or_else(|e| panic!("RDMA_READ failed: {e}"))
@@ -160,7 +195,8 @@ impl DmClient {
     /// Panics if the address is invalid or unaligned.
     pub fn write_u64(&self, addr: RemoteAddr, value: u64) {
         let cfg = self.pool.config();
-        self.charge(addr.mn_id, VerbKind::Write, 8, cfg.write_latency_ns);
+        let latency = cfg.transfer_latency_ns(cfg.write_latency_ns, 8);
+        self.charge(addr.mn_id, VerbKind::Write, 8, latency);
         self.node(addr.mn_id)
             .store_u64(addr.offset, value)
             .unwrap_or_else(|e| panic!("RDMA_WRITE failed: {e}"));

@@ -31,6 +31,19 @@ pub struct DmConfig {
     ///
     /// Models serialisation delay of larger transfers on the link.
     pub per_kib_latency_ns: u64,
+    /// One-off cost of ringing the RNIC doorbell for a batch of work-queue
+    /// entries, in nanoseconds (the MMIO write plus the first WQE DMA fetch).
+    ///
+    /// A doorbell batch of `n` independent verbs completes in
+    /// `doorbell_latency_ns + n × verb_issue_ns + max(per-verb transfer
+    /// latency)` instead of the sum of the individual round trips: the verbs
+    /// travel and execute concurrently, so the batch costs one round trip of
+    /// the slowest member plus the issue overheads.
+    pub doorbell_latency_ns: u64,
+    /// Per-verb issue cost inside a doorbell batch, in nanoseconds (WQE
+    /// posting and RNIC processing; each additional WQE delays the batch a
+    /// little even though the round trips overlap).
+    pub verb_issue_ns: u64,
     /// Maximum verbs (messages) per second the RNIC of one memory node can
     /// serve.  This is the bottleneck that caps Ditto in §5.3.
     pub mn_message_rate: u64,
@@ -56,6 +69,8 @@ impl Default for DmConfig {
             faa_latency_ns: 2_200,
             rpc_latency_ns: 5_000,
             per_kib_latency_ns: 80,
+            doorbell_latency_ns: 150,
+            verb_issue_ns: 50,
             mn_message_rate: 40_000_000,
             rpc_base_cpu_ns: 700,
             async_writes_consume_messages: true,
@@ -103,10 +118,27 @@ impl DmConfig {
         self
     }
 
+    /// Sets the doorbell overhead and per-verb issue cost (builder style).
+    pub fn with_doorbell_costs(mut self, doorbell_ns: u64, issue_ns: u64) -> Self {
+        self.doorbell_latency_ns = doorbell_ns;
+        self.verb_issue_ns = issue_ns;
+        self
+    }
+
     /// Returns the latency in nanoseconds for a transfer of `len` payload
     /// bytes on top of the base verb latency `base_ns`.
     pub fn transfer_latency_ns(&self, base_ns: u64, len: usize) -> u64 {
         base_ns + (len as u64 * self.per_kib_latency_ns) / 1024
+    }
+
+    /// Round-trip latency charged to a doorbell batch whose slowest member
+    /// has transfer latency `max_transfer_ns` and which posts `verbs` WQEs:
+    /// one doorbell, the per-verb issue costs, and the slowest round trip.
+    pub fn batch_latency_ns(&self, verbs: usize, max_transfer_ns: u64) -> u64 {
+        if verbs == 0 {
+            return 0;
+        }
+        self.doorbell_latency_ns + verbs as u64 * self.verb_issue_ns + max_transfer_ns
     }
 
     /// Total memory capacity of the pool in bytes.

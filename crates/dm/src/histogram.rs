@@ -172,7 +172,7 @@ mod tests {
         assert_eq!(h.count(), 1);
         let p50 = h.median_ns();
         // Log-bucket resolution allows ~6 % error.
-        assert!(p50 >= 4_500 && p50 <= 5_500, "p50 = {p50}");
+        assert!((4_500..=5_500).contains(&p50), "p50 = {p50}");
         assert_eq!(h.max_ns(), 5_000);
     }
 
@@ -186,7 +186,7 @@ mod tests {
         let p90 = h.percentile_ns(0.90);
         let p99 = h.percentile_ns(0.99);
         assert!(p50 <= p90 && p90 <= p99);
-        assert!(p50 >= 4_000 && p50 <= 6_000, "p50 = {p50}");
+        assert!((4_000..=6_000).contains(&p50), "p50 = {p50}");
         assert!(p99 >= 9_000, "p99 = {p99}");
     }
 

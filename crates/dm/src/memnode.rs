@@ -140,7 +140,7 @@ impl MemoryNode {
     }
 
     fn atomic_word(&self, offset: u64) -> DmResult<&AtomicU64> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(DmError::Unaligned { offset });
         }
         self.check_range(offset, 8)?;

@@ -147,6 +147,6 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
-        assert!(USER_SERVICE_BASE > MONOLITHIC_SERVICE);
+        const { assert!(USER_SERVICE_BASE > MONOLITHIC_SERVICE) }
     }
 }

@@ -122,6 +122,9 @@ pub struct PoolStats {
     max_client_clock_ns: AtomicU64,
     clock_baseline_ns: AtomicU64,
     clients_spawned: AtomicU64,
+    doorbells: AtomicU64,
+    batched_verbs: AtomicU64,
+    largest_batch: AtomicU64,
 }
 
 impl PoolStats {
@@ -136,6 +139,41 @@ impl PoolStats {
             max_client_clock_ns: AtomicU64::new(0),
             clock_baseline_ns: AtomicU64::new(0),
             clients_spawned: AtomicU64::new(0),
+            doorbells: AtomicU64::new(0),
+            batched_verbs: AtomicU64::new(0),
+            largest_batch: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a doorbell batch of `verbs` work-queue entries.
+    pub fn record_batch(&self, verbs: usize) {
+        self.doorbells.fetch_add(1, Ordering::Relaxed);
+        self.batched_verbs.fetch_add(verbs as u64, Ordering::Relaxed);
+        self.largest_batch.fetch_max(verbs as u64, Ordering::Relaxed);
+    }
+
+    /// Number of doorbell batches rung so far.
+    pub fn doorbells(&self) -> u64 {
+        self.doorbells.load(Ordering::Relaxed)
+    }
+
+    /// Number of verbs issued through doorbell batches.
+    pub fn batched_verbs(&self) -> u64 {
+        self.batched_verbs.load(Ordering::Relaxed)
+    }
+
+    /// Largest doorbell batch observed.
+    pub fn largest_batch(&self) -> u64 {
+        self.largest_batch.load(Ordering::Relaxed)
+    }
+
+    /// Mean verbs per doorbell batch (0 when no batch was rung).
+    pub fn mean_batch_size(&self) -> f64 {
+        let doorbells = self.doorbells();
+        if doorbells == 0 {
+            0.0
+        } else {
+            self.batched_verbs() as f64 / doorbells as f64
         }
     }
 
@@ -227,6 +265,9 @@ impl PoolStats {
         self.ops.store(0, Ordering::Relaxed);
         self.op_latency.reset();
         self.max_client_clock_ns.store(0, Ordering::Relaxed);
+        self.doorbells.store(0, Ordering::Relaxed);
+        self.batched_verbs.store(0, Ordering::Relaxed);
+        self.largest_batch.store(0, Ordering::Relaxed);
     }
 }
 

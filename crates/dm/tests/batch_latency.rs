@@ -1,0 +1,141 @@
+//! Randomized property: a doorbell batch charges exactly
+//! `doorbell_latency_ns + n × verb_issue_ns + max(component transfer
+//! latencies)`, and the sequential ablation charges exactly the sum — for
+//! arbitrary mixes of READ/WRITE/FAA verbs, payload sizes and cost knobs.
+
+use ditto_dm::{DmConfig, MemoryPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Read,
+    Write,
+    Faa,
+}
+
+#[test]
+fn batch_latency_is_doorbell_plus_max_of_transfers() {
+    let mut rng = StdRng::seed_from_u64(0xba7c4);
+    for case in 0..200 {
+        // Random latency model, including zero doorbell/issue costs (the
+        // "pure" model in which batch latency is doorbell + max exactly as
+        // the paper describes it).
+        let config = DmConfig::small().with_doorbell_costs(
+            rng.gen_range(0u64..1_000),
+            rng.gen_range(0u64..200),
+        );
+        let doorbell = config.doorbell_latency_ns;
+        let issue = config.verb_issue_ns;
+        let pool = MemoryPool::new(config);
+        let client = pool.connect();
+        let region = pool.reserve(64 * 1024).unwrap();
+
+        let n = rng.gen_range(1usize..12);
+        let mut kinds = Vec::new();
+        let mut sizes = Vec::new();
+        for _ in 0..n {
+            kinds.push(match rng.gen_range(0u32..3) {
+                0 => Kind::Read,
+                1 => Kind::Write,
+                _ => Kind::Faa,
+            });
+            sizes.push(rng.gen_range(1usize..4_096));
+        }
+
+        // Expected model, computed independently of the implementation.
+        let cfg = client.config().clone();
+        let transfer = |kind: Kind, len: usize| match kind {
+            Kind::Read => cfg.transfer_latency_ns(cfg.read_latency_ns, len),
+            Kind::Write => cfg.transfer_latency_ns(cfg.write_latency_ns, len),
+            Kind::Faa => cfg.transfer_latency_ns(cfg.faa_latency_ns, 8),
+        };
+        let max: u64 = kinds
+            .iter()
+            .zip(&sizes)
+            .map(|(&k, &s)| transfer(k, s))
+            .max()
+            .unwrap();
+        let sum: u64 = kinds
+            .iter()
+            .zip(&sizes)
+            .map(|(&k, &s)| transfer(k, s))
+            .sum();
+        let expected_batched = doorbell + n as u64 * issue + max;
+
+        // Buffers for the reads/writes (each op gets a disjoint 4 KiB span).
+        let mut read_bufs: Vec<Vec<u8>> = sizes.iter().map(|&s| vec![0u8; s]).collect();
+        let write_buf = vec![7u8; 4_096];
+
+        fn build<'a>(
+            client: &'a ditto_dm::DmClient,
+            region: ditto_dm::RemoteAddr,
+            kinds: &[Kind],
+            sizes: &[usize],
+            write_buf: &'a [u8],
+            bufs: &'a mut [Vec<u8>],
+        ) -> ditto_dm::BatchBuilder<'a, 'a> {
+            let mut batch = client.batch();
+            let ops = kinds.iter().zip(sizes).zip(bufs.iter_mut());
+            for (i, ((&kind, &size), buf)) in ops.enumerate() {
+                let addr = region.add((i * 4_096) as u64);
+                match kind {
+                    Kind::Read => {
+                        batch.read_into(addr, &mut buf[..]);
+                    }
+                    Kind::Write => {
+                        batch.write(addr, &write_buf[..size]);
+                    }
+                    Kind::Faa => {
+                        batch.faa(addr, 1);
+                    }
+                }
+            }
+            batch
+        }
+
+        // Batched execution charges doorbell + n*issue + max(transfer).
+        let before = client.now_ns();
+        let charged = build(&client, region, &kinds, &sizes, &write_buf, &mut read_bufs).execute();
+        assert_eq!(
+            charged, expected_batched,
+            "case {case}: batched latency mismatch (n={n}, doorbell={doorbell}, issue={issue})"
+        );
+        assert_eq!(client.now_ns() - before, expected_batched);
+
+        // Sequential execution charges the plain sum.
+        let before = client.now_ns();
+        let charged = build(&client, region, &kinds, &sizes, &write_buf, &mut read_bufs).execute_sequential();
+        assert_eq!(charged, sum, "case {case}: sequential latency mismatch");
+        assert_eq!(client.now_ns() - before, sum);
+
+        // With the pure model (no fixed overheads) a batch can never be
+        // slower than issuing its verbs sequentially.
+        if doorbell == 0 && issue == 0 {
+            assert!(expected_batched <= sum);
+        }
+    }
+}
+
+#[test]
+fn every_batched_verb_still_consumes_a_message() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..50 {
+        let pool = MemoryPool::new(DmConfig::small());
+        let client = pool.connect();
+        let region = pool.reserve(8 * 1024).unwrap();
+        let n = rng.gen_range(1usize..10);
+        let mut bufs: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; 64]).collect();
+        let mut batch = client.batch();
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            batch.read_into(region.add((i * 64) as u64), &mut buf[..]);
+        }
+        batch.execute();
+        let snap = &pool.stats().node_snapshots()[0];
+        assert_eq!(snap.reads, n as u64);
+        assert_eq!(snap.messages, n as u64);
+        assert_eq!(pool.stats().doorbells(), 1);
+        assert_eq!(pool.stats().batched_verbs(), n as u64);
+        assert_eq!(pool.stats().mean_batch_size(), n as f64);
+    }
+}

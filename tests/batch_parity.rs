@@ -1,0 +1,93 @@
+//! Doorbell batching must change *when* verbs complete, never *what* the
+//! cache does: with the same seeded YCSB-C trace, the batched and unbatched
+//! configurations have to return byte-identical values and evolve the cache
+//! identically (same hit/miss/eviction counts) — while the batched run
+//! finishes in strictly less simulated time.
+
+use ditto::cache::stats::CacheStatsSnapshot;
+use ditto::cache::{DittoCache, DittoConfig};
+use ditto::dm::DmConfig;
+use ditto::workloads::{Request, YcsbSpec, YcsbWorkload};
+
+/// Replays a get-heavy YCSB-C trace (with cache-aside fills on miss) and
+/// returns every observed value, the cache statistics and the simulated
+/// client time consumed.
+fn run(batching: bool) -> (Vec<Option<Vec<u8>>>, CacheStatsSnapshot, u64) {
+    let spec = YcsbSpec {
+        record_count: 2_000,
+        request_count: 12_000,
+        ..YcsbSpec::default()
+    }
+    .with_seed(7);
+    // Capacity well below the touched key count so the trace exercises
+    // eviction and the history machinery, not just clean hits.
+    let config = DittoConfig::with_capacity(700).with_doorbell_batching(batching);
+    let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+    let mut client = cache.client();
+
+    let mut observed = Vec::new();
+    let mut value_buf = Vec::new();
+    for request in spec.run_requests(YcsbWorkload::C) {
+        let key = request.key_bytes();
+        if client.get_into(&key, &mut value_buf) {
+            observed.push(Some(value_buf.clone()));
+        } else {
+            observed.push(None);
+            // Cache-aside fill, as the replay driver does on a miss.
+            client.set(&key, &vec![request.key as u8; request.value_size as usize]);
+        }
+    }
+    client.flush();
+    let clock = client.dm().now_ns();
+    (observed, cache.stats().snapshot(), clock)
+}
+
+#[test]
+fn batched_and_unbatched_data_paths_are_behaviourally_identical() {
+    let (batched_values, batched_stats, batched_clock) = run(true);
+    let (unbatched_values, unbatched_stats, unbatched_clock) = run(false);
+
+    // Byte-identical results, request by request.
+    assert_eq!(batched_values.len(), unbatched_values.len());
+    for (i, (a, b)) in batched_values.iter().zip(&unbatched_values).enumerate() {
+        assert_eq!(a, b, "request {i} diverged between batched and unbatched");
+    }
+
+    // Identical cache evolution: hits, misses, sets, evictions, history.
+    assert_eq!(batched_stats.hits, unbatched_stats.hits, "hit counts diverged");
+    assert_eq!(batched_stats.misses, unbatched_stats.misses, "miss counts diverged");
+    assert_eq!(batched_stats.sets, unbatched_stats.sets);
+    assert_eq!(
+        batched_stats.evictions, unbatched_stats.evictions,
+        "eviction counts diverged"
+    );
+    assert_eq!(batched_stats.bucket_evictions, unbatched_stats.bucket_evictions);
+    assert_eq!(batched_stats.history_inserts, unbatched_stats.history_inserts);
+    assert!(batched_stats.hits > 0, "trace should produce hits");
+    assert!(batched_stats.evictions > 0, "trace should produce evictions");
+
+    // Same work, strictly less simulated time.
+    assert!(
+        batched_clock < unbatched_clock,
+        "batching must reduce simulated time: {batched_clock} vs {unbatched_clock}"
+    );
+}
+
+#[test]
+fn batched_run_rings_doorbells_unbatched_run_rings_none() {
+    let run_doorbells = |batching: bool| {
+        let config = DittoConfig::with_capacity(500).with_doorbell_batching(batching);
+        let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+        let mut client = cache.client();
+        for request in [Request::insert(1), Request::get(1), Request::get(2)] {
+            let key = request.key_bytes();
+            match client.get(&key) {
+                Some(_) => {}
+                None => client.set(&key, b"v"),
+            }
+        }
+        cache.pool().stats().doorbells()
+    };
+    assert!(run_doorbells(true) > 0);
+    assert_eq!(run_doorbells(false), 0);
+}

@@ -5,7 +5,7 @@ use ditto::baselines::{CliqueMapCache, CliqueMapConfig, LockedListCache, LockedL
 use ditto::cache::{DittoCache, DittoConfig};
 use ditto::dm::stats::Bottleneck;
 use ditto::dm::{run_clients, DmConfig};
-use ditto::workloads::traces::{lfu_friendly, lru_friendly, TraceSpec};
+use ditto::workloads::traces::{lru_friendly, TraceSpec};
 use ditto::workloads::{replay, ReplayOptions, Request, YcsbSpec, YcsbWorkload};
 
 fn small_ycsb() -> YcsbSpec {

@@ -1,4 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! The crates.io `proptest` dependency is unavailable offline, so these are
+//! hand-rolled randomized properties: each test draws a few hundred random
+//! cases from a seeded [`StdRng`] and asserts the invariant for every case.
+//! Failures print the offending inputs, so a reproduction is one seed away.
 
 use ditto::algorithms::{registry, AccessContext, Metadata};
 use ditto::cache::fc_cache::FcCache;
@@ -6,76 +11,92 @@ use ditto::cache::slot::{AtomicField, Slot, SLOT_SIZE};
 use ditto::cache::ExpertWeights;
 use ditto::dm::{DmConfig, MemoryNode, MemoryPool, RemoteAddr};
 use ditto::workloads::Zipfian;
-use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Packing a remote address and unpacking it is the identity.
-    #[test]
-    fn remote_addr_pack_roundtrip(mn in 0u16..=u16::MAX, offset in 0u64..(1u64 << 48)) {
+const CASES: usize = 256;
+
+fn rng(salt: u64) -> StdRng {
+    StdRng::seed_from_u64(0x9e37_79b9 ^ salt)
+}
+
+/// Packing a remote address and unpacking it is the identity.
+#[test]
+fn remote_addr_pack_roundtrip() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let mn: u16 = rng.gen();
+        let offset = rng.gen_range(0..(1u64 << 48));
         let addr = RemoteAddr::new(mn, offset);
-        prop_assert_eq!(RemoteAddr::unpack(addr.pack()), addr);
+        assert_eq!(RemoteAddr::unpack(addr.pack()), addr, "mn={mn} offset={offset}");
     }
+}
 
-    /// The slot atomic field survives encode/decode for every valid input.
-    #[test]
-    fn atomic_field_roundtrip(
-        fp in any::<u8>(),
-        size_class in 1u8..=254,
-        mn in 0u16..256,
-        offset in (0u64..(1u64 << 40)).prop_map(|o| o & !63),
-    ) {
+/// The slot atomic field survives encode/decode for every valid input.
+#[test]
+fn atomic_field_roundtrip() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let fp: u8 = rng.gen();
+        let size_class = rng.gen_range(1u64..=254) as u8;
+        let mn = rng.gen_range(0u64..256) as u16;
+        let offset = rng.gen_range(0..(1u64 << 40)) & !63;
         let field = AtomicField::for_object(fp, size_class, RemoteAddr::new(mn, offset));
         let decoded = AtomicField::decode(field.encode());
-        prop_assert_eq!(decoded, field);
-        prop_assert!(decoded.is_object());
-        prop_assert_eq!(decoded.object_addr(), RemoteAddr::new(mn, offset));
+        assert_eq!(decoded, field);
+        assert!(decoded.is_object());
+        assert_eq!(decoded.object_addr(), RemoteAddr::new(mn, offset));
     }
+}
 
-    /// Whole slots survive the 40-byte wire encoding.
-    #[test]
-    fn slot_bytes_roundtrip(
-        fp in any::<u8>(),
-        size_class in 1u8..=254,
-        offset in (64u64..(1u64 << 30)).prop_map(|o| o & !63),
-        hash in any::<u64>(),
-        insert_ts in any::<u64>(),
-        last_ts in any::<u64>(),
-        freq in any::<u64>(),
-    ) {
+/// Whole slots survive the 40-byte wire encoding.
+#[test]
+fn slot_bytes_roundtrip() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
         let slot = Slot {
-            atomic: AtomicField::for_object(fp, size_class, RemoteAddr::new(0, offset)),
-            hash,
-            insert_ts,
-            last_ts,
-            freq,
+            atomic: AtomicField::for_object(
+                rng.gen(),
+                rng.gen_range(1u64..=254) as u8,
+                RemoteAddr::new(0, rng.gen_range(64u64..(1 << 30)) & !63),
+            ),
+            hash: rng.gen(),
+            insert_ts: rng.gen(),
+            last_ts: rng.gen(),
+            freq: rng.gen(),
         };
         let bytes = slot.to_bytes();
-        prop_assert_eq!(bytes.len(), SLOT_SIZE);
-        prop_assert_eq!(Slot::from_bytes(&bytes), slot);
+        assert_eq!(bytes.len(), SLOT_SIZE);
+        assert_eq!(Slot::from_bytes(&bytes), slot);
     }
+}
 
-    /// Arbitrary writes to the memory node read back unchanged.
-    #[test]
-    fn memory_node_write_read_roundtrip(
-        offset in 0u64..60_000,
-        data in proptest::collection::vec(any::<u8>(), 1..512),
-    ) {
-        let node = MemoryNode::new(0, 64 * 1024);
+/// Arbitrary writes to the memory node read back unchanged.
+#[test]
+fn memory_node_write_read_roundtrip() {
+    let mut rng = rng(4);
+    let node = MemoryNode::new(0, 64 * 1024);
+    for _ in 0..CASES {
+        let offset = rng.gen_range(0u64..60_000);
+        let len = rng.gen_range(1usize..512);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
         node.write(offset, &data).unwrap();
-        prop_assert_eq!(node.read(offset, data.len()).unwrap(), data);
+        assert_eq!(node.read(offset, len).unwrap(), data, "offset={offset} len={len}");
     }
+}
 
-    /// The frequency-counter cache never loses or invents increments.
-    #[test]
-    fn fc_cache_conserves_increments(
-        threshold in 1u64..20,
-        capacity in 1usize..32,
-        accesses in proptest::collection::vec(0u64..50, 1..2_000),
-    ) {
+/// The frequency-counter cache never loses or invents increments.
+#[test]
+fn fc_cache_conserves_increments() {
+    let mut rng = rng(5);
+    for case in 0..64 {
+        let threshold = rng.gen_range(1u64..20);
+        let capacity = rng.gen_range(1usize..32);
+        let accesses = rng.gen_range(1usize..2_000);
         let mut fc = FcCache::new(threshold, capacity);
         let mut flushed = 0u64;
-        for slot in &accesses {
+        for _ in 0..accesses {
+            let slot = rng.gen_range(0u64..50);
             for (_, delta) in fc.record(RemoteAddr::new(0, 64 + slot * 40)) {
                 flushed += delta;
             }
@@ -83,45 +104,57 @@ proptest! {
         for (_, delta) in fc.flush_all() {
             flushed += delta;
         }
-        prop_assert_eq!(flushed, accesses.len() as u64);
+        assert_eq!(
+            flushed, accesses as u64,
+            "case {case}: threshold={threshold} capacity={capacity}"
+        );
     }
+}
 
-    /// Expert weights always form a probability distribution, whatever the
-    /// regret sequence.
-    #[test]
-    fn expert_weights_stay_normalised(
-        num_experts in 2usize..6,
-        regrets in proptest::collection::vec((any::<u64>(), 0u64..10_000), 0..300),
-    ) {
+/// Expert weights always form a probability distribution, whatever the
+/// regret sequence.
+#[test]
+fn expert_weights_stay_normalised() {
+    let mut rng = rng(6);
+    for _ in 0..64 {
+        let num_experts = rng.gen_range(2usize..6);
         let mut weights = ExpertWeights::new(num_experts, 0.3, 0.999, 10);
-        for (bitmap, position) in regrets {
+        for _ in 0..rng.gen_range(0usize..300) {
+            let bitmap: u64 = rng.gen();
+            let position = rng.gen_range(0u64..10_000);
             weights.apply_regret(bitmap, position);
             let sum: f64 = weights.weights().iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-6, "weights sum to {}", sum);
-            prop_assert!(weights.weights().iter().all(|w| *w > 0.0 && w.is_finite()));
+            assert!((sum - 1.0).abs() < 1e-6, "weights sum to {sum}");
+            assert!(weights.weights().iter().all(|w| *w > 0.0 && w.is_finite()));
         }
     }
+}
 
-    /// Zipfian samples always fall inside the key space.
-    #[test]
-    fn zipfian_samples_in_range(n in 1u64..100_000, seed in any::<u64>()) {
+/// Zipfian samples always fall inside the key space.
+#[test]
+fn zipfian_samples_in_range() {
+    let mut rng = rng(7);
+    for _ in 0..64 {
+        let n = rng.gen_range(1u64..100_000);
         let zipf = Zipfian::ycsb(n);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sample_rng = StdRng::seed_from_u64(rng.gen());
         for _ in 0..100 {
-            prop_assert!(zipf.sample(&mut rng) < n);
-            prop_assert!(zipf.sample_scrambled(&mut rng) < n);
+            assert!(zipf.sample(&mut sample_rng) < n, "n={n}");
+            assert!(zipf.sample_scrambled(&mut sample_rng) < n, "n={n}");
         }
     }
+}
 
-    /// Every built-in algorithm produces a total, deterministic ordering for
-    /// arbitrary metadata (no NaNs sneak into priorities).
-    #[test]
-    fn algorithm_priorities_are_deterministic(
-        insert_ts in 0u64..1_000_000,
-        extra_accesses in 0u64..50,
-        size in 1u32..100_000,
-        now_delta in 0u64..1_000_000,
-    ) {
+/// Every built-in algorithm produces a total, deterministic ordering for
+/// arbitrary metadata (no NaNs sneak into priorities).
+#[test]
+fn algorithm_priorities_are_deterministic() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let insert_ts = rng.gen_range(0u64..1_000_000);
+        let extra_accesses = rng.gen_range(0u64..50);
+        let size = rng.gen_range(1u64..100_000) as u32;
+        let now_delta = rng.gen_range(0u64..1_000_000);
         for alg in registry::all_algorithms() {
             let ctx = AccessContext::at(insert_ts);
             let mut m = Metadata::on_insert(insert_ts, size, &ctx);
@@ -134,55 +167,61 @@ proptest! {
             let now = insert_ts + extra_accesses + now_delta;
             let a = alg.priority(&m, now);
             let b = alg.priority(&m, now);
-            prop_assert!(!a.is_nan(), "{} produced NaN", alg.name());
-            prop_assert_eq!(a, b, "{} is non-deterministic", alg.name());
+            assert!(!a.is_nan(), "{} produced NaN", alg.name());
+            assert!(a == b, "{} is non-deterministic", alg.name());
         }
     }
+}
 
-    /// Concurrent-looking sequences of FAA on the pool are linearisable to a
-    /// plain sum (the substrate's atomics are real atomics).
-    #[test]
-    fn pool_faa_accumulates(deltas in proptest::collection::vec(1u64..100, 1..100)) {
+/// Concurrent-looking sequences of FAA on the pool are linearisable to a
+/// plain sum (the substrate's atomics are real atomics).
+#[test]
+fn pool_faa_accumulates() {
+    let mut rng = rng(9);
+    for _ in 0..32 {
         let pool = MemoryPool::new(DmConfig::small());
         let addr = pool.reserve(8).unwrap();
         let client = pool.connect();
         let mut expected = 0u64;
-        for d in &deltas {
-            client.faa(addr, *d);
+        for _ in 0..rng.gen_range(1usize..100) {
+            let d = rng.gen_range(1u64..100);
+            client.faa(addr, d);
             expected += d;
         }
-        prop_assert_eq!(client.read_u64(addr), expected);
+        assert_eq!(client.read_u64(addr), expected);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The Ditto cache never returns a value that was not stored under the
-    /// requested key, for arbitrary small workloads.
-    #[test]
-    fn ditto_never_returns_wrong_values(
-        ops in proptest::collection::vec((0u64..200, any::<bool>()), 1..400),
-    ) {
-        use ditto::cache::{DittoCache, DittoConfig};
-        use std::collections::HashMap;
+/// The Ditto cache never returns a value that was not stored under the
+/// requested key, for arbitrary small workloads.
+#[test]
+fn ditto_never_returns_wrong_values() {
+    use ditto::cache::{DittoCache, DittoConfig};
+    use std::collections::HashMap;
+    let mut rng = rng(10);
+    for case in 0..16 {
         let cache = DittoCache::with_dedicated_pool(
             DittoConfig::with_capacity(100),
             DmConfig::default(),
-        ).unwrap();
+        )
+        .unwrap();
         let mut client = cache.client();
         let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
-        for (key, is_set) in ops {
+        for _ in 0..rng.gen_range(1usize..400) {
+            let key = rng.gen_range(0u64..200);
             let key_bytes = format!("key{key}");
-            if is_set {
+            if rng.gen::<f64>() < 0.5 {
                 let value = format!("value-{key}");
                 client.set(key_bytes.as_bytes(), value.as_bytes());
                 expected.insert(key, value.into_bytes());
             } else if let Some(value) = client.get(key_bytes.as_bytes()) {
                 // A hit must return exactly what was last stored (misses are
                 // always allowed — the cache may have evicted the key).
-                let stored = expected.get(&key);
-                prop_assert_eq!(Some(&value), stored, "wrong value for key{}", key);
+                assert_eq!(
+                    Some(&value),
+                    expected.get(&key),
+                    "case {case}: wrong value for key{key}"
+                );
             }
         }
     }

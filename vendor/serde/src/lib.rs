@@ -1,0 +1,28 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, and nothing in
+//! this repository actually serialises data through serde (the benchmark and
+//! figure harnesses write their JSON by hand).  The real dependency is only
+//! a *bound*: types carry `#[derive(Serialize, Deserialize)]` and a couple of
+//! generic functions require `T: Serialize + DeserializeOwned`.
+//!
+//! This crate satisfies those bounds with blanket-implemented marker traits
+//! and inert derive macros, so the public API of the workspace keeps the
+//! exact same serde-shaped surface and can be switched back to the real
+//! crates.io `serde` by flipping one line in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}

@@ -1,0 +1,18 @@
+//! Inert derive macros for the vendored `serde` stand-in.
+//!
+//! The companion `serde` crate blanket-implements its marker traits, so the
+//! derives have nothing to generate; they only need to exist (and accept the
+//! `#[serde(...)]` helper attribute) for `#[derive(Serialize, Deserialize)]`
+//! to keep compiling without network access to the real crates.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
