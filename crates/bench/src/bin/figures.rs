@@ -18,12 +18,12 @@ use ditto_bench::{
     load_phase, measured_phase, print_row, run_trace, SystemKind, SystemUnderTest,
 };
 use ditto_core::sim::{simulate_hit_rate, SimConfig};
-use ditto_core::DittoConfig;
-use ditto_dm::DmConfig;
+use ditto_core::{DittoCache, DittoConfig};
+use ditto_dm::{run_clients, DmConfig};
 use ditto_workloads::corpus::{self, CorpusScale};
 use ditto_workloads::mixer::{interleave_clients, mix_applications};
 use ditto_workloads::traces::{lfu_friendly, lru_friendly, TraceSpec};
-use ditto_workloads::{changing_workload, ReplayOptions, YcsbSpec, YcsbWorkload};
+use ditto_workloads::{changing_workload, replay, ReplayOptions, YcsbSpec, YcsbWorkload};
 
 struct Opts {
     scale: f64,
@@ -55,7 +55,8 @@ fn main() {
     let opts = parse_args();
     let all = [
         "fig1", "fig2", "fig3", "fig4", "fig5", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "tab3",
+        "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "corpus33",
+        "tab3",
     ];
     let selected: Vec<&str> = if opts.figures.iter().any(|f| f == "all") {
         all.to_vec()
@@ -74,9 +75,13 @@ fn main() {
             "fig13" => fig13(opts.scale),
             "fig14" => fig14(opts.scale),
             "fig15" => fig15(opts.scale),
-            "fig16" => fig16_17(opts.scale, true),
-            "fig17" => fig16_17(opts.scale, false),
+            "fig16" => {
+                fig16(opts.scale, true);
+                fig16(opts.scale, false);
+            }
+            "fig17" => fig17(opts.scale),
             "fig18" => fig18(opts.scale),
+            "corpus33" => corpus33(opts.scale),
             "fig19" => fig19(opts.scale),
             "fig20" => fig20(opts.scale),
             "fig21" => fig21(opts.scale),
@@ -346,9 +351,9 @@ fn fig15(scale: f64) {
     }
 }
 
-/// Figures 16 and 17: penalised throughput / hit rate on the five
-/// real-world workload stand-ins.
-fn fig16_17(scale: f64, penalized: bool) {
+/// Figure 16: penalised throughput and hit rate on the five real-world
+/// workload stand-ins.
+fn fig16(scale: f64, penalized: bool) {
     let workloads = corpus::figure16_workloads(corpus_scale(scale));
     let clients = 8usize;
     let systems = [
@@ -389,8 +394,134 @@ fn fig16_17(scale: f64, penalized: bool) {
     }
 }
 
-/// Figure 18: relative hit rates over the 33-workload corpus (box-plot data).
+/// RNIC budget for the elasticity figures: low enough that a single memory
+/// node is message-bound at the figure's client count.
+const ELASTIC_MESSAGE_RATE: u64 = 100_000;
+
+/// Loads every record into `cache` over `clients` threads (warm-up for the
+/// elasticity windows).
+fn elastic_load(cache: &DittoCache, spec: &YcsbSpec, clients: usize) {
+    run_clients(cache.pool(), clients, |ctx| {
+        let mut client = cache.client();
+        replay(
+            &mut client,
+            spec.load_shard(ctx.index, ctx.total),
+            ReplayOptions::default(),
+        );
+    });
+}
+
+/// One measured window of a YCSB-C replay (with cache-aside fills) over
+/// `clients` client threads; returns `(Mops, hottest-node message share)`.
+fn elastic_window(
+    cache: &DittoCache,
+    spec: &YcsbSpec,
+    workload: YcsbWorkload,
+    clients: usize,
+    seed: u64,
+) -> (f64, f64, ditto_dm::stats::Bottleneck) {
+    let (report, _) = run_clients(cache.pool(), clients, |ctx| {
+        let mut client = cache.client();
+        let requests = spec.run_requests_seeded(workload, seed + ctx.index as u64);
+        let per_client = (requests.len() / ctx.total).min(4_000);
+        replay(
+            &mut client,
+            requests[..per_client].iter().copied(),
+            ReplayOptions::default(),
+        );
+        client.flush();
+    });
+    let total: u64 = report.node_messages.iter().sum::<u64>().max(1);
+    let max = report.node_messages.iter().copied().max().unwrap_or(0);
+    (
+        report.throughput_mops,
+        max as f64 / total as f64,
+        report.bottleneck,
+    )
+}
+
+/// Figure 17: elasticity of the throughput ceiling — simulated ops/s vs
+/// pool size under a message-bound RNIC budget.  With the hash table,
+/// history shards and segments striped by the topology layer, the hottest
+/// NIC carries `~1/n` of the messages and throughput scales with the pool.
+fn fig17(scale: f64) {
+    let spec = ycsb_spec(scale);
+    let capacity = spec.record_count;
+    let clients = 8usize;
+    println!(
+        "YCSB-C, {} clients, {} msg/s per NIC (message-bound at 1 MN)",
+        clients, ELASTIC_MESSAGE_RATE
+    );
+    println!(
+        "{:>8} {:>10} {:>16} {:>14}",
+        "MNs", "Mops", "hottest-NIC(%)", "bottleneck"
+    );
+    for nodes in [1u16, 2, 4, 8] {
+        let dm = DmConfig::default()
+            .with_memory_nodes(nodes)
+            .with_message_rate(ELASTIC_MESSAGE_RATE);
+        let cache = DittoCache::with_dedicated_pool(DittoConfig::with_capacity(capacity), dm)
+            .expect("cache construction");
+        elastic_load(&cache, &spec, clients);
+        let (mops, hottest, bottleneck) =
+            elastic_window(&cache, &spec, YcsbWorkload::C, clients, 17);
+        println!(
+            "{nodes:>8} {mops:>10.4} {:>16.1} {:>14}",
+            hottest * 100.0,
+            format!("{bottleneck:?}")
+        );
+    }
+}
+
+/// Figure 18: online elasticity — throughput while memory nodes are added
+/// to and drained from a serving pool.  Adding nodes needs no migration:
+/// the resize epoch redirects new placements and the ceiling rises as the
+/// cache churns onto the new NICs; draining keeps resident data readable
+/// while placements leave the node.
 fn fig18(scale: f64) {
+    let spec = ycsb_spec(scale);
+    // Capacity below the footprint so eviction churn keeps re-placing
+    // objects — that churn is what carries load onto added nodes.
+    let capacity = spec.record_count * 6 / 10;
+    let clients = 8usize;
+    let dm = DmConfig::default()
+        .with_memory_nodes(2)
+        .with_message_rate(ELASTIC_MESSAGE_RATE);
+    let cache = DittoCache::with_dedicated_pool(DittoConfig::with_capacity(capacity), dm)
+        .expect("cache construction");
+    elastic_load(&cache, &spec, clients);
+    println!(
+        "YCSB-A (update churn re-places objects), {} clients, {} msg/s per NIC; pool resized online",
+        clients, ELASTIC_MESSAGE_RATE
+    );
+    println!(
+        "{:>26} {:>7} {:>10} {:>16}",
+        "phase", "epoch", "Mops", "hottest-NIC(%)"
+    );
+    let phase = |name: &str, seed: u64| {
+        let (mops, hottest, _) = elastic_window(&cache, &spec, YcsbWorkload::A, clients, seed);
+        println!(
+            "{name:>26} {:>7} {mops:>10.4} {:>16.1}",
+            cache.pool().resize_epoch(),
+            hottest * 100.0
+        );
+    };
+    phase("2 MNs (steady)", 180);
+    cache.pool().add_node().expect("add node 2");
+    cache.pool().add_node().expect("add node 3");
+    phase("4 MNs (resize window)", 181);
+    phase("4 MNs (churned)", 182);
+    phase("4 MNs (churned +)", 183);
+    cache.pool().drain_node(3).expect("drain node 3");
+    phase("3 MNs (node 3 draining)", 184);
+    println!(
+        "(no data migration: resident objects keep serving; the epoch only redirects new placements)"
+    );
+}
+
+/// Relative hit rates over the 33-workload corpus (box-plot data; the
+/// adaptive-vs-best/worst comparison that used to be printed as fig18).
+fn corpus33(scale: f64) {
     let corpus = corpus::corpus_33(corpus_scale(scale));
     let mut adaptive_rel = Vec::new();
     let mut best_rel = Vec::new();

@@ -1,15 +1,20 @@
 //! Get-heavy ops microbenchmark of the doorbell-batched, zero-allocation
-//! data path.
+//! data path and of multi-memory-node striping.
 //!
 //! Replays a seeded YCSB-C trace (gets with cache-aside fills) against a
 //! `DittoClient` twice — doorbell batching on and off — and reports
 //! simulated ops/s, verbs per op, doorbells per op and p50/p99 operation
 //! latency as JSON in `BENCH_ops.json`, so future changes can track the
-//! performance trajectory.
+//! performance trajectory.  A second section sweeps the pool from 1 to 8
+//! memory nodes under a deliberately message-bound RNIC budget: with the
+//! hash table, history shards and segments striped by the topology layer,
+//! the per-node message load — and therefore the simulated throughput
+//! ceiling — must scale with pool size (the fig 17/18 elasticity claim).
 //!
 //! The process exits non-zero if the batched configuration does not deliver
-//! ≥1.3× simulated throughput, or if the two configurations diverge in
-//! hit/miss counts (batching must never change cache behaviour).
+//! ≥1.3× simulated throughput, if the two configurations diverge in
+//! hit/miss counts (batching must never change cache behaviour), or if the
+//! message-bound sweep is not monotonically increasing from 1 to 4 nodes.
 //!
 //! ```text
 //! cargo run --release -p ditto-bench --bin ops_bench
@@ -19,6 +24,11 @@
 use ditto_core::{DittoCache, DittoConfig};
 use ditto_dm::DmConfig;
 use ditto_workloads::{YcsbSpec, YcsbWorkload};
+
+/// RNIC message budget (verbs/s per node) for the striping sweep — low
+/// enough that a single node is message-bound, so adding nodes raises the
+/// ceiling until client compute takes over.
+const SWEEP_MESSAGE_RATE: u64 = 60_000;
 
 #[derive(Debug, Clone)]
 struct ModeReport {
@@ -83,6 +93,80 @@ fn run_mode(batching: bool, spec: &YcsbSpec, capacity: u64) -> ModeReport {
         misses: cache_snap.misses,
         evictions: cache_snap.evictions + cache_snap.bucket_evictions,
     }
+}
+
+#[derive(Debug, Clone)]
+struct SweepPoint {
+    nodes: u16,
+    ops_per_sec: f64,
+    sim_seconds: f64,
+    total_messages: u64,
+    max_node_messages: u64,
+    nic_bound: bool,
+}
+
+/// Runs the trace on a pool of `nodes` memory nodes with a throttled RNIC
+/// and stretches elapsed time to the most-saturated resource, exactly like
+/// `RunReport` does — the ceiling is `max(client time, per-node messages /
+/// rate)`, so striping the message load over more nodes raises throughput.
+fn run_sweep_point(nodes: u16, spec: &YcsbSpec, capacity: u64) -> SweepPoint {
+    let dm = DmConfig::default()
+        .with_memory_nodes(nodes)
+        .with_message_rate(SWEEP_MESSAGE_RATE);
+    let config = DittoConfig::with_capacity(capacity);
+    let cache = DittoCache::with_dedicated_pool(config, dm).unwrap();
+    let mut client = cache.client();
+
+    let mut value = vec![0u8; spec.value_size as usize];
+    for key in 0..spec.record_count {
+        value.fill(key as u8);
+        client.set(&key.to_le_bytes(), &value);
+    }
+    client.dm().publish_clock();
+    cache.pool().reset_stats();
+    client.dm().reset_clock();
+    let baseline_ns = client.dm().now_ns();
+
+    let mut value_buf = Vec::with_capacity(spec.value_size as usize);
+    for request in spec.run_requests(YcsbWorkload::C) {
+        let key = request.key_bytes();
+        if !client.get_into(&key, &mut value_buf) {
+            value.fill(request.key as u8);
+            client.set(&key, &value);
+        }
+    }
+    client.flush();
+
+    let stats = cache.pool().stats();
+    let snaps = stats.node_snapshots();
+    let ops = stats.ops();
+    let client_seconds = (client.dm().now_ns() - baseline_ns) as f64 / 1e9;
+    let max_node_messages = snaps.iter().map(|s| s.messages).max().unwrap_or(0);
+    let nic_seconds = max_node_messages as f64 / SWEEP_MESSAGE_RATE as f64;
+    let sim_seconds = client_seconds.max(nic_seconds).max(1e-12);
+    SweepPoint {
+        nodes,
+        ops_per_sec: ops as f64 / sim_seconds,
+        sim_seconds,
+        total_messages: snaps.iter().map(|s| s.messages).sum(),
+        max_node_messages,
+        nic_bound: nic_seconds > client_seconds,
+    }
+}
+
+fn sweep_json(point: &SweepPoint) -> String {
+    format!(
+        concat!(
+            "{{ \"nodes\": {}, \"ops_per_sec\": {:.1}, \"simulated_seconds\": {:.6}, ",
+            "\"messages_total\": {}, \"max_node_messages\": {}, \"nic_bound\": {} }}"
+        ),
+        point.nodes,
+        point.ops_per_sec,
+        point.sim_seconds,
+        point.total_messages,
+        point.max_node_messages,
+        point.nic_bound,
+    )
 }
 
 fn mode_json(report: &ModeReport) -> String {
@@ -155,6 +239,30 @@ fn main() {
     let speedup = batched.ops_per_sec / unbatched.ops_per_sec;
     eprintln!("  speedup:   {speedup:.3}x");
 
+    // Multi-memory-node striping sweep under a message-bound RNIC budget.
+    let sweep_spec = YcsbSpec {
+        record_count: spec.record_count,
+        request_count: (requests / 4).max(20_000),
+        ..YcsbSpec::default()
+    }
+    .with_seed(42);
+    eprintln!(
+        "ops_bench: MN sweep, {} requests, {} msg/s per NIC",
+        sweep_spec.request_count, SWEEP_MESSAGE_RATE
+    );
+    let mut sweep = Vec::new();
+    for nodes in [1u16, 2, 4, 8] {
+        let point = run_sweep_point(nodes, &sweep_spec, capacity);
+        eprintln!(
+            "  {} MN: {:>12.0} ops/s  max-node {:>8} msgs  ({})",
+            point.nodes,
+            point.ops_per_sec,
+            point.max_node_messages,
+            if point.nic_bound { "NIC-bound" } else { "client-bound" }
+        );
+        sweep.push(point);
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -167,7 +275,9 @@ fn main() {
             "    \"batched\": {},\n",
             "    \"unbatched\": {}\n",
             "  }},\n",
-            "  \"speedup\": {:.4}\n",
+            "  \"speedup\": {:.4},\n",
+            "  \"mn_sweep_message_rate\": {},\n",
+            "  \"mn_sweep\": [\n    {}\n  ]\n",
             "}}\n"
         ),
         requests,
@@ -176,6 +286,8 @@ fn main() {
         mode_json(&batched),
         mode_json(&unbatched),
         speedup,
+        SWEEP_MESSAGE_RATE,
+        sweep.iter().map(sweep_json).collect::<Vec<_>>().join(",\n    "),
     );
     std::fs::write("BENCH_ops.json", &json).expect("write BENCH_ops.json");
     println!("{json}");
@@ -190,4 +302,16 @@ fn main() {
         speedup >= 1.3,
         "doorbell batching must deliver >=1.3x simulated ops/s, measured {speedup:.3}x"
     );
+    // Striping gate: under a message-bound workload, simulated ops/s must
+    // increase monotonically from 1 to 4 memory nodes.
+    for pair in sweep[..3].windows(2) {
+        assert!(
+            pair[1].ops_per_sec > pair[0].ops_per_sec,
+            "ops/s must increase {} -> {} memory nodes: {:.0} vs {:.0}",
+            pair[0].nodes,
+            pair[1].nodes,
+            pair[0].ops_per_sec,
+            pair[1].ops_per_sec
+        );
+    }
 }

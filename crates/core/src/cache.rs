@@ -64,13 +64,16 @@ impl DittoCache {
     /// The pool gets enough memory for the hash table plus
     /// `capacity_objects` average-sized objects, so allocation failures — and
     /// therefore evictions — start once the configured capacity is reached.
+    /// With `dm.num_memory_nodes > 1` the required bytes are divided over
+    /// the nodes, matching the striped placement of table and segments.
     pub fn with_dedicated_pool(config: DittoConfig, mut dm: DmConfig) -> CacheResult<Self> {
         let table_bytes = config.num_buckets() * BUCKET_SIZE as u64;
         let object_bytes = config.capacity_objects * config.avg_object_blocks() * 64;
-        // Margin for the history counter, the scratch page, allocator
-        // alignment and per-client segment remainders.
-        let margin = 64 * 1024 + object_bytes / 50;
-        dm.memory_node_capacity = table_bytes + object_bytes + margin;
+        let nodes = dm.num_memory_nodes.max(1) as u64;
+        // Margin (per node) for the history counters, the scratch page,
+        // allocator alignment and per-client segment remainders.
+        let margin = 64 * 1024 + object_bytes / nodes / 50;
+        dm.memory_node_capacity = (table_bytes + object_bytes).div_ceil(nodes) + margin;
         Self::new(MemoryPool::new(dm), config)
     }
 
@@ -116,11 +119,11 @@ impl DittoCache {
     }
 
     pub(crate) fn table(&self) -> SampleFriendlyHashTable {
-        self.table
+        self.table.clone()
     }
 
     pub(crate) fn history(&self) -> EvictionHistory {
-        self.history
+        self.history.clone()
     }
 
     pub(crate) fn scratch(&self) -> RemoteAddr {

@@ -27,11 +27,25 @@
 //! the value into a caller-provided buffer.  `enable_doorbell_batching =
 //! false` issues the identical verb sequence one round trip at a time — the
 //! ablation quantified by the `ops_bench` microbenchmark.
+//!
+//! With the hash table striped over several memory nodes (see
+//! `ditto_dm::topology` and [`crate::hashtable`]), the verbs of one batch
+//! fan out across the nodes' NICs: the two bucket READs of a lookup may
+//! target two nodes, the object lands stripe-local to its primary bucket,
+//! and eviction samples split per node — all decisions are made in global
+//! index space, so a striped non-adaptive cache behaves byte-for-byte like
+//! a single-node one (enforced by `tests/striped_parity.rs`).  The
+//! adaptive machinery's sharded history (one counter per node) only
+//! *approximates* the single global FIFO — see [`crate::history`] — so
+//! adaptive weight trajectories may differ slightly across pool sizes.
+//! Every operation revalidates the client's placement snapshot against the
+//! pool's resize epoch, picking up online `add_node`/`drain_node` calls.
 
 use crate::adaptive::{weight_wire, ExpertWeights};
 use crate::cache::DittoCache;
 use crate::config::DittoConfig;
-use crate::fc_cache::FcCache;
+use crate::error::CacheResult;
+use crate::fc_cache::{FcCache, FcFlushes};
 use crate::hash::{fingerprint, fnv1a64};
 use crate::hashtable::SampleFriendlyHashTable;
 use crate::history::{expert_bitmap, EvictionHistory};
@@ -41,7 +55,7 @@ use crate::slot::{AtomicField, Slot, BUCKET_SIZE, SLOTS_PER_BUCKET, SLOT_SIZE};
 use crate::stats::CacheStats;
 use ditto_algorithms::{AccessContext, AccessKind, CacheAlgorithm, Metadata, EXT_WORDS};
 use ditto_dm::rpc::WEIGHT_SERVICE;
-use ditto_dm::{ClientAllocator, DmClient, DmError, RemoteAddr};
+use ditto_dm::{DmClient, DmError, PoolTopology, RemoteAddr, StripedAllocator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -72,13 +86,21 @@ pub struct DittoClient {
     scratch: RemoteAddr,
     experts: Arc<Vec<Arc<dyn CacheAlgorithm>>>,
     stats: Arc<CacheStats>,
-    alloc: ClientAllocator,
+    alloc: StripedAllocator,
     fc: FcCache,
     weights: ExpertWeights,
     rng: StdRng,
-    counter_estimate: u64,
-    counter_known: bool,
-    misses_since_refresh: u64,
+    /// Per-shard estimates of the sharded global history counters.
+    counter_estimates: Vec<u64>,
+    counters_known: Vec<bool>,
+    /// Monotone miss count; per-shard refresh staleness is measured against
+    /// it so refreshing one shard does not postpone another's refresh.
+    miss_count: u64,
+    last_refresh_miss_count: Vec<u64>,
+    /// Topology snapshot backing allocation placement; revalidated against
+    /// the pool's resize epoch at every operation.
+    topology: PoolTopology,
+    topo_epoch: u64,
     use_extension: bool,
     /// Set once an allocation has seen the pool full; under pressure the
     /// client evicts and recycles locally instead of paying a doomed
@@ -98,8 +120,14 @@ impl DittoClient {
     pub(crate) fn new(cache: DittoCache) -> Self {
         let config = cache.config_arc();
         let dm = cache.pool().connect();
+        // The snapshot carries its own epoch; reading the pool's epoch
+        // separately could race a concurrent resize and pin a stale
+        // snapshot forever.
+        let topology = cache.pool().topology();
+        let topo_epoch = topology.epoch();
         let segment = config.alloc_segment_objects.max(1) * config.avg_object_blocks() * 64;
-        let alloc = ClientAllocator::with_segment_size(0, segment);
+        let alloc = StripedAllocator::new(topology.active(), segment);
+        let num_shards = cache.history().num_shards() as usize;
         let fc = FcCache::new(config.fc_threshold, config.fc_capacity_entries());
         let weights = ExpertWeights::new(
             cache.experts().len(),
@@ -123,9 +151,12 @@ impl DittoClient {
             fc,
             weights,
             rng: StdRng::seed_from_u64(seed),
-            counter_estimate: 0,
-            counter_known: false,
-            misses_since_refresh: 0,
+            counter_estimates: vec![0; num_shards],
+            counters_known: vec![false; num_shards],
+            miss_count: 0,
+            last_refresh_miss_count: vec![0; num_shards],
+            topology,
+            topo_epoch,
             mem_pressure: false,
             bucket_buf: vec![0u8; 2 * BUCKET_SIZE].into_boxed_slice(),
             sample_buf: vec![0u8; DittoConfig::MAX_SAMPLE_SIZE * SLOT_SIZE].into_boxed_slice(),
@@ -163,6 +194,7 @@ impl DittoClient {
     /// `true`.  Reusing `out` across calls makes the steady-state `Get` path
     /// allocation-free.
     pub fn get_into(&mut self, key: &[u8], out: &mut Vec<u8>) -> bool {
+        self.maybe_refresh_topology();
         self.dm.begin_op();
         let hit = self.get_inner(key, out);
         self.dm.end_op();
@@ -174,13 +206,43 @@ impl DittoClient {
     /// # Panics
     ///
     /// Panics if the object does not fit the 254-block (≈16 KiB) size-class
-    /// limit, or if the memory pool cannot be made to fit the object even
-    /// after repeated evictions (a sizing bug rather than a run-time
-    /// condition).
+    /// limit or the 48-bit slot pointer, or if the memory pool cannot be
+    /// made to fit the object even after repeated evictions (a sizing bug
+    /// rather than a run-time condition).  The variant with typed errors is
+    /// [`DittoClient::try_set`].
     pub fn set(&mut self, key: &[u8], value: &[u8]) {
+        self.try_set(key, value).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Inserts or updates `key` with `value`, reporting pointer-encoding
+    /// overflows as typed [`crate::CacheError`]s instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on pool-sizing bugs (see [`DittoClient::set`]).
+    pub fn try_set(&mut self, key: &[u8], value: &[u8]) -> CacheResult<()> {
+        self.maybe_refresh_topology();
         self.dm.begin_op();
-        self.set_inner(key, value);
+        let result = self.set_inner(key, value);
         self.dm.end_op();
+        result
+    }
+
+    /// Revalidates the cached topology snapshot against the pool's resize
+    /// epoch, refreshing the allocator's active-node set after an online
+    /// `add_node`/`drain_node` (cheap epoch compare in steady state).
+    fn maybe_refresh_topology(&mut self) {
+        let epoch = self.dm.resize_epoch();
+        if epoch != self.topo_epoch {
+            self.topology = self.dm.pool().topology();
+            self.alloc.set_active(self.topology.active());
+            self.topo_epoch = epoch;
+            // The active set changed, so the memory-pressure verdict is
+            // stale: an added node has fresh capacity to probe, and after a
+            // drain the pressure state re-establishes itself on the first
+            // failing allocation anyway.
+            self.mem_pressure = false;
+        }
     }
 
     /// Flushes buffered state: pending frequency-counter increments and
@@ -262,14 +324,45 @@ impl DittoClient {
             if self.obj_buf.len() < obj_len {
                 self.obj_buf.resize(obj_len, 0);
             }
-            self.dm
-                .read_into(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len]);
+            // Hoist the frequency-counter flush decision *before* the object
+            // READ so any due `RDMA_FAA` rides the same doorbell batch as
+            // the READ instead of paying its own round trip afterwards
+            // (~0.2 µs per hit at `fc_threshold = 10`).  The no-FC-cache
+            // ablation keeps its per-hit FAA after key validation (in
+            // `record_access`), exactly like the seed it models.
+            let freq_addr = SampleFriendlyHashTable::freq_addr(slot_addr);
+            let flushes = if self.config.enable_fc_cache {
+                self.fc.record(freq_addr)
+            } else {
+                FcFlushes::default()
+            };
+            if flushes.is_empty() {
+                self.dm
+                    .read_into(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len]);
+            } else {
+                let mut batch = self.dm.batch();
+                batch.read_into(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len]);
+                for (addr, delta) in flushes {
+                    batch.faa(addr, delta);
+                }
+                batch.execute_mode(self.config.enable_doorbell_batching);
+                for _ in 0..flushes.len() {
+                    self.stats.record_fc_flush();
+                }
+            }
             let Some(view) = object::view(&self.obj_buf[..obj_len]) else {
-                // Raced with an eviction that already reused the blocks.
+                // Raced with an eviction that already reused the blocks;
+                // take back the optimistic frequency increment.
+                if self.config.enable_fc_cache {
+                    self.fc.forgive(freq_addr);
+                }
                 continue;
             };
             if view.key != key {
                 // Fingerprint + hash collision or a concurrent replacement.
+                if self.config.enable_fc_cache {
+                    self.fc.forgive(freq_addr);
+                }
                 continue;
             }
             let ext = view.ext;
@@ -316,15 +409,21 @@ impl DittoClient {
                 .write_async(self.scratch.add(8), &now.to_le_bytes());
         }
         // Stateful information: the frequency counter, combined client-side.
-        let freq_addr = SampleFriendlyHashTable::freq_addr(slot_addr);
-        if self.config.enable_fc_cache {
-            for (addr, delta) in self.fc.record(freq_addr) {
-                self.dm.faa(addr, delta);
+        // On the Get path with the FC cache enabled the flush decision is
+        // hoisted before the object READ (the FAA shares its doorbell
+        // batch), so such hits arrive here with the counter already
+        // handled.
+        if kind != AccessKind::Hit || !self.config.enable_fc_cache {
+            let freq_addr = SampleFriendlyHashTable::freq_addr(slot_addr);
+            if self.config.enable_fc_cache {
+                for (addr, delta) in self.fc.record(freq_addr) {
+                    self.dm.faa(addr, delta);
+                    self.stats.record_fc_flush();
+                }
+            } else {
+                self.dm.faa(freq_addr, 1);
                 self.stats.record_fc_flush();
             }
-        } else {
-            self.dm.faa(freq_addr, 1);
-            self.stats.record_fc_flush();
         }
         // Extension metadata for advanced algorithms (§4.4).
         if self.use_extension {
@@ -350,28 +449,37 @@ impl DittoClient {
     // Regrets and adaptive weights
     // ------------------------------------------------------------------
 
-    fn refresh_counter_estimate(&mut self) {
-        if !self.counter_known || self.misses_since_refresh >= self.config.history_counter_refresh {
-            self.counter_estimate = self.history.read_counter(&self.dm);
-            self.counter_known = true;
-            self.misses_since_refresh = 0;
+    /// Refreshes the client's estimate of shard `shard`'s history counter
+    /// when it is unknown or stale, and returns the estimate.
+    fn refresh_counter_estimate(&mut self, shard: u64) -> u64 {
+        let idx = shard as usize;
+        if !self.counters_known[idx]
+            || self.miss_count - self.last_refresh_miss_count[idx]
+                >= self.config.history_counter_refresh
+        {
+            self.counter_estimates[idx] = self.history.read_counter(&self.dm, shard);
+            self.counters_known[idx] = true;
+            self.last_refresh_miss_count[idx] = self.miss_count;
         }
+        self.counter_estimates[idx]
     }
 
     fn check_regret(&mut self, slots: &[(RemoteAddr, Slot)], hash: u64) {
-        self.misses_since_refresh += 1;
+        self.miss_count += 1;
         let entry = slots
             .iter()
             .find(|(_, s)| s.atomic.is_history() && s.hash == hash);
         let Some((_, entry)) = entry else {
             return;
         };
-        self.refresh_counter_estimate();
         let id = entry.atomic.history_id();
-        if !self.history.is_valid(self.counter_estimate, id) {
+        let estimate = self.refresh_counter_estimate(self.history.shard_of_id(id));
+        if !self.history.is_valid(estimate, id) {
             return;
         }
-        let position = self.history.position(self.counter_estimate, id);
+        // Global-scale position: the LeCaR discount is calibrated against
+        // the full history length, not a shard's slice of it.
+        let position = self.history.global_position(estimate, id);
         self.stats.record_regret();
         let sync_needed = self.weights.apply_regret(entry.expert_bitmap(), position);
         if sync_needed || !self.config.enable_lazy_weight_update {
@@ -399,8 +507,7 @@ impl DittoClient {
     // Set path
     // ------------------------------------------------------------------
 
-    fn set_inner(&mut self, key: &[u8], value: &[u8]) {
-        self.stats.record_set();
+    fn set_inner(&mut self, key: &[u8], value: &[u8]) -> CacheResult<()> {
         let hash = fnv1a64(key);
         let fp = fingerprint(hash);
         // Encode into the reusable per-client buffer, temporarily moved out
@@ -408,13 +515,33 @@ impl DittoClient {
         let mut encoded = std::mem::take(&mut self.encode_buf);
         object::encode_into(key, value, self.use_extension, &[0; EXT_WORDS], &mut encoded);
         let size_class = encoded.len() / 64;
-        assert!(
-            size_class <= 254,
-            "object of {} bytes exceeds the 254-block size-class limit",
-            encoded.len()
-        );
-        let obj_addr = self.alloc_with_eviction(encoded.len());
-        let new_atomic = AtomicField::for_object(fp, size_class as u8, obj_addr);
+        if size_class > 254 {
+            self.encode_buf = encoded;
+            return Err(crate::error::CacheError::ObjectTooLarge {
+                bytes: object::encoded_len(key.len(), value.len(), self.use_extension),
+                max: 254 * 64,
+            });
+        }
+        // Stripe-local placement: route the value through the topology with
+        // the primary bucket's stripe as the hint.  Before any resize this
+        // is exactly the node that owns the bucket (slot and object share a
+        // memory node and its NIC); after an online add/drain the topology
+        // remaps the hint, so new objects rebalance onto the changed active
+        // set while resident data stays put.
+        let stripe = self.table.stripe_of_bucket(self.table.primary_bucket(hash));
+        let preferred = self.topology.alloc_node_for(stripe);
+        let obj_addr = self.alloc_with_eviction(preferred, encoded.len());
+        let new_atomic = match AtomicField::try_for_object(fp, size_class as u8, obj_addr) {
+            Ok(atomic) => atomic,
+            Err(e) => {
+                // The 48-bit slot pointer cannot name this address; release
+                // the memory and surface the typed error.
+                self.alloc.free(obj_addr, encoded.len());
+                self.encode_buf = encoded;
+                return Err(e);
+            }
+        };
+        self.stats.record_set();
 
         let mut stored = false;
         for attempt in 0..MAX_RETRIES {
@@ -453,6 +580,7 @@ impl DittoClient {
             self.alloc.free(obj_addr, encoded.len());
         }
         self.encode_buf = encoded;
+        Ok(())
     }
 
     fn replace_existing(
@@ -506,12 +634,19 @@ impl DittoClient {
         if !slots.iter().any(|(_, s)| s.atomic.is_history()) {
             return None;
         }
-        self.refresh_counter_estimate();
+        // Refresh the estimate of every history shard present in the bucket
+        // before comparing validity/positions against them.
+        for (_, s) in slots {
+            if s.atomic.is_history() {
+                self.refresh_counter_estimate(self.history.shard_of_id(s.atomic.history_id()));
+            }
+        }
+        let estimate = |id: u64| self.counter_estimates[self.history.shard_of_id(id) as usize];
         if let Some(expired) = slots.iter().find(|(_, s)| {
             s.atomic.is_history()
                 && !self
                     .history
-                    .is_valid(self.counter_estimate, s.atomic.history_id())
+                    .is_valid(estimate(s.atomic.history_id()), s.atomic.history_id())
         }) {
             return Some(*expired);
         }
@@ -520,7 +655,7 @@ impl DittoClient {
             .filter(|(_, s)| s.atomic.is_history())
             .max_by_key(|(_, s)| {
                 self.history
-                    .position(self.counter_estimate, s.atomic.history_id())
+                    .position(estimate(s.atomic.history_id()), s.atomic.history_id())
             })
             .copied()
     }
@@ -555,14 +690,15 @@ impl DittoClient {
     // Eviction
     // ------------------------------------------------------------------
 
-    fn alloc_with_eviction(&mut self, size: usize) -> RemoteAddr {
+    fn alloc_with_eviction(&mut self, preferred: u16, size: usize) -> RemoteAddr {
         for attempt in 0..MAX_EVICTION_ATTEMPTS {
             // Under memory pressure a segment RPC is doomed: serve from the
-            // local free lists, evicting to refill them.  Every 8th attempt
-            // still probes the memory node in case capacity reappeared
+            // local free lists (stripe-local node first, then any active
+            // node), evicting to refill them.  Every 8th attempt still
+            // probes the memory nodes in case capacity reappeared
             // (e.g. after another client released segments).
             if self.mem_pressure && attempt % 8 != 7 {
-                if let Some(addr) = self.alloc.alloc_local(size) {
+                if let Some(addr) = self.alloc.alloc_local_on(preferred, size) {
                     return addr;
                 }
                 if !self.evict_once() {
@@ -570,7 +706,7 @@ impl DittoClient {
                 }
                 continue;
             }
-            match self.alloc.alloc(&self.dm, size) {
+            match self.alloc.alloc_on(&self.dm, preferred, size) {
                 Ok(addr) => return addr,
                 Err(DmError::OutOfMemory { .. }) => {
                     self.mem_pressure = true;
@@ -586,18 +722,28 @@ impl DittoClient {
     /// appends the live-object candidates.
     ///
     /// The sample-friendly table needs a single `RDMA_READ` of K consecutive
-    /// slots; the scattered-metadata ablation needs K independent slot READs,
-    /// which are issued as one doorbell batch (or sequentially when batching
-    /// is disabled — exactly the seed's behaviour).
+    /// slots — or, when the sampled span crosses a stripe boundary of the
+    /// striped table, one READ per memory node touched, issued as a single
+    /// doorbell batch that fans out across the NICs.  The sampled *global*
+    /// slot indices are independent of the striping, so striped and
+    /// single-node caches examine identical candidates.  The
+    /// scattered-metadata ablation needs K independent slot READs, which
+    /// are issued as one doorbell batch (or sequentially when batching is
+    /// disabled — exactly the seed's behaviour).
     fn read_eviction_sample(&mut self, candidates: &mut Candidates) {
         let sample_size = self.config.sample_size;
         if self.config.enable_sample_friendly_table {
-            let (addr, count) = self.table.sample_span(&mut self.rng, sample_size);
-            let buf = &mut self.sample_buf[..count * SLOT_SIZE];
-            self.dm.read_into(addr, buf);
+            let (start, count) = self.table.sample_span(&mut self.rng, sample_size);
             let mut sample: InlineVec<(RemoteAddr, Slot), { DittoConfig::MAX_SAMPLE_SIZE }> =
                 InlineVec::new();
-            SampleFriendlyHashTable::decode_slots(addr, buf, &mut sample);
+            self.table.read_span_into(
+                &self.dm,
+                start,
+                count,
+                &mut self.sample_buf,
+                self.config.enable_doorbell_batching,
+                &mut sample,
+            );
             for &(slot_addr, slot) in sample.iter() {
                 if slot.atomic.is_object() {
                     candidates.push_saturating((slot_addr, slot));
@@ -645,9 +791,13 @@ impl DittoClient {
         let expected = victim.atomic.encode();
 
         if self.config.adaptive && self.config.enable_lightweight_history {
-            let (hist_id, new_counter) = self.history.acquire_id(&self.dm);
-            self.counter_estimate = new_counter;
-            self.counter_known = true;
+            // Home the entry on the victim's hash shard: entries spread
+            // over every shard (and every node's counter) uniformly, so the
+            // sharded FIFOs jointly keep the configured history length.
+            let shard = self.history.shard_for_hash(victim.hash);
+            let (hist_id, new_counter) = self.history.acquire_id(&self.dm, shard);
+            self.counter_estimates[shard as usize] = new_counter;
+            self.counters_known[shard as usize] = true;
             let hist_atomic = AtomicField::for_history(victim.atomic.fp, hist_id);
             if self.dm.cas(victim_addr, expected, hist_atomic.encode()) != expected {
                 return false;
@@ -993,6 +1143,176 @@ mod tests {
         }
         let faa = cache.pool().stats().node_snapshots()[0].faa;
         assert!(faa <= 12, "FC cache should batch FAAs, saw {faa}");
+    }
+
+    #[test]
+    fn striped_cache_serves_roundtrips_across_all_nodes() {
+        let config = DittoConfig::with_capacity(1_000);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(4))
+                .unwrap();
+        let mut client = cache.client();
+        for i in 0..400u64 {
+            client.set(format!("key{i}").as_bytes(), format!("value{i}").as_bytes());
+        }
+        for i in 0..400u64 {
+            assert_eq!(
+                client.get(format!("key{i}").as_bytes()),
+                Some(format!("value{i}").into_bytes()),
+                "key{i}"
+            );
+        }
+        // The hash table and objects are striped: every node serves verbs.
+        let snaps = cache.pool().stats().node_snapshots();
+        assert_eq!(snaps.len(), 4);
+        for (mn, snap) in snaps.iter().enumerate() {
+            assert!(snap.messages > 100, "node {mn} served only {} messages", snap.messages);
+        }
+    }
+
+    #[test]
+    fn striped_lookup_fans_out_doorbells_across_nodes() {
+        let config = DittoConfig::with_capacity(1_000);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(4))
+                .unwrap();
+        let mut client = cache.client();
+        for i in 0..64u64 {
+            let _ = client.get(&i.to_le_bytes());
+        }
+        // Some key's primary and secondary buckets live on different nodes,
+        // so its lookup batch rang one doorbell per node.
+        assert!(
+            cache.pool().stats().largest_fanout() >= 2,
+            "expected at least one multi-node lookup batch"
+        );
+        let snaps = cache.pool().stats().node_snapshots();
+        assert!(snaps.iter().filter(|s| s.doorbells > 0).count() >= 2);
+    }
+
+    #[test]
+    fn striped_objects_live_on_their_buckets_node() {
+        let config = DittoConfig::with_capacity(1_000);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(4))
+                .unwrap();
+        let mut client = cache.client();
+        // With ample memory, every object's value must land on the memory
+        // node that owns its primary bucket (stripe-local allocation).
+        for i in 0..200u64 {
+            let key = format!("key{i}");
+            client.set(key.as_bytes(), b"v");
+            let hash = crate::hash::fnv1a64(key.as_bytes());
+            let table = cache.table();
+            let bucket_node = table.node_of_bucket(table.primary_bucket(hash));
+            let slots = table.read_bucket(&client.dm, table.primary_bucket(hash));
+            let fp = crate::hash::fingerprint(hash);
+            if let Some((_, slot)) = slots
+                .iter()
+                .find(|(_, s)| s.atomic.is_object() && s.atomic.fp == fp && s.hash == hash)
+            {
+                assert_eq!(
+                    slot.atomic.object_addr().mn_id,
+                    bucket_node,
+                    "object of {key} not stripe-local"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_add_and_drain_rebalance_allocations() {
+        let config = DittoConfig::with_capacity(2_000);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(2))
+                .unwrap();
+        let mut client = cache.client();
+        for i in 0..100u64 {
+            client.set(format!("warm{i}").as_bytes(), b"resident");
+        }
+        // Grow the pool online; clients pick the change up via the epoch.
+        let new_node = cache.pool().add_node().unwrap();
+        assert_eq!(new_node, 2);
+        assert_eq!(cache.pool().resize_epoch(), 1);
+        for i in 0..100u64 {
+            client.set(format!("post-add{i}").as_bytes(), b"fresh");
+        }
+        // The topology remaps stripe hints over the grown active set, so a
+        // share of the new objects lands on the added node.
+        let table = cache.table();
+        let mut on_new_node = 0;
+        for i in 0..100u64 {
+            let key = format!("post-add{i}");
+            let hash = crate::hash::fnv1a64(key.as_bytes());
+            let fp = crate::hash::fingerprint(hash);
+            for bucket in [table.primary_bucket(hash), table.secondary_bucket(hash)] {
+                let slots = table.read_bucket(&client.dm, bucket);
+                if let Some((_, slot)) = slots
+                    .iter()
+                    .find(|(_, s)| s.atomic.is_object() && s.atomic.fp == fp && s.hash == hash)
+                {
+                    if slot.atomic.object_addr().mn_id == new_node {
+                        on_new_node += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            on_new_node > 10,
+            "only {on_new_node}/100 post-add objects reached the new node"
+        );
+        // Drain node 1: resident data keeps hitting, new placements avoid it.
+        cache.pool().drain_node(1).unwrap();
+        assert_eq!(cache.pool().resize_epoch(), 2);
+        cache.pool().reset_stats();
+        for i in 0..100u64 {
+            client.set(format!("post-drain{i}").as_bytes(), b"fresh2");
+        }
+        for i in 0..100u64 {
+            assert_eq!(
+                client.get(format!("warm{i}").as_bytes()).as_deref(),
+                Some(&b"resident"[..]),
+                "resident key warm{i} lost after drain"
+            );
+        }
+        // All 100 post-drain objects were allocated off the drained node.
+        let table = cache.table();
+        for i in 0..100u64 {
+            let key = format!("post-drain{i}");
+            let hash = crate::hash::fnv1a64(key.as_bytes());
+            let fp = crate::hash::fingerprint(hash);
+            for bucket in [table.primary_bucket(hash), table.secondary_bucket(hash)] {
+                let slots = table.read_bucket(&client.dm, bucket);
+                if let Some((_, slot)) = slots
+                    .iter()
+                    .find(|(_, s)| s.atomic.is_object() && s.atomic.fp == fp && s.hash == hash)
+                {
+                    assert_ne!(
+                        slot.atomic.object_addr().mn_id,
+                        1,
+                        "{key} was placed on the drained node"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_objects_yield_typed_errors() {
+        use crate::error::CacheError;
+        let cache = small_cache(1_000);
+        let mut client = cache.client();
+        let too_big = vec![0u8; 254 * 64 + 1];
+        assert!(matches!(
+            client.try_set(b"big", &too_big),
+            Err(CacheError::ObjectTooLarge { .. })
+        ));
+        // A rejected set stores nothing and is not counted as a set.
+        assert_eq!(cache.stats().snapshot().sets, 0);
+        // The cache keeps serving afterwards.
+        client.set(b"ok", b"fine");
+        assert_eq!(client.get(b"ok").as_deref(), Some(&b"fine"[..]));
+        assert_eq!(cache.stats().snapshot().sets, 1);
     }
 
     #[test]

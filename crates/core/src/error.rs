@@ -22,6 +22,14 @@ pub enum CacheError {
         /// Maximum supported size in bytes.
         max: usize,
     },
+    /// A remote address does not fit the 48-bit slot pointer encoding
+    /// (memory-node id ≥ 256 or offset ≥ 2^40).
+    PointerOverflow {
+        /// Offending memory-node id.
+        mn_id: u16,
+        /// Offending byte offset.
+        offset: u64,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -33,6 +41,10 @@ impl fmt::Display for CacheError {
             CacheError::ObjectTooLarge { bytes, max } => {
                 write!(f, "object of {bytes} bytes exceeds the maximum of {max} bytes")
             }
+            CacheError::PointerOverflow { mn_id, offset } => write!(
+                f,
+                "address mn{mn_id}+0x{offset:x} does not fit the 48-bit slot pointer"
+            ),
         }
     }
 }

@@ -1,45 +1,103 @@
-//! The sample-friendly hash table (§4.2.1).
+//! The sample-friendly hash table (§4.2.1), striped across memory nodes.
 //!
 //! The table lives in the memory pool; this struct is a cheap client-side
-//! descriptor (base address plus geometry).  Storing the default access
-//! metadata next to the slot pointer is what allows
+//! descriptor (per-stripe base addresses plus geometry).  Storing the
+//! default access metadata next to the slot pointer is what allows
 //!
 //! * eviction candidates to be sampled with a *single* `RDMA_READ` of
 //!   consecutive slots, and
 //! * access information to be updated with one `RDMA_WRITE` (stateless
 //!   fields) plus one `RDMA_FAA` (the stateful frequency counter).
+//!
+//! # Striping
+//!
+//! The bucket space is divided into contiguous **stripes** and each stripe
+//! is reserved on the memory node the pool's
+//! [`ditto_dm::topology::PoolTopology`] assigns to it.  A key's primary and
+//! secondary buckets may then live on different nodes, so the two bucket
+//! READs of a lookup fan out to two NICs inside one doorbell batch, and the
+//! per-node message load — the throughput ceiling of §5.3 — shrinks to
+//! `1/n`-th per node.  Bucket indices, hashes and sampling positions are
+//! all computed in the *global* bucket/slot space; only the final
+//! address translation consults the stripe map, which is what keeps a
+//! striped cache byte-for-byte identical in behaviour to a single-node one.
+//!
+//! A sampling span of consecutive global slots may cross a stripe
+//! boundary; [`SampleFriendlyHashTable::for_span_segments`] splits such a
+//! span into per-stripe segments that callers read in one doorbell batch.
+//!
+//! Stripes are fixed at creation time: adding a memory node later grows
+//! the pool's segment (value) capacity immediately, while bucket placement
+//! keeps its layout (no bucket migration on resize — matching the paper's
+//! claim that memory adjustments need no data movement).
 
 use crate::hash::{fnv1a64, secondary_hash};
+use crate::inline::InlineVec;
 use crate::slot::{Slot, BUCKET_SIZE, SLOTS_PER_BUCKET, SLOT_SIZE};
+use ditto_dm::batch::MAX_BATCH;
 use ditto_dm::{DmClient, DmResult, MemoryPool, RemoteAddr};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Client-side descriptor of the remote hash table.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SampleFriendlyHashTable {
-    base: RemoteAddr,
+    /// Base address of each stripe; stripe `s` holds the contiguous bucket
+    /// range `[s * buckets_per_stripe, (s + 1) * buckets_per_stripe)`.
+    stripes: Arc<[RemoteAddr]>,
     num_buckets: u64,
+    buckets_per_stripe: u64,
 }
 
 impl SampleFriendlyHashTable {
+    /// Target number of stripes: well above any realistic node count, so
+    /// the stripe space keeps addressing every node after online
+    /// `add_node` calls (the topology maps stripe hints onto whatever the
+    /// active set currently is).
+    const TARGET_STRIPES: u64 = 64;
+
     /// Reserves and initialises a table with `num_buckets` buckets (rounded
-    /// up to a power of two) on memory node 0.
+    /// up to a power of two), striped over the pool's active memory nodes
+    /// as assigned by its topology.
     pub fn create(pool: &MemoryPool, num_buckets: u64) -> DmResult<Self> {
         let num_buckets = num_buckets.next_power_of_two().max(4);
-        let bytes = num_buckets * BUCKET_SIZE as u64;
-        let base = pool.reserve(bytes)?;
-        Ok(SampleFriendlyHashTable { base, num_buckets })
+        let topology = pool.topology();
+        let num_stripes = num_buckets.min(
+            Self::TARGET_STRIPES
+                .max(topology.num_active() as u64)
+                .next_power_of_two(),
+        );
+        let buckets_per_stripe = num_buckets / num_stripes;
+        let mut stripes = Vec::with_capacity(num_stripes as usize);
+        for s in 0..num_stripes {
+            let mn = topology.node_for_stripe(s);
+            stripes.push(pool.reserve_on(mn, buckets_per_stripe * BUCKET_SIZE as u64)?);
+        }
+        Ok(SampleFriendlyHashTable {
+            stripes: stripes.into(),
+            num_buckets,
+            buckets_per_stripe,
+        })
     }
 
-    /// Re-creates a descriptor from its parts (e.g. when sharing the table
-    /// address across processes).
+    /// Re-creates a single-stripe descriptor from its parts (e.g. when
+    /// sharing the table address across processes).
     pub fn from_parts(base: RemoteAddr, num_buckets: u64) -> Self {
-        SampleFriendlyHashTable { base, num_buckets }
+        SampleFriendlyHashTable {
+            stripes: vec![base].into(),
+            num_buckets,
+            buckets_per_stripe: num_buckets,
+        }
     }
 
-    /// Base address of the table.
+    /// Base address of the first stripe.
     pub fn base(&self) -> RemoteAddr {
-        self.base
+        self.stripes[0]
+    }
+
+    /// Number of stripes the table is spread over.
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
     }
 
     /// Number of buckets.
@@ -79,7 +137,26 @@ impl SampleFriendlyHashTable {
 
     /// Address of bucket `bucket_idx`.
     pub fn bucket_addr(&self, bucket_idx: u64) -> RemoteAddr {
-        self.base.add((bucket_idx % self.num_buckets) * BUCKET_SIZE as u64)
+        let bucket_idx = bucket_idx % self.num_buckets;
+        let stripe = (bucket_idx / self.buckets_per_stripe) as usize;
+        let within = bucket_idx % self.buckets_per_stripe;
+        self.stripes[stripe].add(within * BUCKET_SIZE as u64)
+    }
+
+    /// The memory node that owns bucket `bucket_idx` — the stripe-local
+    /// placement hint for the bucket's objects.
+    pub fn node_of_bucket(&self, bucket_idx: u64) -> u16 {
+        self.bucket_addr(bucket_idx).mn_id
+    }
+
+    /// The stripe index of bucket `bucket_idx` — the topology placement
+    /// hint.  At creation `topology.node_for_stripe(stripe_of_bucket(b))`
+    /// equals [`SampleFriendlyHashTable::node_of_bucket`] (objects co-locate
+    /// with their bucket); after an online add/drain the topology remaps
+    /// the hint so *new* objects rebalance onto the changed active set
+    /// while the bucket layout stays put.
+    pub fn stripe_of_bucket(&self, bucket_idx: u64) -> u64 {
+        (bucket_idx % self.num_buckets) / self.buckets_per_stripe
     }
 
     /// Address of slot `slot_idx` within bucket `bucket_idx`.
@@ -90,7 +167,48 @@ impl SampleFriendlyHashTable {
     /// Address of the slot with global index `global_idx` (row-major order).
     pub fn global_slot_addr(&self, global_idx: u64) -> RemoteAddr {
         let idx = global_idx % self.num_slots();
-        self.base.add(idx * SLOT_SIZE as u64)
+        let bucket = idx / SLOTS_PER_BUCKET as u64;
+        let slot = idx % SLOTS_PER_BUCKET as u64;
+        self.bucket_addr(bucket).add(slot * SLOT_SIZE as u64)
+    }
+
+    /// Splits the span of `count` consecutive global slots starting at
+    /// `start` into per-node read segments, invoking `f(address, slot_count)`
+    /// for each (allocation-free).  Consecutive stripes that happen to be
+    /// physically contiguous on the same node (always the case on a
+    /// single-node pool) are merged into one segment, so the degenerate
+    /// layout keeps the seed's single `RDMA_READ`.
+    ///
+    /// Callers fetch the segments in one doorbell batch, so sampling stays
+    /// a single round trip even when the sample straddles memory nodes.
+    pub fn for_span_segments(&self, start: u64, count: usize, mut f: impl FnMut(RemoteAddr, usize)) {
+        let slots_per_stripe = self.buckets_per_stripe * SLOTS_PER_BUCKET as u64;
+        let mut idx = start % self.num_slots();
+        let mut remaining = count as u64;
+        let mut pending: Option<(RemoteAddr, u64)> = None;
+        while remaining > 0 {
+            let within = idx % slots_per_stripe;
+            let in_stripe = (slots_per_stripe - within).min(remaining);
+            let addr = self.global_slot_addr(idx);
+            pending = match pending {
+                Some((base, slots))
+                    if base.mn_id == addr.mn_id
+                        && base.offset + slots * SLOT_SIZE as u64 == addr.offset =>
+                {
+                    Some((base, slots + in_stripe))
+                }
+                Some((base, slots)) => {
+                    f(base, slots as usize);
+                    Some((addr, in_stripe))
+                }
+                None => Some((addr, in_stripe)),
+            };
+            idx += in_stripe;
+            remaining -= in_stripe;
+        }
+        if let Some((base, slots)) = pending {
+            f(base, slots as usize);
+        }
     }
 
     /// Reads and decodes one bucket with a single `RDMA_READ`.
@@ -131,15 +249,13 @@ impl SampleFriendlyHashTable {
     }
 
     /// Picks the span of `count` consecutive slots starting at a uniformly
-    /// random position, returning its base address and clamped length — the
-    /// sampling primitive of the client-centric caching framework, split
-    /// from the read so callers can fetch the span into their own buffer
-    /// (possibly inside a doorbell batch).
-    pub fn sample_span<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        count: usize,
-    ) -> (RemoteAddr, usize) {
+    /// random position, returning the starting **global slot index** and
+    /// the clamped length — the sampling primitive of the client-centric
+    /// caching framework.  Positions are drawn in the global slot space so
+    /// a striped and a single-node table sample identical candidates;
+    /// [`SampleFriendlyHashTable::for_span_segments`] translates the span
+    /// into per-node read segments.
+    pub fn sample_span<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> (u64, usize) {
         let count = count.clamp(1, self.num_slots() as usize);
         // Keep the read within the table by clamping the starting slot.
         let max_start = self.num_slots() - count as u64;
@@ -148,22 +264,66 @@ impl SampleFriendlyHashTable {
         } else {
             rng.gen_range(0..=max_start)
         };
-        (self.global_slot_addr(start), count)
+        (start, count)
     }
 
-    /// Reads `count` consecutive slots starting at a random position with a
-    /// single `RDMA_READ` (allocating convenience wrapper over
-    /// [`SampleFriendlyHashTable::sample_span`]).
+    /// Reads the span of `count` consecutive global slots starting at
+    /// `start` into `buf` (which must hold at least `count * SLOT_SIZE`
+    /// bytes) and decodes `(slot address, slot)` pairs into `out`, without
+    /// allocating.  A span inside one physical segment issues the seed's
+    /// single plain `RDMA_READ`; a span straddling memory nodes issues one
+    /// READ per segment — behind a single doorbell when `batched`, or one
+    /// round trip at a time otherwise (the ablation path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is too small or the span splits into more than
+    /// [`MAX_BATCH`] segments (impossible for eviction-sample-sized spans).
+    pub fn read_span_into(
+        &self,
+        client: &DmClient,
+        start: u64,
+        count: usize,
+        buf: &mut [u8],
+        batched: bool,
+        out: &mut impl Extend<(RemoteAddr, Slot)>,
+    ) {
+        let buf = &mut buf[..count * SLOT_SIZE];
+        let mut segments: InlineVec<(RemoteAddr, usize), MAX_BATCH> = InlineVec::new();
+        self.for_span_segments(start, count, |addr, slots| segments.push((addr, slots)));
+        if let [(addr, _)] = segments[..] {
+            client.read_into(addr, buf);
+        } else {
+            let mut batch = client.batch();
+            let mut rest = &mut buf[..];
+            for &(addr, slots) in segments.iter() {
+                let (chunk, tail) = rest.split_at_mut(slots * SLOT_SIZE);
+                batch.read_into(addr, chunk);
+                rest = tail;
+            }
+            batch.execute_mode(batched);
+        }
+        let mut offset = 0usize;
+        for &(addr, slots) in segments.iter() {
+            Self::decode_slots(addr, &buf[offset..offset + slots * SLOT_SIZE], out);
+            offset += slots * SLOT_SIZE;
+        }
+    }
+
+    /// Reads `count` consecutive slots starting at a random position
+    /// (allocating convenience wrapper over
+    /// [`SampleFriendlyHashTable::sample_span`] and
+    /// [`SampleFriendlyHashTable::read_span_into`]).
     pub fn read_sample<R: Rng + ?Sized>(
         &self,
         client: &DmClient,
         rng: &mut R,
         count: usize,
     ) -> Vec<(RemoteAddr, Slot)> {
-        let (addr, count) = self.sample_span(rng, count);
-        let bytes = client.read(addr, count * SLOT_SIZE);
+        let (start, count) = self.sample_span(rng, count);
+        let mut bytes = vec![0u8; count * SLOT_SIZE];
         let mut out = Vec::with_capacity(count);
-        Self::decode_slots(addr, &bytes, &mut out);
+        self.read_span_into(client, start, count, &mut bytes, true, &mut out);
         out
     }
 
@@ -207,12 +367,19 @@ mod tests {
         (pool, table)
     }
 
+    fn striped_setup(nodes: u16) -> (MemoryPool, SampleFriendlyHashTable) {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(nodes));
+        let table = SampleFriendlyHashTable::create(&pool, 64).unwrap();
+        (pool, table)
+    }
+
     #[test]
     fn geometry_is_power_of_two() {
         let (_pool, table) = setup();
         assert_eq!(table.num_buckets(), 64);
         assert_eq!(table.num_slots(), 64 * 8);
         assert_eq!(table.size_bytes(), 64 * 320);
+        assert_eq!(table.num_stripes(), 64);
     }
 
     #[test]
@@ -244,6 +411,94 @@ mod tests {
         assert_eq!(b.offset - a.offset, SLOT_SIZE as u64);
         assert_eq!(c.offset - a.offset, BUCKET_SIZE as u64);
         assert_eq!(a.offset % 8, 0);
+    }
+
+    #[test]
+    fn striped_table_spreads_buckets_over_all_nodes() {
+        let (_pool, table) = striped_setup(4);
+        assert_eq!(table.num_stripes(), 64);
+        // 64 one-bucket stripes round-robin over 4 nodes.
+        for bucket in 0..64u64 {
+            assert_eq!(table.stripe_of_bucket(bucket), bucket);
+            assert_eq!(table.node_of_bucket(bucket), (bucket % 4) as u16);
+        }
+        // Every bucket address is unique and 8-aligned on its node.
+        let mut seen = std::collections::HashSet::new();
+        for bucket in 0..64u64 {
+            let addr = table.bucket_addr(bucket);
+            assert!(seen.insert((addr.mn_id, addr.offset)));
+            assert_eq!(addr.offset % 8, 0);
+        }
+    }
+
+    #[test]
+    fn larger_tables_use_contiguous_bucket_ranges_per_stripe() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(4));
+        let table = SampleFriendlyHashTable::create(&pool, 512).unwrap();
+        assert_eq!(table.num_stripes(), 64);
+        // 8 contiguous buckets per stripe, stripes round-robin over nodes.
+        for bucket in 0..512u64 {
+            assert_eq!(table.stripe_of_bucket(bucket), bucket / 8);
+            assert_eq!(table.node_of_bucket(bucket), ((bucket / 8) % 4) as u16);
+        }
+        // All four nodes carry an equal share of the table.
+        for mn in 0..4u16 {
+            let buckets = (0..512u64).filter(|&b| table.node_of_bucket(b) == mn).count();
+            assert_eq!(buckets, 128);
+        }
+    }
+
+    #[test]
+    fn striped_bucket_contents_roundtrip() {
+        let (pool, table) = striped_setup(4);
+        let client = pool.connect();
+        let slot = Slot {
+            atomic: AtomicField::for_object(7, 4, RemoteAddr::new(2, 640)),
+            hash: 42,
+            insert_ts: 1,
+            last_ts: 2,
+            freq: 3,
+        };
+        // Bucket 42 lives on node 2 of the 4-node round-robin layout.
+        let addr = table.slot_addr(42, 3);
+        assert_eq!(addr.mn_id, 2);
+        client.write(addr, &slot.to_bytes());
+        let bucket = table.read_bucket(&client, 42);
+        assert_eq!(bucket[3].1, slot);
+        assert_eq!(bucket[3].0, addr);
+    }
+
+    #[test]
+    fn span_segments_split_at_stripe_boundaries_only() {
+        let (_pool, table) = striped_setup(4);
+        // One-bucket stripes: 8 slots per stripe.
+        let slots_per_stripe = SLOTS_PER_BUCKET as u64;
+        // A span fully inside one stripe is one segment.
+        let mut segs = Vec::new();
+        table.for_span_segments(3, 5, |a, n| segs.push((a, n)));
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].1, 5);
+        // A span crossing the stripe 0 → 1 boundary splits into two.
+        segs.clear();
+        table.for_span_segments(slots_per_stripe - 2, 5, |a, n| segs.push((a, n)));
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].1, 2);
+        assert_eq!(segs[1].1, 3);
+        assert_eq!(segs[0].0.mn_id, 0);
+        assert_eq!(segs[1].0.mn_id, 1);
+        assert_eq!(segs.iter().map(|(_, n)| n).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn span_segments_merge_contiguous_stripes_on_one_node() {
+        // On a single-node pool every stripe is physically contiguous, so
+        // any span — even one crossing many stripes — is a single READ.
+        let (_pool, table) = setup();
+        let mut segs = Vec::new();
+        table.for_span_segments(5, 30, |a, n| segs.push((a, n)));
+        assert_eq!(segs.len(), 1, "single-node spans must merge: {segs:?}");
+        assert_eq!(segs[0].1, 30);
+        assert_eq!(segs[0].0, table.global_slot_addr(5));
     }
 
     #[test]
@@ -281,6 +536,26 @@ mod tests {
         }
         let last = sample.last().unwrap().0.offset + SLOT_SIZE as u64;
         assert!(last <= table.base().offset + table.size_bytes());
+    }
+
+    #[test]
+    fn striped_sampling_matches_single_node_candidates() {
+        // Same seed, same geometry: the striped table must sample the same
+        // global slot indices as a single-node table, differing only in the
+        // physical addresses.
+        let (pool1, single) = setup();
+        let (pool4, striped) = striped_setup(4);
+        let (c1, c4) = (pool1.connect(), pool4.connect());
+        for seed in 0..20u64 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let mut r4 = StdRng::seed_from_u64(seed);
+            let s1 = single.read_sample(&c1, &mut r1, 7);
+            let s4 = striped.read_sample(&c4, &mut r4, 7);
+            assert_eq!(s1.len(), s4.len());
+            for ((_, a), (_, b)) in s1.iter().zip(s4.iter()) {
+                assert_eq!(a, b, "decoded slots must match (both empty here)");
+            }
+        }
     }
 
     #[test]

@@ -1,69 +1,129 @@
-//! The lightweight eviction history (§4.3.1).
+//! The lightweight eviction history (§4.3.1), sharded across memory nodes.
 //!
 //! History entries are *embedded* in hash-table slots (see
 //! [`crate::slot::AtomicField::for_history`]); this module provides the
-//! logical-FIFO machinery around them: the 48-bit global history counter,
+//! logical-FIFO machinery around them: the global history counters,
 //! client-side expiration checks and the expert bitmap stored in the
 //! `insert_ts` field of a history slot.
+//!
+//! # Sharding
+//!
+//! A single remote counter would concentrate every eviction's `RDMA_FAA`
+//! (and every refresh `RDMA_READ`) on one memory node — exactly the
+//! message-rate hotspot the topology layer exists to remove.  The history
+//! is therefore split into up to [`MAX_HISTORY_SHARDS`] independent
+//! logical FIFOs, one counter per shard, each placed on the memory node
+//! the pool topology assigns to it.  A history id packs the shard in its
+//! top [`HISTORY_SHARD_BITS`] bits and the per-shard sequence number in
+//! the remaining [`HISTORY_COUNT_BITS`], so any client that encounters an
+//! embedded entry can locate and validate it against the right shard.
+//! Each shard covers `capacity / num_shards` entries, preserving the
+//! total history length of the paper's configuration; a single-node pool
+//! degenerates to one shard, i.e. exactly the original design.
 
 use ditto_dm::{DmClient, DmResult, MemoryPool, RemoteAddr};
+use std::sync::Arc;
 
-/// Number of bits of the circular global history counter.
-pub const HISTORY_COUNTER_BITS: u32 = 48;
-/// Wrap-around period of the history counter.
-pub const HISTORY_COUNTER_PERIOD: u64 = 1 << HISTORY_COUNTER_BITS;
+/// Bits of a history id reserved for the shard index.
+pub const HISTORY_SHARD_BITS: u32 = 8;
+/// Bits of a history id holding the per-shard circular sequence number.
+pub const HISTORY_COUNT_BITS: u32 = 40;
+/// Wrap-around period of each shard's history counter.
+pub const HISTORY_COUNTER_PERIOD: u64 = 1 << HISTORY_COUNT_BITS;
+/// Maximum number of history shards (bounded by the shard bits).
+pub const MAX_HISTORY_SHARDS: usize = 1 << HISTORY_SHARD_BITS;
 
-/// Client-side descriptor of the logical FIFO eviction history.
-#[derive(Debug, Clone, Copy)]
+/// Client-side descriptor of the sharded logical FIFO eviction history.
+#[derive(Debug, Clone)]
 pub struct EvictionHistory {
-    counter_addr: RemoteAddr,
+    /// Counter address per shard.
+    shards: Arc<[RemoteAddr]>,
+    /// Total capacity (entries) across all shards.
     capacity: u64,
 }
 
 impl EvictionHistory {
-    /// Reserves the global history counter in the memory pool.
+    /// Reserves one history counter per active memory node (up to
+    /// [`MAX_HISTORY_SHARDS`]), placed by the pool topology.
     pub fn create(pool: &MemoryPool, capacity: u64) -> DmResult<Self> {
-        let counter_addr = pool.reserve(8)?;
+        let topology = pool.topology();
+        let num_shards = topology.num_active().min(MAX_HISTORY_SHARDS) as u64;
+        let mut shards = Vec::with_capacity(num_shards as usize);
+        for s in 0..num_shards {
+            let mn = topology.node_for_stripe(s);
+            shards.push(pool.reserve_on(mn, 8)?);
+        }
         Ok(EvictionHistory {
-            counter_addr,
+            shards: shards.into(),
             capacity: capacity.max(1),
         })
     }
 
-    /// Builds a descriptor from its parts.
+    /// Builds a single-shard descriptor from its parts.
     pub fn from_parts(counter_addr: RemoteAddr, capacity: u64) -> Self {
         EvictionHistory {
-            counter_addr,
+            shards: vec![counter_addr].into(),
             capacity: capacity.max(1),
         }
     }
 
-    /// Address of the global history counter.
-    pub fn counter_addr(&self) -> RemoteAddr {
-        self.counter_addr
+    /// Address of shard `shard`'s history counter.
+    pub fn counter_addr(&self, shard: u64) -> RemoteAddr {
+        self.shards[(shard % self.num_shards()) as usize]
     }
 
-    /// Capacity (length) of the logical FIFO queue.
+    /// Number of shards.
+    pub fn num_shards(&self) -> u64 {
+        self.shards.len() as u64
+    }
+
+    /// Total capacity (length) of the logical FIFO queue across shards.
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
 
-    /// Acquires a fresh history id with one `RDMA_FAA` and returns it along
-    /// with the counter value *after* the increment (the client's new local
-    /// estimate of the queue tail).
-    pub fn acquire_id(&self, client: &DmClient) -> (u64, u64) {
-        let old = client.faa(self.counter_addr, 1) % HISTORY_COUNTER_PERIOD;
-        (old, (old + 1) % HISTORY_COUNTER_PERIOD)
+    /// Capacity of each shard's logical FIFO.
+    pub fn shard_capacity(&self) -> u64 {
+        (self.capacity / self.num_shards()).max(1)
     }
 
-    /// Reads the current value of the global history counter (one
+    /// The shard an eviction's history entry is homed on, derived from the
+    /// victim's key hash: entries spread uniformly over every shard
+    /// regardless of how many clients are running, so the per-shard FIFO
+    /// windows of `capacity / num_shards` jointly approximate the global
+    /// FIFO of the paper's single-counter design (and the counter FAAs
+    /// spread across the pool's memory nodes).
+    pub fn shard_for_hash(&self, hash: u64) -> u64 {
+        // High bits: the low bits already select the bucket/stripe.
+        (hash >> 32) % self.num_shards()
+    }
+
+    /// The shard an embedded history id belongs to.
+    pub fn shard_of_id(&self, id: u64) -> u64 {
+        (id >> HISTORY_COUNT_BITS) % self.num_shards()
+    }
+
+    /// Packs a shard and per-shard sequence number into a history id.
+    pub fn pack_id(shard: u64, count: u64) -> u64 {
+        (shard << HISTORY_COUNT_BITS) | (count % HISTORY_COUNTER_PERIOD)
+    }
+
+    /// Acquires a fresh history id on `shard` with one `RDMA_FAA` and
+    /// returns it along with the shard counter value *after* the increment
+    /// (the client's new local estimate of that shard's queue tail).
+    pub fn acquire_id(&self, client: &DmClient, shard: u64) -> (u64, u64) {
+        let old = client.faa(self.counter_addr(shard), 1) % HISTORY_COUNTER_PERIOD;
+        (Self::pack_id(shard, old), (old + 1) % HISTORY_COUNTER_PERIOD)
+    }
+
+    /// Reads the current value of `shard`'s history counter (one
     /// `RDMA_READ`); used to refresh a client's local estimate.
-    pub fn read_counter(&self, client: &DmClient) -> u64 {
-        client.read_u64(self.counter_addr) % HISTORY_COUNTER_PERIOD
+    pub fn read_counter(&self, client: &DmClient, shard: u64) -> u64 {
+        client.read_u64(self.counter_addr(shard)) % HISTORY_COUNTER_PERIOD
     }
 
-    /// Number of entries between `entry_id` and the queue tail
-    /// `counter_value`, accounting for counter wrap-around.
+    /// Number of entries between the id `entry_id` and its shard's queue
+    /// tail `counter_value`, accounting for counter wrap-around.
     pub fn position(&self, counter_value: u64, entry_id: u64) -> u64 {
         let counter_value = counter_value % HISTORY_COUNTER_PERIOD;
         let entry_id = entry_id % HISTORY_COUNTER_PERIOD;
@@ -74,10 +134,21 @@ impl EvictionHistory {
         }
     }
 
-    /// Whether the entry with `entry_id` is still inside the logical FIFO
-    /// queue, given the client's estimate of the global counter.
+    /// Whether the entry with `entry_id` is still inside its shard's
+    /// logical FIFO queue, given the client's estimate of that shard's
+    /// counter.
     pub fn is_valid(&self, counter_value: u64, entry_id: u64) -> bool {
-        self.position(counter_value, entry_id) <= self.capacity
+        self.position(counter_value, entry_id) <= self.shard_capacity()
+    }
+
+    /// The entry's approximate position in the *global* logical FIFO: the
+    /// per-shard position scaled by the shard count (entries spread
+    /// uniformly, so a shard's k-th-newest entry is globally the
+    /// `k × num_shards`-th-newest on average).  Regret penalties use this
+    /// so the LeCaR discount — calibrated against the full history length —
+    /// behaves identically whatever the shard count.
+    pub fn global_position(&self, counter_value: u64, entry_id: u64) -> u64 {
+        self.position(counter_value, entry_id) * self.num_shards()
     }
 }
 
@@ -111,19 +182,20 @@ mod tests {
     }
 
     #[test]
-    fn ids_are_sequential() {
+    fn ids_are_sequential_within_a_shard() {
         let (pool, history) = setup(10);
         let client = pool.connect();
-        let (a, next_a) = history.acquire_id(&client);
-        let (b, _) = history.acquire_id(&client);
+        assert_eq!(history.num_shards(), 1);
+        let (a, next_a) = history.acquire_id(&client, 0);
+        let (b, _) = history.acquire_id(&client, 0);
         assert_eq!(a, 0);
         assert_eq!(next_a, 1);
         assert_eq!(b, 1);
-        assert_eq!(history.read_counter(&client), 2);
+        assert_eq!(history.read_counter(&client, 0), 2);
     }
 
     #[test]
-    fn validity_window_is_capacity_entries() {
+    fn validity_window_is_shard_capacity_entries() {
         let (_pool, history) = setup(10);
         assert!(history.is_valid(5, 0));
         assert!(history.is_valid(10, 0));
@@ -139,6 +211,46 @@ mod tests {
         assert_eq!(history.position(2, near_wrap), 5);
         assert!(history.is_valid(2, near_wrap));
         assert!(!history.is_valid(20, near_wrap));
+    }
+
+    #[test]
+    fn shards_spread_over_nodes_and_ids_carry_their_shard() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(4));
+        let history = EvictionHistory::create(&pool, 100).unwrap();
+        assert_eq!(history.num_shards(), 4);
+        assert_eq!(history.shard_capacity(), 25);
+        for shard in 0..4u64 {
+            assert_eq!(history.counter_addr(shard).mn_id, shard as u16);
+        }
+        let client = pool.connect();
+        for shard in 0..4u64 {
+            let (id, tail) = history.acquire_id(&client, shard);
+            assert_eq!(history.shard_of_id(id), shard);
+            assert_eq!(id, EvictionHistory::pack_id(shard, 0));
+            assert_eq!(tail, 1);
+        }
+        // Counters advance independently per shard.
+        let (id2, _) = history.acquire_id(&client, 2);
+        assert_eq!(id2, EvictionHistory::pack_id(2, 1));
+        assert_eq!(history.read_counter(&client, 0), 1);
+        assert_eq!(history.read_counter(&client, 2), 2);
+    }
+
+    #[test]
+    fn hash_homing_spreads_entries_over_every_shard() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(4));
+        let history = EvictionHistory::create(&pool, 100).unwrap();
+        let mut counts = [0u64; 4];
+        for key in 0..4_000u64 {
+            let hash = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            counts[history.shard_for_hash(hash) as usize] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                (600..=1_400).contains(&count),
+                "shard {shard} received {count}/4000 entries — badly skewed"
+            );
+        }
     }
 
     #[test]
@@ -159,9 +271,12 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     let pool = pool.clone();
+                    let history = history.clone();
                     s.spawn(move || {
                         let client = pool.connect();
-                        (0..250).map(|_| history.acquire_id(&client).0).collect::<Vec<_>>()
+                        (0..250)
+                            .map(|_| history.acquire_id(&client, 0).0)
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();

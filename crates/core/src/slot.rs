@@ -16,6 +16,7 @@
 //! field then stores the 48-bit history id and `insert_ts` stores the expert
 //! bitmap of the eviction decision.
 
+use crate::error::{CacheError, CacheResult};
 use ditto_dm::RemoteAddr;
 use ditto_algorithms::Metadata;
 
@@ -65,22 +66,39 @@ impl AtomicField {
         ptr: 0,
     };
 
+    /// Builds the atomic field of a live object slot, returning a typed
+    /// [`CacheError::PointerOverflow`] when the address does not fit the
+    /// 48-bit pointer encoding (node id ≥ 256 or offset ≥ 2^40).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_class` is the history tag (a caller bug, not a
+    /// run-time condition).
+    pub fn try_for_object(fp: u8, size_class: u8, addr: RemoteAddr) -> CacheResult<Self> {
+        assert!(size_class != HISTORY_SIZE_TAG, "size class clashes with history tag");
+        if addr.mn_id >= 256 || addr.offset >= (1 << PTR_OFFSET_BITS) {
+            return Err(CacheError::PointerOverflow {
+                mn_id: addr.mn_id,
+                offset: addr.offset,
+            });
+        }
+        let ptr = ((addr.mn_id as u64) << PTR_OFFSET_BITS) | addr.offset;
+        Ok(AtomicField {
+            fp,
+            size_class,
+            ptr,
+        })
+    }
+
     /// Builds the atomic field of a live object slot.
     ///
     /// # Panics
     ///
     /// Panics if the address does not fit the 48-bit pointer encoding
-    /// (node id ≥ 256 or offset ≥ 2^40) or if `size_class` is the history tag.
+    /// (node id ≥ 256 or offset ≥ 2^40) or if `size_class` is the history
+    /// tag; the fallible variant is [`AtomicField::try_for_object`].
     pub fn for_object(fp: u8, size_class: u8, addr: RemoteAddr) -> Self {
-        assert!(size_class != HISTORY_SIZE_TAG, "size class clashes with history tag");
-        assert!(addr.mn_id < 256, "node id does not fit 48-bit pointer");
-        assert!(addr.offset < (1 << PTR_OFFSET_BITS), "offset does not fit 48-bit pointer");
-        let ptr = ((addr.mn_id as u64) << PTR_OFFSET_BITS) | addr.offset;
-        AtomicField {
-            fp,
-            size_class,
-            ptr,
-        }
+        Self::try_for_object(fp, size_class, addr).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Builds the atomic field of a history entry.
@@ -264,6 +282,24 @@ mod tests {
     #[should_panic]
     fn oversized_offset_is_rejected() {
         let _ = AtomicField::for_object(1, 1, RemoteAddr::new(0, 1 << 40));
+    }
+
+    #[test]
+    fn pointer_overflow_is_a_typed_error() {
+        // Offset overflow.
+        assert_eq!(
+            AtomicField::try_for_object(1, 1, RemoteAddr::new(0, 1 << 40)),
+            Err(CacheError::PointerOverflow { mn_id: 0, offset: 1 << 40 })
+        );
+        // Node-id overflow: the 48-bit pointer keeps only 8 bits of mn_id.
+        assert_eq!(
+            AtomicField::try_for_object(1, 1, RemoteAddr::new(256, 64)),
+            Err(CacheError::PointerOverflow { mn_id: 256, offset: 64 })
+        );
+        // The largest admissible address round-trips.
+        let max = RemoteAddr::new(255, (1 << PTR_OFFSET_BITS) - 1);
+        let f = AtomicField::try_for_object(1, 1, max).unwrap();
+        assert_eq!(AtomicField::decode(f.encode()).object_addr(), max);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Remote addresses in the disaggregated memory pool.
 
+use crate::error::{DmError, DmResult};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -26,10 +27,22 @@ impl RemoteAddr {
     ///
     /// # Panics
     ///
-    /// Panics if `offset` does not fit into 48 bits.
+    /// Panics if `offset` does not fit into 48 bits; the fallible variant is
+    /// [`RemoteAddr::try_new`].
     pub fn new(mn_id: u16, offset: u64) -> Self {
         assert!(offset < MAX_OFFSET, "offset {offset} exceeds 48 bits");
         RemoteAddr { mn_id, offset }
+    }
+
+    /// Creates a new remote address, returning a typed
+    /// [`DmError::AddressOverflow`] instead of panicking when `offset` does
+    /// not fit the 48-bit packed encoding.
+    pub fn try_new(mn_id: u16, offset: u64) -> DmResult<Self> {
+        if offset < MAX_OFFSET {
+            Ok(RemoteAddr { mn_id, offset })
+        } else {
+            Err(DmError::AddressOverflow { mn_id, offset })
+        }
     }
 
     /// The null address (node 0, offset 0), used as the "empty slot" marker.
@@ -102,6 +115,18 @@ mod tests {
     #[should_panic]
     fn offset_too_large_panics() {
         let _ = RemoteAddr::new(0, MAX_OFFSET);
+    }
+
+    #[test]
+    fn try_new_reports_overflow_as_typed_error() {
+        assert_eq!(
+            RemoteAddr::try_new(3, MAX_OFFSET),
+            Err(crate::error::DmError::AddressOverflow { mn_id: 3, offset: MAX_OFFSET })
+        );
+        assert_eq!(
+            RemoteAddr::try_new(3, MAX_OFFSET - 1),
+            Ok(RemoteAddr::new(3, MAX_OFFSET - 1))
+        );
     }
 
     #[test]

@@ -244,6 +244,157 @@ impl ClientAllocator {
     }
 }
 
+/// A topology-aware client allocator: one [`ClientAllocator`] per memory
+/// node, with a *preferred* (stripe-local) node per allocation.
+///
+/// The cache passes the node that owns an object's hash-table bucket as the
+/// preference, so an object's slot and value land on the same memory node
+/// when possible — the slot READ and the object READ/WRITE of one operation
+/// then share a NIC, and the per-node load follows the bucket striping.
+/// When the preferred node cannot serve the request the allocator falls
+/// back to the other *active* nodes (locals first, then segment RPCs), so
+/// a striped pool only reports out-of-memory when every active node is
+/// genuinely full — matching the single-node behaviour with the same total
+/// capacity.
+///
+/// `free` routes by the address's node id, so blocks recycled from
+/// evictions return to the allocator of the node they live on.  Blocks on
+/// *drained* nodes are accepted back but never handed out again: draining
+/// stops all new placements, so eviction churn progressively empties the
+/// node until it can be removed.
+pub struct StripedAllocator {
+    /// Per-node allocators, indexed by `mn_id` (created lazily).
+    per_node: Vec<Option<ClientAllocator>>,
+    /// Active node ids in fallback order (refreshed on resize epochs).
+    active: Vec<u16>,
+    segment_size: u64,
+}
+
+impl StripedAllocator {
+    /// Creates an allocator over the given active nodes.
+    pub fn new(active: &[u16], segment_size: u64) -> Self {
+        let mut this = StripedAllocator {
+            per_node: Vec::new(),
+            active: Vec::new(),
+            segment_size,
+        };
+        this.set_active(active);
+        this
+    }
+
+    /// Replaces the active-node set (called when the client observes a new
+    /// resize epoch).  Allocators for nodes that left stay alive so their
+    /// free lists keep recycling resident blocks.
+    pub fn set_active(&mut self, active: &[u16]) {
+        self.active.clear();
+        self.active.extend_from_slice(active);
+        for &mn in active {
+            self.ensure_node(mn);
+        }
+    }
+
+    fn ensure_node(&mut self, mn_id: u16) {
+        let idx = mn_id as usize;
+        if self.per_node.len() <= idx {
+            self.per_node.resize_with(idx + 1, || None);
+        }
+        if self.per_node[idx].is_none() {
+            self.per_node[idx] = Some(ClientAllocator::with_segment_size(mn_id, self.segment_size));
+        }
+    }
+
+    fn node_mut(&mut self, mn_id: u16) -> &mut ClientAllocator {
+        self.ensure_node(mn_id);
+        self.per_node[mn_id as usize].as_mut().expect("ensured")
+    }
+
+    /// Allocates `size` bytes, preferring `preferred` and falling back to
+    /// the other active nodes; local resources (free lists, open segments)
+    /// are tried everywhere before any segment RPC is paid.
+    ///
+    /// Returns [`DmError::OutOfMemory`] only when every active node fails.
+    pub fn alloc_on(
+        &mut self,
+        client: &DmClient,
+        preferred: u16,
+        size: usize,
+    ) -> DmResult<RemoteAddr> {
+        let mut last_err = None;
+        for i in 0..=self.active.len() {
+            let Some(mn) = self.fallback_node(preferred, i) else {
+                continue;
+            };
+            // Per node: local resources first, then a segment RPC — so the
+            // stripe-local preference wins whenever the preferred node has
+            // any room at all.
+            match self.node_mut(mn).alloc(client, size) {
+                Ok(addr) => return Ok(addr),
+                Err(e @ DmError::OutOfMemory { .. }) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(DmError::OutOfMemory {
+            requested: size as u64,
+            available: 0,
+        }))
+    }
+
+    /// Allocates from local resources only (no RPC), preferring `preferred`
+    /// — the memory-pressure path that recycles evicted blocks wherever
+    /// they live.
+    pub fn alloc_local_on(&mut self, preferred: u16, size: usize) -> Option<RemoteAddr> {
+        for i in 0..=self.active.len() {
+            let Some(mn) = self.fallback_node(preferred, i) else {
+                continue;
+            };
+            if let Some(addr) = self.node_mut(mn).alloc_local(size) {
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// The `i`-th node of the fallback order: the preferred node first (when
+    /// active), then the remaining active nodes in id order.  Returns `None`
+    /// for holes in the order (skipped entries); allocation-free.
+    fn fallback_node(&self, preferred: u16, i: usize) -> Option<u16> {
+        let preferred_active = self.active.contains(&preferred);
+        if i == 0 {
+            return preferred_active.then_some(preferred);
+        }
+        let mn = *self.active.get(i - 1)?;
+        if preferred_active && mn == preferred {
+            None
+        } else {
+            Some(mn)
+        }
+    }
+
+    /// Returns a previously allocated range to the free lists of the node
+    /// it lives on.
+    pub fn free(&mut self, addr: RemoteAddr, size: usize) {
+        self.node_mut(addr.mn_id).free(addr, size);
+    }
+
+    /// Total segments fetched across all nodes.
+    pub fn segments_fetched(&self) -> u64 {
+        self.per_node
+            .iter()
+            .flatten()
+            .map(ClientAllocator::segments_fetched)
+            .sum()
+    }
+
+    /// Total blocks currently handed out across all nodes.
+    pub fn live_blocks(&self) -> u64 {
+        self.per_node
+            .iter()
+            .flatten()
+            .map(ClientAllocator::live_blocks)
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +491,78 @@ mod tests {
         let resp = client.rpc(0, ALLOC_SERVICE, &req).unwrap();
         assert_eq!(AllocService::decode_alloc(&resp).unwrap(), offset);
         let _ = pool;
+    }
+
+    #[test]
+    fn striped_allocator_prefers_the_stripe_local_node() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(4));
+        let client = pool.connect();
+        let mut alloc = StripedAllocator::new(pool.topology().active(), 4096);
+        for preferred in [2u16, 0, 3, 1] {
+            let addr = alloc.alloc_on(&client, preferred, 256).unwrap();
+            assert_eq!(addr.mn_id, preferred);
+        }
+    }
+
+    #[test]
+    fn striped_allocator_falls_back_when_preferred_is_full() {
+        // Node 0 is too small for even one segment; node 1 has room.
+        let pool = MemoryPool::with_capacities(
+            DmConfig::small().with_memory_nodes(2),
+            &[4096, 1 << 20],
+        );
+        let client = pool.connect();
+        let mut alloc = StripedAllocator::new(pool.topology().active(), 64 * 1024);
+        let addr = alloc.alloc_on(&client, 0, 256).unwrap();
+        assert_eq!(addr.mn_id, 1, "allocation must fall back to the node with room");
+    }
+
+    #[test]
+    fn striped_allocator_reports_oom_only_when_every_node_is_full() {
+        let pool = MemoryPool::with_capacities(
+            DmConfig::small().with_memory_nodes(2),
+            &[4096, 4096],
+        );
+        let client = pool.connect();
+        let mut alloc = StripedAllocator::new(pool.topology().active(), 64 * 1024);
+        assert!(matches!(
+            alloc.alloc_on(&client, 0, 256),
+            Err(DmError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn striped_free_routes_blocks_back_to_their_node() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+        let client = pool.connect();
+        let mut alloc = StripedAllocator::new(pool.topology().active(), 4096);
+        let a = alloc.alloc_on(&client, 1, 256).unwrap();
+        assert_eq!(a.mn_id, 1);
+        alloc.free(a, 256);
+        // Preferring node 1 again recycles the freed block without an RPC.
+        let fetched = alloc.segments_fetched();
+        let b = alloc.alloc_on(&client, 1, 256).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(alloc.segments_fetched(), fetched);
+        assert_eq!(alloc.live_blocks(), 4);
+    }
+
+    #[test]
+    fn striped_allocator_skips_drained_nodes_for_new_segments() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+        let client = pool.connect();
+        let mut alloc = StripedAllocator::new(pool.topology().active(), 4096);
+        let resident = alloc.alloc_on(&client, 1, 256).unwrap();
+        assert_eq!(resident.mn_id, 1);
+        pool.drain_node(1).unwrap();
+        alloc.set_active(pool.topology().active());
+        // Even freed blocks on the drained node are not handed out again —
+        // draining progressively empties the node.
+        alloc.free(resident, 256);
+        for _ in 0..4 {
+            let fresh = alloc.alloc_on(&client, 1, 256).unwrap();
+            assert_eq!(fresh.mn_id, 0, "drained node must receive no new placements");
+        }
     }
 
     #[test]

@@ -13,15 +13,22 @@
 //! batch per operation at zero allocation cost) and then executes them:
 //!
 //! * [`BatchBuilder::execute`] charges the doorbell-batched latency
-//!   `doorbell_latency_ns + n × verb_issue_ns + max(per-verb transfer
-//!   latency)` and records the batch size in the pool statistics;
+//!   `fanout × doorbell_latency_ns + n × verb_issue_ns + max(per-verb
+//!   transfer latency)` — where `fanout` is the number of **distinct memory
+//!   nodes** the batch touches (each node has its own queue pair, so one
+//!   doorbell is rung per node while the transfers overlap across the
+//!   NICs) — and records the batch size and fan-out in the pool statistics;
 //! * [`BatchBuilder::execute_sequential`] issues the same verbs one at a
 //!   time, charging the sum of the individual round trips — the ablation
 //!   used by the `enable_doorbell_batching = false` configuration to
 //!   quantify what batching buys.
 //!
 //! Either way every verb still consumes one RNIC message on the target
-//! memory node: doorbell batching saves *latency*, not message rate.
+//! memory node: doorbell batching saves *latency*, not message rate.  What
+//! multi-node fan-out buys on top is *message-rate headroom*: a batch that
+//! spreads its verbs over `k` nodes burdens each RNIC with only its own
+//! share, which is how the throughput ceiling scales with pool size once
+//! the hash table and segments are striped (see `ditto_dm::topology`).
 
 use crate::addr::RemoteAddr;
 use crate::client::DmClient;
@@ -133,11 +140,36 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
         self
     }
 
-    /// Latency this batch will charge when executed as one doorbell batch.
-    pub fn batched_latency_ns(&self) -> u64 {
+    /// The distinct memory nodes this batch touches, in first-appearance
+    /// order (allocation-free; one pass over the queued verbs).
+    fn distinct_nodes(&self) -> ([u16; MAX_BATCH], usize) {
+        let mut nodes = [0u16; MAX_BATCH];
+        let mut count = 0;
+        for op in self.ops[..self.len].iter().flatten() {
+            let mn = op.mn_id();
+            if !nodes[..count].contains(&mn) {
+                nodes[count] = mn;
+                count += 1;
+            }
+        }
+        (nodes, count)
+    }
+
+    /// Number of distinct memory nodes this batch fans out to (one doorbell
+    /// is charged per distinct node).
+    pub fn fanout(&self) -> usize {
+        self.distinct_nodes().1
+    }
+
+    fn batched_latency_with_fanout(&self, fanout: usize) -> u64 {
         let cfg = self.client.config();
         let max_transfer = self.transfer_latencies_max();
-        cfg.batch_latency_ns(self.len, max_transfer)
+        cfg.fanout_batch_latency_ns(self.len, fanout, max_transfer)
+    }
+
+    /// Latency this batch will charge when executed as one doorbell batch.
+    pub fn batched_latency_ns(&self) -> u64 {
+        self.batched_latency_with_fanout(self.fanout())
     }
 
     /// Latency this batch will charge when executed verb-by-verb.
@@ -175,19 +207,24 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
     }
 
     /// Executes the batch as one doorbell batch: charges
-    /// `doorbell + n × issue + max(transfer)` to the client clock, one RNIC
-    /// message per verb to the target nodes, and records the batch size.
+    /// `fanout × doorbell + n × issue + max(transfer)` to the client clock,
+    /// one RNIC message per verb to the target nodes, and records the batch
+    /// size and per-node doorbells.
     ///
     /// Returns the latency charged.
     pub fn execute(self) -> u64 {
         if self.len == 0 {
             return 0;
         }
-        let latency = self.batched_latency_ns();
+        let (nodes, fanout) = self.distinct_nodes();
+        let latency = self.batched_latency_with_fanout(fanout);
         let client = self.client;
         client.advance_ns(latency);
         let stats = client.pool().stats();
-        stats.record_batch(self.len);
+        stats.record_batch(self.len, fanout);
+        for &mn in &nodes[..fanout] {
+            stats.record_node_doorbell(mn);
+        }
         for op in self.ops.into_iter().flatten() {
             stats.record_verb(op.mn_id(), op.kind(), op.payload_len());
             Self::perform(client, op);
@@ -372,6 +409,55 @@ mod tests {
         assert_eq!(x, [1u8; 64]);
         assert_eq!(y, [1u8; 64]);
         assert_eq!(pool.stats().doorbells(), 1);
+    }
+
+    #[test]
+    fn multi_node_batch_charges_one_doorbell_per_node() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+        let client = pool.connect();
+        let a = pool.reserve_on(0, 64).unwrap();
+        let b = pool.reserve_on(1, 64).unwrap();
+        let cfg = client.config().clone();
+        let (mut x, mut y) = ([0u8; 64], [0u8; 64]);
+        let mut batch = client.batch();
+        batch.read_into(a, &mut x);
+        batch.read_into(b, &mut y);
+        batch.read_into(a.add(0), &mut []);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.fanout(), 2, "three verbs over two distinct nodes");
+        let charged = batch.execute();
+        let expected = 2 * cfg.doorbell_latency_ns
+            + 3 * cfg.verb_issue_ns
+            + cfg.transfer_latency_ns(cfg.read_latency_ns, 64);
+        assert_eq!(charged, expected);
+        // One doorbell was rung at each node's RNIC.
+        assert_eq!(pool.stats().doorbells(), 2);
+        assert_eq!(pool.stats().largest_fanout(), 2);
+        let snaps = pool.stats().node_snapshots();
+        assert_eq!(snaps[0].doorbells, 1);
+        assert_eq!(snaps[1].doorbells, 1);
+        assert_eq!(snaps[0].reads, 2);
+        assert_eq!(snaps[1].reads, 1);
+    }
+
+    #[test]
+    fn fanout_batch_still_beats_sequential_round_trips() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(4));
+        let client = pool.connect();
+        let addrs: Vec<_> = (0..4u16).map(|mn| pool.reserve_on(mn, 64).unwrap()).collect();
+        let mut bufs = [[0u8; 64]; 4];
+        let mut batch = client.batch();
+        for (buf, addr) in bufs.iter_mut().zip(&addrs) {
+            batch.read_into(*addr, buf);
+        }
+        assert_eq!(batch.fanout(), 4);
+        let batched = batch.batched_latency_ns();
+        let sequential = batch.sequential_latency_ns();
+        assert!(
+            batched * 2 < sequential,
+            "4-node fan-out should still be >2x cheaper: {batched} vs {sequential}"
+        );
+        batch.execute();
     }
 
     #[test]

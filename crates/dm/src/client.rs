@@ -4,9 +4,11 @@ use crate::addr::RemoteAddr;
 use crate::batch::BatchBuilder;
 use crate::config::DmConfig;
 use crate::error::{DmError, DmResult};
+use crate::memnode::MemoryNode;
 use crate::pool::MemoryPool;
 use crate::stats::VerbKind;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
 
 /// A per-thread connection to the memory pool.
 ///
@@ -22,6 +24,14 @@ pub struct DmClient {
     client_id: u32,
     clock_ns: Cell<u64>,
     op_start_ns: Cell<u64>,
+    /// Cached node handles, revalidated against the pool's resize epoch so
+    /// the per-verb node lookup stays lock-free in steady state.
+    nodes: RefCell<NodeCache>,
+}
+
+struct NodeCache {
+    epoch: u64,
+    nodes: Vec<Arc<MemoryNode>>,
 }
 
 impl DmClient {
@@ -29,11 +39,16 @@ impl DmClient {
         // A client joining an ongoing experiment starts at the current
         // simulated time, not at zero.
         let start = pool.stats().clock_baseline_ns();
+        let nodes = NodeCache {
+            epoch: pool.resize_epoch(),
+            nodes: pool.nodes_snapshot(),
+        };
         DmClient {
             pool,
             client_id,
             clock_ns: Cell::new(start),
             op_start_ns: Cell::new(start),
+            nodes: RefCell::new(nodes),
         }
     }
 
@@ -73,15 +88,30 @@ impl DmClient {
         self.pool.stats().record_verb(addr_mn, kind, bytes);
     }
 
-    fn node(&self, mn_id: u16) -> &crate::memnode::MemoryNode {
-        self.pool
-            .node(mn_id)
-            .unwrap_or_else(|_| panic!("verb issued to unknown memory node {mn_id}"))
-            .as_ref()
+    fn node(&self, mn_id: u16) -> Arc<MemoryNode> {
+        let epoch = self.pool.resize_epoch();
+        let mut cache = self.nodes.borrow_mut();
+        if cache.epoch != epoch || cache.nodes.len() <= mn_id as usize {
+            cache.nodes = self.pool.nodes_snapshot();
+            cache.epoch = epoch;
+        }
+        cache
+            .nodes
+            .get(mn_id as usize)
+            .cloned()
+            .unwrap_or_else(|| panic!("verb issued to unknown memory node {mn_id}"))
     }
 
-    pub(crate) fn node_ref(&self, mn_id: u16) -> &crate::memnode::MemoryNode {
+    pub(crate) fn node_ref(&self, mn_id: u16) -> Arc<MemoryNode> {
         self.node(mn_id)
+    }
+
+    /// The pool's current resize epoch (see [`MemoryPool::resize_epoch`]);
+    /// higher layers compare it against the epoch of their cached
+    /// [`crate::topology::PoolTopology`] snapshot before trusting cached
+    /// placement decisions.
+    pub fn resize_epoch(&self) -> u64 {
+        self.pool.resize_epoch()
     }
 
     /// Starts a doorbell batch of independent verbs (see [`BatchBuilder`]).

@@ -1,5 +1,6 @@
 //! Configuration of the simulated disaggregated-memory fabric.
 
+use crate::topology::PlacementMode;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the DM substrate.
@@ -55,6 +56,10 @@ pub struct DmConfig {
     /// critical path but still consume RNIC message rate, so this is `true`
     /// by default.
     pub async_writes_consume_messages: bool,
+    /// How the pool topology maps stripes (bucket ranges, history shards,
+    /// allocation homes) onto active memory nodes: static striping or
+    /// rendezvous hashing (see [`crate::topology::PoolTopology`]).
+    pub placement: PlacementMode,
 }
 
 impl Default for DmConfig {
@@ -74,6 +79,7 @@ impl Default for DmConfig {
             mn_message_rate: 40_000_000,
             rpc_base_cpu_ns: 700,
             async_writes_consume_messages: true,
+            placement: PlacementMode::Striped,
         }
     }
 }
@@ -125,6 +131,12 @@ impl DmConfig {
         self
     }
 
+    /// Sets the topology placement mode (builder style).
+    pub fn with_placement(mut self, placement: PlacementMode) -> Self {
+        self.placement = placement;
+        self
+    }
+
     /// Returns the latency in nanoseconds for a transfer of `len` payload
     /// bytes on top of the base verb latency `base_ns`.
     pub fn transfer_latency_ns(&self, base_ns: u64, len: usize) -> u64 {
@@ -132,13 +144,24 @@ impl DmConfig {
     }
 
     /// Round-trip latency charged to a doorbell batch whose slowest member
-    /// has transfer latency `max_transfer_ns` and which posts `verbs` WQEs:
-    /// one doorbell, the per-verb issue costs, and the slowest round trip.
+    /// has transfer latency `max_transfer_ns` and which posts `verbs` WQEs
+    /// to a single memory node: one doorbell, the per-verb issue costs, and
+    /// the slowest round trip.
     pub fn batch_latency_ns(&self, verbs: usize, max_transfer_ns: u64) -> u64 {
+        self.fanout_batch_latency_ns(verbs, 1, max_transfer_ns)
+    }
+
+    /// Round-trip latency of a doorbell batch that fans out to `fanout`
+    /// distinct memory nodes: one doorbell charge **per distinct node**
+    /// (each node has its own queue pair), the per-verb issue costs, and the
+    /// slowest round trip — the transfers overlap across the NICs.
+    pub fn fanout_batch_latency_ns(&self, verbs: usize, fanout: usize, max_transfer_ns: u64) -> u64 {
         if verbs == 0 {
             return 0;
         }
-        self.doorbell_latency_ns + verbs as u64 * self.verb_issue_ns + max_transfer_ns
+        fanout.max(1) as u64 * self.doorbell_latency_ns
+            + verbs as u64 * self.verb_issue_ns
+            + max_transfer_ns
     }
 
     /// Total memory capacity of the pool in bytes.

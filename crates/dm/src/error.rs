@@ -53,6 +53,19 @@ pub enum DmError {
         /// Maximum size a single allocation may have.
         max: u64,
     },
+    /// A remote address does not fit the packed 16/48-bit encoding.
+    AddressOverflow {
+        /// Offending memory-node id.
+        mn_id: u16,
+        /// Offending byte offset.
+        offset: u64,
+    },
+    /// A pool-topology change was rejected (duplicate add, draining the
+    /// last node, node limit, ...).
+    Topology {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DmError {
@@ -85,6 +98,10 @@ impl fmt::Display for DmError {
             DmError::AllocationTooLarge { requested, max } => {
                 write!(f, "allocation of {requested} bytes exceeds maximum {max}")
             }
+            DmError::AddressOverflow { mn_id, offset } => {
+                write!(f, "address mn{mn_id}+0x{offset:x} does not fit the packed encoding")
+            }
+            DmError::Topology { reason } => write!(f, "topology change rejected: {reason}"),
         }
     }
 }

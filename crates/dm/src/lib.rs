@@ -20,15 +20,22 @@
 //!
 //! # Architecture
 //!
-//! * [`MemoryPool`] owns one or more [`MemoryNode`]s and the shared
-//!   [`PoolStats`] accounting.
+//! * [`MemoryPool`] owns one or more [`MemoryNode`]s, the shared
+//!   [`PoolStats`] accounting and the [`topology::PoolTopology`] that maps
+//!   stripes (hash-table bucket ranges, history shards, allocation homes)
+//!   onto the *active* nodes.  [`MemoryPool::add_node`] and
+//!   [`MemoryPool::drain_node`] resize the pool online; every change bumps
+//!   a resize epoch that clients validate their cached placement against.
 //! * [`DmClient`] is a per-thread connection handle exposing the verb API and
 //!   a per-client simulated clock.
 //! * [`batch::BatchBuilder`] issues independent verbs as one RNIC doorbell
-//!   batch (see the latency model below).
+//!   batch, charging one doorbell **per distinct memory node** while the
+//!   transfers overlap across the NICs (see the latency model below).
 //! * [`alloc::ClientAllocator`] implements the two-level memory management
 //!   scheme (segment `ALLOC`/`FREE` RPCs plus client-local block recycling)
-//!   used by FUSEE and adopted by Ditto.
+//!   used by FUSEE and adopted by Ditto; [`alloc::StripedAllocator`] runs
+//!   one per memory node with a stripe-local preference, so an object's
+//!   hash-table slot and its value land on the same node when possible.
 //! * [`harness`] runs a closure on `N` simulated client threads and collects
 //!   a [`stats::RunReport`].
 //!
@@ -52,15 +59,22 @@
 //! Measured on the get-heavy YCSB-C ops microbenchmark (200 k requests,
 //! 10 k records, capacity 7 k objects, one client; see
 //! `crates/bench/src/bin/ops_bench.rs` and `BENCH_ops.json`): batching the
-//! two bucket READs of every lookup and the object WRITE + bucket READs of
-//! every `Set` takes the simulated hit path from two sequential ~2 µs bucket
-//! round trips (~4.05 µs charged) to one ~2.28 µs doorbell batch, which
-//! shows up end-to-end as **203 k ops/s vs 147 k ops/s (1.38×)** and
-//! **p50 4.10 µs vs 5.89 µs**, at identical hit/miss counts and identical
-//! verbs per op (4.34).  The "unbatched" side of that comparison issues the
-//! *same* verb sequence sequentially (both buckets fetched per lookup), so
-//! the ratio isolates doorbell batching itself; it is not a comparison
-//! against a short-circuiting lookup that stops after a primary-bucket hit.
+//! two bucket READs of every lookup, the frequency-counter FAA flush with
+//! the object READ of every hit, and the object WRITE + bucket READs of
+//! every `Set` takes the simulated hit path from sequential ~2 µs round
+//! trips to one doorbell batch per step, which shows up end-to-end as
+//! **209 k ops/s vs 147 k ops/s (1.42×)** and **p50 4.10 µs vs 5.89 µs**,
+//! at identical hit/miss counts and identical verbs per op (4.34).  The
+//! "unbatched" side of that comparison issues the *same* verb sequence
+//! sequentially (both buckets fetched per lookup), so the ratio isolates
+//! doorbell batching itself; it is not a comparison against a
+//! short-circuiting lookup that stops after a primary-bucket hit.
+//!
+//! The same benchmark's multi-memory-node sweep (60 k msg/s per NIC,
+//! message-bound) shows the striped topology lifting the throughput
+//! ceiling near-linearly: **13 k → 26 k → 48 k → 85 k simulated ops/s at
+//! 1 → 2 → 4 → 8 memory nodes**, because the hottest NIC's message count
+//! drops to roughly `1/n`-th of the total.
 //!
 //! # Examples
 //!
@@ -88,9 +102,10 @@ pub mod memnode;
 pub mod pool;
 pub mod rpc;
 pub mod stats;
+pub mod topology;
 
 pub use addr::RemoteAddr;
-pub use alloc::ClientAllocator;
+pub use alloc::{ClientAllocator, StripedAllocator};
 pub use batch::BatchBuilder;
 pub use client::DmClient;
 pub use config::DmConfig;
@@ -102,3 +117,4 @@ pub use memnode::MemoryNode;
 pub use pool::MemoryPool;
 pub use rpc::{RpcHandler, RpcOutcome};
 pub use stats::{PoolStats, RunReport};
+pub use topology::{PlacementMode, PoolTopology};

@@ -1,4 +1,5 @@
-//! The memory pool: the set of memory nodes plus shared accounting.
+//! The memory pool: the set of memory nodes, the placement topology and
+//! shared accounting.
 
 use crate::addr::RemoteAddr;
 use crate::alloc::AllocService;
@@ -8,11 +9,23 @@ use crate::error::{DmError, DmResult};
 use crate::memnode::MemoryNode;
 use crate::rpc::{RpcHandler, ALLOC_SERVICE};
 use crate::stats::PoolStats;
+use crate::topology::{PoolTopology, MAX_POOL_NODES};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct PoolInner {
     config: DmConfig,
-    nodes: Vec<Arc<MemoryNode>>,
+    /// All nodes ever added, indexed by id.  Nodes are never removed —
+    /// draining only deactivates them in the topology, so data already
+    /// resident stays readable.
+    nodes: RwLock<Vec<Arc<MemoryNode>>>,
+    topology: RwLock<PoolTopology>,
+    /// Lock-free mirror of the topology epoch, so clients can validate
+    /// their cached placement snapshots without taking the lock.
+    epoch: AtomicU64,
+    /// Pool-wide RPC services, replayed onto nodes that join later.
+    pool_handlers: Mutex<Vec<(u8, Arc<dyn RpcHandler>)>>,
     stats: PoolStats,
 }
 
@@ -21,6 +34,12 @@ struct PoolInner {
 /// The pool is cheaply clonable; every clone refers to the same memory nodes
 /// and statistics.  Client threads obtain per-thread [`DmClient`] connections
 /// through [`MemoryPool::connect`].
+///
+/// The pool is **elastic**: [`MemoryPool::add_node`] brings a new memory
+/// node online and [`MemoryPool::drain_node`] takes one out of the active
+/// placement set (its resident data keeps serving reads).  Both bump the
+/// [`MemoryPool::resize_epoch`] that clients validate their cached
+/// [`PoolTopology`] snapshots against.
 #[derive(Clone)]
 pub struct MemoryPool {
     inner: Arc<PoolInner>,
@@ -30,21 +49,42 @@ impl MemoryPool {
     /// Creates a pool as described by `config` and registers the built-in
     /// segment-allocation service on every node.
     pub fn new(config: DmConfig) -> Self {
-        let nodes: Vec<Arc<MemoryNode>> = (0..config.num_memory_nodes)
-            .map(|id| Arc::new(MemoryNode::new(id, config.memory_node_capacity)))
+        let caps = vec![config.memory_node_capacity; config.num_memory_nodes.max(1) as usize];
+        Self::with_capacities(config, &caps)
+    }
+
+    /// Creates a pool whose nodes have the given (possibly heterogeneous)
+    /// capacities; `capacities.len()` overrides `config.num_memory_nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or exceeds the pool node limit.
+    pub fn with_capacities(config: DmConfig, capacities: &[u64]) -> Self {
+        assert!(!capacities.is_empty(), "a pool needs at least one memory node");
+        assert!(
+            capacities.len() <= MAX_POOL_NODES,
+            "a pool is limited to {MAX_POOL_NODES} memory nodes"
+        );
+        let nodes: Vec<Arc<MemoryNode>> = capacities
+            .iter()
+            .enumerate()
+            .map(|(id, &cap)| Arc::new(MemoryNode::new(id as u16, cap)))
             .collect();
-        let stats = PoolStats::new(config.num_memory_nodes);
+        let num_nodes = nodes.len() as u16;
+        let stats = PoolStats::new(num_nodes);
+        let topology = PoolTopology::new(num_nodes, config.placement);
         let pool = MemoryPool {
             inner: Arc::new(PoolInner {
                 config,
-                nodes,
+                nodes: RwLock::new(nodes),
+                topology: RwLock::new(topology),
+                epoch: AtomicU64::new(0),
+                pool_handlers: Mutex::new(Vec::new()),
                 stats,
             }),
         };
         let alloc = Arc::new(AllocService::new());
-        for node in &pool.inner.nodes {
-            node.register_handler(ALLOC_SERVICE, alloc.clone());
-        }
+        pool.register_handler(ALLOC_SERVICE, alloc);
         pool
     }
 
@@ -63,17 +103,74 @@ impl MemoryPool {
         self.inner.stats.reset();
     }
 
-    /// Number of memory nodes.
+    /// Number of memory nodes ever added to the pool (including drained
+    /// ones, which keep serving resident data).
     pub fn num_nodes(&self) -> u16 {
-        self.inner.nodes.len() as u16
+        self.inner.nodes.read().len() as u16
     }
 
     /// Returns the memory node with id `mn_id`.
-    pub fn node(&self, mn_id: u16) -> DmResult<&Arc<MemoryNode>> {
+    pub fn node(&self, mn_id: u16) -> DmResult<Arc<MemoryNode>> {
         self.inner
             .nodes
+            .read()
             .get(mn_id as usize)
+            .cloned()
             .ok_or(DmError::NoSuchNode { mn_id })
+    }
+
+    /// A snapshot of every node handle, indexed by node id (used by clients
+    /// to cache node lookups between resize epochs).
+    pub fn nodes_snapshot(&self) -> Vec<Arc<MemoryNode>> {
+        self.inner.nodes.read().clone()
+    }
+
+    /// A snapshot of the placement topology.
+    pub fn topology(&self) -> PoolTopology {
+        self.inner.topology.read().clone()
+    }
+
+    /// The current resize epoch (bumped by every add/drain); clients compare
+    /// it against the epoch of their cached [`PoolTopology`] snapshot.
+    pub fn resize_epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Brings a new memory node online (capacity `config.memory_node_capacity`),
+    /// registers the pool-wide RPC services on it, activates it in the
+    /// topology and bumps the resize epoch.
+    ///
+    /// Returns the new node's id.
+    pub fn add_node(&self) -> DmResult<u16> {
+        let mut nodes = self.inner.nodes.write();
+        if nodes.len() >= MAX_POOL_NODES {
+            return Err(DmError::Topology {
+                reason: format!("pool is limited to {MAX_POOL_NODES} memory nodes"),
+            });
+        }
+        let id = nodes.len() as u16;
+        let node = Arc::new(MemoryNode::new(id, self.inner.config.memory_node_capacity));
+        for (service, handler) in self.inner.pool_handlers.lock().iter() {
+            node.register_handler(*service, handler.clone());
+        }
+        nodes.push(node);
+        drop(nodes);
+        self.inner.stats.register_node();
+        let mut topology = self.inner.topology.write();
+        topology.add_node(id)?;
+        self.inner.epoch.store(topology.epoch(), Ordering::Release);
+        Ok(id)
+    }
+
+    /// Takes `mn_id` out of the active placement set and bumps the resize
+    /// epoch.  No new stripes or segments land on a drained node; data
+    /// already resident keeps serving reads, which is what makes the shrink
+    /// window graceful.
+    pub fn drain_node(&self, mn_id: u16) -> DmResult<()> {
+        let mut topology = self.inner.topology.write();
+        topology.drain_node(mn_id)?;
+        self.inner.epoch.store(topology.epoch(), Ordering::Release);
+        Ok(())
     }
 
     /// Opens a new client connection with its own simulated clock.
@@ -95,9 +192,14 @@ impl MemoryPool {
         Ok(RemoteAddr::new(mn_id, offset))
     }
 
-    /// Registers an RPC service on every memory node.
+    /// Registers an RPC service on every memory node, including nodes added
+    /// later.
     pub fn register_handler(&self, service: u8, handler: Arc<dyn RpcHandler>) {
-        for node in &self.inner.nodes {
+        let mut handlers = self.inner.pool_handlers.lock();
+        handlers.retain(|(s, _)| *s != service);
+        handlers.push((service, handler.clone()));
+        drop(handlers);
+        for node in self.inner.nodes.read().iter() {
             node.register_handler(service, handler.clone());
         }
     }
@@ -115,12 +217,12 @@ impl MemoryPool {
 
     /// Total bytes used (high-water mark) across all nodes.
     pub fn used_bytes(&self) -> u64 {
-        self.inner.nodes.iter().map(|n| n.used_bytes()).sum()
+        self.inner.nodes.read().iter().map(|n| n.used_bytes()).sum()
     }
 
     /// Total capacity across all nodes in bytes.
     pub fn capacity(&self) -> u64 {
-        self.inner.nodes.iter().map(|n| n.capacity()).sum()
+        self.inner.nodes.read().iter().map(|n| n.capacity()).sum()
     }
 }
 
@@ -139,6 +241,7 @@ mod tests {
             Err(DmError::NoSuchNode { mn_id: 3 })
         ));
         assert_eq!(pool.capacity(), 3 * DmConfig::small().memory_node_capacity);
+        assert_eq!(pool.topology().active(), &[0, 1, 2]);
     }
 
     #[test]
@@ -186,5 +289,67 @@ mod tests {
         let addr = pool.reserve(64).unwrap();
         clone.node(0).unwrap().write(addr.offset, b"shared").unwrap();
         assert_eq!(pool.node(0).unwrap().read(addr.offset, 6).unwrap(), b"shared");
+    }
+
+    #[test]
+    fn add_node_grows_pool_and_bumps_epoch() {
+        let pool = MemoryPool::new(DmConfig::small());
+        assert_eq!(pool.resize_epoch(), 0);
+        let id = pool.add_node().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(pool.num_nodes(), 2);
+        assert_eq!(pool.resize_epoch(), 1);
+        assert!(pool.topology().is_active(1));
+        // The new node can immediately serve reservations and verbs.
+        let addr = pool.reserve_on(1, 64).unwrap();
+        let client = pool.connect();
+        client.write(addr, b"fresh");
+        assert_eq!(client.read(addr, 5), b"fresh");
+    }
+
+    #[test]
+    fn added_nodes_answer_pool_wide_rpc_services() {
+        let pool = MemoryPool::new(DmConfig::small());
+        pool.register_handler(
+            42,
+            Arc::new(|_n: &MemoryNode, _r: &[u8]| Ok(RpcOutcome::new(vec![9], 10))),
+        );
+        let id = pool.add_node().unwrap();
+        let out = pool.node(id).unwrap().dispatch_rpc(42, &[]).unwrap();
+        assert_eq!(out.response, vec![9]);
+        // The built-in allocation service works on the new node too.
+        let req = crate::alloc::AllocService::encode_alloc(4096);
+        let client = pool.connect();
+        assert!(client.rpc(id, ALLOC_SERVICE, &req).is_ok());
+    }
+
+    #[test]
+    fn drained_nodes_keep_serving_reads() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+        let addr = pool.reserve_on(1, 64).unwrap();
+        let client = pool.connect();
+        client.write(addr, b"resident");
+        pool.drain_node(1).unwrap();
+        assert!(!pool.topology().is_active(1));
+        assert_eq!(pool.resize_epoch(), 1);
+        assert_eq!(client.read(addr, 8), b"resident");
+    }
+
+    #[test]
+    fn draining_the_last_node_is_rejected() {
+        let pool = MemoryPool::new(DmConfig::small());
+        assert!(matches!(
+            pool.drain_node(0),
+            Err(DmError::Topology { .. })
+        ));
+        assert_eq!(pool.resize_epoch(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_are_respected() {
+        let pool = MemoryPool::with_capacities(DmConfig::small(), &[1 << 20, 1 << 21]);
+        assert_eq!(pool.num_nodes(), 2);
+        assert_eq!(pool.node(0).unwrap().capacity(), 1 << 20);
+        assert_eq!(pool.node(1).unwrap().capacity(), 1 << 21);
     }
 }

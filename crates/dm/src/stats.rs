@@ -10,8 +10,9 @@
 
 use crate::config::DmConfig;
 use crate::histogram::LatencyHistogram;
+use crate::topology::MAX_POOL_NODES;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Kinds of one-sided verbs tracked by the accounting layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,9 @@ pub struct NodeStats {
     pub rpc_cpu_ns: AtomicU64,
     /// Bytes moved to/from this node.
     pub bytes: AtomicU64,
+    /// Doorbells rung at this node's RNIC (one per batch that includes at
+    /// least one verb for this node).
+    pub doorbells: AtomicU64,
 }
 
 impl NodeStats {
@@ -73,6 +77,7 @@ impl NodeStats {
             rpcs: self.rpcs.load(Ordering::Relaxed),
             rpc_cpu_ns: self.rpc_cpu_ns.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            doorbells: self.doorbells.load(Ordering::Relaxed),
         }
     }
 }
@@ -96,6 +101,8 @@ pub struct NodeSnapshot {
     pub rpc_cpu_ns: u64,
     /// Bytes transferred.
     pub bytes: u64,
+    /// Doorbells rung at this node's RNIC.
+    pub doorbells: u64,
 }
 
 impl NodeSnapshot {
@@ -110,13 +117,20 @@ impl NodeSnapshot {
             rpcs: self.rpcs.saturating_sub(earlier.rpcs),
             rpc_cpu_ns: self.rpc_cpu_ns.saturating_sub(earlier.rpc_cpu_ns),
             bytes: self.bytes.saturating_sub(earlier.bytes),
+            doorbells: self.doorbells.saturating_sub(earlier.doorbells),
         }
     }
 }
 
 /// Shared accounting for a [`crate::MemoryPool`].
+///
+/// Counters for every possible node (up to [`MAX_POOL_NODES`]) are
+/// pre-allocated so that [`crate::MemoryPool::add_node`] never has to grow
+/// the hot-path counter array; only the first [`PoolStats::num_nodes`]
+/// entries are reported by [`PoolStats::node_snapshots`].
 pub struct PoolStats {
     nodes: Vec<NodeStats>,
+    active_nodes: AtomicUsize,
     ops: AtomicU64,
     op_latency: LatencyHistogram,
     max_client_clock_ns: AtomicU64,
@@ -125,15 +139,17 @@ pub struct PoolStats {
     doorbells: AtomicU64,
     batched_verbs: AtomicU64,
     largest_batch: AtomicU64,
+    largest_fanout: AtomicU64,
 }
 
 impl PoolStats {
     /// Creates accounting for `num_nodes` memory nodes.
     pub fn new(num_nodes: u16) -> Self {
-        let mut nodes = Vec::with_capacity(num_nodes as usize);
-        nodes.resize_with(num_nodes as usize, NodeStats::default);
+        let mut nodes = Vec::with_capacity(MAX_POOL_NODES);
+        nodes.resize_with(MAX_POOL_NODES, NodeStats::default);
         PoolStats {
             nodes,
+            active_nodes: AtomicUsize::new((num_nodes as usize).clamp(1, MAX_POOL_NODES)),
             ops: AtomicU64::new(0),
             op_latency: LatencyHistogram::new(),
             max_client_clock_ns: AtomicU64::new(0),
@@ -142,14 +158,38 @@ impl PoolStats {
             doorbells: AtomicU64::new(0),
             batched_verbs: AtomicU64::new(0),
             largest_batch: AtomicU64::new(0),
+            largest_fanout: AtomicU64::new(0),
         }
     }
 
-    /// Records a doorbell batch of `verbs` work-queue entries.
-    pub fn record_batch(&self, verbs: usize) {
-        self.doorbells.fetch_add(1, Ordering::Relaxed);
+    /// Registers one more memory node (called by the pool on node add).
+    pub fn register_node(&self) {
+        let _ = self
+            .active_nodes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < MAX_POOL_NODES).then_some(n + 1)
+            });
+    }
+
+    /// Number of memory nodes currently tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.active_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Records a doorbell batch of `verbs` work-queue entries spanning
+    /// `fanout` distinct memory nodes (one doorbell rung per node).
+    pub fn record_batch(&self, verbs: usize, fanout: usize) {
+        self.doorbells.fetch_add(fanout as u64, Ordering::Relaxed);
         self.batched_verbs.fetch_add(verbs as u64, Ordering::Relaxed);
         self.largest_batch.fetch_max(verbs as u64, Ordering::Relaxed);
+        self.largest_fanout.fetch_max(fanout as u64, Ordering::Relaxed);
+    }
+
+    /// Records one doorbell ring at node `mn_id`'s RNIC.
+    pub fn record_node_doorbell(&self, mn_id: u16) {
+        if let Some(node) = self.nodes.get(mn_id as usize) {
+            node.doorbells.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Number of doorbell batches rung so far.
@@ -165,6 +205,11 @@ impl PoolStats {
     /// Largest doorbell batch observed.
     pub fn largest_batch(&self) -> u64 {
         self.largest_batch.load(Ordering::Relaxed)
+    }
+
+    /// Largest per-batch memory-node fan-out observed.
+    pub fn largest_fanout(&self) -> u64 {
+        self.largest_fanout.load(Ordering::Relaxed)
     }
 
     /// Mean verbs per doorbell batch (0 when no batch was rung).
@@ -220,7 +265,10 @@ impl PoolStats {
 
     /// Snapshot of all per-node counters.
     pub fn node_snapshots(&self) -> Vec<NodeSnapshot> {
-        self.nodes.iter().map(NodeStats::snapshot).collect()
+        self.nodes[..self.num_nodes()]
+            .iter()
+            .map(NodeStats::snapshot)
+            .collect()
     }
 
     /// Largest client clock published so far, in nanoseconds.
@@ -261,6 +309,7 @@ impl PoolStats {
             n.rpcs.store(0, Ordering::Relaxed);
             n.rpc_cpu_ns.store(0, Ordering::Relaxed);
             n.bytes.store(0, Ordering::Relaxed);
+            n.doorbells.store(0, Ordering::Relaxed);
         }
         self.ops.store(0, Ordering::Relaxed);
         self.op_latency.reset();
@@ -268,6 +317,7 @@ impl PoolStats {
         self.doorbells.store(0, Ordering::Relaxed);
         self.batched_verbs.store(0, Ordering::Relaxed);
         self.largest_batch.store(0, Ordering::Relaxed);
+        self.largest_fanout.store(0, Ordering::Relaxed);
     }
 }
 

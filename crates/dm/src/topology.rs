@@ -1,0 +1,272 @@
+//! Pool topology: placement of cache structures across memory nodes.
+//!
+//! Ditto's elasticity claim (§2.2, §5.5) is that both cache capacity *and*
+//! aggregate NIC message rate grow with the number of memory nodes.  That
+//! only holds if the remote structures are actually spread over the pool:
+//! a hash table, history counter and allocator that all sit on MN 0 leave
+//! `num_memory_nodes` cosmetic and cap the message rate at one RNIC.
+//!
+//! [`PoolTopology`] is the placement layer that fixes this.  It maps
+//! abstract **stripes** — contiguous bucket ranges of the hash table,
+//! history-counter shards, segment-allocation homes — onto the pool's
+//! *active* memory nodes:
+//!
+//! * [`PlacementMode::Striped`] assigns stripe `s` to `active[s mod n]`,
+//!   the static round-robin layout used for fixed structures;
+//! * [`PlacementMode::Rendezvous`] uses highest-random-weight (rendezvous)
+//!   hashing, so when a node joins or leaves only `~1/n` of the stripes
+//!   move — the consistent-hashing mode for churn-heavy pools.
+//!
+//! The topology also carries the **resize epoch**: every successful
+//! [`PoolTopology::add_node`] / [`PoolTopology::drain_node`] bumps it, and
+//! clients validate their cached placement snapshots (allocator homes,
+//! active-node lists) against the pool's epoch before relying on them.
+//! Draining a node removes it from the *active* set — no new stripes or
+//! segments are placed there — while the node itself keeps serving reads
+//! of data already resident, which is what makes the shrink window
+//! graceful instead of a cliff.
+
+use crate::error::{DmError, DmResult};
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of memory nodes a pool may grow to.
+///
+/// Bounded by the 48-bit slot pointer encoding of `ditto-core`, which
+/// reserves 8 bits for the memory-node id.
+pub const MAX_POOL_NODES: usize = 256;
+
+/// How stripes are mapped onto active memory nodes.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementMode {
+    /// Static striping: stripe `s` lives on `active[s mod n]`.
+    #[default]
+    Striped,
+    /// Rendezvous (highest-random-weight) hashing: each stripe picks the
+    /// active node with the highest `hash(node, stripe)` weight, so node
+    /// churn only relocates `~1/n` of the stripes.
+    Rendezvous,
+}
+
+/// The placement map of a memory pool (see the module docs).
+///
+/// Cheap to clone: clients snapshot it and revalidate the snapshot against
+/// the pool's resize epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolTopology {
+    mode: PlacementMode,
+    /// Active node ids, ascending.  Draining removes a node from this set
+    /// without forgetting the node itself.
+    active: Vec<u16>,
+    epoch: u64,
+}
+
+/// SplitMix64 finaliser; mixes `(node, stripe)` into a rendezvous weight.
+fn rendezvous_weight(node: u16, stripe: u64) -> u64 {
+    let mut z = stripe
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(0x6a09_e667_f3bc_c909 ^ ((node as u64) << 32 | node as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl PoolTopology {
+    /// Creates a topology over nodes `0..num_nodes`, all active.
+    pub fn new(num_nodes: u16, mode: PlacementMode) -> Self {
+        PoolTopology {
+            mode,
+            active: (0..num_nodes.max(1)).collect(),
+            epoch: 0,
+        }
+    }
+
+    /// The placement mode.
+    pub fn mode(&self) -> PlacementMode {
+        self.mode
+    }
+
+    /// The active node ids, ascending.
+    pub fn active(&self) -> &[u16] {
+        &self.active
+    }
+
+    /// Number of active nodes.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether `mn_id` is active (eligible for new placements).
+    pub fn is_active(&self, mn_id: u16) -> bool {
+        self.active.binary_search(&mn_id).is_ok()
+    }
+
+    /// The resize epoch: bumped by every add/drain.  Clients compare their
+    /// cached epoch against the pool's before trusting a placement snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The active node that owns stripe `stripe`.
+    pub fn node_for_stripe(&self, stripe: u64) -> u16 {
+        match self.mode {
+            PlacementMode::Striped => self.active[(stripe % self.active.len() as u64) as usize],
+            PlacementMode::Rendezvous => self
+                .active
+                .iter()
+                .copied()
+                .max_by_key(|&n| (rendezvous_weight(n, stripe), n))
+                .expect("topology always has at least one active node"),
+        }
+    }
+
+    /// The active node where an allocation with placement hint `hint`
+    /// (typically a key hash or bucket index) should land.
+    pub fn alloc_node_for(&self, hint: u64) -> u16 {
+        self.node_for_stripe(hint)
+    }
+
+    /// The owner of every stripe in `0..num_stripes` (layout helper for
+    /// structures that reserve their stripes up front).
+    pub fn assignments(&self, num_stripes: u64) -> Vec<u16> {
+        (0..num_stripes).map(|s| self.node_for_stripe(s)).collect()
+    }
+
+    /// Activates `mn_id`, rebalancing future placements onto it.
+    ///
+    /// Returns an error if the node is already active or the pool limit is
+    /// reached.
+    pub fn add_node(&mut self, mn_id: u16) -> DmResult<()> {
+        if self.is_active(mn_id) {
+            return Err(DmError::Topology {
+                reason: format!("memory node {mn_id} is already active"),
+            });
+        }
+        if self.active.len() >= MAX_POOL_NODES {
+            return Err(DmError::Topology {
+                reason: format!("pool is limited to {MAX_POOL_NODES} memory nodes"),
+            });
+        }
+        let pos = self.active.partition_point(|&n| n < mn_id);
+        self.active.insert(pos, mn_id);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Deactivates `mn_id`: no new stripes or segments are placed there.
+    /// Data already resident stays readable; the last active node cannot be
+    /// drained.
+    pub fn drain_node(&mut self, mn_id: u16) -> DmResult<()> {
+        let pos = self
+            .active
+            .binary_search(&mn_id)
+            .map_err(|_| DmError::Topology {
+                reason: format!("memory node {mn_id} is not active"),
+            })?;
+        if self.active.len() == 1 {
+            return Err(DmError::Topology {
+                reason: "cannot drain the last active memory node".to_string(),
+            });
+        }
+        self.active.remove(pos);
+        self.epoch += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn striped_mode_round_robins_over_active_nodes() {
+        let topo = PoolTopology::new(4, PlacementMode::Striped);
+        assert_eq!(topo.active(), &[0, 1, 2, 3]);
+        for s in 0..32u64 {
+            assert_eq!(topo.node_for_stripe(s), (s % 4) as u16);
+        }
+    }
+
+    #[test]
+    fn rendezvous_mode_spreads_stripes_roughly_evenly() {
+        let topo = PoolTopology::new(4, PlacementMode::Rendezvous);
+        let mut counts: HashMap<u16, u64> = HashMap::new();
+        for s in 0..4_000u64 {
+            *counts.entry(topo.node_for_stripe(s)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "every node should own stripes");
+        for (&node, &count) in &counts {
+            assert!(
+                (600..=1_400).contains(&count),
+                "node {node} owns {count}/4000 stripes — badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn rendezvous_add_moves_only_a_fraction_of_stripes() {
+        let mut topo = PoolTopology::new(4, PlacementMode::Rendezvous);
+        let before = topo.assignments(4_000);
+        topo.add_node(4).unwrap();
+        let after = topo.assignments(4_000);
+        let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        // HRW should move ~1/5 of stripes, and only onto the new node.
+        assert!(moved > 400 && moved < 1_400, "moved {moved}/4000");
+        for (b, a) in before.iter().zip(&after) {
+            if a != b {
+                assert_eq!(*a, 4, "stripes may only move to the joining node");
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_drain_bump_the_epoch() {
+        let mut topo = PoolTopology::new(2, PlacementMode::Striped);
+        assert_eq!(topo.epoch(), 0);
+        topo.add_node(2).unwrap();
+        assert_eq!(topo.epoch(), 1);
+        assert!(topo.is_active(2));
+        topo.drain_node(0).unwrap();
+        assert_eq!(topo.epoch(), 2);
+        assert!(!topo.is_active(0));
+        assert_eq!(topo.active(), &[1, 2]);
+    }
+
+    #[test]
+    fn drained_nodes_receive_no_new_stripes() {
+        let mut topo = PoolTopology::new(4, PlacementMode::Striped);
+        topo.drain_node(1).unwrap();
+        for s in 0..64u64 {
+            assert_ne!(topo.node_for_stripe(s), 1);
+        }
+    }
+
+    #[test]
+    fn invalid_membership_changes_are_rejected() {
+        let mut topo = PoolTopology::new(2, PlacementMode::Striped);
+        assert!(matches!(topo.add_node(0), Err(DmError::Topology { .. })));
+        assert!(matches!(topo.drain_node(7), Err(DmError::Topology { .. })));
+        topo.drain_node(1).unwrap();
+        assert!(matches!(topo.drain_node(0), Err(DmError::Topology { .. })));
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut topo = PoolTopology::new(u16::try_from(MAX_POOL_NODES).unwrap(), PlacementMode::Striped);
+        assert!(matches!(
+            topo.add_node(MAX_POOL_NODES as u16),
+            Err(DmError::Topology { .. })
+        ));
+    }
+
+    #[test]
+    fn assignments_match_pointwise_mapping() {
+        for mode in [PlacementMode::Striped, PlacementMode::Rendezvous] {
+            let topo = PoolTopology::new(3, mode);
+            let assigned = topo.assignments(100);
+            for (s, &node) in assigned.iter().enumerate() {
+                assert_eq!(node, topo.node_for_stripe(s as u64));
+            }
+        }
+    }
+}

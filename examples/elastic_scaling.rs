@@ -3,9 +3,12 @@
 //!
 //! On disaggregated memory the number of client threads (compute) and the
 //! cache capacity (memory) are independent knobs: adding CPU cores raises
-//! throughput immediately and adding memory raises the hit rate without any
-//! data migration.  The Redis-like baseline has to reshard and migrate data,
-//! which delays the benefit by minutes (§2.1, Figures 1 and 13).
+//! throughput immediately, and memory nodes join or leave the pool *online*
+//! through [`ditto::dm::MemoryPool::add_node`] / `drain_node` — the resize
+//! epoch redirects new placements while resident data keeps serving, so no
+//! request ever waits on a migration.  The Redis-like baseline has to
+//! reshard and migrate data, which delays the benefit by minutes (§2.1,
+//! Figures 1 and 13).
 //!
 //! Run with: `cargo run --release --example elastic_scaling`
 
@@ -57,6 +60,41 @@ fn main() {
         let mops = ditto_throughput(&cache, &spec, clients);
         println!("  {clients:>3} client threads -> {mops:.2} Mops (takes effect immediately)");
     }
+
+    println!();
+    println!("== Ditto: memory nodes join and leave the pool online ==");
+    // A second cache on a message-bound 2-node pool: the RNIC message rate
+    // is the throughput ceiling, so growing the pool raises it.
+    let elastic = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(20_000),
+        DmConfig::default().with_memory_nodes(2).with_message_rate(150_000),
+    )
+    .expect("elastic cache construction");
+    run_clients(elastic.pool(), 8, |ctx| {
+        let mut client = elastic.client();
+        replay(
+            &mut client,
+            load.load_shard(ctx.index, ctx.total),
+            ReplayOptions::default(),
+        );
+    });
+    let window = |label: &str| {
+        let mops = ditto_throughput(&elastic, &spec, 8);
+        println!(
+            "  {label:<34} epoch={} nodes={} -> {mops:.3} Mops",
+            elastic.pool().resize_epoch(),
+            elastic.pool().topology().num_active(),
+        );
+    };
+    window("2 memory nodes (steady state)");
+    let added = elastic.pool().add_node().expect("add a third memory node");
+    window("add_node() -> serving immediately");
+    elastic.pool().drain_node(added).expect("drain the new node");
+    window("drain_node() -> resident data serves");
+    println!(
+        "  (clients validate their placement against the resize epoch; \
+         no migration, no downtime)"
+    );
 
     println!();
     println!("== Redis-like cluster: scaling 32 -> 64 -> 32 nodes ==");

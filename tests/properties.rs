@@ -32,6 +32,49 @@ fn remote_addr_pack_roundtrip() {
     }
 }
 
+/// The packed `RemoteAddr` and the slot pointer round-trip **every**
+/// memory-node id their encodings admit, and reject the rest with typed
+/// errors instead of panics.
+#[test]
+fn pointers_roundtrip_every_admissible_mn_id() {
+    let mut rng = rng(11);
+    // RemoteAddr packs a full 16-bit node id: exhaustive over all 65536.
+    for mn in 0..=u16::MAX {
+        let offset = rng.gen_range(0..(1u64 << 48));
+        let addr = RemoteAddr::try_new(mn, offset).expect("offset fits 48 bits");
+        assert_eq!(RemoteAddr::unpack(addr.pack()), addr, "mn={mn}");
+    }
+    // The slot pointer keeps 8 bits of node id: exhaustive over 0..256.
+    for mn in 0..256u16 {
+        let offset = rng.gen_range(0..(1u64 << 40)) & !63;
+        let field = AtomicField::try_for_object(rng.gen(), 1, RemoteAddr::new(mn, offset))
+            .expect("mn_id < 256 must be encodable");
+        let decoded = AtomicField::decode(field.encode());
+        assert_eq!(decoded.object_addr(), RemoteAddr::new(mn, offset), "mn={mn}");
+    }
+    // Everything beyond is a typed error, not a panic.
+    use ditto::cache::error::CacheError;
+    use ditto::dm::DmError;
+    for _ in 0..CASES {
+        let mn = rng.gen_range(256..=u16::MAX as u64) as u16;
+        let offset = rng.gen_range(0..(1u64 << 40));
+        assert_eq!(
+            AtomicField::try_for_object(0, 1, RemoteAddr::new(mn, offset)),
+            Err(CacheError::PointerOverflow { mn_id: mn, offset })
+        );
+        let bad_offset = (1u64 << 48) | rng.gen::<u64>();
+        assert!(matches!(
+            RemoteAddr::try_new(mn, bad_offset),
+            Err(DmError::AddressOverflow { .. })
+        ));
+        let slot_bad_offset = rng.gen_range((1u64 << 40)..(1u64 << 48));
+        assert!(matches!(
+            AtomicField::try_for_object(0, 1, RemoteAddr::new(0, slot_bad_offset)),
+            Err(CacheError::PointerOverflow { .. })
+        ));
+    }
+}
+
 /// The slot atomic field survives encode/decode for every valid input.
 #[test]
 fn atomic_field_roundtrip() {
