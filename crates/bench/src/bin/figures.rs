@@ -474,14 +474,17 @@ fn fig17(scale: f64) {
 }
 
 /// Figure 18: online elasticity — throughput while memory nodes are added
-/// to and drained from a serving pool.  Adding nodes needs no migration:
-/// the resize epoch redirects new placements and the ceiling rises as the
-/// cache churns onto the new NICs; draining keeps resident data readable
-/// while placements leave the node.
+/// to and drained from a serving pool, with the bucket-range migration
+/// protocol live-rebalancing the *existing* cache between measurement
+/// windows.  The timeline shows the migration dip and recovery, the
+/// hottest-NIC share falling as bucket ranges spread onto joiners, and a
+/// drained node's resident bytes falling to zero — at which point the node
+/// is decommissioned outright with `remove_node`.
 fn fig18(scale: f64) {
     let spec = ycsb_spec(scale);
-    // Capacity below the footprint so eviction churn keeps re-placing
-    // objects — that churn is what carries load onto added nodes.
+    // Capacity below the footprint so the run carries eviction pressure:
+    // relocating objects onto the shrunken active set must evict, which is
+    // the throughput dip the timeline is after.
     let capacity = spec.record_count * 6 / 10;
     let clients = 8usize;
     let dm = DmConfig::default()
@@ -491,17 +494,22 @@ fn fig18(scale: f64) {
         .expect("cache construction");
     elastic_load(&cache, &spec, clients);
     println!(
-        "YCSB-A (update churn re-places objects), {} clients, {} msg/s per NIC; pool resized online",
+        "YCSB-A, {} clients, {} msg/s per NIC; pool resized online with bucket-range migration",
         clients, ELASTIC_MESSAGE_RATE
     );
     println!(
-        "{:>26} {:>7} {:>10} {:>16}",
-        "phase", "epoch", "Mops", "hottest-NIC(%)"
+        "{:>30} {:>7} {:>10} {:>16} {:>14}",
+        "phase", "epoch", "Mops", "hottest-NIC(%)", "mn3 res(KiB)"
     );
     let phase = |name: &str, seed: u64| {
         let (mops, hottest, _) = elastic_window(&cache, &spec, YcsbWorkload::A, clients, seed);
+        let mn3 = if cache.pool().num_nodes() > 3 {
+            cache.pool().resident_object_bytes(3) / 1024
+        } else {
+            0
+        };
         println!(
-            "{name:>26} {:>7} {mops:>10.4} {:>16.1}",
+            "{name:>30} {:>7} {mops:>10.4} {:>16.1} {mn3:>14}",
             cache.pool().resize_epoch(),
             hottest * 100.0
         );
@@ -510,13 +518,25 @@ fn fig18(scale: f64) {
     cache.pool().add_node().expect("add node 2");
     cache.pool().add_node().expect("add node 3");
     phase("4 MNs (resize window)", 181);
-    phase("4 MNs (churned)", 182);
-    phase("4 MNs (churned +)", 183);
+    // Migrate the existing bucket ranges onto the joiners; lookup load
+    // spreads immediately instead of waiting for churn.
+    let grow = cache.pump_migration();
+    phase("4 MNs (migrated)", 182);
+    phase("4 MNs (steady)", 183);
     cache.pool().drain_node(3).expect("drain node 3");
     phase("3 MNs (node 3 draining)", 184);
+    let shrink = cache.pump_migration();
+    phase("3 MNs (node 3 empty)", 185);
+    let residual = cache.pool().resident_object_bytes(3);
     println!(
-        "(no data migration: resident objects keep serving; the epoch only redirects new placements)"
+        "grow: {} stripes / {} objects migrated; shrink: {} stripes / {} objects; node 3 residual {} B",
+        grow.stripes_moved, grow.objects_relocated,
+        shrink.stripes_moved, shrink.objects_relocated,
+        residual
     );
+    assert_eq!(residual, 0, "fig18 drain must empty node 3");
+    cache.pool().remove_node(3).expect("drained-to-empty node must be removable");
+    println!("(node 3 decommissioned: handle lookups now return DmError::NodeRemoved)");
 }
 
 /// Relative hit rates over the 33-workload corpus (box-plot data; the

@@ -154,6 +154,146 @@ fn run_sweep_point(nodes: u16, spec: &YcsbSpec, capacity: u64) -> SweepPoint {
     }
 }
 
+/// One batching mode's trip through the online-resize timeline (fig 18 on
+/// the ops-bench workload): steady → add_node (pump interleaved with
+/// serving) → migrated → drain (pump interleaved) → drained-to-empty.
+#[derive(Debug, Clone)]
+struct ResizeReport {
+    steady_ops_per_sec: f64,
+    migrating_ops_per_sec: f64,
+    migrated_ops_per_sec: f64,
+    draining_ops_per_sec: f64,
+    drained_ops_per_sec: f64,
+    grow_stripes: u64,
+    grow_objects: u64,
+    shrink_stripes: u64,
+    shrink_objects: u64,
+    drained_residual_bytes: u64,
+    drained_node_reads: u64,
+    total_reads: u64,
+}
+
+/// Replays one measured window (get-heavy with cache-aside fills),
+/// optionally pumping the migration every `pump_every` requests so the
+/// copy/relocation traffic lands *inside* the window.  Returns simulated
+/// ops/s stretched to the most-saturated resource plus the migration
+/// progress the in-window pumps made.
+fn resize_window(
+    cache: &ditto_core::DittoCache,
+    client: &mut ditto_core::DittoClient,
+    spec: &YcsbSpec,
+    seed: u64,
+    pump_every: Option<usize>,
+) -> (f64, ditto_core::cache::MigrationProgress) {
+    client.dm().publish_clock();
+    cache.pool().reset_stats();
+    client.dm().reset_clock();
+    let baseline_ns = client.dm().now_ns();
+    let mut value = vec![0u8; spec.value_size as usize];
+    let mut value_buf = Vec::with_capacity(spec.value_size as usize);
+    let mut pumped = ditto_core::cache::MigrationProgress::default();
+    for (i, request) in spec.run_requests_seeded(YcsbWorkload::C, seed).iter().enumerate() {
+        let key = request.key_bytes();
+        if !client.get_into(&key, &mut value_buf) {
+            value.fill(request.key as u8);
+            client.set(&key, &value);
+        }
+        if let Some(every) = pump_every {
+            if i % every == every - 1 {
+                let p = client.pump_migration(2);
+                pumped.stripes_moved += p.stripes_moved;
+                pumped.objects_relocated += p.objects_relocated;
+            }
+        }
+    }
+    let stats = cache.pool().stats();
+    let ops = stats.ops();
+    let client_seconds = (client.dm().now_ns() - baseline_ns) as f64 / 1e9;
+    let max_node_messages = stats
+        .node_snapshots()
+        .iter()
+        .map(|s| s.messages)
+        .max()
+        .unwrap_or(0);
+    let nic_seconds = max_node_messages as f64 / SWEEP_MESSAGE_RATE as f64;
+    (ops as f64 / client_seconds.max(nic_seconds).max(1e-12), pumped)
+}
+
+fn run_resize_mode(batching: bool, spec: &YcsbSpec, capacity: u64) -> ResizeReport {
+    let dm = DmConfig::default()
+        .with_memory_nodes(2)
+        .with_message_rate(SWEEP_MESSAGE_RATE);
+    let config = DittoConfig::with_capacity(capacity).with_doorbell_batching(batching);
+    let cache = DittoCache::with_dedicated_pool(config, dm).unwrap();
+    let mut client = cache.client();
+
+    let mut value = vec![0u8; spec.value_size as usize];
+    for key in 0..spec.record_count {
+        value.fill(key as u8);
+        client.set(&key.to_le_bytes(), &value);
+    }
+
+    let (steady, _) = resize_window(&cache, &mut client, spec, 300, None);
+    cache.pool().add_node().unwrap();
+    let (migrating, in_window_grow) = resize_window(&cache, &mut client, spec, 301, Some(256));
+    let grow = cache.pump_migration();
+    let (migrated, _) = resize_window(&cache, &mut client, spec, 302, None);
+    cache.pool().drain_node(1).unwrap();
+    let (draining, in_window_shrink) = resize_window(&cache, &mut client, spec, 303, Some(256));
+    let shrink = cache.pump_migration();
+    let (drained, _) = resize_window(&cache, &mut client, spec, 304, None);
+    let snaps = cache.pool().stats().node_snapshots();
+    let drained_node_reads = snaps[1].reads;
+    let total_reads: u64 = snaps.iter().map(|s| s.reads).sum();
+    ResizeReport {
+        steady_ops_per_sec: steady,
+        migrating_ops_per_sec: migrating,
+        migrated_ops_per_sec: migrated,
+        draining_ops_per_sec: draining,
+        drained_ops_per_sec: drained,
+        grow_stripes: in_window_grow.stripes_moved + grow.stripes_moved,
+        grow_objects: in_window_grow.objects_relocated + grow.objects_relocated,
+        shrink_stripes: in_window_shrink.stripes_moved + shrink.stripes_moved,
+        shrink_objects: in_window_shrink.objects_relocated + shrink.objects_relocated,
+        drained_residual_bytes: cache.pool().resident_object_bytes(1),
+        drained_node_reads,
+        total_reads,
+    }
+}
+
+fn resize_json(report: &ResizeReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"steady_ops_per_sec\": {:.1},\n",
+            "      \"migrating_ops_per_sec\": {:.1},\n",
+            "      \"migrated_ops_per_sec\": {:.1},\n",
+            "      \"draining_ops_per_sec\": {:.1},\n",
+            "      \"drained_ops_per_sec\": {:.1},\n",
+            "      \"grow_stripes\": {},\n",
+            "      \"grow_objects\": {},\n",
+            "      \"shrink_stripes\": {},\n",
+            "      \"shrink_objects\": {},\n",
+            "      \"drained_residual_bytes\": {},\n",
+            "      \"drained_node_reads\": {},\n",
+            "      \"total_reads\": {}\n",
+            "    }}"
+        ),
+        report.steady_ops_per_sec,
+        report.migrating_ops_per_sec,
+        report.migrated_ops_per_sec,
+        report.draining_ops_per_sec,
+        report.drained_ops_per_sec,
+        report.grow_stripes,
+        report.grow_objects,
+        report.shrink_stripes,
+        report.shrink_objects,
+        report.drained_residual_bytes,
+        report.drained_node_reads,
+        report.total_reads,
+    )
+}
+
 fn sweep_json(point: &SweepPoint) -> String {
     format!(
         concat!(
@@ -263,6 +403,33 @@ fn main() {
         sweep.push(point);
     }
 
+    // Online-resize window (fig 18 smoke): batched vs unbatched across an
+    // add → migrate → drain-to-empty timeline under the message-bound
+    // budget, gating that the drained node really reaches zero bytes.
+    let resize_spec = YcsbSpec {
+        record_count: spec.record_count,
+        request_count: (requests / 8).max(10_000),
+        ..YcsbSpec::default()
+    }
+    .with_seed(42);
+    eprintln!(
+        "ops_bench: resize window, {} requests/window, {} msg/s per NIC",
+        resize_spec.request_count, SWEEP_MESSAGE_RATE
+    );
+    let resize_batched = run_resize_mode(true, &resize_spec, capacity);
+    let resize_unbatched = run_resize_mode(false, &resize_spec, capacity);
+    for (name, r) in [("batched", &resize_batched), ("unbatched", &resize_unbatched)] {
+        eprintln!(
+            "  {name:<10} steady {:>8.0}  migrating {:>8.0}  migrated {:>8.0}  draining {:>8.0}  drained {:>8.0} ops/s  (residual {} B)",
+            r.steady_ops_per_sec,
+            r.migrating_ops_per_sec,
+            r.migrated_ops_per_sec,
+            r.draining_ops_per_sec,
+            r.drained_ops_per_sec,
+            r.drained_residual_bytes,
+        );
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -277,7 +444,11 @@ fn main() {
             "  }},\n",
             "  \"speedup\": {:.4},\n",
             "  \"mn_sweep_message_rate\": {},\n",
-            "  \"mn_sweep\": [\n    {}\n  ]\n",
+            "  \"mn_sweep\": [\n    {}\n  ],\n",
+            "  \"resize_window\": {{\n",
+            "    \"batched\": {},\n",
+            "    \"unbatched\": {}\n",
+            "  }}\n",
             "}}\n"
         ),
         requests,
@@ -288,6 +459,8 @@ fn main() {
         speedup,
         SWEEP_MESSAGE_RATE,
         sweep.iter().map(sweep_json).collect::<Vec<_>>().join(",\n    "),
+        resize_json(&resize_batched),
+        resize_json(&resize_unbatched),
     );
     std::fs::write("BENCH_ops.json", &json).expect("write BENCH_ops.json");
     println!("{json}");
@@ -312,6 +485,38 @@ fn main() {
             pair[1].nodes,
             pair[0].ops_per_sec,
             pair[1].ops_per_sec
+        );
+    }
+    // Resize-window gates, in both batching modes: (a) the pumped drain
+    // empties the node completely (and lookup READs leave it), and (b) the
+    // migrated pool's message-bound ceiling is higher than the pre-resize
+    // steady state — the bucket ranges really spread onto the joiner.
+    for (name, r) in [("batched", &resize_batched), ("unbatched", &resize_unbatched)] {
+        assert_eq!(
+            r.drained_residual_bytes, 0,
+            "{name}: drained node must reach zero resident object bytes"
+        );
+        assert!(
+            r.grow_stripes > 0 && r.shrink_stripes > 0,
+            "{name}: both resize phases must actually move stripes \
+             (grow {}, shrink {})",
+            r.grow_stripes,
+            r.shrink_stripes
+        );
+        // >= 95% of READ messages on active nodes: only the (tiny, fixed)
+        // history-shard counters still answer from the drained node; every
+        // bucket and object READ has left it.
+        assert!(
+            r.drained_node_reads * 20 < r.total_reads,
+            "{name}: drained node still serves {}/{} READs (must be < 5%)",
+            r.drained_node_reads,
+            r.total_reads
+        );
+        assert!(
+            r.migrated_ops_per_sec > r.steady_ops_per_sec * 1.1,
+            "{name}: migration must raise the message-bound ceiling: {:.0} -> {:.0}",
+            r.steady_ops_per_sec,
+            r.migrated_ops_per_sec
         );
     }
 }

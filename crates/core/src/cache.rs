@@ -9,7 +9,7 @@ use crate::slot::BUCKET_SIZE;
 use crate::stats::CacheStats;
 use ditto_algorithms::{registry, CacheAlgorithm};
 use ditto_dm::rpc::WEIGHT_SERVICE;
-use ditto_dm::{DmConfig, MemoryPool, RemoteAddr};
+use ditto_dm::{DmConfig, MemoryPool, MigrationEngine, RemoteAddr};
 use std::sync::Arc;
 
 /// A Ditto cache deployed on a disaggregated memory pool.
@@ -28,6 +28,18 @@ pub struct DittoCache {
     experts: Arc<Vec<Arc<dyn CacheAlgorithm>>>,
     stats: Arc<CacheStats>,
     weight_service: Arc<WeightService>,
+    migration: Arc<MigrationEngine>,
+}
+
+/// Progress made by one [`DittoCache::pump_migration`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationProgress {
+    /// Stripe moves committed by this pump.
+    pub stripes_moved: u64,
+    /// Objects relocated between nodes by this pump.
+    pub objects_relocated: u64,
+    /// Planned stripe moves still pending after this pump.
+    pub jobs_remaining: u64,
 }
 
 impl DittoCache {
@@ -41,6 +53,7 @@ impl DittoCache {
             experts.push(alg);
         }
         let table = SampleFriendlyHashTable::create(&pool, config.num_buckets())?;
+        let migration = Arc::new(MigrationEngine::new(&pool, Arc::clone(table.directory()))?);
         let history = EvictionHistory::create(&pool, config.history_len())?;
         let scratch = pool.reserve(4096)?;
         let weight_service = Arc::new(WeightService::new(experts.len(), config.learning_rate));
@@ -55,6 +68,7 @@ impl DittoCache {
             experts: Arc::new(experts),
             stats,
             weight_service,
+            migration,
         })
     }
 
@@ -71,8 +85,17 @@ impl DittoCache {
         let object_bytes = config.capacity_objects * config.avg_object_blocks() * 64;
         let nodes = dm.num_memory_nodes.max(1) as u64;
         // Margin (per node) for the history counters, the scratch page,
-        // allocator alignment and per-client segment remainders.
-        let margin = 64 * 1024 + object_bytes / nodes / 50;
+        // allocator alignment and per-client segment remainders.  Multi-node
+        // pools additionally get bucket-migration headroom: when a node
+        // drains, each survivor must be able to park its share of the
+        // drained node's stripes (vacated ranges are reused on later
+        // resizes, so the headroom does not compound).
+        let migration_headroom = if nodes > 1 {
+            (table_bytes / nodes).div_ceil(nodes - 1) + 8 * 1024
+        } else {
+            0
+        };
+        let margin = 64 * 1024 + object_bytes / nodes / 50 + migration_headroom;
         dm.memory_node_capacity = (table_bytes + object_bytes).div_ceil(nodes) + margin;
         Self::new(MemoryPool::new(dm), config)
     }
@@ -118,6 +141,41 @@ impl DittoCache {
         self.experts.iter().any(|e| e.uses_extension())
     }
 
+    /// The bucket-range migration engine (see `ditto_dm::migration`).
+    pub fn migration(&self) -> &Arc<MigrationEngine> {
+        &self.migration
+    }
+
+    /// Drives the online bucket-range migration until the plan for the
+    /// current resize epoch is complete: every reassigned stripe is copied,
+    /// its resident objects relocated, and the cutover committed; then any
+    /// node that left the active set is swept empty of remaining objects.
+    ///
+    /// Call this from a background thread (or between request batches)
+    /// after [`ditto_dm::MemoryPool::add_node`] /
+    /// [`ditto_dm::MemoryPool::drain_node`]; the budgeted variant for
+    /// incremental pumping is [`crate::DittoClient::pump_migration`].
+    pub fn pump_migration(&self) -> MigrationProgress {
+        let mut client = self.client();
+        let mut total = MigrationProgress::default();
+        loop {
+            let progress = client.pump_migration(usize::MAX);
+            total.stripes_moved += progress.stripes_moved;
+            total.objects_relocated += progress.objects_relocated;
+            total.jobs_remaining = progress.jobs_remaining;
+            // Keep pumping while a pass makes headway (relocations can
+            // transiently fail under memory pressure and succeed after the
+            // next evictions).  A pass that moved nothing ends the loop
+            // even with jobs pending — a blocked plan (destination out of
+            // space) is reported through `jobs_remaining` instead of
+            // spinning forever.
+            if progress.stripes_moved == 0 && progress.objects_relocated == 0 {
+                break;
+            }
+        }
+        total
+    }
+
     pub(crate) fn table(&self) -> SampleFriendlyHashTable {
         self.table.clone()
     }
@@ -128,6 +186,10 @@ impl DittoCache {
 
     pub(crate) fn scratch(&self) -> RemoteAddr {
         self.scratch
+    }
+
+    pub(crate) fn migration_arc(&self) -> Arc<MigrationEngine> {
+        Arc::clone(&self.migration)
     }
 
     pub(crate) fn config_arc(&self) -> Arc<DittoConfig> {

@@ -53,9 +53,14 @@ use crate::inline::InlineVec;
 use crate::object;
 use crate::slot::{AtomicField, Slot, BUCKET_SIZE, SLOTS_PER_BUCKET, SLOT_SIZE};
 use crate::stats::CacheStats;
+use crate::cache::MigrationProgress;
 use ditto_algorithms::{AccessContext, AccessKind, CacheAlgorithm, Metadata, EXT_WORDS};
+use ditto_dm::alloc::ClientAllocator;
+use ditto_dm::migration::WriteDisposition;
 use ditto_dm::rpc::WEIGHT_SERVICE;
-use ditto_dm::{DmClient, DmError, PoolTopology, RemoteAddr, StripedAllocator};
+use ditto_dm::{
+    DmClient, DmError, MigrationEngine, PoolTopology, RemoteAddr, StripedAllocator,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -101,6 +106,22 @@ pub struct DittoClient {
     /// the pool's resize epoch at every operation.
     topology: PoolTopology,
     topo_epoch: u64,
+    /// The bucket-range migration engine (shared with the cache); provides
+    /// the per-stripe locks of the dual-write protocol and the job queue
+    /// drained by [`DittoClient::pump_migration`].
+    engine: Arc<MigrationEngine>,
+    /// Stripe-directory version captured at the start of the current
+    /// operation; a bump since then means a cutover raced the operation
+    /// (client redirect rule 3 of `ditto_dm::migration`).
+    mig_token: u64,
+    /// Adaptive message-bound lookup hybrid: whether lookups currently
+    /// short-circuit after a primary-bucket hit (re-judged every
+    /// `adaptive_lookup_interval` operations from the pool's message
+    /// counters).
+    lookup_short_circuit: bool,
+    lookup_ops: u64,
+    last_decision_messages: Vec<u64>,
+    last_decision_clock_ns: u64,
     use_extension: bool,
     /// Set once an allocation has seen the pool full; under pressure the
     /// client evicts and recycles locally instead of paying a doomed
@@ -157,6 +178,12 @@ impl DittoClient {
             last_refresh_miss_count: vec![0; num_shards],
             topology,
             topo_epoch,
+            engine: cache.migration_arc(),
+            mig_token: 0,
+            lookup_short_circuit: false,
+            lookup_ops: 0,
+            last_decision_messages: Vec::new(),
+            last_decision_clock_ns: 0,
             mem_pressure: false,
             bucket_buf: vec![0u8; 2 * BUCKET_SIZE].into_boxed_slice(),
             sample_buf: vec![0u8; DittoConfig::MAX_SAMPLE_SIZE * SLOT_SIZE].into_boxed_slice(),
@@ -195,6 +222,8 @@ impl DittoClient {
     /// allocation-free.
     pub fn get_into(&mut self, key: &[u8], out: &mut Vec<u8>) -> bool {
         self.maybe_refresh_topology();
+        self.maybe_update_lookup_mode();
+        self.mig_token = self.table.directory().version();
         self.dm.begin_op();
         let hit = self.get_inner(key, out);
         self.dm.end_op();
@@ -222,6 +251,7 @@ impl DittoClient {
     /// Still panics on pool-sizing bugs (see [`DittoClient::set`]).
     pub fn try_set(&mut self, key: &[u8], value: &[u8]) -> CacheResult<()> {
         self.maybe_refresh_topology();
+        self.mig_token = self.table.directory().version();
         self.dm.begin_op();
         let result = self.set_inner(key, value);
         self.dm.end_op();
@@ -243,6 +273,112 @@ impl DittoClient {
             // failing allocation anyway.
             self.mem_pressure = false;
         }
+    }
+
+    /// Re-judges the adaptive lookup hybrid from the pool's message
+    /// counters: when the most-loaded RNIC would need longer to serve the
+    /// interval's messages than the clients took to issue them, the run is
+    /// message-bound and lookups switch to the short-circuiting mode
+    /// (primary bucket first, secondary only on a primary miss); otherwise
+    /// the batched both-bucket fetch wins on latency.
+    fn maybe_update_lookup_mode(&mut self) {
+        if !self.config.enable_adaptive_lookup {
+            return;
+        }
+        self.lookup_ops += 1;
+        if self.lookup_ops < self.config.adaptive_lookup_interval {
+            return;
+        }
+        self.lookup_ops = 0;
+        let snaps = self.dm.pool().stats().node_snapshots();
+        let now = self.dm.now_ns();
+        let max_delta = snaps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                s.messages
+                    .saturating_sub(self.last_decision_messages.get(i).copied().unwrap_or(0))
+            })
+            .max()
+            .unwrap_or(0);
+        let elapsed_ns = now.saturating_sub(self.last_decision_clock_ns).max(1);
+        let nic_ns =
+            max_delta.saturating_mul(1_000_000_000) / self.dm.config().mn_message_rate.max(1);
+        self.lookup_short_circuit = nic_ns > elapsed_ns;
+        self.last_decision_messages.clear();
+        self.last_decision_messages.extend(snaps.iter().map(|s| s.messages));
+        self.last_decision_clock_ns = now;
+    }
+
+    // ------------------------------------------------------------------
+    // Migration protocol (see `ditto_dm::migration`, client redirect rules)
+    // ------------------------------------------------------------------
+
+    /// CASes a slot's atomic field and confirms the write against the
+    /// stripe directory.  While the slot's stripe is mid-move the new value
+    /// is mirrored into the destination copy under the stripe lock; a CAS
+    /// that hit a copy which had already been cut over reports failure so
+    /// the caller redoes the operation against the stripe's live home.
+    fn slot_cas(&mut self, slot_addr: RemoteAddr, expected: u64, new: u64) -> bool {
+        if self.dm.cas(slot_addr, expected, new) != expected {
+            return false;
+        }
+        match self.table.directory().confirm_write(slot_addr, self.mig_token) {
+            WriteDisposition::Clean => true,
+            WriteDisposition::Stale => false,
+            WriteDisposition::Mirror { stripe, .. } => {
+                // Serialise against the engine's copy passes, then re-judge:
+                // the stripe may have committed while we waited for the lock.
+                let lock = self.engine.stripe_lock(stripe);
+                lock.acquire(&self.dm);
+                let verdict =
+                    match self.table.directory().confirm_write(slot_addr, self.mig_token) {
+                        WriteDisposition::Mirror { addr, .. } => {
+                            self.dm.write(addr, &new.to_le_bytes());
+                            true
+                        }
+                        WriteDisposition::Clean => true,
+                        WriteDisposition::Stale => false,
+                    };
+                lock.release(&self.dm);
+                verdict
+            }
+        }
+    }
+
+    /// Asynchronous write of slot metadata, mirrored (best-effort, without
+    /// the lock) into the destination copy while the stripe is mid-move;
+    /// the commit's reconcile pass squares away any stragglers.
+    fn write_slot_meta(&self, addr: RemoteAddr, bytes: &[u8]) {
+        self.dm.write_async(addr, bytes);
+        if let Some(mirror) = self.table.directory().mirror_of(addr) {
+            self.dm.write_async(mirror, bytes);
+        }
+    }
+
+    /// Canonical resident size of an object allocation (whole 64-byte
+    /// blocks, matching both the allocator's and the slot's accounting).
+    fn resident_bytes_for(size: usize) -> u64 {
+        ClientAllocator::blocks_for(size) * 64
+    }
+
+    /// Records an object allocation in the pool's per-node resident gauge.
+    fn note_object_alloc(&self, addr: RemoteAddr, size: usize) {
+        self.dm
+            .pool()
+            .stats()
+            .record_resident_alloc(addr.mn_id, Self::resident_bytes_for(size));
+    }
+
+    /// Frees an object's blocks and debits the resident gauge of the node
+    /// they lived on — the counter whose drained-node entry reaching zero
+    /// allows `MemoryPool::remove_node`.
+    fn free_object(&mut self, addr: RemoteAddr, size: usize) {
+        self.dm
+            .pool()
+            .stats()
+            .record_resident_free(addr.mn_id, Self::resident_bytes_for(size));
+        self.alloc.free(addr, size);
     }
 
     /// Flushes buffered state: pending frequency-counter increments and
@@ -276,28 +412,69 @@ impl DittoClient {
     /// With `enable_doorbell_batching = false` the *identical* verb sequence
     /// is issued one round trip at a time — the ablation isolates batching
     /// itself, with the verb pattern held constant.
+    ///
+    /// When the adaptive hybrid has judged the run *message-bound*
+    /// (`enable_adaptive_lookup`), a `Get` lookup instead short-circuits:
+    /// primary bucket first, secondary only when the key is not there —
+    /// one RNIC message saved per primary-bucket hit, at the cost of a
+    /// second round trip on the other lookups.
+    ///
+    /// Either way the lookup follows the migration redirect rules: bucket
+    /// addresses translate through the live stripe directory, and the
+    /// directory entries are re-checked after the fetch — a stripe cutover
+    /// that raced the read triggers a retry against the new addresses.
     fn search(
         &mut self,
         hash: u64,
         fp: u8,
         write: Option<(RemoteAddr, &[u8])>,
     ) -> (SearchSlots, Option<(RemoteAddr, Slot)>) {
-        let primary_addr = self.table.bucket_addr(self.table.primary_bucket(hash));
-        let secondary_addr = self.table.bucket_addr(self.table.secondary_bucket(hash));
-        let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
-        let mut batch = self.dm.batch();
-        if let Some((addr, data)) = write {
-            batch.write(addr, data);
+        let primary = self.table.primary_bucket(hash);
+        let secondary = self.table.secondary_bucket(hash);
+        // The piggybacked object WRITE of `Set` rides the first batch only;
+        // migration-redirect retries re-read the buckets alone.
+        let mut write = write;
+        for attempt in 0..MAX_RETRIES {
+            let last = attempt + 1 == MAX_RETRIES;
+            let ptok = self.table.bucket_entry_token(primary);
+            let stok = self.table.bucket_entry_token(secondary);
+            let primary_addr = self.table.bucket_addr(primary);
+            let secondary_addr = self.table.bucket_addr(secondary);
+            let short_circuit = self.lookup_short_circuit && write.is_none();
+            let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
+            let mut slots = SearchSlots::new();
+            if short_circuit {
+                self.dm.read_into(primary_addr, primary_buf);
+                SampleFriendlyHashTable::decode_slots(primary_addr, primary_buf, &mut slots);
+                if let Some(found) = Self::find_live(&slots, hash, fp) {
+                    if self.table.bucket_entry_token(primary) == ptok || last {
+                        return (slots, Some(found));
+                    }
+                    continue;
+                }
+                self.dm.read_into(secondary_addr, secondary_buf);
+                SampleFriendlyHashTable::decode_slots(secondary_addr, secondary_buf, &mut slots);
+            } else {
+                let mut batch = self.dm.batch();
+                if let Some((addr, data)) = write {
+                    batch.write(addr, data);
+                }
+                batch.read_into(primary_addr, primary_buf);
+                batch.read_into(secondary_addr, secondary_buf);
+                batch.execute_mode(self.config.enable_doorbell_batching);
+                SampleFriendlyHashTable::decode_slots(primary_addr, primary_buf, &mut slots);
+                SampleFriendlyHashTable::decode_slots(secondary_addr, secondary_buf, &mut slots);
+            }
+            write = None;
+            if (self.table.bucket_entry_token(primary) == ptok
+                && self.table.bucket_entry_token(secondary) == stok)
+                || last
+            {
+                let found = Self::find_live(&slots, hash, fp);
+                return (slots, found);
+            }
         }
-        batch.read_into(primary_addr, primary_buf);
-        batch.read_into(secondary_addr, secondary_buf);
-        batch.execute_mode(self.config.enable_doorbell_batching);
-
-        let mut slots = SearchSlots::new();
-        SampleFriendlyHashTable::decode_slots(primary_addr, primary_buf, &mut slots);
-        SampleFriendlyHashTable::decode_slots(secondary_addr, secondary_buf, &mut slots);
-        let found = Self::find_live(&slots, hash, fp);
-        (slots, found)
+        unreachable!("search returns on its last retry")
     }
 
     fn find_live(slots: &[(RemoteAddr, Slot)], hash: u64, fp: u8) -> Option<(RemoteAddr, Slot)> {
@@ -370,6 +547,20 @@ impl DittoClient {
             out.extend_from_slice(view.value);
             self.record_access(slot_addr, &slot, Some(&ext), AccessKind::Hit);
             self.stats.record_hit();
+            if self.config.enable_cooperative_migration
+                && !self.topology.is_active(slot.atomic.object_addr().mn_id)
+            {
+                // Cooperative migration: this hit's object lives on a
+                // drained node — re-place it onto an active one right now
+                // (the bytes are already in hand) instead of waiting for an
+                // update or the background pump.
+                let bytes = std::mem::take(&mut self.obj_buf);
+                let preferred = self
+                    .topology
+                    .alloc_node_for(self.table.stripe_of_bucket(self.table.primary_bucket(hash)));
+                self.relocate_object_bytes(slot_addr, &slot, &bytes[..obj_len], preferred);
+                self.obj_buf = bytes;
+            }
             return true;
         }
         self.stats.record_miss();
@@ -399,9 +590,9 @@ impl DittoClient {
         kind: AccessKind,
     ) {
         let now = self.dm.now_ns();
-        // Stateless information: a single asynchronous WRITE.
-        self.dm
-            .write_async(SampleFriendlyHashTable::last_ts_addr(slot_addr), &now.to_le_bytes());
+        // Stateless information: a single asynchronous WRITE (mirrored into
+        // the destination copy while the slot's stripe is mid-migration).
+        self.write_slot_meta(SampleFriendlyHashTable::last_ts_addr(slot_addr), &now.to_le_bytes());
         if !self.config.enable_sample_friendly_table {
             // Ablation: without the co-designed table the stateless fields are
             // scattered and need an additional write on the data path.
@@ -536,7 +727,7 @@ impl DittoClient {
             Err(e) => {
                 // The 48-bit slot pointer cannot name this address; release
                 // the memory and surface the typed error.
-                self.alloc.free(obj_addr, encoded.len());
+                self.free_object(obj_addr, encoded.len());
                 self.encode_buf = encoded;
                 return Err(e);
             }
@@ -577,7 +768,7 @@ impl DittoClient {
             // Persistent CAS interference; release the object memory so
             // nothing leaks.  The request is dropped, mirroring a failed
             // insert.
-            self.alloc.free(obj_addr, encoded.len());
+            self.free_object(obj_addr, encoded.len());
         }
         self.encode_buf = encoded;
         Ok(())
@@ -590,12 +781,17 @@ impl DittoClient {
         new_atomic: AtomicField,
     ) -> bool {
         let expected = slot.atomic.encode();
-        if self.dm.cas(slot_addr, expected, new_atomic.encode()) != expected {
+        if expected == new_atomic.encode() {
+            // Already installed — a migration cutover made a previous
+            // attempt look failed and the retry found its own object.
+            // Freeing "the old object" here would free the new one.
+            return true;
+        }
+        if !self.slot_cas(slot_addr, expected, new_atomic.encode()) {
             return false;
         }
         self.record_access(slot_addr, slot, None, AccessKind::Update);
-        self.alloc
-            .free(slot.atomic.object_addr(), slot.atomic.object_bytes() as usize);
+        self.free_object(slot.atomic.object_addr(), slot.atomic.object_bytes() as usize);
         true
     }
 
@@ -607,7 +803,7 @@ impl DittoClient {
         hash: u64,
     ) -> bool {
         let expected = observed.atomic.encode();
-        if self.dm.cas(slot_addr, expected, new_atomic.encode()) != expected {
+        if !self.slot_cas(slot_addr, expected, new_atomic.encode()) {
             return false;
         }
         self.write_fresh_metadata(slot_addr, hash);
@@ -621,8 +817,7 @@ impl DittoClient {
         buf[8..16].copy_from_slice(&now.to_le_bytes());
         buf[16..24].copy_from_slice(&now.to_le_bytes());
         buf[24..32].copy_from_slice(&1u64.to_le_bytes());
-        self.dm
-            .write_async(SampleFriendlyHashTable::hash_addr(slot_addr), &buf);
+        self.write_slot_meta(SampleFriendlyHashTable::hash_addr(slot_addr), &buf);
     }
 
     /// Picks the slot an insert should claim, preferring empty slots, then
@@ -674,12 +869,11 @@ impl DittoClient {
         let (victim_idx, bitmap, chosen) = self.select_victim(&candidates);
         let (victim_addr, victim) = candidates[victim_idx];
         let expected = victim.atomic.encode();
-        if self.dm.cas(victim_addr, expected, new_atomic.encode()) != expected {
+        if !self.slot_cas(victim_addr, expected, new_atomic.encode()) {
             return false;
         }
         self.notify_eviction(&candidates, victim_idx, bitmap);
-        self.alloc
-            .free(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
+        self.free_object(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
         self.write_fresh_metadata(victim_addr, hash);
         self.stats.record_bucket_eviction();
         self.stats.record_eviction(chosen);
@@ -699,6 +893,7 @@ impl DittoClient {
             // (e.g. after another client released segments).
             if self.mem_pressure && attempt % 8 != 7 {
                 if let Some(addr) = self.alloc.alloc_local_on(preferred, size) {
+                    self.note_object_alloc(addr, size);
                     return addr;
                 }
                 if !self.evict_once() {
@@ -707,7 +902,10 @@ impl DittoClient {
                 continue;
             }
             match self.alloc.alloc_on(&self.dm, preferred, size) {
-                Ok(addr) => return addr,
+                Ok(addr) => {
+                    self.note_object_alloc(addr, size);
+                    return addr;
+                }
                 Err(DmError::OutOfMemory { .. }) => {
                     self.mem_pressure = true;
                     self.evict_once();
@@ -799,10 +997,10 @@ impl DittoClient {
             self.counter_estimates[shard as usize] = new_counter;
             self.counters_known[shard as usize] = true;
             let hist_atomic = AtomicField::for_history(victim.atomic.fp, hist_id);
-            if self.dm.cas(victim_addr, expected, hist_atomic.encode()) != expected {
+            if !self.slot_cas(victim_addr, expected, hist_atomic.encode()) {
                 return false;
             }
-            self.dm.write_async(
+            self.write_slot_meta(
                 SampleFriendlyHashTable::insert_ts_addr(victim_addr),
                 &bitmap.to_le_bytes(),
             );
@@ -811,22 +1009,178 @@ impl DittoClient {
             // Ablation: maintain a separate remote FIFO queue and hash index
             // for the history (FAA on the queue tail, WRITE of the entry and
             // CAS into the index), then clear the slot.
-            if self.dm.cas(victim_addr, expected, 0) != expected {
+            if !self.slot_cas(victim_addr, expected, 0) {
                 return false;
             }
             self.dm.faa(self.scratch.add(16), 1);
             self.dm.write_async(self.scratch.add(24), &[0u8; 16]);
             let _ = self.dm.cas(self.scratch.add(40), 0, 0);
             self.stats.record_history_insert();
-        } else if self.dm.cas(victim_addr, expected, 0) != expected {
+        } else if !self.slot_cas(victim_addr, expected, 0) {
             return false;
         }
 
         self.notify_eviction(&candidates, victim_idx, bitmap);
-        self.alloc
-            .free(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
+        self.free_object(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
         self.stats.record_eviction(chosen);
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Online bucket-range migration (pump + relocation)
+    // ------------------------------------------------------------------
+
+    /// Drives the bucket-range migration: takes up to `max_stripes` planned
+    /// stripe moves through `Copying → DualRead → Committed`, relocating
+    /// each stripe's resident objects to the destination node in the
+    /// `DualRead` window, then — once the plan is drained — sweeps objects
+    /// that allocator fallback left on inactive nodes.  Safe to call from
+    /// any client at any time; `DittoCache::pump_migration` is the
+    /// run-to-completion wrapper.
+    pub fn pump_migration(&mut self, max_stripes: usize) -> MigrationProgress {
+        self.maybe_refresh_topology();
+        let engine = Arc::clone(&self.engine);
+        engine.maybe_replan();
+        let mut progress = MigrationProgress::default();
+        let mut budget = max_stripes;
+        while budget > 0 {
+            let Some(job) = engine.next_job() else { break };
+            budget -= 1;
+            self.mig_token = self.table.directory().version();
+            match engine.begin(&self.dm, &job) {
+                Ok(true) => {}
+                Ok(false) => continue, // stale job (superseded plan)
+                Err(_) => {
+                    // The destination cannot host the stripe yet: put the
+                    // job back so the plan stays visibly incomplete, and
+                    // stop this pump rather than spinning on it.
+                    engine.requeue_job(job);
+                    break;
+                }
+            }
+            self.relocate_stripe_objects(job.stripe, Some(job.src), job.dst, &mut progress);
+            if engine.commit(&self.dm, &job).is_ok() {
+                progress.stripes_moved += 1;
+            }
+            self.maybe_refresh_topology();
+        }
+        if engine.pending_jobs() == 0 && self.has_inactive_residue() {
+            // Allocator fallback may have placed objects on nodes that are
+            // now inactive even though their buckets never moved; sweep the
+            // whole table so a drained node really reaches zero bytes.
+            self.mig_token = self.table.directory().version();
+            for stripe in 0..self.table.num_stripes() as u64 {
+                let preferred = self.topology.alloc_node_for(stripe);
+                self.relocate_stripe_objects(stripe, None, preferred, &mut progress);
+            }
+        }
+        progress.jobs_remaining = engine.pending_jobs() as u64;
+        progress
+    }
+
+    /// Whether any inactive node still holds resident object bytes.
+    fn has_inactive_residue(&self) -> bool {
+        let stats = self.dm.pool().stats();
+        (0..self.dm.pool().num_nodes())
+            .any(|mn| !self.topology.is_active(mn) && stats.resident_bytes_on(mn) > 0)
+    }
+
+    /// Scans one stripe's buckets and re-places resident objects: those on
+    /// `moving_src` (the node the stripe is leaving) and those on inactive
+    /// nodes, preferring `preferred` as the new home.
+    fn relocate_stripe_objects(
+        &mut self,
+        stripe: u64,
+        moving_src: Option<u16>,
+        preferred: u16,
+        progress: &mut MigrationProgress,
+    ) {
+        let first = self.table.first_bucket_of_stripe(stripe);
+        let mut bytes = Vec::new();
+        for bucket in first..first + self.table.buckets_per_stripe() {
+            for (slot_addr, slot) in self.table.read_bucket(&self.dm, bucket) {
+                if !slot.atomic.is_object() {
+                    continue;
+                }
+                let node = slot.atomic.object_addr().mn_id;
+                if moving_src != Some(node) && self.topology.is_active(node) {
+                    continue;
+                }
+                let len = slot.atomic.object_bytes() as usize;
+                if bytes.len() < len {
+                    bytes.resize(len, 0);
+                }
+                self.dm.read_into(slot.atomic.object_addr(), &mut bytes[..len]);
+                if self.relocate_object_bytes(slot_addr, &slot, &bytes[..len], preferred) {
+                    progress.objects_relocated += 1;
+                }
+            }
+        }
+    }
+
+    /// Re-places one object whose encoded bytes are already in `bytes`:
+    /// allocates on an active node (evicting under memory pressure), writes
+    /// the bytes, swings the slot pointer with the migration-aware CAS and
+    /// releases the old blocks.
+    fn relocate_object_bytes(
+        &mut self,
+        slot_addr: RemoteAddr,
+        slot: &Slot,
+        bytes: &[u8],
+        preferred: u16,
+    ) -> bool {
+        let old_addr = slot.atomic.object_addr();
+        let len = bytes.len();
+        let Some(new_addr) = self.alloc_for_relocation(preferred, len) else {
+            return false;
+        };
+        if new_addr.mn_id == old_addr.mn_id {
+            // Nothing gained (only the old node had room); try again later.
+            self.free_object(new_addr, len);
+            return false;
+        }
+        let new_atomic =
+            match AtomicField::try_for_object(slot.atomic.fp, slot.atomic.size_class, new_addr) {
+                Ok(atomic) => atomic,
+                Err(_) => {
+                    self.free_object(new_addr, len);
+                    return false;
+                }
+            };
+        self.dm.write(new_addr, bytes);
+        if !self.slot_cas(slot_addr, slot.atomic.encode(), new_atomic.encode()) {
+            // The slot changed under us (eviction/update raced); back out.
+            self.free_object(new_addr, len);
+            return false;
+        }
+        self.free_object(old_addr, len);
+        self.dm
+            .pool()
+            .stats()
+            .record_migrated_object(Self::resident_bytes_for(len));
+        true
+    }
+
+    /// Allocation for a relocated object: active nodes only, evicting to
+    /// make room (capacity may genuinely have shrunk after a drain).
+    /// Returns `None` when space cannot be found — the object then stays
+    /// put until a later pump.
+    fn alloc_for_relocation(&mut self, preferred: u16, len: usize) -> Option<RemoteAddr> {
+        for _ in 0..64 {
+            match self.alloc.alloc_on(&self.dm, preferred, len) {
+                Ok(addr) => {
+                    self.note_object_alloc(addr, len);
+                    return Some(addr);
+                }
+                Err(DmError::OutOfMemory { .. }) => {
+                    if !self.evict_once() {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+        None
     }
 
     /// Evaluates every expert over the candidates and picks the victim of the
@@ -1295,6 +1649,197 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pump_migration_moves_stripes_and_drains_nodes_to_empty() {
+        let config = DittoConfig::with_capacity(2_000);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(2))
+                .unwrap();
+        let mut client = cache.client();
+        for i in 0..400u64 {
+            client.set(format!("key{i}").as_bytes(), format!("value{i}").as_bytes());
+        }
+        assert!(cache.pool().resident_object_bytes(1) > 0, "node 1 should hold objects");
+
+        // Drain node 1 and pump the migration to completion.
+        cache.pool().drain_node(1).unwrap();
+        let progress = cache.pump_migration();
+        assert!(progress.stripes_moved > 0, "half the stripes must move: {progress:?}");
+        assert!(progress.objects_relocated > 0);
+        assert_eq!(progress.jobs_remaining, 0);
+        assert!(cache.migration().is_idle());
+
+        // The drained node holds no buckets and no resident object bytes.
+        let table = cache.table();
+        for bucket in 0..table.num_buckets() {
+            assert_ne!(table.node_of_bucket(bucket), 1, "bucket {bucket} still on node 1");
+        }
+        assert_eq!(cache.pool().resident_object_bytes(1), 0);
+        assert!(cache.pool().stats().stripe_cutovers() > 0);
+        assert!(cache.pool().stats().migrated_bytes() > 0);
+
+        // Every value survived the migration byte-identically, and the
+        // emptied node can be decommissioned outright.
+        cache.pool().remove_node(1).unwrap();
+        cache.pool().reset_stats();
+        for i in 0..400u64 {
+            assert_eq!(
+                client.get(format!("key{i}").as_bytes()),
+                Some(format!("value{i}").into_bytes()),
+                "key{i} lost in migration"
+            );
+        }
+        // Lookup READ load has left the removed node entirely.
+        assert_eq!(cache.pool().stats().node_snapshots()[1].messages, 0);
+    }
+
+    #[test]
+    fn pump_migration_spreads_existing_buckets_onto_added_nodes() {
+        let config = DittoConfig::with_capacity(2_000);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(2))
+                .unwrap();
+        let mut client = cache.client();
+        for i in 0..200u64 {
+            client.set(format!("key{i}").as_bytes(), b"resident");
+        }
+        let new_node = cache.pool().add_node().unwrap();
+        let progress = cache.pump_migration();
+        assert!(progress.stripes_moved > 0);
+        // The joiner now owns a fair share of the bucket ranges, so lookup
+        // READ load spreads onto it without waiting for churn.
+        let table = cache.table();
+        let on_new = (0..table.num_buckets())
+            .filter(|&b| table.node_of_bucket(b) == new_node)
+            .count() as u64;
+        assert!(
+            on_new * 4 >= table.num_buckets(),
+            "only {on_new}/{} buckets moved to the joiner",
+            table.num_buckets()
+        );
+        for i in 0..200u64 {
+            assert_eq!(
+                client.get(format!("key{i}").as_bytes()).as_deref(),
+                Some(&b"resident"[..]),
+                "key{i} lost while rebalancing onto the joiner"
+            );
+        }
+    }
+
+    #[test]
+    fn cooperative_get_replaces_objects_off_drained_nodes() {
+        let config = DittoConfig::with_capacity(2_000);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(2))
+                .unwrap();
+        let mut client = cache.client();
+        let table = cache.table();
+        // Find a key whose object lands on node 1.
+        let key = (0..500u64)
+            .map(|i| format!("key{i}"))
+            .find(|k| {
+                client.set(k.as_bytes(), b"hot-value");
+                let hash = crate::hash::fnv1a64(k.as_bytes());
+                let fp = crate::hash::fingerprint(hash);
+                [table.primary_bucket(hash), table.secondary_bucket(hash)]
+                    .iter()
+                    .any(|&b| {
+                        table.read_bucket(&client.dm, b).iter().any(|(_, s)| {
+                            s.atomic.is_object()
+                                && s.atomic.fp == fp
+                                && s.hash == hash
+                                && s.atomic.object_addr().mn_id == 1
+                        })
+                    })
+            })
+            .expect("some key must land on node 1");
+        cache.pool().drain_node(1).unwrap();
+        // One Get relocates the hot object off the drained node (no pump).
+        assert_eq!(client.get(key.as_bytes()).as_deref(), Some(&b"hot-value"[..]));
+        let hash = crate::hash::fnv1a64(key.as_bytes());
+        let fp = crate::hash::fingerprint(hash);
+        let moved = [table.primary_bucket(hash), table.secondary_bucket(hash)]
+            .iter()
+            .any(|&b| {
+                table.read_bucket(&client.dm, b).iter().any(|(_, s)| {
+                    s.atomic.is_object()
+                        && s.atomic.fp == fp
+                        && s.hash == hash
+                        && s.atomic.object_addr().mn_id != 1
+                })
+            });
+        assert!(moved, "hot object should have been re-placed cooperatively");
+        assert!(cache.pool().stats().migrated_objects() > 0);
+        // The value still reads back afterwards.
+        assert_eq!(client.get(key.as_bytes()).as_deref(), Some(&b"hot-value"[..]));
+    }
+
+    #[test]
+    fn sets_during_the_dual_read_window_survive_the_cutover() {
+        let config = DittoConfig::with_capacity(2_000);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(2))
+                .unwrap();
+        let mut client = cache.client();
+        cache.pool().drain_node(1).unwrap();
+        let engine = std::sync::Arc::clone(cache.migration());
+        engine.maybe_replan();
+        let job = engine.next_job().expect("drain must plan moves");
+        assert!(engine.begin(client.dm(), &job).unwrap());
+
+        // Write keys while the stripe sits in DualRead: CASes hit the
+        // source and mirror into the destination under the stripe lock.
+        let table = cache.table();
+        let mut in_window = Vec::new();
+        for i in 0..300u64 {
+            let key = format!("window{i}");
+            let hash = crate::hash::fnv1a64(key.as_bytes());
+            client.set(key.as_bytes(), key.as_bytes());
+            if table.stripe_of_bucket(table.primary_bucket(hash)) == job.stripe {
+                in_window.push(key);
+            }
+        }
+        assert!(!in_window.is_empty(), "some key must map to the moving stripe");
+        engine.commit(client.dm(), &job).unwrap();
+
+        // After the cutover the writes are visible at the new home.
+        for key in &in_window {
+            assert_eq!(
+                client.get(key.as_bytes()),
+                Some(key.clone().into_bytes()),
+                "{key} lost across the DualRead window"
+            );
+        }
+        // Finish the drain cleanly for good measure.
+        cache.pump_migration();
+        assert_eq!(cache.pool().resident_object_bytes(1), 0);
+    }
+
+    #[test]
+    fn adaptive_lookup_short_circuits_only_when_message_bound() {
+        let run = |message_rate: u64| {
+            let mut config = DittoConfig::with_capacity(1_000).with_adaptive_lookup(true);
+            config.adaptive_lookup_interval = 8;
+            let dm = DmConfig::default().with_message_rate(message_rate);
+            let cache = DittoCache::with_dedicated_pool(config, dm).unwrap();
+            let mut client = cache.client();
+            client.set(b"probe", b"x");
+            // Enough lookups to trip at least one bottleneck re-evaluation.
+            for _ in 0..32 {
+                let _ = client.get(b"probe");
+            }
+            cache.pool().reset_stats();
+            let _ = client.get(b"probe");
+            cache.pool().stats().node_snapshots()[0].reads
+        };
+        // Pathologically message-bound: the hybrid short-circuits, so a
+        // primary-bucket hit costs 1 bucket READ + 1 object READ.
+        assert_eq!(run(1), 2, "message-bound lookups must skip the secondary bucket");
+        // Latency-bound (default RNIC budget): the batched both-bucket
+        // fetch stays, costing 2 bucket READs + 1 object READ.
+        assert_eq!(run(40_000_000), 3, "latency-bound lookups keep the batched fetch");
     }
 
     #[test]

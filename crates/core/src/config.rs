@@ -58,6 +58,24 @@ pub struct DittoConfig {
     /// Disabling it issues the identical verbs sequentially — the ablation
     /// measured by the ops microbenchmark.
     pub enable_doorbell_batching: bool,
+    /// Adaptive message-bound lookup hybrid: when enabled, each client
+    /// periodically judges the pool's bottleneck from the `PoolStats`
+    /// message counters.  While the observed bottleneck is the RNIC
+    /// *message rate* (not latency), `Get` lookups short-circuit — they
+    /// fetch the primary bucket first and pay the secondary READ only when
+    /// the key is not there — saving one message per primary-bucket hit.
+    /// While the run is latency-bound, lookups keep the batched
+    /// both-bucket fetch (one doorbell, lower latency).
+    pub enable_adaptive_lookup: bool,
+    /// Operations between bottleneck re-evaluations of the adaptive
+    /// lookup hybrid.
+    pub adaptive_lookup_interval: u64,
+    /// Cooperative migration on the data path: a `Get` that hits an object
+    /// resident on a *drained* (inactive) memory node re-places the object
+    /// onto an active node instead of waiting for an update or the
+    /// background migration pump — hot objects leave a draining node after
+    /// their first access.
+    pub enable_cooperative_migration: bool,
     /// How many misses may elapse before a client refreshes its cached copy
     /// of the global history counter.
     pub history_counter_refresh: u64,
@@ -86,6 +104,9 @@ impl Default for DittoConfig {
             enable_lazy_weight_update: true,
             enable_fc_cache: true,
             enable_doorbell_batching: true,
+            enable_adaptive_lookup: false,
+            adaptive_lookup_interval: 1024,
+            enable_cooperative_migration: true,
             history_counter_refresh: 256,
             alloc_segment_objects: 16,
         }
@@ -135,6 +156,13 @@ impl DittoConfig {
     /// style).
     pub fn with_doorbell_batching(mut self, enabled: bool) -> Self {
         self.enable_doorbell_batching = enabled;
+        self
+    }
+
+    /// Enables or disables the adaptive message-bound lookup hybrid
+    /// (builder style).
+    pub fn with_adaptive_lookup(mut self, enabled: bool) -> Self {
+        self.enable_adaptive_lookup = enabled;
         self
     }
 
@@ -198,6 +226,9 @@ impl DittoConfig {
         }
         if !(0.0..=10.0).contains(&self.learning_rate) {
             return Err("learning_rate out of range".to_string());
+        }
+        if self.enable_adaptive_lookup && self.adaptive_lookup_interval == 0 {
+            return Err("adaptive_lookup_interval must be at least 1".to_string());
         }
         Ok(())
     }

@@ -26,25 +26,32 @@
 //! boundary; [`SampleFriendlyHashTable::for_span_segments`] splits such a
 //! span into per-stripe segments that callers read in one doorbell batch.
 //!
-//! Stripes are fixed at creation time: adding a memory node later grows
-//! the pool's segment (value) capacity immediately, while bucket placement
-//! keeps its layout (no bucket migration on resize — matching the paper's
-//! claim that memory adjustments need no data movement).
+//! Stripe placement is **live**: every stripe's base address is held in a
+//! shared [`StripeDirectory`], so an online bucket-range migration (see
+//! `ditto_dm::migration`) can move a stripe to another memory node while
+//! clients keep serving.  Address translation loads the directory entry
+//! (one relaxed atomic in steady state); lookups re-check the entry after
+//! each bucket fetch and retry when a cutover raced them, and slot writes
+//! mirror into the destination copy while a stripe is mid-move.  Adding or
+//! draining a node therefore rebalances the *existing* lookup message
+//! load, not just future placements.
 
 use crate::hash::{fnv1a64, secondary_hash};
 use crate::inline::InlineVec;
 use crate::slot::{Slot, BUCKET_SIZE, SLOTS_PER_BUCKET, SLOT_SIZE};
 use ditto_dm::batch::MAX_BATCH;
+use ditto_dm::migration::StripeDirectory;
 use ditto_dm::{DmClient, DmResult, MemoryPool, RemoteAddr};
 use rand::Rng;
 use std::sync::Arc;
 
 /// Client-side descriptor of the remote hash table.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SampleFriendlyHashTable {
-    /// Base address of each stripe; stripe `s` holds the contiguous bucket
-    /// range `[s * buckets_per_stripe, (s + 1) * buckets_per_stripe)`.
-    stripes: Arc<[RemoteAddr]>,
+    /// Live base address of each stripe; stripe `s` holds the contiguous
+    /// bucket range `[s * buckets_per_stripe, (s + 1) * buckets_per_stripe)`
+    /// and may be migrated between nodes while the table serves.
+    stripes: Arc<StripeDirectory>,
     num_buckets: u64,
     buckets_per_stripe: u64,
 }
@@ -68,13 +75,14 @@ impl SampleFriendlyHashTable {
                 .next_power_of_two(),
         );
         let buckets_per_stripe = num_buckets / num_stripes;
-        let mut stripes = Vec::with_capacity(num_stripes as usize);
+        let stripe_bytes = buckets_per_stripe * BUCKET_SIZE as u64;
+        let mut bases = Vec::with_capacity(num_stripes as usize);
         for s in 0..num_stripes {
             let mn = topology.node_for_stripe(s);
-            stripes.push(pool.reserve_on(mn, buckets_per_stripe * BUCKET_SIZE as u64)?);
+            bases.push(pool.reserve_on(mn, stripe_bytes)?);
         }
         Ok(SampleFriendlyHashTable {
-            stripes: stripes.into(),
+            stripes: Arc::new(StripeDirectory::new(&bases, stripe_bytes)),
             num_buckets,
             buckets_per_stripe,
         })
@@ -83,8 +91,9 @@ impl SampleFriendlyHashTable {
     /// Re-creates a single-stripe descriptor from its parts (e.g. when
     /// sharing the table address across processes).
     pub fn from_parts(base: RemoteAddr, num_buckets: u64) -> Self {
+        let stripe_bytes = num_buckets * BUCKET_SIZE as u64;
         SampleFriendlyHashTable {
-            stripes: vec![base].into(),
+            stripes: Arc::new(StripeDirectory::new(&[base], stripe_bytes)),
             num_buckets,
             buckets_per_stripe: num_buckets,
         }
@@ -92,12 +101,25 @@ impl SampleFriendlyHashTable {
 
     /// Base address of the first stripe.
     pub fn base(&self) -> RemoteAddr {
-        self.stripes[0]
+        self.stripes.current(0)
     }
 
     /// Number of stripes the table is spread over.
     pub fn num_stripes(&self) -> usize {
-        self.stripes.len()
+        self.stripes.num_stripes()
+    }
+
+    /// The live stripe directory — the redirect layer that bucket-range
+    /// migration moves stripes through (see `ditto_dm::migration`).
+    pub fn directory(&self) -> &Arc<StripeDirectory> {
+        &self.stripes
+    }
+
+    /// The directory entry token of the stripe owning `bucket_idx`; readers
+    /// compare it before and after a bucket fetch to detect a cutover that
+    /// raced the lookup (client redirect rule 2).
+    pub fn bucket_entry_token(&self, bucket_idx: u64) -> u64 {
+        self.stripes.entry_token(self.stripe_of_bucket(bucket_idx))
     }
 
     /// Number of buckets.
@@ -135,12 +157,23 @@ impl SampleFriendlyHashTable {
         }
     }
 
-    /// Address of bucket `bucket_idx`.
+    /// Address of bucket `bucket_idx`, translated through the live stripe
+    /// directory (so a committed stripe migration redirects immediately).
     pub fn bucket_addr(&self, bucket_idx: u64) -> RemoteAddr {
         let bucket_idx = bucket_idx % self.num_buckets;
-        let stripe = (bucket_idx / self.buckets_per_stripe) as usize;
+        let stripe = bucket_idx / self.buckets_per_stripe;
         let within = bucket_idx % self.buckets_per_stripe;
-        self.stripes[stripe].add(within * BUCKET_SIZE as u64)
+        self.stripes.current(stripe).add(within * BUCKET_SIZE as u64)
+    }
+
+    /// Number of contiguous buckets per stripe.
+    pub fn buckets_per_stripe(&self) -> u64 {
+        self.buckets_per_stripe
+    }
+
+    /// First bucket index of stripe `stripe`.
+    pub fn first_bucket_of_stripe(&self, stripe: u64) -> u64 {
+        (stripe % self.stripes.num_stripes() as u64) * self.buckets_per_stripe
     }
 
     /// The memory node that owns bucket `bucket_idx` — the stripe-local

@@ -95,6 +95,10 @@ impl DmClient {
             cache.nodes = self.pool.nodes_snapshot();
             cache.epoch = epoch;
         }
+        // Decommissioned nodes stay reachable through cached handles:
+        // auxiliary structures (e.g. history-counter shards) may still
+        // reference them until they migrate too (see ROADMAP).  Only *new*
+        // handle lookups — `MemoryPool::node` — fail typed.
         cache
             .nodes
             .get(mn_id as usize)

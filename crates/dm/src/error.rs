@@ -66,6 +66,12 @@ pub enum DmError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The referenced memory node was decommissioned with
+    /// [`crate::MemoryPool::remove_node`] after draining to empty.
+    NodeRemoved {
+        /// Offending memory-node id.
+        mn_id: u16,
+    },
 }
 
 impl fmt::Display for DmError {
@@ -102,6 +108,9 @@ impl fmt::Display for DmError {
                 write!(f, "address mn{mn_id}+0x{offset:x} does not fit the packed encoding")
             }
             DmError::Topology { reason } => write!(f, "topology change rejected: {reason}"),
+            DmError::NodeRemoved { mn_id } => {
+                write!(f, "memory node {mn_id} was removed from the pool")
+            }
         }
     }
 }

@@ -26,6 +26,12 @@
 //!   onto the *active* nodes.  [`MemoryPool::add_node`] and
 //!   [`MemoryPool::drain_node`] resize the pool online; every change bumps
 //!   a resize epoch that clients validate their cached placement against.
+//! * [`migration`] carries a resize out on the *existing* data: a
+//!   per-stripe state machine (`Idle → Copying → DualRead → Committed`)
+//!   moves bucket ranges onto the nodes the new topology assigns while
+//!   clients keep serving, cutovers piggyback on the resize epoch, and a
+//!   drained node empties until [`MemoryPool::remove_node`] can
+//!   decommission it.
 //! * [`DmClient`] is a per-thread connection handle exposing the verb API and
 //!   a per-client simulated clock.
 //! * [`batch::BatchBuilder`] issues independent verbs as one RNIC doorbell
@@ -99,6 +105,7 @@ pub mod harness;
 pub mod histogram;
 pub mod lock;
 pub mod memnode;
+pub mod migration;
 pub mod pool;
 pub mod rpc;
 pub mod stats;
@@ -114,6 +121,9 @@ pub use harness::{run_clients, ClientCtx};
 pub use histogram::LatencyHistogram;
 pub use lock::{LockAcquisition, RemoteLock};
 pub use memnode::MemoryNode;
+pub use migration::{
+    MigrationEngine, MigrationPlanner, MigrationState, MoveJob, StripeDirectory, WriteDisposition,
+};
 pub use pool::MemoryPool;
 pub use rpc::{RpcHandler, RpcOutcome};
 pub use stats::{PoolStats, RunReport};

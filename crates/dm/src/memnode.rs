@@ -9,7 +9,7 @@ use crate::error::{DmError, DmResult};
 use crate::rpc::{RpcHandler, RpcOutcome};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Alignment (bytes) of all reservations and segment allocations.
@@ -26,6 +26,9 @@ pub struct MemoryNode {
     free_segments: Mutex<HashMap<u64, Vec<u64>>>,
     /// Registered controller services.
     handlers: RwLock<HashMap<u8, Arc<dyn RpcHandler>>>,
+    /// Set once the node is fully drained and removed from the pool; node
+    /// handle lookups then fail instead of silently serving.
+    decommissioned: AtomicBool,
 }
 
 impl MemoryNode {
@@ -44,7 +47,19 @@ impl MemoryNode {
             cursor: AtomicU64::new(ALLOC_ALIGN),
             free_segments: Mutex::new(HashMap::new()),
             handlers: RwLock::new(HashMap::new()),
+            decommissioned: AtomicBool::new(false),
         }
+    }
+
+    /// Marks the node as removed from the pool (see
+    /// [`crate::MemoryPool::remove_node`]).
+    pub(crate) fn decommission(&self) {
+        self.decommissioned.store(true, Ordering::Release);
+    }
+
+    /// Whether the node has been decommissioned.
+    pub fn is_decommissioned(&self) -> bool {
+        self.decommissioned.load(Ordering::Acquire)
     }
 
     /// This node's identifier.

@@ -1,0 +1,753 @@
+//! Online bucket-range migration: the live-resize protocol (§4.1's
+//! elasticity story, completed).
+//!
+//! `add_node`/`drain_node` only change where *new* placements land; the
+//! hash-table stripes — and therefore the lookup message load — keep their
+//! old layout.  This module adds the missing piece: a per-stripe migration
+//! state machine that moves bucket ranges (and, driven by the cache layer,
+//! their resident objects) onto the nodes the new topology assigns, while
+//! clients keep reading and writing the table.
+//!
+//! # The per-stripe state machine
+//!
+//! ```text
+//!   Idle ──begin──▶ Copying ──copy done──▶ DualRead ──commit──▶ Committed
+//!    ▲                                                              │
+//!    └────────────────────── next migration of the stripe ──────────┘
+//! ```
+//!
+//! * **Idle / Committed** — the stripe is fully live at the address in the
+//!   [`StripeDirectory`]; no forwarding marker is set.
+//! * **Copying** — the [`MigrationEngine`] holds the stripe's
+//!   [`RemoteLock`] and copies the bucket array source → destination.  The
+//!   directory already carries the *forwarding marker* (the destination
+//!   base), so writers that observe this state mirror their slot updates.
+//! * **DualRead** — the bulk copy is done and the lock released.  Readers
+//!   still read the **source** (it stays the single source of truth), but
+//!   re-check the stripe's directory entry after every bucket fetch and
+//!   retry when a cutover raced them.  Writers CAS the source and mirror
+//!   the new slot value to the destination under the stripe lock.  The
+//!   cache layer relocates the stripe's resident objects in this window.
+//! * **commit** — under the stripe lock the engine re-copies the stripe
+//!   (reconciling any write that raced the `Idle → Copying` transition),
+//!   flips the directory entry to the destination and bumps the pool's
+//!   resize epoch (the *migration epoch* piggybacks on it), so every
+//!   client revalidates its placement snapshot and follows the redirect.
+//!
+//! # Client redirect rules
+//!
+//! 1. Translate bucket indices through the [`StripeDirectory`] on every
+//!    access — one relaxed atomic load per bucket in steady state.
+//! 2. After reading buckets, re-check their stripes' directory entries;
+//!    if an entry changed (a cutover committed mid-lookup), retry the
+//!    lookup against the new addresses.
+//! 3. After a successful slot CAS, ask the directory where the write
+//!    belongs ([`StripeDirectory::confirm_write`]): `Clean` means done;
+//!    `Mirror` means replay the value at the forwarding address under the
+//!    stripe lock; `Stale` means the CAS hit a dead (already cut over)
+//!    copy — undo nothing, redo the operation against the new address.
+//!
+//! The [`MigrationPlanner`] diffs the directory's current placement
+//! against the topology's assignment (the *pending-assignment view* of
+//! [`PoolTopology::pending_reassignments`]) into per-stripe
+//! [`MoveJob`]s; draining a node plans every one of its stripes away, so
+//! pumping the plan to completion drains the node **to empty** and
+//! [`crate::MemoryPool::remove_node`] can decommission it.
+
+use crate::addr::RemoteAddr;
+use crate::client::DmClient;
+use crate::error::{DmError, DmResult};
+use crate::lock::RemoteLock;
+use crate::pool::MemoryPool;
+use crate::topology::PoolTopology;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Bytes copied per READ/WRITE pair while migrating a stripe.
+const COPY_CHUNK: usize = 4096;
+
+/// Simulated back-off of the per-stripe migration locks, in nanoseconds.
+const LOCK_BACKOFF_NS: u64 = 1_000;
+
+/// Migration state of one stripe (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MigrationState {
+    /// No migration in progress; the directory entry is authoritative.
+    Idle = 0,
+    /// The engine is bulk-copying the stripe under its lock.
+    Copying = 1,
+    /// Bulk copy done; readers use the source, writers dual-write.
+    DualRead = 2,
+    /// The last migration of this stripe committed; entry is authoritative.
+    Committed = 3,
+}
+
+impl MigrationState {
+    fn from_u8(raw: u8) -> Self {
+        match raw {
+            1 => MigrationState::Copying,
+            2 => MigrationState::DualRead,
+            3 => MigrationState::Committed,
+            _ => MigrationState::Idle,
+        }
+    }
+
+    /// Whether a move of the stripe is in flight (forwarding marker set).
+    pub fn is_moving(self) -> bool {
+        matches!(self, MigrationState::Copying | MigrationState::DualRead)
+    }
+}
+
+/// Where a just-performed slot write belongs, as judged by the directory
+/// (rule 3 of the client redirect rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteDisposition {
+    /// The address is current and its stripe is not moving: nothing to do.
+    Clean,
+    /// The stripe is moving: replay the write at the forwarding address
+    /// (under the stripe's lock, re-checking for a cutover).
+    Mirror {
+        /// The stripe being moved.
+        stripe: u64,
+        /// The same slot inside the destination copy.
+        addr: RemoteAddr,
+    },
+    /// The address belongs to no current stripe — the write landed on a
+    /// copy that was already cut over.  Redo the operation.
+    Stale,
+}
+
+/// The shared, epoch-versioned placement of every hash-table stripe.
+///
+/// Structures striped over the pool register their per-stripe base
+/// addresses here; data paths translate stripe indices through
+/// [`StripeDirectory::current`] (one relaxed atomic load) so a committed
+/// cutover redirects all clients at once.
+pub struct StripeDirectory {
+    /// Packed current base address per stripe.
+    entries: Vec<AtomicU64>,
+    /// Packed destination base while a move is in flight (0 = none) — the
+    /// per-stripe forwarding marker.
+    forwards: Vec<AtomicU64>,
+    /// Per-stripe [`MigrationState`].
+    states: Vec<AtomicU8>,
+    /// Number of stripes currently in `Copying`/`DualRead` (fast-path
+    /// short-circuit for the mirror checks).
+    active_moves: AtomicUsize,
+    /// Bumped on every committed cutover; clients capture it per operation
+    /// to detect redirects that raced them.
+    version: AtomicU64,
+    /// Directory version at which each stripe last committed a cutover.
+    /// Guards against range-reuse ABA: an address that *now* falls inside
+    /// some stripe's range is only trustworthy if that stripe has not cut
+    /// over since the writer captured its token — otherwise the range may
+    /// be a recycled parking slot that belonged to a different stripe.
+    committed_at: Vec<AtomicU64>,
+    stripe_bytes: u64,
+}
+
+impl StripeDirectory {
+    /// Creates a directory over the given per-stripe base addresses, each
+    /// `stripe_bytes` long.
+    pub fn new(bases: &[RemoteAddr], stripe_bytes: u64) -> Self {
+        StripeDirectory {
+            entries: bases.iter().map(|a| AtomicU64::new(a.pack())).collect(),
+            forwards: (0..bases.len()).map(|_| AtomicU64::new(0)).collect(),
+            states: (0..bases.len()).map(|_| AtomicU8::new(0)).collect(),
+            active_moves: AtomicUsize::new(0),
+            version: AtomicU64::new(0),
+            committed_at: (0..bases.len()).map(|_| AtomicU64::new(0)).collect(),
+            stripe_bytes,
+        }
+    }
+
+    /// Number of stripes tracked.
+    pub fn num_stripes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Size of one stripe in bytes.
+    pub fn stripe_bytes(&self) -> u64 {
+        self.stripe_bytes
+    }
+
+    /// The current base address of stripe `stripe`.
+    pub fn current(&self, stripe: u64) -> RemoteAddr {
+        RemoteAddr::unpack(self.entries[stripe as usize].load(Ordering::Acquire))
+    }
+
+    /// The node currently hosting stripe `stripe`.
+    pub fn current_node(&self, stripe: u64) -> u16 {
+        self.current(stripe).mn_id
+    }
+
+    /// The raw packed entry of stripe `stripe` — the token readers compare
+    /// before and after a bucket fetch (redirect rule 2).
+    pub fn entry_token(&self, stripe: u64) -> u64 {
+        self.entries[stripe as usize].load(Ordering::Acquire)
+    }
+
+    /// The migration state of stripe `stripe`.
+    pub fn state(&self, stripe: u64) -> MigrationState {
+        MigrationState::from_u8(self.states[stripe as usize].load(Ordering::Acquire))
+    }
+
+    /// The forwarding marker of stripe `stripe`, if a move is in flight.
+    pub fn forward(&self, stripe: u64) -> Option<RemoteAddr> {
+        let raw = self.forwards[stripe as usize].load(Ordering::Acquire);
+        (raw != 0).then(|| RemoteAddr::unpack(raw))
+    }
+
+    /// Number of stripes currently moving.
+    pub fn active_moves(&self) -> usize {
+        self.active_moves.load(Ordering::Acquire)
+    }
+
+    /// The cutover version: bumped on every commit.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Starts a move of `stripe` to `dst_base` (state → `Copying`).
+    pub fn begin_move(&self, stripe: u64, dst_base: RemoteAddr) {
+        self.forwards[stripe as usize].store(dst_base.pack(), Ordering::Release);
+        self.states[stripe as usize].store(MigrationState::Copying as u8, Ordering::Release);
+        self.active_moves.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Transitions `stripe` from `Copying` to `DualRead`.
+    pub fn enter_dual_read(&self, stripe: u64) {
+        self.states[stripe as usize].store(MigrationState::DualRead as u8, Ordering::Release);
+    }
+
+    /// Commits the move of `stripe`: the forwarding address becomes the
+    /// entry, the marker clears, state → `Committed`, version bumps.
+    pub fn commit(&self, stripe: u64) {
+        let idx = stripe as usize;
+        let dst = self.forwards[idx].swap(0, Ordering::AcqRel);
+        debug_assert_ne!(dst, 0, "commit without begin_move");
+        self.entries[idx].store(dst, Ordering::Release);
+        self.states[idx].store(MigrationState::Committed as u8, Ordering::Release);
+        self.active_moves.fetch_sub(1, Ordering::AcqRel);
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        self.committed_at[idx].store(version, Ordering::Release);
+    }
+
+    /// The stripe whose *current* range contains `addr`, if any.
+    fn locate(&self, addr: RemoteAddr) -> Option<u64> {
+        self.entries.iter().position(|e| {
+            let base = RemoteAddr::unpack(e.load(Ordering::Acquire));
+            base.mn_id == addr.mn_id
+                && addr.offset >= base.offset
+                && addr.offset < base.offset + self.stripe_bytes
+        }).map(|i| i as u64)
+    }
+
+    /// Best-effort mirror address for a metadata write to `addr`: the same
+    /// offset inside the destination copy when the containing stripe is
+    /// moving, `None` otherwise.  One atomic load in steady state.
+    pub fn mirror_of(&self, addr: RemoteAddr) -> Option<RemoteAddr> {
+        if self.active_moves.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let stripe = self.locate(addr)?;
+        if !self.state(stripe).is_moving() {
+            return None;
+        }
+        let forward = self.forward(stripe)?;
+        let base = self.current(stripe);
+        Some(forward.add(addr.offset - base.offset))
+    }
+
+    /// Judges a just-performed slot write at `addr` (redirect rule 3).
+    /// `token` is the directory version captured when the operation
+    /// computed its addresses; a version bump since then means a cutover
+    /// raced the operation and the address must be re-validated.
+    pub fn confirm_write(&self, addr: RemoteAddr, token: u64) -> WriteDisposition {
+        let moves = self.active_moves.load(Ordering::Acquire);
+        if moves == 0 && self.version() == token {
+            return WriteDisposition::Clean;
+        }
+        let Some(stripe) = self.locate(addr) else {
+            // No current stripe contains the address: the write hit a copy
+            // that has already been cut over.
+            return WriteDisposition::Stale;
+        };
+        if self.committed_at[stripe as usize].load(Ordering::Acquire) > token {
+            // The containing stripe cut over after the writer captured its
+            // token: `addr` may be a recycled parking range that belonged
+            // to a *different* stripe when the operation started (ABA), so
+            // the write cannot be trusted — redo the operation.
+            return WriteDisposition::Stale;
+        }
+        if !self.state(stripe).is_moving() {
+            return WriteDisposition::Clean;
+        }
+        match self.forward(stripe) {
+            Some(forward) => {
+                let base = self.current(stripe);
+                WriteDisposition::Mirror { stripe, addr: forward.add(addr.offset - base.offset) }
+            }
+            None => WriteDisposition::Clean,
+        }
+    }
+}
+
+/// One planned stripe move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveJob {
+    /// Global stripe index.
+    pub stripe: u64,
+    /// Node the stripe lives on when the job was planned.
+    pub src: u16,
+    /// Node the topology assigns the stripe to.
+    pub dst: u16,
+}
+
+/// Diffs current stripe placement against a topology into [`MoveJob`]s.
+pub struct MigrationPlanner;
+
+impl MigrationPlanner {
+    /// Plans the moves that reconcile `dir`'s current placement with
+    /// `topology`'s assignment.
+    pub fn plan(dir: &StripeDirectory, topology: &PoolTopology) -> Vec<MoveJob> {
+        topology
+            .pending_reassignments(dir.num_stripes() as u64, |s| dir.current_node(s))
+            .into_iter()
+            .map(|r| MoveJob { stripe: r.stripe, src: r.from, dst: r.to })
+            .collect()
+    }
+}
+
+/// Drives planned [`MoveJob`]s through the per-stripe state machine.
+///
+/// The engine owns one [`RemoteLock`] word per stripe (reserved on node 0)
+/// and a job queue refreshed from the [`MigrationPlanner`] whenever the
+/// pool's resize epoch moves.  [`MigrationEngine::begin`] bulk-copies a
+/// stripe into `DualRead`; the cache layer then relocates the stripe's
+/// resident objects; [`MigrationEngine::commit`] reconciles and cuts over.
+/// Destination ranges come from per-node **stripe parking**: pre-reserved
+/// at engine creation (before object segments run the arena to capacity)
+/// and refilled with every vacated source range, so repeated resizes —
+/// even of a long-full node — neither leak arena nor fail for space.
+pub struct MigrationEngine {
+    pool: MemoryPool,
+    dir: Arc<StripeDirectory>,
+    /// Base of the per-stripe lock words.
+    lock_base: RemoteAddr,
+    /// Pending stripe moves (drained by pumps, possibly concurrently).
+    jobs: Mutex<VecDeque<MoveJob>>,
+    /// Resize epoch the current plan was computed against.
+    planned_epoch: AtomicU64,
+    /// Per-node pool of stripe-sized parking ranges: pre-reserved at
+    /// creation (before object allocations can eat the arena) and refilled
+    /// with every vacated source range, so incoming stripes always have a
+    /// home even on a node that has long since run its arena to capacity.
+    parking: Mutex<HashMap<u16, Vec<RemoteAddr>>>,
+}
+
+impl MigrationEngine {
+    /// Creates an engine for the stripes in `dir`: reserves the per-stripe
+    /// lock words plus, on every initially-active node, enough stripe
+    /// parking to absorb one drained peer's share of the bucket ranges.
+    /// Reserving the parking *up front* matters — once the cache warms up,
+    /// object segments run the bump arena to capacity and a drain would
+    /// find no room for the incoming stripes.
+    pub fn new(pool: &MemoryPool, dir: Arc<StripeDirectory>) -> DmResult<Self> {
+        let lock_base = pool.reserve(dir.num_stripes() as u64 * 8)?;
+        let mut parking: HashMap<u16, Vec<RemoteAddr>> = HashMap::new();
+        let topology = pool.topology();
+        let nodes = topology.num_active() as u64;
+        if nodes > 1 {
+            let slots = (dir.num_stripes() as u64)
+                .div_ceil(nodes)
+                .div_ceil(nodes - 1);
+            for &mn in topology.active() {
+                let lot = parking.entry(mn).or_default();
+                for _ in 0..slots {
+                    lot.push(pool.reserve_on(mn, dir.stripe_bytes())?);
+                }
+            }
+        }
+        Ok(MigrationEngine {
+            pool: pool.clone(),
+            dir,
+            lock_base,
+            jobs: Mutex::new(VecDeque::new()),
+            planned_epoch: AtomicU64::new(u64::MAX),
+            parking: Mutex::new(parking),
+        })
+    }
+
+    /// The stripe directory the engine migrates.
+    pub fn directory(&self) -> &Arc<StripeDirectory> {
+        &self.dir
+    }
+
+    /// The [`RemoteLock`] guarding stripe `stripe`.
+    pub fn stripe_lock(&self, stripe: u64) -> RemoteLock {
+        RemoteLock::new(self.lock_base.add(stripe * 8), LOCK_BACKOFF_NS)
+    }
+
+    /// Re-plans against the pool's current topology if the resize epoch
+    /// moved since the last plan.  Returns the number of pending jobs.
+    pub fn maybe_replan(&self) -> usize {
+        let epoch = self.pool.resize_epoch();
+        if self.planned_epoch.swap(epoch, Ordering::AcqRel) == epoch {
+            return self.pending_jobs();
+        }
+        self.replan()
+    }
+
+    /// Unconditionally re-plans against the pool's current topology,
+    /// replacing the pending queue.  Returns the number of pending jobs.
+    pub fn replan(&self) -> usize {
+        let topology = self.pool.topology();
+        self.planned_epoch.store(topology.epoch(), Ordering::Release);
+        let plan = MigrationPlanner::plan(&self.dir, &topology);
+        let mut jobs = self.jobs.lock();
+        jobs.clear();
+        jobs.extend(plan);
+        jobs.len()
+    }
+
+    /// Number of planned stripe moves not yet taken by a pump.
+    pub fn pending_jobs(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
+    /// Takes the next planned move, if any.
+    pub fn next_job(&self) -> Option<MoveJob> {
+        self.jobs.lock().pop_front()
+    }
+
+    /// Returns a taken job to the front of the queue — used when a pump
+    /// cannot run it right now (e.g. the destination has no room yet), so
+    /// the plan keeps reporting the stripe as pending instead of silently
+    /// abandoning it.
+    pub fn requeue_job(&self, job: MoveJob) {
+        self.jobs.lock().push_front(job);
+    }
+
+    /// Whether all planned migration work has been consumed.
+    pub fn is_idle(&self) -> bool {
+        self.pending_jobs() == 0 && self.dir.active_moves() == 0
+    }
+
+    /// Runs `job` up to `DualRead`: reserves (or reuses) the destination
+    /// range, bulk-copies the bucket array under the stripe lock and sets
+    /// the forwarding marker.  Returns `false` without side effects when
+    /// the job is stale (the stripe moved or is already moving — e.g. a
+    /// plan superseded by a newer resize).
+    pub fn begin(&self, client: &DmClient, job: &MoveJob) -> DmResult<bool> {
+        let src_base = self.dir.current(job.stripe);
+        if src_base.mn_id != job.src
+            || job.src == job.dst
+            || self.dir.state(job.stripe).is_moving()
+        {
+            return Ok(false);
+        }
+        let dst_base = self.home_on(job.dst)?;
+        let lock = self.stripe_lock(job.stripe);
+        lock.acquire(client);
+        self.dir.begin_move(job.stripe, dst_base);
+        self.copy_stripe(client, src_base, dst_base);
+        self.dir.enter_dual_read(job.stripe);
+        lock.release(client);
+        Ok(true)
+    }
+
+    /// Commits `job`: under the stripe lock, re-copies the stripe
+    /// (reconciling writes that raced the `Copying` transition), flips the
+    /// directory entry, remembers the vacated source range for reuse and
+    /// piggybacks the cutover on the pool's resize epoch.
+    pub fn commit(&self, client: &DmClient, job: &MoveJob) -> DmResult<()> {
+        let lock = self.stripe_lock(job.stripe);
+        lock.acquire(client);
+        let src_base = self.dir.current(job.stripe);
+        let dst_base = self.dir.forward(job.stripe).ok_or(DmError::Topology {
+            reason: format!("commit of stripe {} without begin", job.stripe),
+        })?;
+        self.copy_stripe(client, src_base, dst_base);
+        self.dir.commit(job.stripe);
+        lock.release(client);
+        self.parking
+            .lock()
+            .entry(src_base.mn_id)
+            .or_default()
+            .push(src_base);
+        self.pool.stats().record_stripe_cutover();
+        self.pool.bump_resize_epoch();
+        Ok(())
+    }
+
+    /// Convenience: begin + commit with no object relocation in between
+    /// (bucket arrays only).  Returns `false` for stale jobs.
+    pub fn run_job(&self, client: &DmClient, job: &MoveJob) -> DmResult<bool> {
+        if !self.begin(client, job)? {
+            return Ok(false);
+        }
+        self.commit(client, job)?;
+        Ok(true)
+    }
+
+    /// A destination range for a stripe on `node`: a parked range (the
+    /// pre-reserved lot or a previously vacated home) when one exists,
+    /// otherwise a fresh reservation (e.g. on a just-added, still-empty
+    /// node).
+    fn home_on(&self, node: u16) -> DmResult<RemoteAddr> {
+        if let Some(addr) = self.parking.lock().get_mut(&node).and_then(Vec::pop) {
+            return Ok(addr);
+        }
+        self.pool.reserve_on(node, self.dir.stripe_bytes())
+    }
+
+    /// Chunked copy of one stripe's bucket array `src` → `dst`.
+    fn copy_stripe(&self, client: &DmClient, src: RemoteAddr, dst: RemoteAddr) {
+        let total = self.dir.stripe_bytes();
+        let mut buf = vec![0u8; COPY_CHUNK.min(total as usize)];
+        let mut copied = 0u64;
+        while copied < total {
+            let take = ((total - copied) as usize).min(COPY_CHUNK);
+            client.read_into(src.add(copied), &mut buf[..take]);
+            client.write(dst.add(copied), &buf[..take]);
+            copied += take as u64;
+        }
+        self.pool.stats().record_migrated_bytes(total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DmConfig;
+
+    fn striped_pool(nodes: u16) -> MemoryPool {
+        MemoryPool::new(DmConfig::small().with_memory_nodes(nodes))
+    }
+
+    /// Reserves `n` stripes of `bytes` each, placed by the pool topology.
+    fn make_directory(pool: &MemoryPool, n: u64, bytes: u64) -> Arc<StripeDirectory> {
+        let topology = pool.topology();
+        let bases: Vec<RemoteAddr> = (0..n)
+            .map(|s| pool.reserve_on(topology.node_for_stripe(s), bytes).unwrap())
+            .collect();
+        Arc::new(StripeDirectory::new(&bases, bytes))
+    }
+
+    #[test]
+    fn directory_translates_and_tracks_state() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 4, 256);
+        assert_eq!(dir.num_stripes(), 4);
+        assert_eq!(dir.current_node(0), 0);
+        assert_eq!(dir.current_node(1), 1);
+        assert_eq!(dir.state(2), MigrationState::Idle);
+        assert_eq!(dir.forward(2), None);
+        assert_eq!(dir.active_moves(), 0);
+
+        let dst = pool.reserve_on(0, 256).unwrap();
+        dir.begin_move(1, dst);
+        assert_eq!(dir.state(1), MigrationState::Copying);
+        assert_eq!(dir.forward(1), Some(dst));
+        assert_eq!(dir.active_moves(), 1);
+        // The entry still names the source until commit.
+        assert_eq!(dir.current_node(1), 1);
+        dir.enter_dual_read(1);
+        assert_eq!(dir.state(1), MigrationState::DualRead);
+        let v = dir.version();
+        dir.commit(1);
+        assert_eq!(dir.state(1), MigrationState::Committed);
+        assert_eq!(dir.current(1), dst);
+        assert_eq!(dir.forward(1), None);
+        assert_eq!(dir.active_moves(), 0);
+        assert_eq!(dir.version(), v + 1);
+    }
+
+    #[test]
+    fn mirror_of_maps_only_moving_stripes() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 2, 256);
+        let in_stripe0 = dir.current(0).add(40);
+        assert_eq!(dir.mirror_of(in_stripe0), None, "steady state mirrors nothing");
+
+        let dst = pool.reserve_on(0, 256).unwrap();
+        dir.begin_move(1, dst);
+        let in_stripe1 = dir.current(1).add(72);
+        assert_eq!(dir.mirror_of(in_stripe1), Some(dst.add(72)));
+        // The non-moving stripe still mirrors nothing.
+        assert_eq!(dir.mirror_of(in_stripe0), None);
+        dir.commit(1);
+        assert_eq!(dir.mirror_of(dir.current(1).add(72)), None);
+    }
+
+    #[test]
+    fn confirm_write_detects_mirrors_and_stale_copies() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 2, 256);
+        let token = dir.version();
+        let addr = dir.current(1).add(8);
+        assert_eq!(dir.confirm_write(addr, token), WriteDisposition::Clean);
+
+        let dst = pool.reserve_on(0, 256).unwrap();
+        dir.begin_move(1, dst);
+        dir.enter_dual_read(1);
+        assert_eq!(
+            dir.confirm_write(addr, token),
+            WriteDisposition::Mirror { stripe: 1, addr: dst.add(8) }
+        );
+        dir.commit(1);
+        // The old source address belongs to no current stripe any more.
+        assert_eq!(dir.confirm_write(addr, token), WriteDisposition::Stale);
+        // The new home is clean once the token catches up.
+        assert_eq!(dir.confirm_write(dst.add(8), dir.version()), WriteDisposition::Clean);
+    }
+
+    #[test]
+    fn confirm_write_rejects_recycled_ranges_aba() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 2, 256);
+        // A writer captures its token and a slot address inside stripe 1,
+        // then stalls.
+        let token = dir.version();
+        let stalled_addr = dir.current(1).add(16);
+        let old_range_of_1 = dir.current(1);
+
+        // Stripe 1 moves away; its vacated range is recycled as stripe 0's
+        // new home (exactly what the parking pool does).
+        let dst = pool.reserve_on(0, 256).unwrap();
+        dir.begin_move(1, dst);
+        dir.commit(1);
+        dir.begin_move(0, old_range_of_1);
+        dir.commit(0);
+
+        // The stalled writer's address now falls inside stripe 0's live
+        // range, but ownership changed after the token was captured: the
+        // write must be judged Stale, not Clean.
+        assert_eq!(dir.confirm_write(stalled_addr, token), WriteDisposition::Stale);
+        // A fresh operation against the same range is Clean.
+        assert_eq!(
+            dir.confirm_write(stalled_addr, dir.version()),
+            WriteDisposition::Clean
+        );
+    }
+
+    #[test]
+    fn planner_diffs_directory_against_topology() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 8, 256);
+        assert!(MigrationPlanner::plan(&dir, &pool.topology()).is_empty());
+
+        pool.add_node().unwrap();
+        let plan = MigrationPlanner::plan(&dir, &pool.topology());
+        assert!(!plan.is_empty());
+        for job in &plan {
+            assert_eq!(job.src, dir.current_node(job.stripe));
+            assert_eq!(job.dst, pool.topology().node_for_stripe(job.stripe));
+            assert_ne!(job.src, job.dst);
+        }
+
+        // Draining a node plans every one of its stripes away.
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 8, 256);
+        pool.drain_node(1).unwrap();
+        let plan = MigrationPlanner::plan(&dir, &pool.topology());
+        assert_eq!(plan.len(), 4);
+        assert!(plan.iter().all(|j| j.src == 1 && j.dst == 0));
+    }
+
+    #[test]
+    fn engine_moves_stripe_bytes_and_bumps_the_epoch() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 4, 512);
+        let engine = MigrationEngine::new(&pool, Arc::clone(&dir)).unwrap();
+        let client = pool.connect();
+
+        // Scribble a recognisable pattern into stripe 1 (on node 1).
+        let src = dir.current(1);
+        let pattern: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
+        client.write(src, &pattern);
+
+        pool.drain_node(1).unwrap();
+        let epoch_before = pool.resize_epoch();
+        assert_eq!(engine.maybe_replan(), 2);
+        let mut moved = 0;
+        while let Some(job) = engine.next_job() {
+            assert!(engine.run_job(&client, &job).unwrap());
+            moved += 1;
+        }
+        assert_eq!(moved, 2);
+        assert!(engine.is_idle());
+
+        // The stripe now lives on node 0 with identical bytes.
+        let new_base = dir.current(1);
+        assert_eq!(new_base.mn_id, 0);
+        assert_eq!(client.read(new_base, 512), pattern);
+        // Cutovers piggybacked on the resize epoch and were counted.
+        assert!(pool.resize_epoch() > epoch_before);
+        assert_eq!(pool.stats().stripe_cutovers(), 2);
+        // Each stripe was copied twice (bulk + reconcile pass).
+        assert_eq!(pool.stats().migrated_bytes(), 2 * 2 * 512);
+    }
+
+    #[test]
+    fn stale_jobs_are_skipped() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 4, 256);
+        let engine = MigrationEngine::new(&pool, Arc::clone(&dir)).unwrap();
+        let client = pool.connect();
+        // A job whose src no longer matches the directory is refused.
+        let stale = MoveJob { stripe: 1, src: 0, dst: 1 };
+        assert!(!engine.run_job(&client, &stale).unwrap());
+        // A no-op job (src == dst) is refused too.
+        let noop = MoveJob { stripe: 1, src: 1, dst: 1 };
+        assert!(!engine.run_job(&client, &noop).unwrap());
+        assert_eq!(pool.stats().stripe_cutovers(), 0);
+    }
+
+    #[test]
+    fn vacated_homes_are_reused_on_ping_pong_migrations() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 2, 256);
+        let engine = MigrationEngine::new(&pool, Arc::clone(&dir)).unwrap();
+        let client = pool.connect();
+        let original = dir.current(1);
+
+        // Move stripe 1 off node 1, then back.
+        assert!(engine
+            .run_job(&client, &MoveJob { stripe: 1, src: 1, dst: 0 })
+            .unwrap());
+        let parked = dir.current(1);
+        assert_eq!(parked.mn_id, 0);
+        assert!(engine
+            .run_job(&client, &MoveJob { stripe: 1, src: 0, dst: 1 })
+            .unwrap());
+        // Returning to node 1 reuses the vacated range instead of leaking.
+        assert_eq!(dir.current(1), original);
+        // And a second round trip reuses the node-0 range as well.
+        assert!(engine
+            .run_job(&client, &MoveJob { stripe: 1, src: 1, dst: 0 })
+            .unwrap());
+        assert_eq!(dir.current(1), parked);
+    }
+
+    #[test]
+    fn maybe_replan_is_idempotent_per_epoch() {
+        let pool = striped_pool(2);
+        let dir = make_directory(&pool, 8, 256);
+        let engine = MigrationEngine::new(&pool, Arc::clone(&dir)).unwrap();
+        assert_eq!(engine.maybe_replan(), 0);
+        pool.add_node().unwrap();
+        let planned = engine.maybe_replan();
+        assert!(planned > 0);
+        // Same epoch: the queue is not rebuilt (jobs keep draining).
+        let client = pool.connect();
+        let job = engine.next_job().unwrap();
+        assert!(engine.begin(&client, &job).unwrap());
+        assert_eq!(engine.maybe_replan(), planned - 1);
+        engine.commit(&client, &job).unwrap();
+    }
+}

@@ -110,13 +110,21 @@ impl MemoryPool {
     }
 
     /// Returns the memory node with id `mn_id`.
+    ///
+    /// Nodes decommissioned with [`MemoryPool::remove_node`] yield a typed
+    /// [`DmError::NodeRemoved`] instead of silently serving.
     pub fn node(&self, mn_id: u16) -> DmResult<Arc<MemoryNode>> {
-        self.inner
+        let node = self
+            .inner
             .nodes
             .read()
             .get(mn_id as usize)
             .cloned()
-            .ok_or(DmError::NoSuchNode { mn_id })
+            .ok_or(DmError::NoSuchNode { mn_id })?;
+        if node.is_decommissioned() {
+            return Err(DmError::NodeRemoved { mn_id });
+        }
+        Ok(node)
     }
 
     /// A snapshot of every node handle, indexed by node id (used by clients
@@ -165,12 +173,59 @@ impl MemoryPool {
     /// Takes `mn_id` out of the active placement set and bumps the resize
     /// epoch.  No new stripes or segments land on a drained node; data
     /// already resident keeps serving reads, which is what makes the shrink
-    /// window graceful.
+    /// window graceful.  An online bucket-range migration (see
+    /// `ditto_dm::migration`) then drains the node **to empty** — once its
+    /// resident object bytes reach zero it can be decommissioned with
+    /// [`MemoryPool::remove_node`].
     pub fn drain_node(&self, mn_id: u16) -> DmResult<()> {
         let mut topology = self.inner.topology.write();
         topology.drain_node(mn_id)?;
         self.inner.epoch.store(topology.epoch(), Ordering::Release);
         Ok(())
+    }
+
+    /// Decommissions a node that has been drained **to empty**: the node
+    /// must be out of the active placement set and hold zero resident
+    /// object bytes.  Afterwards [`MemoryPool::node`] returns a typed
+    /// [`DmError::NodeRemoved`] for it instead of silently serving.  Verbs
+    /// through handles cached before the removal keep working (the arena
+    /// stays alive) so that auxiliary structures which have not migrated
+    /// yet — e.g. history-counter shards — drain naturally instead of
+    /// crashing the data path.
+    pub fn remove_node(&self, mn_id: u16) -> DmResult<()> {
+        if self.inner.topology.read().is_active(mn_id) {
+            return Err(DmError::Topology {
+                reason: format!("memory node {mn_id} is still active; drain it first"),
+            });
+        }
+        let node = self.node(mn_id)?;
+        let resident = self.inner.stats.resident_bytes_on(mn_id);
+        if resident > 0 {
+            return Err(DmError::Topology {
+                reason: format!(
+                    "memory node {mn_id} still holds {resident} resident object bytes; \
+                     pump the migration to empty before removing it"
+                ),
+            });
+        }
+        node.decommission();
+        Ok(())
+    }
+
+    /// Bumps the resize epoch without a membership change.  Stripe-migration
+    /// cutovers piggyback on the resize epoch through this: committing a
+    /// stripe on its new node invalidates every client's cached placement
+    /// snapshot, so redirected lookups take effect immediately.
+    pub fn bump_resize_epoch(&self) {
+        let mut topology = self.inner.topology.write();
+        topology.bump_epoch();
+        self.inner.epoch.store(topology.epoch(), Ordering::Release);
+    }
+
+    /// Resident object bytes currently accounted to node `mn_id` (see
+    /// [`crate::PoolStats::resident_bytes_on`]); the drain-to-empty signal.
+    pub fn resident_object_bytes(&self, mn_id: u16) -> u64 {
+        self.inner.stats.resident_bytes_on(mn_id)
     }
 
     /// Opens a new client connection with its own simulated clock.
@@ -343,6 +398,53 @@ mod tests {
             Err(DmError::Topology { .. })
         ));
         assert_eq!(pool.resize_epoch(), 0);
+    }
+
+    #[test]
+    fn remove_node_requires_drain_to_empty() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+        // Still active → refused.
+        assert!(matches!(pool.remove_node(1), Err(DmError::Topology { .. })));
+        pool.drain_node(1).unwrap();
+        // Resident object bytes pending → refused.
+        pool.stats().record_resident_alloc(1, 128);
+        assert_eq!(pool.resident_object_bytes(1), 128);
+        assert!(matches!(pool.remove_node(1), Err(DmError::Topology { .. })));
+        pool.stats().record_resident_free(1, 128);
+        pool.remove_node(1).unwrap();
+        // Node handle lookups now fail with a typed error.
+        assert!(matches!(pool.node(1), Err(DmError::NodeRemoved { mn_id: 1 })));
+        assert!(matches!(pool.remove_node(1), Err(DmError::NodeRemoved { mn_id: 1 })));
+        assert!(matches!(pool.reserve_on(1, 64), Err(DmError::NodeRemoved { .. })));
+        // The other node keeps serving.
+        assert!(pool.node(0).is_ok());
+    }
+
+    #[test]
+    fn cached_handles_keep_serving_after_remove_node() {
+        // Auxiliary structures (history shards) may still reference a
+        // removed node until they migrate too; their verbs must not crash.
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+        let addr = pool.reserve_on(1, 64).unwrap();
+        let client = pool.connect();
+        client.write(addr, b"counter");
+        pool.drain_node(1).unwrap();
+        pool.remove_node(1).unwrap();
+        assert_eq!(client.read(addr, 7), b"counter");
+        // New handle lookups still fail typed.
+        assert!(matches!(pool.node(1), Err(DmError::NodeRemoved { mn_id: 1 })));
+    }
+
+    #[test]
+    fn bump_resize_epoch_piggybacks_on_the_topology_epoch() {
+        let pool = MemoryPool::new(DmConfig::small());
+        assert_eq!(pool.resize_epoch(), 0);
+        pool.bump_resize_epoch();
+        assert_eq!(pool.resize_epoch(), 1);
+        assert_eq!(pool.topology().epoch(), 1);
+        // A later membership change keeps the epoch monotonic.
+        pool.add_node().unwrap();
+        assert_eq!(pool.resize_epoch(), 2);
     }
 
     #[test]

@@ -140,6 +140,19 @@ pub struct PoolStats {
     batched_verbs: AtomicU64,
     largest_batch: AtomicU64,
     largest_fanout: AtomicU64,
+    /// Resident *object* bytes per node: allocations minus frees as reported
+    /// by the cache layer.  This is pool **state**, not interval traffic, so
+    /// [`PoolStats::reset`] leaves it alone; a drained node's entry reaching
+    /// zero is the signal that it can be decommissioned.
+    resident_bytes: Vec<AtomicU64>,
+    /// Bucket-array bytes copied between nodes by stripe migrations.
+    migrated_bytes: AtomicU64,
+    /// Objects relocated between nodes (migration pump + cooperative Get).
+    migrated_objects: AtomicU64,
+    /// Object bytes relocated between nodes.
+    migrated_object_bytes: AtomicU64,
+    /// Stripe cutovers committed (source → destination switches).
+    stripe_cutovers: AtomicU64,
 }
 
 impl PoolStats {
@@ -147,6 +160,8 @@ impl PoolStats {
     pub fn new(num_nodes: u16) -> Self {
         let mut nodes = Vec::with_capacity(MAX_POOL_NODES);
         nodes.resize_with(MAX_POOL_NODES, NodeStats::default);
+        let mut resident_bytes = Vec::with_capacity(MAX_POOL_NODES);
+        resident_bytes.resize_with(MAX_POOL_NODES, || AtomicU64::new(0));
         PoolStats {
             nodes,
             active_nodes: AtomicUsize::new((num_nodes as usize).clamp(1, MAX_POOL_NODES)),
@@ -159,6 +174,11 @@ impl PoolStats {
             batched_verbs: AtomicU64::new(0),
             largest_batch: AtomicU64::new(0),
             largest_fanout: AtomicU64::new(0),
+            resident_bytes,
+            migrated_bytes: AtomicU64::new(0),
+            migrated_objects: AtomicU64::new(0),
+            migrated_object_bytes: AtomicU64::new(0),
+            stripe_cutovers: AtomicU64::new(0),
         }
     }
 
@@ -220,6 +240,75 @@ impl PoolStats {
         } else {
             self.batched_verbs() as f64 / doorbells as f64
         }
+    }
+
+    /// Records `bytes` of object data becoming resident on node `mn_id`.
+    pub fn record_resident_alloc(&self, mn_id: u16, bytes: u64) {
+        if let Some(node) = self.resident_bytes.get(mn_id as usize) {
+            node.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `bytes` of object data leaving node `mn_id` (eviction,
+    /// replacement or relocation).
+    pub fn record_resident_free(&self, mn_id: u16, bytes: u64) {
+        if let Some(node) = self.resident_bytes.get(mn_id as usize) {
+            let _ = node.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(bytes))
+            });
+        }
+    }
+
+    /// Resident object bytes currently accounted to node `mn_id`.
+    pub fn resident_bytes_on(&self, mn_id: u16) -> u64 {
+        self.resident_bytes
+            .get(mn_id as usize)
+            .map(|n| n.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Resident object bytes per node (one entry per tracked node).
+    pub fn resident_bytes(&self) -> Vec<u64> {
+        self.resident_bytes[..self.num_nodes()]
+            .iter()
+            .map(|n| n.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Records `bytes` of bucket-array data copied by a stripe migration.
+    pub fn record_migrated_bytes(&self, bytes: u64) {
+        self.migrated_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one object of `bytes` bytes relocated between nodes.
+    pub fn record_migrated_object(&self, bytes: u64) {
+        self.migrated_objects.fetch_add(1, Ordering::Relaxed);
+        self.migrated_object_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one committed stripe cutover.
+    pub fn record_stripe_cutover(&self) {
+        self.stripe_cutovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bucket-array bytes copied by stripe migrations so far.
+    pub fn migrated_bytes(&self) -> u64 {
+        self.migrated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Objects relocated between nodes so far.
+    pub fn migrated_objects(&self) -> u64 {
+        self.migrated_objects.load(Ordering::Relaxed)
+    }
+
+    /// Object bytes relocated between nodes so far.
+    pub fn migrated_object_bytes(&self) -> u64 {
+        self.migrated_object_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Stripe cutovers committed so far.
+    pub fn stripe_cutovers(&self) -> u64 {
+        self.stripe_cutovers.load(Ordering::Relaxed)
     }
 
     /// Records a verb of `kind` moving `bytes` payload bytes to node `mn_id`.
@@ -318,6 +407,12 @@ impl PoolStats {
         self.batched_verbs.store(0, Ordering::Relaxed);
         self.largest_batch.store(0, Ordering::Relaxed);
         self.largest_fanout.store(0, Ordering::Relaxed);
+        // Migration *traffic* counters reset with the interval; the per-node
+        // resident byte gauges are pool state and deliberately survive.
+        self.migrated_bytes.store(0, Ordering::Relaxed);
+        self.migrated_objects.store(0, Ordering::Relaxed);
+        self.migrated_object_bytes.store(0, Ordering::Relaxed);
+        self.stripe_cutovers.store(0, Ordering::Relaxed);
     }
 }
 

@@ -60,6 +60,19 @@ pub struct PoolTopology {
     epoch: u64,
 }
 
+/// One stripe whose assignment differs between where it currently lives and
+/// where the topology wants it — the *pending* part of a resize that an
+/// online migration (see `ditto_dm::migration`) still has to carry out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeReassignment {
+    /// Global stripe index.
+    pub stripe: u64,
+    /// Node the stripe currently lives on.
+    pub from: u16,
+    /// Node the topology assigns the stripe to.
+    pub to: u16,
+}
+
 /// SplitMix64 finaliser; mixes `(node, stripe)` into a rendezvous weight.
 fn rendezvous_weight(node: u16, stripe: u64) -> u64 {
     let mut z = stripe
@@ -129,6 +142,33 @@ impl PoolTopology {
     /// structures that reserve their stripes up front).
     pub fn assignments(&self, num_stripes: u64) -> Vec<u16> {
         (0..num_stripes).map(|s| self.node_for_stripe(s)).collect()
+    }
+
+    /// The **pending-assignment view**: every stripe in `0..num_stripes`
+    /// whose current placement (as reported by `current`, typically a stripe
+    /// directory lookup) differs from this topology's assignment.  These are
+    /// the stripes an online bucket-range migration still has to move before
+    /// the resize described by this topology is complete.
+    pub fn pending_reassignments(
+        &self,
+        num_stripes: u64,
+        mut current: impl FnMut(u64) -> u16,
+    ) -> Vec<StripeReassignment> {
+        (0..num_stripes)
+            .filter_map(|stripe| {
+                let from = current(stripe);
+                let to = self.node_for_stripe(stripe);
+                (from != to).then_some(StripeReassignment { stripe, from, to })
+            })
+            .collect()
+    }
+
+    /// Bumps the resize epoch without a membership change — used to
+    /// piggyback **migration cutovers** on the resize epoch, so clients
+    /// revalidate their cached placement snapshots after a stripe commits
+    /// on its new node.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Activates `mn_id`, rebalancing future placements onto it.

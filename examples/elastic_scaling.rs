@@ -6,9 +6,13 @@
 //! throughput immediately, and memory nodes join or leave the pool *online*
 //! through [`ditto::dm::MemoryPool::add_node`] / `drain_node` — the resize
 //! epoch redirects new placements while resident data keeps serving, so no
-//! request ever waits on a migration.  The Redis-like baseline has to
-//! reshard and migrate data, which delays the benefit by minutes (§2.1,
-//! Figures 1 and 13).
+//! request ever waits on a migration.  The background bucket-range
+//! migration (`DittoCache::pump_migration`) then rebalances the *existing*
+//! cache: bucket stripes and resident objects move onto joiners, and a
+//! drained node empties until `remove_node` can decommission it — all
+//! while the cache serves.  The Redis-like baseline has to stop-the-world
+//! reshard instead, which delays the benefit by minutes (§2.1, Figures 1
+//! and 13).
 //!
 //! Run with: `cargo run --release --example elastic_scaling`
 
@@ -89,11 +93,29 @@ fn main() {
     window("2 memory nodes (steady state)");
     let added = elastic.pool().add_node().expect("add a third memory node");
     window("add_node() -> serving immediately");
+    let grow = elastic.pump_migration();
+    window("pump_migration() -> load spread");
     elastic.pool().drain_node(added).expect("drain the new node");
     window("drain_node() -> resident data serves");
+    let shrink = elastic.pump_migration();
+    window("pump_migration() -> node empty");
     println!(
-        "  (clients validate their placement against the resize epoch; \
-         no migration, no downtime)"
+        "  grow moved {} stripes / {} objects; shrink moved {} stripes / {} objects; \
+         node {} residual = {} bytes",
+        grow.stripes_moved,
+        grow.objects_relocated,
+        shrink.stripes_moved,
+        shrink.objects_relocated,
+        added,
+        elastic.pool().resident_object_bytes(added),
+    );
+    elastic
+        .pool()
+        .remove_node(added)
+        .expect("drained-to-empty node can be decommissioned");
+    println!(
+        "  (cutovers piggyback on the resize epoch; node {added} was removed — \
+         handle lookups now return DmError::NodeRemoved)"
     );
 
     println!();

@@ -1,0 +1,141 @@
+//! A live resize must change *where* bytes live, never *what* the cache
+//! does: a cache that goes through `add_node` + `drain_node` mid-trace with
+//! the bucket-range migration pumped to completion has to return
+//! byte-identical Get values and evolve identically (same hit/miss/set
+//! counts) to a static pool that was sized to the final layout all along.
+//! On top of behavioural parity, the drained node must end the trace with
+//! **zero resident object bytes** and essentially no lookup message load —
+//! the drain-to-empty contract that allows `MemoryPool::remove_node`.
+//!
+//! Capacity is ample for the whole key set, so the only way the runs can
+//! diverge is migration losing or corrupting an object: a lost object
+//! surfaces as an extra miss, a corrupted one as a value mismatch.
+
+use ditto::cache::stats::CacheStatsSnapshot;
+use ditto::cache::{DittoCache, DittoConfig};
+use ditto::dm::{DmConfig, MemoryPool};
+use ditto::workloads::{YcsbSpec, YcsbWorkload};
+
+fn spec() -> YcsbSpec {
+    YcsbSpec {
+        record_count: 1_500,
+        request_count: 9_000,
+        ..YcsbSpec::default()
+    }
+    .with_seed(21)
+}
+
+fn build(nodes: u16) -> DittoCache {
+    // Ample capacity: every record fits, so no eviction noise.
+    let config = DittoConfig::with_capacity(6_000);
+    let dm = DmConfig::default().with_memory_nodes(nodes);
+    DittoCache::new(
+        MemoryPool::with_capacities(dm, &vec![64u64 << 20; nodes as usize]),
+        config,
+    )
+    .unwrap()
+}
+
+/// Replays a third of the trace (cache-aside fills on miss), recording
+/// every observed value.
+fn replay_third(
+    cache: &DittoCache,
+    client: &mut ditto::cache::DittoClient,
+    third: usize,
+    observed: &mut Vec<Option<Vec<u8>>>,
+) {
+    let spec = spec();
+    let requests = spec.run_requests(YcsbWorkload::C);
+    let len = requests.len() / 3;
+    let slice = &requests[third * len..(third + 1) * len];
+    let mut value_buf = Vec::new();
+    for request in slice {
+        let key = request.key_bytes();
+        if client.get_into(&key, &mut value_buf) {
+            observed.push(Some(value_buf.clone()));
+        } else {
+            observed.push(None);
+            client.set(&key, &vec![request.key as u8; request.value_size as usize]);
+        }
+    }
+    let _ = cache;
+}
+
+/// The live run: 2 nodes → add a third → pump → drain node 1 → pump.
+fn run_live() -> (Vec<Option<Vec<u8>>>, CacheStatsSnapshot, DittoCache) {
+    let cache = build(2);
+    let mut client = cache.client();
+    let mut observed = Vec::new();
+
+    replay_third(&cache, &mut client, 0, &mut observed);
+
+    // Grow the pool online and migrate the existing bucket ranges onto the
+    // joiner while the next third replays nothing (the pump runs between
+    // request batches, as a background thread would).
+    cache.pool().add_node().unwrap();
+    let grow = cache.pump_migration();
+    assert!(grow.stripes_moved > 0, "add_node must move stripes: {grow:?}");
+    replay_third(&cache, &mut client, 1, &mut observed);
+
+    // Shrink: drain node 1 and pump it to empty.
+    cache.pool().drain_node(1).unwrap();
+    let shrink = cache.pump_migration();
+    assert!(shrink.stripes_moved > 0, "drain must move stripes: {shrink:?}");
+    assert_eq!(shrink.jobs_remaining, 0);
+    assert_eq!(
+        cache.pool().resident_object_bytes(1),
+        0,
+        "drained node must reach zero resident object bytes"
+    );
+
+    cache.pool().reset_stats();
+    replay_third(&cache, &mut client, 2, &mut observed);
+    client.flush();
+    (observed, cache.stats().snapshot(), cache)
+}
+
+/// The static comparator: a pool born with the final active node count.
+fn run_static() -> (Vec<Option<Vec<u8>>>, CacheStatsSnapshot) {
+    let cache = build(2);
+    let mut client = cache.client();
+    let mut observed = Vec::new();
+    for third in 0..3 {
+        replay_third(&cache, &mut client, third, &mut observed);
+    }
+    client.flush();
+    (observed, cache.stats().snapshot())
+}
+
+#[test]
+fn live_resize_is_behaviourally_identical_to_the_static_final_layout() {
+    let (live_values, live_stats, live_cache) = run_live();
+    let (static_values, static_stats) = run_static();
+
+    // Byte-identical results, request by request.
+    assert_eq!(live_values.len(), static_values.len());
+    for (i, (a, b)) in live_values.iter().zip(&static_values).enumerate() {
+        assert_eq!(a, b, "request {i} diverged between live-resize and static runs");
+    }
+
+    // Identical cache evolution: a lost object would show as extra misses.
+    assert_eq!(live_stats.hits, static_stats.hits, "hit counts diverged");
+    assert_eq!(live_stats.misses, static_stats.misses, "miss counts diverged");
+    assert_eq!(live_stats.sets, static_stats.sets, "set counts diverged");
+    assert!(live_stats.hits > 0, "trace should produce hits");
+
+    // After the pumped drain, the lookup READ load has left the drained
+    // node: >= 95% of READ messages land on active nodes (in practice all
+    // of them — nothing addressable remains on node 1).
+    let snaps = live_cache.pool().stats().node_snapshots();
+    let total_reads: u64 = snaps.iter().map(|s| s.reads).sum();
+    let drained_reads = snaps[1].reads;
+    assert!(total_reads > 0);
+    assert!(
+        (total_reads - drained_reads) as f64 >= 0.95 * total_reads as f64,
+        "drained node still serves {drained_reads}/{total_reads} READs"
+    );
+    assert_eq!(drained_reads, 0, "no bucket or object READ should target the drained node");
+
+    // Drain-to-empty held, so the node can be decommissioned outright.
+    live_cache.pool().remove_node(1).unwrap();
+}
