@@ -1,20 +1,28 @@
-//! Get-heavy ops microbenchmark of the doorbell-batched, zero-allocation
-//! data path and of multi-memory-node striping.
+//! Get-heavy ops microbenchmark of the pipelined (posted-WQE), batched and
+//! sequential data paths, and of multi-memory-node striping.
 //!
 //! Replays a seeded YCSB-C trace (gets with cache-aside fills) against a
-//! `DittoClient` twice — doorbell batching on and off — and reports
-//! simulated ops/s, verbs per op, doorbells per op and p50/p99 operation
-//! latency as JSON in `BENCH_ops.json`, so future changes can track the
-//! performance trajectory.  A second section sweeps the pool from 1 to 8
-//! memory nodes under a deliberately message-bound RNIC budget: with the
-//! hash table, history shards and segments striped by the topology layer,
-//! the per-node message load — and therefore the simulated throughput
-//! ceiling — must scale with pool size (the fig 17/18 elasticity claim).
+//! `DittoClient` three times — **pipelined** (doorbell batching + async
+//! completion polling), **batched** (synchronous doorbell batches) and
+//! **unbatched** (sequential round trips) — and reports simulated ops/s,
+//! verbs per op, doorbells per op and p50/p99 operation latency as JSON in
+//! `BENCH_ops.json`, so future changes can track the performance
+//! trajectory.  A second section sweeps the pool from 1 to 8 memory nodes
+//! under a deliberately message-bound RNIC budget, in both completion
+//! modes: with the hash table, history shards and segments striped by the
+//! topology layer, the per-node message load — and therefore the simulated
+//! throughput ceiling — must scale with pool size (the fig 17/18
+//! elasticity claim), and the pipelined path must never fall below the
+//! synchronous-batched ceiling (pipelining buys latency and costs no
+//! messages).
 //!
 //! The process exits non-zero if the batched configuration does not deliver
-//! ≥1.3× simulated throughput, if the two configurations diverge in
-//! hit/miss counts (batching must never change cache behaviour), or if the
-//! message-bound sweep is not monotonically increasing from 1 to 4 nodes.
+//! ≥1.3× simulated throughput over unbatched, if the pipelined path does
+//! not reach at least the batched throughput (latency-bound section and
+//! every message-bound sweep point), if any configuration diverges in
+//! hit/miss counts (completion modes must never change cache behaviour),
+//! or if the message-bound sweep is not monotonically increasing from 1 to
+//! 4 nodes.
 //!
 //! ```text
 //! cargo run --release -p ditto-bench --bin ops_bench
@@ -45,8 +53,10 @@ struct ModeReport {
     evictions: u64,
 }
 
-fn run_mode(batching: bool, spec: &YcsbSpec, capacity: u64) -> ModeReport {
-    let config = DittoConfig::with_capacity(capacity).with_doorbell_batching(batching);
+fn run_mode(batching: bool, async_completion: bool, spec: &YcsbSpec, capacity: u64) -> ModeReport {
+    let config = DittoConfig::with_capacity(capacity)
+        .with_doorbell_batching(batching)
+        .with_async_completion(async_completion);
     let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
     let mut client = cache.client();
 
@@ -99,6 +109,7 @@ fn run_mode(batching: bool, spec: &YcsbSpec, capacity: u64) -> ModeReport {
 struct SweepPoint {
     nodes: u16,
     ops_per_sec: f64,
+    sync_batched_ops_per_sec: f64,
     sim_seconds: f64,
     total_messages: u64,
     max_node_messages: u64,
@@ -109,11 +120,11 @@ struct SweepPoint {
 /// and stretches elapsed time to the most-saturated resource, exactly like
 /// `RunReport` does — the ceiling is `max(client time, per-node messages /
 /// rate)`, so striping the message load over more nodes raises throughput.
-fn run_sweep_point(nodes: u16, spec: &YcsbSpec, capacity: u64) -> SweepPoint {
+fn run_sweep_point(nodes: u16, async_completion: bool, spec: &YcsbSpec, capacity: u64) -> SweepPoint {
     let dm = DmConfig::default()
         .with_memory_nodes(nodes)
         .with_message_rate(SWEEP_MESSAGE_RATE);
-    let config = DittoConfig::with_capacity(capacity);
+    let config = DittoConfig::with_capacity(capacity).with_async_completion(async_completion);
     let cache = DittoCache::with_dedicated_pool(config, dm).unwrap();
     let mut client = cache.client();
 
@@ -147,11 +158,21 @@ fn run_sweep_point(nodes: u16, spec: &YcsbSpec, capacity: u64) -> SweepPoint {
     SweepPoint {
         nodes,
         ops_per_sec: ops as f64 / sim_seconds,
+        sync_batched_ops_per_sec: 0.0,
         sim_seconds,
         total_messages: snaps.iter().map(|s| s.messages).sum(),
         max_node_messages,
         nic_bound: nic_seconds > client_seconds,
     }
+}
+
+/// One sweep point in both completion modes: the emitted `ops_per_sec` is
+/// the pipelined path, `sync_batched_ops_per_sec` the synchronous batch.
+fn run_sweep_pair(nodes: u16, spec: &YcsbSpec, capacity: u64) -> SweepPoint {
+    let sync = run_sweep_point(nodes, false, spec, capacity);
+    let mut point = run_sweep_point(nodes, true, spec, capacity);
+    point.sync_batched_ops_per_sec = sync.ops_per_sec;
+    point
 }
 
 /// One batching mode's trip through the online-resize timeline (fig 18 on
@@ -297,11 +318,13 @@ fn resize_json(report: &ResizeReport) -> String {
 fn sweep_json(point: &SweepPoint) -> String {
     format!(
         concat!(
-            "{{ \"nodes\": {}, \"ops_per_sec\": {:.1}, \"simulated_seconds\": {:.6}, ",
+            "{{ \"nodes\": {}, \"ops_per_sec\": {:.1}, ",
+            "\"sync_batched_ops_per_sec\": {:.1}, \"simulated_seconds\": {:.6}, ",
             "\"messages_total\": {}, \"max_node_messages\": {}, \"nic_bound\": {} }}"
         ),
         point.nodes,
         point.ops_per_sec,
+        point.sync_batched_ops_per_sec,
         point.sim_seconds,
         point.total_messages,
         point.max_node_messages,
@@ -366,18 +389,25 @@ fn main() {
     let capacity = spec.record_count * 7 / 10;
 
     eprintln!("ops_bench: YCSB-C, {requests} requests, {} records", spec.record_count);
-    let batched = run_mode(true, &spec, capacity);
+    let pipelined = run_mode(true, true, &spec, capacity);
+    eprintln!(
+        "  pipelined: {:>12.0} ops/s  {:.2} verbs/op  {:.2} µs p50  {:.2} µs p99",
+        pipelined.ops_per_sec, pipelined.verbs_per_op, pipelined.p50_us, pipelined.p99_us
+    );
+    let batched = run_mode(true, false, &spec, capacity);
     eprintln!(
         "  batched:   {:>12.0} ops/s  {:.2} verbs/op  {:.2} µs p50  {:.2} µs p99",
         batched.ops_per_sec, batched.verbs_per_op, batched.p50_us, batched.p99_us
     );
-    let unbatched = run_mode(false, &spec, capacity);
+    let unbatched = run_mode(false, false, &spec, capacity);
     eprintln!(
         "  unbatched: {:>12.0} ops/s  {:.2} verbs/op  {:.2} µs p50  {:.2} µs p99",
         unbatched.ops_per_sec, unbatched.verbs_per_op, unbatched.p50_us, unbatched.p99_us
     );
     let speedup = batched.ops_per_sec / unbatched.ops_per_sec;
-    eprintln!("  speedup:   {speedup:.3}x");
+    let pipelined_speedup = pipelined.ops_per_sec / batched.ops_per_sec;
+    eprintln!("  batched/unbatched speedup:  {speedup:.3}x");
+    eprintln!("  pipelined/batched speedup:  {pipelined_speedup:.3}x");
 
     // Multi-memory-node striping sweep under a message-bound RNIC budget.
     let sweep_spec = YcsbSpec {
@@ -392,11 +422,12 @@ fn main() {
     );
     let mut sweep = Vec::new();
     for nodes in [1u16, 2, 4, 8] {
-        let point = run_sweep_point(nodes, &sweep_spec, capacity);
+        let point = run_sweep_pair(nodes, &sweep_spec, capacity);
         eprintln!(
-            "  {} MN: {:>12.0} ops/s  max-node {:>8} msgs  ({})",
+            "  {} MN: {:>12.0} ops/s pipelined  {:>12.0} ops/s batched  max-node {:>8} msgs  ({})",
             point.nodes,
             point.ops_per_sec,
+            point.sync_batched_ops_per_sec,
             point.max_node_messages,
             if point.nic_bound { "NIC-bound" } else { "client-bound" }
         );
@@ -439,10 +470,12 @@ fn main() {
             "  \"records\": {},\n",
             "  \"capacity_objects\": {},\n",
             "  \"modes\": {{\n",
+            "    \"pipelined\": {},\n",
             "    \"batched\": {},\n",
             "    \"unbatched\": {}\n",
             "  }},\n",
             "  \"speedup\": {:.4},\n",
+            "  \"pipelined_speedup\": {:.4},\n",
             "  \"mn_sweep_message_rate\": {},\n",
             "  \"mn_sweep\": [\n    {}\n  ],\n",
             "  \"resize_window\": {{\n",
@@ -454,9 +487,11 @@ fn main() {
         requests,
         spec.record_count,
         capacity,
+        mode_json(&pipelined),
         mode_json(&batched),
         mode_json(&unbatched),
         speedup,
+        pipelined_speedup,
         SWEEP_MESSAGE_RATE,
         sweep.iter().map(sweep_json).collect::<Vec<_>>().join(",\n    "),
         resize_json(&resize_batched),
@@ -465,18 +500,30 @@ fn main() {
     std::fs::write("BENCH_ops.json", &json).expect("write BENCH_ops.json");
     println!("{json}");
 
-    // Acceptance gates: behaviour parity and the batching win.
+    // Acceptance gates: behaviour parity, the batching win and the
+    // pipelining win.
     assert_eq!(
         (batched.hits, batched.misses),
         (unbatched.hits, unbatched.misses),
         "hit/miss parity broken between batched and unbatched modes"
     );
+    assert_eq!(
+        (pipelined.hits, pipelined.misses, pipelined.evictions),
+        (batched.hits, batched.misses, batched.evictions),
+        "hit/miss/eviction parity broken between pipelined and batched modes"
+    );
     assert!(
         speedup >= 1.3,
         "doorbell batching must deliver >=1.3x simulated ops/s, measured {speedup:.3}x"
     );
+    assert!(
+        pipelined_speedup >= 1.0,
+        "async completion must not fall below the synchronous batch: {pipelined_speedup:.4}x"
+    );
     // Striping gate: under a message-bound workload, simulated ops/s must
-    // increase monotonically from 1 to 4 memory nodes.
+    // increase monotonically from 1 to 4 memory nodes, and the pipelined
+    // path must reach at least the synchronous-batched ceiling at every
+    // pool size (pipelining costs no messages).
     for pair in sweep[..3].windows(2) {
         assert!(
             pair[1].ops_per_sec > pair[0].ops_per_sec,
@@ -485,6 +532,15 @@ fn main() {
             pair[1].nodes,
             pair[0].ops_per_sec,
             pair[1].ops_per_sec
+        );
+    }
+    for point in &sweep {
+        assert!(
+            point.ops_per_sec >= point.sync_batched_ops_per_sec * 0.999,
+            "{} MN: pipelined ({:.0} ops/s) must be >= synchronous-batched ({:.0} ops/s)",
+            point.nodes,
+            point.ops_per_sec,
+            point.sync_batched_ops_per_sec
         );
     }
     // Resize-window gates, in both batching modes: (a) the pumped drain

@@ -54,6 +54,7 @@ impl DittoCache {
         }
         let table = SampleFriendlyHashTable::create(&pool, config.num_buckets())?;
         let migration = Arc::new(MigrationEngine::new(&pool, Arc::clone(table.directory()))?);
+        migration.set_copy_rate(config.migration_copy_bytes_per_sec);
         let history = EvictionHistory::create(&pool, config.history_len())?;
         let scratch = pool.reserve(4096)?;
         let weight_service = Arc::new(WeightService::new(experts.len(), config.learning_rate));

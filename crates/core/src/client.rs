@@ -3,9 +3,8 @@
 //!
 //! One `DittoClient` is owned by each application thread.  All data-path
 //! operations use only one-sided verbs against the memory pool, and the
-//! independent verbs of each step are issued as RNIC *doorbell batches*
-//! (one doorbell + the slowest round trip instead of the sum; see
-//! `ditto_dm::batch`):
+//! independent verbs of each step are issued together behind one RNIC
+//! doorbell (see `ditto_dm::batch` and `ditto_dm::wqe`):
 //!
 //! * **Get** — one doorbell batch `RDMA_READ`ing the primary *and* secondary
 //!   buckets, one `RDMA_READ` of the object, then an asynchronous
@@ -19,6 +18,22 @@
 //!   per-expert priority evaluation, a weighted victim choice, an `RDMA_FAA`
 //!   on the global history counter and an `RDMA_CAS` converting the victim
 //!   slot into an embedded history entry.
+//!
+//! With `enable_async_completion` (the default) each step runs on the
+//! **posted-WQE/polled-completion** model instead of a synchronous batch:
+//! the lookup posts both bucket READs, polls the primary's completion and
+//! decodes it *while the secondary is still in flight*; `Set` posts its
+//! object WRITE unsignalled (never waited for) next to the bucket READs; a
+//! hit's due frequency-counter FAA rides unsignalled next to the object
+//! READ; and the eviction sampler decodes and scores candidates as
+//! completions drain.  The verb sequence — and therefore cache behaviour
+//! and message counts — is byte-identical to the synchronous batch (see
+//! `tests/async_parity.rs`); only the charged latency shrinks, because the
+//! client CPU work (`cpu_decode_slot_ns` per slot, `cpu_score_candidate_ns`
+//! per candidate) overlaps the flights, and `end_op` simply drains whatever
+//! is still outstanding.  `enable_async_completion = false` keeps the
+//! synchronous post-all/wait-all doorbell batches — the ablation the
+//! pipelined path is measured against.
 //!
 //! The data path is **allocation-free in steady state**: bucket and sample
 //! bytes land in per-client scratch buffers, slots decode from borrowed
@@ -56,6 +71,7 @@ use crate::stats::CacheStats;
 use crate::cache::MigrationProgress;
 use ditto_algorithms::{AccessContext, AccessKind, CacheAlgorithm, Metadata, EXT_WORDS};
 use ditto_dm::alloc::ClientAllocator;
+use ditto_dm::batch::MAX_BATCH;
 use ditto_dm::migration::WriteDisposition;
 use ditto_dm::rpc::WEIGHT_SERVICE;
 use ditto_dm::{
@@ -356,6 +372,28 @@ impl DittoClient {
         }
     }
 
+    /// Whether the pipelined posted-WQE completion path is active.  Async
+    /// completion rides on doorbell batching; with batching disabled the
+    /// sequential ablation path runs regardless.
+    fn use_async(&self) -> bool {
+        self.config.enable_async_completion && self.config.enable_doorbell_batching
+    }
+
+    /// Charges the client CPU cost of decoding `slots` hash-table slots.
+    /// Charged identically in both completion modes; on the pipelined path
+    /// it overlaps in-flight transfers.
+    fn charge_decode(&self, slots: usize) {
+        self.dm
+            .advance_ns(slots as u64 * self.config.cpu_decode_slot_ns);
+    }
+
+    /// Charges the client CPU cost of gathering and scoring `candidates`
+    /// eviction candidates (see [`DittoClient::charge_decode`]).
+    fn charge_score(&self, candidates: usize) {
+        self.dm
+            .advance_ns(candidates as u64 * self.config.cpu_score_candidate_ns);
+    }
+
     /// Canonical resident size of an object allocation (whole 64-byte
     /// blocks, matching both the allocator's and the slot's accounting).
     fn resident_bytes_for(size: usize) -> u64 {
@@ -411,7 +449,13 @@ impl DittoClient {
     ///
     /// With `enable_doorbell_batching = false` the *identical* verb sequence
     /// is issued one round trip at a time — the ablation isolates batching
-    /// itself, with the verb pattern held constant.
+    /// itself, with the verb pattern held constant.  With
+    /// `enable_async_completion` (the default) the same verbs are *posted*
+    /// instead: the object WRITE rides unsignalled, the primary bucket is
+    /// decoded the moment its completion arrives — while the secondary READ
+    /// is still in flight — and a primary-bucket hit skips the secondary
+    /// decode entirely (its completion is still drained; the READ already
+    /// consumed its message either way).
     ///
     /// When the adaptive hybrid has judged the run *message-bound*
     /// (`enable_adaptive_lookup`), a `Get` lookup instead short-circuits:
@@ -441,11 +485,15 @@ impl DittoClient {
             let primary_addr = self.table.bucket_addr(primary);
             let secondary_addr = self.table.bucket_addr(secondary);
             let short_circuit = self.lookup_short_circuit && write.is_none();
-            let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
             let mut slots = SearchSlots::new();
             if short_circuit {
+                // (Field-disjoint clock charges: `bucket_buf` stays borrowed
+                // across the reads, so `charge_decode` cannot be called.)
+                let decode_ns = SLOTS_PER_BUCKET as u64 * self.config.cpu_decode_slot_ns;
+                let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
                 self.dm.read_into(primary_addr, primary_buf);
                 SampleFriendlyHashTable::decode_slots(primary_addr, primary_buf, &mut slots);
+                self.dm.advance_ns(decode_ns);
                 if let Some(found) = Self::find_live(&slots, hash, fp) {
                     if self.table.bucket_entry_token(primary) == ptok || last {
                         return (slots, Some(found));
@@ -454,18 +502,79 @@ impl DittoClient {
                 }
                 self.dm.read_into(secondary_addr, secondary_buf);
                 SampleFriendlyHashTable::decode_slots(secondary_addr, secondary_buf, &mut slots);
-            } else {
-                let mut batch = self.dm.batch();
-                if let Some((addr, data)) = write {
-                    batch.write(addr, data);
+                self.dm.advance_ns(decode_ns);
+            } else if self.use_async() {
+                // Pipelined lookup: post the object WRITE (if any)
+                // *unsignalled* — `Set` never waits for it — and both bucket
+                // READs signalled, behind one doorbell per distinct node.
+                let (wr_primary, wr_secondary);
+                {
+                    let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
+                    let mut wq = self.dm.work_queue();
+                    if let Some((addr, data)) = write.take() {
+                        wq.post_write(addr, data, false);
+                    }
+                    wr_primary = wq.post_read(primary_addr, primary_buf, true);
+                    wr_secondary = wq.post_read(secondary_addr, secondary_buf, true);
+                    wq.ring();
                 }
-                batch.read_into(primary_addr, primary_buf);
-                batch.read_into(secondary_addr, secondary_buf);
+                // Wait for the *primary* bucket specifically: a slow
+                // unsignalled WRITE queued ahead of it can push its
+                // completion past the secondary's on a multi-node pool, so
+                // the wr_id is matched rather than assuming arrival order.
+                // Then decode while the secondary READ is (possibly) still
+                // in flight — the CPU work hides behind the wire.
+                let mut secondary_done = false;
+                loop {
+                    let completion = self.dm.poll_cq().expect("bucket completion");
+                    if completion.wr_id == wr_primary {
+                        break;
+                    }
+                    debug_assert_eq!(completion.wr_id, wr_secondary);
+                    secondary_done = true;
+                }
+                SampleFriendlyHashTable::decode_slots(
+                    primary_addr,
+                    &self.bucket_buf[..BUCKET_SIZE],
+                    &mut slots,
+                );
+                self.charge_decode(SLOTS_PER_BUCKET);
+                if let Some(found) = Self::find_live(&slots, hash, fp) {
+                    // A primary-bucket hit never needs the secondary's
+                    // bytes; its completion is drained (by now usually in
+                    // the past, hidden behind the primary decode).
+                    self.dm.drain_cq();
+                    if self.table.bucket_entry_token(primary) == ptok || last {
+                        return (slots, Some(found));
+                    }
+                    continue;
+                }
+                if !secondary_done {
+                    self.dm.poll_cq().expect("secondary bucket completion");
+                }
+                SampleFriendlyHashTable::decode_slots(
+                    secondary_addr,
+                    &self.bucket_buf[BUCKET_SIZE..],
+                    &mut slots,
+                );
+                self.charge_decode(SLOTS_PER_BUCKET);
+            } else {
+                let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
+                let mut batch = self.dm.batch();
+                if let Some((addr, data)) = write.take() {
+                    batch.write(addr, data).expect("a lookup batch holds three verbs");
+                }
+                batch
+                    .read_into(primary_addr, primary_buf)
+                    .expect("a lookup batch holds three verbs");
+                batch
+                    .read_into(secondary_addr, secondary_buf)
+                    .expect("a lookup batch holds three verbs");
                 batch.execute_mode(self.config.enable_doorbell_batching);
                 SampleFriendlyHashTable::decode_slots(primary_addr, primary_buf, &mut slots);
                 SampleFriendlyHashTable::decode_slots(secondary_addr, secondary_buf, &mut slots);
+                self.charge_decode(2 * SLOTS_PER_BUCKET);
             }
-            write = None;
             if (self.table.bucket_entry_token(primary) == ptok
                 && self.table.bucket_entry_token(secondary) == stok)
                 || last
@@ -516,11 +625,29 @@ impl DittoClient {
             if flushes.is_empty() {
                 self.dm
                     .read_into(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len]);
+            } else if self.use_async() {
+                // The due FAA flushes ride the posting round *unsignalled*:
+                // the client waits for the object bytes only, never for the
+                // (slower) atomics.
+                {
+                    let mut wq = self.dm.work_queue();
+                    wq.post_read(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len], true);
+                    for (addr, delta) in flushes {
+                        wq.post_faa(addr, delta, false);
+                    }
+                    wq.ring();
+                }
+                self.dm.poll_cq().expect("object READ completion");
+                for _ in 0..flushes.len() {
+                    self.stats.record_fc_flush();
+                }
             } else {
                 let mut batch = self.dm.batch();
-                batch.read_into(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len]);
+                batch
+                    .read_into(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len])
+                    .expect("an object batch holds few verbs");
                 for (addr, delta) in flushes {
-                    batch.faa(addr, delta);
+                    batch.faa(addr, delta).expect("an object batch holds few verbs");
                 }
                 batch.execute_mode(self.config.enable_doorbell_batching);
                 for _ in 0..flushes.len() {
@@ -866,6 +993,9 @@ impl DittoClient {
         if candidates.is_empty() {
             return false;
         }
+        // The bucket slots were decoded (and charged) by the lookup; only
+        // the candidate scoring is added here.
+        self.charge_score(candidates.len());
         let (victim_idx, bitmap, chosen) = self.select_victim(&candidates);
         let (victim_addr, victim) = candidates[victim_idx];
         let expected = victim.atomic.encode();
@@ -917,36 +1047,46 @@ impl DittoClient {
     }
 
     /// Reads one eviction sample into the per-client sample buffer and
-    /// appends the live-object candidates.
+    /// appends the live-object candidates, charging the decode and
+    /// candidate-scoring CPU work as it goes.
     ///
     /// The sample-friendly table needs a single `RDMA_READ` of K consecutive
     /// slots — or, when the sampled span crosses a stripe boundary of the
-    /// striped table, one READ per memory node touched, issued as a single
-    /// doorbell batch that fans out across the NICs.  The sampled *global*
-    /// slot indices are independent of the striping, so striped and
-    /// single-node caches examine identical candidates.  The
-    /// scattered-metadata ablation needs K independent slot READs, which
-    /// are issued as one doorbell batch (or sequentially when batching is
-    /// disabled — exactly the seed's behaviour).
+    /// striped table, one READ per memory node touched, issued behind a
+    /// single doorbell.  The sampled *global* slot indices are independent
+    /// of the striping, so striped and single-node caches examine identical
+    /// candidates.  The scattered-metadata ablation needs K independent
+    /// slot READs; on the pipelined path they are posted signalled and each
+    /// candidate is decoded and scored **as its completion drains**, so the
+    /// scoring of early slots overlaps the remaining flights.  With
+    /// batching disabled the verbs go out sequentially — exactly the seed's
+    /// behaviour.
     fn read_eviction_sample(&mut self, candidates: &mut Candidates) {
         let sample_size = self.config.sample_size;
         if self.config.enable_sample_friendly_table {
             let (start, count) = self.table.sample_span(&mut self.rng, sample_size);
             let mut sample: InlineVec<(RemoteAddr, Slot), { DittoConfig::MAX_SAMPLE_SIZE }> =
                 InlineVec::new();
-            self.table.read_span_into(
-                &self.dm,
-                start,
-                count,
-                &mut self.sample_buf,
-                self.config.enable_doorbell_batching,
-                &mut sample,
-            );
+            if self.use_async() {
+                self.read_span_pipelined(start, count, &mut sample);
+            } else {
+                self.table.read_span_into(
+                    &self.dm,
+                    start,
+                    count,
+                    &mut self.sample_buf,
+                    self.config.enable_doorbell_batching,
+                    &mut sample,
+                );
+                self.charge_decode(count);
+            }
+            let mut gathered = 0;
             for &(slot_addr, slot) in sample.iter() {
-                if slot.atomic.is_object() {
-                    candidates.push_saturating((slot_addr, slot));
+                if slot.atomic.is_object() && candidates.push_saturating((slot_addr, slot)) {
+                    gathered += 1;
                 }
             }
+            self.charge_score(gathered);
         } else {
             // Ablation: metadata scattered with the objects requires one READ
             // per sampled candidate — all independent, hence one doorbell.
@@ -956,18 +1096,115 @@ impl DittoClient {
                 let idx = self.rng.gen_range(0..self.table.num_slots());
                 addrs.push(self.table.global_slot_addr(idx));
             }
-            let buf = &mut self.sample_buf[..sample_size * SLOT_SIZE];
-            let mut batch = self.dm.batch();
-            for (chunk, &addr) in buf.chunks_mut(SLOT_SIZE).zip(addrs.iter()) {
-                batch.read_into(addr, chunk);
-            }
-            batch.execute_mode(self.config.enable_doorbell_batching);
-            for (i, &addr) in addrs.iter().enumerate() {
-                let slot = Slot::from_bytes(&self.sample_buf[i * SLOT_SIZE..(i + 1) * SLOT_SIZE]);
-                if slot.atomic.is_object() {
-                    candidates.push_saturating((addr, slot));
+            if self.use_async() {
+                {
+                    let mut wq = self.dm.work_queue();
+                    let buf = &mut self.sample_buf[..sample_size * SLOT_SIZE];
+                    for (chunk, &addr) in buf.chunks_mut(SLOT_SIZE).zip(addrs.iter()) {
+                        wq.post_read(addr, chunk, true);
+                    }
+                    wq.ring();
                 }
+                // Equal-size READs complete in posting order (per-node
+                // in-order queue pairs), so completion i is slot i; each
+                // candidate is decoded and scored while later slot READs
+                // are still in flight.
+                for (i, &addr) in addrs.iter().enumerate() {
+                    self.dm.poll_cq().expect("sample slot completion");
+                    let slot =
+                        Slot::from_bytes(&self.sample_buf[i * SLOT_SIZE..(i + 1) * SLOT_SIZE]);
+                    self.charge_decode(1);
+                    if slot.atomic.is_object() && candidates.push_saturating((addr, slot)) {
+                        self.charge_score(1);
+                    }
+                }
+            } else {
+                let buf = &mut self.sample_buf[..sample_size * SLOT_SIZE];
+                let mut batch = self.dm.batch();
+                for (chunk, &addr) in buf.chunks_mut(SLOT_SIZE).zip(addrs.iter()) {
+                    if batch.len() == MAX_BATCH {
+                        // An oversized sample flushes into an extra doorbell
+                        // instead of aborting the client.
+                        std::mem::replace(&mut batch, self.dm.batch())
+                            .execute_mode(self.config.enable_doorbell_batching);
+                    }
+                    batch.read_into(addr, chunk).expect("batch has room");
+                }
+                batch.execute_mode(self.config.enable_doorbell_batching);
+                self.charge_decode(sample_size);
+                let mut gathered = 0;
+                for (i, &addr) in addrs.iter().enumerate() {
+                    let slot =
+                        Slot::from_bytes(&self.sample_buf[i * SLOT_SIZE..(i + 1) * SLOT_SIZE]);
+                    if slot.atomic.is_object() && candidates.push_saturating((addr, slot)) {
+                        gathered += 1;
+                    }
+                }
+                self.charge_score(gathered);
             }
+        }
+    }
+
+    /// Pipelined read of the span of `count` consecutive global slots
+    /// starting at `start`: one posted READ per physical segment, each
+    /// decoded (and charged) as its completion drains, so decoding one
+    /// segment overlaps the remaining segments' flights.  A single-segment
+    /// span — the common case — degenerates to one plain READ, exactly
+    /// like the synchronous path.
+    fn read_span_pipelined(
+        &mut self,
+        start: u64,
+        count: usize,
+        out: &mut impl Extend<(RemoteAddr, Slot)>,
+    ) {
+        let mut segments: InlineVec<(RemoteAddr, usize), MAX_BATCH> = InlineVec::new();
+        self.table
+            .for_span_segments(start, count, |addr, slots| segments.push((addr, slots)));
+        if let [(addr, slots)] = segments[..] {
+            self.dm.read_into(addr, &mut self.sample_buf[..slots * SLOT_SIZE]);
+            SampleFriendlyHashTable::decode_slots(
+                addr,
+                &self.sample_buf[..slots * SLOT_SIZE],
+                out,
+            );
+            self.charge_decode(slots);
+            return;
+        }
+        // Work-request id and buffer offset of each posted segment.
+        let mut posted: InlineVec<(u64, usize), MAX_BATCH> = InlineVec::new();
+        {
+            let mut wq = self.dm.work_queue();
+            let mut rest = &mut self.sample_buf[..count * SLOT_SIZE];
+            let mut offset = 0usize;
+            for &(addr, slots) in segments.iter() {
+                let (chunk, tail) = rest.split_at_mut(slots * SLOT_SIZE);
+                posted.push((wq.post_read(addr, chunk, true), offset));
+                offset += slots * SLOT_SIZE;
+                rest = tail;
+            }
+            wq.ring();
+        }
+        // Decode whichever segment completes next — a small segment on an
+        // idle node may overtake a bigger one elsewhere — charging its
+        // decode cost while the remaining segments are still in flight.
+        for _ in 0..segments.len() {
+            let completion = self.dm.poll_cq().expect("sample segment completion");
+            let seg = posted
+                .iter()
+                .position(|&(wr, _)| wr == completion.wr_id)
+                .expect("completion belongs to this span");
+            self.charge_decode(segments[seg].1);
+        }
+        // The candidate *order* must not depend on completion timing (ties
+        // in eviction priorities break by position), so the decoded slots
+        // are appended in canonical segment order — identical to the
+        // synchronous path.
+        for (&(_, begin), &(addr, slots)) in posted.iter().zip(segments.iter()) {
+            SampleFriendlyHashTable::decode_slots(
+                addr,
+                &self.sample_buf[begin..begin + slots * SLOT_SIZE],
+                out,
+            );
         }
     }
 
@@ -1468,6 +1705,143 @@ mod tests {
         assert!(
             batched * 10 < unbatched * 8,
             "batching should cut hit latency by >20%: {batched} vs {unbatched}"
+        );
+    }
+
+    #[test]
+    fn pipelined_get_charges_strictly_less_than_the_synchronous_batch() {
+        // With non-zero post-to-poll CPU work (the default decode cost), a
+        // pipelined Get must charge strictly less simulated latency than the
+        // synchronous doorbell batch: the primary-bucket decode hides behind
+        // the secondary READ's flight, and a hit never pays the secondary
+        // decode at all.
+        let run = |async_completion: bool| {
+            let config = DittoConfig::with_capacity(1_000)
+                .with_async_completion(async_completion);
+            assert!(config.cpu_decode_slot_ns > 0, "the default models decode CPU work");
+            let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+            let mut client = cache.client();
+            client.set(b"probe", b"x");
+            let before = client.dm().now_ns();
+            let mut buf = Vec::new();
+            for _ in 0..100 {
+                assert!(client.get_into(b"probe", &mut buf));
+            }
+            client.dm().now_ns() - before
+        };
+        let pipelined = run(true);
+        let synchronous = run(false);
+        assert!(
+            pipelined < synchronous,
+            "posted completions must beat the synchronous batch: {pipelined} vs {synchronous}"
+        );
+    }
+
+    #[test]
+    fn pipelined_get_issues_identical_verbs_and_doorbells() {
+        let run = |async_completion: bool| {
+            let config = DittoConfig::with_capacity(1_000)
+                .with_async_completion(async_completion);
+            let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+            let mut client = cache.client();
+            client.set(b"probe", b"x");
+            cache.pool().reset_stats();
+            let _ = client.get(b"probe");
+            let snap = cache.pool().stats().node_snapshots()[0];
+            (snap.reads, snap.messages, cache.pool().stats().doorbells())
+        };
+        // Pipelining changes when latency is charged, never what travels.
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn pipelined_hit_with_due_flush_rides_the_faa_unsignalled() {
+        let mut config = DittoConfig::with_capacity(1_000);
+        config.fc_threshold = 1; // every hit flushes its counter increment
+        let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+        let mut client = cache.client();
+        client.set(b"hot", b"x");
+        cache.pool().reset_stats();
+        assert!(client.get(b"hot").is_some());
+        let stats = cache.pool().stats();
+        // Search ring (2 READs) + object ring (READ + unsignalled FAA).
+        assert_eq!(stats.doorbells(), 2);
+        assert!(stats.unsignalled_wqes() >= 1, "the FAA must ride unsignalled");
+        assert_eq!(stats.node_snapshots()[0].faa, 1);
+    }
+
+    #[test]
+    fn pipelined_set_with_large_objects_waits_for_the_right_completion() {
+        // A Set's unsignalled object WRITE is queued ahead of the primary
+        // bucket READ on the same node; with objects larger than a bucket
+        // the READ's completion lands *after* the secondary's (per-node
+        // in-order queue pairs), so the lookup must match wr_ids instead of
+        // assuming arrival order.  Exercised on a striped pool with large
+        // values; behaviour must stay identical to the synchronous batch.
+        let run = |async_completion: bool| {
+            let config = DittoConfig::with_capacity(500)
+                .with_object_size(1_024)
+                .with_async_completion(async_completion);
+            let cache =
+                DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(4))
+                    .unwrap();
+            let mut client = cache.client();
+            let value = vec![7u8; 1_024];
+            for i in 0..200u64 {
+                client.set(format!("big{i}").as_bytes(), &value);
+            }
+            for i in 0..200u64 {
+                assert_eq!(
+                    client.get(format!("big{i}").as_bytes()).as_deref(),
+                    Some(&value[..]),
+                    "big{i}"
+                );
+            }
+            let messages: u64 = cache
+                .pool()
+                .stats()
+                .node_snapshots()
+                .iter()
+                .map(|s| s.messages)
+                .sum();
+            let snap = cache.stats().snapshot();
+            (messages, snap.hits, snap.misses)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn migration_copy_rate_is_plumbed_from_the_config() {
+        let config = DittoConfig::with_capacity(500).with_migration_copy_rate(123_456);
+        let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+        assert_eq!(cache.migration().copy_rate(), 123_456);
+        // Default: unlimited.
+        let cache = DittoCache::with_capacity(500).unwrap();
+        assert_eq!(cache.migration().copy_rate(), 0);
+    }
+
+    #[test]
+    fn throttled_migration_pump_stalls_against_foreground_ops() {
+        let run = |rate: u64| {
+            let config = DittoConfig::with_capacity(2_000).with_migration_copy_rate(rate);
+            let cache =
+                DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(2))
+                    .unwrap();
+            let mut client = cache.client();
+            for i in 0..200u64 {
+                client.set(format!("key{i}").as_bytes(), b"resident");
+            }
+            cache.pool().drain_node(1).unwrap();
+            let before = client.dm().now_ns();
+            let progress = client.pump_migration(usize::MAX);
+            assert!(progress.stripes_moved > 0);
+            client.dm().now_ns() - before
+        };
+        let unthrottled = run(0);
+        let throttled = run(2_000_000); // 2 MB/s of copy budget
+        assert!(
+            throttled > unthrottled * 3,
+            "the token bucket must pace the pump: {throttled} vs {unthrottled}"
         );
     }
 

@@ -58,6 +58,39 @@ pub struct DittoConfig {
     /// Disabling it issues the identical verbs sequentially — the ablation
     /// measured by the ops microbenchmark.
     pub enable_doorbell_batching: bool,
+    /// Pipeline the hot paths over the posted-WQE/polled-completion model
+    /// (`ditto_dm::wqe`/`ditto_dm::cq`): a lookup posts both bucket READs
+    /// and decodes the primary bucket while the secondary is still in
+    /// flight, `Set` posts its object WRITE *unsignalled* (never waited
+    /// for), a hit's frequency-counter FAA rides unsignalled next to the
+    /// object READ, and the eviction sampler decodes and scores candidates
+    /// as completions drain.  The verb sequence — and therefore the cache
+    /// behaviour and message counts — is identical to the synchronous
+    /// doorbell batch; only the charged latency changes, because CPU work
+    /// ([`DittoConfig::cpu_decode_slot_ns`],
+    /// [`DittoConfig::cpu_score_candidate_ns`]) overlaps the in-flight
+    /// transfers instead of serialising behind them.  Disabling it keeps
+    /// the synchronous post-all/wait-all batches — the ablation the
+    /// pipelined path is measured against.  Requires
+    /// `enable_doorbell_batching` (without doorbell batching there is
+    /// nothing to pipeline and the sequential ablation path runs).
+    pub enable_async_completion: bool,
+    /// Client CPU nanoseconds charged per hash-table slot decoded on the
+    /// data path (bucket and eviction-sample decoding).  Charged in both
+    /// completion modes; with `enable_async_completion` the work overlaps
+    /// in-flight transfers instead of adding to the critical path.
+    pub cpu_decode_slot_ns: u64,
+    /// Client CPU nanoseconds charged per eviction candidate gathered and
+    /// scored.  Charged in both completion modes, like
+    /// [`DittoConfig::cpu_decode_slot_ns`].
+    pub cpu_score_candidate_ns: u64,
+    /// Token-bucket rate limit on bucket-range migration copy traffic, in
+    /// bytes of copied stripe data per simulated second (0 = unlimited).
+    /// A throttled `pump_migration` stalls its own simulated clock instead
+    /// of bursting whole stripes against foreground operations; the bucket
+    /// is shared by every pumping client (see
+    /// `ditto_dm::MigrationEngine::set_copy_rate`).
+    pub migration_copy_bytes_per_sec: u64,
     /// Adaptive message-bound lookup hybrid: when enabled, each client
     /// periodically judges the pool's bottleneck from the `PoolStats`
     /// message counters.  While the observed bottleneck is the RNIC
@@ -104,6 +137,10 @@ impl Default for DittoConfig {
             enable_lazy_weight_update: true,
             enable_fc_cache: true,
             enable_doorbell_batching: true,
+            enable_async_completion: true,
+            cpu_decode_slot_ns: 20,
+            cpu_score_candidate_ns: 30,
+            migration_copy_bytes_per_sec: 0,
             enable_adaptive_lookup: false,
             adaptive_lookup_interval: 1024,
             enable_cooperative_migration: true,
@@ -156,6 +193,21 @@ impl DittoConfig {
     /// style).
     pub fn with_doorbell_batching(mut self, enabled: bool) -> Self {
         self.enable_doorbell_batching = enabled;
+        self
+    }
+
+    /// Enables or disables the pipelined posted-WQE completion path
+    /// (builder style); see
+    /// [`DittoConfig::enable_async_completion`].
+    pub fn with_async_completion(mut self, enabled: bool) -> Self {
+        self.enable_async_completion = enabled;
+        self
+    }
+
+    /// Sets the migration copy rate limit in bytes per simulated second
+    /// (builder style; 0 = unlimited).
+    pub fn with_migration_copy_rate(mut self, bytes_per_sec: u64) -> Self {
+        self.migration_copy_bytes_per_sec = bytes_per_sec;
         self
     }
 

@@ -331,7 +331,9 @@ impl SampleFriendlyHashTable {
             let mut rest = &mut buf[..];
             for &(addr, slots) in segments.iter() {
                 let (chunk, tail) = rest.split_at_mut(slots * SLOT_SIZE);
-                batch.read_into(addr, chunk);
+                batch
+                    .read_into(addr, chunk)
+                    .expect("a span splits into at most MAX_BATCH segments");
                 rest = tail;
             }
             batch.execute_mode(batched);

@@ -114,7 +114,7 @@ struct HistoryEntry {
 
 /// The in-memory simulator.
 ///
-/// Keyed with the fast [`FxHashMap`](crate::hash::FxHashMap) (the figure
+/// Keyed with the fast [`FxHashMap`] (the figure
 /// sweeps are dominated by these lookups), and its eviction sampling loop is
 /// allocation-free: candidate indices live in a reusable buffer and victim
 /// keys move by ownership instead of being cloned.

@@ -1,27 +1,31 @@
-//! Doorbell-batched issue of independent one-sided verbs.
+//! Synchronous doorbell batches: the post-all/wait-all convenience over the
+//! posted-WQE model.
 //!
-//! Real RNICs let a client post several work-queue entries (WQEs) and ring
-//! the doorbell once; the verbs then travel and execute concurrently, so the
-//! batch completes in roughly the round-trip time of its slowest member
-//! instead of the sum of all round trips.  Ditto's client-centric data path
-//! leans on this (§4.2): the two bucket READs of a lookup, the K slot READs
-//! of an eviction sample and the object WRITE + bucket READ of a `Set` are
-//! all mutually independent.
+//! The primitive data-path abstraction of this crate is the posted-work
+//! model in [`crate::wqe`] / [`crate::cq`]: WQEs are posted signalled or
+//! unsignalled, one doorbell starts them, and the client polls the
+//! completion queue when — and only when — it actually needs a result,
+//! overlapping CPU work with the in-flight transfers.
 //!
-//! [`BatchBuilder`] collects up to [`MAX_BATCH`] verbs **without heap
-//! allocation** (the op list is an inline array, so hot paths can build a
-//! batch per operation at zero allocation cost) and then executes them:
+//! [`BatchBuilder`] is the **synchronous compatibility wrapper** over that
+//! model: it queues up to [`MAX_BATCH`] verbs (the same inline, zero-
+//! allocation representation the [`crate::WorkQueue`] uses) and then
 //!
-//! * [`BatchBuilder::execute`] charges the doorbell-batched latency
-//!   `fanout × doorbell_latency_ns + n × verb_issue_ns + max(per-verb
-//!   transfer latency)` — where `fanout` is the number of **distinct memory
-//!   nodes** the batch touches (each node has its own queue pair, so one
-//!   doorbell is rung per node while the transfers overlap across the
-//!   NICs) — and records the batch size and fan-out in the pool statistics;
-//! * [`BatchBuilder::execute_sequential`] issues the same verbs one at a
-//!   time, charging the sum of the individual round trips — the ablation
-//!   used by the `enable_doorbell_batching = false` configuration to
-//!   quantify what batching buys.
+//! * [`BatchBuilder::execute`] behaves like *post all → ring → immediately
+//!   drain every completion with a free poll*: it charges `fanout ×
+//!   doorbell_latency_ns + n × verb_issue_ns + max(per-verb transfer
+//!   latency)` in one step — where `fanout` is the number of **distinct
+//!   memory nodes** touched (one doorbell per node; the transfers overlap
+//!   across the NICs) — and records the batch size and fan-out in the pool
+//!   statistics.  In NIC terms only the last WQE is signalled and the
+//!   client spins on it right away, which is why no post-to-poll CPU work
+//!   can be hidden: that overlap is exactly what the posted model buys and
+//!   this wrapper gives up (deliberately — it is the ablation baseline for
+//!   the pipelined hot paths).
+//! * [`BatchBuilder::execute_sequential`] issues the same verbs one
+//!   signalled round trip at a time, charging the sum of the individual
+//!   round trips — the ablation used by the `enable_doorbell_batching =
+//!   false` configuration to quantify what batching buys.
 //!
 //! Either way every verb still consumes one RNIC message on the target
 //! memory node: doorbell batching saves *latency*, not message rate.  What
@@ -29,58 +33,18 @@
 //! spreads its verbs over `k` nodes burdens each RNIC with only its own
 //! share, which is how the throughput ceiling scales with pool size once
 //! the hash table and segments are striped (see `ditto_dm::topology`).
+//!
+//! Unlike the auto-ringing [`crate::WorkQueue`], a full batch reports a
+//! typed [`DmError::BatchFull`] from its queueing methods, letting callers
+//! flush and continue instead of aborting.
 
 use crate::addr::RemoteAddr;
 use crate::client::DmClient;
-use crate::stats::VerbKind;
+use crate::error::{DmError, DmResult};
+use crate::wqe::{WqeOp, MAX_WQES};
 
-/// Maximum verbs per doorbell batch.
-///
-/// Sized for the largest batch the cache issues (an eviction sample of up to
-/// 32 slots plus a couple of metadata verbs); a real RNIC send queue is far
-/// deeper, but a fixed bound keeps the builder allocation-free.
-pub const MAX_BATCH: usize = 40;
-
-enum BatchOp<'buf> {
-    Read {
-        addr: RemoteAddr,
-        buf: &'buf mut [u8],
-    },
-    Write {
-        addr: RemoteAddr,
-        data: &'buf [u8],
-    },
-    Faa {
-        addr: RemoteAddr,
-        delta: u64,
-    },
-}
-
-impl BatchOp<'_> {
-    fn kind(&self) -> VerbKind {
-        match self {
-            BatchOp::Read { .. } => VerbKind::Read,
-            BatchOp::Write { .. } => VerbKind::Write,
-            BatchOp::Faa { .. } => VerbKind::Faa,
-        }
-    }
-
-    fn payload_len(&self) -> usize {
-        match self {
-            BatchOp::Read { buf, .. } => buf.len(),
-            BatchOp::Write { data, .. } => data.len(),
-            BatchOp::Faa { .. } => 8,
-        }
-    }
-
-    fn mn_id(&self) -> u16 {
-        match self {
-            BatchOp::Read { addr, .. } | BatchOp::Write { addr, .. } | BatchOp::Faa { addr, .. } => {
-                addr.mn_id
-            }
-        }
-    }
-}
+/// Maximum verbs per doorbell batch (same bound as [`MAX_WQES`]).
+pub const MAX_BATCH: usize = MAX_WQES;
 
 /// An in-flight doorbell batch of independent verbs (see the module docs).
 ///
@@ -88,7 +52,7 @@ impl BatchOp<'_> {
 /// nothing.
 pub struct BatchBuilder<'client, 'buf> {
     client: &'client DmClient,
-    ops: [Option<BatchOp<'buf>>; MAX_BATCH],
+    ops: [Option<WqeOp<'buf>>; MAX_BATCH],
     len: usize,
 }
 
@@ -101,13 +65,13 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
         }
     }
 
-    fn push(&mut self, op: BatchOp<'buf>) {
-        assert!(
-            self.len < MAX_BATCH,
-            "doorbell batch exceeds {MAX_BATCH} verbs"
-        );
+    fn push(&mut self, op: WqeOp<'buf>) -> DmResult<()> {
+        if self.len >= MAX_BATCH {
+            return Err(DmError::BatchFull { max: MAX_BATCH });
+        }
         self.ops[self.len] = Some(op);
         self.len += 1;
+        Ok(())
     }
 
     /// Number of verbs queued so far.
@@ -121,23 +85,36 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
     }
 
     /// Queues a one-sided `RDMA_READ` of `buf.len()` bytes into `buf`.
-    pub fn read_into(&mut self, addr: RemoteAddr, buf: &'buf mut [u8]) -> &mut Self {
-        self.push(BatchOp::Read { addr, buf });
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::BatchFull`] when the batch already holds
+    /// [`MAX_BATCH`] verbs; execute what is queued and start a new batch.
+    pub fn read_into(&mut self, addr: RemoteAddr, buf: &'buf mut [u8]) -> DmResult<&mut Self> {
+        self.push(WqeOp::Read { addr, buf })?;
+        Ok(self)
     }
 
     /// Queues a one-sided `RDMA_WRITE` of `data`.
-    pub fn write(&mut self, addr: RemoteAddr, data: &'buf [u8]) -> &mut Self {
-        self.push(BatchOp::Write { addr, data });
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::BatchFull`] when the batch is full.
+    pub fn write(&mut self, addr: RemoteAddr, data: &'buf [u8]) -> DmResult<&mut Self> {
+        self.push(WqeOp::Write { addr, data })?;
+        Ok(self)
     }
 
     /// Queues an `RDMA_FAA` of `delta` (the old value is discarded; use
     /// [`DmClient::faa`] when the result matters, since a fetched result
     /// would have to be awaited and could not overlap the batch anyway).
-    pub fn faa(&mut self, addr: RemoteAddr, delta: u64) -> &mut Self {
-        self.push(BatchOp::Faa { addr, delta });
-        self
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DmError::BatchFull`] when the batch is full.
+    pub fn faa(&mut self, addr: RemoteAddr, delta: u64) -> DmResult<&mut Self> {
+        self.push(WqeOp::Faa { addr, delta })?;
+        Ok(self)
     }
 
     /// The distinct memory nodes this batch touches, in first-appearance
@@ -177,39 +154,31 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
         self.transfer_latencies_sum()
     }
 
-    fn op_transfer_ns(&self, op: &BatchOp<'_>) -> u64 {
-        let cfg = self.client.config();
-        let base = match op.kind() {
-            VerbKind::Read => cfg.read_latency_ns,
-            VerbKind::Write => cfg.write_latency_ns,
-            VerbKind::Faa => cfg.faa_latency_ns,
-            VerbKind::Cas => cfg.cas_latency_ns,
-            VerbKind::Rpc => cfg.rpc_latency_ns,
-        };
-        cfg.transfer_latency_ns(base, op.payload_len())
-    }
-
     fn transfer_latencies_max(&self) -> u64 {
+        let cfg = self.client.config();
         self.ops[..self.len]
             .iter()
             .flatten()
-            .map(|op| self.op_transfer_ns(op))
+            .map(|op| op.transfer_ns(cfg))
             .max()
             .unwrap_or(0)
     }
 
     fn transfer_latencies_sum(&self) -> u64 {
+        let cfg = self.client.config();
         self.ops[..self.len]
             .iter()
             .flatten()
-            .map(|op| self.op_transfer_ns(op))
+            .map(|op| op.transfer_ns(cfg))
             .sum()
     }
 
     /// Executes the batch as one doorbell batch: charges
     /// `fanout × doorbell + n × issue + max(transfer)` to the client clock,
     /// one RNIC message per verb to the target nodes, and records the batch
-    /// size and per-node doorbells.
+    /// size and per-node doorbells.  Equivalent to posting the verbs with
+    /// only the last one signalled and spinning on its completion with a
+    /// zero-cost poll — the synchronous discipline (see the module docs).
     ///
     /// Returns the latency charged.
     pub fn execute(self) -> u64 {
@@ -225,9 +194,13 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
         for &mn in &nodes[..fanout] {
             stats.record_node_doorbell(mn);
         }
+        let mut signalled = self.len;
         for op in self.ops.into_iter().flatten() {
             stats.record_verb(op.mn_id(), op.kind(), op.payload_len());
-            Self::perform(client, op);
+            // Only the last WQE of a synchronous batch carries a signal.
+            signalled -= 1;
+            stats.record_wqe(signalled == 0);
+            op.perform(client);
         }
         latency
     }
@@ -246,7 +219,8 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
         let stats = client.pool().stats();
         for op in self.ops.into_iter().flatten() {
             stats.record_verb(op.mn_id(), op.kind(), op.payload_len());
-            Self::perform(client, op);
+            stats.record_wqe(true);
+            op.perform(client);
         }
         latency
     }
@@ -258,29 +232,6 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
             self.execute()
         } else {
             self.execute_sequential()
-        }
-    }
-
-    fn perform(client: &DmClient, op: BatchOp<'_>) {
-        match op {
-            BatchOp::Read { addr, buf } => {
-                client
-                    .node_ref(addr.mn_id)
-                    .read_into(addr.offset, buf)
-                    .unwrap_or_else(|e| panic!("batched RDMA_READ failed: {e}"));
-            }
-            BatchOp::Write { addr, data } => {
-                client
-                    .node_ref(addr.mn_id)
-                    .write(addr.offset, data)
-                    .unwrap_or_else(|e| panic!("batched RDMA_WRITE failed: {e}"));
-            }
-            BatchOp::Faa { addr, delta } => {
-                client
-                    .node_ref(addr.mn_id)
-                    .faa(addr.offset, delta)
-                    .unwrap_or_else(|e| panic!("batched RDMA_FAA failed: {e}"));
-            }
         }
     }
 }
@@ -317,8 +268,8 @@ mod tests {
         let mut small = [0u8; 64];
         let mut large = [0u8; 4096];
         let mut batch = client.batch();
-        batch.read_into(a, &mut small);
-        batch.read_into(a, &mut large);
+        batch.read_into(a, &mut small).unwrap();
+        batch.read_into(a, &mut large).unwrap();
         let charged = batch.execute();
 
         let expected = cfg.doorbell_latency_ns
@@ -333,6 +284,9 @@ mod tests {
         assert_eq!(pool.stats().batched_verbs(), 2);
         assert_eq!(pool.stats().largest_batch(), 2);
         assert_eq!(pool.stats().node_snapshots()[0].reads, 2);
+        // A synchronous batch signals only its last WQE.
+        assert_eq!(pool.stats().signalled_wqes(), 1);
+        assert_eq!(pool.stats().unsignalled_wqes(), 1);
     }
 
     #[test]
@@ -345,8 +299,8 @@ mod tests {
         let mut b1 = [0u8; 64];
         let mut b2 = [0u8; 64];
         let mut batch = client.batch();
-        batch.read_into(a, &mut b1);
-        batch.read_into(a.add(64), &mut b2);
+        batch.read_into(a, &mut b1).unwrap();
+        batch.read_into(a.add(64), &mut b2).unwrap();
         let charged = batch.execute_sequential();
 
         assert_eq!(charged, 2 * cfg.transfer_latency_ns(cfg.read_latency_ns, 64));
@@ -362,7 +316,7 @@ mod tests {
         let mut bufs = [[0u8; 64]; 5];
         let mut batch = client.batch();
         for (i, buf) in bufs.iter_mut().enumerate() {
-            batch.read_into(a.add(i as u64 * 64), buf);
+            batch.read_into(a.add(i as u64 * 64), buf).unwrap();
         }
         let batched = batch.batched_latency_ns();
         let sequential = batch.sequential_latency_ns();
@@ -385,8 +339,11 @@ mod tests {
         let mut batch = client.batch();
         batch
             .write(obj, b"payload!")
+            .unwrap()
             .faa(counter, 5)
-            .read_into(obj.add(64), &mut readback);
+            .unwrap()
+            .read_into(obj.add(64), &mut readback)
+            .unwrap();
         let n = batch.len();
         assert_eq!(n, 3);
         batch.execute();
@@ -420,9 +377,9 @@ mod tests {
         let cfg = client.config().clone();
         let (mut x, mut y) = ([0u8; 64], [0u8; 64]);
         let mut batch = client.batch();
-        batch.read_into(a, &mut x);
-        batch.read_into(b, &mut y);
-        batch.read_into(a.add(0), &mut []);
+        batch.read_into(a, &mut x).unwrap();
+        batch.read_into(b, &mut y).unwrap();
+        batch.read_into(a.add(0), &mut []).unwrap();
         assert_eq!(batch.len(), 3);
         assert_eq!(batch.fanout(), 2, "three verbs over two distinct nodes");
         let charged = batch.execute();
@@ -448,7 +405,7 @@ mod tests {
         let mut bufs = [[0u8; 64]; 4];
         let mut batch = client.batch();
         for (buf, addr) in bufs.iter_mut().zip(&addrs) {
-            batch.read_into(*addr, buf);
+            batch.read_into(*addr, buf).unwrap();
         }
         assert_eq!(batch.fanout(), 4);
         let batched = batch.batched_latency_ns();
@@ -461,14 +418,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn overflowing_the_batch_panics() {
+    fn overflowing_the_batch_yields_a_typed_error() {
         let pool = pool();
         let client = pool.connect();
         let a = pool.reserve(8).unwrap();
         let mut batch = client.batch();
-        for _ in 0..=MAX_BATCH {
-            batch.faa(a, 1);
+        for _ in 0..MAX_BATCH {
+            batch.faa(a, 1).unwrap();
         }
+        assert!(matches!(
+            batch.faa(a, 1),
+            Err(DmError::BatchFull { max: MAX_BATCH })
+        ));
+        // The batch is still intact and executable after the rejection.
+        assert_eq!(batch.len(), MAX_BATCH);
+        batch.execute();
+        assert_eq!(client.read_u64(a), MAX_BATCH as u64);
     }
 }

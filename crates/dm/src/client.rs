@@ -3,10 +3,12 @@
 use crate::addr::RemoteAddr;
 use crate::batch::BatchBuilder;
 use crate::config::DmConfig;
+use crate::cq::{Completion, CompletionQueue};
 use crate::error::{DmError, DmResult};
 use crate::memnode::MemoryNode;
 use crate::pool::MemoryPool;
 use crate::stats::VerbKind;
+use crate::wqe::WorkQueue;
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
@@ -27,6 +29,11 @@ pub struct DmClient {
     /// Cached node handles, revalidated against the pool's resize epoch so
     /// the per-verb node lookup stays lock-free in steady state.
     nodes: RefCell<NodeCache>,
+    /// This client's completion queue: signalled WQEs rung out through a
+    /// [`WorkQueue`] complete here and are consumed by [`DmClient::poll_cq`].
+    cq: RefCell<CompletionQueue>,
+    /// Monotone work-request id source for posted WQEs.
+    next_wr_id: Cell<u64>,
 }
 
 struct NodeCache {
@@ -49,6 +56,8 @@ impl DmClient {
             clock_ns: Cell::new(start),
             op_start_ns: Cell::new(start),
             nodes: RefCell::new(nodes),
+            cq: RefCell::new(CompletionQueue::new()),
+            next_wr_id: Cell::new(0),
         }
     }
 
@@ -122,29 +131,83 @@ impl DmClient {
     ///
     /// The batch completes in `doorbell_latency_ns + n × verb_issue_ns +
     /// max(per-verb transfer latency)` instead of the sum of the individual
-    /// round trips; every verb still consumes one RNIC message.
+    /// round trips; every verb still consumes one RNIC message.  This is the
+    /// *synchronous* convenience over the posted-work model below: post all,
+    /// ring once, wait for everything.
     pub fn batch<'buf>(&self) -> BatchBuilder<'_, 'buf> {
         BatchBuilder::new(self)
     }
 
+    /// Starts a posted work queue (see [`WorkQueue`]): WQEs are posted
+    /// signalled or unsignalled, one doorbell ring per distinct node starts
+    /// them, and signalled completions are later consumed with
+    /// [`DmClient::poll_cq`] — charging latency as *time since post*, so CPU
+    /// work between ring and poll overlaps the in-flight transfers.
+    pub fn work_queue<'buf>(&self) -> WorkQueue<'_, 'buf> {
+        WorkQueue::new(self)
+    }
+
+    /// Allocates a work-request id for a posted WQE.
+    pub(crate) fn alloc_wr_id(&self) -> u64 {
+        let id = self.next_wr_id.get();
+        self.next_wr_id.set(id + 1);
+        id
+    }
+
+    /// Queues a signalled WQE's completion (called by [`WorkQueue::ring`]).
+    pub(crate) fn push_completion(&self, completion: Completion) {
+        self.cq.borrow_mut().push(completion);
+    }
+
+    /// Polls the completion queue: pops the earliest outstanding completion,
+    /// advances the clock to its completion time (no charge when the
+    /// completion is already in the past — the flight time was hidden behind
+    /// CPU work) plus the configured [`DmConfig::cq_poll_ns`], and returns
+    /// it.  Returns `None` — for free — when nothing is outstanding.
+    pub fn poll_cq(&self) -> Option<Completion> {
+        let completion = self.cq.borrow_mut().pop_earliest()?;
+        let now = self.clock_ns.get();
+        let wait = completion.completed_at_ns.saturating_sub(now);
+        self.advance_ns(wait + self.pool.config().cq_poll_ns);
+        self.pool.stats().record_cq_poll();
+        Some(completion)
+    }
+
+    /// Polls until the completion queue is empty, returning the number of
+    /// completions consumed.  The clock ends at (or after) the last
+    /// completion, so no signalled work escapes the op-latency accounting.
+    pub fn drain_cq(&self) -> usize {
+        let mut drained = 0;
+        while self.poll_cq().is_some() {
+            drained += 1;
+        }
+        drained
+    }
+
+
     /// Issues several independent `RDMA_READ`s as one doorbell batch, each
     /// into its own caller-provided buffer.
     ///
-    /// Returns the latency charged.
+    /// Returns the latency charged.  More reads than
+    /// [`crate::batch::MAX_BATCH`] are flushed as additional doorbell
+    /// batches rather than failing.
     ///
     /// # Panics
     ///
-    /// Panics if an address range is invalid or more than
-    /// [`crate::batch::MAX_BATCH`] reads are requested.
+    /// Panics if an address range is invalid.
     pub fn read_batch<'buf, I>(&self, reads: I) -> u64
     where
         I: IntoIterator<Item = (RemoteAddr, &'buf mut [u8])>,
     {
+        let mut charged = 0;
         let mut batch = self.batch();
         for (addr, buf) in reads {
-            batch.read_into(addr, buf);
+            if batch.len() == crate::batch::MAX_BATCH {
+                charged += std::mem::replace(&mut batch, self.batch()).execute();
+            }
+            batch.read_into(addr, buf).expect("batch has room");
         }
-        batch.execute()
+        charged + batch.execute()
     }
 
     /// One-sided `RDMA_READ` of `len` bytes at `addr`.
@@ -290,7 +353,12 @@ impl DmClient {
 
     /// Marks the end of an application-level operation, recording its latency
     /// in the pool-wide histogram.  Returns the operation latency in ns.
+    ///
+    /// Any signalled completions still outstanding are drained (and charged)
+    /// first, so a pipeline that ends mid-poll cannot under-report its
+    /// latency; unsignalled WQEs, by definition, are never waited for.
     pub fn end_op(&self) -> u64 {
+        self.drain_cq();
         let latency = self.clock_ns.get().saturating_sub(self.op_start_ns.get());
         self.pool.stats().record_op(latency);
         latency
@@ -304,7 +372,11 @@ impl DmClient {
 
     /// Resets the simulated clock to the pool's current clock baseline
     /// (e.g. between warm-up and the measured phase of an experiment).
+    ///
+    /// Outstanding completions are drained first — their completion times
+    /// reference the pre-reset clock and must not leak across the boundary.
     pub fn reset_clock(&self) {
+        self.drain_cq();
         let baseline = self.pool.stats().clock_baseline_ns();
         self.clock_ns.set(baseline);
         self.op_start_ns.set(baseline);

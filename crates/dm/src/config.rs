@@ -45,6 +45,13 @@ pub struct DmConfig {
     /// posting and RNIC processing; each additional WQE delays the batch a
     /// little even though the round trips overlap).
     pub verb_issue_ns: u64,
+    /// Cost of one successful completion-queue poll, in nanoseconds (reading
+    /// and consuming a CQE; an empty poll is free).
+    ///
+    /// Charged by [`crate::DmClient::poll_cq`] on top of any remaining
+    /// flight time of the completion it returns.  Small compared with the
+    /// doorbell MMIO — polling is a cached memory read.
+    pub cq_poll_ns: u64,
     /// Maximum verbs (messages) per second the RNIC of one memory node can
     /// serve.  This is the bottleneck that caps Ditto in §5.3.
     pub mn_message_rate: u64,
@@ -76,6 +83,7 @@ impl Default for DmConfig {
             per_kib_latency_ns: 80,
             doorbell_latency_ns: 150,
             verb_issue_ns: 50,
+            cq_poll_ns: 20,
             mn_message_rate: 40_000_000,
             rpc_base_cpu_ns: 700,
             async_writes_consume_messages: true,
@@ -128,6 +136,12 @@ impl DmConfig {
     pub fn with_doorbell_costs(mut self, doorbell_ns: u64, issue_ns: u64) -> Self {
         self.doorbell_latency_ns = doorbell_ns;
         self.verb_issue_ns = issue_ns;
+        self
+    }
+
+    /// Sets the completion-queue poll cost (builder style).
+    pub fn with_cq_poll_cost(mut self, poll_ns: u64) -> Self {
+        self.cq_poll_ns = poll_ns;
         self
     }
 

@@ -1,0 +1,135 @@
+//! The completion queue (CQ): polled completions of signalled WQEs.
+//!
+//! Every *signalled* WQE a [`crate::wqe::WorkQueue`] rings out is assigned a
+//! completion time and queued here.  [`crate::DmClient::poll_cq`] pops the
+//! earliest completion and charges the client clock **time since post**:
+//! `max(now, completed_at)` plus the configured
+//! [`poll cost`](crate::DmConfig::cq_poll_ns).  A client that did useful CPU
+//! work between ringing the doorbell and polling therefore pays only the
+//! *remaining* flight time — the mechanism that lets the cache decode the
+//! primary bucket while the secondary READ is still on the wire.
+//!
+//! The queue is a fixed-capacity array ([`CQ_DEPTH`] entries) so the hot
+//! path stays allocation-free; the data path keeps at most a handful of
+//! signalled WQEs outstanding.  Like a real CQ, overrunning it is a fatal
+//! programming error.
+
+/// Maximum outstanding signalled completions per client.
+pub const CQ_DEPTH: usize = 64;
+
+/// A completion-queue entry: the work-request id of a signalled WQE and the
+/// simulated time its verb finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Work-request id returned by the `post_*` call that queued the WQE.
+    pub wr_id: u64,
+    /// Simulated time at which the verb's round trip completed.
+    pub completed_at_ns: u64,
+}
+
+/// Fixed-capacity queue of outstanding completions (see the module docs).
+#[derive(Debug)]
+pub struct CompletionQueue {
+    entries: [Option<Completion>; CQ_DEPTH],
+    len: usize,
+}
+
+impl CompletionQueue {
+    /// Creates an empty completion queue.
+    pub fn new() -> Self {
+        CompletionQueue {
+            entries: [None; CQ_DEPTH],
+            len: 0,
+        }
+    }
+
+    /// Number of outstanding completions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no completion is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues a completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`CQ_DEPTH`] completions are outstanding — a CQ
+    /// overrun, fatal on real hardware too.  Poll before posting more.
+    pub fn push(&mut self, completion: Completion) {
+        assert!(
+            self.len < CQ_DEPTH,
+            "completion queue overrun ({CQ_DEPTH} outstanding completions)"
+        );
+        self.entries[self.len] = Some(completion);
+        self.len += 1;
+    }
+
+    /// Pops the earliest completion (ties broken by work-request id, i.e.
+    /// posting order), or `None` when the queue is empty.
+    pub fn pop_earliest(&mut self) -> Option<Completion> {
+        let (idx, _) = self.entries[..self.len]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (i, c)))
+            .min_by_key(|(_, c)| (c.completed_at_ns, c.wr_id))?;
+        let completion = self.entries[idx].take();
+        self.len -= 1;
+        self.entries[idx] = self.entries[self.len].take();
+        completion
+    }
+
+}
+
+impl Default for CompletionQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(wr_id: u64, at: u64) -> Completion {
+        Completion {
+            wr_id,
+            completed_at_ns: at,
+        }
+    }
+
+    #[test]
+    fn pops_in_completion_time_order() {
+        let mut cq = CompletionQueue::new();
+        cq.push(c(1, 300));
+        cq.push(c(2, 100));
+        cq.push(c(3, 200));
+        assert_eq!(cq.len(), 3);
+        assert_eq!(cq.pop_earliest(), Some(c(2, 100)));
+        assert_eq!(cq.pop_earliest(), Some(c(3, 200)));
+        assert_eq!(cq.pop_earliest(), Some(c(1, 300)));
+        assert_eq!(cq.pop_earliest(), None);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_posting_order() {
+        let mut cq = CompletionQueue::new();
+        cq.push(c(7, 100));
+        cq.push(c(3, 100));
+        assert_eq!(cq.pop_earliest().unwrap().wr_id, 3);
+        assert_eq!(cq.pop_earliest().unwrap().wr_id, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion queue overrun")]
+    fn overrun_is_fatal() {
+        let mut cq = CompletionQueue::new();
+        for i in 0..=CQ_DEPTH as u64 {
+            cq.push(c(i, i));
+        }
+    }
+}

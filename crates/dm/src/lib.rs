@@ -32,11 +32,16 @@
 //!   clients keep serving, cutovers piggyback on the resize epoch, and a
 //!   drained node empties until [`MemoryPool::remove_node`] can
 //!   decommission it.
-//! * [`DmClient`] is a per-thread connection handle exposing the verb API and
-//!   a per-client simulated clock.
-//! * [`batch::BatchBuilder`] issues independent verbs as one RNIC doorbell
-//!   batch, charging one doorbell **per distinct memory node** while the
-//!   transfers overlap across the NICs (see the latency model below).
+//! * [`DmClient`] is a per-thread connection handle exposing the verb API,
+//!   a per-client simulated clock and a per-client [`cq::CompletionQueue`].
+//! * [`wqe::WorkQueue`] is the posted-work data path: clients post
+//!   work-queue entries (signalled or *unsignalled*), ring one doorbell per
+//!   distinct memory node, overlap CPU work with the in-flight transfers
+//!   and then [`DmClient::poll_cq`] the completions — latency is charged as
+//!   *time since post* (see the latency model below).
+//! * [`batch::BatchBuilder`] is the synchronous post-all/wait-all wrapper
+//!   over the same model: one doorbell batch, charged in a single step —
+//!   the ablation baseline the pipelined hot paths are measured against.
 //! * [`alloc::ClientAllocator`] implements the two-level memory management
 //!   scheme (segment `ALLOC`/`FREE` RPCs plus client-local block recycling)
 //!   used by FUSEE and adopted by Ditto; [`alloc::StripedAllocator`] runs
@@ -45,22 +50,31 @@
 //! * [`harness`] runs a closure on `N` simulated client threads and collects
 //!   a [`stats::RunReport`].
 //!
-//! # The doorbell latency model
+//! # The posted-WQE latency model
 //!
-//! A real RNIC lets a client post several work-queue entries and ring the
-//! doorbell once; the posted verbs travel and execute concurrently.  The
-//! simulator charges a batch of `n` independent verbs
+//! A real RNIC lets a client post several work-queue entries, ring the
+//! doorbell once and poll a completion queue later; the posted verbs travel
+//! and execute concurrently while the client does useful CPU work.  The
+//! simulator splits the cost of a posting round of `n` verbs accordingly:
 //!
 //! ```text
-//! doorbell_latency_ns  +  n × verb_issue_ns  +  max(per-verb transfer latency)
+//! ring:     fanout × doorbell_latency_ns + n × verb_issue_ns   (charged now)
+//! WQE i:    completes at ring-end + per-node prefix-max(transfer latency)
+//! poll_cq:  max(0, completion − now) + cq_poll_ns              (charged then)
 //! ```
 //!
-//! instead of the sum of the individual round trips ([`DmConfig`] holds the
-//! two knobs; the per-verb transfer latency is the usual
-//! `base + payload × per_kib_latency_ns`).  Every verb in the batch still
-//! consumes one message of the target node's RNIC budget — doorbell batching
-//! buys *latency*, not message rate, which is why the NIC-bound throughput
-//! ceiling of §5.3 is unaffected.
+//! ([`DmConfig`] holds the three knobs; the per-verb transfer latency is the
+//! usual `base + payload × per_kib_latency_ns`, and WQEs on one node
+//! complete in posting order — one queue pair per node.)  Unsignalled WQEs
+//! produce no completion and are never waited for.  Draining every
+//! completion immediately reproduces the synchronous doorbell-batch charge
+//! `fanout × doorbell + n × issue + max(transfer)`, which is exactly what
+//! [`BatchBuilder::execute`] does in one step; CPU work done between ring
+//! and poll is subtracted from the wait, which is what the pipelined cache
+//! hot paths exploit.  Either way every verb still consumes one message of
+//! the target node's RNIC budget — posting and batching buy *latency*, not
+//! message rate, which is why the NIC-bound throughput ceiling of §5.3 is
+//! unaffected.
 //!
 //! Measured on the get-heavy YCSB-C ops microbenchmark (200 k requests,
 //! 10 k records, capacity 7 k objects, one client; see
@@ -68,10 +82,14 @@
 //! two bucket READs of every lookup, the frequency-counter FAA flush with
 //! the object READ of every hit, and the object WRITE + bucket READs of
 //! every `Set` takes the simulated hit path from sequential ~2 µs round
-//! trips to one doorbell batch per step, which shows up end-to-end as
-//! **209 k ops/s vs 147 k ops/s (1.42×)** and **p50 4.10 µs vs 5.89 µs**,
-//! at identical hit/miss counts and identical verbs per op (4.34).  The
-//! "unbatched" side of that comparison issues the *same* verb sequence
+//! trips to one doorbell batch per step — **195 k ops/s vs 140 k ops/s
+//! (1.39×)** and **p50 4.61 µs vs 6.14 µs**, at identical hit/miss counts
+//! and identical verbs per op (4.34).  Pipelining the same verbs through
+//! posted WQEs + polled completions (decode the primary bucket while the
+//! secondary is in flight, unsignalled object WRITEs and FAAs) buys a
+//! further **1.02×** (199 k ops/s, p50 4.35 µs) at — again — identical
+//! verbs and doorbells, because only the CPU work's position changes.  The
+//! "unbatched" side of the comparison issues the *same* verb sequence
 //! sequentially (both buckets fetched per lookup), so the ratio isolates
 //! doorbell batching itself; it is not a comparison against a
 //! short-circuiting lookup that stops after a primary-bucket hit.
@@ -100,6 +118,7 @@ pub mod alloc;
 pub mod batch;
 pub mod client;
 pub mod config;
+pub mod cq;
 pub mod error;
 pub mod harness;
 pub mod histogram;
@@ -110,12 +129,14 @@ pub mod pool;
 pub mod rpc;
 pub mod stats;
 pub mod topology;
+pub mod wqe;
 
 pub use addr::RemoteAddr;
 pub use alloc::{ClientAllocator, StripedAllocator};
 pub use batch::BatchBuilder;
 pub use client::DmClient;
 pub use config::DmConfig;
+pub use cq::{Completion, CompletionQueue};
 pub use error::{DmError, DmResult};
 pub use harness::{run_clients, ClientCtx};
 pub use histogram::LatencyHistogram;
@@ -128,3 +149,4 @@ pub use pool::MemoryPool;
 pub use rpc::{RpcHandler, RpcOutcome};
 pub use stats::{PoolStats, RunReport};
 pub use topology::{PlacementMode, PoolTopology};
+pub use wqe::WorkQueue;

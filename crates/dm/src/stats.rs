@@ -140,6 +140,12 @@ pub struct PoolStats {
     batched_verbs: AtomicU64,
     largest_batch: AtomicU64,
     largest_fanout: AtomicU64,
+    /// WQEs posted *signalled* (their completion is polled from the CQ).
+    signalled_wqes: AtomicU64,
+    /// WQEs posted *unsignalled* (fire-and-forget; never waited for).
+    unsignalled_wqes: AtomicU64,
+    /// Successful completion-queue polls.
+    cq_polls: AtomicU64,
     /// Resident *object* bytes per node: allocations minus frees as reported
     /// by the cache layer.  This is pool **state**, not interval traffic, so
     /// [`PoolStats::reset`] leaves it alone; a drained node's entry reaching
@@ -174,6 +180,9 @@ impl PoolStats {
             batched_verbs: AtomicU64::new(0),
             largest_batch: AtomicU64::new(0),
             largest_fanout: AtomicU64::new(0),
+            signalled_wqes: AtomicU64::new(0),
+            unsignalled_wqes: AtomicU64::new(0),
+            cq_polls: AtomicU64::new(0),
             resident_bytes,
             migrated_bytes: AtomicU64::new(0),
             migrated_objects: AtomicU64::new(0),
@@ -230,6 +239,35 @@ impl PoolStats {
     /// Largest per-batch memory-node fan-out observed.
     pub fn largest_fanout(&self) -> u64 {
         self.largest_fanout.load(Ordering::Relaxed)
+    }
+
+    /// Records one WQE handed to the NIC, signalled or unsignalled.
+    pub fn record_wqe(&self, signalled: bool) {
+        if signalled {
+            self.signalled_wqes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.unsignalled_wqes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one successful completion-queue poll.
+    pub fn record_cq_poll(&self) {
+        self.cq_polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// WQEs posted signalled so far.
+    pub fn signalled_wqes(&self) -> u64 {
+        self.signalled_wqes.load(Ordering::Relaxed)
+    }
+
+    /// WQEs posted unsignalled so far.
+    pub fn unsignalled_wqes(&self) -> u64 {
+        self.unsignalled_wqes.load(Ordering::Relaxed)
+    }
+
+    /// Successful completion-queue polls so far.
+    pub fn cq_polls(&self) -> u64 {
+        self.cq_polls.load(Ordering::Relaxed)
     }
 
     /// Mean verbs per doorbell batch (0 when no batch was rung).
@@ -407,6 +445,9 @@ impl PoolStats {
         self.batched_verbs.store(0, Ordering::Relaxed);
         self.largest_batch.store(0, Ordering::Relaxed);
         self.largest_fanout.store(0, Ordering::Relaxed);
+        self.signalled_wqes.store(0, Ordering::Relaxed);
+        self.unsignalled_wqes.store(0, Ordering::Relaxed);
+        self.cq_polls.store(0, Ordering::Relaxed);
         // Migration *traffic* counters reset with the interval; the per-node
         // resident byte gauges are pool state and deliberately survive.
         self.migrated_bytes.store(0, Ordering::Relaxed);

@@ -1,0 +1,424 @@
+//! Posted work-queue entries (WQEs): the RNIC send-queue model.
+//!
+//! Real RDMA clients do not "execute a batch and wait": they **post**
+//! work-queue entries to a send queue, ring the doorbell once, and get on
+//! with useful CPU work while the NIC carries the verbs out.  Each WQE is
+//! posted either *signalled* — its completion will surface as a CQE on the
+//! client's [`crate::cq::CompletionQueue`] — or *unsignalled* — fire and
+//! forget, no completion is generated and the client never waits for it.
+//! Sherman, FUSEE and Ditto (§4.2) all lean on this discipline to hide
+//! dependent round trips on disaggregated memory.
+//!
+//! [`WorkQueue`] is the simulator's send queue.  [`WorkQueue::post_read`] /
+//! [`post_write`](WorkQueue::post_write) / [`post_faa`](WorkQueue::post_faa)
+//! queue up to [`MAX_WQES`] verbs without heap allocation (the queue is an
+//! inline array); [`WorkQueue::ring`] rings one doorbell per distinct target
+//! memory node and hands the WQEs to the simulated NIC:
+//!
+//! * the **posting cost** `fanout × doorbell_latency_ns + n × verb_issue_ns`
+//!   is charged to the client clock immediately (it is synchronous CPU/MMIO
+//!   work);
+//! * every WQE is assigned a **completion time**: the ring-end clock plus
+//!   the per-node *prefix maximum* of transfer latencies — WQEs on one node
+//!   travel over one queue pair and complete **in order**, so a small verb
+//!   posted after a large one completes no earlier than the large one;
+//! * the verbs execute against the arena right away (simulation state), and
+//!   a completion entry is pushed for every *signalled* WQE; the latency is
+//!   only charged when the client later **polls** it, as *time since post* —
+//!   CPU work done between `ring` and `poll_cq` genuinely overlaps the
+//!   in-flight transfers.
+//!
+//! Posting to a full queue automatically rings the doorbell for the queued
+//! prefix and keeps going, so an oversized posting burst degrades to an
+//! extra doorbell instead of failing (a real send queue blocks the poster
+//! the same way).
+//!
+//! Every WQE — signalled or not — still consumes one RNIC message on its
+//! target node: pipelining saves *latency*, never message rate.
+
+use crate::addr::RemoteAddr;
+use crate::client::DmClient;
+use crate::config::DmConfig;
+use crate::cq::Completion;
+use crate::stats::VerbKind;
+
+/// Maximum WQEs per posting round (and per doorbell batch).
+///
+/// Sized for the largest burst the cache issues (an eviction sample of up to
+/// 32 slots plus a couple of metadata verbs); a real RNIC send queue is far
+/// deeper, but a fixed bound keeps the queue allocation-free.  Posting past
+/// the bound auto-rings the doorbell instead of failing.
+pub const MAX_WQES: usize = 40;
+
+/// The one-sided operation a WQE carries.
+pub(crate) enum WqeOp<'buf> {
+    /// One-sided `RDMA_READ` into a caller-provided buffer.
+    Read {
+        addr: RemoteAddr,
+        buf: &'buf mut [u8],
+    },
+    /// One-sided `RDMA_WRITE` of borrowed bytes.
+    Write {
+        addr: RemoteAddr,
+        data: &'buf [u8],
+    },
+    /// `RDMA_FAA`; the old value is discarded (a fetched result would have
+    /// to be awaited and could not ride a pipeline anyway).
+    Faa {
+        addr: RemoteAddr,
+        delta: u64,
+    },
+}
+
+impl WqeOp<'_> {
+    pub(crate) fn kind(&self) -> VerbKind {
+        match self {
+            WqeOp::Read { .. } => VerbKind::Read,
+            WqeOp::Write { .. } => VerbKind::Write,
+            WqeOp::Faa { .. } => VerbKind::Faa,
+        }
+    }
+
+    pub(crate) fn payload_len(&self) -> usize {
+        match self {
+            WqeOp::Read { buf, .. } => buf.len(),
+            WqeOp::Write { data, .. } => data.len(),
+            WqeOp::Faa { .. } => 8,
+        }
+    }
+
+    pub(crate) fn mn_id(&self) -> u16 {
+        match self {
+            WqeOp::Read { addr, .. } | WqeOp::Write { addr, .. } | WqeOp::Faa { addr, .. } => {
+                addr.mn_id
+            }
+        }
+    }
+
+    /// Round-trip transfer latency of this verb under `cfg`.
+    pub(crate) fn transfer_ns(&self, cfg: &DmConfig) -> u64 {
+        let base = match self.kind() {
+            VerbKind::Read => cfg.read_latency_ns,
+            VerbKind::Write => cfg.write_latency_ns,
+            VerbKind::Faa => cfg.faa_latency_ns,
+            VerbKind::Cas => cfg.cas_latency_ns,
+            VerbKind::Rpc => cfg.rpc_latency_ns,
+        };
+        cfg.transfer_latency_ns(base, self.payload_len())
+    }
+
+    /// Executes the operation against the target node's arena.
+    pub(crate) fn perform(self, client: &DmClient) {
+        match self {
+            WqeOp::Read { addr, buf } => {
+                client
+                    .node_ref(addr.mn_id)
+                    .read_into(addr.offset, buf)
+                    .unwrap_or_else(|e| panic!("posted RDMA_READ failed: {e}"));
+            }
+            WqeOp::Write { addr, data } => {
+                client
+                    .node_ref(addr.mn_id)
+                    .write(addr.offset, data)
+                    .unwrap_or_else(|e| panic!("posted RDMA_WRITE failed: {e}"));
+            }
+            WqeOp::Faa { addr, delta } => {
+                client
+                    .node_ref(addr.mn_id)
+                    .faa(addr.offset, delta)
+                    .unwrap_or_else(|e| panic!("posted RDMA_FAA failed: {e}"));
+            }
+        }
+    }
+}
+
+struct Wqe<'buf> {
+    op: WqeOp<'buf>,
+    signalled: bool,
+    wr_id: u64,
+}
+
+/// A send queue of posted-but-not-yet-rung WQEs (see the module docs).
+///
+/// Obtained from [`DmClient::work_queue`]; dropped without ringing, the
+/// queued WQEs issue nothing.
+pub struct WorkQueue<'client, 'buf> {
+    client: &'client DmClient,
+    wqes: [Option<Wqe<'buf>>; MAX_WQES],
+    len: usize,
+}
+
+impl<'client, 'buf> WorkQueue<'client, 'buf> {
+    pub(crate) fn new(client: &'client DmClient) -> Self {
+        WorkQueue {
+            client,
+            wqes: [const { None }; MAX_WQES],
+            len: 0,
+        }
+    }
+
+    /// Number of WQEs posted since the last doorbell.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no WQE is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn post(&mut self, op: WqeOp<'buf>, signalled: bool) -> u64 {
+        if self.len == MAX_WQES {
+            // A full send queue blocks the poster on real hardware; the
+            // simulator rings the doorbell for the queued prefix instead of
+            // failing, so oversized bursts cost an extra doorbell, not a
+            // client abort.
+            self.ring();
+        }
+        let wr_id = self.client.alloc_wr_id();
+        self.wqes[self.len] = Some(Wqe {
+            op,
+            signalled,
+            wr_id,
+        });
+        self.len += 1;
+        wr_id
+    }
+
+    /// Posts a one-sided `RDMA_READ` of `buf.len()` bytes into `buf`.
+    /// Returns the work-request id its completion will carry.
+    pub fn post_read(&mut self, addr: RemoteAddr, buf: &'buf mut [u8], signalled: bool) -> u64 {
+        self.post(WqeOp::Read { addr, buf }, signalled)
+    }
+
+    /// Posts a one-sided `RDMA_WRITE` of `data`.
+    pub fn post_write(&mut self, addr: RemoteAddr, data: &'buf [u8], signalled: bool) -> u64 {
+        self.post(WqeOp::Write { addr, data }, signalled)
+    }
+
+    /// Posts an `RDMA_FAA` of `delta` (old value discarded).
+    pub fn post_faa(&mut self, addr: RemoteAddr, delta: u64, signalled: bool) -> u64 {
+        self.post(WqeOp::Faa { addr, delta }, signalled)
+    }
+
+    /// Rings the doorbell: charges the posting cost `fanout ×
+    /// doorbell_latency_ns + n × verb_issue_ns` to the client clock, assigns
+    /// every WQE its completion time (per-node in-order; see the module
+    /// docs), executes the verbs, pushes a completion for each *signalled*
+    /// WQE onto the client's completion queue and clears the send queue.
+    ///
+    /// Returns the posting cost charged (0 for an empty queue).  The
+    /// transfer latencies are **not** charged here — they are charged by
+    /// [`DmClient::poll_cq`] as time since post.
+    pub fn ring(&mut self) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let client = self.client;
+        let cfg = client.config();
+        // Distinct target nodes, in first-appearance order (allocation-free).
+        let mut nodes = [0u16; MAX_WQES];
+        let mut fanout = 0;
+        for wqe in self.wqes[..self.len].iter().flatten() {
+            let mn = wqe.op.mn_id();
+            if !nodes[..fanout].contains(&mn) {
+                nodes[fanout] = mn;
+                fanout += 1;
+            }
+        }
+        let post_cost = fanout as u64 * cfg.doorbell_latency_ns + self.len as u64 * cfg.verb_issue_ns;
+        client.advance_ns(post_cost);
+        let ring_end = client.now_ns();
+        let stats = client.pool().stats();
+        stats.record_batch(self.len, fanout);
+        for &mn in &nodes[..fanout] {
+            stats.record_node_doorbell(mn);
+        }
+        // Per-node prefix maximum of transfer latencies: one queue pair per
+        // node, completions in posting order.
+        let mut node_floor = [0u64; MAX_WQES];
+        for wqe in self.wqes[..self.len].iter_mut().map(Option::take) {
+            let Some(wqe) = wqe else { continue };
+            let mn = wqe.op.mn_id();
+            let slot = nodes[..fanout].iter().position(|&n| n == mn).unwrap_or(0);
+            node_floor[slot] = node_floor[slot].max(wqe.op.transfer_ns(cfg));
+            stats.record_verb(mn, wqe.op.kind(), wqe.op.payload_len());
+            stats.record_wqe(wqe.signalled);
+            if wqe.signalled {
+                client.push_completion(Completion {
+                    wr_id: wqe.wr_id,
+                    completed_at_ns: ring_end + node_floor[slot],
+                });
+            }
+            wqe.op.perform(client);
+        }
+        self.len = 0;
+        post_cost
+    }
+}
+
+impl Drop for WorkQueue<'_, '_> {
+    fn drop(&mut self) {
+        // Dropped without ringing: like an un-rung doorbell batch, the
+        // queued WQEs never reach the NIC.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DmConfig;
+    use crate::pool::MemoryPool;
+
+    fn pool() -> MemoryPool {
+        MemoryPool::new(DmConfig::small())
+    }
+
+    #[test]
+    fn ring_charges_posting_cost_and_poll_charges_time_since_post() {
+        let pool = pool();
+        let client = pool.connect();
+        let cfg = client.config().clone();
+        let addr = pool.reserve(4096).unwrap();
+        client.write(addr, &[9u8; 4096]);
+        let t0 = client.now_ns();
+
+        let mut buf = [0u8; 64];
+        let mut wq = client.work_queue();
+        let wr = wq.post_read(addr, &mut buf, true);
+        let post_cost = wq.ring();
+        assert_eq!(post_cost, cfg.doorbell_latency_ns + cfg.verb_issue_ns);
+        assert_eq!(client.now_ns() - t0, post_cost, "ring charges only the posting cost");
+        drop(wq);
+        assert_eq!(buf, [9u8; 64], "the verb executed at ring time");
+
+        let completion = client.poll_cq().expect("signalled WQE must complete");
+        assert_eq!(completion.wr_id, wr);
+        let transfer = cfg.transfer_latency_ns(cfg.read_latency_ns, 64);
+        assert_eq!(
+            client.now_ns() - t0,
+            post_cost + transfer + cfg.cq_poll_ns,
+            "poll charges the remaining flight time plus the poll cost"
+        );
+    }
+
+    #[test]
+    fn cpu_work_between_ring_and_poll_overlaps_the_flight() {
+        let pool = pool();
+        let client = pool.connect();
+        let cfg = client.config().clone();
+        let addr = pool.reserve(64).unwrap();
+        let transfer = cfg.transfer_latency_ns(cfg.read_latency_ns, 64);
+
+        let mut buf = [0u8; 64];
+        let mut wq = client.work_queue();
+        wq.post_read(addr, &mut buf, true);
+        wq.ring();
+        drop(wq);
+        let ring_end = client.now_ns();
+        // CPU work longer than the flight: the poll finds the completion
+        // already in the past and charges only the poll cost.
+        client.advance_ns(transfer + 500);
+        client.poll_cq().unwrap();
+        assert_eq!(client.now_ns(), ring_end + transfer + 500 + cfg.cq_poll_ns);
+    }
+
+    #[test]
+    fn unsignalled_wqes_produce_no_completion_but_consume_messages() {
+        let pool = pool();
+        let client = pool.connect();
+        let addr = pool.reserve(64).unwrap();
+        let mut wq = client.work_queue();
+        wq.post_write(addr, b"fire-and-forget", false);
+        wq.post_faa(addr.add(32), 1, false);
+        wq.ring();
+        drop(wq);
+        assert_eq!(client.poll_cq(), None, "unsignalled WQEs surface no CQE");
+        let snap = &pool.stats().node_snapshots()[0];
+        assert_eq!(snap.messages, 2, "unsignalled WQEs still consume messages");
+        assert_eq!(pool.stats().unsignalled_wqes(), 2);
+        assert_eq!(pool.stats().signalled_wqes(), 0);
+    }
+
+    #[test]
+    fn same_node_wqes_complete_in_posting_order() {
+        let pool = pool();
+        let client = pool.connect();
+        let cfg = client.config().clone();
+        let addr = pool.reserve(8192).unwrap();
+        let (mut large, mut small) = ([0u8; 8192], [0u8; 8]);
+        let mut wq = client.work_queue();
+        let wr_large = wq.post_read(addr, &mut large, true);
+        let wr_small = wq.post_read(addr, &mut small, true);
+        wq.ring();
+        drop(wq);
+        let ring_end = client.now_ns();
+        let t_large = cfg.transfer_latency_ns(cfg.read_latency_ns, 8192);
+        // The small READ is queued behind the large one on the same queue
+        // pair, so both complete at the large READ's time.
+        let first = client.poll_cq().unwrap();
+        assert_eq!(first.wr_id, wr_large);
+        assert_eq!(first.completed_at_ns, ring_end + t_large);
+        let second = client.poll_cq().unwrap();
+        assert_eq!(second.wr_id, wr_small);
+        assert_eq!(second.completed_at_ns, ring_end + t_large);
+    }
+
+    #[test]
+    fn cross_node_wqes_overlap_and_complete_independently() {
+        let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+        let client = pool.connect();
+        let cfg = client.config().clone();
+        let a = pool.reserve_on(0, 8192).unwrap();
+        let b = pool.reserve_on(1, 64).unwrap();
+        let (mut large, mut small) = ([0u8; 8192], [0u8; 64]);
+        let mut wq = client.work_queue();
+        let wr_large = wq.post_read(a, &mut large, true);
+        let wr_small = wq.post_read(b, &mut small, true);
+        wq.ring();
+        drop(wq);
+        let ring_end = client.now_ns();
+        // Different nodes, different queue pairs: the small READ is not
+        // delayed by the large one and its completion surfaces first.
+        let first = client.poll_cq().unwrap();
+        assert_eq!(first.wr_id, wr_small);
+        assert_eq!(
+            first.completed_at_ns,
+            ring_end + cfg.transfer_latency_ns(cfg.read_latency_ns, 64)
+        );
+        let second = client.poll_cq().unwrap();
+        assert_eq!(second.wr_id, wr_large);
+        assert_eq!(pool.stats().doorbells(), 2, "one doorbell per node");
+    }
+
+    #[test]
+    fn posting_past_the_queue_bound_auto_rings() {
+        let pool = pool();
+        let client = pool.connect();
+        let addr = pool.reserve(8).unwrap();
+        let mut wq = client.work_queue();
+        for _ in 0..=MAX_WQES {
+            wq.post_faa(addr, 1, false);
+        }
+        assert_eq!(wq.len(), 1, "the overflowing WQE starts a fresh round");
+        wq.ring();
+        drop(wq);
+        assert_eq!(pool.stats().doorbells(), 2, "overflow rang an extra doorbell");
+        assert_eq!(client.read_u64(addr), MAX_WQES as u64 + 1);
+    }
+
+    #[test]
+    fn dropped_work_queue_issues_nothing() {
+        let pool = pool();
+        let client = pool.connect();
+        let addr = pool.reserve(8).unwrap();
+        client.write_u64(addr, 0);
+        pool.reset_stats();
+        {
+            let mut wq = client.work_queue();
+            wq.post_faa(addr, 5, true);
+        }
+        assert_eq!(client.poll_cq(), None);
+        assert_eq!(client.read_u64(addr), 0, "un-rung WQEs never execute");
+    }
+}

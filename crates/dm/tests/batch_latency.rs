@@ -81,13 +81,13 @@ fn batch_latency_is_doorbell_plus_max_of_transfers() {
                 let addr = region.add((i * 4_096) as u64);
                 match kind {
                     Kind::Read => {
-                        batch.read_into(addr, &mut buf[..]);
+                        batch.read_into(addr, &mut buf[..]).unwrap();
                     }
                     Kind::Write => {
-                        batch.write(addr, &write_buf[..size]);
+                        batch.write(addr, &write_buf[..size]).unwrap();
                     }
                     Kind::Faa => {
-                        batch.faa(addr, 1);
+                        batch.faa(addr, 1).unwrap();
                     }
                 }
             }
@@ -128,7 +128,7 @@ fn every_batched_verb_still_consumes_a_message() {
         let mut bufs: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; 64]).collect();
         let mut batch = client.batch();
         for (i, buf) in bufs.iter_mut().enumerate() {
-            batch.read_into(region.add((i * 64) as u64), &mut buf[..]);
+            batch.read_into(region.add((i * 64) as u64), &mut buf[..]).unwrap();
         }
         batch.execute();
         let snap = &pool.stats().node_snapshots()[0];

@@ -1,0 +1,199 @@
+//! Randomized properties of the posted-WQE/polled-completion data path.
+//!
+//! For arbitrary mixes of READ/WRITE/FAA WQEs, payload sizes, doorbell/issue
+//! cost knobs and post-to-poll CPU work `c`:
+//!
+//! * with free polls, a fully drained posting round charges exactly
+//!   `post_cost + max(c, max transfer)` — i.e. the CPU work overlaps the
+//!   flight instead of serialising behind it;
+//! * the pipelined charge is therefore **≤ the synchronous doorbell batch
+//!   latency plus the CPU work**, and **≥ the slowest member's transfer
+//!   time**;
+//! * with zero CPU work the drained round equals the synchronous
+//!   [`ditto_dm::BatchBuilder::execute`] charge exactly.
+
+use ditto_dm::{DmConfig, MemoryPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Read,
+    Write,
+    Faa,
+}
+
+struct Case {
+    kinds: Vec<Kind>,
+    sizes: Vec<usize>,
+}
+
+fn random_case(rng: &mut StdRng) -> Case {
+    let n = rng.gen_range(1usize..12);
+    let mut kinds = Vec::new();
+    let mut sizes = Vec::new();
+    for _ in 0..n {
+        kinds.push(match rng.gen_range(0u32..3) {
+            0 => Kind::Read,
+            1 => Kind::Write,
+            _ => Kind::Faa,
+        });
+        sizes.push(rng.gen_range(1usize..4_096));
+    }
+    Case { kinds, sizes }
+}
+
+/// Posts the case's WQEs (all signalled), rings, does `cpu_ns` of local
+/// work, drains the CQ; returns the elapsed simulated time.
+fn run_pipelined(pool: &MemoryPool, case: &Case, cpu_ns: u64) -> u64 {
+    let client = pool.connect();
+    let region = pool.reserve(64 * 1024).unwrap();
+    let mut read_bufs: Vec<Vec<u8>> = case.sizes.iter().map(|&s| vec![0u8; s]).collect();
+    let write_buf = vec![7u8; 4_096];
+    let t0 = client.now_ns();
+    let mut wq = client.work_queue();
+    for (i, (&kind, buf)) in case.kinds.iter().zip(read_bufs.iter_mut()).enumerate() {
+        let addr = region.add((i * 4_096) as u64);
+        match kind {
+            Kind::Read => {
+                wq.post_read(addr, &mut buf[..], true);
+            }
+            Kind::Write => {
+                wq.post_write(addr, &write_buf[..case.sizes[i]], true);
+            }
+            Kind::Faa => {
+                wq.post_faa(addr, 1, true);
+            }
+        }
+    }
+    wq.ring();
+    drop(wq);
+    client.advance_ns(cpu_ns);
+    while client.poll_cq().is_some() {}
+    client.now_ns() - t0
+}
+
+#[test]
+fn drained_pipeline_charges_post_cost_plus_max_of_cpu_and_flight() {
+    let mut rng = StdRng::seed_from_u64(0x90571);
+    for case_idx in 0..200 {
+        // Random cost knobs; polls kept free so the property is exact.
+        let config = DmConfig::small()
+            .with_doorbell_costs(rng.gen_range(0u64..1_000), rng.gen_range(0u64..200))
+            .with_cq_poll_cost(0);
+        let doorbell = config.doorbell_latency_ns;
+        let issue = config.verb_issue_ns;
+        let pool = MemoryPool::new(config);
+        let case = random_case(&mut rng);
+        let n = case.kinds.len() as u64;
+        let cpu = rng.gen_range(0u64..8_000);
+
+        let cfg = pool.config().clone();
+        let transfer = |kind: Kind, len: usize| match kind {
+            Kind::Read => cfg.transfer_latency_ns(cfg.read_latency_ns, len),
+            Kind::Write => cfg.transfer_latency_ns(cfg.write_latency_ns, len),
+            Kind::Faa => cfg.transfer_latency_ns(cfg.faa_latency_ns, 8),
+        };
+        let max: u64 = case
+            .kinds
+            .iter()
+            .zip(&case.sizes)
+            .map(|(&k, &s)| transfer(k, s))
+            .max()
+            .unwrap();
+        let post_cost = doorbell + n * issue;
+        let batch_latency = post_cost + max;
+
+        let elapsed = run_pipelined(&pool, &case, cpu);
+        assert_eq!(
+            elapsed,
+            post_cost + cpu.max(max),
+            "case {case_idx}: a drained round must charge post + max(cpu, flight) \
+             (n={n}, cpu={cpu}, max={max})"
+        );
+        // The two bounding properties the refactor promises.
+        assert!(
+            elapsed <= batch_latency + cpu,
+            "case {case_idx}: pipelined {elapsed} must not exceed batch {batch_latency} + cpu {cpu}"
+        );
+        assert!(
+            elapsed >= max,
+            "case {case_idx}: pipelined {elapsed} cannot beat the slowest transfer {max}"
+        );
+        if cpu == 0 {
+            assert_eq!(elapsed, batch_latency, "case {case_idx}: no CPU work → batch charge");
+        }
+    }
+}
+
+#[test]
+fn pipelined_round_matches_synchronous_batch_without_cpu_work() {
+    // With default (non-zero) poll costs and zero CPU work, the drained
+    // pipeline can never beat the synchronous batch charge, and exceeds it
+    // by at most one poll cost per WQE (polls whose completion is still in
+    // flight are absorbed by the wait).
+    let mut rng = StdRng::seed_from_u64(0xabcde);
+    for _ in 0..50 {
+        let pool = MemoryPool::new(DmConfig::small());
+        let case = random_case(&mut rng);
+        let n = case.kinds.len() as u64;
+        let cfg = pool.config().clone();
+
+        // Synchronous reference charge via the compatibility wrapper.
+        let client = pool.connect();
+        let region = pool.reserve(64 * 1024).unwrap();
+        let mut bufs: Vec<Vec<u8>> = case.sizes.iter().map(|&s| vec![0u8; s]).collect();
+        let write_buf = vec![7u8; 4_096];
+        let mut batch = client.batch();
+        for (i, (&kind, buf)) in case.kinds.iter().zip(bufs.iter_mut()).enumerate() {
+            let addr = region.add((i * 4_096) as u64);
+            match kind {
+                Kind::Read => batch.read_into(addr, &mut buf[..]).unwrap(),
+                Kind::Write => batch.write(addr, &write_buf[..case.sizes[i]]).unwrap(),
+                Kind::Faa => batch.faa(addr, 1).unwrap(),
+            };
+        }
+        let batch_latency = batch.batched_latency_ns();
+        let _ = batch;
+
+        let elapsed = run_pipelined(&pool, &case, 0);
+        assert!(
+            elapsed >= batch_latency,
+            "draining without CPU work cannot beat the batch: {elapsed} < {batch_latency}"
+        );
+        assert!(
+            elapsed <= batch_latency + n * cfg.cq_poll_ns,
+            "poll overhead is bounded: {elapsed} > {batch_latency} + {n}×{}",
+            cfg.cq_poll_ns
+        );
+    }
+}
+
+#[test]
+fn unsignalled_wqes_are_never_waited_for() {
+    // A signalled small READ next to an unsignalled huge WRITE on another
+    // node: draining the CQ waits for the READ only.
+    let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2).with_cq_poll_cost(0));
+    let client = pool.connect();
+    let cfg = pool.config().clone();
+    let a = pool.reserve_on(0, 64).unwrap();
+    let b = pool.reserve_on(1, 32 * 1024).unwrap();
+    let huge = vec![3u8; 32 * 1024];
+    let mut buf = [0u8; 64];
+    let t0 = client.now_ns();
+    let mut wq = client.work_queue();
+    wq.post_write(b, &huge, false);
+    wq.post_read(a, &mut buf, true);
+    wq.ring();
+    drop(wq);
+    client.drain_cq();
+    let elapsed = client.now_ns() - t0;
+    let post = 2 * cfg.doorbell_latency_ns + 2 * cfg.verb_issue_ns;
+    let t_read = cfg.transfer_latency_ns(cfg.read_latency_ns, 64);
+    let t_write = cfg.transfer_latency_ns(cfg.write_latency_ns, 32 * 1024);
+    assert_eq!(elapsed, post + t_read, "the huge unsignalled WRITE left the critical path");
+    assert!(t_write > t_read * 2, "sanity: the WRITE really is slower");
+    // ... but it still consumed a message and really happened.
+    assert_eq!(client.read(b, 4), vec![3u8; 4]);
+    assert_eq!(pool.stats().node_snapshots()[1].writes, 1);
+}
