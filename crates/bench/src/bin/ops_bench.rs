@@ -30,7 +30,7 @@
 //! ```
 
 use ditto_core::{DittoCache, DittoConfig};
-use ditto_dm::DmConfig;
+use ditto_dm::{run_clients, DmConfig};
 use ditto_workloads::{YcsbSpec, YcsbWorkload};
 
 /// RNIC message budget (verbs/s per node) for the striping sweep — low
@@ -175,6 +175,82 @@ fn run_sweep_pair(nodes: u16, spec: &YcsbSpec, capacity: u64) -> SweepPoint {
     point
 }
 
+/// One point of the concurrency section: `threads` OS threads, each with
+/// its own `DittoClient`, hammering **one shared cache**.
+#[derive(Debug, Clone)]
+struct ConcurrencyPoint {
+    threads: usize,
+    ops: u64,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    cas_retries: u64,
+    lock_acquire_attempts: u64,
+    lock_acquisitions: u64,
+    lock_wait_retries: u64,
+    backoff_ms: f64,
+}
+
+/// Runs the get-heavy trace split over `threads` real OS threads sharing
+/// one cache (the total request volume is fixed, so more threads mean less
+/// work per thread).  Aggregate simulated throughput comes from the
+/// harness — elapsed time is the slowest client's clock, stretched to the
+/// most saturated resource — and the contention counters are the
+/// per-interval delta of the pool's lifetime counters (they survive the
+/// harness's stats reset by design).
+fn run_concurrency_point(threads: usize, spec: &YcsbSpec, capacity: u64) -> ConcurrencyPoint {
+    let cache =
+        DittoCache::with_dedicated_pool(DittoConfig::with_capacity(capacity), DmConfig::default())
+            .unwrap();
+    // Load phase: one client pre-populates every record (not measured).
+    {
+        let mut client = cache.client();
+        let mut value = vec![0u8; spec.value_size as usize];
+        for key in 0..spec.record_count {
+            value.fill(key as u8);
+            client.set(&key.to_le_bytes(), &value);
+        }
+        client.dm().publish_clock();
+    }
+    let contention_before = cache.pool().stats().contention();
+
+    let per_thread = YcsbSpec {
+        request_count: spec.request_count / threads as u64,
+        ..*spec
+    };
+    let (report, _) = run_clients(cache.pool(), threads, |ctx| {
+        let mut client = cache.client();
+        client.dm().reset_clock();
+        let mut value = vec![0u8; per_thread.value_size as usize];
+        let mut value_buf = Vec::with_capacity(per_thread.value_size as usize);
+        // Distinct seed per thread: overlapping Zipf key popularity (real
+        // slot contention) without identical request order.
+        let requests = per_thread.run_requests_seeded(YcsbWorkload::C, 1_000 + ctx.index as u64);
+        for request in requests {
+            let key = request.key_bytes();
+            if !client.get_into(&key, &mut value_buf) {
+                value.fill(request.key as u8);
+                client.set(&key, &value);
+            }
+        }
+        client.flush();
+    });
+    let contention = cache.pool().stats().contention().delta(&contention_before);
+
+    ConcurrencyPoint {
+        threads,
+        ops: report.total_ops,
+        ops_per_sec: report.throughput_mops * 1e6,
+        p50_us: report.p50_latency_us,
+        p99_us: report.p99_latency_us,
+        cas_retries: contention.cas_retries,
+        lock_acquire_attempts: contention.lock_acquire_attempts,
+        lock_acquisitions: contention.lock_acquisitions,
+        lock_wait_retries: contention.lock_wait_retries,
+        backoff_ms: contention.backoff_ns as f64 / 1e6,
+    }
+}
+
 /// One batching mode's trip through the online-resize timeline (fig 18 on
 /// the ops-bench workload): steady → add_node (pump interleaved with
 /// serving) → migrated → drain (pump interleaved) → drained-to-empty.
@@ -312,6 +388,28 @@ fn resize_json(report: &ResizeReport) -> String {
         report.drained_residual_bytes,
         report.drained_node_reads,
         report.total_reads,
+    )
+}
+
+fn concurrency_json(point: &ConcurrencyPoint) -> String {
+    format!(
+        concat!(
+            "{{ \"threads\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}, ",
+            "\"p50_latency_us\": {:.3}, \"p99_latency_us\": {:.3}, ",
+            "\"cas_retries\": {}, \"lock_acquire_attempts\": {}, ",
+            "\"lock_acquisitions\": {}, \"lock_wait_retries\": {}, ",
+            "\"backoff_ms\": {:.3} }}"
+        ),
+        point.threads,
+        point.ops,
+        point.ops_per_sec,
+        point.p50_us,
+        point.p99_us,
+        point.cas_retries,
+        point.lock_acquire_attempts,
+        point.lock_acquisitions,
+        point.lock_wait_retries,
+        point.backoff_ms,
     )
 }
 
@@ -461,6 +559,34 @@ fn main() {
         );
     }
 
+    // Truly concurrent clients: aggregate throughput and tail latency for
+    // 1/2/4/8 OS threads sharing one cache, with the pool's contention
+    // counters (CAS retries, lock traffic, backoff) per point.
+    let conc_spec = YcsbSpec {
+        record_count: spec.record_count,
+        request_count: (requests / 4).max(20_000),
+        ..YcsbSpec::default()
+    }
+    .with_seed(42);
+    eprintln!(
+        "ops_bench: concurrency, {} total requests per point",
+        conc_spec.request_count
+    );
+    let mut concurrency = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let point = run_concurrency_point(threads, &conc_spec, capacity);
+        eprintln!(
+            "  {:>2} thr: {:>12.0} ops/s  {:.2} µs p50  {:.2} µs p99  {:>6} cas-retries  {:>6} lock-waits",
+            point.threads,
+            point.ops_per_sec,
+            point.p50_us,
+            point.p99_us,
+            point.cas_retries,
+            point.lock_wait_retries,
+        );
+        concurrency.push(point);
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -478,6 +604,7 @@ fn main() {
             "  \"pipelined_speedup\": {:.4},\n",
             "  \"mn_sweep_message_rate\": {},\n",
             "  \"mn_sweep\": [\n    {}\n  ],\n",
+            "  \"concurrency\": [\n    {}\n  ],\n",
             "  \"resize_window\": {{\n",
             "    \"batched\": {},\n",
             "    \"unbatched\": {}\n",
@@ -494,6 +621,11 @@ fn main() {
         pipelined_speedup,
         SWEEP_MESSAGE_RATE,
         sweep.iter().map(sweep_json).collect::<Vec<_>>().join(",\n    "),
+        concurrency
+            .iter()
+            .map(concurrency_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
         resize_json(&resize_batched),
         resize_json(&resize_unbatched),
     );
@@ -573,6 +705,29 @@ fn main() {
             "{name}: migration must raise the message-bound ceiling: {:.0} -> {:.0}",
             r.steady_ops_per_sec,
             r.migrated_ops_per_sec
+        );
+    }
+    // Concurrency gates: (a) aggregate simulated ops/s must be monotone
+    // non-decreasing from 1 to 4 client threads — more clients on one
+    // shared cache must scale until a shared resource saturates; (b) the
+    // contention accounting identity holds on every point (each lock
+    // acquire attempt either succeeded or was booked as a wait retry).
+    for pair in concurrency[..3].windows(2) {
+        assert!(
+            pair[1].ops_per_sec >= pair[0].ops_per_sec,
+            "aggregate ops/s must not drop {} -> {} threads: {:.0} vs {:.0}",
+            pair[0].threads,
+            pair[1].threads,
+            pair[0].ops_per_sec,
+            pair[1].ops_per_sec
+        );
+    }
+    for point in &concurrency {
+        assert_eq!(
+            point.lock_acquire_attempts,
+            point.lock_acquisitions + point.lock_wait_retries,
+            "{} threads: contention accounting identity violated",
+            point.threads
         );
     }
 }

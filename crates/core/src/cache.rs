@@ -18,6 +18,12 @@ use std::sync::Arc;
 /// the process-wide shared state (experts, global-weight service handle,
 /// statistics).  Each client thread obtains its own [`crate::DittoClient`]
 /// through [`DittoCache::client`]; the cache itself is cheap to clone.
+///
+/// `DittoCache` is `Send + Sync`: clone it into as many OS threads as
+/// needed and mint one client per thread — the intended deployment shape
+/// (see the crate-level *Threading model* section).  Concurrent clients
+/// contend on the real slot CAS / FAA hot paths; the pool's contention
+/// counters ([`ditto_dm::PoolStats::contention`]) expose how often they do.
 #[derive(Clone)]
 pub struct DittoCache {
     pool: MemoryPool,

@@ -76,6 +76,7 @@ use ditto_dm::migration::WriteDisposition;
 use ditto_dm::rpc::WEIGHT_SERVICE;
 use ditto_dm::{
     DmClient, DmError, MigrationEngine, PoolTopology, RemoteAddr, StripedAllocator,
+    RECONCILE_POISON,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -83,6 +84,9 @@ use std::sync::Arc;
 
 /// Maximum CAS retries before an operation gives up.
 const MAX_RETRIES: usize = 8;
+/// Simulated back-off charged to a client whose slot CAS lost a race before
+/// it retries (bounded retry/back-off instead of an immediate hot respin).
+const CAS_RETRY_BACKOFF_NS: u64 = 200;
 /// Maximum eviction attempts while trying to free memory for one allocation.
 const MAX_EVICTION_ATTEMPTS: usize = 256;
 
@@ -143,6 +147,15 @@ pub struct DittoClient {
     /// client evicts and recycles locally instead of paying a doomed
     /// segment-`ALLOC` RPC per `Set`.
     mem_pressure: bool,
+    /// Blocks the allocation currently in flight needs; the adaptive hoard
+    /// cap keeps at least this much parked per node so an evicting client
+    /// does not hand the blocks it just freed straight back to the node.
+    pending_alloc_blocks: u64,
+    /// Set by [`Self::resolve_stale_cas`] when a cutover-racing insert could
+    /// not be rolled back: another client displaced the slot word and freed
+    /// the object behind it, so the in-flight `Set` must re-allocate before
+    /// retrying and must not free the original allocation on exit.
+    alloc_abandoned: bool,
     /// Scratch for the two bucket READs of a lookup (front: primary).
     bucket_buf: Box<[u8]>,
     /// Scratch for eviction-sample slot READs.
@@ -201,6 +214,8 @@ impl DittoClient {
             last_decision_messages: Vec::new(),
             last_decision_clock_ns: 0,
             mem_pressure: false,
+            pending_alloc_blocks: 0,
+            alloc_abandoned: false,
             bucket_buf: vec![0u8; 2 * BUCKET_SIZE].into_boxed_slice(),
             sample_buf: vec![0u8; DittoConfig::MAX_SAMPLE_SIZE * SLOT_SIZE].into_boxed_slice(),
             obj_buf: Vec::new(),
@@ -337,11 +352,15 @@ impl DittoClient {
     /// the caller redoes the operation against the stripe's live home.
     fn slot_cas(&mut self, slot_addr: RemoteAddr, expected: u64, new: u64) -> bool {
         if self.dm.cas(slot_addr, expected, new) != expected {
+            // Lost a race with another client's CAS on the same slot: back
+            // off briefly before the caller re-reads and retries, and count
+            // the failure in the pool's contention accounting.
+            self.record_failed_slot_cas();
             return false;
         }
         match self.table.directory().confirm_write(slot_addr, self.mig_token) {
             WriteDisposition::Clean => true,
-            WriteDisposition::Stale => false,
+            WriteDisposition::Stale => self.resolve_stale_cas(slot_addr, expected, new),
             WriteDisposition::Mirror { stripe, .. } => {
                 // Serialise against the engine's copy passes, then re-judge:
                 // the stripe may have committed while we waited for the lock.
@@ -351,15 +370,91 @@ impl DittoClient {
                     match self.table.directory().confirm_write(slot_addr, self.mig_token) {
                         WriteDisposition::Mirror { addr, .. } => {
                             self.dm.write(addr, &new.to_le_bytes());
-                            true
+                            Some(true)
                         }
-                        WriteDisposition::Clean => true,
-                        WriteDisposition::Stale => false,
+                        WriteDisposition::Clean => Some(true),
+                        // The stripe committed while we waited: the holder
+                        // was the commit's reconcile pass, which either
+                        // carried the CAS to the new home or swallowed it.
+                        // Resolve below (the resolution re-takes the lock).
+                        WriteDisposition::Stale => None,
                     };
                 lock.release(&self.dm);
-                verdict
+                verdict.unwrap_or_else(|| self.resolve_stale_cas(slot_addr, expected, new))
             }
         }
+    }
+
+    /// Resolves a slot CAS whose word CAS *succeeded* but whose address the
+    /// directory judged stale — a cutover raced the operation between the
+    /// verb and the judgement.  The commit's reconcile pass makes the
+    /// outcome deterministic: it swaps every source word to
+    /// [`RECONCILE_POISON`] *as* it carries the word's value to the
+    /// destination, so a CAS that succeeded can only have landed before the
+    /// swap — and was therefore carried.  (A CAS racing the swap from the
+    /// other side observes the poison and fails at the verb layer, never
+    /// reaching this resolution.)
+    fn resolve_stale_cas(&mut self, slot_addr: RemoteAddr, expected: u64, new: u64) -> bool {
+        if expected != 0 {
+            // Deterministically carried.  `expected` was read off the live
+            // copy of the stripe, so the CAS hit the live copy before its
+            // reconcile; the reconcile then carried `new` to the stripe's
+            // new home.  The write is live and the displaced value is the
+            // caller's to clean up, exactly as on the Clean path.
+            return true;
+        }
+        // expected == 0 — an insert into a word read as empty.  Two cases:
+        // either the word belonged to the live copy (the insert was carried,
+        // and the caller's retry will find the object already installed), or
+        // the "empty" read predates a cutover and the raw CAS scribbled on a
+        // *recycled* range another stripe now owns (parking reuse).  The
+        // cases are indistinguishable from here, but one cleanup covers
+        // both: CAS the scribble back out, chasing the word across any
+        // later reconciles of the range's owner (the offset within a
+        // stripe is invariant across moves).
+        let dir = Arc::clone(self.table.directory());
+        let mut addr = slot_addr;
+        let mut rolled_back = false;
+        for _ in 0..MAX_RETRIES {
+            let observed = self.dm.cas(addr, new, 0);
+            if observed == new {
+                // Undid the insert: whether it was a scribble or a carried
+                // install, the object is back in the caller's hands (a
+                // carried install just gets re-inserted by the retry).
+                rolled_back = true;
+                break;
+            }
+            if observed == RECONCILE_POISON {
+                // The owning stripe reconciled again mid-chase; follow the
+                // word to the stripe's new home.
+                match dir.resolve_vacated(addr) {
+                    Some((_, next)) if next != addr => {
+                        addr = next;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            // A third value: an evictor or a later insert already displaced
+            // the word — and freed the object it pointed at.  The caller
+            // must not free (or reuse) its allocation.
+            break;
+        }
+        if !rolled_back {
+            self.alloc_abandoned = true;
+        }
+        self.record_failed_slot_cas();
+        false
+    }
+
+    /// Books a failed slot CAS in the pool's contention accounting and
+    /// backs off before the caller retries.
+    fn record_failed_slot_cas(&self) {
+        self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
+        self.dm
+            .pool()
+            .stats()
+            .record_cas_retry(CAS_RETRY_BACKOFF_NS);
     }
 
     /// Asynchronous write of slot metadata, mirrored (best-effort, without
@@ -417,6 +512,12 @@ impl DittoClient {
             .stats()
             .record_resident_free(addr.mn_id, Self::resident_bytes_for(size));
         self.alloc.free(addr, size);
+        // Cap the local hoard: blocks parked on this client's free ranges
+        // are invisible to every other client, and with many clients on a
+        // full pool a net evictor can strand a large share of the memory.
+        // Excess goes back to the node, which re-serves it to anyone.
+        self.alloc
+            .release_excess_adaptive(&self.dm, self.pending_alloc_blocks);
     }
 
     /// Flushes buffered state: pending frequency-counter increments and
@@ -478,8 +579,14 @@ impl DittoClient {
         // The piggybacked object WRITE of `Set` rides the first batch only;
         // migration-redirect retries re-read the buckets alone.
         let mut write = write;
-        for attempt in 0..MAX_RETRIES {
-            let last = attempt + 1 == MAX_RETRIES;
+        // Token mismatches consume retry budget; reads that saw a stripe
+        // reconcile's poison do not — that window is bounded by the
+        // in-flight commit, and escaping with a poisoned ("all empty")
+        // view would let the caller conclude a key is absent while its
+        // entry is being carried to the stripe's new home.
+        let mut attempt = 0;
+        loop {
+            let last = attempt + 1 >= MAX_RETRIES;
             let ptok = self.table.bucket_entry_token(primary);
             let stok = self.table.bucket_entry_token(secondary);
             let primary_addr = self.table.bucket_addr(primary);
@@ -492,15 +599,24 @@ impl DittoClient {
                 let decode_ns = SLOTS_PER_BUCKET as u64 * self.config.cpu_decode_slot_ns;
                 let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
                 self.dm.read_into(primary_addr, primary_buf);
+                if SampleFriendlyHashTable::bucket_tainted(primary_buf) {
+                    self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
+                    continue;
+                }
                 SampleFriendlyHashTable::decode_slots(primary_addr, primary_buf, &mut slots);
                 self.dm.advance_ns(decode_ns);
                 if let Some(found) = Self::find_live(&slots, hash, fp) {
                     if self.table.bucket_entry_token(primary) == ptok || last {
                         return (slots, Some(found));
                     }
+                    attempt += 1;
                     continue;
                 }
                 self.dm.read_into(secondary_addr, secondary_buf);
+                if SampleFriendlyHashTable::bucket_tainted(secondary_buf) {
+                    self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
+                    continue;
+                }
                 SampleFriendlyHashTable::decode_slots(secondary_addr, secondary_buf, &mut slots);
                 self.dm.advance_ns(decode_ns);
             } else if self.use_async() {
@@ -533,6 +649,11 @@ impl DittoClient {
                     debug_assert_eq!(completion.wr_id, wr_secondary);
                     secondary_done = true;
                 }
+                if SampleFriendlyHashTable::bucket_tainted(&self.bucket_buf[..BUCKET_SIZE]) {
+                    self.dm.drain_cq();
+                    self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
+                    continue;
+                }
                 SampleFriendlyHashTable::decode_slots(
                     primary_addr,
                     &self.bucket_buf[..BUCKET_SIZE],
@@ -547,10 +668,15 @@ impl DittoClient {
                     if self.table.bucket_entry_token(primary) == ptok || last {
                         return (slots, Some(found));
                     }
+                    attempt += 1;
                     continue;
                 }
                 if !secondary_done {
                     self.dm.poll_cq().expect("secondary bucket completion");
+                }
+                if SampleFriendlyHashTable::bucket_tainted(&self.bucket_buf[BUCKET_SIZE..]) {
+                    self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
+                    continue;
                 }
                 SampleFriendlyHashTable::decode_slots(
                     secondary_addr,
@@ -571,6 +697,12 @@ impl DittoClient {
                     .read_into(secondary_addr, secondary_buf)
                     .expect("a lookup batch holds three verbs");
                 batch.execute_mode(self.config.enable_doorbell_batching);
+                if SampleFriendlyHashTable::bucket_tainted(primary_buf)
+                    || SampleFriendlyHashTable::bucket_tainted(secondary_buf)
+                {
+                    self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
+                    continue;
+                }
                 SampleFriendlyHashTable::decode_slots(primary_addr, primary_buf, &mut slots);
                 SampleFriendlyHashTable::decode_slots(secondary_addr, secondary_buf, &mut slots);
                 self.charge_decode(2 * SLOTS_PER_BUCKET);
@@ -582,8 +714,8 @@ impl DittoClient {
                 let found = Self::find_live(&slots, hash, fp);
                 return (slots, found);
             }
+            attempt += 1;
         }
-        unreachable!("search returns on its last retry")
     }
 
     fn find_live(slots: &[(RemoteAddr, Slot)], hash: u64, fp: u8) -> Option<(RemoteAddr, Slot)> {
@@ -848,8 +980,9 @@ impl DittoClient {
         // set while resident data stays put.
         let stripe = self.table.stripe_of_bucket(self.table.primary_bucket(hash));
         let preferred = self.topology.alloc_node_for(stripe);
-        let obj_addr = self.alloc_with_eviction(preferred, encoded.len());
-        let new_atomic = match AtomicField::try_for_object(fp, size_class as u8, obj_addr) {
+        self.alloc_abandoned = false;
+        let mut obj_addr = self.alloc_with_eviction(preferred, encoded.len());
+        let mut new_atomic = match AtomicField::try_for_object(fp, size_class as u8, obj_addr) {
             Ok(atomic) => atomic,
             Err(e) => {
                 // The 48-bit slot pointer cannot name this address; release
@@ -863,6 +996,28 @@ impl DittoClient {
 
         let mut stored = false;
         for attempt in 0..MAX_RETRIES {
+            // Each attempt recomputes its addresses through the directory,
+            // so the staleness token must move with it — keeping the
+            // op-start token would judge every CAS after a mid-op cutover
+            // stale even against the stripe's fresh live home.
+            self.mig_token = self.table.directory().version();
+            if self.alloc_abandoned {
+                // The previous attempt's insert was displaced by an evictor
+                // mid-cutover, which freed the object (see
+                // `resolve_stale_cas`): re-allocate and rewrite the bytes
+                // before retrying.
+                self.alloc_abandoned = false;
+                obj_addr = self.alloc_with_eviction(preferred, encoded.len());
+                new_atomic = match AtomicField::try_for_object(fp, size_class as u8, obj_addr) {
+                    Ok(atomic) => atomic,
+                    Err(e) => {
+                        self.free_object(obj_addr, encoded.len());
+                        self.encode_buf = encoded;
+                        return Err(e);
+                    }
+                };
+                self.dm.write(obj_addr, &encoded);
+            }
             // The object WRITE is independent of the bucket READs, so the
             // first lookup carries it in the same doorbell batch; retries
             // only re-read the buckets (the object bytes are already there).
@@ -892,10 +1047,42 @@ impl DittoClient {
             }
         }
         if !stored {
-            // Persistent CAS interference; release the object memory so
-            // nothing leaks.  The request is dropped, mirroring a failed
-            // insert.
-            self.free_object(obj_addr, encoded.len());
+            // Persistent CAS interference: the request is dropped.  For a
+            // fresh insert that is a declined admission, but when an older
+            // value of the key is still installed, dropping the update
+            // silently would leave a *completed-then-unobservable* write —
+            // readers would keep hitting the stale version forever.
+            // Invalidate the entry instead: the key misses until re-filled,
+            // indistinguishable from an eviction.
+            for _ in 0..MAX_RETRIES {
+                self.mig_token = self.table.directory().version();
+                let (_, existing) = self.search(hash, fp, None);
+                let Some((slot_addr, slot)) = existing else { break };
+                if slot.atomic.encode() == new_atomic.encode() {
+                    // A judged-failed CAS actually carried our value after
+                    // all: the set is installed, nothing to invalidate.
+                    stored = true;
+                    break;
+                }
+                if self.slot_cas(slot_addr, slot.atomic.encode(), 0) {
+                    self.free_object(
+                        slot.atomic.object_addr(),
+                        slot.atomic.object_bytes() as usize,
+                    );
+                    break;
+                }
+            }
+        }
+        if !stored {
+            if self.alloc_abandoned {
+                // The final attempt's insert was displaced by an evictor,
+                // which already freed the object — freeing here would
+                // double-free a block another Set may have recycled.
+                self.alloc_abandoned = false;
+            } else {
+                // Release the dropped request's object so nothing leaks.
+                self.free_object(obj_addr, encoded.len());
+            }
         }
         self.encode_buf = encoded;
         Ok(())
@@ -1015,6 +1202,9 @@ impl DittoClient {
     // ------------------------------------------------------------------
 
     fn alloc_with_eviction(&mut self, preferred: u16, size: usize) -> RemoteAddr {
+        let min_blocks = (size as u64).div_ceil(64).min(u8::MAX as u64) as u8;
+        self.pending_alloc_blocks = min_blocks as u64;
+        let mut evictions_won = 0u64;
         for attempt in 0..MAX_EVICTION_ATTEMPTS {
             // Under memory pressure a segment RPC is doomed: serve from the
             // local free lists (stripe-local node first, then any active
@@ -1026,7 +1216,21 @@ impl DittoClient {
                     self.note_object_alloc(addr, size);
                     return addr;
                 }
-                if !self.evict_once() {
+                if self.evict_once_for(min_blocks) {
+                    evictions_won += 1;
+                    // Winning evictions is not the same as making progress:
+                    // scattered small victims may never coalesce into this
+                    // ask client-side, while node-side the fragments from
+                    // every client merge.  Periodically try the exact-size
+                    // ask even though eviction still succeeds.
+                    if attempt % 8 == 3 && attempt > 8 {
+                        if let Some(addr) = self.backstop_alloc(preferred, size) {
+                            return addr;
+                        }
+                    }
+                } else if let Some(addr) = self.backstop_alloc(preferred, size) {
+                    return addr;
+                } else {
                     self.mem_pressure = false;
                 }
                 continue;
@@ -1038,12 +1242,41 @@ impl DittoClient {
                 }
                 Err(DmError::OutOfMemory { .. }) => {
                     self.mem_pressure = true;
-                    self.evict_once();
+                    if self.evict_once_for(min_blocks) {
+                        evictions_won += 1;
+                    } else if let Some(addr) = self.backstop_alloc(preferred, size) {
+                        return addr;
+                    }
                 }
                 Err(e) => panic!("allocation failed: {e}"),
             }
         }
-        panic!("unable to free memory for a {size}-byte object after {MAX_EVICTION_ATTEMPTS} evictions");
+        panic!(
+            "unable to free memory for a {size}-byte object after {MAX_EVICTION_ATTEMPTS} \
+             attempts ({evictions_won} evictions won; local free blocks {}, live blocks {}, \
+             segments fetched {})",
+            self.alloc.free_blocks(),
+            self.alloc.live_blocks(),
+            self.alloc.segments_fetched(),
+        );
+    }
+
+    /// Last-resort allocation once eviction has made no progress (losing
+    /// every victim race, or an empty sample): ask the nodes for exactly
+    /// the needed bytes — ranges released by *other* clients may hold this
+    /// object even though no whole segment is free.  If that fails too,
+    /// dump this client's own parked ranges back to the node — fragments
+    /// from many clients coalesce there into spans no single client could
+    /// assemble — and ask once more.
+    fn backstop_alloc(&mut self, preferred: u16, size: usize) -> Option<RemoteAddr> {
+        let addr = self.alloc.alloc_exact_on(&self.dm, preferred, size).or_else(|| {
+            if self.alloc.release_excess(&self.dm, 0) == 0 {
+                return None;
+            }
+            self.alloc.alloc_exact_on(&self.dm, preferred, size)
+        })?;
+        self.note_object_alloc(addr, size);
+        Some(addr)
     }
 
     /// Reads one eviction sample into the per-client sample buffer and
@@ -1211,6 +1444,17 @@ impl DittoClient {
     /// Performs one sampling eviction.  Returns `true` when an object was
     /// evicted and its memory recycled.
     pub fn evict_once(&mut self) -> bool {
+        self.evict_once_for(0)
+    }
+
+    /// One sampling eviction driven by a pending allocation of `min_blocks`
+    /// blocks: sampled victims big enough to serve the allocation are
+    /// preferred when any exist (recycled ranges only coalesce with free
+    /// neighbours, so evicting small victims for a large request can churn
+    /// indefinitely — the many-clients analogue of slab-class eviction).
+    /// Falls back to the plain priority choice when the sample holds no
+    /// big-enough victim, so memory still gets freed for other clients.
+    fn evict_once_for(&mut self, min_blocks: u8) -> bool {
         let mut candidates = Candidates::new();
         for attempt in 0..8 {
             self.read_eviction_sample(&mut candidates);
@@ -1221,46 +1465,82 @@ impl DittoClient {
         if candidates.is_empty() {
             return false;
         }
-        let (victim_idx, bitmap, chosen) = self.select_victim(&candidates);
-        let (victim_addr, victim) = candidates[victim_idx];
-        let expected = victim.atomic.encode();
-
-        if self.config.adaptive && self.config.enable_lightweight_history {
-            // Home the entry on the victim's hash shard: entries spread
-            // over every shard (and every node's counter) uniformly, so the
-            // sharded FIFOs jointly keep the configured history length.
-            let shard = self.history.shard_for_hash(victim.hash);
-            let (hist_id, new_counter) = self.history.acquire_id(&self.dm, shard);
-            self.counter_estimates[shard as usize] = new_counter;
-            self.counters_known[shard as usize] = true;
-            let hist_atomic = AtomicField::for_history(victim.atomic.fp, hist_id);
-            if !self.slot_cas(victim_addr, expected, hist_atomic.encode()) {
-                return false;
+        if min_blocks > 1 {
+            let mut fitting = Candidates::new();
+            for &(addr, slot) in candidates.iter() {
+                if slot.atomic.size_class >= min_blocks {
+                    fitting.push((addr, slot));
+                }
             }
-            self.write_slot_meta(
-                SampleFriendlyHashTable::insert_ts_addr(victim_addr),
-                &bitmap.to_le_bytes(),
-            );
-            self.stats.record_history_insert();
-        } else if self.config.adaptive {
-            // Ablation: maintain a separate remote FIFO queue and hash index
-            // for the history (FAA on the queue tail, WRITE of the entry and
-            // CAS into the index), then clear the slot.
-            if !self.slot_cas(victim_addr, expected, 0) {
-                return false;
+            if !fitting.is_empty() {
+                candidates = fitting;
             }
-            self.dm.faa(self.scratch.add(16), 1);
-            self.dm.write_async(self.scratch.add(24), &[0u8; 16]);
-            let _ = self.dm.cas(self.scratch.add(40), 0, 0);
-            self.stats.record_history_insert();
-        } else if !self.slot_cas(victim_addr, expected, 0) {
-            return false;
         }
+        // Pressured clients herd: overlapping samples make many clients
+        // pick the same globally-best victim, and only one slot CAS wins
+        // per round.  Rather than burning the whole sample on one lost
+        // race, fall back to the next-best candidate a bounded number of
+        // times — the sample is already paid for, and a loser retrying a
+        // *different* victim converts contention into progress.
+        for _ in 0..3 {
+            let (victim_idx, bitmap, chosen) = self.select_victim(&candidates);
+            let (victim_addr, victim) = candidates[victim_idx];
+            let expected = victim.atomic.encode();
 
-        self.notify_eviction(&candidates, victim_idx, bitmap);
-        self.free_object(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
-        self.stats.record_eviction(chosen);
-        true
+            let won = if self.config.adaptive && self.config.enable_lightweight_history {
+                // Home the entry on the victim's hash shard: entries spread
+                // over every shard (and every node's counter) uniformly, so
+                // the sharded FIFOs jointly keep the configured history
+                // length.
+                let shard = self.history.shard_for_hash(victim.hash);
+                let (hist_id, new_counter) = self.history.acquire_id(&self.dm, shard);
+                self.counter_estimates[shard as usize] = new_counter;
+                self.counters_known[shard as usize] = true;
+                let hist_atomic = AtomicField::for_history(victim.atomic.fp, hist_id);
+                if self.slot_cas(victim_addr, expected, hist_atomic.encode()) {
+                    self.write_slot_meta(
+                        SampleFriendlyHashTable::insert_ts_addr(victim_addr),
+                        &bitmap.to_le_bytes(),
+                    );
+                    self.stats.record_history_insert();
+                    true
+                } else {
+                    false
+                }
+            } else if self.config.adaptive {
+                // Ablation: maintain a separate remote FIFO queue and hash
+                // index for the history (FAA on the queue tail, WRITE of the
+                // entry and CAS into the index), then clear the slot.
+                if self.slot_cas(victim_addr, expected, 0) {
+                    self.dm.faa(self.scratch.add(16), 1);
+                    self.dm.write_async(self.scratch.add(24), &[0u8; 16]);
+                    let _ = self.dm.cas(self.scratch.add(40), 0, 0);
+                    self.stats.record_history_insert();
+                    true
+                } else {
+                    false
+                }
+            } else {
+                self.slot_cas(victim_addr, expected, 0)
+            };
+
+            if won {
+                self.notify_eviction(&candidates, victim_idx, bitmap);
+                self.free_object(
+                    victim.atomic.object_addr(),
+                    victim.atomic.object_bytes() as usize,
+                );
+                self.stats.record_eviction(chosen);
+                return true;
+            }
+            // Lost the race for this victim (another client evicted or
+            // replaced it) — drop it and re-select among the rest.
+            candidates.swap_remove(victim_idx);
+            if candidates.is_empty() {
+                break;
+            }
+        }
+        false
     }
 
     // ------------------------------------------------------------------
@@ -1315,6 +1595,30 @@ impl DittoClient {
         progress
     }
 
+    /// Forensic scan: total object bytes on `mn_id` still referenced by a
+    /// live slot anywhere in the table (block-rounded, matching the
+    /// resident-bytes gauge).  Comparing this against
+    /// [`MemoryPool::resident_object_bytes`] splits a non-zero residual
+    /// into *reachable* bytes (a sweep missed them; scan == gauge) versus
+    /// *orphaned* bytes (a slot update lost the only reference; scan <
+    /// gauge).  Debug/test aid — scans every bucket, not a hot-path call.
+    ///
+    /// [`MemoryPool::resident_object_bytes`]: ditto_dm::MemoryPool::resident_object_bytes
+    pub fn referenced_object_bytes_on(&mut self, mn_id: u16) -> u64 {
+        let mut total = 0u64;
+        for stripe in 0..self.table.num_stripes() as u64 {
+            let first = self.table.first_bucket_of_stripe(stripe);
+            for bucket in first..first + self.table.buckets_per_stripe() {
+                for (_, slot) in self.table.read_bucket(&self.dm, bucket) {
+                    if slot.atomic.is_object() && slot.atomic.object_addr().mn_id == mn_id {
+                        total += Self::resident_bytes_for(slot.atomic.object_bytes() as usize);
+                    }
+                }
+            }
+        }
+        total
+    }
+
     /// Whether any inactive node still holds resident object bytes.
     fn has_inactive_residue(&self) -> bool {
         let stats = self.dm.pool().stats();
@@ -1347,6 +1651,10 @@ impl DittoClient {
                 if bytes.len() < len {
                     bytes.resize(len, 0);
                 }
+                // Relocation READs are migration traffic: they take budget
+                // from the same token bucket as the stripe bulk copies, so
+                // `migration_copy_bytes_per_sec` caps the combined rate.
+                self.engine.throttle_copy(&self.dm, len as u64);
                 self.dm.read_into(slot.atomic.object_addr(), &mut bytes[..len]);
                 if self.relocate_object_bytes(slot_addr, &slot, &bytes[..len], preferred) {
                     progress.objects_relocated += 1;
@@ -1384,6 +1692,9 @@ impl DittoClient {
                     return false;
                 }
             };
+        // The relocation WRITE shares the migration copy token bucket with
+        // the engine's stripe copies (the READ was charged by the caller).
+        self.engine.throttle_copy(&self.dm, bytes.len() as u64);
         self.dm.write(new_addr, bytes);
         if !self.slot_cas(slot_addr, slot.atomic.encode(), new_atomic.encode()) {
             // The slot changed under us (eviction/update raced); back out.
@@ -1403,6 +1714,8 @@ impl DittoClient {
     /// Returns `None` when space cannot be found — the object then stays
     /// put until a later pump.
     fn alloc_for_relocation(&mut self, preferred: u16, len: usize) -> Option<RemoteAddr> {
+        let min_blocks = (len as u64).div_ceil(64).min(u8::MAX as u64) as u8;
+        self.pending_alloc_blocks = min_blocks as u64;
         for _ in 0..64 {
             match self.alloc.alloc_on(&self.dm, preferred, len) {
                 Ok(addr) => {
@@ -1410,9 +1723,13 @@ impl DittoClient {
                     return Some(addr);
                 }
                 Err(DmError::OutOfMemory { .. }) => {
-                    if !self.evict_once() {
-                        return None;
+                    if self.evict_once_for(min_blocks) {
+                        continue;
                     }
+                    // Eviction cannot help (or keeps losing races); fall
+                    // back to exact-size asks so relocation still drains
+                    // nodes when other clients released the needed room.
+                    return self.backstop_alloc(preferred, len);
                 }
                 Err(_) => return None,
             }
@@ -1842,6 +2159,42 @@ mod tests {
         assert!(
             throttled > unthrottled * 3,
             "the token bucket must pace the pump: {throttled} vs {unthrottled}"
+        );
+    }
+
+    #[test]
+    fn object_relocation_traffic_shares_the_copy_token_bucket() {
+        // Make relocated *objects* the dominant migration traffic (large
+        // values), and check the pump stalled for the combined budget: the
+        // stripe copies (READ + WRITE per byte, two passes) plus the object
+        // relocation READ/WRITEs — not the bucket arrays alone.
+        let rate = 2_000_000u64; // 2 MB/s of copy budget
+        let config = DittoConfig::with_capacity(2_000).with_migration_copy_rate(rate);
+        let cache =
+            DittoCache::with_dedicated_pool(config, DmConfig::default().with_memory_nodes(2))
+                .unwrap();
+        let mut client = cache.client();
+        let value = vec![7u8; 1024];
+        for i in 0..400u64 {
+            client.set(format!("key{i}").as_bytes(), &value);
+        }
+        cache.pool().drain_node(1).unwrap();
+        let before = client.dm().now_ns();
+        let progress = client.pump_migration(usize::MAX);
+        let elapsed = client.dm().now_ns() - before;
+        assert!(progress.stripes_moved > 0);
+        assert!(progress.objects_relocated > 50, "{progress:?}");
+
+        let stats = cache.pool().stats();
+        let stripe_budget = 2 * stats.migrated_bytes(); // READ + WRITE per byte
+        let object_budget = stats.migrated_object_bytes(); // ≤ READ + WRITE charged
+        assert!(object_budget > stripe_budget / 4, "objects must matter here");
+        let required_ns =
+            (stripe_budget + object_budget).saturating_mul(1_000_000_000) / rate * 9 / 10;
+        assert!(
+            elapsed >= required_ns,
+            "pump stalled {elapsed} ns < {required_ns} ns: relocation \
+             READ/WRITEs are not metered through the copy token bucket"
         );
     }
 

@@ -84,8 +84,10 @@ pub struct DittoConfig {
     /// scored.  Charged in both completion modes, like
     /// [`DittoConfig::cpu_decode_slot_ns`].
     pub cpu_score_candidate_ns: u64,
-    /// Token-bucket rate limit on bucket-range migration copy traffic, in
-    /// bytes of copied stripe data per simulated second (0 = unlimited).
+    /// Token-bucket rate limit on migration copy traffic, in bytes per
+    /// simulated second (0 = unlimited).  One bucket meters **all** resize
+    /// traffic: the engine's stripe bulk copies *and* the object-relocation
+    /// READ/WRITEs the cache issues while draining a stripe's residents.
     /// A throttled `pump_migration` stalls its own simulated clock instead
     /// of bursting whole stripes against foreground operations; the bucket
     /// is shared by every pumping client (see

@@ -281,6 +281,22 @@ impl SampleFriendlyHashTable {
         }));
     }
 
+    /// Whether a bucket read raced a stripe cutover's reconcile pass: any
+    /// slot whose atomic word is [`ditto_dm::RECONCILE_POISON`] marks the
+    /// whole read as untrustworthy.  The poisoned words themselves decode
+    /// as empty slots (a safe default for scans and samplers), but the
+    /// get/set search must NOT act on such a view — concluding "key
+    /// absent" from a poisoned bucket would let a `Set` complete without
+    /// either installing its value or invalidating the carried old entry.
+    /// Re-translate through the directory and re-read instead; the window
+    /// ends when the in-flight commit flips the stripe entry.
+    pub fn bucket_tainted(bytes: &[u8]) -> bool {
+        bytes.chunks_exact(SLOT_SIZE).any(|chunk| {
+            u64::from_le_bytes(chunk[0..8].try_into().expect("8-byte field"))
+                == ditto_dm::RECONCILE_POISON
+        })
+    }
+
     /// Picks the span of `count` consecutive slots starting at a uniformly
     /// random position, returning the starting **global slot index** and
     /// the clamped length — the sampling primitive of the client-centric

@@ -60,6 +60,20 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
         self.len = 0;
     }
 
+    /// Removes and returns the element at `index` in O(1) by moving the
+    /// last element into its place (order is not preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn swap_remove(&mut self, index: usize) -> T {
+        assert!(index < self.len, "swap_remove index {index} out of bounds (len {})", self.len);
+        let value = self.items[index];
+        self.items[index] = self.items[self.len - 1];
+        self.len -= 1;
+        value
+    }
+
     /// Number of free slots remaining.
     pub fn remaining_capacity(&self) -> usize {
         N - self.len
@@ -135,6 +149,16 @@ mod tests {
         let mut v: InlineVec<u8, 1> = InlineVec::new();
         v.push(1);
         v.push(2);
+    }
+
+    #[test]
+    fn swap_remove_is_constant_time_and_unordered() {
+        let mut v: InlineVec<u8, 4> = InlineVec::new();
+        v.extend([1, 2, 3, 4]);
+        assert_eq!(v.swap_remove(1), 2);
+        assert_eq!(&v[..], &[1, 4, 3]);
+        assert_eq!(v.swap_remove(2), 3);
+        assert_eq!(&v[..], &[1, 4]);
     }
 
     #[test]

@@ -15,6 +15,32 @@
 //! [`sim`] additionally provides a process-local simulator that reuses the
 //! same algorithm rules and adaptive machinery for fast hit-rate sweeps.
 //!
+//! # Threading model
+//!
+//! The cache mirrors the paper's deployment — many compute-node clients,
+//! one shared pool:
+//!
+//! * [`DittoCache`] is `Send + Sync` (and a cheap `Arc`-backed `Clone`):
+//!   build it once, hand a clone to every thread.
+//! * [`DittoClient`] is **`Send` but not `Sync`** — one per OS thread,
+//!   minted on its thread via [`DittoCache::client`].  It owns the
+//!   per-thread queue pair ([`ditto_dm::DmClient`]), scratch buffers, RNG
+//!   and the client-local frequency-counter cache.
+//! * All shared mutable state lives behind remote verbs (slot CAS, FAA) or
+//!   atomics, so `search`/`set`/eviction interleavings from different
+//!   threads resolve through genuine CAS races: a lost slot CAS backs off,
+//!   is counted in [`ditto_dm::PoolStats::contention`], and the operation
+//!   re-reads and retries (bounded).  The migration pump may run in a
+//!   background thread while foreground clients operate; the stripe
+//!   directory's redirect rules arbitrate.
+//! * **Exact vs. racy counters**: [`CacheStats`] and
+//!   [`ditto_dm::PoolStats`] counters are atomics — individually exact,
+//!   but cross-counter snapshots taken mid-run may straddle an operation.
+//!   Hit/miss/eviction totals are exact once the issuing threads quiesce.
+//!
+//! These guarantees are pinned by compile-time assertions at the bottom of
+//! this module.
+//!
 //! # Quick start
 //!
 //! ```
@@ -53,3 +79,17 @@ pub use hashtable::SampleFriendlyHashTable;
 pub use history::EvictionHistory;
 pub use sim::{simulate_hit_rate, SimCache, SimConfig, SimStats};
 pub use stats::{CacheStats, CacheStatsSnapshot};
+
+// Compile-time pins of the threading contract: the shared cache handle is
+// `Send + Sync`, the per-thread client is `Send` (movable into a spawned
+// thread) but not `Sync`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<DittoClient>();
+    assert_send_sync::<DittoCache>();
+    assert_send_sync::<CacheStats>();
+    assert_send_sync::<WeightService>();
+    assert_send_sync::<EvictionHistory>();
+    assert_send_sync::<SampleFriendlyHashTable>();
+};

@@ -3,15 +3,30 @@
 //! A cached object occupies a whole number of 64-byte blocks:
 //!
 //! ```text
-//! [ key_len: u16 | val_len: u32 | flags: u16 ]  -- 8-byte header
+//! [ key_len: u16 | val_len: u32 | flags: u16 ]  -- 8-byte length header
+//! [ checksum: u64                            ]  -- FNV-1a over header + key + value
 //! [ extension metadata: EXT_WORDS × 8 bytes  ]  -- only when an expert needs it (§4.4)
 //! [ key bytes ][ value bytes ][ padding to 64 ]
 //! ```
+//!
+//! # Why a checksum
+//!
+//! Clients read objects with one-sided READs and *no* locks, so a reader
+//! can race an eviction (or a same-key update) that frees the blocks and
+//! reuses them for a new object while the READ is in flight.  The embedded
+//! key catches reuse for a *different* key, but reuse for the *same* key
+//! can hand the reader a torn mix of old and new bytes.  The checksum —
+//! computed over the length header and the key/value bytes at encode time
+//! and verified by [`view`] — makes any torn read fail validation so the
+//! Get path retries from the bucket, exactly like a raced eviction.  The
+//! extension-metadata words are deliberately *excluded*: experts update
+//! them in place on every hit (racy by design), which must not invalidate
+//! the object.
 
 use ditto_algorithms::EXT_WORDS;
 
-/// Size of the fixed object header in bytes.
-pub const OBJECT_HEADER: usize = 8;
+/// Size of the fixed object header in bytes (length header + checksum).
+pub const OBJECT_HEADER: usize = 16;
 /// Size of the optional extension-metadata header in bytes.
 pub const EXT_HEADER: usize = EXT_WORDS * 8;
 /// Flag bit recorded when the extension header is present.
@@ -64,6 +79,8 @@ pub fn encode_into(
     out[2..6].copy_from_slice(&(value.len() as u32).to_le_bytes());
     let flags: u16 = if with_ext { FLAG_HAS_EXT } else { 0 };
     out[6..8].copy_from_slice(&flags.to_le_bytes());
+    let sum = integrity_checksum(&out[0..8], key, value);
+    out[8..16].copy_from_slice(&sum.to_le_bytes());
     let mut cursor = OBJECT_HEADER;
     if with_ext {
         for (i, word) in ext.iter().enumerate() {
@@ -110,7 +127,9 @@ pub struct ObjectView<'a> {
 /// memory pool, without allocating.
 ///
 /// Returns `None` if the header is inconsistent with the available bytes
-/// (e.g. the slot raced with an eviction and the blocks were reused).
+/// or the integrity checksum does not match (e.g. the slot raced with an
+/// eviction — or a same-key update — and the blocks were reused while the
+/// READ was in flight; see the module docs).
 pub fn view(bytes: &[u8]) -> Option<ObjectView<'_>> {
     if bytes.len() < OBJECT_HEADER {
         return None;
@@ -118,6 +137,7 @@ pub fn view(bytes: &[u8]) -> Option<ObjectView<'_>> {
     let key_len = u16::from_le_bytes(bytes[0..2].try_into().ok()?) as usize;
     let val_len = u32::from_le_bytes(bytes[2..6].try_into().ok()?) as usize;
     let flags = u16::from_le_bytes(bytes[6..8].try_into().ok()?);
+    let stored_sum = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
     let has_ext = flags & FLAG_HAS_EXT != 0;
     let mut cursor = OBJECT_HEADER;
     let mut ext = [0u64; EXT_WORDS];
@@ -137,12 +157,31 @@ pub fn view(bytes: &[u8]) -> Option<ObjectView<'_>> {
     let key = &bytes[cursor..cursor + key_len];
     cursor += key_len;
     let value = &bytes[cursor..cursor + val_len];
+    if integrity_checksum(&bytes[0..8], key, value) != stored_sum {
+        return None;
+    }
     Some(ObjectView {
         key,
         value,
         ext,
         has_ext,
     })
+}
+
+/// FNV-1a over the 8-byte length header and the key/value bytes.
+///
+/// The checksum word itself and the extension-metadata words are excluded:
+/// experts rewrite the ext words in place on every hit, which must not
+/// invalidate the object (the words are advisory metadata, racy by design).
+fn integrity_checksum(header: &[u8], key: &[u8], value: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for part in [header, key, value] {
+        for &b in part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// Decodes an object from the bytes read out of the memory pool, copying the
@@ -234,6 +273,31 @@ mod tests {
         assert_eq!(buf.as_ptr(), ptr);
         let d = decode(&buf).unwrap();
         assert_eq!(d.value, vec![2u8; 100]);
+    }
+
+    #[test]
+    fn torn_value_bytes_fail_the_checksum() {
+        // A reader racing a block reuse for the *same* key sees a mix of old
+        // and new bytes: same key, corrupted value.  The checksum must catch
+        // it (the key check alone cannot).
+        let mut bytes = encode(b"user1", &[7u8; 100], false, &[0; EXT_WORDS]);
+        let val_start = OBJECT_HEADER + 5;
+        bytes[val_start + 50] ^= 0xFF;
+        assert!(view(&bytes).is_none(), "torn value must fail validation");
+        bytes[val_start + 50] ^= 0xFF;
+        assert!(view(&bytes).is_some(), "restored bytes validate again");
+    }
+
+    #[test]
+    fn in_place_ext_updates_keep_the_checksum_valid() {
+        // Experts rewrite the ext words in place on every hit; the checksum
+        // deliberately excludes them.
+        let mut bytes = encode(b"k", &[3u8; 40], true, &[1, 2, 3, 4]);
+        let off = ext_offset() as usize;
+        bytes[off..off + 8].copy_from_slice(&99u64.to_le_bytes());
+        let v = view(&bytes).expect("ext rewrite must not invalidate the object");
+        assert_eq!(v.ext[0], 99);
+        assert_eq!(v.value, &[3u8; 40][..]);
     }
 
     #[test]

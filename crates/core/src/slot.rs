@@ -103,6 +103,13 @@ impl AtomicField {
 
     /// Builds the atomic field of a history entry.
     pub fn for_history(fp: u8, history_id: u64) -> Self {
+        // `fp = 0xFF, id = 2^48 - 1` would encode to the migration
+        // reconcile poison (`u64::MAX`), which decodes as empty; real
+        // history ids are dense counters and never get near 2^48.
+        debug_assert!(
+            fp != 0xFF || history_id & PTR_MASK != PTR_MASK,
+            "history entry would collide with RECONCILE_POISON"
+        );
         AtomicField {
             fp,
             size_class: HISTORY_SIZE_TAG,
@@ -196,6 +203,14 @@ impl Slot {
 
     /// Decodes a slot from its 40-byte representation.
     ///
+    /// A raw atomic field equal to [`ditto_dm::RECONCILE_POISON`] decodes
+    /// as an **empty** slot: the word was read off a stripe copy mid- or
+    /// post-cutover (the reconcile pass plants the poison as it carries
+    /// each word), so there is nothing valid to see there.  Decoding it as
+    /// empty keeps the value out of every CAS `expected` — an operation
+    /// that targets the "empty" slot CASes against 0, fails on the
+    /// poisoned word, re-translates through the directory and retries.
+    ///
     /// # Panics
     ///
     /// Panics if `bytes` is shorter than [`SLOT_SIZE`].
@@ -204,8 +219,13 @@ impl Slot {
         let word = |i: usize| {
             u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8-byte field"))
         };
+        let raw_atomic = word(0);
         Slot {
-            atomic: AtomicField::decode(word(0)),
+            atomic: if raw_atomic == ditto_dm::RECONCILE_POISON {
+                AtomicField::EMPTY
+            } else {
+                AtomicField::decode(raw_atomic)
+            },
             hash: word(1),
             insert_ts: word(2),
             last_ts: word(3),
@@ -276,6 +296,20 @@ mod tests {
         assert!(AtomicField::decode(0).is_empty());
         assert!(!AtomicField::decode(0).is_object());
         assert!(!AtomicField::decode(0).is_history());
+    }
+
+    #[test]
+    fn reconcile_poison_decodes_as_empty_slot() {
+        // A slot whose atomic word is the migration reconcile poison must
+        // read back as empty: no operation may ever use the poison as a CAS
+        // `expected` (it would decode as a history entry with a 2^48-1 id
+        // otherwise and could be "claimed" by an insert).
+        let mut bytes = [0u8; SLOT_SIZE];
+        bytes[0..8].copy_from_slice(&ditto_dm::RECONCILE_POISON.to_le_bytes());
+        let slot = Slot::from_bytes(&bytes);
+        assert!(slot.atomic.is_empty());
+        assert!(!slot.atomic.is_object());
+        assert!(!slot.atomic.is_history());
     }
 
     #[test]

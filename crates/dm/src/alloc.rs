@@ -12,7 +12,7 @@ use crate::client::DmClient;
 use crate::error::{DmError, DmResult};
 use crate::memnode::MemoryNode;
 use crate::rpc::{wire, RpcHandler, RpcOutcome, ALLOC_SERVICE};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Granularity of client-side block allocation, matching the 64-byte memory
 /// blocks of the sample-friendly hash table's `size` field.
@@ -125,13 +125,21 @@ impl RpcHandler for AllocService {
 ///
 /// One instance is owned by each cache client.  Freed blocks are recycled
 /// locally; new segments are fetched with an `ALLOC` RPC only when the local
-/// free lists and the current segment are exhausted.
+/// free ranges and the current segment are exhausted.
+///
+/// Freed space is kept as *coalescing ranges* (offset → block count,
+/// adjacent ranges merged) rather than exact-size lists.  With many clients
+/// sharing a full pool this matters: eviction victims are picked by cache
+/// priority, not size, so a client recycling small victims must be able to
+/// merge and split them — exact-size lists starve large allocations while
+/// plenty of free blocks sit fragmented.
 pub struct ClientAllocator {
     mn_id: u16,
     segment_size: u64,
     current_offset: u64,
     current_remaining: u64,
-    free_lists: HashMap<u64, Vec<u64>>,
+    /// Free ranges: start offset → length in blocks (adjacent ranges merged).
+    free_ranges: BTreeMap<u64, u64>,
     allocated_blocks: u64,
     segments_fetched: u64,
 }
@@ -149,7 +157,7 @@ impl ClientAllocator {
             segment_size: segment_size.max(BLOCK_SIZE),
             current_offset: 0,
             current_remaining: 0,
-            free_lists: HashMap::new(),
+            free_ranges: BTreeMap::new(),
             allocated_blocks: 0,
             segments_fetched: 0,
         }
@@ -168,6 +176,11 @@ impl ClientAllocator {
     /// Number of blocks currently handed out (allocated minus freed).
     pub fn live_blocks(&self) -> u64 {
         self.allocated_blocks
+    }
+
+    /// Number of blocks parked on the local free ranges.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_ranges.values().sum()
     }
 
     /// Allocates space for `size` bytes.
@@ -194,7 +207,7 @@ impl ClientAllocator {
         Ok(RemoteAddr::new(self.mn_id, offset))
     }
 
-    /// Allocates from the local free lists or the current segment only,
+    /// Allocates from the local free ranges or the current segment only,
     /// without ever talking to the memory node.
     ///
     /// Returns `None` when local resources cannot serve the request.  The
@@ -207,11 +220,22 @@ impl ClientAllocator {
         if bytes > self.segment_size {
             return None;
         }
-        if let Some(list) = self.free_lists.get_mut(&blocks) {
-            if let Some(offset) = list.pop() {
-                self.allocated_blocks += blocks;
-                return Some(RemoteAddr::new(self.mn_id, offset));
+        // Best-fit over the free ranges: the smallest range that holds the
+        // request.  An exact fit avoids a split; otherwise the remainder
+        // stays free (and re-merges with later frees).
+        let best = self
+            .free_ranges
+            .iter()
+            .filter(|&(_, &len)| len >= blocks)
+            .min_by_key(|&(_, &len)| len)
+            .map(|(&off, &len)| (off, len));
+        if let Some((off, len)) = best {
+            self.free_ranges.remove(&off);
+            if len > blocks {
+                self.free_ranges.insert(off + bytes, len - blocks);
             }
+            self.allocated_blocks += blocks;
+            return Some(RemoteAddr::new(self.mn_id, off));
         }
         if self.current_remaining >= bytes {
             let offset = self.current_offset;
@@ -223,14 +247,73 @@ impl ClientAllocator {
         None
     }
 
-    /// Returns a previously allocated range to the local free lists.
+    /// Returns a previously allocated range to the local free ranges,
+    /// merging with adjacent free neighbours so recycled fragments grow
+    /// back into spans that can serve any size class.
     pub fn free(&mut self, addr: RemoteAddr, size: usize) {
+        let freed = Self::blocks_for(size);
+        let mut offset = addr.offset;
+        let mut blocks = freed;
+        // Merge with the successor range, if adjacent.
+        if let Some(&next_len) = self.free_ranges.get(&(offset + blocks * BLOCK_SIZE)) {
+            self.free_ranges.remove(&(offset + blocks * BLOCK_SIZE));
+            blocks += next_len;
+        }
+        // Merge with the predecessor range, if adjacent.
+        if let Some((&prev_off, &prev_len)) = self.free_ranges.range(..offset).next_back() {
+            if prev_off + prev_len * BLOCK_SIZE == offset {
+                self.free_ranges.remove(&prev_off);
+                offset = prev_off;
+                blocks += prev_len;
+            }
+        }
+        self.free_ranges.insert(offset, blocks);
+        self.allocated_blocks = self.allocated_blocks.saturating_sub(freed);
+    }
+
+    /// Allocates exactly `size` bytes (rounded up to blocks) straight from
+    /// the memory node, bypassing the local segment.
+    ///
+    /// This is the memory-pressure backstop: once the pool is full, a whole
+    /// segment ask is doomed even though ranges released by *other* clients
+    /// sit on the node's free store — the node serves those back out
+    /// best-fit at any size.  One RPC per call, so the cache client only
+    /// reaches for this after local recycling has failed.
+    pub fn alloc_exact(&mut self, client: &DmClient, size: usize) -> DmResult<RemoteAddr> {
         let blocks = Self::blocks_for(size);
-        self.free_lists
-            .entry(blocks)
-            .or_default()
-            .push(addr.offset);
-        self.allocated_blocks = self.allocated_blocks.saturating_sub(blocks);
+        let req = AllocService::encode_alloc(blocks * BLOCK_SIZE);
+        let resp = client.rpc(self.mn_id, ALLOC_SERVICE, &req)?;
+        let offset = AllocService::decode_alloc(&resp)?;
+        self.allocated_blocks += blocks;
+        Ok(RemoteAddr::new(self.mn_id, offset))
+    }
+
+    /// Releases local free ranges back to the memory node (largest first)
+    /// until at most `keep_blocks` blocks stay parked.  Returns the number
+    /// of blocks released.
+    ///
+    /// With many clients sharing one full pool this is what keeps eviction
+    /// churn globally usable: ranges hoarded on one client's free list are
+    /// invisible to every other client, but once returned, the node merges
+    /// them across clients and serves them back out to whoever asks.
+    pub fn release_excess(&mut self, client: &DmClient, keep_blocks: u64) -> u64 {
+        let mut released = 0;
+        while self.free_blocks() > keep_blocks {
+            let Some((&off, &len)) = self.free_ranges.iter().max_by_key(|&(_, &len)| len)
+            else {
+                break;
+            };
+            self.free_ranges.remove(&off);
+            let req = AllocService::encode_free(off, len * BLOCK_SIZE);
+            if client.rpc(self.mn_id, ALLOC_SERVICE, &req).is_err() {
+                // Node unreachable (e.g. decommissioned): park the range
+                // again and stop — nothing else will get through either.
+                self.free_ranges.insert(off, len);
+                break;
+            }
+            released += len;
+        }
+        released
     }
 
     fn fetch_segment(&mut self, client: &DmClient) -> DmResult<()> {
@@ -354,6 +437,61 @@ impl StripedAllocator {
         None
     }
 
+    /// Pressure-path backstop: asks the active nodes for an exact-size
+    /// range (preferred node first, one RPC each).  Succeeds when ranges
+    /// released by other clients can serve this request even though no node
+    /// can spare a whole segment.
+    pub fn alloc_exact_on(
+        &mut self,
+        client: &DmClient,
+        preferred: u16,
+        size: usize,
+    ) -> Option<RemoteAddr> {
+        for i in 0..=self.active.len() {
+            let Some(mn) = self.fallback_node(preferred, i) else {
+                continue;
+            };
+            if let Ok(addr) = self.node_mut(mn).alloc_exact(client, size) {
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// Releases each node's excess parked blocks back to its memory node
+    /// (see [`ClientAllocator::release_excess`]); `keep_blocks` applies per
+    /// node.  Returns the total number of blocks released.
+    pub fn release_excess(&mut self, client: &DmClient, keep_blocks: u64) -> u64 {
+        self.per_node
+            .iter_mut()
+            .flatten()
+            .map(|alloc| alloc.release_excess(client, keep_blocks))
+            .sum()
+    }
+
+    /// Adaptive hoard cap, called by the cache client after frees: each
+    /// node keeps at most as many blocks parked as it has live (but at
+    /// least 4, and at least `min_keep` — the caller's in-flight
+    /// allocation, so an evicting client does not hand the blocks it just
+    /// freed straight back to the node while it still needs them), and
+    /// releases the rest.
+    ///
+    /// Scaling the cap with the live set makes the policy self-balancing: a
+    /// client recycling into its own allocations (free stays a fraction of
+    /// live) never pays a release RPC, while a *net evictor* — frees
+    /// greatly outpacing its own allocations, live shrinking towards zero —
+    /// steadily returns memory for the other clients to claim.
+    pub fn release_excess_adaptive(&mut self, client: &DmClient, min_keep: u64) -> u64 {
+        self.per_node
+            .iter_mut()
+            .flatten()
+            .map(|alloc| {
+                let keep = alloc.live_blocks().max(4).max(min_keep);
+                alloc.release_excess(client, keep)
+            })
+            .sum()
+    }
+
     /// The `i`-th node of the fallback order: the preferred node first (when
     /// active), then the remaining active nodes in id order.  Returns `None`
     /// for holes in the order (skipped entries); allocation-free.
@@ -391,6 +529,15 @@ impl StripedAllocator {
             .iter()
             .flatten()
             .map(ClientAllocator::live_blocks)
+            .sum()
+    }
+
+    /// Total blocks parked on the free lists across all nodes.
+    pub fn free_blocks(&self) -> u64 {
+        self.per_node
+            .iter()
+            .flatten()
+            .map(ClientAllocator::free_blocks)
             .sum()
     }
 }
@@ -438,6 +585,102 @@ mod tests {
         let b = alloc.alloc(&client, 256).unwrap();
         assert_eq!(a, b);
         assert_eq!(alloc.segments_fetched(), fetched);
+    }
+
+    #[test]
+    fn adjacent_frees_coalesce_into_larger_ranges() {
+        let (_pool, client) = setup();
+        let mut alloc = ClientAllocator::with_segment_size(0, 4096);
+        // Three adjacent 1-block carves, freed in scrambled order.
+        let a = alloc.alloc(&client, 64).unwrap();
+        let b = alloc.alloc(&client, 64).unwrap();
+        let c = alloc.alloc(&client, 64).unwrap();
+        // Burn the rest of the segment so the merged range is the only way
+        // to serve a 3-block request.
+        while alloc.alloc_local(64).is_some() {}
+        alloc.free(b, 64);
+        alloc.free(a, 64);
+        alloc.free(c, 64);
+        assert_eq!(alloc.free_blocks(), 3);
+        let merged = alloc.alloc_local(192).expect("coalesced range serves 3 blocks");
+        assert_eq!(merged, a, "merged range starts at the lowest freed offset");
+        assert_eq!(alloc.free_blocks(), 0);
+    }
+
+    #[test]
+    fn larger_free_blocks_are_split_to_serve_smaller_requests() {
+        // Fill the node completely with one 4-block object, free it, and
+        // allocate 1-block objects: the free block must be split locally —
+        // no RPC can succeed (the node is a single segment), and eviction
+        // recycling must not depend on exact size-class matches.
+        let pool = MemoryPool::new(DmConfig::small().with_capacity(8192));
+        let client = pool.connect();
+        let mut alloc = ClientAllocator::with_segment_size(0, 4096);
+        let a = alloc.alloc(&client, 4096).unwrap();
+        alloc.free(a, 4096);
+        let first = alloc.alloc_local(64).expect("split serves the small request");
+        assert_eq!(first, a, "the split hands out the front of the free block");
+        // The remainder keeps serving further requests, splitting down.
+        for _ in 0..63 {
+            assert!(alloc.alloc_local(64).is_some(), "remainder must keep serving");
+        }
+        assert!(alloc.alloc_local(64).is_none(), "all 64 blocks handed out");
+        assert_eq!(alloc.live_blocks(), 64);
+    }
+
+    #[test]
+    fn excess_free_blocks_are_released_and_reused_by_other_clients() {
+        // Client A's eviction churn fills its local free ranges; once
+        // released, client B's segment ask is served from them even though
+        // the node's bump cursor is exhausted.
+        let pool = MemoryPool::new(DmConfig::small().with_capacity(8192));
+        let client = pool.connect();
+        let mut a = ClientAllocator::with_segment_size(0, 4096);
+        let addr = a.alloc(&client, 4096).unwrap();
+        // Burn the remaining fresh memory so only released ranges can serve.
+        while a.alloc(&client, 4096).is_ok() {}
+        a.free(addr, 4096);
+        assert_eq!(a.release_excess(&client, 0), 64);
+        assert_eq!(a.free_blocks(), 0);
+        let mut b = ClientAllocator::with_segment_size(0, 4096);
+        let got = b.alloc(&client, 4096).unwrap();
+        assert_eq!(got, addr, "B's segment is carved from A's released range");
+    }
+
+    #[test]
+    fn exact_size_asks_are_served_when_whole_segments_are_not() {
+        // The node holds only a small released range: a whole-segment ask
+        // fails, the exact-size pressure backstop succeeds.
+        let pool = MemoryPool::new(DmConfig::small().with_capacity(8192));
+        let client = pool.connect();
+        let mut a = ClientAllocator::with_segment_size(0, 4096);
+        let addr = a.alloc(&client, 4096).unwrap();
+        while a.alloc(&client, 4096).is_ok() {}
+        a.free(addr, 256);
+        assert_eq!(a.release_excess(&client, 0), 4);
+        let mut b = ClientAllocator::with_segment_size(0, 4096);
+        assert!(matches!(
+            b.alloc(&client, 64),
+            Err(DmError::OutOfMemory { .. })
+        ));
+        let got = b.alloc_exact(&client, 256).unwrap();
+        assert_eq!(got, addr);
+        assert_eq!(b.live_blocks(), 4);
+    }
+
+    #[test]
+    fn release_excess_keeps_the_requested_working_set() {
+        let (_pool, client) = setup();
+        let mut alloc = ClientAllocator::with_segment_size(0, 4096);
+        let a = alloc.alloc(&client, 1024).unwrap();
+        let b = alloc.alloc(&client, 1024).unwrap();
+        alloc.free(a, 1024);
+        // One 16-block range parked; keep_blocks=16 means nothing to do.
+        assert_eq!(alloc.release_excess(&client, 16), 0);
+        alloc.free(b, 1024);
+        // 32 parked (coalesced), keep 8: the merged range is released whole.
+        assert_eq!(alloc.release_excess(&client, 8), 32);
+        assert_eq!(alloc.free_blocks(), 0);
     }
 
     #[test]

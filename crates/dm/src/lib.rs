@@ -100,6 +100,35 @@
 //! 1 → 2 → 4 → 8 memory nodes**, because the hottest NIC's message count
 //! drops to roughly `1/n`-th of the total.
 //!
+//! # Threading model
+//!
+//! The substrate is built for **N real OS threads hammering one shared
+//! pool**, mirroring the paper's many-CN deployment:
+//!
+//! * [`MemoryPool`], [`MemoryNode`], [`PoolStats`], [`MigrationEngine`] and
+//!   [`migration::StripeDirectory`] are `Send + Sync` — share them freely
+//!   (`MemoryPool` is a cheap `Arc` clone).  Arena words are atomics, so
+//!   concurrent verbs from different threads observe genuine CAS failures
+//!   and torn-free word updates.
+//! * [`DmClient`] is **`Send` but not `Sync`**: it models one queue pair —
+//!   a per-thread connection with its own simulated clock, node cache and
+//!   [`cq::CompletionQueue`].  Create one per thread via
+//!   [`MemoryPool::connect`] (what [`harness::run_clients`] does); never
+//!   share one behind a reference from two threads.
+//! * **Exact vs. racy counters.**  All [`PoolStats`] counters are atomics
+//!   and individually exact (nothing is lost), including the contention
+//!   group ([`PoolStats::contention`]: CAS retries, lock attempts vs.
+//!   acquisitions, back-off time), which survives
+//!   [`PoolStats::reset`].  *Cross-counter* consistency is racy: a
+//!   snapshot taken while clients run may see verb A but not its sibling
+//!   B.  [`PoolStats::reset`] under live clients is safe but attributes
+//!   in-flight verbs to either interval; the clock high-water mark is
+//!   monotone and never zeroed, so a reset racing
+//!   [`PoolStats::publish_client_clock`] can never strand the interval
+//!   baseline ahead of later publishes.
+//! * [`RemoteLock`] acquisition is a bounded retry/back-off loop and
+//!   records every acquisition into the shared contention counters.
+//!
 //! # Examples
 //!
 //! ```
@@ -144,9 +173,25 @@ pub use lock::{LockAcquisition, RemoteLock};
 pub use memnode::MemoryNode;
 pub use migration::{
     MigrationEngine, MigrationPlanner, MigrationState, MoveJob, StripeDirectory, WriteDisposition,
+    RECONCILE_POISON,
 };
 pub use pool::MemoryPool;
 pub use rpc::{RpcHandler, RpcOutcome};
-pub use stats::{PoolStats, RunReport};
+pub use stats::{ContentionSnapshot, PoolStats, RunReport};
 pub use topology::{PlacementMode, PoolTopology};
 pub use wqe::WorkQueue;
+
+// Compile-time pins of the threading contract documented above: the shared
+// structures are `Send + Sync`, the per-thread connection handle is `Send`
+// (movable into a spawned thread) but deliberately `!Sync`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<DmClient>();
+    assert_send_sync::<MemoryPool>();
+    assert_send_sync::<MemoryNode>();
+    assert_send_sync::<PoolStats>();
+    assert_send_sync::<MigrationEngine>();
+    assert_send_sync::<migration::StripeDirectory>();
+    assert_send_sync::<RemoteLock>();
+};

@@ -31,6 +31,9 @@ pub struct LockAcquisition {
     pub retries: u64,
     /// Simulated nanoseconds spent waiting (back-off included).
     pub wait_ns: u64,
+    /// Simulated nanoseconds of deliberate back-off (the part of `wait_ns`
+    /// not spent on READ/CAS verbs).
+    pub backoff_ns: u64,
 }
 
 /// A spin lock stored in disaggregated memory.
@@ -59,12 +62,33 @@ impl RemoteLock {
         self.addr
     }
 
-    /// Acquires the lock, spinning with back-off until it succeeds.
+    /// Upper bound on failed attempts, after which the acquirer stops
+    /// spinning blindly and jumps its clock to the observed release time.
+    pub fn max_retries(&self) -> u64 {
+        self.max_retries
+    }
+
+    /// Returns a handle with a different retry bound (the point at which a
+    /// lagging acquirer jumps its clock to the release time instead of
+    /// backing off again).
+    pub fn with_max_retries(mut self, max_retries: u64) -> Self {
+        self.max_retries = max_retries.max(1);
+        self
+    }
+
+    /// Acquires the lock, spinning with a bounded back-off loop until it
+    /// succeeds: each failed attempt backs the client off, and past
+    /// [`RemoteLock::max_retries`] failures the client's clock jumps to the
+    /// observed release time so a pathologically lagging acquirer converges
+    /// instead of spinning forever.
     ///
-    /// Returns statistics about the acquisition so callers can account for
-    /// wasted RNIC messages.
+    /// Every acquisition is recorded in the pool's contention counters
+    /// ([`crate::PoolStats::contention`]: acquire attempts vs. acquisitions,
+    /// wait retries and back-off time), and the same statistics are returned
+    /// so callers can additionally account for wasted RNIC messages.
     pub fn acquire(&self, client: &DmClient) -> LockAcquisition {
         let mut retries = 0u64;
+        let mut backoff_total = 0u64;
         let start = client.now_ns();
         loop {
             let observed = client.read_u64(self.addr);
@@ -75,10 +99,16 @@ impl RemoteLock {
                 let desired = (now & TS_MASK) | LOCKED_BIT;
                 let old = client.cas(self.addr, observed, desired);
                 if old == observed {
-                    return LockAcquisition {
+                    let acq = LockAcquisition {
                         retries,
                         wait_ns: client.now_ns() - start,
+                        backoff_ns: backoff_total,
                     };
+                    client
+                        .pool()
+                        .stats()
+                        .record_lock_acquisition(acq.retries, acq.backoff_ns);
+                    return acq;
                 }
             }
             retries += 1;
@@ -86,7 +116,9 @@ impl RemoteLock {
                 // Pathological lag: jump the clock forward to the release time
                 // instead of spinning forever.
                 if free_at > client.now_ns() {
-                    client.advance_ns(free_at - client.now_ns());
+                    let jump = free_at - client.now_ns();
+                    backoff_total += jump;
+                    client.advance_ns(jump);
                 }
             }
             // Wait at least one back-off; when the release time is known to be
@@ -98,6 +130,7 @@ impl RemoteLock {
             } else {
                 self.backoff_ns
             };
+            backoff_total += wait;
             client.advance_ns(wait);
         }
     }
@@ -184,6 +217,32 @@ mod tests {
         // Lock word is released (lock bit clear).
         let raw = client.read_u64(addr);
         assert_eq!(raw & LOCKED_BIT, 0);
+    }
+
+    #[test]
+    fn acquisitions_feed_the_pool_contention_counters() {
+        let (pool, addr) = setup();
+        let holder = pool.connect();
+        let lock = RemoteLock::new(addr, 5_000);
+        lock.acquire(&holder);
+        holder.sleep_us(100);
+        lock.release(&holder);
+
+        let late = pool.connect();
+        let acq = lock.acquire(&late);
+        assert!(acq.retries > 0);
+        assert!(acq.backoff_ns > 0);
+        assert!(acq.wait_ns >= acq.backoff_ns);
+        lock.release(&late);
+
+        let c = pool.stats().contention();
+        assert_eq!(c.lock_acquisitions, 2);
+        assert_eq!(c.lock_wait_retries, acq.retries);
+        assert_eq!(c.lock_acquire_attempts, 2 + acq.retries);
+        assert_eq!(c.backoff_ns, acq.backoff_ns);
+        // Lifetime counters: a stats reset does not clear them.
+        pool.reset_stats();
+        assert_eq!(pool.stats().contention(), c);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::error::{DmError, DmResult};
 use crate::rpc::{RpcHandler, RpcOutcome};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,8 +22,11 @@ pub struct MemoryNode {
     capacity: u64,
     /// Bump cursor for reservations and fresh segments (in bytes).
     cursor: AtomicU64,
-    /// Freed segments grouped by size, reused before bumping the cursor.
-    free_segments: Mutex<HashMap<u64, Vec<u64>>>,
+    /// Returned ranges (offset → length in bytes), coalesced with their
+    /// neighbours and served best-fit before the cursor is bumped.  Clients
+    /// release odd-sized excess from their local free lists, so the store
+    /// must merge and split — exact-size reuse would strand those ranges.
+    free_ranges: Mutex<BTreeMap<u64, u64>>,
     /// Registered controller services.
     handlers: RwLock<HashMap<u8, Arc<dyn RpcHandler>>>,
     /// Set once the node is fully drained and removed from the pool; node
@@ -45,7 +48,7 @@ impl MemoryNode {
             // Offset 0 is never handed out so that a packed address of 0 can
             // serve as the NULL pointer in hash-table slots.
             cursor: AtomicU64::new(ALLOC_ALIGN),
-            free_segments: Mutex::new(HashMap::new()),
+            free_ranges: Mutex::new(BTreeMap::new()),
             handlers: RwLock::new(HashMap::new()),
             decommissioned: AtomicBool::new(false),
         }
@@ -200,20 +203,55 @@ impl MemoryNode {
         self.allocate_raw(size)
     }
 
-    /// Allocates a segment of `size` bytes, reusing a previously freed
-    /// segment of the same size when available.
+    /// Allocates a segment of `size` bytes, serving from the returned
+    /// ranges (best fit, splitting the remainder back) before bumping the
+    /// cursor for fresh memory.
     pub fn alloc_segment(&self, size: u64) -> DmResult<u64> {
         let size = size.next_multiple_of(ALLOC_ALIGN);
-        if let Some(off) = self.free_segments.lock().get_mut(&size).and_then(Vec::pop) {
-            return Ok(off);
+        {
+            let mut ranges = self.free_ranges.lock();
+            let best = ranges
+                .iter()
+                .filter(|&(_, &len)| len >= size)
+                .min_by_key(|&(_, &len)| len)
+                .map(|(&off, &len)| (off, len));
+            if let Some((off, len)) = best {
+                ranges.remove(&off);
+                if len > size {
+                    ranges.insert(off + size, len - size);
+                }
+                return Ok(off);
+            }
         }
         self.allocate_raw(size)
     }
 
-    /// Returns a segment previously handed out by [`MemoryNode::alloc_segment`].
+    /// Returns a range previously handed out by [`MemoryNode::alloc_segment`]
+    /// (whole segments or any aligned sub-range of one), merging it with
+    /// adjacent free neighbours.  Ranges released by different clients thus
+    /// coalesce here even when neither client could merge them locally.
     pub fn free_segment(&self, offset: u64, size: u64) {
         let size = size.next_multiple_of(ALLOC_ALIGN);
-        self.free_segments.lock().entry(size).or_default().push(offset);
+        let mut ranges = self.free_ranges.lock();
+        let mut offset = offset;
+        let mut len = size;
+        if let Some(&next_len) = ranges.get(&(offset + len)) {
+            ranges.remove(&(offset + len));
+            len += next_len;
+        }
+        if let Some((&prev_off, &prev_len)) = ranges.range(..offset).next_back() {
+            if prev_off + prev_len == offset {
+                ranges.remove(&prev_off);
+                offset = prev_off;
+                len += prev_len;
+            }
+        }
+        ranges.insert(offset, len);
+    }
+
+    /// Total bytes sitting on the returned-range store (free to re-allocate).
+    pub fn free_range_bytes(&self) -> u64 {
+        self.free_ranges.lock().values().sum()
     }
 
     fn allocate_raw(&self, size: u64) -> DmResult<u64> {
@@ -350,6 +388,26 @@ mod tests {
         node.free_segment(a, 4096);
         let b = node.alloc_segment(4096).unwrap();
         assert_eq!(a, b, "freed segment should be reused");
+    }
+
+    #[test]
+    fn returned_ranges_coalesce_and_split() {
+        // Two clients return adjacent halves of a segment independently; the
+        // store merges them, and a full-segment request is served from the
+        // merged range even though neither returned piece was big enough.
+        let node = MemoryNode::new(0, 16 * 1024);
+        let seg = node.alloc_segment(4096).unwrap();
+        // Burn the rest of the node so only the returned ranges can serve.
+        while node.alloc_segment(4096).is_ok() {}
+        node.free_segment(seg, 2048);
+        node.free_segment(seg + 2048, 2048);
+        assert_eq!(node.free_range_bytes(), 4096);
+        assert_eq!(node.alloc_segment(4096).unwrap(), seg);
+        // And a big range splits down for a smaller request.
+        node.free_segment(seg, 4096);
+        assert_eq!(node.alloc_segment(64).unwrap(), seg);
+        assert_eq!(node.alloc_segment(64).unwrap(), seg + 64);
+        assert_eq!(node.free_range_bytes(), 4096 - 128);
     }
 
     #[test]

@@ -28,11 +28,13 @@
 //!   retry when a cutover raced them.  Writers CAS the source and mirror
 //!   the new slot value to the destination under the stripe lock.  The
 //!   cache layer relocates the stripe's resident objects in this window.
-//! * **commit** — under the stripe lock the engine re-copies the stripe
-//!   (reconciling any write that raced the `Idle → Copying` transition),
-//!   flips the directory entry to the destination and bumps the pool's
-//!   resize epoch (the *migration epoch* piggybacks on it), so every
-//!   client revalidates its placement snapshot and follows the redirect.
+//! * **commit** — under the stripe lock the engine *reconciles* the
+//!   stripe: every source word is CAS-swapped to [`RECONCILE_POISON`] as
+//!   its value is carried to the destination (see the constant's docs for
+//!   why a plain re-copy is not enough), then the directory entry flips to
+//!   the destination and the pool's resize epoch bumps (the *migration
+//!   epoch* piggybacks on it), so every client revalidates its placement
+//!   snapshot and follows the redirect.
 //!
 //! # Client redirect rules
 //!
@@ -44,8 +46,14 @@
 //! 3. After a successful slot CAS, ask the directory where the write
 //!    belongs ([`StripeDirectory::confirm_write`]): `Clean` means done;
 //!    `Mirror` means replay the value at the forwarding address under the
-//!    stripe lock; `Stale` means the CAS hit a dead (already cut over)
-//!    copy — undo nothing, redo the operation against the new address.
+//!    stripe lock; `Stale` means a cutover raced the CAS — the poison
+//!    protocol makes the outcome deterministic (a succeeded CAS against a
+//!    non-zero expected value was provably carried; an insert against an
+//!    empty word is rolled back and retried).
+//! 4. A read that observes [`RECONCILE_POISON`] is mid-cutover: do not
+//!    act on the view (a poisoned bucket decodes as all-empty) —
+//!    re-translate through the directory and re-read until the commit
+//!    finishes flipping the stripe.
 //!
 //! The [`MigrationPlanner`] diffs the directory's current placement
 //! against the topology's assignment (the *pending-assignment view* of
@@ -67,6 +75,27 @@ use std::sync::Arc;
 
 /// Bytes copied per READ/WRITE pair while migrating a stripe.
 const COPY_CHUNK: usize = 4096;
+
+/// Marker the commit's reconcile pass swaps into every word of the vacated
+/// source copy as it carries the word's value to the destination.
+///
+/// This is what makes a slot CAS racing a cutover *deterministic* instead
+/// of ambiguous: the reconcile swaps each source word to this marker (one
+/// word CAS at a time) before writing the taken value to the destination,
+/// so a concurrent word CAS either lands **before** the swap — in which
+/// case the swap itself carries the CASed value to the live home — or
+/// observes the marker and fails.  A CAS that *succeeded* but was judged
+/// [`WriteDisposition::Stale`] therefore provably made it into the
+/// destination copy; without the marker the writer cannot tell a carried
+/// write from a swallowed one, and cleaning up on the wrong guess either
+/// loses the write or leaks the object it displaced.
+///
+/// Upper layers must (a) never store this value in a word a CAS can
+/// target — the slot layer treats it as an impossible encoding and decodes
+/// it as an empty slot — and (b) treat a CAS that *observes* it as "the
+/// stripe is mid-cutover": back off and re-translate through the
+/// directory.
+pub const RECONCILE_POISON: u64 = u64::MAX;
 
 /// Simulated back-off of the per-stripe migration locks, in nanoseconds.
 const LOCK_BACKOFF_NS: u64 = 1_000;
@@ -146,6 +175,11 @@ pub struct StripeDirectory {
     /// over since the writer captured its token — otherwise the range may
     /// be a recycled parking slot that belonged to a different stripe.
     committed_at: Vec<AtomicU64>,
+    /// Packed base each stripe vacated at its most recent cutover (0 =
+    /// never moved).  A writer whose CAS raced a commit uses this to find
+    /// the stripe's new home and resolve whether the reconcile copy
+    /// carried its write ([`StripeDirectory::resolve_vacated`]).
+    previous: Vec<AtomicU64>,
     stripe_bytes: u64,
 }
 
@@ -160,6 +194,7 @@ impl StripeDirectory {
             active_moves: AtomicUsize::new(0),
             version: AtomicU64::new(0),
             committed_at: (0..bases.len()).map(|_| AtomicU64::new(0)).collect(),
+            previous: (0..bases.len()).map(|_| AtomicU64::new(0)).collect(),
             stripe_bytes,
         }
     }
@@ -229,7 +264,8 @@ impl StripeDirectory {
         let idx = stripe as usize;
         let dst = self.forwards[idx].swap(0, Ordering::AcqRel);
         debug_assert_ne!(dst, 0, "commit without begin_move");
-        self.entries[idx].store(dst, Ordering::Release);
+        let vacated = self.entries[idx].swap(dst, Ordering::AcqRel);
+        self.previous[idx].store(vacated, Ordering::Release);
         self.states[idx].store(MigrationState::Committed as u8, Ordering::Release);
         self.active_moves.fetch_sub(1, Ordering::AcqRel);
         let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
@@ -244,6 +280,36 @@ impl StripeDirectory {
                 && addr.offset >= base.offset
                 && addr.offset < base.offset + self.stripe_bytes
         }).map(|i| i as u64)
+    }
+
+    /// The stripe whose *current* range contains `addr`, if any.  Lets a
+    /// client tell whether a judged-stale address has been recycled into
+    /// another stripe's live range (parking reuse).
+    pub fn locate_current(&self, addr: RemoteAddr) -> Option<u64> {
+        self.locate(addr)
+    }
+
+    /// Translates an address inside a range some stripe vacated at its
+    /// most recent cutover to the same offset inside that stripe's current
+    /// home.  Returns `None` when no vacated range covers `addr` (e.g. the
+    /// stripe has moved *again* since, recycling its `previous` entry).
+    ///
+    /// Used by the stale-CAS cleanup to chase a scribbled insert that a
+    /// later reconcile pass carried along with the range it sat in: the
+    /// offset within the stripe is invariant across moves, so the chase
+    /// re-tries its rollback at the same offset in the stripe's new home.
+    pub fn resolve_vacated(&self, addr: RemoteAddr) -> Option<(u64, RemoteAddr)> {
+        self.previous.iter().enumerate().find_map(|(i, p)| {
+            let raw = p.load(Ordering::Acquire);
+            if raw == 0 {
+                return None;
+            }
+            let base = RemoteAddr::unpack(raw);
+            (base.mn_id == addr.mn_id
+                && addr.offset >= base.offset
+                && addr.offset < base.offset + self.stripe_bytes)
+                .then(|| (i as u64, self.current(i as u64).add(addr.offset - base.offset)))
+        })
     }
 
     /// Best-effort mirror address for a metadata write to `addr`: the same
@@ -411,7 +477,13 @@ impl MigrationEngine {
     /// Takes `bytes` of copy budget from the token bucket, stalling the
     /// pumping client (advancing its simulated clock) when the bucket is
     /// dry.  No-op when no rate limit is configured.
-    fn throttle_copy(&self, client: &DmClient, bytes: u64) {
+    ///
+    /// Public because *all* migration traffic shares this one bucket: the
+    /// engine charges its stripe bulk copies here, and the cache layer
+    /// charges the object-relocation READ/WRITEs it issues while draining a
+    /// stripe's residents — so `migration_copy_bytes_per_sec` caps the
+    /// combined resize traffic, not just the bucket arrays.
+    pub fn throttle_copy(&self, client: &DmClient, bytes: u64) {
         let rate = self.copy_rate();
         if rate == 0 {
             return;
@@ -502,10 +574,13 @@ impl MigrationEngine {
         Ok(true)
     }
 
-    /// Commits `job`: under the stripe lock, re-copies the stripe
-    /// (reconciling writes that raced the `Copying` transition), flips the
-    /// directory entry, remembers the vacated source range for reuse and
-    /// piggybacks the cutover on the pool's resize epoch.
+    /// Commits `job`: under the stripe lock, reconciles the stripe — every
+    /// source word is swapped to [`RECONCILE_POISON`] as its value is
+    /// carried to the destination, so a slot CAS racing this pass either
+    /// gets carried or observes the poison and fails (never silently
+    /// swallowed) — then flips the directory entry, remembers the vacated
+    /// source range for reuse and piggybacks the cutover on the pool's
+    /// resize epoch.
     pub fn commit(&self, client: &DmClient, job: &MoveJob) -> DmResult<()> {
         let lock = self.stripe_lock(job.stripe);
         lock.acquire(client);
@@ -513,7 +588,7 @@ impl MigrationEngine {
         let dst_base = self.dir.forward(job.stripe).ok_or(DmError::Topology {
             reason: format!("commit of stripe {} without begin", job.stripe),
         })?;
-        self.copy_stripe(client, src_base, dst_base);
+        self.reconcile_stripe(client, src_base, dst_base);
         self.dir.commit(job.stripe);
         lock.release(client);
         self.parking
@@ -558,6 +633,66 @@ impl MigrationEngine {
             let take = ((total - copied) as usize).min(COPY_CHUNK);
             self.throttle_copy(client, 2 * take as u64);
             client.read_into(src.add(copied), &mut buf[..take]);
+            client.write(dst.add(copied), &buf[..take]);
+            copied += take as u64;
+        }
+        self.pool.stats().record_migrated_bytes(total);
+    }
+
+    /// The commit-time variant of [`MigrationEngine::copy_stripe`]: carries
+    /// each source word to the destination *through a CAS swap to
+    /// [`RECONCILE_POISON`]*, so racing word CASes are linearised against
+    /// the carry — see the constant's docs for why a plain re-copy is not
+    /// enough.  Holds no extra state: the caller already holds the stripe
+    /// lock, which keeps other reconcile/copy passes off the range (racing
+    /// *clients* are exactly who the poison protocol is for).
+    fn reconcile_stripe(&self, client: &DmClient, src: RemoteAddr, dst: RemoteAddr) {
+        let total = self.dir.stripe_bytes();
+        let mut buf = vec![0u8; COPY_CHUNK.min(total as usize)];
+        let mut observed = vec![0u64; buf.len() / 8];
+        let mut copied = 0u64;
+        while copied < total {
+            let take = ((total - copied) as usize).min(COPY_CHUNK);
+            // One READ to seed the expected values, one word CAS per 8
+            // bytes for the poison swaps, one WRITE to land the chunk:
+            // budget all three passes against the copy token bucket.
+            self.throttle_copy(client, 3 * take as u64);
+            client.read_into(src.add(copied), &mut buf[..take]);
+            let words = take / 8;
+            // The poison sweep rides the posted-WQE path: a doorbell
+            // batch's worth of CASes goes out at once and is drained
+            // together, so the sweep costs one max-latency round per batch,
+            // not `words` sequential round trips (each CAS still consumes
+            // one RNIC message — the sweep buys latency, not message rate).
+            let mut base = 0;
+            while base < words {
+                let group = (words - base).min(crate::wqe::MAX_WQES);
+                let mut wq = client.work_queue();
+                for (i, out) in observed[base..base + group].iter_mut().enumerate() {
+                    let w = base + i;
+                    let expected =
+                        u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
+                    wq.post_cas(src.add(copied + (w * 8) as u64), expected, RECONCILE_POISON, out, true);
+                }
+                wq.ring();
+                drop(wq);
+                client.drain_cq();
+                base += group;
+            }
+            for w in 0..words {
+                let mut expected =
+                    u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
+                let mut got = observed[w];
+                while got != expected {
+                    // A client CASed the word between the read and the
+                    // swap: carry the newer value instead.  Races are rare
+                    // (one contended word per incident), so the retries use
+                    // plain synchronous CASes.
+                    expected = got;
+                    got = client.cas(src.add(copied + (w * 8) as u64), expected, RECONCILE_POISON);
+                }
+                buf[w * 8..w * 8 + 8].copy_from_slice(&expected.to_le_bytes());
+            }
             client.write(dst.add(copied), &buf[..take]);
             copied += take as u64;
         }

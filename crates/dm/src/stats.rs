@@ -159,6 +159,59 @@ pub struct PoolStats {
     migrated_object_bytes: AtomicU64,
     /// Stripe cutovers committed (source → destination switches).
     stripe_cutovers: AtomicU64,
+    /// Slot-CAS attempts that observed an unexpected value and forced the
+    /// issuing operation to retry.  Lifetime counter: survives
+    /// [`PoolStats::reset`] (see [`PoolStats::contention`]).
+    cas_retries: AtomicU64,
+    /// [`crate::RemoteLock`] acquisition attempts (CAS issues against a lock
+    /// word, successful or not).  Survives [`PoolStats::reset`].
+    lock_acquire_attempts: AtomicU64,
+    /// [`crate::RemoteLock`] acquisitions that eventually succeeded.
+    /// Survives [`PoolStats::reset`].
+    lock_acquisitions: AtomicU64,
+    /// Failed lock-acquisition attempts that waited and retried
+    /// (`lock_acquire_attempts - lock_acquisitions`).  Survives
+    /// [`PoolStats::reset`].
+    lock_wait_retries: AtomicU64,
+    /// Simulated nanoseconds clients spent backing off after failed CAS /
+    /// lock attempts.  Survives [`PoolStats::reset`].
+    backoff_ns: AtomicU64,
+}
+
+/// Point-in-time copy of the pool's contention counters.
+///
+/// These are *lifetime* counters — [`PoolStats::reset`] deliberately leaves
+/// them alone so contention surviving across measurement phases stays
+/// visible.  Per-interval figures therefore come from snapshot deltas:
+/// capture one snapshot before the interval, one after, and
+/// [`ContentionSnapshot::delta`] the two.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentionSnapshot {
+    /// Failed slot-CAS attempts that forced a retry.
+    pub cas_retries: u64,
+    /// Lock-acquisition attempts (successful or not).
+    pub lock_acquire_attempts: u64,
+    /// Lock acquisitions that succeeded.
+    pub lock_acquisitions: u64,
+    /// Failed lock attempts that backed off and retried.
+    pub lock_wait_retries: u64,
+    /// Simulated nanoseconds spent in CAS/lock back-off.
+    pub backoff_ns: u64,
+}
+
+impl ContentionSnapshot {
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn delta(&self, earlier: &ContentionSnapshot) -> ContentionSnapshot {
+        ContentionSnapshot {
+            cas_retries: self.cas_retries.saturating_sub(earlier.cas_retries),
+            lock_acquire_attempts: self
+                .lock_acquire_attempts
+                .saturating_sub(earlier.lock_acquire_attempts),
+            lock_acquisitions: self.lock_acquisitions.saturating_sub(earlier.lock_acquisitions),
+            lock_wait_retries: self.lock_wait_retries.saturating_sub(earlier.lock_wait_retries),
+            backoff_ns: self.backoff_ns.saturating_sub(earlier.backoff_ns),
+        }
+    }
 }
 
 impl PoolStats {
@@ -188,6 +241,11 @@ impl PoolStats {
             migrated_objects: AtomicU64::new(0),
             migrated_object_bytes: AtomicU64::new(0),
             stripe_cutovers: AtomicU64::new(0),
+            cas_retries: AtomicU64::new(0),
+            lock_acquire_attempts: AtomicU64::new(0),
+            lock_acquisitions: AtomicU64::new(0),
+            lock_wait_retries: AtomicU64::new(0),
+            backoff_ns: AtomicU64::new(0),
         }
     }
 
@@ -349,6 +407,62 @@ impl PoolStats {
         self.stripe_cutovers.load(Ordering::Relaxed)
     }
 
+    /// Records one failed slot-CAS attempt that forces the issuing
+    /// operation to retry, together with the simulated back-off it paid.
+    pub fn record_cas_retry(&self, backoff_ns: u64) {
+        self.cas_retries.fetch_add(1, Ordering::Relaxed);
+        self.backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
+    }
+
+    /// Records one completed [`crate::RemoteLock`] acquisition that needed
+    /// `wait_retries` failed attempts and `backoff_ns` of simulated back-off
+    /// before succeeding.
+    pub fn record_lock_acquisition(&self, wait_retries: u64, backoff_ns: u64) {
+        self.lock_acquire_attempts
+            .fetch_add(wait_retries + 1, Ordering::Relaxed);
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.lock_wait_retries.fetch_add(wait_retries, Ordering::Relaxed);
+        self.backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
+    }
+
+    /// Failed slot-CAS attempts recorded so far (lifetime).
+    pub fn cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::Relaxed)
+    }
+
+    /// Lock-acquisition attempts recorded so far (lifetime).
+    pub fn lock_acquire_attempts(&self) -> u64 {
+        self.lock_acquire_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Successful lock acquisitions recorded so far (lifetime).
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Failed, backed-off lock attempts recorded so far (lifetime).
+    pub fn lock_wait_retries(&self) -> u64 {
+        self.lock_wait_retries.load(Ordering::Relaxed)
+    }
+
+    /// Simulated back-off nanoseconds recorded so far (lifetime).
+    pub fn backoff_ns(&self) -> u64 {
+        self.backoff_ns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the lifetime contention counters.  Diff two snapshots
+    /// ([`ContentionSnapshot::delta`]) for per-interval figures — these
+    /// counters survive [`PoolStats::reset`].
+    pub fn contention(&self) -> ContentionSnapshot {
+        ContentionSnapshot {
+            cas_retries: self.cas_retries(),
+            lock_acquire_attempts: self.lock_acquire_attempts(),
+            lock_acquisitions: self.lock_acquisitions(),
+            lock_wait_retries: self.lock_wait_retries(),
+            backoff_ns: self.backoff_ns(),
+        }
+    }
+
     /// Records a verb of `kind` moving `bytes` payload bytes to node `mn_id`.
     pub fn record_verb(&self, mn_id: u16, kind: VerbKind, bytes: usize) {
         if let Some(node) = self.nodes.get(mn_id as usize) {
@@ -370,6 +484,12 @@ impl PoolStats {
     }
 
     /// Publishes a client's final simulated clock (harness bookkeeping).
+    ///
+    /// Safe to call concurrently with [`PoolStats::reset`]: the published
+    /// clock is folded in with a monotone `fetch_max` and the high-water
+    /// mark is never zeroed, so a publish racing a reset is attributed to
+    /// either the ending interval or the new one — never lost, and the
+    /// interval baseline can never end up ahead of a later publish.
     pub fn publish_client_clock(&self, clock_ns: u64) {
         self.max_client_clock_ns
             .fetch_max(clock_ns, Ordering::Relaxed);
@@ -399,6 +519,11 @@ impl PoolStats {
     }
 
     /// Largest client clock published so far, in nanoseconds.
+    ///
+    /// This is a lifetime high-water mark: it is **not** zeroed by
+    /// [`PoolStats::reset`] (resetting it would race concurrent
+    /// [`PoolStats::publish_client_clock`] calls and could lose publishes).
+    /// Per-interval elapsed time is [`PoolStats::elapsed_client_ns`].
     pub fn max_client_clock_ns(&self) -> u64 {
         self.max_client_clock_ns.load(Ordering::Relaxed)
     }
@@ -419,11 +544,27 @@ impl PoolStats {
             .saturating_sub(self.clock_baseline_ns())
     }
 
-    /// Resets every counter and the latency histogram.
+    /// Resets the per-interval counters and the latency histogram.
     ///
     /// The clock baseline advances to the largest clock published so far, so
     /// clients connected after the reset continue from that point in
     /// simulated time instead of starting over at zero.
+    ///
+    /// # Concurrency
+    ///
+    /// Safe (but racy) under live clients: the clock high-water mark
+    /// (`max_client_clock_ns`) is monotone and never zeroed, and the
+    /// baseline only ever advances *to* it with a `fetch_max` — so a
+    /// [`PoolStats::publish_client_clock`] racing the reset lands either
+    /// before the baseline capture (attributed to the old interval) or
+    /// after it (attributed to the new one).  Either way the baseline can
+    /// never exceed the high-water mark and `elapsed_client_ns` never
+    /// underflows or goes negative-forever.  The traffic counters are
+    /// plain relaxed stores; verbs racing the reset may land in either
+    /// interval, which only blurs the boundary, not the totals.
+    ///
+    /// The per-node `resident_bytes` gauges (pool state) and the contention
+    /// counters (see [`PoolStats::contention`]) deliberately survive.
     pub fn reset(&self) {
         self.clock_baseline_ns
             .fetch_max(self.max_client_clock_ns.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -440,7 +581,11 @@ impl PoolStats {
         }
         self.ops.store(0, Ordering::Relaxed);
         self.op_latency.reset();
-        self.max_client_clock_ns.store(0, Ordering::Relaxed);
+        // `max_client_clock_ns` is deliberately NOT zeroed: a concurrent
+        // publish racing the store could be lost, leaving the baseline
+        // (captured above) ahead of every later publish and elapsed time
+        // permanently stuck at zero.  The mark stays monotone; elapsed time
+        // is always measured against the baseline.
         self.doorbells.store(0, Ordering::Relaxed);
         self.batched_verbs.store(0, Ordering::Relaxed);
         self.largest_batch.store(0, Ordering::Relaxed);
@@ -608,7 +753,61 @@ mod tests {
         stats.reset();
         assert_eq!(stats.ops(), 0);
         assert_eq!(stats.node_snapshots()[0].messages, 0);
-        assert_eq!(stats.max_client_clock_ns(), 0);
+        // The clock mark is monotone (never zeroed); the interval baseline
+        // catches up to it instead, so elapsed time restarts at zero.
+        assert_eq!(stats.max_client_clock_ns(), 5_000);
+        assert_eq!(stats.clock_baseline_ns(), 5_000);
+        assert_eq!(stats.elapsed_client_ns(), 0);
+    }
+
+    #[test]
+    fn contention_counters_survive_reset() {
+        let stats = PoolStats::new(1);
+        stats.record_cas_retry(200);
+        stats.record_cas_retry(200);
+        stats.record_lock_acquisition(3, 5_000);
+        stats.record_lock_acquisition(0, 0);
+        let before = stats.contention();
+        assert_eq!(before.cas_retries, 2);
+        assert_eq!(before.lock_acquire_attempts, 5);
+        assert_eq!(before.lock_acquisitions, 2);
+        assert_eq!(before.lock_wait_retries, 3);
+        assert_eq!(before.backoff_ns, 5_400);
+        stats.reset();
+        assert_eq!(stats.contention(), before, "contention counters are lifetime");
+        stats.record_cas_retry(100);
+        let delta = stats.contention().delta(&before);
+        assert_eq!(delta.cas_retries, 1);
+        assert_eq!(delta.backoff_ns, 100);
+        assert_eq!(delta.lock_acquisitions, 0);
+    }
+
+    #[test]
+    fn publish_racing_reset_never_strands_the_baseline() {
+        // A client publishing concurrently with reset() must end up either
+        // in the old interval (folded into the baseline) or the new one
+        // (visible as elapsed time) — never lost with the baseline ahead of
+        // every later publish.
+        use std::sync::Arc;
+        for round in 0..200u64 {
+            let stats = Arc::new(PoolStats::new(1));
+            stats.publish_client_clock(1_000);
+            let publisher = {
+                let stats = Arc::clone(&stats);
+                std::thread::spawn(move || {
+                    stats.publish_client_clock(2_000 + round);
+                })
+            };
+            stats.reset();
+            publisher.join().unwrap();
+            let max = stats.max_client_clock_ns();
+            let baseline = stats.clock_baseline_ns();
+            assert!(max >= 2_000 + round, "publish lost: {max}");
+            assert!(baseline <= max, "baseline {baseline} ahead of publishes {max}");
+            // Whatever the interleaving, a later publish still moves time.
+            stats.publish_client_clock(10_000);
+            assert_eq!(stats.elapsed_client_ns(), 10_000 - baseline);
+        }
     }
 
     #[test]

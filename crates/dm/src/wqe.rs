@@ -68,6 +68,15 @@ pub(crate) enum WqeOp<'buf> {
         addr: RemoteAddr,
         delta: u64,
     },
+    /// `RDMA_CAS`; the observed old value lands in `out` when the verb
+    /// executes at ring time (awaiting the completion before reading `out`
+    /// is the caller's contract, as for a READ buffer).
+    Cas {
+        addr: RemoteAddr,
+        expected: u64,
+        new: u64,
+        out: &'buf mut u64,
+    },
 }
 
 impl WqeOp<'_> {
@@ -76,6 +85,7 @@ impl WqeOp<'_> {
             WqeOp::Read { .. } => VerbKind::Read,
             WqeOp::Write { .. } => VerbKind::Write,
             WqeOp::Faa { .. } => VerbKind::Faa,
+            WqeOp::Cas { .. } => VerbKind::Cas,
         }
     }
 
@@ -83,15 +93,16 @@ impl WqeOp<'_> {
         match self {
             WqeOp::Read { buf, .. } => buf.len(),
             WqeOp::Write { data, .. } => data.len(),
-            WqeOp::Faa { .. } => 8,
+            WqeOp::Faa { .. } | WqeOp::Cas { .. } => 8,
         }
     }
 
     pub(crate) fn mn_id(&self) -> u16 {
         match self {
-            WqeOp::Read { addr, .. } | WqeOp::Write { addr, .. } | WqeOp::Faa { addr, .. } => {
-                addr.mn_id
-            }
+            WqeOp::Read { addr, .. }
+            | WqeOp::Write { addr, .. }
+            | WqeOp::Faa { addr, .. }
+            | WqeOp::Cas { addr, .. } => addr.mn_id,
         }
     }
 
@@ -127,6 +138,17 @@ impl WqeOp<'_> {
                     .node_ref(addr.mn_id)
                     .faa(addr.offset, delta)
                     .unwrap_or_else(|e| panic!("posted RDMA_FAA failed: {e}"));
+            }
+            WqeOp::Cas {
+                addr,
+                expected,
+                new,
+                out,
+            } => {
+                *out = client
+                    .node_ref(addr.mn_id)
+                    .cas(addr.offset, expected, new)
+                    .unwrap_or_else(|e| panic!("posted RDMA_CAS failed: {e}"));
             }
         }
     }
@@ -199,6 +221,29 @@ impl<'client, 'buf> WorkQueue<'client, 'buf> {
     /// Posts an `RDMA_FAA` of `delta` (old value discarded).
     pub fn post_faa(&mut self, addr: RemoteAddr, delta: u64, signalled: bool) -> u64 {
         self.post(WqeOp::Faa { addr, delta }, signalled)
+    }
+
+    /// Posts an `RDMA_CAS`; the observed old value lands in `out`.  As with
+    /// a READ buffer, `out` must not be inspected before the WQE's
+    /// completion is polled (the migration reconcile sweep posts a whole
+    /// chunk's CASes in one doorbell batch and drains them together).
+    pub fn post_cas(
+        &mut self,
+        addr: RemoteAddr,
+        expected: u64,
+        new: u64,
+        out: &'buf mut u64,
+        signalled: bool,
+    ) -> u64 {
+        self.post(
+            WqeOp::Cas {
+                addr,
+                expected,
+                new,
+                out,
+            },
+            signalled,
+        )
     }
 
     /// Rings the doorbell: charges the posting cost `fanout ×
