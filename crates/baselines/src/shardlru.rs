@@ -280,7 +280,7 @@ impl ditto_workloads::CacheBackend for LockedListClient {
                     .fetch_add(acq.retries, Ordering::Relaxed);
                 self.list_maintenance_verbs(shard.list_region);
                 shard.state.lock().touch(key);
-                lock.release(&self.dm);
+                let _ = lock.release(&self.dm, &acq);
             }
         }
         self.dm.end_op();
@@ -304,7 +304,7 @@ impl ditto_workloads::CacheBackend for LockedListClient {
                 .state
                 .lock()
                 .insert(self.shared.per_shard_capacity(), key, value);
-            lock.release(&self.dm);
+            let _ = lock.release(&self.dm, &acq);
         } else {
             shard
                 .state

@@ -24,13 +24,19 @@
 //! or if the message-bound sweep is not monotonically increasing from 1 to
 //! 4 nodes.
 //!
+//! A degraded-mode section replays the 4-thread concurrency workload under
+//! armed verb-fault injection at 0 / 0.1% / 1% and reports ops/s and tail
+//! latency per rate, gating that the armed-but-zero row stays within noise
+//! of the fault-free concurrency point (fault injection must be free when
+//! no faults fire) and that no operations are lost at any rate.
+//!
 //! ```text
 //! cargo run --release -p ditto-bench --bin ops_bench
 //! cargo run --release -p ditto-bench --bin ops_bench -- --requests 500000
 //! ```
 
 use ditto_core::{DittoCache, DittoConfig};
-use ditto_dm::{run_clients, DmConfig};
+use ditto_dm::{run_clients, DmConfig, FaultPlan};
 use ditto_workloads::{YcsbSpec, YcsbWorkload};
 
 /// RNIC message budget (verbs/s per node) for the striping sweep — low
@@ -251,6 +257,87 @@ fn run_concurrency_point(threads: usize, spec: &YcsbSpec, capacity: u64) -> Conc
     }
 }
 
+/// One point of the degraded-mode section: the 4-thread concurrency
+/// workload with an *armed* fault injector delivering `fault_ppm` verb
+/// error completions (plus half that rate of verb timeouts) per million
+/// verbs.
+#[derive(Debug, Clone)]
+struct DegradedPoint {
+    fault_ppm: u32,
+    ops: u64,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    verb_failures: u64,
+    verb_timeouts: u64,
+    verb_retries: u64,
+    retry_backoff_ms: f64,
+}
+
+/// Degraded-mode throughput: the 4-thread shared-cache workload of the
+/// concurrency section, replayed on a pool whose fault injector is armed
+/// at `fault_ppm`.  The 0-ppm point runs with the injector *armed on an
+/// all-zero plan* — it prices the injection plumbing itself, and `main`
+/// gates it against the fault-free 4-thread concurrency point.
+fn run_degraded_point(fault_ppm: u32, spec: &YcsbSpec, capacity: u64) -> DegradedPoint {
+    const THREADS: usize = 4;
+    let plan = FaultPlan::seeded(0xBE9C + u64::from(fault_ppm))
+        .with_verb_fail_ppm(fault_ppm)
+        .with_verb_timeouts(fault_ppm / 2, 20_000);
+    let cache = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(capacity),
+        DmConfig::default().with_fault_plan(plan),
+    )
+    .unwrap();
+    let injector = cache.pool().fault_injector();
+    injector.set_armed(false);
+    {
+        let mut client = cache.client();
+        let mut value = vec![0u8; spec.value_size as usize];
+        for key in 0..spec.record_count {
+            value.fill(key as u8);
+            client.set(&key.to_le_bytes(), &value);
+        }
+        client.dm().publish_clock();
+    }
+    let faults_before = cache.pool().stats().faults();
+
+    injector.set_armed(true);
+    let per_thread = YcsbSpec {
+        request_count: spec.request_count / THREADS as u64,
+        ..*spec
+    };
+    let (report, _) = run_clients(cache.pool(), THREADS, |ctx| {
+        let mut client = cache.client();
+        client.dm().reset_clock();
+        let mut value = vec![0u8; per_thread.value_size as usize];
+        let mut value_buf = Vec::with_capacity(per_thread.value_size as usize);
+        let requests = per_thread.run_requests_seeded(YcsbWorkload::C, 1_000 + ctx.index as u64);
+        for request in requests {
+            let key = request.key_bytes();
+            if !client.get_into(&key, &mut value_buf) {
+                value.fill(request.key as u8);
+                client.set(&key, &value);
+            }
+        }
+        client.flush();
+    });
+    injector.set_armed(false);
+    let faults = cache.pool().stats().faults().delta(&faults_before);
+
+    DegradedPoint {
+        fault_ppm,
+        ops: report.total_ops,
+        ops_per_sec: report.throughput_mops * 1e6,
+        p50_us: report.p50_latency_us,
+        p99_us: report.p99_latency_us,
+        verb_failures: faults.verb_failures,
+        verb_timeouts: faults.verb_timeouts,
+        verb_retries: faults.verb_retries,
+        retry_backoff_ms: faults.retry_backoff_ns as f64 / 1e6,
+    }
+}
+
 /// One batching mode's trip through the online-resize timeline (fig 18 on
 /// the ops-bench workload): steady → add_node (pump interleaved with
 /// serving) → migrated → drain (pump interleaved) → drained-to-empty.
@@ -410,6 +497,26 @@ fn concurrency_json(point: &ConcurrencyPoint) -> String {
         point.lock_acquisitions,
         point.lock_wait_retries,
         point.backoff_ms,
+    )
+}
+
+fn degraded_json(point: &DegradedPoint) -> String {
+    format!(
+        concat!(
+            "{{ \"fault_ppm\": {}, \"ops\": {}, \"ops_per_sec\": {:.1}, ",
+            "\"p50_latency_us\": {:.3}, \"p99_latency_us\": {:.3}, ",
+            "\"verb_failures\": {}, \"verb_timeouts\": {}, ",
+            "\"verb_retries\": {}, \"retry_backoff_ms\": {:.3} }}"
+        ),
+        point.fault_ppm,
+        point.ops,
+        point.ops_per_sec,
+        point.p50_us,
+        point.p99_us,
+        point.verb_failures,
+        point.verb_timeouts,
+        point.verb_retries,
+        point.retry_backoff_ms,
     )
 }
 
@@ -587,6 +694,56 @@ fn main() {
         concurrency.push(point);
     }
 
+    // Degraded mode: the same 4-thread workload under armed verb-fault
+    // injection at 0 / 0.1% / 1%.  The 0-ppm row prices the injection
+    // plumbing itself and must stay within noise of the fault-free
+    // 4-thread concurrency point above; the faulted rows must actually
+    // inject (and retry) faults without losing operations.
+    eprintln!("ops_bench: degraded mode, {} total requests per point", conc_spec.request_count);
+    let mut degraded = Vec::new();
+    for fault_ppm in [0u32, 1_000, 10_000] {
+        let point = run_degraded_point(fault_ppm, &conc_spec, capacity);
+        eprintln!(
+            "  {:>5} ppm: {:>12.0} ops/s  {:.2} µs p50  {:.2} µs p99  {:>6} faults  {:>6} retries",
+            point.fault_ppm,
+            point.ops_per_sec,
+            point.p50_us,
+            point.p99_us,
+            point.verb_failures + point.verb_timeouts,
+            point.verb_retries,
+        );
+        degraded.push(point);
+    }
+    let conc4 = concurrency.iter().find(|p| p.threads == 4).expect("4-thread point");
+    let fault_free = &degraded[0];
+    assert_eq!(fault_free.verb_failures + fault_free.verb_timeouts, 0);
+    let drift = (fault_free.ops_per_sec - conc4.ops_per_sec).abs() / conc4.ops_per_sec;
+    assert!(
+        drift < 0.05,
+        "armed-but-zero fault injection must be free: degraded 0-ppm row {:.0} ops/s \
+         vs fault-free 4-thread point {:.0} ops/s ({:.2}% drift)",
+        fault_free.ops_per_sec,
+        conc4.ops_per_sec,
+        drift * 100.0,
+    );
+    for point in &degraded[1..] {
+        assert!(
+            point.verb_failures > 0 && point.verb_retries > 0,
+            "{} ppm row injected no faults",
+            point.fault_ppm
+        );
+        // A faulted Get degrades to a miss and triggers an extra
+        // cache-aside fill, so op totals drift slightly upward with the
+        // rate — but every request must complete (no wedged clients).
+        assert!(
+            point.ops >= conc_spec.request_count,
+            "{} ppm row wedged: {} ops for {} requests",
+            point.fault_ppm,
+            point.ops,
+            conc_spec.request_count
+        );
+    }
+
     let json = format!(
         concat!(
             "{{\n",
@@ -605,6 +762,7 @@ fn main() {
             "  \"mn_sweep_message_rate\": {},\n",
             "  \"mn_sweep\": [\n    {}\n  ],\n",
             "  \"concurrency\": [\n    {}\n  ],\n",
+            "  \"degraded\": [\n    {}\n  ],\n",
             "  \"resize_window\": {{\n",
             "    \"batched\": {},\n",
             "    \"unbatched\": {}\n",
@@ -626,6 +784,7 @@ fn main() {
             .map(concurrency_json)
             .collect::<Vec<_>>()
             .join(",\n    "),
+        degraded.iter().map(degraded_json).collect::<Vec<_>>().join(",\n    "),
         resize_json(&resize_batched),
         resize_json(&resize_unbatched),
     );

@@ -35,7 +35,20 @@ pub struct DittoCache {
     stats: Arc<CacheStats>,
     weight_service: Arc<WeightService>,
     migration: Arc<MigrationEngine>,
+    /// Base of the per-client crash-recovery redo journal
+    /// ([`DittoConfig::enable_crash_recovery_journal`]); `None` when the
+    /// journal is disabled.
+    journal_base: Option<RemoteAddr>,
 }
+
+/// Number of per-client slots in the crash-recovery redo journal region;
+/// clients with ids at or above this write no journal (and are recovered
+/// by the lock-reclaim and segment sweeps alone).
+pub(crate) const JOURNAL_SLOTS: u64 = 512;
+
+/// Stride of one client's journal slot: 48 bytes of payload (six little-
+/// endian words — new/old allocation triples), padded to a cache block.
+pub(crate) const JOURNAL_SLOT_BYTES: u64 = 64;
 
 /// Progress made by one [`DittoCache::pump_migration`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,6 +76,11 @@ impl DittoCache {
         migration.set_copy_rate(config.migration_copy_bytes_per_sec);
         let history = EvictionHistory::create(&pool, config.history_len())?;
         let scratch = pool.reserve(4096)?;
+        let journal_base = if config.enable_crash_recovery_journal {
+            Some(pool.reserve(JOURNAL_SLOTS * JOURNAL_SLOT_BYTES)?)
+        } else {
+            None
+        };
         let weight_service = Arc::new(WeightService::new(experts.len(), config.learning_rate));
         pool.register_handler(WEIGHT_SERVICE, weight_service.clone());
         let stats = Arc::new(CacheStats::new(experts.len()));
@@ -76,6 +94,7 @@ impl DittoCache {
             stats,
             weight_service,
             migration,
+            journal_base,
         })
     }
 
@@ -193,6 +212,20 @@ impl DittoCache {
 
     pub(crate) fn scratch(&self) -> RemoteAddr {
         self.scratch
+    }
+
+    /// The journal slot of client `client_id`, when the crash-recovery
+    /// journal is enabled and the id falls inside the journal region.
+    pub(crate) fn journal_slot(&self, client_id: u32) -> Option<RemoteAddr> {
+        let base = self.journal_base?;
+        (u64::from(client_id) < JOURNAL_SLOTS)
+            .then(|| base.add(u64::from(client_id) * JOURNAL_SLOT_BYTES))
+    }
+
+    /// Base of the whole journal region (recovery walks other clients'
+    /// slots through it); `None` when the journal is disabled.
+    pub(crate) fn journal_base(&self) -> Option<RemoteAddr> {
+        self.journal_base
     }
 
     pub(crate) fn migration_arc(&self) -> Arc<MigrationEngine> {

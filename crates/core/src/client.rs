@@ -57,7 +57,7 @@
 //! pool's resize epoch, picking up online `add_node`/`drain_node` calls.
 
 use crate::adaptive::{weight_wire, ExpertWeights};
-use crate::cache::DittoCache;
+use crate::cache::{DittoCache, JOURNAL_SLOTS, JOURNAL_SLOT_BYTES};
 use crate::config::DittoConfig;
 use crate::error::CacheResult;
 use crate::fc_cache::{FcCache, FcFlushes};
@@ -70,13 +70,14 @@ use crate::slot::{AtomicField, Slot, BUCKET_SIZE, SLOTS_PER_BUCKET, SLOT_SIZE};
 use crate::stats::CacheStats;
 use crate::cache::MigrationProgress;
 use ditto_algorithms::{AccessContext, AccessKind, CacheAlgorithm, Metadata, EXT_WORDS};
-use ditto_dm::alloc::ClientAllocator;
+use ditto_dm::alloc::{AllocService, ClientAllocator};
 use ditto_dm::batch::MAX_BATCH;
 use ditto_dm::migration::WriteDisposition;
-use ditto_dm::rpc::WEIGHT_SERVICE;
+use ditto_dm::rpc::{ALLOC_SERVICE, WEIGHT_SERVICE};
+use crate::recovery::{CrashPoint, RecoveryReport};
 use ditto_dm::{
-    DmClient, DmError, MigrationEngine, PoolTopology, RemoteAddr, StripedAllocator,
-    RECONCILE_POISON,
+    DmClient, DmError, DmResult, MigrationEngine, MigrationState, PoolTopology, RemoteAddr,
+    StripedAllocator, RECONCILE_POISON,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +90,55 @@ const MAX_RETRIES: usize = 8;
 const CAS_RETRY_BACKOFF_NS: u64 = 200;
 /// Maximum eviction attempts while trying to free memory for one allocation.
 const MAX_EVICTION_ATTEMPTS: usize = 256;
+/// Simulated back-off charged between retries of a transiently faulted verb.
+const VERB_RETRY_BACKOFF_NS: u64 = 500;
+
+/// Retries transiently faulted verbs ([`DmError::VerbFailed`] /
+/// [`DmError::VerbTimeout`]) up to [`MAX_RETRIES`] tries with a short
+/// charged back-off.  Errors against a fail-stopped node — and every
+/// non-transient error — propagate immediately: retrying a dead node's
+/// verbs only burns simulated time.
+fn with_retry<T>(dm: &DmClient, mut f: impl FnMut(&DmClient) -> DmResult<T>) -> DmResult<T> {
+    let mut attempt = 0;
+    loop {
+        match f(dm) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                attempt += 1;
+                let retryable = match e {
+                    DmError::VerbFailed { mn_id } | DmError::VerbTimeout { mn_id } => {
+                        !dm.node_failed(mn_id)
+                    }
+                    _ => false,
+                };
+                if !retryable || attempt >= MAX_RETRIES {
+                    return Err(e);
+                }
+                dm.pool().stats().record_verb_retry(VERB_RETRY_BACKOFF_NS);
+                dm.advance_ns(VERB_RETRY_BACKOFF_NS);
+            }
+        }
+    }
+}
+
+/// Books a faulted verb round for a retry.  When `e` is transient and its
+/// node is still alive, the retry back-off is recorded and charged and the
+/// caller should redo the round; fail-stopped nodes and non-transient
+/// errors return `false` so the caller degrades instead of spinning.
+///
+/// A free function over the client's `DmClient` field (not a method) so it
+/// can run while `bucket_buf` is split-borrowed inside the lookup.
+fn verb_fault_retryable(dm: &DmClient, e: &DmError) -> bool {
+    let retryable = match *e {
+        DmError::VerbFailed { mn_id } | DmError::VerbTimeout { mn_id } => !dm.node_failed(mn_id),
+        _ => false,
+    };
+    if retryable {
+        dm.pool().stats().record_verb_retry(VERB_RETRY_BACKOFF_NS);
+        dm.advance_ns(VERB_RETRY_BACKOFF_NS);
+    }
+    retryable
+}
 
 /// Slots surfaced by one lookup: the primary and secondary buckets.
 const SEARCH_SLOTS: usize = 2 * SLOTS_PER_BUCKET;
@@ -156,6 +206,19 @@ pub struct DittoClient {
     /// the object behind it, so the in-flight `Set` must re-allocate before
     /// retrying and must not free the original allocation on exit.
     alloc_abandoned: bool,
+    /// This client's crash-recovery journal slot
+    /// ([`DittoConfig::enable_crash_recovery_journal`]); `None` when the
+    /// journal is disabled or the client id falls outside the region.
+    journal: Option<RemoteAddr>,
+    /// Base of the whole journal region — recovery reads *other* clients'
+    /// slots through it ([`DittoClient::recover_crashed_client`]).
+    journal_base: Option<RemoteAddr>,
+    /// Armed crash point for failover tests (see
+    /// [`DittoClient::arm_set_crash`]); fires once.
+    crash_armed: Option<CrashPoint>,
+    /// Set when an armed crash point fired: the in-flight `Set` stopped
+    /// dead mid-protocol, skipping every cleanup step after the point.
+    crashed: bool,
     /// Scratch for the two bucket READs of a lookup (front: primary).
     bucket_buf: Box<[u8]>,
     /// Scratch for eviction-sample slot READs.
@@ -216,6 +279,10 @@ impl DittoClient {
             mem_pressure: false,
             pending_alloc_blocks: 0,
             alloc_abandoned: false,
+            journal: cache.journal_slot(dm.client_id()),
+            journal_base: cache.journal_base(),
+            crash_armed: None,
+            crashed: false,
             bucket_buf: vec![0u8; 2 * BUCKET_SIZE].into_boxed_slice(),
             sample_buf: vec![0u8; DittoConfig::MAX_SAMPLE_SIZE * SLOT_SIZE].into_boxed_slice(),
             obj_buf: Vec::new(),
@@ -351,7 +418,14 @@ impl DittoClient {
     /// that hit a copy which had already been cut over reports failure so
     /// the caller redoes the operation against the stripe's live home.
     fn slot_cas(&mut self, slot_addr: RemoteAddr, expected: u64, new: u64) -> bool {
-        if self.dm.cas(slot_addr, expected, new) != expected {
+        let Ok(observed) = with_retry(&self.dm, |dm| dm.try_cas(slot_addr, expected, new)) else {
+            // The CAS kept faulting (NAK'd, never applied) or its node
+            // fail-stopped: report a plain failure so the caller re-reads
+            // and retries — or gives up — through its usual bounded loop.
+            self.record_failed_slot_cas();
+            return false;
+        };
+        if observed != expected {
             // Lost a race with another client's CAS on the same slot: back
             // off briefly before the caller re-reads and retries, and count
             // the failure in the pool's contention accounting.
@@ -365,11 +439,26 @@ impl DittoClient {
                 // Serialise against the engine's copy passes, then re-judge:
                 // the stripe may have committed while we waited for the lock.
                 let lock = self.engine.stripe_lock(stripe);
-                lock.acquire(&self.dm);
+                let acq = lock.acquire(&self.dm);
+                if !acq.is_acquired() {
+                    // A wedged holder outlasted the whole retry budget
+                    // (crashed client; recovery will reclaim the lease).
+                    // Mirror best-effort without the lock — the commit's
+                    // reconcile pass squares away any straggler, exactly as
+                    // for async metadata mirrors.
+                    if let WriteDisposition::Mirror { addr, .. } =
+                        self.table.directory().confirm_write(slot_addr, self.mig_token)
+                    {
+                        let _ = self.dm.try_write(addr, &new.to_le_bytes());
+                    }
+                    return true;
+                }
                 let verdict =
                     match self.table.directory().confirm_write(slot_addr, self.mig_token) {
                         WriteDisposition::Mirror { addr, .. } => {
-                            self.dm.write(addr, &new.to_le_bytes());
+                            // Best-effort under faults: the commit's
+                            // reconcile squares away a lost mirror write.
+                            let _ = self.dm.try_write(addr, &new.to_le_bytes());
                             Some(true)
                         }
                         WriteDisposition::Clean => Some(true),
@@ -379,7 +468,7 @@ impl DittoClient {
                         // Resolve below (the resolution re-takes the lock).
                         WriteDisposition::Stale => None,
                     };
-                lock.release(&self.dm);
+                let _ = lock.release(&self.dm, &acq);
                 verdict.unwrap_or_else(|| self.resolve_stale_cas(slot_addr, expected, new))
             }
         }
@@ -416,7 +505,12 @@ impl DittoClient {
         let mut addr = slot_addr;
         let mut rolled_back = false;
         for _ in 0..MAX_RETRIES {
-            let observed = self.dm.cas(addr, new, 0);
+            let Ok(observed) = with_retry(&self.dm, |dm| dm.try_cas(addr, new, 0)) else {
+                // The rollback CAS cannot get through (faults or a dead
+                // node): treat the allocation as lost, like the displaced
+                // case below — over-abandoning only costs a re-allocation.
+                break;
+            };
             if observed == new {
                 // Undid the insert: whether it was a scribble or a carried
                 // install, the object is back in the caller's hands (a
@@ -461,9 +555,12 @@ impl DittoClient {
     /// the lock) into the destination copy while the stripe is mid-move;
     /// the commit's reconcile pass squares away any stragglers.
     fn write_slot_meta(&self, addr: RemoteAddr, bytes: &[u8]) {
-        self.dm.write_async(addr, bytes);
+        // Stateless metadata is best-effort by design (the paper's
+        // "stateless information"): a faulted async WRITE only loses one
+        // recency update, so errors are ignored rather than retried.
+        let _ = self.dm.try_write_async(addr, bytes);
         if let Some(mirror) = self.table.directory().mirror_of(addr) {
-            self.dm.write_async(mirror, bytes);
+            let _ = self.dm.try_write_async(mirror, bytes);
         }
     }
 
@@ -525,11 +622,265 @@ impl DittoClient {
     pub fn flush(&mut self) {
         let flushes = self.fc.flush_all();
         for (addr, delta) in flushes {
-            self.dm.faa(addr, delta);
+            // A persistently faulted flush drops buffered increments (the
+            // counters are advisory); the message charge already happened.
+            let _ = with_retry(&self.dm, |dm| dm.try_faa(addr, delta));
             self.stats.record_fc_flush();
         }
         if self.weights.pending_updates() > 0 {
             self.sync_weights();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-recovery journal (see `recovery` module docs)
+    // ------------------------------------------------------------------
+    //
+    // Slot layout: six little-endian u64 words —
+    //   [new_mn, new_off, new_len, old_mn, old_off, old_len]
+    // A slot is *armed* iff `new_len` (byte offset 16) is non-zero.  All
+    // journal writes are best-effort: the journal narrows the recovery
+    // search, it does not gate the data path, so a persistently faulted
+    // journal write degrades to "segment sweep finds the orphan anyway".
+
+    /// Arms this client's journal slot with the in-flight allocation and a
+    /// zeroed old half.  No-op when the journal is disabled.
+    fn journal_arm(&self, new_addr: RemoteAddr, new_len: usize) {
+        let Some(slot) = self.journal else { return };
+        let mut buf = [0u8; 48];
+        buf[0..8].copy_from_slice(&u64::from(new_addr.mn_id).to_le_bytes());
+        buf[8..16].copy_from_slice(&new_addr.offset.to_le_bytes());
+        buf[16..24].copy_from_slice(&(new_len as u64).to_le_bytes());
+        let _ = with_retry(&self.dm, |dm| dm.try_write(slot, &buf));
+    }
+
+    /// Records (or zeroes, for `None`) the allocation a publish CAS is
+    /// about to displace in the journal's old half.  Must run before
+    /// *every* publish CAS while armed — including insert paths that
+    /// displace nothing — so a stale old triple from an earlier failed
+    /// replace attempt can never be replayed.
+    fn journal_set_old(&self, old: Option<(RemoteAddr, usize)>) {
+        let Some(slot) = self.journal else { return };
+        let mut buf = [0u8; 24];
+        if let Some((addr, len)) = old {
+            buf[0..8].copy_from_slice(&u64::from(addr.mn_id).to_le_bytes());
+            buf[8..16].copy_from_slice(&addr.offset.to_le_bytes());
+            buf[16..24].copy_from_slice(&(len as u64).to_le_bytes());
+        }
+        let _ = with_retry(&self.dm, |dm| dm.try_write(slot.add(24), &buf));
+    }
+
+    /// Disarms the journal slot (zeroes the `new_len` validity word) once
+    /// the `Set` protocol reaches a self-consistent state.
+    fn journal_clear(&self) {
+        let Some(slot) = self.journal else { return };
+        let _ = with_retry(&self.dm, |dm| dm.try_write(slot.add(16), &[0u8; 8]));
+    }
+
+    /// Whether the armed test crash point matches `point`; fires at most
+    /// once and marks this client crashed.
+    fn crash_fired(&mut self, point: CrashPoint) -> bool {
+        if self.crash_armed == Some(point) {
+            self.crash_armed = None;
+            self.crashed = true;
+            return true;
+        }
+        false
+    }
+
+    /// Arms a one-shot crash inside the next `set` for failover tests: the
+    /// operation stops dead at `point`, skipping every later protocol step
+    /// exactly as a process kill would.
+    #[doc(hidden)]
+    pub fn arm_set_crash(&mut self, point: CrashPoint) {
+        self.crash_armed = Some(point);
+        self.crashed = false;
+    }
+
+    /// Whether an armed crash point has fired on this client.  A crashed
+    /// client must not issue further operations; tests drop it and run
+    /// [`DittoClient::recover_crashed_client`] from a survivor.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Returns every block parked on this client's local free ranges to
+    /// the memory nodes.  Recovery's segment sweep frees dead-owned ranges
+    /// the node still attributes to the dead client; ranges a *live*
+    /// client holds parked are invisible to the node, so survivors must
+    /// release their hoards (or quiesce) before a sweep runs.
+    #[doc(hidden)]
+    pub fn release_parked_memory(&mut self) -> u64 {
+        self.alloc.release_excess(&self.dm, 0)
+    }
+
+    /// Recovers the debris of a crashed client (see the [`crate::recovery`]
+    /// module docs for the failure model): steals back its stripe-lock
+    /// leases, replays its redo-journal entry against the table to fix the
+    /// resident gauge, and sweeps its unreferenced segment space back to
+    /// the memory nodes.
+    ///
+    /// Run from any *live* client once `dead_id` is known dead.  Other
+    /// surviving clients must have released their parked free ranges
+    /// ([`DittoClient::release_parked_memory`]) or quiesced first — a
+    /// parked range inside a dead-owned segment is invisible to the node
+    /// and would otherwise be double-freed by the sweep.  The recovering
+    /// client releases its own hoard automatically.
+    pub fn recover_crashed_client(&mut self, dead_id: u32) -> RecoveryReport {
+        // 1. Lock leases: fencing CAS steals, no waiting out the lease.
+        // (Each successful steal is recorded in the pool's fault counters
+        // by `RemoteLock::reclaim` itself.)
+        let mut report = RecoveryReport {
+            locks_reclaimed: self.engine.reclaim_stripe_locks(&self.dm, dead_id),
+            ..RecoveryReport::default()
+        };
+
+        // 2. One forensic scan of the whole table: per-node sorted
+        //    (offset, resident bytes) of every referenced allocation.
+        //    Both the journal replay and the gap sweep reconcile against
+        //    this single snapshot.
+        let num_nodes = self.dm.pool().num_nodes();
+        let mut refs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); num_nodes as usize];
+        for bucket in 0..self.table.num_buckets() {
+            for (_, slot) in self.table.read_bucket(&self.dm, bucket) {
+                if !slot.atomic.is_object() {
+                    continue;
+                }
+                let addr = slot.atomic.object_addr();
+                let resident = Self::resident_bytes_for(slot.atomic.object_bytes() as usize);
+                if let Some(node_refs) = refs.get_mut(addr.mn_id as usize) {
+                    node_refs.push((addr.offset, resident));
+                }
+            }
+        }
+        for node_refs in refs.iter_mut() {
+            node_refs.sort_unstable();
+        }
+
+        // 3. Journal replay — fixes the *resident gauge* only; the memory
+        //    itself is returned by the segment sweep below.  Whichever of
+        //    the entry's two allocations the table does not reference is
+        //    the orphan still counted as resident.
+        if let Some(slot_addr) = self.journal_addr_of(dead_id) {
+            let mut buf = [0u8; 48];
+            if with_retry(&self.dm, |dm| dm.try_read_into(slot_addr, &mut buf)).is_ok() {
+                let word = |i: usize| {
+                    u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().expect("8-byte word"))
+                };
+                if word(2) != 0 {
+                    report.journal_entries_replayed = 1;
+                    let new_resident = Self::resident_bytes_for(word(2) as usize);
+                    let (new_mn, new_off) = (word(0) as u16, word(1));
+                    let published = refs
+                        .get(new_mn as usize)
+                        .is_some_and(|v| {
+                            v.binary_search_by_key(&new_off, |&(off, _)| off).is_ok()
+                        });
+                    if published {
+                        // Publish CAS landed; the displaced old allocation
+                        // (when the entry records one) is the orphan.  It
+                        // may live inside a *live* client's segment — which
+                        // the dead-owned sweep below never visits — so it
+                        // is also freed here; `free_segment` trims the
+                        // owner registry, so the sweep cannot double-free
+                        // a dead-owned old range.
+                        let old_bytes = Self::resident_bytes_for(word(5) as usize);
+                        if old_bytes != 0 {
+                            let stats = self.dm.pool().stats();
+                            stats.record_resident_free(word(3) as u16, old_bytes);
+                            stats.record_recovered_object(old_bytes);
+                            report.recovered_bytes = old_bytes;
+                            report.swept_bytes +=
+                                self.sweep_gap(word(3) as u16, word(4), old_bytes);
+                        }
+                    } else {
+                        // Died before (or without) publishing: the journal
+                        // entry is the only record of the new allocation,
+                        // which may have been carved from a *foreign* live
+                        // client's grant (displaced ranges park locally and
+                        // get reused) that the dead-owned sweep below never
+                        // visits — so it is freed right here.  Guard: when
+                        // the node no longer counts the range as granted,
+                        // the publish actually landed and a survivor has
+                        // since evicted the object and returned the memory;
+                        // the gauge is already correct and replaying would
+                        // double-debit.
+                        let granted = self
+                            .dm
+                            .pool()
+                            .node(new_mn)
+                            .is_ok_and(|node| node.range_granted(new_off, new_resident));
+                        if granted {
+                            let stats = self.dm.pool().stats();
+                            stats.record_resident_free(new_mn, new_resident);
+                            stats.record_recovered_object(new_resident);
+                            report.recovered_bytes = new_resident;
+                            // Freeing trims the owner registry, so a range
+                            // inside a dead-owned segment is not swept (and
+                            // freed) a second time below.
+                            report.swept_bytes +=
+                                self.sweep_gap(new_mn, new_off, new_resident);
+                        }
+                    }
+                    // Disarm the entry so a second recovery pass (two
+                    // survivors racing, or a retried harness) is a no-op
+                    // instead of a double gauge debit.
+                    let _ =
+                        with_retry(&self.dm, |dm| dm.try_write(slot_addr.add(16), &[0u8; 8]));
+                }
+            }
+        }
+
+        // 4. Segment gap sweep: return every dead-owned byte no table slot
+        //    references.  Our own parked ranges could alias dead-owned
+        //    space (we may have evicted the dead client's objects), so the
+        //    local hoard goes back first.
+        self.alloc.release_excess(&self.dm, 0);
+        for mn in 0..num_nodes {
+            let Ok(node) = self.dm.pool().node(mn) else {
+                continue;
+            };
+            let node_refs = &refs[mn as usize];
+            for (seg_off, seg_len) in node.owned_segments(dead_id) {
+                let seg_end = seg_off + seg_len;
+                let mut cursor = seg_off;
+                let from = node_refs.partition_point(|&(off, _)| off < seg_off);
+                for &(off, len) in &node_refs[from..] {
+                    if off >= seg_end {
+                        break;
+                    }
+                    if off > cursor {
+                        report.swept_bytes += self.sweep_gap(mn, cursor, off - cursor);
+                    }
+                    cursor = cursor.max(off + len);
+                }
+                if cursor < seg_end {
+                    report.swept_bytes += self.sweep_gap(mn, cursor, seg_end - cursor);
+                }
+            }
+        }
+        report
+    }
+
+    /// Journal slot address of client `dead_id`, when the journal exists
+    /// and the id falls inside the region.
+    fn journal_addr_of(&self, dead_id: u32) -> Option<RemoteAddr> {
+        let base = self.journal_base?;
+        (u64::from(dead_id) < JOURNAL_SLOTS)
+            .then(|| base.add(u64::from(dead_id) * JOURNAL_SLOT_BYTES))
+    }
+
+    /// Frees one unreferenced gap of a dead client's segment through the
+    /// allocation service (an RPC, so it is charged like any recovery
+    /// traffic and works even against fail-stopped verb paths).  Returns
+    /// the bytes freed, or 0 when the RPC could not reach the node.
+    fn sweep_gap(&self, mn_id: u16, offset: u64, len: u64) -> u64 {
+        match self
+            .dm
+            .rpc(mn_id, ALLOC_SERVICE, &AllocService::encode_free(offset, len))
+        {
+            Ok(_) => len,
+            Err(_) => 0,
         }
     }
 
@@ -573,18 +924,27 @@ impl DittoClient {
         hash: u64,
         fp: u8,
         write: Option<(RemoteAddr, &[u8])>,
-    ) -> (SearchSlots, Option<(RemoteAddr, Slot)>) {
+    ) -> DmResult<(SearchSlots, Option<(RemoteAddr, Slot)>)> {
         let primary = self.table.primary_bucket(hash);
         let secondary = self.table.secondary_bucket(hash);
-        // The piggybacked object WRITE of `Set` rides the first batch only;
-        // migration-redirect retries re-read the buckets alone.
+        // The piggybacked object WRITE of `Set` rides along until a round's
+        // verbs all complete cleanly; after that, retries (migration
+        // redirects, taints) re-read the buckets alone.  An error anywhere
+        // in a write-carrying round re-arms the WRITE: an unsignalled
+        // rider's error completion carries no usable attribution here, and
+        // re-posting an idempotent, still-unpublished object WRITE is
+        // harmless (fault-free runs clear it on the first round, exactly
+        // like the pre-fault code).
         let mut write = write;
         // Token mismatches consume retry budget; reads that saw a stripe
         // reconcile's poison do not — that window is bounded by the
         // in-flight commit, and escaping with a poisoned ("all empty")
         // view would let the caller conclude a key is absent while its
-        // entry is being carried to the stripe's new home.
+        // entry is being carried to the stripe's new home.  Verb faults
+        // burn a budget of their own so a fault storm cannot starve the
+        // token-staleness retries (or vice versa).
         let mut attempt = 0;
+        let mut fault_attempts = 0;
         loop {
             let last = attempt + 1 >= MAX_RETRIES;
             let ptok = self.table.bucket_entry_token(primary);
@@ -598,7 +958,13 @@ impl DittoClient {
                 // across the reads, so `charge_decode` cannot be called.)
                 let decode_ns = SLOTS_PER_BUCKET as u64 * self.config.cpu_decode_slot_ns;
                 let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
-                self.dm.read_into(primary_addr, primary_buf);
+                if let Err(e) = self.dm.try_read_into(primary_addr, primary_buf) {
+                    fault_attempts += 1;
+                    if fault_attempts < MAX_RETRIES && verb_fault_retryable(&self.dm, &e) {
+                        continue;
+                    }
+                    return Err(e);
+                }
                 if SampleFriendlyHashTable::bucket_tainted(primary_buf) {
                     self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
                     continue;
@@ -607,12 +973,18 @@ impl DittoClient {
                 self.dm.advance_ns(decode_ns);
                 if let Some(found) = Self::find_live(&slots, hash, fp) {
                     if self.table.bucket_entry_token(primary) == ptok || last {
-                        return (slots, Some(found));
+                        return Ok((slots, Some(found)));
                     }
                     attempt += 1;
                     continue;
                 }
-                self.dm.read_into(secondary_addr, secondary_buf);
+                if let Err(e) = self.dm.try_read_into(secondary_addr, secondary_buf) {
+                    fault_attempts += 1;
+                    if fault_attempts < MAX_RETRIES && verb_fault_retryable(&self.dm, &e) {
+                        continue;
+                    }
+                    return Err(e);
+                }
                 if SampleFriendlyHashTable::bucket_tainted(secondary_buf) {
                     self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
                     continue;
@@ -624,10 +996,11 @@ impl DittoClient {
                 // *unsignalled* — `Set` never waits for it — and both bucket
                 // READs signalled, behind one doorbell per distinct node.
                 let (wr_primary, wr_secondary);
+                let write_rides = write.is_some();
                 {
                     let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
                     let mut wq = self.dm.work_queue();
-                    if let Some((addr, data)) = write.take() {
+                    if let Some((addr, data)) = write {
                         wq.post_write(addr, data, false);
                     }
                     wr_primary = wq.post_read(primary_addr, primary_buf, true);
@@ -639,18 +1012,40 @@ impl DittoClient {
                 // completion past the secondary's on a multi-node pool, so
                 // the wr_id is matched rather than assuming arrival order.
                 // Then decode while the secondary READ is (possibly) still
-                // in flight — the CPU work hides behind the wire.
+                // in flight — the CPU work hides behind the wire.  Error
+                // completions (the rider WRITE's included — unsignalled
+                // WQEs fault loudly) abort the round.
                 let mut secondary_done = false;
+                let mut round_err = None;
                 loop {
                     let completion = self.dm.poll_cq().expect("bucket completion");
+                    if let Err(e) = completion.status.check() {
+                        round_err = Some(e);
+                        break;
+                    }
                     if completion.wr_id == wr_primary {
                         break;
                     }
                     debug_assert_eq!(completion.wr_id, wr_secondary);
                     secondary_done = true;
                 }
+                if let Some(e) = round_err {
+                    // Consume this round's stragglers so the next round's
+                    // polling starts from an empty queue.
+                    let _ = self.dm.try_drain_cq();
+                    fault_attempts += 1;
+                    if fault_attempts < MAX_RETRIES && verb_fault_retryable(&self.dm, &e) {
+                        continue;
+                    }
+                    return Err(e);
+                }
                 if SampleFriendlyHashTable::bucket_tainted(&self.bucket_buf[..BUCKET_SIZE]) {
-                    self.dm.drain_cq();
+                    if self.dm.try_drain_cq().is_ok() {
+                        // The round's verbs all landed (an unsignalled
+                        // WRITE that fails leaves an error completion), so
+                        // poison retries re-read the buckets alone.
+                        write = None;
+                    }
                     self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
                     continue;
                 }
@@ -664,15 +1059,51 @@ impl DittoClient {
                     // A primary-bucket hit never needs the secondary's
                     // bytes; its completion is drained (by now usually in
                     // the past, hidden behind the primary decode).
-                    self.dm.drain_cq();
+                    match self.dm.try_drain_cq() {
+                        Ok(_) => write = None,
+                        Err(e) => {
+                            fault_attempts += 1;
+                            if fault_attempts < MAX_RETRIES
+                                && verb_fault_retryable(&self.dm, &e)
+                            {
+                                continue;
+                            }
+                            return Err(e);
+                        }
+                    }
                     if self.table.bucket_entry_token(primary) == ptok || last {
-                        return (slots, Some(found));
+                        return Ok((slots, Some(found)));
                     }
                     attempt += 1;
                     continue;
                 }
                 if !secondary_done {
-                    self.dm.poll_cq().expect("secondary bucket completion");
+                    let completion = self.dm.poll_cq().expect("secondary bucket completion");
+                    if let Err(e) = completion.status.check() {
+                        let _ = self.dm.try_drain_cq();
+                        fault_attempts += 1;
+                        if fault_attempts < MAX_RETRIES && verb_fault_retryable(&self.dm, &e) {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                }
+                if write_rides {
+                    // A rider-WRITE error on a *different* node can land
+                    // after both bucket completions; surface it now.
+                    // Fault-free the queue is empty and this costs nothing.
+                    match self.dm.try_drain_cq() {
+                        Ok(_) => write = None,
+                        Err(e) => {
+                            fault_attempts += 1;
+                            if fault_attempts < MAX_RETRIES
+                                && verb_fault_retryable(&self.dm, &e)
+                            {
+                                continue;
+                            }
+                            return Err(e);
+                        }
+                    }
                 }
                 if SampleFriendlyHashTable::bucket_tainted(&self.bucket_buf[BUCKET_SIZE..]) {
                     self.dm.advance_ns(CAS_RETRY_BACKOFF_NS);
@@ -687,7 +1118,7 @@ impl DittoClient {
             } else {
                 let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
                 let mut batch = self.dm.batch();
-                if let Some((addr, data)) = write.take() {
+                if let Some((addr, data)) = write {
                     batch.write(addr, data).expect("a lookup batch holds three verbs");
                 }
                 batch
@@ -696,7 +1127,16 @@ impl DittoClient {
                 batch
                     .read_into(secondary_addr, secondary_buf)
                     .expect("a lookup batch holds three verbs");
-                batch.execute_mode(self.config.enable_doorbell_batching);
+                match batch.try_execute_mode(self.config.enable_doorbell_batching) {
+                    Ok(_) => write = None,
+                    Err(e) => {
+                        fault_attempts += 1;
+                        if fault_attempts < MAX_RETRIES && verb_fault_retryable(&self.dm, &e) {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                }
                 if SampleFriendlyHashTable::bucket_tainted(primary_buf)
                     || SampleFriendlyHashTable::bucket_tainted(secondary_buf)
                 {
@@ -712,7 +1152,7 @@ impl DittoClient {
                 || last
             {
                 let found = Self::find_live(&slots, hash, fp);
-                return (slots, found);
+                return Ok((slots, found));
             }
             attempt += 1;
         }
@@ -733,7 +1173,15 @@ impl DittoClient {
         let hash = fnv1a64(key);
         let fp = fingerprint(hash);
         for _ in 0..MAX_RETRIES {
-            let (slots, found) = self.search(hash, fp, None);
+            let Ok((slots, found)) = self.search(hash, fp, None) else {
+                // The lookup could not complete within its fault budget
+                // (or its node fail-stopped).  Degrade to a miss: for a
+                // cache a spurious miss is indistinguishable from an
+                // eviction and always linearizable — only serving a wrong
+                // *value* would violate the history.
+                self.stats.record_miss();
+                return false;
+            };
             let Some((slot_addr, slot)) = found else {
                 self.on_miss(&slots, hash);
                 return false;
@@ -754,24 +1202,53 @@ impl DittoClient {
             } else {
                 FcFlushes::default()
             };
+            // A faulted object READ degrades to a miss (linearizable — see
+            // the lookup fault handling above), taking back the optimistic
+            // frequency increment first.
+            let degrade_to_miss = |client: &mut Self| {
+                if client.config.enable_fc_cache {
+                    client.fc.forgive(freq_addr);
+                }
+                client.stats.record_miss();
+            };
             if flushes.is_empty() {
-                self.dm
-                    .read_into(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len]);
+                let obj_addr = slot.atomic.object_addr();
+                let buf = &mut self.obj_buf[..obj_len];
+                if with_retry(&self.dm, |dm| dm.try_read_into(obj_addr, buf)).is_err() {
+                    degrade_to_miss(self);
+                    return false;
+                }
             } else if self.use_async() {
                 // The due FAA flushes ride the posting round *unsignalled*:
                 // the client waits for the object bytes only, never for the
                 // (slower) atomics.
+                let wr_read;
                 {
                     let mut wq = self.dm.work_queue();
-                    wq.post_read(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len], true);
+                    wr_read =
+                        wq.post_read(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len], true);
                     for (addr, delta) in flushes {
                         wq.post_faa(addr, delta, false);
                     }
                     wq.ring();
                 }
-                self.dm.poll_cq().expect("object READ completion");
+                // Only the READ's own status decides the hit: a faulted
+                // unsignalled FAA merely loses one counter increment, so
+                // its error completion is tolerated and polling continues
+                // until the READ's wr_id drains.
+                let read_err = loop {
+                    let completion = self.dm.poll_cq().expect("object READ completion");
+                    if completion.wr_id == wr_read {
+                        break completion.status.check().err();
+                    }
+                };
                 for _ in 0..flushes.len() {
                     self.stats.record_fc_flush();
+                }
+                if let Some(_e) = read_err {
+                    let _ = self.dm.try_drain_cq();
+                    degrade_to_miss(self);
+                    return false;
                 }
             } else {
                 let mut batch = self.dm.batch();
@@ -781,9 +1258,13 @@ impl DittoClient {
                 for (addr, delta) in flushes {
                     batch.faa(addr, delta).expect("an object batch holds few verbs");
                 }
-                batch.execute_mode(self.config.enable_doorbell_batching);
+                let batch_result = batch.try_execute_mode(self.config.enable_doorbell_batching);
                 for _ in 0..flushes.len() {
                     self.stats.record_fc_flush();
+                }
+                if batch_result.is_err() {
+                    degrade_to_miss(self);
+                    return false;
                 }
             }
             let Some(view) = object::view(&self.obj_buf[..obj_len]) else {
@@ -832,9 +1313,10 @@ impl DittoClient {
                 self.check_regret(slots, hash);
             } else {
                 // Ablation: a separate history structure needs its own index
-                // lookup on every miss.
+                // lookup on every miss (tolerated when faulted — the regret
+                // check then runs on the bucket bytes already in hand).
                 let mut index_buf = [0u8; 64];
-                self.dm.read_into(self.scratch, &mut index_buf);
+                let _ = self.dm.try_read_into(self.scratch, &mut index_buf);
                 self.check_regret(slots, hash);
             }
         }
@@ -855,8 +1337,9 @@ impl DittoClient {
         if !self.config.enable_sample_friendly_table {
             // Ablation: without the co-designed table the stateless fields are
             // scattered and need an additional write on the data path.
-            self.dm
-                .write_async(self.scratch.add(8), &now.to_le_bytes());
+            let _ = self
+                .dm
+                .try_write_async(self.scratch.add(8), &now.to_le_bytes());
         }
         // Stateful information: the frequency counter, combined client-side.
         // On the Get path with the FC cache enabled the flush decision is
@@ -867,11 +1350,11 @@ impl DittoClient {
             let freq_addr = SampleFriendlyHashTable::freq_addr(slot_addr);
             if self.config.enable_fc_cache {
                 for (addr, delta) in self.fc.record(freq_addr) {
-                    self.dm.faa(addr, delta);
+                    let _ = with_retry(&self.dm, |dm| dm.try_faa(addr, delta));
                     self.stats.record_fc_flush();
                 }
             } else {
-                self.dm.faa(freq_addr, 1);
+                let _ = with_retry(&self.dm, |dm| dm.try_faa(freq_addr, 1));
                 self.stats.record_fc_flush();
             }
         }
@@ -891,7 +1374,7 @@ impl DittoClient {
                 buf[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
             }
             let ext_addr = slot.atomic.object_addr().add(object::ext_offset());
-            self.dm.write_async(ext_addr, &buf);
+            let _ = self.dm.try_write_async(ext_addr, &buf);
         }
     }
 
@@ -907,9 +1390,13 @@ impl DittoClient {
             || self.miss_count - self.last_refresh_miss_count[idx]
                 >= self.config.history_counter_refresh
         {
-            self.counter_estimates[idx] = self.history.read_counter(&self.dm, shard);
-            self.counters_known[idx] = true;
-            self.last_refresh_miss_count[idx] = self.miss_count;
+            // A faulted refresh keeps the stale estimate: adaptation lags a
+            // little, nothing breaks (the next refresh interval retries).
+            if let Ok(counter) = self.history.try_read_counter(&self.dm, shard) {
+                self.counter_estimates[idx] = counter;
+                self.counters_known[idx] = true;
+                self.last_refresh_miss_count[idx] = self.miss_count;
+            }
         }
         self.counter_estimates[idx]
     }
@@ -979,7 +1466,21 @@ impl DittoClient {
         // remaps the hint, so new objects rebalance onto the changed active
         // set while resident data stays put.
         let stripe = self.table.stripe_of_bucket(self.table.primary_bucket(hash));
-        let preferred = self.topology.alloc_node_for(stripe);
+        let mut preferred = self.topology.alloc_node_for(stripe);
+        if self.dm.node_failed(preferred) {
+            // Fail-stop degradation: the stripe's home node is dead, so a
+            // striped pool places new objects on any surviving active node
+            // instead of refusing writes (the bucket verbs still target the
+            // dead node and degrade those keys to misses, but every key
+            // whose buckets live elsewhere keeps full service).
+            preferred = self
+                .topology
+                .active()
+                .iter()
+                .copied()
+                .find(|&n| !self.dm.node_failed(n))
+                .unwrap_or(preferred);
+        }
         self.alloc_abandoned = false;
         let mut obj_addr = self.alloc_with_eviction(preferred, encoded.len());
         let mut new_atomic = match AtomicField::try_for_object(fp, size_class as u8, obj_addr) {
@@ -993,9 +1494,17 @@ impl DittoClient {
             }
         };
         self.stats.record_set();
+        self.journal_arm(obj_addr, encoded.len());
+        if self.crash_fired(CrashPoint::AfterAlloc) {
+            // Crash-consistency test hook: die with the allocation made and
+            // the journal armed, before any object byte is written.
+            self.encode_buf = encoded;
+            return Ok(());
+        }
 
         let mut stored = false;
-        for attempt in 0..MAX_RETRIES {
+        let mut object_written = false;
+        for _ in 0..MAX_RETRIES {
             // Each attempt recomputes its addresses through the directory,
             // so the staleness token must move with it — keeping the
             // op-start token would judge every CAS after a mid-op cutover
@@ -1012,21 +1521,49 @@ impl DittoClient {
                     Ok(atomic) => atomic,
                     Err(e) => {
                         self.free_object(obj_addr, encoded.len());
+                        self.journal_clear();
                         self.encode_buf = encoded;
                         return Err(e);
                     }
                 };
-                self.dm.write(obj_addr, &encoded);
+                self.journal_arm(obj_addr, encoded.len());
+                if with_retry(&self.dm, |dm| dm.try_write(obj_addr, &encoded)).is_err() {
+                    // The replacement bytes cannot be written (persistent
+                    // faults or a dead node): drop the update rather than
+                    // publish a pointer to garbage.  The failed search
+                    // below already invalidated any older value's slot or
+                    // will keep failing consistently.
+                    self.free_object(obj_addr, encoded.len());
+                    self.journal_clear();
+                    self.encode_buf = encoded;
+                    return Ok(());
+                }
+                object_written = true;
             }
             // The object WRITE is independent of the bucket READs, so the
-            // first lookup carries it in the same doorbell batch; retries
-            // only re-read the buckets (the object bytes are already there).
-            let write = if attempt == 0 {
-                Some((obj_addr, &encoded[..]))
-            } else {
+            // first successful lookup round carries it in the same doorbell
+            // batch; once it has landed, retries only re-read the buckets.
+            let write = if object_written {
                 None
+            } else {
+                Some((obj_addr, &encoded[..]))
             };
-            let (slots, existing) = self.search(hash, fp, write);
+            let Ok((slots, existing)) = self.search(hash, fp, write) else {
+                // This attempt's lookup could not complete; the piggybacked
+                // WRITE (if any) may not have landed, so the next attempt
+                // re-carries it (re-posting the unpublished bytes is
+                // idempotent).
+                continue;
+            };
+            if write.is_some() {
+                object_written = true;
+                if self.crash_fired(CrashPoint::AfterObjectWrite) {
+                    // Crash-consistency test hook: die with the object bytes
+                    // fully written but nothing referencing them yet.
+                    self.encode_buf = encoded;
+                    return Ok(());
+                }
+            }
             if let Some((slot_addr, slot)) = existing {
                 if self.replace_existing(slot_addr, &slot, new_atomic) {
                     stored = true;
@@ -1046,6 +1583,14 @@ impl DittoClient {
                 break;
             }
         }
+        if self.crashed {
+            // An armed crash point fired inside a publish: the client is
+            // dead mid-protocol.  Skip every cleanup step — no journal
+            // clear, no frees, no invalidation — leaving exactly the
+            // debris `recover_crashed_client` must be able to fix.
+            self.encode_buf = encoded;
+            return Ok(());
+        }
         if !stored {
             // Persistent CAS interference: the request is dropped.  For a
             // fresh insert that is a declined admission, but when an older
@@ -1056,7 +1601,12 @@ impl DittoClient {
             // indistinguishable from an eviction.
             for _ in 0..MAX_RETRIES {
                 self.mig_token = self.table.directory().version();
-                let (_, existing) = self.search(hash, fp, None);
+                let Ok((_, existing)) = self.search(hash, fp, None) else {
+                    // The invalidation sweep cannot see the table; give up
+                    // (a reachable stale value then survives only if the
+                    // same faults also hide it from every reader).
+                    break;
+                };
                 let Some((slot_addr, slot)) = existing else { break };
                 if slot.atomic.encode() == new_atomic.encode() {
                     // A judged-failed CAS actually carried our value after
@@ -1084,6 +1634,7 @@ impl DittoClient {
                 self.free_object(obj_addr, encoded.len());
             }
         }
+        self.journal_clear();
         self.encode_buf = encoded;
         Ok(())
     }
@@ -1101,8 +1652,20 @@ impl DittoClient {
             // Freeing "the old object" here would free the new one.
             return true;
         }
+        // Journal the displaced allocation *before* the publish CAS: once
+        // the CAS lands, a crash before the free below would otherwise
+        // leak the old blocks with nothing recording them.
+        self.journal_set_old(Some((
+            slot.atomic.object_addr(),
+            slot.atomic.object_bytes() as usize,
+        )));
         if !self.slot_cas(slot_addr, expected, new_atomic.encode()) {
             return false;
+        }
+        if self.crash_fired(CrashPoint::AfterPublish) {
+            // Crash-consistency test hook: die with the new value live and
+            // the displaced old allocation never freed.
+            return true;
         }
         self.record_access(slot_addr, slot, None, AccessKind::Update);
         self.free_object(slot.atomic.object_addr(), slot.atomic.object_bytes() as usize);
@@ -1117,6 +1680,10 @@ impl DittoClient {
         hash: u64,
     ) -> bool {
         let expected = observed.atomic.encode();
+        // No allocation is displaced by an insert into an empty (or
+        // history) slot; zero the journal's old half so a stale triple
+        // from an earlier failed replace attempt cannot be replayed.
+        self.journal_set_old(None);
         if !self.slot_cas(slot_addr, expected, new_atomic.encode()) {
             return false;
         }
@@ -1186,8 +1753,18 @@ impl DittoClient {
         let (victim_idx, bitmap, chosen) = self.select_victim(&candidates);
         let (victim_addr, victim) = candidates[victim_idx];
         let expected = victim.atomic.encode();
+        // As in `replace_existing`: record the victim's allocation before
+        // it becomes unreachable, so a crash between the CAS and the free
+        // stays recoverable.
+        self.journal_set_old(Some((
+            victim.atomic.object_addr(),
+            victim.atomic.object_bytes() as usize,
+        )));
         if !self.slot_cas(victim_addr, expected, new_atomic.encode()) {
             return false;
+        }
+        if self.crash_fired(CrashPoint::AfterPublish) {
+            return true;
         }
         self.notify_eviction(&candidates, victim_idx, bitmap);
         self.free_object(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
@@ -1303,15 +1880,22 @@ impl DittoClient {
             if self.use_async() {
                 self.read_span_pipelined(start, count, &mut sample);
             } else {
-                self.table.read_span_into(
-                    &self.dm,
-                    start,
-                    count,
-                    &mut self.sample_buf,
-                    self.config.enable_doorbell_batching,
-                    &mut sample,
-                );
-                self.charge_decode(count);
+                // A faulted sample read yields no candidates this round;
+                // the caller's retry loop re-samples a different span.
+                if self
+                    .table
+                    .try_read_span_into(
+                        &self.dm,
+                        start,
+                        count,
+                        &mut self.sample_buf,
+                        self.config.enable_doorbell_batching,
+                        &mut sample,
+                    )
+                    .is_ok()
+                {
+                    self.charge_decode(count);
+                }
             }
             let mut gathered = 0;
             for &(slot_addr, slot) in sample.iter() {
@@ -1343,28 +1927,42 @@ impl DittoClient {
                 // candidate is decoded and scored while later slot READs
                 // are still in flight.
                 for (i, &addr) in addrs.iter().enumerate() {
-                    self.dm.poll_cq().expect("sample slot completion");
+                    let completion = self.dm.poll_cq().expect("sample slot completion");
+                    self.charge_decode(1);
+                    // A faulted slot READ drops that one candidate; the
+                    // rest of the sample is still usable.
+                    if completion.status.check().is_err() {
+                        continue;
+                    }
                     let slot =
                         Slot::from_bytes(&self.sample_buf[i * SLOT_SIZE..(i + 1) * SLOT_SIZE]);
-                    self.charge_decode(1);
                     if slot.atomic.is_object() && candidates.push_saturating((addr, slot)) {
                         self.charge_score(1);
                     }
                 }
             } else {
                 let buf = &mut self.sample_buf[..sample_size * SLOT_SIZE];
+                let mut ok = true;
                 let mut batch = self.dm.batch();
                 for (chunk, &addr) in buf.chunks_mut(SLOT_SIZE).zip(addrs.iter()) {
                     if batch.len() == MAX_BATCH {
                         // An oversized sample flushes into an extra doorbell
                         // instead of aborting the client.
-                        std::mem::replace(&mut batch, self.dm.batch())
-                            .execute_mode(self.config.enable_doorbell_batching);
+                        ok &= std::mem::replace(&mut batch, self.dm.batch())
+                            .try_execute_mode(self.config.enable_doorbell_batching)
+                            .is_ok();
                     }
                     batch.read_into(addr, chunk).expect("batch has room");
                 }
-                batch.execute_mode(self.config.enable_doorbell_batching);
+                ok &= batch
+                    .try_execute_mode(self.config.enable_doorbell_batching)
+                    .is_ok();
                 self.charge_decode(sample_size);
+                // Without per-READ attribution a faulted batch abandons the
+                // whole sample (the caller re-samples).
+                if !ok {
+                    return;
+                }
                 let mut gathered = 0;
                 for (i, &addr) in addrs.iter().enumerate() {
                     let slot =
@@ -1394,7 +1992,14 @@ impl DittoClient {
         self.table
             .for_span_segments(start, count, |addr, slots| segments.push((addr, slots)));
         if let [(addr, slots)] = segments[..] {
-            self.dm.read_into(addr, &mut self.sample_buf[..slots * SLOT_SIZE]);
+            // Faulted sample READ: no candidates, the caller re-samples.
+            if self
+                .dm
+                .try_read_into(addr, &mut self.sample_buf[..slots * SLOT_SIZE])
+                .is_err()
+            {
+                return;
+            }
             SampleFriendlyHashTable::decode_slots(
                 addr,
                 &self.sample_buf[..slots * SLOT_SIZE],
@@ -1420,6 +2025,7 @@ impl DittoClient {
         // Decode whichever segment completes next — a small segment on an
         // idle node may overtake a bigger one elsewhere — charging its
         // decode cost while the remaining segments are still in flight.
+        let mut span_err = false;
         for _ in 0..segments.len() {
             let completion = self.dm.poll_cq().expect("sample segment completion");
             let seg = posted
@@ -1427,6 +2033,13 @@ impl DittoClient {
                 .position(|&(wr, _)| wr == completion.wr_id)
                 .expect("completion belongs to this span");
             self.charge_decode(segments[seg].1);
+            span_err |= completion.status.check().is_err();
+        }
+        // Segment buffers are only chunk-aligned per posting, so one
+        // faulted segment invalidates positional decoding of the span —
+        // abandon the whole sample and let the caller re-sample.
+        if span_err {
+            return;
         }
         // The candidate *order* must not depend on completion timing (ties
         // in eviction priorities break by position), so the decoded slots
@@ -1493,28 +2106,36 @@ impl DittoClient {
                 // the sharded FIFOs jointly keep the configured history
                 // length.
                 let shard = self.history.shard_for_hash(victim.hash);
-                let (hist_id, new_counter) = self.history.acquire_id(&self.dm, shard);
-                self.counter_estimates[shard as usize] = new_counter;
-                self.counters_known[shard as usize] = true;
-                let hist_atomic = AtomicField::for_history(victim.atomic.fp, hist_id);
-                if self.slot_cas(victim_addr, expected, hist_atomic.encode()) {
-                    self.write_slot_meta(
-                        SampleFriendlyHashTable::insert_ts_addr(victim_addr),
-                        &bitmap.to_le_bytes(),
-                    );
-                    self.stats.record_history_insert();
-                    true
-                } else {
-                    false
+                match self.history.try_acquire_id(&self.dm, shard) {
+                    Ok((hist_id, new_counter)) => {
+                        self.counter_estimates[shard as usize] = new_counter;
+                        self.counters_known[shard as usize] = true;
+                        let hist_atomic = AtomicField::for_history(victim.atomic.fp, hist_id);
+                        if self.slot_cas(victim_addr, expected, hist_atomic.encode()) {
+                            self.write_slot_meta(
+                                SampleFriendlyHashTable::insert_ts_addr(victim_addr),
+                                &bitmap.to_le_bytes(),
+                            );
+                            self.stats.record_history_insert();
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    // Counter FAA faulted: evict without a history entry
+                    // (one lost ghost hit beats a wedged eviction path).
+                    Err(_) => self.slot_cas(victim_addr, expected, 0),
                 }
             } else if self.config.adaptive {
                 // Ablation: maintain a separate remote FIFO queue and hash
                 // index for the history (FAA on the queue tail, WRITE of the
                 // entry and CAS into the index), then clear the slot.
                 if self.slot_cas(victim_addr, expected, 0) {
-                    self.dm.faa(self.scratch.add(16), 1);
-                    self.dm.write_async(self.scratch.add(24), &[0u8; 16]);
-                    let _ = self.dm.cas(self.scratch.add(40), 0, 0);
+                    // Modelled traffic against scratch space — faults cost
+                    // the messages but nothing depends on the results.
+                    let _ = self.dm.try_faa(self.scratch.add(16), 1);
+                    let _ = self.dm.try_write_async(self.scratch.add(24), &[0u8; 16]);
+                    let _ = self.dm.try_cas(self.scratch.add(40), 0, 0);
                     self.stats.record_history_insert();
                     true
                 } else {
@@ -1566,18 +2187,32 @@ impl DittoClient {
             self.mig_token = self.table.directory().version();
             match engine.begin(&self.dm, &job) {
                 Ok(true) => {}
+                // A requeued job whose stripe is already in DualRead (a
+                // previous pump's commit exhausted the stripe lock) looks
+                // "stale" to begin; resume it at the commit below instead
+                // of dropping it wedged.
+                Ok(false)
+                    if engine.directory().state(job.stripe) == MigrationState::DualRead => {}
                 Ok(false) => continue, // stale job (superseded plan)
                 Err(_) => {
-                    // The destination cannot host the stripe yet: put the
-                    // job back so the plan stays visibly incomplete, and
-                    // stop this pump rather than spinning on it.
+                    // The destination cannot host the stripe yet (or its
+                    // lock lease is wedged): put the job back so the plan
+                    // stays visibly incomplete, and stop this pump rather
+                    // than spinning on it.
                     engine.requeue_job(job);
                     break;
                 }
             }
             self.relocate_stripe_objects(job.stripe, Some(job.src), job.dst, &mut progress);
-            if engine.commit(&self.dm, &job).is_ok() {
-                progress.stripes_moved += 1;
+            match engine.commit(&self.dm, &job) {
+                Ok(()) => progress.stripes_moved += 1,
+                Err(_) => {
+                    // Lock lease wedged mid-move: requeue so a later pump
+                    // (after recovery reclaims the lease) finishes the
+                    // stripe instead of leaving it in DualRead forever.
+                    engine.requeue_job(job);
+                    break;
+                }
             }
             self.maybe_refresh_topology();
         }
@@ -1655,7 +2290,15 @@ impl DittoClient {
                 // from the same token bucket as the stripe bulk copies, so
                 // `migration_copy_bytes_per_sec` caps the combined rate.
                 self.engine.throttle_copy(&self.dm, len as u64);
-                self.dm.read_into(slot.atomic.object_addr(), &mut bytes[..len]);
+                // A faulted relocation READ skips this object for now; it
+                // stays where it is and a later pump retries it.
+                if self
+                    .dm
+                    .try_read_into(slot.atomic.object_addr(), &mut bytes[..len])
+                    .is_err()
+                {
+                    continue;
+                }
                 if self.relocate_object_bytes(slot_addr, &slot, &bytes[..len], preferred) {
                     progress.objects_relocated += 1;
                 }
@@ -1695,7 +2338,12 @@ impl DittoClient {
         // The relocation WRITE shares the migration copy token bucket with
         // the engine's stripe copies (the READ was charged by the caller).
         self.engine.throttle_copy(&self.dm, bytes.len() as u64);
-        self.dm.write(new_addr, bytes);
+        if with_retry(&self.dm, |dm| dm.try_write(new_addr, bytes)).is_err() {
+            // Could not land the object copy; back out and leave the
+            // original in place for a later pump.
+            self.free_object(new_addr, len);
+            return false;
+        }
         if !self.slot_cas(slot_addr, slot.atomic.encode(), new_atomic.encode()) {
             // The slot changed under us (eviction/update raced); back out.
             self.free_object(new_addr, len);
@@ -1783,9 +2431,12 @@ impl DittoClient {
             // object; fetch the header (§4.4: extra READs on eviction).
             let addr = slot.atomic.object_addr().add(object::ext_offset());
             let mut bytes = [0u8; EXT_WORDS * 8];
-            self.dm.read_into(addr, &mut bytes);
-            for (i, chunk) in bytes.chunks_exact(8).enumerate().take(EXT_WORDS) {
-                metadata.ext[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte word"));
+            // A faulted extension READ scores the candidate on its slot
+            // metadata alone (ext words stay zero) — advisory data only.
+            if self.dm.try_read_into(addr, &mut bytes).is_ok() {
+                for (i, chunk) in bytes.chunks_exact(8).enumerate().take(EXT_WORDS) {
+                    metadata.ext[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte word"));
+                }
             }
         }
         metadata

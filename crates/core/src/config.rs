@@ -117,6 +117,14 @@ pub struct DittoConfig {
     /// Segment size (in objects) requested from the memory node at a time by
     /// each client's allocator.
     pub alloc_segment_objects: u64,
+    /// Crash-consistent client failover: reserve a small per-client redo
+    /// journal in DM and have `Set` record its in-flight allocation (and the
+    /// entry it is about to replace) before publishing, so
+    /// `DittoClient::recover_crashed_client` can settle ownership of a dead
+    /// client's in-flight object and reclaim its memory.  Off by default:
+    /// the journal writes add messages to the `Set` path, and the
+    /// parity/ops baselines are recorded without them.
+    pub enable_crash_recovery_journal: bool,
 }
 
 impl Default for DittoConfig {
@@ -148,6 +156,7 @@ impl Default for DittoConfig {
             enable_cooperative_migration: true,
             history_counter_refresh: 256,
             alloc_segment_objects: 16,
+            enable_crash_recovery_journal: false,
         }
     }
 }
@@ -217,6 +226,13 @@ impl DittoConfig {
     /// (builder style).
     pub fn with_adaptive_lookup(mut self, enabled: bool) -> Self {
         self.enable_adaptive_lookup = enabled;
+        self
+    }
+
+    /// Enables or disables the crash-recovery redo journal (builder
+    /// style); see [`DittoConfig::enable_crash_recovery_journal`].
+    pub fn with_crash_recovery_journal(mut self, enabled: bool) -> Self {
+        self.enable_crash_recovery_journal = enabled;
         self
     }
 

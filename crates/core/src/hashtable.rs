@@ -251,7 +251,20 @@ impl SampleFriendlyHashTable {
     /// decodes them with [`SampleFriendlyHashTable::decode_slots`].
     pub fn read_bucket(&self, client: &DmClient, bucket_idx: u64) -> Vec<(RemoteAddr, Slot)> {
         let addr = self.bucket_addr(bucket_idx);
-        let bytes = client.read(addr, BUCKET_SIZE);
+        // Bounded internal retry: the bucket-walk callers (forensic scans,
+        // relocation sweeps) prefer a degraded empty view over a panic when
+        // the verb keeps faulting.
+        let mut bytes = None;
+        for _ in 0..8 {
+            if let Ok(b) = client.try_read(addr, BUCKET_SIZE) {
+                bytes = Some(b);
+                break;
+            }
+            client.advance_ns(500);
+        }
+        let Some(bytes) = bytes else {
+            return Vec::new();
+        };
         (0..SLOTS_PER_BUCKET)
             .map(|i| {
                 (
@@ -337,11 +350,27 @@ impl SampleFriendlyHashTable {
         batched: bool,
         out: &mut impl Extend<(RemoteAddr, Slot)>,
     ) {
+        self.try_read_span_into(client, start, count, buf, batched, out)
+            .unwrap_or_else(|e| panic!("span read failed: {e}"));
+    }
+
+    /// Fallible [`SampleFriendlyHashTable::read_span_into`]: a faulted
+    /// segment read surfaces as an error with nothing decoded into `out`,
+    /// so a sampler can skip the round instead of panicking.
+    pub fn try_read_span_into(
+        &self,
+        client: &DmClient,
+        start: u64,
+        count: usize,
+        buf: &mut [u8],
+        batched: bool,
+        out: &mut impl Extend<(RemoteAddr, Slot)>,
+    ) -> DmResult<()> {
         let buf = &mut buf[..count * SLOT_SIZE];
         let mut segments: InlineVec<(RemoteAddr, usize), MAX_BATCH> = InlineVec::new();
         self.for_span_segments(start, count, |addr, slots| segments.push((addr, slots)));
         if let [(addr, _)] = segments[..] {
-            client.read_into(addr, buf);
+            client.try_read_into(addr, buf)?;
         } else {
             let mut batch = client.batch();
             let mut rest = &mut buf[..];
@@ -352,13 +381,14 @@ impl SampleFriendlyHashTable {
                     .expect("a span splits into at most MAX_BATCH segments");
                 rest = tail;
             }
-            batch.execute_mode(batched);
+            batch.try_execute_mode(batched)?;
         }
         let mut offset = 0usize;
         for &(addr, slots) in segments.iter() {
             Self::decode_slots(addr, &buf[offset..offset + slots * SLOT_SIZE], out);
             offset += slots * SLOT_SIZE;
         }
+        Ok(())
     }
 
     /// Reads `count` consecutive slots starting at a random position

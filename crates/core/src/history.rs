@@ -116,10 +116,24 @@ impl EvictionHistory {
         (Self::pack_id(shard, old), (old + 1) % HISTORY_COUNTER_PERIOD)
     }
 
+    /// Fallible [`EvictionHistory::acquire_id`]: surfaces a faulted FAA so an
+    /// eviction can fall back to a plain (history-less) slot CAS instead of
+    /// panicking.
+    pub fn try_acquire_id(&self, client: &DmClient, shard: u64) -> DmResult<(u64, u64)> {
+        let old = client.try_faa(self.counter_addr(shard), 1)? % HISTORY_COUNTER_PERIOD;
+        Ok((Self::pack_id(shard, old), (old + 1) % HISTORY_COUNTER_PERIOD))
+    }
+
     /// Reads the current value of `shard`'s history counter (one
     /// `RDMA_READ`); used to refresh a client's local estimate.
     pub fn read_counter(&self, client: &DmClient, shard: u64) -> u64 {
         client.read_u64(self.counter_addr(shard)) % HISTORY_COUNTER_PERIOD
+    }
+
+    /// Fallible [`EvictionHistory::read_counter`]: a faulted refresh keeps the
+    /// caller's stale estimate instead of panicking.
+    pub fn try_read_counter(&self, client: &DmClient, shard: u64) -> DmResult<u64> {
+        Ok(client.try_read_u64(self.counter_addr(shard))? % HISTORY_COUNTER_PERIOD)
     }
 
     /// Number of entries between the id `entry_id` and its shard's queue

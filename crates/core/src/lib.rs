@@ -13,7 +13,11 @@
 //!    the lazy weight-update scheme ([`adaptive`]).
 //!
 //! [`sim`] additionally provides a process-local simulator that reuses the
-//! same algorithm rules and adaptive machinery for fast hit-rate sweeps.
+//! same algorithm rules and adaptive machinery for fast hit-rate sweeps,
+//! and [`recovery`] documents the crash-consistency model behind
+//! [`DittoClient::recover_crashed_client`] — what a client death can leak
+//! and how a survivor reclaims it (see also the *Failure model* section of
+//! the [`ditto_dm`] crate docs for the fault classes and lease protocol).
 //!
 //! # Threading model
 //!
@@ -65,6 +69,7 @@ pub mod hashtable;
 pub mod history;
 pub mod inline;
 pub mod object;
+pub mod recovery;
 pub mod sim;
 pub mod slot;
 pub mod stats;
@@ -77,6 +82,7 @@ pub use error::{CacheError, CacheResult};
 pub use fc_cache::FcCache;
 pub use hashtable::SampleFriendlyHashTable;
 pub use history::EvictionHistory;
+pub use recovery::{CrashPoint, RecoveryReport};
 pub use sim::{simulate_hit_rate, SimCache, SimConfig, SimStats};
 pub use stats::{CacheStats, CacheStatsSnapshot};
 

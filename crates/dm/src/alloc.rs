@@ -44,10 +44,25 @@ impl AllocService {
         AllocService {}
     }
 
-    /// Encodes an `ALLOC` request for `size` bytes.
-    pub fn encode_alloc(size: u64) -> Vec<u8> {
+    /// Encodes an `ALLOC` request for `size` bytes on behalf of client
+    /// `owner`.
+    ///
+    /// The request wire is `[opcode, size: u32, owner: u32]` — the owner id
+    /// rides in the four bytes a u64 size would have wasted, so recording
+    /// the grantee for crash recovery costs no extra wire bytes (segment
+    /// grants are far below the 4 GiB a u32 carries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` exceeds `u32::MAX` bytes.
+    pub fn encode_alloc(size: u64, owner: u32) -> Vec<u8> {
+        assert!(
+            u32::try_from(size).is_ok(),
+            "segment grants are limited to 4 GiB, asked for {size}"
+        );
         let mut buf = vec![OP_ALLOC];
-        wire::put_u64(&mut buf, size);
+        wire::put_u32(&mut buf, size as u32);
+        wire::put_u32(&mut buf, owner);
         buf
     }
 
@@ -83,11 +98,14 @@ impl RpcHandler for AllocService {
         })?;
         match opcode {
             OP_ALLOC => {
-                let size = wire::get_u64(request, 1).ok_or_else(|| DmError::RpcFailed {
+                let size = wire::get_u32(request, 1).ok_or_else(|| DmError::RpcFailed {
+                    reason: "short ALLOC request".to_string(),
+                })? as u64;
+                let owner = wire::get_u32(request, 5).ok_or_else(|| DmError::RpcFailed {
                     reason: "short ALLOC request".to_string(),
                 })?;
                 let mut resp = Vec::with_capacity(9);
-                match node.alloc_segment(size) {
+                match node.alloc_segment_for(size, owner) {
                     Ok(offset) => {
                         resp.push(STATUS_OK);
                         wire::put_u64(&mut resp, offset);
@@ -281,7 +299,7 @@ impl ClientAllocator {
     /// reaches for this after local recycling has failed.
     pub fn alloc_exact(&mut self, client: &DmClient, size: usize) -> DmResult<RemoteAddr> {
         let blocks = Self::blocks_for(size);
-        let req = AllocService::encode_alloc(blocks * BLOCK_SIZE);
+        let req = AllocService::encode_alloc(blocks * BLOCK_SIZE, client.client_id());
         let resp = client.rpc(self.mn_id, ALLOC_SERVICE, &req)?;
         let offset = AllocService::decode_alloc(&resp)?;
         self.allocated_blocks += blocks;
@@ -317,7 +335,7 @@ impl ClientAllocator {
     }
 
     fn fetch_segment(&mut self, client: &DmClient) -> DmResult<()> {
-        let req = AllocService::encode_alloc(self.segment_size);
+        let req = AllocService::encode_alloc(self.segment_size, client.client_id());
         let resp = client.rpc(self.mn_id, ALLOC_SERVICE, &req)?;
         let offset = AllocService::decode_alloc(&resp)?;
         self.current_offset = offset;
@@ -724,7 +742,7 @@ mod tests {
     #[test]
     fn segments_are_returned_via_rpc() {
         let (pool, client) = setup();
-        let req = AllocService::encode_alloc(4096);
+        let req = AllocService::encode_alloc(4096, client.client_id());
         let resp = client.rpc(0, ALLOC_SERVICE, &req).unwrap();
         let offset = AllocService::decode_alloc(&resp).unwrap();
         let free = AllocService::encode_free(offset, 4096);
@@ -734,6 +752,35 @@ mod tests {
         let resp = client.rpc(0, ALLOC_SERVICE, &req).unwrap();
         assert_eq!(AllocService::decode_alloc(&resp).unwrap(), offset);
         let _ = pool;
+    }
+
+    #[test]
+    fn segment_grants_are_attributed_to_the_requesting_client() {
+        let (pool, client) = setup();
+        let node = pool.node(0).unwrap();
+        let me = client.client_id();
+        assert!(node.owned_segments(me).is_empty());
+
+        let mut alloc = ClientAllocator::with_segment_size(0, 4096);
+        let a = alloc.alloc(&client, 128).unwrap();
+        let grants = node.owned_segments(me);
+        assert_eq!(grants.len(), 1, "one segment fetched");
+        let (seg_off, seg_len) = grants[0];
+        assert_eq!(seg_len, 4096);
+        assert!(a.offset >= seg_off && a.offset < seg_off + seg_len);
+        // Another client's view is empty.
+        let other = pool.connect();
+        assert!(node.owned_segments(other.client_id()).is_empty());
+
+        // Returning a sub-range trims the registry; returning the rest
+        // clears it.
+        let free = AllocService::encode_free(seg_off, 1024);
+        client.rpc(0, ALLOC_SERVICE, &free).unwrap();
+        let grants = node.owned_segments(me);
+        assert_eq!(grants, vec![(seg_off + 1024, 3072)]);
+        let free = AllocService::encode_free(seg_off + 1024, 3072);
+        client.rpc(0, ALLOC_SERVICE, &free).unwrap();
+        assert!(node.owned_segments(me).is_empty());
     }
 
     #[test]

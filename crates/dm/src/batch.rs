@@ -173,60 +173,150 @@ impl<'client, 'buf> BatchBuilder<'client, 'buf> {
             .sum()
     }
 
-    /// Executes the batch as one doorbell batch: charges
-    /// `fanout × doorbell + n × issue + max(transfer)` to the client clock,
-    /// one RNIC message per verb to the target nodes, and records the batch
-    /// size and per-node doorbells.  Equivalent to posting the verbs with
-    /// only the last one signalled and spinning on its completion with a
-    /// zero-cost poll — the synchronous discipline (see the module docs).
+    /// Executes the batch as one doorbell batch, surfacing injected faults:
+    /// charges `fanout × doorbell + n × issue + max(transfer)` to the client
+    /// clock (a timed-out member additionally stretches the batch by the
+    /// retransmission window — the synchronous poster spins until the NIC
+    /// gives up on it), one RNIC message per verb to the target nodes, and
+    /// records the batch size and per-node doorbells.
     ///
-    /// Returns the latency charged.
-    pub fn execute(self) -> u64 {
+    /// Faulted members do not execute; the remaining members still do
+    /// (independent verbs, independent fates — as with per-WQE error CQEs).
+    /// Returns the latency charged, or the **first** fault in posting order
+    /// after the whole batch has been charged and the healthy members have
+    /// executed.
+    pub fn try_execute(self) -> DmResult<u64> {
         if self.len == 0 {
-            return 0;
+            return Ok(0);
         }
         let (nodes, fanout) = self.distinct_nodes();
-        let latency = self.batched_latency_with_fanout(fanout);
         let client = self.client;
-        client.advance_ns(latency);
+        let cfg = client.config();
         let stats = client.pool().stats();
+        let injector = client.pool().fault_injector();
         stats.record_batch(self.len, fanout);
         for &mn in &nodes[..fanout] {
             stats.record_node_doorbell(mn);
         }
-        let mut signalled = self.len;
+        let n = self.len;
+        let mut signalled = n;
+        let mut max_transfer = 0;
+        let mut timeout_stretch = 0;
+        let mut first_err = None;
         for op in self.ops.into_iter().flatten() {
-            stats.record_verb(op.mn_id(), op.kind(), op.payload_len());
+            let mn = op.mn_id();
+            stats.record_verb(mn, op.kind(), op.payload_len());
             // Only the last WQE of a synchronous batch carries a signal.
             signalled -= 1;
             stats.record_wqe(signalled == 0);
-            op.perform(client);
+            let (factor_pct, err) = client.inject(mn);
+            max_transfer = max_transfer.max(op.transfer_ns(cfg) * factor_pct / 100);
+            match err {
+                None => op.perform(client),
+                Some(e) => {
+                    if matches!(e, DmError::VerbTimeout { .. }) {
+                        stats.record_verb_timeout(mn);
+                        timeout_stretch = injector.timeout_ns();
+                    } else {
+                        stats.record_verb_failure(mn);
+                    }
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
         }
-        latency
+        let latency = cfg.fanout_batch_latency_ns(n, fanout, max_transfer) + timeout_stretch;
+        client.advance_ns(latency);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(latency),
+        }
     }
 
     /// Executes the same verbs one signalled round trip at a time, charging
-    /// the sum of the individual latencies (no doorbell accounting).
-    ///
-    /// Returns the latency charged.
-    pub fn execute_sequential(self) -> u64 {
+    /// the sum of the individual latencies (no doorbell accounting) and
+    /// surfacing injected faults.  Every member is issued — a faulted verb
+    /// does not stop the ones after it — and the first fault in issue order
+    /// is returned at the end.
+    pub fn try_execute_sequential(self) -> DmResult<u64> {
         if self.len == 0 {
-            return 0;
+            return Ok(0);
         }
-        let latency = self.sequential_latency_ns();
         let client = self.client;
-        client.advance_ns(latency);
+        let cfg = client.config();
         let stats = client.pool().stats();
+        let injector = client.pool().fault_injector();
+        let mut latency = 0;
+        let mut first_err = None;
         for op in self.ops.into_iter().flatten() {
-            stats.record_verb(op.mn_id(), op.kind(), op.payload_len());
+            let mn = op.mn_id();
+            stats.record_verb(mn, op.kind(), op.payload_len());
             stats.record_wqe(true);
-            op.perform(client);
+            let (factor_pct, err) = client.inject(mn);
+            latency += op.transfer_ns(cfg) * factor_pct / 100;
+            match err {
+                None => op.perform(client),
+                Some(e) => {
+                    if matches!(e, DmError::VerbTimeout { .. }) {
+                        stats.record_verb_timeout(mn);
+                        latency += injector.timeout_ns();
+                    } else {
+                        stats.record_verb_failure(mn);
+                    }
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
         }
-        latency
+        client.advance_ns(latency);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(latency),
+        }
+    }
+
+    /// Fault-surfacing [`BatchBuilder::execute_mode`]: batched or
+    /// sequential depending on `batched`.
+    pub fn try_execute_mode(self, batched: bool) -> DmResult<u64> {
+        if batched {
+            self.try_execute()
+        } else {
+            self.try_execute_sequential()
+        }
+    }
+
+    /// Executes the batch as one doorbell batch (see
+    /// [`BatchBuilder::try_execute`]).  Returns the latency charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault is injected into any member — fault-aware callers
+    /// use [`BatchBuilder::try_execute`].
+    pub fn execute(self) -> u64 {
+        self.try_execute()
+            .unwrap_or_else(|e| panic!("doorbell batch failed: {e}"))
+    }
+
+    /// Executes the same verbs one signalled round trip at a time (see
+    /// [`BatchBuilder::try_execute_sequential`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault is injected into any member.
+    pub fn execute_sequential(self) -> u64 {
+        self.try_execute_sequential()
+            .unwrap_or_else(|e| panic!("sequential batch failed: {e}"))
     }
 
     /// Executes batched or sequentially depending on `batched` — the hook
     /// for configuration toggles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault is injected into any member (see
+    /// [`BatchBuilder::try_execute_mode`]).
     pub fn execute_mode(self, batched: bool) -> u64 {
         if batched {
             self.execute()
@@ -434,5 +524,67 @@ mod tests {
         assert_eq!(batch.len(), MAX_BATCH);
         batch.execute();
         assert_eq!(client.read_u64(a), MAX_BATCH as u64);
+    }
+
+    #[test]
+    fn faulted_batch_members_surface_without_executing() {
+        use crate::fault::FaultPlan;
+        // Every verb fails: the batch charges its full latency, consumes its
+        // messages, executes nothing, and surfaces a typed error.
+        let cfg = DmConfig::small()
+            .with_fault_plan(FaultPlan::seeded(7).with_verb_fail_ppm(crate::fault::PPM as u32));
+        let pool = MemoryPool::new(cfg);
+        let client = pool.connect();
+        let a = pool.reserve(16).unwrap();
+
+        let mut batch = client.batch();
+        batch.faa(a, 1).unwrap();
+        batch.faa(a.add(8), 1).unwrap();
+        let err = batch.try_execute().unwrap_err();
+        assert!(matches!(err, DmError::VerbFailed { mn_id: 0 }));
+
+        // NAK'd verbs never reach the arena, but their requests went on the
+        // wire: messages and latency are still charged and the faults are
+        // attributed to the node.
+        let node = pool.node(0).unwrap();
+        assert_eq!(node.read(a.offset, 16).unwrap(), vec![0u8; 16]);
+        assert!(client.now_ns() > 0);
+        assert_eq!(pool.stats().faults().verb_failures, 2);
+        assert_eq!(pool.stats().verb_faults_on(0), 2);
+    }
+
+    #[test]
+    fn timed_out_batch_stretches_by_the_retransmission_window() {
+        use crate::fault::FaultPlan;
+        let timeout_ns = 50_000;
+        let cfg = DmConfig::small()
+            .with_fault_plan(FaultPlan::seeded(7).with_verb_timeouts(crate::fault::PPM as u32, timeout_ns));
+        let pool = MemoryPool::new(cfg);
+        let client = pool.connect();
+        let a = pool.reserve(16).unwrap();
+
+        let mut batch = client.batch();
+        batch.faa(a, 1).unwrap();
+        let clean = batch.batched_latency_ns();
+        let err = batch.try_execute().unwrap_err();
+        assert!(matches!(err, DmError::VerbTimeout { mn_id: 0 }));
+        assert_eq!(client.now_ns(), clean + timeout_ns);
+        assert_eq!(pool.stats().faults().verb_timeouts, 1);
+    }
+
+    #[test]
+    fn fault_free_try_execute_matches_the_infallible_path() {
+        let pool = pool();
+        let client = pool.connect();
+        let a = pool.reserve(16).unwrap();
+        let mut batch = client.batch();
+        batch.faa(a, 1).unwrap();
+        batch.faa(a.add(8), 2).unwrap();
+        let expected = batch.batched_latency_ns();
+        let charged = batch.try_execute().unwrap();
+        assert_eq!(charged, expected);
+        assert_eq!(client.read_u64(a), 1);
+        assert_eq!(client.read_u64(a.add(8)), 2);
+        assert_eq!(pool.stats().faults().faulted_verbs(), 0);
     }
 }

@@ -5,6 +5,7 @@ use crate::batch::BatchBuilder;
 use crate::config::DmConfig;
 use crate::cq::{Completion, CompletionQueue};
 use crate::error::{DmError, DmResult};
+use crate::fault::VerbFate;
 use crate::memnode::MemoryNode;
 use crate::pool::MemoryPool;
 use crate::stats::VerbKind;
@@ -34,11 +35,49 @@ pub struct DmClient {
     cq: RefCell<CompletionQueue>,
     /// Monotone work-request id source for posted WQEs.
     next_wr_id: Cell<u64>,
+    /// Monotone per-client verb counter feeding the fault injector's
+    /// deterministic draws (see [`crate::FaultInjector::fate`]).
+    fault_seq: Cell<u64>,
 }
 
 struct NodeCache {
     epoch: u64,
     nodes: Vec<Arc<MemoryNode>>,
+    /// Which nodes were already decommissioned when this client *first*
+    /// snapshotted them.  A connection established while a node was alive
+    /// models an established queue pair: it keeps serving even after the
+    /// node is removed from the pool (the arena stays alive).  A client
+    /// whose first snapshot already saw the node removed cannot establish
+    /// a queue pair, so its verbs fail with [`DmError::NodeRemoved`].
+    removed: Vec<bool>,
+}
+
+impl NodeCache {
+    fn snapshot(pool: &MemoryPool, epoch: u64) -> Self {
+        let nodes = pool.nodes_snapshot();
+        let removed = nodes.iter().map(|n| n.is_decommissioned()).collect();
+        NodeCache {
+            epoch,
+            nodes,
+            removed,
+        }
+    }
+
+    /// Re-snapshots the pool, carrying the `removed` verdicts of nodes this
+    /// client already knew forward (an established queue pair survives the
+    /// controller-level removal; only nodes *first seen* decommissioned are
+    /// unreachable).
+    fn refresh(&mut self, pool: &MemoryPool, epoch: u64) {
+        let nodes = pool.nodes_snapshot();
+        let removed = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| self.removed.get(i).copied().unwrap_or_else(|| n.is_decommissioned()))
+            .collect();
+        self.nodes = nodes;
+        self.removed = removed;
+        self.epoch = epoch;
+    }
 }
 
 impl DmClient {
@@ -46,10 +85,7 @@ impl DmClient {
         // A client joining an ongoing experiment starts at the current
         // simulated time, not at zero.
         let start = pool.stats().clock_baseline_ns();
-        let nodes = NodeCache {
-            epoch: pool.resize_epoch(),
-            nodes: pool.nodes_snapshot(),
-        };
+        let nodes = NodeCache::snapshot(&pool, pool.resize_epoch());
         DmClient {
             pool,
             client_id,
@@ -58,6 +94,7 @@ impl DmClient {
             nodes: RefCell::new(nodes),
             cq: RefCell::new(CompletionQueue::new()),
             next_wr_id: Cell::new(0),
+            fault_seq: Cell::new(0),
         }
     }
 
@@ -101,13 +138,13 @@ impl DmClient {
         let epoch = self.pool.resize_epoch();
         let mut cache = self.nodes.borrow_mut();
         if cache.epoch != epoch || cache.nodes.len() <= mn_id as usize {
-            cache.nodes = self.pool.nodes_snapshot();
-            cache.epoch = epoch;
+            cache.refresh(&self.pool, epoch);
         }
         // Decommissioned nodes stay reachable through cached handles:
         // auxiliary structures (e.g. history-counter shards) may still
-        // reference them until they migrate too (see ROADMAP).  Only *new*
-        // handle lookups — `MemoryPool::node` — fail typed.
+        // reference them until they migrate too (see ROADMAP).  Only clients
+        // that *first* saw the node decommissioned — and new handle lookups,
+        // `MemoryPool::node` — fail typed (see [`NodeCache`]).
         cache
             .nodes
             .get(mn_id as usize)
@@ -115,8 +152,85 @@ impl DmClient {
             .unwrap_or_else(|| panic!("verb issued to unknown memory node {mn_id}"))
     }
 
+    /// Like [`DmClient::node`], but yields a typed [`DmError::NodeRemoved`]
+    /// — attributed to `mn_id` in the per-node fault counters — when this
+    /// client never had a live queue pair to the node.
+    fn node_checked(&self, mn_id: u16) -> DmResult<Arc<MemoryNode>> {
+        let node = self.node(mn_id);
+        if self.nodes.borrow().removed.get(mn_id as usize).copied().unwrap_or(false) {
+            self.pool.stats().record_verb_failure(mn_id);
+            return Err(DmError::NodeRemoved { mn_id });
+        }
+        Ok(node)
+    }
+
     pub(crate) fn node_ref(&self, mn_id: u16) -> Arc<MemoryNode> {
         self.node(mn_id)
+    }
+
+    /// Whether `mn_id` has fail-stopped (per the configured
+    /// [`crate::FaultPlan`]) by this client's current simulated time.
+    ///
+    /// The instant, simulated stand-in for a membership service: retry
+    /// loops consult it to tell a transient [`DmError::VerbTimeout`] from a
+    /// dead node, and re-translate instead of retrying in the latter case.
+    pub fn node_failed(&self, mn_id: u16) -> bool {
+        self.pool
+            .fault_injector()
+            .node_failed(mn_id, self.clock_ns.get())
+    }
+
+    /// Consults the fault injector for the next verb to `mn_id`: returns
+    /// the latency factor (percent) and the injected fault, if any.
+    /// Consumes one draw of this client's deterministic fault stream.
+    pub(crate) fn inject(&self, mn_id: u16) -> (u64, Option<DmError>) {
+        let inj = self.pool.fault_injector();
+        if !inj.is_active() {
+            return (100, None);
+        }
+        let seq = self.fault_seq.get();
+        self.fault_seq.set(seq + 1);
+        let now = self.clock_ns.get();
+        let factor = inj.latency_factor_pct(mn_id, now);
+        let err = match inj.fate(self.client_id, seq, mn_id, now) {
+            VerbFate::Ok => None,
+            VerbFate::Fail => Some(DmError::VerbFailed { mn_id }),
+            VerbFate::Timeout | VerbFate::NodeDead => Some(DmError::VerbTimeout { mn_id }),
+        };
+        (factor, err)
+    }
+
+    /// Charges one verb, consulting the fault injector: a faulted verb
+    /// still pays its (possibly slow-NIC-scaled) latency and consumes a
+    /// message — the request went out on the wire — and a timed-out verb
+    /// additionally waits the configured retransmission window.
+    fn try_charge(
+        &self,
+        mn_id: u16,
+        kind: VerbKind,
+        bytes: usize,
+        base_latency_ns: u64,
+    ) -> DmResult<()> {
+        let (factor_pct, err) = self.inject(mn_id);
+        let latency = base_latency_ns * factor_pct / 100;
+        match err {
+            None => {
+                self.charge(mn_id, kind, bytes, latency);
+                Ok(())
+            }
+            Some(e) => {
+                let stats = self.pool.stats();
+                let extra = if matches!(e, DmError::VerbTimeout { .. }) {
+                    stats.record_verb_timeout(mn_id);
+                    self.pool.fault_injector().timeout_ns()
+                } else {
+                    stats.record_verb_failure(mn_id);
+                    0
+                };
+                self.charge(mn_id, kind, bytes, latency + extra);
+                Err(e)
+            }
+        }
     }
 
     /// The pool's current resize epoch (see [`MemoryPool::resize_epoch`]);
@@ -176,12 +290,35 @@ impl DmClient {
     /// Polls until the completion queue is empty, returning the number of
     /// completions consumed.  The clock ends at (or after) the last
     /// completion, so no signalled work escapes the op-latency accounting.
+    ///
+    /// Completion *statuses* are discarded — use [`DmClient::try_drain_cq`]
+    /// where a missed error completion matters.
     pub fn drain_cq(&self) -> usize {
         let mut drained = 0;
         while self.poll_cq().is_some() {
             drained += 1;
         }
         drained
+    }
+
+    /// Like [`DmClient::drain_cq`], but surfaces error completions: the
+    /// whole queue is drained (and charged) either way, then the *first*
+    /// error encountered — in completion order — is returned, so a caller
+    /// cannot accidentally leave later completions stranded by bailing on
+    /// the first failure.
+    pub fn try_drain_cq(&self) -> DmResult<usize> {
+        let mut drained = 0;
+        let mut first_err = None;
+        while let Some(completion) = self.poll_cq() {
+            drained += 1;
+            if first_err.is_none() {
+                first_err = completion.status.check().err();
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(drained),
+        }
     }
 
 
@@ -210,18 +347,113 @@ impl DmClient {
         charged + batch.execute()
     }
 
+    /// Fallible one-sided `RDMA_READ` of `len` bytes at `addr`.
+    ///
+    /// Surfaces injected faults ([`DmError::VerbFailed`] /
+    /// [`DmError::VerbTimeout`]) and [`DmError::NodeRemoved`] for nodes this
+    /// client never had a live queue pair to, instead of panicking.
+    pub fn try_read(&self, addr: RemoteAddr, len: usize) -> DmResult<Vec<u8>> {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, len);
+        let node = self.node_checked(addr.mn_id)?;
+        self.try_charge(addr.mn_id, VerbKind::Read, len, latency)?;
+        node.read(addr.offset, len)
+    }
+
+    /// Fallible one-sided `RDMA_READ` into a caller-provided buffer (see
+    /// [`DmClient::try_read`]).
+    pub fn try_read_into(&self, addr: RemoteAddr, buf: &mut [u8]) -> DmResult<()> {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, buf.len());
+        let node = self.node_checked(addr.mn_id)?;
+        self.try_charge(addr.mn_id, VerbKind::Read, buf.len(), latency)?;
+        node.read_into(addr.offset, buf)
+    }
+
+    /// Fallible one-sided `RDMA_WRITE` (see [`DmClient::try_read`]).
+    pub fn try_write(&self, addr: RemoteAddr, data: &[u8]) -> DmResult<()> {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.write_latency_ns, data.len());
+        let node = self.node_checked(addr.mn_id)?;
+        self.try_charge(addr.mn_id, VerbKind::Write, data.len(), latency)?;
+        node.write(addr.offset, data)
+    }
+
+    /// Fallible asynchronous (unsignalled) `RDMA_WRITE`: leaves the critical
+    /// path but still consumes the target RNIC's message rate.  An injected
+    /// fault costs no latency — the client never waits on an unsignalled
+    /// WQE — but is surfaced so callers *can* care (most ignore it: the
+    /// write is best-effort metadata).
+    pub fn try_write_async(&self, addr: RemoteAddr, data: &[u8]) -> DmResult<()> {
+        let cfg = self.pool.config();
+        let node = self.node_checked(addr.mn_id)?;
+        if cfg.async_writes_consume_messages {
+            self.pool
+                .stats()
+                .record_verb(addr.mn_id, VerbKind::Write, data.len());
+        }
+        let (_, err) = self.inject(addr.mn_id);
+        if let Some(e) = err {
+            let stats = self.pool.stats();
+            if matches!(e, DmError::VerbTimeout { .. }) {
+                stats.record_verb_timeout(addr.mn_id);
+            } else {
+                stats.record_verb_failure(addr.mn_id);
+            }
+            return Err(e);
+        }
+        node.write(addr.offset, data)
+    }
+
+    /// Fallible 8-byte little-endian READ (see [`DmClient::try_read`]).
+    pub fn try_read_u64(&self, addr: RemoteAddr) -> DmResult<u64> {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, 8);
+        let node = self.node_checked(addr.mn_id)?;
+        self.try_charge(addr.mn_id, VerbKind::Read, 8, latency)?;
+        node.load_u64(addr.offset)
+    }
+
+    /// Fallible 8-byte little-endian WRITE (see [`DmClient::try_read`]).
+    pub fn try_write_u64(&self, addr: RemoteAddr, value: u64) -> DmResult<()> {
+        let cfg = self.pool.config();
+        let latency = cfg.transfer_latency_ns(cfg.write_latency_ns, 8);
+        let node = self.node_checked(addr.mn_id)?;
+        self.try_charge(addr.mn_id, VerbKind::Write, 8, latency)?;
+        node.store_u64(addr.offset, value)
+    }
+
+    /// Fallible `RDMA_CAS` (see [`DmClient::try_read`]).  On success returns
+    /// the old value; the swap succeeded iff it equals `expected`.  A
+    /// faulted CAS is *not* applied: like a NAK'd atomic on real hardware,
+    /// the word is untouched and the caller cannot tell whether it would
+    /// have won — retry and re-read.
+    pub fn try_cas(&self, addr: RemoteAddr, expected: u64, new: u64) -> DmResult<u64> {
+        let cfg = self.pool.config();
+        let node = self.node_checked(addr.mn_id)?;
+        self.try_charge(addr.mn_id, VerbKind::Cas, 8, cfg.cas_latency_ns)?;
+        node.cas(addr.offset, expected, new)
+    }
+
+    /// Fallible `RDMA_FAA` (see [`DmClient::try_cas`] for atomic-fault
+    /// semantics); returns the old value.
+    pub fn try_faa(&self, addr: RemoteAddr, delta: u64) -> DmResult<u64> {
+        let cfg = self.pool.config();
+        let node = self.node_checked(addr.mn_id)?;
+        self.try_charge(addr.mn_id, VerbKind::Faa, 8, cfg.faa_latency_ns)?;
+        node.faa(addr.offset, delta)
+    }
+
     /// One-sided `RDMA_READ` of `len` bytes at `addr`.
     ///
     /// # Panics
     ///
-    /// Panics if the address range is invalid; remote addresses are produced
-    /// by the allocator, so an invalid range indicates a bug in the caller.
+    /// Panics if the address range is invalid (remote addresses are produced
+    /// by the allocator, so an invalid range indicates a bug in the caller)
+    /// or if a fault is injected — fault-aware callers use
+    /// [`DmClient::try_read`].
     pub fn read(&self, addr: RemoteAddr, len: usize) -> Vec<u8> {
-        let cfg = self.pool.config();
-        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, len);
-        self.charge(addr.mn_id, VerbKind::Read, len, latency);
-        self.node(addr.mn_id)
-            .read(addr.offset, len)
+        self.try_read(addr, len)
             .unwrap_or_else(|e| panic!("RDMA_READ failed: {e}"))
     }
 
@@ -229,13 +461,10 @@ impl DmClient {
     ///
     /// # Panics
     ///
-    /// Panics if the address range is invalid (see [`DmClient::read`]).
+    /// Panics if the address range is invalid or a fault is injected (see
+    /// [`DmClient::read`]).
     pub fn read_into(&self, addr: RemoteAddr, buf: &mut [u8]) {
-        let cfg = self.pool.config();
-        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, buf.len());
-        self.charge(addr.mn_id, VerbKind::Read, buf.len(), latency);
-        self.node(addr.mn_id)
-            .read_into(addr.offset, buf)
+        self.try_read_into(addr, buf)
             .unwrap_or_else(|e| panic!("RDMA_READ failed: {e}"));
     }
 
@@ -243,13 +472,10 @@ impl DmClient {
     ///
     /// # Panics
     ///
-    /// Panics if the address range is invalid (see [`DmClient::read`]).
+    /// Panics if the address range is invalid or a fault is injected (see
+    /// [`DmClient::read`]).
     pub fn write(&self, addr: RemoteAddr, data: &[u8]) {
-        let cfg = self.pool.config();
-        let latency = cfg.transfer_latency_ns(cfg.write_latency_ns, data.len());
-        self.charge(addr.mn_id, VerbKind::Write, data.len(), latency);
-        self.node(addr.mn_id)
-            .write(addr.offset, data)
+        self.try_write(addr, data)
             .unwrap_or_else(|e| panic!("RDMA_WRITE failed: {e}"));
     }
 
@@ -258,16 +484,10 @@ impl DmClient {
     ///
     /// # Panics
     ///
-    /// Panics if the address range is invalid (see [`DmClient::read`]).
+    /// Panics if the address range is invalid or a fault is injected (see
+    /// [`DmClient::read`]).
     pub fn write_async(&self, addr: RemoteAddr, data: &[u8]) {
-        let cfg = self.pool.config();
-        if cfg.async_writes_consume_messages {
-            self.pool
-                .stats()
-                .record_verb(addr.mn_id, VerbKind::Write, data.len());
-        }
-        self.node(addr.mn_id)
-            .write(addr.offset, data)
+        self.try_write_async(addr, data)
             .unwrap_or_else(|e| panic!("RDMA_WRITE failed: {e}"));
     }
 
@@ -275,13 +495,9 @@ impl DmClient {
     ///
     /// # Panics
     ///
-    /// Panics if the address is invalid or unaligned.
+    /// Panics if the address is invalid or unaligned, or a fault is injected.
     pub fn read_u64(&self, addr: RemoteAddr) -> u64 {
-        let cfg = self.pool.config();
-        let latency = cfg.transfer_latency_ns(cfg.read_latency_ns, 8);
-        self.charge(addr.mn_id, VerbKind::Read, 8, latency);
-        self.node(addr.mn_id)
-            .load_u64(addr.offset)
+        self.try_read_u64(addr)
             .unwrap_or_else(|e| panic!("RDMA_READ failed: {e}"))
     }
 
@@ -289,13 +505,9 @@ impl DmClient {
     ///
     /// # Panics
     ///
-    /// Panics if the address is invalid or unaligned.
+    /// Panics if the address is invalid or unaligned, or a fault is injected.
     pub fn write_u64(&self, addr: RemoteAddr, value: u64) {
-        let cfg = self.pool.config();
-        let latency = cfg.transfer_latency_ns(cfg.write_latency_ns, 8);
-        self.charge(addr.mn_id, VerbKind::Write, 8, latency);
-        self.node(addr.mn_id)
-            .store_u64(addr.offset, value)
+        self.try_write_u64(addr, value)
             .unwrap_or_else(|e| panic!("RDMA_WRITE failed: {e}"));
     }
 
@@ -305,12 +517,9 @@ impl DmClient {
     ///
     /// # Panics
     ///
-    /// Panics if the address is invalid or unaligned.
+    /// Panics if the address is invalid or unaligned, or a fault is injected.
     pub fn cas(&self, addr: RemoteAddr, expected: u64, new: u64) -> u64 {
-        let cfg = self.pool.config();
-        self.charge(addr.mn_id, VerbKind::Cas, 8, cfg.cas_latency_ns);
-        self.node(addr.mn_id)
-            .cas(addr.offset, expected, new)
+        self.try_cas(addr, expected, new)
             .unwrap_or_else(|e| panic!("RDMA_CAS failed: {e}"))
     }
 
@@ -318,12 +527,9 @@ impl DmClient {
     ///
     /// # Panics
     ///
-    /// Panics if the address is invalid or unaligned.
+    /// Panics if the address is invalid or unaligned, or a fault is injected.
     pub fn faa(&self, addr: RemoteAddr, delta: u64) -> u64 {
-        let cfg = self.pool.config();
-        self.charge(addr.mn_id, VerbKind::Faa, 8, cfg.faa_latency_ns);
-        self.node(addr.mn_id)
-            .faa(addr.offset, delta)
+        self.try_faa(addr, delta)
             .unwrap_or_else(|e| panic!("RDMA_FAA failed: {e}"))
     }
 

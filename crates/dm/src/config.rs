@@ -67,6 +67,10 @@ pub struct DmConfig {
     /// allocation homes) onto active memory nodes: static striping or
     /// rendezvous hashing (see [`crate::topology::PoolTopology`]).
     pub placement: PlacementMode,
+    /// Optional seeded failure model injected at the verb/WQE layer (see
+    /// [`crate::FaultPlan`]).  `None` — the default — injects nothing and
+    /// keeps every verb path byte-identical to a fault-free build.
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for DmConfig {
@@ -88,6 +92,7 @@ impl Default for DmConfig {
             rpc_base_cpu_ns: 700,
             async_writes_consume_messages: true,
             placement: PlacementMode::Striped,
+            fault: None,
         }
     }
 }
@@ -148,6 +153,12 @@ impl DmConfig {
     /// Sets the topology placement mode (builder style).
     pub fn with_placement(mut self, placement: PlacementMode) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Installs a seeded failure model (builder style).
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 

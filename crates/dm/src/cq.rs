@@ -14,17 +14,63 @@
 //! signalled WQEs outstanding.  Like a real CQ, overrunning it is a fatal
 //! programming error.
 
+use crate::error::{DmError, DmResult};
+
 /// Maximum outstanding signalled completions per client.
 pub const CQ_DEPTH: usize = 64;
 
-/// A completion-queue entry: the work-request id of a signalled WQE and the
-/// simulated time its verb finished.
+/// Outcome carried by a [`Completion`].
+///
+/// Real CQEs carry a status field; assuming success is exactly the bug a
+/// fault-injection layer exists to flush out.  Error completions are pushed
+/// even for *unsignalled* WQEs (as on real hardware, where errors always
+/// generate a CQE), so a pipelined hot path that only signals its final READ
+/// still observes a failed rider WRITE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompletionStatus {
+    /// The verb completed successfully.
+    #[default]
+    Success,
+    /// The verb completed in error ([`DmError::VerbFailed`]).
+    Failed {
+        /// Memory node the verb targeted.
+        mn_id: u16,
+    },
+    /// The verb timed out ([`DmError::VerbTimeout`]); its completion time
+    /// already includes the retransmission window.
+    TimedOut {
+        /// Memory node the verb targeted.
+        mn_id: u16,
+    },
+}
+
+impl CompletionStatus {
+    /// Whether the verb completed successfully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CompletionStatus::Success)
+    }
+
+    /// Converts the status into a typed verb result.
+    pub fn check(&self) -> DmResult<()> {
+        match *self {
+            CompletionStatus::Success => Ok(()),
+            CompletionStatus::Failed { mn_id } => Err(DmError::VerbFailed { mn_id }),
+            CompletionStatus::TimedOut { mn_id } => Err(DmError::VerbTimeout { mn_id }),
+        }
+    }
+}
+
+/// A completion-queue entry: the work-request id of a signalled WQE, the
+/// simulated time its verb finished, and the verb's outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// Work-request id returned by the `post_*` call that queued the WQE.
     pub wr_id: u64,
     /// Simulated time at which the verb's round trip completed.
     pub completed_at_ns: u64,
+    /// Outcome of the verb ([`CompletionStatus::Success`] unless a
+    /// configured [`crate::FaultPlan`] injected a fault).
+    pub status: CompletionStatus,
 }
 
 /// Fixed-capacity queue of outstanding completions (see the module docs).
@@ -98,7 +144,23 @@ mod tests {
         Completion {
             wr_id,
             completed_at_ns: at,
+            status: CompletionStatus::Success,
         }
+    }
+
+    #[test]
+    fn status_converts_to_typed_errors() {
+        assert!(CompletionStatus::Success.check().is_ok());
+        assert!(CompletionStatus::Success.is_ok());
+        assert_eq!(
+            CompletionStatus::Failed { mn_id: 3 }.check(),
+            Err(DmError::VerbFailed { mn_id: 3 })
+        );
+        assert_eq!(
+            CompletionStatus::TimedOut { mn_id: 5 }.check(),
+            Err(DmError::VerbTimeout { mn_id: 5 })
+        );
+        assert!(!CompletionStatus::Failed { mn_id: 0 }.is_ok());
     }
 
     #[test]

@@ -82,6 +82,29 @@ pub enum DmError {
         /// Offending memory-node id.
         mn_id: u16,
     },
+    /// A verb completed in error (injected by the configured
+    /// [`crate::FaultPlan`], or the target NIC NAK'd the request).
+    ///
+    /// Transient: the verb may be retried, typically after a backoff.
+    VerbFailed {
+        /// Memory node the verb targeted.
+        mn_id: u16,
+    },
+    /// A verb timed out: no completion arrived within the retransmission
+    /// window.  Injected by the configured [`crate::FaultPlan`], either as
+    /// a transient timeout or because the target node fail-stopped (check
+    /// [`crate::DmClient::node_failed`] to tell the two apart — a verb to a
+    /// fail-stopped node is not worth retrying).
+    VerbTimeout {
+        /// Memory node the verb targeted.
+        mn_id: u16,
+    },
+    /// A [`crate::RemoteLock`] acquisition burned its whole retry budget
+    /// while the lock stayed held by a live owner.
+    LockExhausted {
+        /// Retries attempted before giving up.
+        retries: u32,
+    },
 }
 
 impl fmt::Display for DmError {
@@ -123,6 +146,15 @@ impl fmt::Display for DmError {
             DmError::Topology { reason } => write!(f, "topology change rejected: {reason}"),
             DmError::NodeRemoved { mn_id } => {
                 write!(f, "memory node {mn_id} was removed from the pool")
+            }
+            DmError::VerbFailed { mn_id } => {
+                write!(f, "verb to memory node {mn_id} completed in error")
+            }
+            DmError::VerbTimeout { mn_id } => {
+                write!(f, "verb to memory node {mn_id} timed out")
+            }
+            DmError::LockExhausted { retries } => {
+                write!(f, "remote lock not acquired after {retries} retries")
             }
         }
     }

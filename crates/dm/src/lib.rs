@@ -129,6 +129,57 @@
 //! * [`RemoteLock`] acquisition is a bounded retry/back-off loop and
 //!   records every acquisition into the shared contention counters.
 //!
+//! # Failure model
+//!
+//! Faults are injected *deterministically* at the verb/WQE layer by a
+//! seeded [`FaultPlan`] hung off [`DmConfig::with_fault_plan`] and armed
+//! through the pool's [`FaultInjector`].  Three classes exist:
+//!
+//! * **Verb error completions and timeouts** — per-verb draws (a
+//!   `splitmix64` over `seed ⊕ client-id ⊕ sequence`, so a plan replays
+//!   identically for a given client set) fail a verb with
+//!   [`DmError::VerbFailed`] or charge a timeout and fail it with
+//!   [`DmError::VerbTimeout`].  Completions carry a [`CompletionStatus`];
+//!   `poll_cq`/`drain_cq`/[`BatchBuilder`] surface errors instead of
+//!   assuming success.
+//! * **Node fail-stop** — after a configured simulated instant every verb
+//!   to that node errors with [`DmError::VerbFailed`] (the
+//!   [`DmClient::node_failed`] oracle tells a dead node from a transient
+//!   fault, so higher layers skip the retry loop and re-translate).
+//!   Disarming the injector suspends the probabilistic classes, but a
+//!   fail-stop persists: a crash is *state*, not noise.
+//! * **Slow NIC** — a per-node latency multiplier over a simulated time
+//!   window (transient congestion; verbs still succeed).
+//!
+//! RPCs to the memory-node controller are **never faulted**: recovery and
+//! allocation control traffic stays available (the paper's control plane
+//! rides a reliable transport), which is what lets crash recovery sweep a
+//! fail-stopped client's segments.
+//!
+//! **Leases and fencing.**  [`RemoteLock`] packs `(locked, owner, fencing
+//! epoch, grant time)` into one CAS word.  A holder that stops renewing is
+//! taken over two ways: any contender may CAS-steal after the lease
+//! expires, and a recovery pass that *knows* an owner is dead reclaims its
+//! locks immediately ([`RemoteLock::reclaim`], driven by
+//! [`MigrationEngine::reclaim_stripe_locks`]) without waiting the lease
+//! out.  Both paths bump the fencing epoch, so a revived owner's release
+//! observes [`ReleaseOutcome::Fenced`] and cannot clobber the new holder.
+//! Acquisition that burns its whole retry budget returns the typed
+//! [`AcquireOutcome::Exhausted`] — never an unbounded spin.
+//!
+//! **Recovery invariants.**  Given a dead client's id, a surviving
+//! client's recovery pass (see `ditto_core`'s `recover_crashed_client`)
+//! restores three invariants: every lock the dead client held is stolen
+//! back with a fencing-epoch bump; the resident-byte gauge again equals a
+//! forensic scan of what the table actually references; and every granted
+//! byte of the dead client's segments that no slot references is returned
+//! to its node ([`MemoryNode::owned_segments`] /
+//! [`MemoryNode::range_granted`] expose the node-side registry recovery
+//! reconciles against).  All fault, retry, lock-steal and recovery
+//! counters live in [`PoolStats::faults`] and survive
+//! [`PoolStats::reset`] — like the contention group, they describe the
+//! deployment's whole life, not a measurement interval.
+//!
 //! # Examples
 //!
 //! ```
@@ -149,6 +200,7 @@ pub mod client;
 pub mod config;
 pub mod cq;
 pub mod error;
+pub mod fault;
 pub mod harness;
 pub mod histogram;
 pub mod lock;
@@ -165,11 +217,12 @@ pub use alloc::{ClientAllocator, StripedAllocator};
 pub use batch::BatchBuilder;
 pub use client::DmClient;
 pub use config::DmConfig;
-pub use cq::{Completion, CompletionQueue};
+pub use cq::{Completion, CompletionQueue, CompletionStatus};
 pub use error::{DmError, DmResult};
+pub use fault::{FaultInjector, FaultPlan, NodeFailStop, SlowNic, VerbFate};
 pub use harness::{run_clients, ClientCtx};
 pub use histogram::LatencyHistogram;
-pub use lock::{LockAcquisition, RemoteLock};
+pub use lock::{AcquireOutcome, LockAcquisition, ReleaseOutcome, RemoteLock, DEFAULT_LEASE_NS};
 pub use memnode::MemoryNode;
 pub use migration::{
     MigrationEngine, MigrationPlanner, MigrationState, MoveJob, StripeDirectory, WriteDisposition,
@@ -177,7 +230,7 @@ pub use migration::{
 };
 pub use pool::MemoryPool;
 pub use rpc::{RpcHandler, RpcOutcome};
-pub use stats::{ContentionSnapshot, PoolStats, RunReport};
+pub use stats::{ContentionSnapshot, FaultSnapshot, PoolStats, RunReport};
 pub use topology::{PlacementMode, PoolTopology};
 pub use wqe::WorkQueue;
 

@@ -1,47 +1,198 @@
-//! Remote spin locks, the primitive that makes lock-based caching data
-//! structures expensive on DM (§3.1 of the paper).
+//! Remote spin locks with lease-based crash recovery, the primitive that
+//! makes lock-based caching data structures expensive on DM (§3.1 of the
+//! paper) — and the primitive a crashed client's peers must be able to
+//! take back without it.
 //!
-//! A [`RemoteLock`] occupies one 8-byte word in the memory pool.  The word
-//! holds the *simulated release time* of the last critical section plus a
-//! lock bit.  An acquisition attempt fails — and must retry after a back-off,
-//! consuming another RNIC message — when either
+//! A [`RemoteLock`] occupies one 8-byte word in the memory pool:
 //!
-//! * another client really holds the lock right now (genuine CAS failure), or
-//! * the lock's last release time lies in the acquirer's simulated future,
-//!   meaning that in DM time the lock was still held when this client tried.
+//! ```text
+//! [ locked:1 | spare:1 | owner:9 | epoch:9 | ts:44 ]
+//! ```
+//!
+//! * **locked** — the lock bit.
+//! * **owner** — the holder's client id (mod 512), so recovery can tell
+//!   *whose* lease it is reclaiming.
+//! * **epoch** — a fencing counter bumped by every steal.  A revived owner
+//!   releasing after its lease was stolen CASes against the exact word it
+//!   wrote; the new epoch makes that CAS fail, so a stale release can never
+//!   clobber the new holder ([`ReleaseOutcome::Fenced`]).
+//! * **ts** — while **held**: the *lease expiry* (acquire time +
+//!   [`RemoteLock::lease_ns`], simulated).  While **free**: the release
+//!   time of the last critical section.
+//!
+//! An acquisition attempt fails — and must retry after a back-off,
+//! consuming more RNIC messages — when either
+//!
+//! * another client really holds the lock with an unexpired lease (genuine
+//!   CAS failure), or
+//! * the lock is free but its last release time lies in the acquirer's
+//!   simulated future, meaning that in DM time the lock was still held when
+//!   this client tried.
 //!
 //! The second condition is what lets contention appear at simulated scale:
 //! client clocks advance by microseconds per verb while the real critical
 //! section lasts only nanoseconds, so without it almost every CAS would
 //! succeed on the first try and the lock-contention collapse of KVC and
 //! Shard-LRU (Figure 2, Figure 14) could not be reproduced.
+//!
+//! # Leases and recovery
+//!
+//! A holder that crashes mid-critical-section never writes the release
+//! word.  Two paths take the lock back:
+//!
+//! * **Lease expiry** — once an acquirer's simulated clock passes the
+//!   stored lease expiry it *steals* the lock: one CAS installs the new
+//!   owner with `epoch + 1` ([`AcquireOutcome::Stolen`]).  The default
+//!   lease (1 simulated millisecond, [`DEFAULT_LEASE_NS`]) is orders of
+//!   magnitude longer than any critical section in this crate, so live
+//!   holders are never stolen from.
+//! * **Forensic reclaim** — when the crashed client's identity is *known*
+//!   (the crash-recovery pass), [`RemoteLock::reclaim`] frees any lock
+//!   whose owner field matches immediately, without waiting out the lease,
+//!   again bumping the epoch.
+//!
+//! A live acquirer that burns its whole retry budget against a held,
+//! unexpired lease gives up with a typed [`AcquireOutcome::Exhausted`]
+//! instead of spinning forever — callers requeue or fail the operation.
 
 use crate::addr::RemoteAddr;
 use crate::client::DmClient;
 
 /// Lock bit stored in the most significant bit of the lock word.
 const LOCKED_BIT: u64 = 1 << 63;
-/// Mask for the timestamp part of the lock word.
-const TS_MASK: u64 = LOCKED_BIT - 1;
+/// Owner field: 9 bits at 53 (client id mod 512).
+const OWNER_SHIFT: u32 = 53;
+const OWNER_MASK: u64 = 0x1FF;
+/// Fencing epoch: 9 bits at 44, bumped by every steal/reclaim (wraps).
+const EPOCH_SHIFT: u32 = 44;
+const EPOCH_MASK: u64 = 0x1FF;
+/// Timestamp field: low 44 bits (~4.8 simulated hours before wrap).
+const TS_MASK: u64 = (1 << 44) - 1;
 
-/// Outcome of a lock acquisition.
+/// Default lease: 1 simulated second.  Client clocks are *not*
+/// synchronized — they drift apart by whatever their op mixes cost — so
+/// the default lease is chosen orders of magnitude above both every
+/// critical section in this crate (microseconds) and the clock skew a
+/// stress run accumulates (milliseconds); a live holder is never stolen
+/// from by a merely fast-clocked waiter.  Crash tests that want prompt
+/// lease expiry shorten it explicitly with [`RemoteLock::with_lease_ns`];
+/// the recovery pass does not wait for expiry at all
+/// ([`RemoteLock::reclaim`]).
+pub const DEFAULT_LEASE_NS: u64 = 1_000_000_000;
+
+fn pack(locked: bool, owner: u64, epoch: u64, ts: u64) -> u64 {
+    (if locked { LOCKED_BIT } else { 0 })
+        | ((owner & OWNER_MASK) << OWNER_SHIFT)
+        | ((epoch & EPOCH_MASK) << EPOCH_SHIFT)
+        | (ts & TS_MASK)
+}
+
+fn owner_of(word: u64) -> u16 {
+    ((word >> OWNER_SHIFT) & OWNER_MASK) as u16
+}
+
+fn epoch_of(word: u64) -> u64 {
+    (word >> EPOCH_SHIFT) & EPOCH_MASK
+}
+
+fn ts_of(word: u64) -> u64 {
+    word & TS_MASK
+}
+
+/// How a [`RemoteLock::acquire`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// The free lock was taken; `epoch` is the fencing epoch written.
+    Acquired {
+        /// Fencing epoch of this hold (unchanged from the previous hold).
+        epoch: u16,
+    },
+    /// A held lock's lease had expired and was stolen with a bumped epoch.
+    Stolen {
+        /// Fencing epoch of this hold (`previous + 1`).
+        epoch: u16,
+        /// Owner field of the expired lease that was stolen.
+        previous_owner: u16,
+    },
+    /// The retry budget was spent against a live holder's unexpired lease.
+    /// The lock was **not** acquired; the caller must not enter the
+    /// critical section.
+    Exhausted {
+        /// Owner field of the lease that outlasted the budget.
+        holder: u16,
+        /// When that lease expires (simulated ns) — the earliest a steal
+        /// could succeed.
+        lease_expires_ns: u64,
+    },
+}
+
+/// Outcome of a lock acquisition attempt — statistics plus the typed
+/// [`AcquireOutcome`] and the release token.
+///
+/// Must be used: on [`AcquireOutcome::Exhausted`] the lock is *not* held,
+/// and a held lock must be released through
+/// [`RemoteLock::release`] with this value (the fenced-CAS token lives
+/// here).
+#[must_use = "check the outcome: an Exhausted acquisition did not take the lock, and a held lock must be released with this token"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LockAcquisition {
-    /// Number of failed attempts before the lock was acquired.
+    /// Number of failed attempts before the call returned.
     pub retries: u64,
     /// Simulated nanoseconds spent waiting (back-off included).
     pub wait_ns: u64,
     /// Simulated nanoseconds of deliberate back-off (the part of `wait_ns`
     /// not spent on READ/CAS verbs).
     pub backoff_ns: u64,
+    /// How the call ended.
+    pub outcome: AcquireOutcome,
+    /// The exact lock word written on success (the release CAS expects it);
+    /// zero when exhausted.
+    token: u64,
 }
 
-/// A spin lock stored in disaggregated memory.
+impl LockAcquisition {
+    /// Whether the lock is actually held ([`AcquireOutcome::Acquired`] or
+    /// [`AcquireOutcome::Stolen`]).
+    pub fn is_acquired(&self) -> bool {
+        !matches!(self.outcome, AcquireOutcome::Exhausted { .. })
+    }
+
+    /// Fencing epoch of this hold, if the lock was taken.
+    pub fn epoch(&self) -> Option<u16> {
+        match self.outcome {
+            AcquireOutcome::Acquired { epoch } | AcquireOutcome::Stolen { epoch, .. } => {
+                Some(epoch)
+            }
+            AcquireOutcome::Exhausted { .. } => None,
+        }
+    }
+}
+
+/// Outcome of a [`RemoteLock::release`].
+#[must_use = "a Fenced release means the lease was stolen while held — the protected update may have raced the new holder"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// The lock word still carried this holder's epoch and was freed.
+    Released,
+    /// The lease was stolen (epoch moved on) while this holder thought it
+    /// held the lock; nothing was written.
+    Fenced,
+}
+
+impl ReleaseOutcome {
+    /// Whether the release landed.
+    pub fn is_released(&self) -> bool {
+        matches!(self, ReleaseOutcome::Released)
+    }
+}
+
+/// A lease-based spin lock stored in disaggregated memory.
 #[derive(Debug, Clone, Copy)]
 pub struct RemoteLock {
     addr: RemoteAddr,
     backoff_ns: u64,
     max_retries: u64,
+    lease_ns: u64,
 }
 
 impl RemoteLock {
@@ -54,6 +205,7 @@ impl RemoteLock {
             addr,
             backoff_ns: backoff_ns.max(1),
             max_retries: 10_000,
+            lease_ns: DEFAULT_LEASE_NS,
         }
     }
 
@@ -62,71 +214,165 @@ impl RemoteLock {
         self.addr
     }
 
-    /// Upper bound on failed attempts, after which the acquirer stops
-    /// spinning blindly and jumps its clock to the observed release time.
+    /// Upper bound on failed attempts, after which a free-but-lagging lock
+    /// converges via a clock jump and a *held* lock returns
+    /// [`AcquireOutcome::Exhausted`].
     pub fn max_retries(&self) -> u64 {
         self.max_retries
     }
 
-    /// Returns a handle with a different retry bound (the point at which a
-    /// lagging acquirer jumps its clock to the release time instead of
-    /// backing off again).
+    /// Returns a handle with a different retry bound.
     pub fn with_max_retries(mut self, max_retries: u64) -> Self {
         self.max_retries = max_retries.max(1);
         self
     }
 
-    /// Acquires the lock, spinning with a bounded back-off loop until it
-    /// succeeds: each failed attempt backs the client off, and past
-    /// [`RemoteLock::max_retries`] failures the client's clock jumps to the
-    /// observed release time so a pathologically lagging acquirer converges
-    /// instead of spinning forever.
+    /// Lease duration written into the lock word on acquisition.
+    pub fn lease_ns(&self) -> u64 {
+        self.lease_ns
+    }
+
+    /// Returns a handle with a different lease duration.
+    pub fn with_lease_ns(mut self, lease_ns: u64) -> Self {
+        self.lease_ns = lease_ns.max(1);
+        self
+    }
+
+    /// Acquires the lock with a bounded retry/back-off loop.
     ///
-    /// Every acquisition is recorded in the pool's contention counters
-    /// ([`crate::PoolStats::contention`]: acquire attempts vs. acquisitions,
-    /// wait retries and back-off time), and the same statistics are returned
-    /// so callers can additionally account for wasted RNIC messages.
+    /// * A free lock whose release time has passed is taken by CAS
+    ///   ([`AcquireOutcome::Acquired`]).
+    /// * A free lock released in the acquirer's simulated future backs the
+    ///   acquirer off (simulated contention); past
+    ///   [`RemoteLock::max_retries`] failures the clock jumps to the
+    ///   release time so a pathologically lagging acquirer converges.
+    /// * A held lock whose lease expired is stolen with a bumped fencing
+    ///   epoch ([`AcquireOutcome::Stolen`]) — the crashed-holder path.
+    /// * A held lock with a live lease that outlasts the whole retry
+    ///   budget yields [`AcquireOutcome::Exhausted`]; the lock is **not**
+    ///   held and the caller must not enter the critical section.
+    ///
+    /// Every outcome is recorded in the pool's contention counters
+    /// ([`crate::PoolStats::contention`]; steals and exhaustions
+    /// additionally in [`crate::PoolStats::faults`]), and the same
+    /// statistics are returned so callers can account for wasted RNIC
+    /// messages.
     pub fn acquire(&self, client: &DmClient) -> LockAcquisition {
+        let me = client.client_id() as u64 & OWNER_MASK;
         let mut retries = 0u64;
         let mut backoff_total = 0u64;
         let start = client.now_ns();
         loop {
-            let observed = client.read_u64(self.addr);
+            let observed = match client.try_read_u64(self.addr) {
+                Ok(word) => word,
+                Err(_) => {
+                    // A faulted probe burns a retry like any lost attempt;
+                    // the bounded budget below turns a dead lock word (e.g.
+                    // a fail-stopped node) into a typed exhaustion instead
+                    // of an unbounded spin.
+                    retries += 1;
+                    if retries >= self.max_retries {
+                        let acq = LockAcquisition {
+                            retries,
+                            wait_ns: client.now_ns() - start,
+                            backoff_ns: backoff_total,
+                            outcome: AcquireOutcome::Exhausted {
+                                holder: 0,
+                                lease_expires_ns: 0,
+                            },
+                            token: 0,
+                        };
+                        client
+                            .pool()
+                            .stats()
+                            .record_lock_exhaustion(acq.retries, acq.backoff_ns);
+                        return acq;
+                    }
+                    backoff_total += self.backoff_ns;
+                    client.advance_ns(self.backoff_ns);
+                    continue;
+                }
+            };
             let locked = observed & LOCKED_BIT != 0;
-            let free_at = observed & TS_MASK;
+            let ts = ts_of(observed);
             let now = client.now_ns();
-            if !locked && free_at <= now {
-                let desired = (now & TS_MASK) | LOCKED_BIT;
-                let old = client.cas(self.addr, observed, desired);
+            if !locked && ts <= now {
+                // Free and released in our past: take it, keep the epoch.
+                let epoch = epoch_of(observed);
+                let desired = pack(true, me, epoch, now.wrapping_add(self.lease_ns));
+                // A faulted CAS was not applied (NAK'd atomic): fall through
+                // to the retry accounting exactly like a lost race.
+                let old = client.try_cas(self.addr, observed, desired).unwrap_or(!observed);
                 if old == observed {
                     let acq = LockAcquisition {
                         retries,
                         wait_ns: client.now_ns() - start,
                         backoff_ns: backoff_total,
+                        outcome: AcquireOutcome::Acquired {
+                            epoch: epoch as u16,
+                        },
+                        token: desired,
                     };
-                    client
-                        .pool()
-                        .stats()
-                        .record_lock_acquisition(acq.retries, acq.backoff_ns);
+                    client.pool().stats().record_lock_acquisition(acq.retries, acq.backoff_ns);
+                    return acq;
+                }
+            } else if locked && ts <= now {
+                // Held, but the lease expired in our past: the holder is
+                // presumed dead.  Steal with a bumped fencing epoch so the
+                // old holder's release can never land.
+                let epoch = epoch_of(observed).wrapping_add(1) & EPOCH_MASK;
+                let desired = pack(true, me, epoch, now.wrapping_add(self.lease_ns));
+                let old = client.try_cas(self.addr, observed, desired).unwrap_or(!observed);
+                if old == observed {
+                    let acq = LockAcquisition {
+                        retries,
+                        wait_ns: client.now_ns() - start,
+                        backoff_ns: backoff_total,
+                        outcome: AcquireOutcome::Stolen {
+                            epoch: epoch as u16,
+                            previous_owner: owner_of(observed),
+                        },
+                        token: desired,
+                    };
+                    client.pool().stats().record_lock_acquisition(acq.retries, acq.backoff_ns);
+                    client.pool().stats().record_lock_steal();
                     return acq;
                 }
             }
             retries += 1;
             if retries >= self.max_retries {
-                // Pathological lag: jump the clock forward to the release time
-                // instead of spinning forever.
-                if free_at > client.now_ns() {
-                    let jump = free_at - client.now_ns();
+                if !locked && ts > client.now_ns() {
+                    // Pathological lag against a *free* lock: jump the clock
+                    // forward to the release time instead of spinning; the
+                    // next failed attempt lands in the arm below.
+                    let jump = ts - client.now_ns();
                     backoff_total += jump;
                     client.advance_ns(jump);
+                } else {
+                    // Budget burned — a live holder outlasted us, or a free
+                    // word kept losing (or faulting) its CAS.  Typed
+                    // give-up, never an unbounded spin.
+                    let acq = LockAcquisition {
+                        retries,
+                        wait_ns: client.now_ns() - start,
+                        backoff_ns: backoff_total,
+                        outcome: AcquireOutcome::Exhausted {
+                            holder: owner_of(observed),
+                            lease_expires_ns: ts,
+                        },
+                        token: 0,
+                    };
+                    client.pool().stats().record_lock_exhaustion(acq.retries, acq.backoff_ns);
+                    return acq;
                 }
             }
-            // Wait at least one back-off; when the release time is known to be
-            // further in the simulated future, wait (a bounded chunk of) that
-            // gap so a lagging client converges in a handful of retries.
+            // Wait at least one back-off; when the release time is known to
+            // be further in the simulated future, wait (a bounded chunk of)
+            // that gap so a lagging client converges in a handful of
+            // retries.
             let now = client.now_ns();
-            let wait = if free_at > now {
-                (free_at - now).clamp(self.backoff_ns, self.backoff_ns * 8)
+            let wait = if ts > now {
+                (ts - now).clamp(self.backoff_ns, self.backoff_ns * 8)
             } else {
                 self.backoff_ns
             };
@@ -135,18 +381,90 @@ impl RemoteLock {
         }
     }
 
-    /// Releases the lock, stamping it with the caller's current simulated
-    /// time so later acquirers observe how long the critical section lasted.
-    pub fn release(&self, client: &DmClient) {
-        client.write_u64(self.addr, client.now_ns() & TS_MASK);
+    /// Releases the lock via a fenced CAS against the exact word `acq`
+    /// wrote, stamping the word with the caller's current simulated time so
+    /// later acquirers observe how long the critical section lasted.
+    ///
+    /// Returns [`ReleaseOutcome::Fenced`] — writing nothing — when the
+    /// lease was stolen while held (the epoch moved on), or when `acq` was
+    /// [`AcquireOutcome::Exhausted`] and never held the lock.
+    pub fn release(&self, client: &DmClient, acq: &LockAcquisition) -> ReleaseOutcome {
+        if !acq.is_acquired() {
+            return ReleaseOutcome::Fenced;
+        }
+        let freed = pack(
+            false,
+            owner_of(acq.token) as u64,
+            epoch_of(acq.token),
+            client.now_ns(),
+        );
+        // Retry transiently faulted release CASes a few times: giving up
+        // leaves the word to lease expiry (a later acquirer steals it), which
+        // is safe but slow, so it is worth a short bounded burn first.
+        for attempt in 0..8u32 {
+            match client.try_cas(self.addr, acq.token, freed) {
+                Ok(old) if old == acq.token => return ReleaseOutcome::Released,
+                Ok(_) => {
+                    // The epoch moved on (stolen while held): fenced.
+                    client.pool().stats().record_fenced_release();
+                    return ReleaseOutcome::Fenced;
+                }
+                Err(_) if attempt + 1 < 8 => {
+                    client.advance_ns(self.backoff_ns);
+                }
+                Err(_) => break,
+            }
+        }
+        client.pool().stats().record_fenced_release();
+        ReleaseOutcome::Fenced
+    }
+
+    /// Frees a lock held by a client *known* to be dead, without waiting
+    /// out the lease: one READ plus (when the owner matches) one CAS that
+    /// bumps the fencing epoch and stamps the release time, so the dead
+    /// holder's own release is fenced off if it ever revives.
+    ///
+    /// Returns `true` when a lease owned by `dead_owner` (client id mod
+    /// 512) was reclaimed, recording it in
+    /// [`crate::PoolStats::faults`].
+    pub fn reclaim(&self, client: &DmClient, dead_owner: u32) -> bool {
+        let Ok(observed) = client.try_read_u64(self.addr) else {
+            return false;
+        };
+        if observed & LOCKED_BIT == 0 || owner_of(observed) != (dead_owner as u64 & OWNER_MASK) as u16
+        {
+            return false;
+        }
+        let epoch = epoch_of(observed).wrapping_add(1) & EPOCH_MASK;
+        let freed = pack(false, owner_of(observed) as u64, epoch, client.now_ns());
+        let Ok(old) = client.try_cas(self.addr, observed, freed) else {
+            return false;
+        };
+        if old == observed {
+            client.pool().stats().record_locks_reclaimed(1);
+            true
+        } else {
+            false
+        }
     }
 
     /// Runs `f` under the lock and returns its result together with the
     /// acquisition statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acquisition exhausts its retry budget — callers that
+    /// must handle a live contender holding the lease that long use
+    /// [`RemoteLock::acquire`] directly.
     pub fn with<R>(&self, client: &DmClient, f: impl FnOnce() -> R) -> (R, LockAcquisition) {
         let acq = self.acquire(client);
+        assert!(
+            acq.is_acquired(),
+            "remote lock exhausted its retry budget: {:?}",
+            acq.outcome
+        );
         let result = f();
-        self.release(client);
+        let _ = self.release(client, &acq);
         (result, acq)
     }
 }
@@ -170,7 +488,8 @@ mod tests {
         let lock = RemoteLock::new(addr, 5_000);
         let acq = lock.acquire(&client);
         assert_eq!(acq.retries, 0);
-        lock.release(&client);
+        assert_eq!(acq.outcome, AcquireOutcome::Acquired { epoch: 0 });
+        assert!(lock.release(&client, &acq).is_released());
     }
 
     #[test]
@@ -178,12 +497,12 @@ mod tests {
         let (pool, addr) = setup();
         let client = pool.connect();
         let lock = RemoteLock::new(addr, 5_000);
-        lock.acquire(&client);
+        let acq = lock.acquire(&client);
         client.sleep_us(3);
-        lock.release(&client);
+        assert!(lock.release(&client, &acq).is_released());
         let acq = lock.acquire(&client);
         assert_eq!(acq.retries, 0, "own release time is never in the future");
-        lock.release(&client);
+        assert!(lock.release(&client, &acq).is_released());
     }
 
     #[test]
@@ -193,9 +512,9 @@ mod tests {
         let lock = RemoteLock::new(addr, 5_000);
         // The holder performs a long critical section, pushing the release
         // timestamp far into simulated time.
-        lock.acquire(&holder);
+        let acq = lock.acquire(&holder);
         holder.sleep_us(100);
-        lock.release(&holder);
+        assert!(lock.release(&holder, &acq).is_released());
 
         // A fresh client starts at simulated time 0, so the release lies in
         // its future and it must back off at least once.
@@ -203,7 +522,7 @@ mod tests {
         let acq = lock.acquire(&late);
         assert!(acq.retries > 0, "expected simulated contention");
         assert!(acq.wait_ns >= 5_000);
-        lock.release(&late);
+        assert!(lock.release(&late, &acq).is_released());
     }
 
     #[test]
@@ -224,16 +543,16 @@ mod tests {
         let (pool, addr) = setup();
         let holder = pool.connect();
         let lock = RemoteLock::new(addr, 5_000);
-        lock.acquire(&holder);
+        let hold = lock.acquire(&holder);
         holder.sleep_us(100);
-        lock.release(&holder);
+        assert!(lock.release(&holder, &hold).is_released());
 
         let late = pool.connect();
         let acq = lock.acquire(&late);
         assert!(acq.retries > 0);
         assert!(acq.backoff_ns > 0);
         assert!(acq.wait_ns >= acq.backoff_ns);
-        lock.release(&late);
+        assert!(lock.release(&late, &acq).is_released());
 
         let c = pool.stats().contention();
         assert_eq!(c.lock_acquisitions, 2);
@@ -260,18 +579,117 @@ mod tests {
                     let client = pool.connect();
                     let lock = RemoteLock::new(lock_addr, 100);
                     for _ in 0..200 {
-                        lock.acquire(&client);
+                        let acq = lock.acquire(&client);
+                        assert!(acq.is_acquired());
                         // At most one thread may be inside the section.
                         assert_eq!(in_section.fetch_add(1, Ordering::SeqCst), 0);
                         let v = client.read_u64(counter_addr);
                         client.write_u64(counter_addr, v + 1);
                         in_section.fetch_sub(1, Ordering::SeqCst);
-                        lock.release(&client);
+                        assert!(lock.release(&client, &acq).is_released());
                     }
                 });
             }
         });
         let client = pool.connect();
         assert_eq!(client.read_u64(counter_addr), 800);
+    }
+
+    #[test]
+    fn starved_acquire_returns_typed_exhaustion() {
+        let (pool, addr) = setup();
+        let holder = pool.connect();
+        // A lease so long it cannot expire within the starved acquirer's
+        // bounded spin.
+        let lock = RemoteLock::new(addr, 1_000)
+            .with_lease_ns(1 << 40)
+            .with_max_retries(16);
+        let hold = lock.acquire(&holder);
+        assert!(hold.is_acquired());
+
+        let starved = pool.connect();
+        let acq = lock.acquire(&starved);
+        assert!(!acq.is_acquired());
+        assert_eq!(acq.retries, 16);
+        let AcquireOutcome::Exhausted {
+            holder: owner,
+            lease_expires_ns,
+        } = acq.outcome
+        else {
+            panic!("expected exhaustion, got {:?}", acq.outcome);
+        };
+        assert_eq!(owner, (holder.client_id() % 512) as u16);
+        assert!(lease_expires_ns > starved.now_ns());
+        // An exhausted acquisition never releases anything.
+        assert_eq!(lock.release(&starved, &acq), ReleaseOutcome::Fenced);
+
+        let f = pool.stats().faults();
+        assert_eq!(f.lock_exhaustions, 1);
+        // The failed attempts still feed the contention identity.
+        let c = pool.stats().contention();
+        assert_eq!(c.lock_acquire_attempts, c.lock_acquisitions + c.lock_wait_retries);
+
+        // The real holder's release still lands: its epoch never moved.
+        assert!(lock.release(&holder, &hold).is_released());
+    }
+
+    #[test]
+    fn expired_lease_is_stolen_with_a_bumped_epoch_and_fences_the_old_holder() {
+        let (pool, addr) = setup();
+        let dead = pool.connect();
+        let lock = RemoteLock::new(addr, 1_000).with_lease_ns(50_000);
+        let dead_hold = lock.acquire(&dead);
+        assert_eq!(dead_hold.epoch(), Some(0));
+        // The "dead" client never releases.  A second client's clock walks
+        // past the lease expiry and steals the lock.
+        let thief = pool.connect();
+        thief.sleep_us(200);
+        let steal = lock.acquire(&thief);
+        let AcquireOutcome::Stolen {
+            epoch,
+            previous_owner,
+        } = steal.outcome
+        else {
+            panic!("expected steal, got {:?}", steal.outcome);
+        };
+        assert_eq!(epoch, 1, "steal bumps the fencing epoch");
+        assert_eq!(previous_owner, (dead.client_id() % 512) as u16);
+        assert_eq!(pool.stats().faults().lock_steals, 1);
+
+        // The revived dead holder's release is fenced off — the thief's
+        // hold is untouched.
+        assert_eq!(lock.release(&dead, &dead_hold), ReleaseOutcome::Fenced);
+        assert_eq!(pool.stats().faults().fenced_releases, 1);
+        let raw = thief.read_u64(addr);
+        assert_ne!(raw & LOCKED_BIT, 0, "thief still holds the lock");
+
+        // The thief's own release (carrying the new epoch) lands fine.
+        assert!(lock.release(&thief, &steal).is_released());
+    }
+
+    #[test]
+    fn reclaim_frees_a_dead_owners_lease_immediately() {
+        let (pool, addr) = setup();
+        let dead = pool.connect();
+        let lock = RemoteLock::new(addr, 1_000); // default (long) lease
+        let dead_hold = lock.acquire(&dead);
+        assert!(dead_hold.is_acquired());
+
+        let recoverer = pool.connect();
+        // Wrong owner: nothing reclaimed.
+        assert!(!lock.reclaim(&recoverer, dead.client_id() + 1));
+        // Right owner: freed without waiting out the lease.
+        assert!(lock.reclaim(&recoverer, dead.client_id()));
+        assert_eq!(pool.stats().faults().locks_reclaimed, 1);
+
+        // The next acquire succeeds immediately and the dead holder's
+        // release is fenced.
+        let acq = lock.acquire(&recoverer);
+        assert_eq!(acq.retries, 0);
+        assert!(acq.is_acquired());
+        assert_eq!(lock.release(&dead, &dead_hold), ReleaseOutcome::Fenced);
+        assert!(lock.release(&recoverer, &acq).is_released());
+        // Already free: reclaim is a no-op.
+        assert!(!lock.reclaim(&recoverer, dead.client_id()));
     }
 }

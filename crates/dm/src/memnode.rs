@@ -29,10 +29,19 @@ pub struct MemoryNode {
     free_ranges: Mutex<BTreeMap<u64, u64>>,
     /// Registered controller services.
     handlers: RwLock<HashMap<u8, Arc<dyn RpcHandler>>>,
+    /// Segment owner registry (offset → length, owner client id): which
+    /// client each live segment range was granted to.  Crash recovery reads
+    /// it back through [`MemoryNode::owned_segments`] to find a dead
+    /// client's grants; frees trim it.
+    seg_owners: Mutex<BTreeMap<u64, (u64, u32)>>,
     /// Set once the node is fully drained and removed from the pool; node
     /// handle lookups then fail instead of silently serving.
     decommissioned: AtomicBool,
 }
+
+/// Owner id recorded for segments allocated without a client identity
+/// (direct [`MemoryNode::alloc_segment`] calls).
+pub const NO_OWNER: u32 = u32::MAX;
 
 impl MemoryNode {
     /// Creates a node with `capacity` bytes of memory.
@@ -50,6 +59,7 @@ impl MemoryNode {
             cursor: AtomicU64::new(ALLOC_ALIGN),
             free_ranges: Mutex::new(BTreeMap::new()),
             handlers: RwLock::new(HashMap::new()),
+            seg_owners: Mutex::new(BTreeMap::new()),
             decommissioned: AtomicBool::new(false),
         }
     }
@@ -205,10 +215,20 @@ impl MemoryNode {
 
     /// Allocates a segment of `size` bytes, serving from the returned
     /// ranges (best fit, splitting the remainder back) before bumping the
-    /// cursor for fresh memory.
+    /// cursor for fresh memory.  The grant is registered as owned by
+    /// [`NO_OWNER`]; the `ALLOC` RPC path uses
+    /// [`MemoryNode::alloc_segment_for`] to record the requesting client.
     pub fn alloc_segment(&self, size: u64) -> DmResult<u64> {
+        self.alloc_segment_for(size, NO_OWNER)
+    }
+
+    /// Allocates a segment of `size` bytes like
+    /// [`MemoryNode::alloc_segment`] and records `owner` (the requesting
+    /// client's id) in the segment owner registry, so a crash-recovery
+    /// pass can later find every grant a dead client held.
+    pub fn alloc_segment_for(&self, size: u64, owner: u32) -> DmResult<u64> {
         let size = size.next_multiple_of(ALLOC_ALIGN);
-        {
+        let offset = 'grant: {
             let mut ranges = self.free_ranges.lock();
             let best = ranges
                 .iter()
@@ -220,10 +240,56 @@ impl MemoryNode {
                 if len > size {
                     ranges.insert(off + size, len - size);
                 }
-                return Ok(off);
+                break 'grant off;
+            }
+            drop(ranges);
+            self.allocate_raw(size)?
+        };
+        self.seg_owners.lock().insert(offset, (size, owner));
+        Ok(offset)
+    }
+
+    /// Live segment grants currently registered to `owner`, as
+    /// `(offset, length)` pairs — the crash-recovery pass's view of what a
+    /// dead client might leak.  Frees ([`MemoryNode::free_segment`]) trim
+    /// the registry, so a fully returned grant no longer appears.
+    pub fn owned_segments(&self, owner: u32) -> Vec<(u64, u64)> {
+        self.seg_owners
+            .lock()
+            .iter()
+            .filter(|&(_, &(_, o))| o == owner)
+            .map(|(&off, &(len, _))| (off, len))
+            .collect()
+    }
+
+    /// Whether `[offset, offset + size)` is still fully covered by granted
+    /// (un-freed) segment space, regardless of which client holds the
+    /// grants.  Crash recovery uses this to tell a journalled allocation
+    /// the node still charges (an orphan to reclaim — possibly carved from
+    /// a *foreign* client's grant via a locally parked range) from one a
+    /// survivor already returned to the node.
+    pub fn range_granted(&self, offset: u64, size: u64) -> bool {
+        let size = size.next_multiple_of(ALLOC_ALIGN);
+        let end = offset + size;
+        let owners = self.seg_owners.lock();
+        // Grants are sorted and non-overlapping: start from the one
+        // straddling in from the left (if any) and require contiguous
+        // coverage up to `end`.
+        let start = owners
+            .range(..=offset)
+            .next_back()
+            .map_or(offset, |(&g_off, _)| g_off);
+        let mut cursor = offset;
+        for (&g_off, &(g_len, _)) in owners.range(start..end) {
+            if g_off > cursor {
+                return false;
+            }
+            cursor = cursor.max(g_off + g_len);
+            if cursor >= end {
+                return true;
             }
         }
-        self.allocate_raw(size)
+        false
     }
 
     /// Returns a range previously handed out by [`MemoryNode::alloc_segment`]
@@ -232,6 +298,7 @@ impl MemoryNode {
     /// coalesce here even when neither client could merge them locally.
     pub fn free_segment(&self, offset: u64, size: u64) {
         let size = size.next_multiple_of(ALLOC_ALIGN);
+        self.trim_owner_registry(offset, size);
         let mut ranges = self.free_ranges.lock();
         let mut offset = offset;
         let mut len = size;
@@ -252,6 +319,33 @@ impl MemoryNode {
     /// Total bytes sitting on the returned-range store (free to re-allocate).
     pub fn free_range_bytes(&self) -> u64 {
         self.free_ranges.lock().values().sum()
+    }
+
+    /// Removes `[offset, offset + size)` from the segment owner registry,
+    /// splitting grants the freed range only partially covers (clients
+    /// return odd-sized sub-ranges of their grants).
+    fn trim_owner_registry(&self, offset: u64, size: u64) {
+        let end = offset.saturating_add(size);
+        let mut owners = self.seg_owners.lock();
+        // Walk right-to-left from the freed range's end: grants in the
+        // range plus the one straddling in from the left.  Grants never
+        // overlap each other, so the first one ending at/before `offset`
+        // bounds the walk.
+        let touched: Vec<(u64, u64, u32)> = owners
+            .range(..end)
+            .rev()
+            .take_while(|&(&g_off, &(g_len, _))| g_off >= offset || g_off + g_len > offset)
+            .map(|(&g_off, &(g_len, g_owner))| (g_off, g_len, g_owner))
+            .collect();
+        for (g_off, g_len, g_owner) in touched {
+            owners.remove(&g_off);
+            if g_off < offset {
+                owners.insert(g_off, (offset - g_off, g_owner));
+            }
+            if g_off + g_len > end {
+                owners.insert(end, (g_off + g_len - end, g_owner));
+            }
+        }
     }
 
     fn allocate_raw(&self, size: u64) -> DmResult<u64> {

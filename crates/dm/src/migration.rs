@@ -100,6 +100,49 @@ pub const RECONCILE_POISON: u64 = u64::MAX;
 /// Simulated back-off of the per-stripe migration locks, in nanoseconds.
 const LOCK_BACKOFF_NS: u64 = 1_000;
 
+/// Simulated back-off between retries of a faulted migration verb.
+const VERB_RETRY_BACKOFF_NS: u64 = 500;
+
+/// Per-verb retry bound during the bulk copy.  A copy that still fails is
+/// aborted cleanly ([`StripeDirectory::abort_move`]) — the stripe stays
+/// fully served from the source — so a modest bound suffices.
+const COPY_VERB_RETRIES: u32 = 16;
+
+/// Per-verb retry bound during the commit's reconcile pass.  Deliberately
+/// deep: aborting mid-reconcile strands already-poisoned source words
+/// (their carried values live only in the pass's buffer), so transient
+/// faults must be retried essentially forever; only a fail-stopped node —
+/// where the stripe's words are gone regardless, the DM copy being
+/// unreplicated — gives up.
+const RECONCILE_VERB_RETRIES: u32 = 64;
+
+/// Retries `f` through transient verb faults ([`DmError::VerbFailed`] /
+/// [`DmError::VerbTimeout`]) up to `attempts` total tries, charging
+/// [`VERB_RETRY_BACKOFF_NS`] between tries.  Non-transient errors (and the
+/// last transient one) propagate.
+fn retry_verb<T>(
+    client: &DmClient,
+    attempts: u32,
+    mut f: impl FnMut(&DmClient) -> DmResult<T>,
+) -> DmResult<T> {
+    let mut attempt = 0;
+    loop {
+        match f(client) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                attempt += 1;
+                let transient =
+                    matches!(e, DmError::VerbFailed { .. } | DmError::VerbTimeout { .. });
+                if !transient || attempt >= attempts {
+                    return Err(e);
+                }
+                client.pool().stats().record_verb_retry(VERB_RETRY_BACKOFF_NS);
+                client.advance_ns(VERB_RETRY_BACKOFF_NS);
+            }
+        }
+    }
+}
+
 /// Migration state of one stripe (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -251,6 +294,23 @@ impl StripeDirectory {
         self.forwards[stripe as usize].store(dst_base.pack(), Ordering::Release);
         self.states[stripe as usize].store(MigrationState::Copying as u8, Ordering::Release);
         self.active_moves.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Unwinds a move begun with [`StripeDirectory::begin_move`] whose bulk
+    /// copy could not complete (state → `Idle`, marker cleared).  Only
+    /// valid from `Copying`, while the engine still holds the stripe lock:
+    /// once the stripe is dual-read, writers may have mirrored slot
+    /// updates into the destination and the move must roll forward.
+    pub fn abort_move(&self, stripe: u64) {
+        let idx = stripe as usize;
+        debug_assert_eq!(
+            self.state(stripe),
+            MigrationState::Copying,
+            "abort_move is only valid before dual-read"
+        );
+        self.forwards[idx].store(0, Ordering::Release);
+        self.states[idx].store(MigrationState::Idle as u8, Ordering::Release);
+        self.active_moves.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Transitions `stripe` from `Copying` to `DualRead`.
@@ -506,6 +566,22 @@ impl MigrationEngine {
         RemoteLock::new(self.lock_base.add(stripe * 8), LOCK_BACKOFF_NS)
     }
 
+    /// Crash recovery: frees every stripe lock still leased to a client
+    /// *known* to be dead, without waiting out the leases — one READ per
+    /// stripe plus a fencing CAS per lock actually held by `dead_owner`
+    /// (client id; the lock word stores it mod 512).  Returns the number of
+    /// locks reclaimed; each is also recorded in
+    /// [`crate::PoolStats::faults`].
+    pub fn reclaim_stripe_locks(&self, client: &DmClient, dead_owner: u32) -> u64 {
+        let mut reclaimed = 0;
+        for stripe in 0..self.dir.num_stripes() as u64 {
+            if self.stripe_lock(stripe).reclaim(client, dead_owner) {
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
     /// Re-plans against the pool's current topology if the resize epoch
     /// moved since the last plan.  Returns the number of pending jobs.
     pub fn maybe_replan(&self) -> usize {
@@ -566,11 +642,29 @@ impl MigrationEngine {
         }
         let dst_base = self.home_on(job.dst)?;
         let lock = self.stripe_lock(job.stripe);
-        lock.acquire(client);
+        let acq = lock.acquire(client);
+        if !acq.is_acquired() {
+            return Err(DmError::LockExhausted {
+                retries: acq.retries.min(u32::MAX as u64) as u32,
+            });
+        }
         self.dir.begin_move(job.stripe, dst_base);
-        self.copy_stripe(client, src_base, dst_base);
+        if let Err(e) = self.copy_stripe(client, src_base, dst_base) {
+            // The copy could not complete (e.g. the destination node
+            // fail-stopped): unwind — marker cleared, destination range
+            // parked for reuse — so the stripe stays fully served from the
+            // source and the caller can requeue the job.
+            self.dir.abort_move(job.stripe);
+            self.parking
+                .lock()
+                .entry(dst_base.mn_id)
+                .or_default()
+                .push(dst_base);
+            let _ = lock.release(client, &acq);
+            return Err(e);
+        }
         self.dir.enter_dual_read(job.stripe);
-        lock.release(client);
+        let _ = lock.release(client, &acq);
         Ok(true)
     }
 
@@ -583,14 +677,33 @@ impl MigrationEngine {
     /// resize epoch.
     pub fn commit(&self, client: &DmClient, job: &MoveJob) -> DmResult<()> {
         let lock = self.stripe_lock(job.stripe);
-        lock.acquire(client);
+        let acq = lock.acquire(client);
+        if !acq.is_acquired() {
+            return Err(DmError::LockExhausted {
+                retries: acq.retries.min(u32::MAX as u64) as u32,
+            });
+        }
         let src_base = self.dir.current(job.stripe);
-        let dst_base = self.dir.forward(job.stripe).ok_or(DmError::Topology {
-            reason: format!("commit of stripe {} without begin", job.stripe),
-        })?;
-        self.reconcile_stripe(client, src_base, dst_base);
+        let Some(dst_base) = self.dir.forward(job.stripe) else {
+            // Do not leak the stripe lock on the error path.
+            let _ = lock.release(client, &acq);
+            return Err(DmError::Topology {
+                reason: format!("commit of stripe {} without begin", job.stripe),
+            });
+        };
+        if let Err(e) = self.reconcile_stripe(client, src_base, dst_base) {
+            // Reconcile only fails after burning RECONCILE_VERB_RETRIES per
+            // verb — in practice a fail-stopped node.  Leave the stripe in
+            // DualRead (readers still resolve every word via source +
+            // forward) and release the lock; the pump requeues the job and
+            // a later commit retries.  Source words this pass had already
+            // poisoned are lost with the dead node — the DM copy is
+            // unreplicated, exactly as in the paper's system.
+            let _ = lock.release(client, &acq);
+            return Err(e);
+        }
         self.dir.commit(job.stripe);
-        lock.release(client);
+        let _ = lock.release(client, &acq);
         self.parking
             .lock()
             .entry(src_base.mn_id)
@@ -625,18 +738,23 @@ impl MigrationEngine {
     /// Chunked copy of one stripe's bucket array `src` → `dst`, paced by
     /// the copy token bucket (each chunk consumes budget for its READ and
     /// its WRITE before the verbs are issued).
-    fn copy_stripe(&self, client: &DmClient, src: RemoteAddr, dst: RemoteAddr) {
+    fn copy_stripe(&self, client: &DmClient, src: RemoteAddr, dst: RemoteAddr) -> DmResult<()> {
         let total = self.dir.stripe_bytes();
         let mut buf = vec![0u8; COPY_CHUNK.min(total as usize)];
         let mut copied = 0u64;
         while copied < total {
             let take = ((total - copied) as usize).min(COPY_CHUNK);
             self.throttle_copy(client, 2 * take as u64);
-            client.read_into(src.add(copied), &mut buf[..take]);
-            client.write(dst.add(copied), &buf[..take]);
+            retry_verb(client, COPY_VERB_RETRIES, |c| {
+                c.try_read_into(src.add(copied), &mut buf[..take])
+            })?;
+            retry_verb(client, COPY_VERB_RETRIES, |c| {
+                c.try_write(dst.add(copied), &buf[..take])
+            })?;
             copied += take as u64;
         }
         self.pool.stats().record_migrated_bytes(total);
+        Ok(())
     }
 
     /// The commit-time variant of [`MigrationEngine::copy_stripe`]: carries
@@ -646,7 +764,7 @@ impl MigrationEngine {
     /// enough.  Holds no extra state: the caller already holds the stripe
     /// lock, which keeps other reconcile/copy passes off the range (racing
     /// *clients* are exactly who the poison protocol is for).
-    fn reconcile_stripe(&self, client: &DmClient, src: RemoteAddr, dst: RemoteAddr) {
+    fn reconcile_stripe(&self, client: &DmClient, src: RemoteAddr, dst: RemoteAddr) -> DmResult<()> {
         let total = self.dir.stripe_bytes();
         let mut buf = vec![0u8; COPY_CHUNK.min(total as usize)];
         let mut observed = vec![0u64; buf.len() / 8];
@@ -657,7 +775,9 @@ impl MigrationEngine {
             // bytes for the poison swaps, one WRITE to land the chunk:
             // budget all three passes against the copy token bucket.
             self.throttle_copy(client, 3 * take as u64);
-            client.read_into(src.add(copied), &mut buf[..take]);
+            retry_verb(client, RECONCILE_VERB_RETRIES, |c| {
+                c.try_read_into(src.add(copied), &mut buf[..take])
+            })?;
             let words = take / 8;
             // The poison sweep rides the posted-WQE path: a doorbell
             // batch's worth of CASes goes out at once and is drained
@@ -676,27 +796,61 @@ impl MigrationEngine {
                 }
                 wq.ring();
                 drop(wq);
-                client.drain_cq();
+                if client.try_drain_cq().is_err() {
+                    // Some CASes in the batch faulted (NAK'd, not applied),
+                    // and which ones cannot be trusted from `observed`:
+                    // redo the whole group with synchronous retried swaps.
+                    // A posted swap that *did* land shows up as the poison
+                    // marker and resolves to the value it carried.
+                    for w in base..base + group {
+                        let addr = src.add(copied + (w * 8) as u64);
+                        let seed =
+                            u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
+                        let carried = Self::poison_word(client, addr, seed)?;
+                        buf[w * 8..w * 8 + 8].copy_from_slice(&carried.to_le_bytes());
+                        observed[w] = carried;
+                    }
+                }
                 base += group;
             }
             for w in 0..words {
-                let mut expected =
+                let expected =
                     u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
-                let mut got = observed[w];
-                while got != expected {
+                let got = observed[w];
+                if got != expected {
                     // A client CASed the word between the read and the
                     // swap: carry the newer value instead.  Races are rare
                     // (one contended word per incident), so the retries use
                     // plain synchronous CASes.
-                    expected = got;
-                    got = client.cas(src.add(copied + (w * 8) as u64), expected, RECONCILE_POISON);
+                    let carried = Self::poison_word(client, src.add(copied + (w * 8) as u64), got)?;
+                    buf[w * 8..w * 8 + 8].copy_from_slice(&carried.to_le_bytes());
                 }
-                buf[w * 8..w * 8 + 8].copy_from_slice(&expected.to_le_bytes());
             }
-            client.write(dst.add(copied), &buf[..take]);
+            retry_verb(client, RECONCILE_VERB_RETRIES, |c| {
+                c.try_write(dst.add(copied), &buf[..take])
+            })?;
             copied += take as u64;
         }
         self.pool.stats().record_migrated_bytes(total);
+        Ok(())
+    }
+
+    /// Synchronously swaps one source word to [`RECONCILE_POISON`],
+    /// chasing racing client CASes, and returns the value the swap
+    /// carried.  `expected` seeds the chase (the last value this pass saw
+    /// at the word).  Observing the poison itself means an earlier posted
+    /// swap by *this* pass already landed — only the reconcile poisons,
+    /// under the stripe lock — so the carried value is `expected`.
+    fn poison_word(client: &DmClient, addr: RemoteAddr, mut expected: u64) -> DmResult<u64> {
+        loop {
+            let got = retry_verb(client, RECONCILE_VERB_RETRIES, |c| {
+                c.try_cas(addr, expected, RECONCILE_POISON)
+            })?;
+            if got == expected || got == RECONCILE_POISON {
+                return Ok(expected);
+            }
+            expected = got;
+        }
     }
 }
 

@@ -6,6 +6,7 @@ use crate::alloc::AllocService;
 use crate::client::DmClient;
 use crate::config::DmConfig;
 use crate::error::{DmError, DmResult};
+use crate::fault::FaultInjector;
 use crate::memnode::MemoryNode;
 use crate::rpc::{RpcHandler, ALLOC_SERVICE};
 use crate::stats::PoolStats;
@@ -27,6 +28,8 @@ struct PoolInner {
     /// Pool-wide RPC services, replayed onto nodes that join later.
     pool_handlers: Mutex<Vec<(u8, Arc<dyn RpcHandler>)>>,
     stats: PoolStats,
+    /// Runtime face of `config.fault`; inert when no plan is configured.
+    fault: FaultInjector,
 }
 
 /// A handle to the disaggregated memory pool.
@@ -73,6 +76,7 @@ impl MemoryPool {
         let num_nodes = nodes.len() as u16;
         let stats = PoolStats::new(num_nodes);
         let topology = PoolTopology::new(num_nodes, config.placement);
+        let fault = FaultInjector::new(config.fault.clone());
         let pool = MemoryPool {
             inner: Arc::new(PoolInner {
                 config,
@@ -81,6 +85,7 @@ impl MemoryPool {
                 epoch: AtomicU64::new(0),
                 pool_handlers: Mutex::new(Vec::new()),
                 stats,
+                fault,
             }),
         };
         let alloc = Arc::new(AllocService::new());
@@ -96,6 +101,12 @@ impl MemoryPool {
     /// Shared resource accounting.
     pub fn stats(&self) -> &PoolStats {
         &self.inner.stats
+    }
+
+    /// The fault injector built from [`DmConfig::fault`] (inert when no
+    /// plan is configured).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.inner.fault
     }
 
     /// Resets all accounting counters (e.g. after a warm-up phase).
@@ -373,8 +384,8 @@ mod tests {
         let out = pool.node(id).unwrap().dispatch_rpc(42, &[]).unwrap();
         assert_eq!(out.response, vec![9]);
         // The built-in allocation service works on the new node too.
-        let req = crate::alloc::AllocService::encode_alloc(4096);
         let client = pool.connect();
+        let req = crate::alloc::AllocService::encode_alloc(4096, client.client_id());
         assert!(client.rpc(id, ALLOC_SERVICE, &req).is_ok());
     }
 

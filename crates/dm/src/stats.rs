@@ -176,6 +176,35 @@ pub struct PoolStats {
     /// Simulated nanoseconds clients spent backing off after failed CAS /
     /// lock attempts.  Survives [`PoolStats::reset`].
     backoff_ns: AtomicU64,
+    /// Verbs that completed in error (injected faults plus typed
+    /// node-removed rejections), per node.  Lifetime: survives
+    /// [`PoolStats::reset`] (see [`PoolStats::faults`]).
+    verb_faults_per_node: Vec<AtomicU64>,
+    /// Verbs that completed in error pool-wide.  Survives reset.
+    verb_failures: AtomicU64,
+    /// Verbs that timed out pool-wide.  Survives reset.
+    verb_timeouts: AtomicU64,
+    /// Higher-layer retries of faulted verbs.  Survives reset.
+    verb_retries: AtomicU64,
+    /// Simulated nanoseconds spent backing off between verb retries.
+    /// Survives reset.
+    retry_backoff_ns: AtomicU64,
+    /// Expired lock leases taken over via CAS steal.  Survives reset.
+    lock_steals: AtomicU64,
+    /// Lock releases fenced off because the lease had been stolen.
+    /// Survives reset.
+    fenced_releases: AtomicU64,
+    /// Lock acquisitions that gave up after burning their whole retry
+    /// budget against a live holder.  Survives reset.
+    lock_exhaustions: AtomicU64,
+    /// Locks reclaimed from crashed clients by a recovery pass.
+    /// Survives reset.
+    locks_reclaimed: AtomicU64,
+    /// Orphaned objects swept by a crash-recovery pass.  Survives reset.
+    recovered_objects: AtomicU64,
+    /// Orphaned object bytes swept by a crash-recovery pass.  Survives
+    /// reset.
+    recovered_bytes: AtomicU64,
 }
 
 /// Point-in-time copy of the pool's contention counters.
@@ -214,6 +243,60 @@ impl ContentionSnapshot {
     }
 }
 
+/// Point-in-time copy of the pool's fault / retry / recovery counters.
+///
+/// Like [`ContentionSnapshot`] these are *lifetime* counters —
+/// [`PoolStats::reset`] leaves them alone, so faults weathered during a
+/// warm-up phase stay visible.  Per-interval figures come from diffing two
+/// snapshots with [`FaultSnapshot::delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSnapshot {
+    /// Verbs that completed in error (injected faults and typed
+    /// node-removed rejections).
+    pub verb_failures: u64,
+    /// Verbs that timed out.
+    pub verb_timeouts: u64,
+    /// Higher-layer retries of faulted verbs.
+    pub verb_retries: u64,
+    /// Simulated nanoseconds spent backing off between verb retries.
+    pub retry_backoff_ns: u64,
+    /// Expired lock leases taken over via CAS steal.
+    pub lock_steals: u64,
+    /// Lock releases fenced off because the lease had been stolen.
+    pub fenced_releases: u64,
+    /// Lock acquisitions that exhausted their retry budget.
+    pub lock_exhaustions: u64,
+    /// Locks reclaimed from crashed clients by recovery passes.
+    pub locks_reclaimed: u64,
+    /// Orphaned objects swept by crash-recovery passes.
+    pub recovered_objects: u64,
+    /// Orphaned object bytes swept by crash-recovery passes.
+    pub recovered_bytes: u64,
+}
+
+impl FaultSnapshot {
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn delta(&self, earlier: &FaultSnapshot) -> FaultSnapshot {
+        FaultSnapshot {
+            verb_failures: self.verb_failures.saturating_sub(earlier.verb_failures),
+            verb_timeouts: self.verb_timeouts.saturating_sub(earlier.verb_timeouts),
+            verb_retries: self.verb_retries.saturating_sub(earlier.verb_retries),
+            retry_backoff_ns: self.retry_backoff_ns.saturating_sub(earlier.retry_backoff_ns),
+            lock_steals: self.lock_steals.saturating_sub(earlier.lock_steals),
+            fenced_releases: self.fenced_releases.saturating_sub(earlier.fenced_releases),
+            lock_exhaustions: self.lock_exhaustions.saturating_sub(earlier.lock_exhaustions),
+            locks_reclaimed: self.locks_reclaimed.saturating_sub(earlier.locks_reclaimed),
+            recovered_objects: self.recovered_objects.saturating_sub(earlier.recovered_objects),
+            recovered_bytes: self.recovered_bytes.saturating_sub(earlier.recovered_bytes),
+        }
+    }
+
+    /// Total faulted verbs (failures plus timeouts).
+    pub fn faulted_verbs(&self) -> u64 {
+        self.verb_failures + self.verb_timeouts
+    }
+}
+
 impl PoolStats {
     /// Creates accounting for `num_nodes` memory nodes.
     pub fn new(num_nodes: u16) -> Self {
@@ -246,6 +329,21 @@ impl PoolStats {
             lock_acquisitions: AtomicU64::new(0),
             lock_wait_retries: AtomicU64::new(0),
             backoff_ns: AtomicU64::new(0),
+            verb_faults_per_node: {
+                let mut v = Vec::with_capacity(MAX_POOL_NODES);
+                v.resize_with(MAX_POOL_NODES, || AtomicU64::new(0));
+                v
+            },
+            verb_failures: AtomicU64::new(0),
+            verb_timeouts: AtomicU64::new(0),
+            verb_retries: AtomicU64::new(0),
+            retry_backoff_ns: AtomicU64::new(0),
+            lock_steals: AtomicU64::new(0),
+            fenced_releases: AtomicU64::new(0),
+            lock_exhaustions: AtomicU64::new(0),
+            locks_reclaimed: AtomicU64::new(0),
+            recovered_objects: AtomicU64::new(0),
+            recovered_bytes: AtomicU64::new(0),
         }
     }
 
@@ -463,6 +561,89 @@ impl PoolStats {
         }
     }
 
+    /// Records one verb to `mn_id` completing in error.
+    pub fn record_verb_failure(&self, mn_id: u16) {
+        if let Some(node) = self.verb_faults_per_node.get(mn_id as usize) {
+            node.fetch_add(1, Ordering::Relaxed);
+        }
+        self.verb_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one verb to `mn_id` timing out.
+    pub fn record_verb_timeout(&self, mn_id: u16) {
+        if let Some(node) = self.verb_faults_per_node.get(mn_id as usize) {
+            node.fetch_add(1, Ordering::Relaxed);
+        }
+        self.verb_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one higher-layer retry of a faulted verb and the simulated
+    /// back-off paid before it.
+    pub fn record_verb_retry(&self, backoff_ns: u64) {
+        self.verb_retries.fetch_add(1, Ordering::Relaxed);
+        self.retry_backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
+    }
+
+    /// Records one expired lock lease taken over via CAS steal.
+    pub fn record_lock_steal(&self) {
+        self.lock_steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one lock release fenced off by a newer lease epoch.
+    pub fn record_fenced_release(&self) {
+        self.fenced_releases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one lock acquisition giving up with its retry budget spent:
+    /// the failed attempts and back-off still count toward the contention
+    /// group (each retry is an attempt that waited), preserving the
+    /// `attempts == acquisitions + wait_retries` identity without an
+    /// acquisition.
+    pub fn record_lock_exhaustion(&self, wait_retries: u64, backoff_ns: u64) {
+        self.lock_exhaustions.fetch_add(1, Ordering::Relaxed);
+        self.lock_acquire_attempts
+            .fetch_add(wait_retries, Ordering::Relaxed);
+        self.lock_wait_retries.fetch_add(wait_retries, Ordering::Relaxed);
+        self.backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
+    }
+
+    /// Records `locks` locks reclaimed from a crashed client.
+    pub fn record_locks_reclaimed(&self, locks: u64) {
+        self.locks_reclaimed.fetch_add(locks, Ordering::Relaxed);
+    }
+
+    /// Records one orphaned object of `bytes` bytes swept by recovery.
+    pub fn record_recovered_object(&self, bytes: u64) {
+        self.recovered_objects.fetch_add(1, Ordering::Relaxed);
+        self.recovered_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Faulted verbs attributed to node `mn_id` so far (lifetime).
+    pub fn verb_faults_on(&self, mn_id: u16) -> u64 {
+        self.verb_faults_per_node
+            .get(mn_id as usize)
+            .map(|n| n.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the lifetime fault / retry / recovery counters.  Diff
+    /// two snapshots ([`FaultSnapshot::delta`]) for per-interval figures —
+    /// these counters survive [`PoolStats::reset`].
+    pub fn faults(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            verb_failures: self.verb_failures.load(Ordering::Relaxed),
+            verb_timeouts: self.verb_timeouts.load(Ordering::Relaxed),
+            verb_retries: self.verb_retries.load(Ordering::Relaxed),
+            retry_backoff_ns: self.retry_backoff_ns.load(Ordering::Relaxed),
+            lock_steals: self.lock_steals.load(Ordering::Relaxed),
+            fenced_releases: self.fenced_releases.load(Ordering::Relaxed),
+            lock_exhaustions: self.lock_exhaustions.load(Ordering::Relaxed),
+            locks_reclaimed: self.locks_reclaimed.load(Ordering::Relaxed),
+            recovered_objects: self.recovered_objects.load(Ordering::Relaxed),
+            recovered_bytes: self.recovered_bytes.load(Ordering::Relaxed),
+        }
+    }
+
     /// Records a verb of `kind` moving `bytes` payload bytes to node `mn_id`.
     pub fn record_verb(&self, mn_id: u16, kind: VerbKind, bytes: usize) {
         if let Some(node) = self.nodes.get(mn_id as usize) {
@@ -563,8 +744,9 @@ impl PoolStats {
     /// plain relaxed stores; verbs racing the reset may land in either
     /// interval, which only blurs the boundary, not the totals.
     ///
-    /// The per-node `resident_bytes` gauges (pool state) and the contention
-    /// counters (see [`PoolStats::contention`]) deliberately survive.
+    /// The per-node `resident_bytes` gauges (pool state), the contention
+    /// counters (see [`PoolStats::contention`]) and the fault / retry /
+    /// recovery counters (see [`PoolStats::faults`]) deliberately survive.
     pub fn reset(&self) {
         self.clock_baseline_ns
             .fetch_max(self.max_client_clock_ns.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -780,6 +962,42 @@ mod tests {
         assert_eq!(delta.cas_retries, 1);
         assert_eq!(delta.backoff_ns, 100);
         assert_eq!(delta.lock_acquisitions, 0);
+    }
+
+    #[test]
+    fn fault_counters_survive_reset_and_attribute_per_node() {
+        let stats = PoolStats::new(2);
+        stats.record_verb_failure(0);
+        stats.record_verb_failure(1);
+        stats.record_verb_timeout(1);
+        stats.record_verb_retry(400);
+        stats.record_lock_steal();
+        stats.record_fenced_release();
+        stats.record_lock_exhaustion(4, 900);
+        stats.record_locks_reclaimed(3);
+        stats.record_recovered_object(128);
+        let before = stats.faults();
+        assert_eq!(before.verb_failures, 2);
+        assert_eq!(before.verb_timeouts, 1);
+        assert_eq!(before.faulted_verbs(), 3);
+        assert_eq!(before.verb_retries, 1);
+        assert_eq!(before.retry_backoff_ns, 400);
+        assert_eq!(before.lock_steals, 1);
+        assert_eq!(before.fenced_releases, 1);
+        assert_eq!(before.lock_exhaustions, 1);
+        assert_eq!(before.locks_reclaimed, 3);
+        assert_eq!(before.recovered_objects, 1);
+        assert_eq!(before.recovered_bytes, 128);
+        assert_eq!(stats.verb_faults_on(0), 1);
+        assert_eq!(stats.verb_faults_on(1), 2);
+        assert_eq!(stats.verb_faults_on(9), 0);
+        stats.reset();
+        assert_eq!(stats.faults(), before, "fault counters are lifetime");
+        assert_eq!(stats.verb_faults_on(1), 2, "per-node attribution survives reset");
+        stats.record_verb_timeout(0);
+        let delta = stats.faults().delta(&before);
+        assert_eq!(delta.verb_timeouts, 1);
+        assert_eq!(delta.verb_failures, 0);
     }
 
     #[test]

@@ -39,7 +39,8 @@
 use crate::addr::RemoteAddr;
 use crate::client::DmClient;
 use crate::config::DmConfig;
-use crate::cq::Completion;
+use crate::cq::{Completion, CompletionStatus};
+use crate::error::DmError;
 use crate::stats::VerbKind;
 
 /// Maximum WQEs per posting round (and per doorbell batch).
@@ -280,22 +281,46 @@ impl<'client, 'buf> WorkQueue<'client, 'buf> {
             stats.record_node_doorbell(mn);
         }
         // Per-node prefix maximum of transfer latencies: one queue pair per
-        // node, completions in posting order.
+        // node, completions in posting order.  The fault injector is
+        // consulted per WQE: a faulted verb still consumes its message and
+        // holds its place in the queue-pair ordering (a timed-out verb's
+        // retransmission window delays everything behind it on the same
+        // node), but its operation never executes, and its error completion
+        // is pushed even when the WQE was posted *unsignalled* — real NICs
+        // always surface error CQEs.
+        let injector = client.pool().fault_injector();
         let mut node_floor = [0u64; MAX_WQES];
         for wqe in self.wqes[..self.len].iter_mut().map(Option::take) {
             let Some(wqe) = wqe else { continue };
             let mn = wqe.op.mn_id();
             let slot = nodes[..fanout].iter().position(|&n| n == mn).unwrap_or(0);
-            node_floor[slot] = node_floor[slot].max(wqe.op.transfer_ns(cfg));
+            let (factor_pct, err) = client.inject(mn);
+            let mut transfer = wqe.op.transfer_ns(cfg) * factor_pct / 100;
+            let status = match &err {
+                None => CompletionStatus::Success,
+                Some(DmError::VerbTimeout { .. }) => {
+                    transfer += injector.timeout_ns();
+                    stats.record_verb_timeout(mn);
+                    CompletionStatus::TimedOut { mn_id: mn }
+                }
+                Some(_) => {
+                    stats.record_verb_failure(mn);
+                    CompletionStatus::Failed { mn_id: mn }
+                }
+            };
+            node_floor[slot] = node_floor[slot].max(transfer);
             stats.record_verb(mn, wqe.op.kind(), wqe.op.payload_len());
             stats.record_wqe(wqe.signalled);
-            if wqe.signalled {
+            if wqe.signalled || !status.is_ok() {
                 client.push_completion(Completion {
                     wr_id: wqe.wr_id,
                     completed_at_ns: ring_end + node_floor[slot],
+                    status,
                 });
             }
-            wqe.op.perform(client);
+            if status.is_ok() {
+                wqe.op.perform(client);
+            }
         }
         self.len = 0;
         post_cost
@@ -450,6 +475,56 @@ mod tests {
         drop(wq);
         assert_eq!(pool.stats().doorbells(), 2, "overflow rang an extra doorbell");
         assert_eq!(client.read_u64(addr), MAX_WQES as u64 + 1);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_error_completions_even_unsignalled() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::seeded(7).with_verb_fail_ppm(1_000_000); // every verb fails
+        let pool = MemoryPool::new(DmConfig::small().with_fault_plan(plan));
+        let client = pool.connect();
+        let addr = pool.reserve(64).unwrap();
+        let mut wq = client.work_queue();
+        wq.post_write(addr, b"doomed", false); // unsignalled on purpose
+        wq.ring();
+        drop(wq);
+        let completion = client.poll_cq().expect("error CQE surfaces even for unsignalled WQEs");
+        assert_eq!(completion.status, CompletionStatus::Failed { mn_id: 0 });
+        assert!(completion.status.check().is_err());
+        // The faulted WRITE was NAK'd: the arena was never touched.
+        assert_eq!(pool.node(0).unwrap().read(addr.offset, 6).unwrap(), vec![0u8; 6]);
+        // The message was still consumed and the fault attributed to node 0.
+        assert_eq!(pool.stats().node_snapshots()[0].writes, 1);
+        assert_eq!(pool.stats().verb_faults_on(0), 1);
+        assert_eq!(pool.stats().faults().verb_failures, 1);
+    }
+
+    #[test]
+    fn timed_out_wqes_delay_everything_behind_them_on_the_same_node() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::seeded(3).with_verb_timeouts(1_000_000, 50_000);
+        let pool = MemoryPool::new(DmConfig::small().with_fault_plan(plan));
+        let client = pool.connect();
+        let cfg = client.config().clone();
+        let addr = pool.reserve(64).unwrap();
+        let mut buf = [0u8; 8];
+        let mut wq = client.work_queue();
+        let wr_a = wq.post_write(addr, b"a", true);
+        let wr_b = wq.post_read(addr.add(32), &mut buf, true);
+        wq.ring();
+        drop(wq);
+        let ring_end = client.now_ns();
+        let first = client.poll_cq().unwrap();
+        assert_eq!(first.wr_id, wr_a);
+        assert_eq!(first.status, CompletionStatus::TimedOut { mn_id: 0 });
+        let t_first = cfg.transfer_latency_ns(cfg.write_latency_ns, 1) + 50_000;
+        assert_eq!(first.completed_at_ns, ring_end + t_first);
+        // The second WQE shares the queue pair: it completes no earlier
+        // than the timed-out verb ahead of it.
+        let second = client.poll_cq().unwrap();
+        assert_eq!(second.wr_id, wr_b);
+        assert!(second.completed_at_ns >= first.completed_at_ns);
+        assert_eq!(pool.stats().faults().verb_timeouts, 2);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Decommissioned-node semantics at the verb layer.
+//!
+//! A queue pair established while a node was alive keeps serving after the
+//! node is removed from the pool (the simulated arena stays alive), so
+//! auxiliary structures that have not migrated yet drain naturally.  A
+//! client whose *first* snapshot already saw the node decommissioned can
+//! never establish a queue pair: every verb class fails with the typed
+//! [`DmError::NodeRemoved`], attributed to that node in the per-node fault
+//! counters.
+
+use ditto_dm::{DmConfig, DmError, MemoryPool};
+
+#[test]
+fn removed_node_fails_fresh_clients_typed_and_attributed() {
+    let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(2));
+    let addr = pool.reserve_on(1, 128).unwrap();
+
+    // Established before the removal: models a live queue pair.
+    let veteran = pool.connect();
+    veteran.write(addr, &[7u8; 16]);
+
+    pool.drain_node(1).unwrap();
+    pool.remove_node(1).unwrap();
+
+    // The veteran's cached handle keeps serving the removed node.
+    assert_eq!(veteran.read(addr, 16), vec![7u8; 16]);
+
+    // A client connecting after the removal gets the typed rejection from
+    // every verb class.
+    let fresh = pool.connect();
+    let failures_before = pool.stats().faults().verb_failures;
+    let on_node_before = pool.stats().verb_faults_on(1);
+    assert!(matches!(
+        fresh.try_read(addr, 16),
+        Err(DmError::NodeRemoved { mn_id: 1 })
+    ));
+    assert!(matches!(
+        fresh.try_write(addr, &[0u8; 16]),
+        Err(DmError::NodeRemoved { mn_id: 1 })
+    ));
+    assert!(matches!(
+        fresh.try_cas(addr, 0, 1),
+        Err(DmError::NodeRemoved { mn_id: 1 })
+    ));
+    assert!(matches!(
+        fresh.try_faa(addr, 1),
+        Err(DmError::NodeRemoved { mn_id: 1 })
+    ));
+
+    // Attribution: all four rejections are counted as verb failures on the
+    // removed node and nowhere else.
+    assert_eq!(pool.stats().faults().verb_failures, failures_before + 4);
+    assert_eq!(pool.stats().verb_faults_on(1), on_node_before + 4);
+    assert_eq!(pool.stats().verb_faults_on(0), 0);
+
+    // The rejection did not corrupt the removed node's data, and the
+    // surviving node is untouched.
+    assert_eq!(veteran.read(addr, 16), vec![7u8; 16]);
+    let ok_addr = pool.reserve_on(0, 64).unwrap();
+    fresh.write(ok_addr, &[1u8; 8]);
+    assert_eq!(fresh.read(ok_addr, 8), vec![1u8; 8]);
+}

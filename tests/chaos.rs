@@ -1,0 +1,518 @@
+//! Chaos harness: the linearizability checker and the migration drain run
+//! again — this time under seeded fault plans and enumerated client crash
+//! points.
+//!
+//! # Gate
+//!
+//! * **No lost acknowledged write.**  Every `Get` that hits must decode to
+//!   a version at least the completed floor, exactly as in
+//!   `tests/concurrent.rs` — injected verb faults may degrade operations
+//!   (a Get to a miss, a Set to an invalidation) but never roll a key
+//!   back.
+//! * **No permanently wedged bucket.**  After the faulted window is
+//!   disarmed, every key can be re-set and re-read cleanly, migration
+//!   plans drain to completion, and a dead client's stripe-lock leases are
+//!   stolen back by recovery instead of blocking the pump forever.
+//! * **Zero orphaned bytes after recovery.**  Each memory node's resident
+//!   gauge equals a forensic scan of slot-referenced bytes once crashed
+//!   clients are recovered ([`DittoClient::recover_crashed_client`]).
+//!
+//! # Determinism
+//!
+//! Fault plans are seeded ([`FaultPlan::seeded`]): per-client fault
+//! streams are a pure function of (seed, client id, verb sequence), so a
+//! failing seed replays bit-identically.  The harness follows the
+//! armed/disarmed discipline the injector documents: disarmed for setup,
+//! armed for the measured window, disarmed again for exact verification.
+//! Seeds scale up via `DITTO_CHAOS_SEEDS` (used by the CI chaos job, which
+//! prints the failing seed).
+//!
+//! [`DittoClient::recover_crashed_client`]: ditto::cache::DittoClient::recover_crashed_client
+//! [`FaultPlan::seeded`]: ditto::dm::FaultPlan::seeded
+
+use ditto::cache::recovery::CrashPoint;
+use ditto::cache::{DittoCache, DittoConfig};
+use ditto::dm::{DmConfig, FaultPlan, ReleaseOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const KEYS: usize = 64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn make_keys() -> Vec<Vec<u8>> {
+    (0..KEYS).map(|i| format!("xk{i:04}").into_bytes()).collect()
+}
+
+struct KeyState {
+    issued: AtomicU64,
+    completed: AtomicU64,
+    write_gate: Mutex<()>,
+}
+
+fn make_states() -> Vec<KeyState> {
+    (0..KEYS)
+        .map(|_| KeyState {
+            issued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            write_gate: Mutex::new(()),
+        })
+        .collect()
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic version-stamped value bytes (same scheme as
+/// `tests/concurrent.rs`): every byte is a function of (key, version), so
+/// torn or recycled reads cannot decode.
+fn encode_value(key_idx: u64, version: u64) -> Vec<u8> {
+    let n = 16 + ((key_idx.wrapping_mul(131).wrapping_add(version.wrapping_mul(17))) % 180) as usize;
+    let mut out = Vec::with_capacity(16 + n);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&key_idx.to_le_bytes());
+    let mut state = splitmix(key_idx ^ version.rotate_left(32));
+    for i in 0..n {
+        if i % 8 == 0 {
+            state = splitmix(state);
+        }
+        out.push((state >> (8 * (i % 8))) as u8);
+    }
+    out
+}
+
+fn decode_version(key_idx: u64, bytes: &[u8]) -> u64 {
+    assert!(bytes.len() >= 16, "key {key_idx}: value truncated to {} bytes", bytes.len());
+    let version = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    let stamped_key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    assert_eq!(stamped_key, key_idx, "key {key_idx}: value stamped for key {stamped_key}");
+    assert_eq!(
+        bytes,
+        &encode_value(key_idx, version)[..],
+        "key {key_idx}: corrupt bytes for version {version}"
+    );
+    version
+}
+
+/// Preloads every key once from a fresh client (run disarmed).
+fn preload(cache: &DittoCache, keys: &[Vec<u8>], states: &[KeyState]) {
+    let mut client = cache.client();
+    for (k, key) in keys.iter().enumerate() {
+        let v = states[k].issued.fetch_add(1, Ordering::SeqCst) + 1;
+        client.set(key, &encode_value(k as u64, v));
+        states[k].completed.fetch_max(v, Ordering::SeqCst);
+    }
+}
+
+/// The concurrent checker from `tests/concurrent.rs`, reused verbatim under
+/// an armed fault plan: same-key Sets serialize through the write gate,
+/// everything else races.
+fn checker_pass(
+    cache: &DittoCache,
+    keys: &[Vec<u8>],
+    states: &[KeyState],
+    seed: u64,
+    threads: usize,
+    ops_per_thread: usize,
+) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let cache = cache.clone();
+            s.spawn(move || {
+                let mut client = cache.client();
+                let mut rng = StdRng::seed_from_u64(splitmix(seed ^ (t as u64)));
+                let mut last_seen = vec![0u64; keys.len()];
+                for _ in 0..ops_per_thread {
+                    let k = rng.gen_range(0..keys.len());
+                    let st = &states[k];
+                    if rng.gen_range(0..10u32) < 4 {
+                        let gate = st.write_gate.lock().unwrap();
+                        let v = st.issued.fetch_add(1, Ordering::SeqCst) + 1;
+                        client.set(&keys[k], &encode_value(k as u64, v));
+                        st.completed.fetch_max(v, Ordering::SeqCst);
+                        drop(gate);
+                        last_seen[k] = last_seen[k].max(v);
+                    } else {
+                        let floor = st.completed.load(Ordering::SeqCst).max(last_seen[k]);
+                        if let Some(bytes) = client.get(&keys[k]) {
+                            let v = decode_version(k as u64, &bytes);
+                            assert!(
+                                v <= st.issued.load(Ordering::SeqCst),
+                                "key {k}: version {v} was never issued"
+                            );
+                            assert!(
+                                v >= floor,
+                                "key {k}: stale read of version {v}, completed floor {floor}"
+                            );
+                            last_seen[k] = v;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Asserts the zero-orphan invariant: every node's resident gauge equals
+/// the forensic sum of slot-referenced bytes on it.
+fn assert_no_orphans(cache: &DittoCache, context: &str) {
+    let mut client = cache.client();
+    for mn in 0..cache.pool().num_nodes() {
+        let gauge = cache.pool().resident_object_bytes(mn);
+        let referenced = client.referenced_object_bytes_on(mn);
+        assert_eq!(
+            gauge, referenced,
+            "{context}: node {mn} resident gauge {gauge} != referenced bytes {referenced}"
+        );
+    }
+}
+
+/// A mixed fault plan for the measured window: error completions, timeouts
+/// and a transient slow NIC, all drawn from `seed`.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_verb_fail_ppm(8_000) // 0.8 %
+        .with_verb_timeouts(4_000, 20_000) // 0.4 %, 20 µs retransmission window
+        .with_slow_nic(0, 500_000, 3_000_000, 300)
+}
+
+/// Tentpole: the full linearizability checker under randomized transient
+/// verb faults.  After disarming, no key is wedged and nothing leaked.
+#[test]
+fn chaos_transient_faults_linearize() {
+    let seeds = env_u64("DITTO_CHAOS_SEEDS", 2);
+    let threads = env_u64("DITTO_STRESS_THREADS", 8) as usize;
+    let ops = env_u64("DITTO_STRESS_OPS", 2_000) as usize;
+    let keys = make_keys();
+    for round in 0..seeds {
+        let seed = 0xC805_0000 + round;
+        let cache = DittoCache::with_dedicated_pool(
+            DittoConfig::with_capacity(KEYS as u64 * 3 / 4)
+                .with_crash_recovery_journal(true),
+            DmConfig::default().with_fault_plan(chaos_plan(seed)),
+        )
+        .unwrap();
+        let injector = cache.pool().fault_injector();
+
+        // Disarmed setup, armed measured window, disarmed verification.
+        injector.set_armed(false);
+        let states = make_states();
+        preload(&cache, &keys, &states);
+        injector.set_armed(true);
+        checker_pass(&cache, &keys, &states, seed, threads, ops);
+        injector.set_armed(false);
+
+        // The plan must actually have fired, and the retry layer must have
+        // absorbed faults rather than letting them surface as panics.
+        let faults = cache.pool().stats().faults();
+        assert!(faults.verb_failures > 0, "seed {seed}: no verb faults fired");
+        assert!(faults.verb_timeouts > 0, "seed {seed}: no verb timeouts fired");
+        assert!(faults.verb_retries > 0, "seed {seed}: nothing was retried");
+        let contention = cache.pool().stats().contention();
+        assert_eq!(
+            contention.lock_acquire_attempts,
+            contention.lock_acquisitions + contention.lock_wait_retries,
+            "seed {seed}: contention accounting identity violated"
+        );
+
+        // No wedged bucket: with faults disarmed every key takes a clean
+        // Set and reads back exactly, whatever the faulted window left.
+        let mut client = cache.client();
+        for (k, key) in keys.iter().enumerate() {
+            let v = states[k].issued.fetch_add(1, Ordering::SeqCst) + 1;
+            client.set(key, &encode_value(k as u64, v));
+            let bytes = client.get(key).unwrap_or_else(|| {
+                panic!("seed {seed}: key {k} wedged — clean set not readable")
+            });
+            assert!(decode_version(k as u64, &bytes) >= v, "seed {seed}: key {k} stale");
+        }
+        assert_no_orphans(&cache, &format!("seed {seed}"));
+    }
+}
+
+/// Tentpole: the migration-under-traffic drain holds under an armed fault
+/// plan — the plan completes (no wedged stripe), the drained node empties,
+/// and every surviving key still linearizes.
+#[test]
+fn chaos_migration_drain_survives_faults() {
+    let seeds = env_u64("DITTO_CHAOS_SEEDS", 1);
+    let threads = (env_u64("DITTO_STRESS_THREADS", 8).max(2) as usize) - 1;
+    let ops = env_u64("DITTO_STRESS_OPS", 2_000) as usize;
+    let keys = make_keys();
+    for round in 0..seeds {
+        let seed = 0x319A_0000 + round;
+        let cache = DittoCache::with_dedicated_pool(
+            DittoConfig::with_capacity(2_000).with_crash_recovery_journal(true),
+            DmConfig::default()
+                .with_memory_nodes(2)
+                .with_fault_plan(chaos_plan(seed)),
+        )
+        .unwrap();
+        let injector = cache.pool().fault_injector();
+        injector.set_armed(false);
+        let states = make_states();
+        preload(&cache, &keys, &states);
+        assert!(cache.pool().resident_object_bytes(1) > 0, "node 1 must hold objects");
+
+        cache.pool().drain_node(1).unwrap();
+        injector.set_armed(true);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let pump = s.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    cache.pump_migration();
+                    std::thread::yield_now();
+                }
+            });
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                checker_pass(&cache, &keys, &states, seed, threads, ops);
+            }));
+            stop.store(true, Ordering::SeqCst);
+            pump.join().unwrap();
+            if let Err(panic) = result {
+                std::panic::resume_unwind(panic);
+            }
+        });
+        injector.set_armed(false);
+
+        // Quiesced and disarmed, the drain must reach *zero* residual bytes
+        // (faulted relocations are retried by later pumps).
+        for _ in 0..100 {
+            if cache.pool().resident_object_bytes(1) == 0 {
+                break;
+            }
+            cache.pump_migration();
+        }
+        assert_eq!(
+            cache.pool().resident_object_bytes(1),
+            0,
+            "seed {seed}: drained node did not empty under faults"
+        );
+        assert!(cache.migration().is_idle(), "seed {seed}: migration plan wedged");
+        assert_no_orphans(&cache, &format!("seed {seed}"));
+
+        // Post-drain sweep: survivors still linearize.
+        let mut client = cache.client();
+        for (k, key) in keys.iter().enumerate() {
+            let floor = states[k].completed.load(Ordering::SeqCst);
+            if let Some(bytes) = client.get(key) {
+                let v = decode_version(k as u64, &bytes);
+                assert!(v >= floor, "seed {seed}: key {k} stale read {v} < {floor}");
+            }
+        }
+    }
+}
+
+/// Tentpole: every enumerated crash point leaves debris that
+/// `recover_crashed_client` fully reclaims — journal replayed, gauge
+/// reconciled to the forensic scan, recovery idempotent.
+#[test]
+fn chaos_crash_points_recover_cleanly() {
+    let seeds = env_u64("DITTO_CHAOS_SEEDS", 1);
+    let keys = make_keys();
+    let points = [
+        CrashPoint::AfterAlloc,
+        CrashPoint::AfterObjectWrite,
+        CrashPoint::AfterPublish,
+    ];
+    for round in 0..seeds {
+        for point in points {
+            let seed = 0xDEAD_0000 + round;
+            // Generous capacity: the crash anatomy is the subject here, not
+            // eviction pressure.
+            let cache = DittoCache::with_dedicated_pool(
+                DittoConfig::with_capacity(KEYS as u64 * 4)
+                    .with_crash_recovery_journal(true),
+                DmConfig::default().with_fault_plan(chaos_plan(seed)),
+            )
+            .unwrap();
+            let injector = cache.pool().fault_injector();
+            injector.set_armed(false);
+            let states = make_states();
+            preload(&cache, &keys, &states);
+
+            // The victim does some ordinary traffic (armed — transient
+            // faults and the crash compose), then dies mid-`set` of an
+            // *existing* key so every crash point has a displaced old
+            // value in play.
+            let mut victim = cache.client();
+            let victim_id = victim.dm().client_id();
+            injector.set_armed(true);
+            for (k, key) in keys.iter().enumerate().take(8) {
+                let v = states[k].issued.fetch_add(1, Ordering::SeqCst) + 1;
+                victim.set(key, &encode_value(k as u64, v));
+                states[k].completed.fetch_max(v, Ordering::SeqCst);
+            }
+            victim.arm_set_crash(point);
+            let crash_key = 13usize;
+            let v = states[crash_key].issued.fetch_add(1, Ordering::SeqCst) + 1;
+            victim.set(&keys[crash_key], &encode_value(crash_key as u64, v));
+            assert!(victim.crashed(), "{point:?}: armed crash did not fire");
+            injector.set_armed(false);
+            drop(victim);
+
+            // Recovery from a survivor: replay the journal, reconcile the
+            // gauge, sweep the orphaned segment space.
+            let mut rescuer = cache.client();
+            let report = rescuer.recover_crashed_client(victim_id);
+            assert_eq!(
+                report.journal_entries_replayed, 1,
+                "{point:?}: journal entry not replayed"
+            );
+            assert!(
+                report.recovered_bytes > 0,
+                "{point:?}: no orphaned allocation was charged back"
+            );
+            assert!(
+                report.swept_bytes >= report.recovered_bytes,
+                "{point:?}: sweep missed the journalled orphan \
+                 (swept {}, recovered {})",
+                report.swept_bytes,
+                report.recovered_bytes
+            );
+            assert!(report.leaked_bytes() > 0, "{point:?}: nothing was leaked?");
+            let faults = cache.pool().stats().faults();
+            assert_eq!(faults.recovered_objects, 1, "{point:?}: recovery stat missing");
+
+            // Zero orphans: the gauge agrees with the forensic scan again.
+            assert_no_orphans(&cache, &format!("{point:?}"));
+
+            // The crashed Set never returned to its caller, so either the
+            // old or the new version is linearizable — but the value must
+            // decode cleanly and a fresh Set must land.
+            let mut client = cache.client();
+            if let Some(bytes) = client.get(&keys[crash_key]) {
+                let got = decode_version(crash_key as u64, &bytes);
+                assert!(got == v || got == v - 1, "{point:?}: impossible version {got}");
+                if point == CrashPoint::AfterPublish {
+                    assert_eq!(got, v, "{point:?}: published value must survive");
+                }
+            }
+            let v2 = states[crash_key].issued.fetch_add(1, Ordering::SeqCst) + 1;
+            client.set(&keys[crash_key], &encode_value(crash_key as u64, v2));
+            let bytes = client.get(&keys[crash_key]).expect("key wedged after recovery");
+            assert_eq!(decode_version(crash_key as u64, &bytes), v2);
+
+            // Idempotency: a second recovery pass finds nothing left.  The
+            // fresh Set above displaced (and locally parked) a range that
+            // may alias a dead-owned segment, so — per the recovery
+            // contract — the survivor returns its hoard first.
+            let _ = client.release_parked_memory();
+            let again = rescuer.recover_crashed_client(victim_id);
+            assert_eq!(again.journal_entries_replayed, 0, "{point:?}: replay not idempotent");
+            assert_eq!(again.recovered_bytes, 0, "{point:?}: double gauge debit");
+            assert_eq!(again.swept_bytes, 0, "{point:?}: double sweep");
+            assert_no_orphans(&cache, &format!("{point:?} (second pass)"));
+        }
+    }
+}
+
+/// Tentpole: a client that dies holding a stripe-lock lease wedges the
+/// migration pump only until recovery steals the lease back (bumping the
+/// fencing epoch); a resurrected owner's release is then fenced off.
+#[test]
+fn chaos_dead_lock_holder_is_reclaimed_and_fenced() {
+    let keys = make_keys();
+    let cache = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(2_000).with_crash_recovery_journal(true),
+        DmConfig::default().with_memory_nodes(2),
+    )
+    .unwrap();
+    let states = make_states();
+    preload(&cache, &keys, &states);
+
+    // The victim takes the migration lock of a stripe that lives on the
+    // to-be-drained node, then "dies".
+    let victim = cache.client();
+    let victim_id = victim.dm().client_id();
+    let dir = cache.migration().directory().clone();
+    let wedged_stripe = (0..dir.num_stripes() as u64)
+        .find(|&s| dir.current_node(s) == 1)
+        .expect("some stripe must live on node 1");
+    let lock = cache.migration().stripe_lock(wedged_stripe);
+    let acq = lock.acquire(victim.dm());
+    assert!(acq.is_acquired(), "victim must hold the stripe lock");
+
+    // A drain now wedges on that stripe: the pump cannot take the lock.
+    cache.pool().drain_node(1).unwrap();
+    let progress = cache.pump_migration();
+    assert!(
+        progress.jobs_remaining > 0,
+        "stripe {wedged_stripe} should be wedged behind the dead client's lease"
+    );
+
+    // Recovery steals the lease without waiting it out...
+    let mut rescuer = cache.client();
+    let report = rescuer.recover_crashed_client(victim_id);
+    assert_eq!(report.locks_reclaimed, 1, "exactly stripe 0's lock is reclaimed");
+    assert_eq!(cache.pool().stats().faults().locks_reclaimed, 1);
+
+    // ...unwedging the drain to completion.
+    for _ in 0..100 {
+        if cache.pool().resident_object_bytes(1) == 0 {
+            break;
+        }
+        cache.pump_migration();
+    }
+    assert_eq!(cache.pool().resident_object_bytes(1), 0, "drain still wedged");
+    assert!(cache.migration().is_idle());
+
+    // The resurrected owner's release must bounce off the bumped epoch.
+    assert_eq!(
+        lock.release(victim.dm(), &acq),
+        ReleaseOutcome::Fenced,
+        "a reclaimed lease must fence the old owner"
+    );
+    assert_no_orphans(&cache, "lock reclaim");
+}
+
+/// Tentpole: node fail-stop degrades a striped pool instead of killing it —
+/// keys whose buckets live on survivors keep full service, new objects
+/// avoid the dead node, and the faults are attributed to it.
+#[test]
+fn chaos_node_fail_stop_degrades_to_survivors() {
+    let keys = make_keys();
+    // Node 1 is dead from simulated time zero: the adversarial extreme of
+    // the fail-stop class (every clock starts at the baseline).
+    let cache = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(2_000),
+        DmConfig::default()
+            .with_memory_nodes(2)
+            .with_fault_plan(FaultPlan::seeded(7).with_node_fail_stop(1, 0)),
+    )
+    .unwrap();
+    let mut client = cache.client();
+    assert!(client.dm().node_failed(1), "membership oracle must see the dead node");
+
+    // Every key gets a Set and a Get.  Keys with a bucket on the dead node
+    // degrade (dropped Set, missing Get) — but never panic, never wedge.
+    let mut served = 0usize;
+    for (k, key) in keys.iter().enumerate() {
+        client.set(key, &encode_value(k as u64, 1));
+        if let Some(bytes) = client.get(key) {
+            assert_eq!(decode_version(k as u64, &bytes), 1);
+            served += 1;
+        }
+    }
+    assert!(
+        served > 0,
+        "keys with both buckets on the surviving node must keep full service"
+    );
+    assert!(served < KEYS, "some keys must have degraded (dead-node buckets)");
+
+    // New objects landed on the survivor only, and the dead node took the
+    // fault attribution.
+    let stats = cache.pool().stats();
+    assert!(stats.verb_faults_on(1) > 0, "faults must be attributed to the dead node");
+    assert_eq!(stats.verb_faults_on(0), 0, "the survivor saw no faults");
+    assert!(cache.pool().resident_object_bytes(0) > 0);
+    assert_no_orphans(&cache, "fail-stop");
+}
