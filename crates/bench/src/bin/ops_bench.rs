@@ -60,10 +60,23 @@ struct ModeReport {
 }
 
 fn run_mode(batching: bool, async_completion: bool, spec: &YcsbSpec, capacity: u64) -> ModeReport {
+    run_mode_recorded(batching, async_completion, spec, capacity, 0).0
+}
+
+/// `run_mode` with an optional armed flight recorder (`recorder_spans > 0`);
+/// returns the report plus the recorder's span tally for the armed row.
+fn run_mode_recorded(
+    batching: bool,
+    async_completion: bool,
+    spec: &YcsbSpec,
+    capacity: u64,
+    recorder_spans: usize,
+) -> (ModeReport, u64) {
     let config = DittoConfig::with_capacity(capacity)
         .with_doorbell_batching(batching)
         .with_async_completion(async_completion);
-    let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+    let dm = DmConfig::default().with_flight_recorder(recorder_spans);
+    let cache = DittoCache::with_dedicated_pool(config, dm).unwrap();
     let mut client = cache.client();
 
     // Load phase: pre-populate every record (not measured).
@@ -96,19 +109,22 @@ fn run_mode(batching: bool, async_completion: bool, spec: &YcsbSpec, capacity: u
     let cache_snap = cache.stats().snapshot();
     let ops = stats.ops();
     let sim_seconds = (client.dm().now_ns() - baseline_ns) as f64 / 1e9;
-    ModeReport {
+    let quantiles = stats.latency().quantiles(&[0.5, 0.99]);
+    let spans_recorded = stats.obs().spans_recorded;
+    let report = ModeReport {
         ops,
         sim_seconds,
         ops_per_sec: ops as f64 / sim_seconds,
         verbs_per_op: snap.messages as f64 / ops as f64,
         doorbells_per_op: stats.doorbells() as f64 / ops as f64,
         mean_batch_size: stats.mean_batch_size(),
-        p50_us: stats.latency().median_ns() as f64 / 1_000.0,
-        p99_us: stats.latency().p99_ns() as f64 / 1_000.0,
+        p50_us: quantiles[0] as f64 / 1_000.0,
+        p99_us: quantiles[1] as f64 / 1_000.0,
         hits: cache_snap.hits,
         misses: cache_snap.misses,
         evictions: cache_snap.evictions + cache_snap.bucket_evictions,
-    }
+    };
+    (report, spans_recorded)
 }
 
 #[derive(Debug, Clone)]
@@ -568,8 +584,77 @@ fn mode_json(report: &ModeReport) -> String {
     )
 }
 
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git (or the repository) is unavailable — stamps `BENCH_ops.json`
+/// so archived results are attributable to a commit.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// FNV-1a over the benchmark-relevant configuration, so two result files
+/// are comparable exactly when their fingerprints match.
+fn config_fingerprint(spec: &YcsbSpec, capacity: u64) -> u64 {
+    let text = format!("{spec:?}|capacity={capacity}|sweep_rate={SWEEP_MESSAGE_RATE}");
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Runs a short seeded pipelined window with the flight recorder armed and
+/// writes the spans + event log as a Chrome-tracing JSON document to
+/// `path` (open it in `chrome://tracing` or Perfetto).
+fn write_trace(path: &str) {
+    let spec = YcsbSpec {
+        record_count: 2_000,
+        request_count: 5_000,
+        ..YcsbSpec::default()
+    }
+    .with_seed(42);
+    let capacity = spec.record_count * 7 / 10;
+    let dm = DmConfig::default().with_flight_recorder(1 << 17);
+    let cache = DittoCache::with_dedicated_pool(DittoConfig::with_capacity(capacity), dm).unwrap();
+    let mut client = cache.client();
+    let mut value = vec![0u8; spec.value_size as usize];
+    for key in 0..spec.record_count {
+        value.fill(key as u8);
+        client.set(&key.to_le_bytes(), &value);
+    }
+    // Trace only the measured window: drop the load phase's spans.
+    client.dm().clear_flight_recorder();
+    let mut value_buf = Vec::with_capacity(spec.value_size as usize);
+    for request in spec.run_requests(YcsbWorkload::C) {
+        let key = request.key_bytes();
+        if !client.get_into(&key, &mut value_buf) {
+            value.fill(request.key as u8);
+            client.set(&key, &value);
+        }
+    }
+    client.flush();
+    let spans = client.dm().flight_spans();
+    let events = cache.pool().events_snapshot();
+    eprintln!(
+        "ops_bench: writing {} spans and {} events to {path}",
+        spans.len(),
+        events.len()
+    );
+    let json = ditto_dm::obs::chrome_trace_json(&[(client.dm().client_id(), spans)], &events);
+    std::fs::write(path, &json).expect("write trace file");
+}
+
 fn main() {
     let mut requests: u64 = 200_000;
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -578,6 +663,9 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--requests needs a number");
+            }
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace needs a file path"));
             }
             other => panic!("unknown argument {other}"),
         }
@@ -613,6 +701,35 @@ fn main() {
     let pipelined_speedup = pipelined.ops_per_sec / batched.ops_per_sec;
     eprintln!("  batched/unbatched speedup:  {speedup:.3}x");
     eprintln!("  pipelined/batched speedup:  {pipelined_speedup:.3}x");
+
+    // Armed flight recorder on the pipelined path: recording reads the
+    // simulated clock but never advances it, so the armed row must stay
+    // within 10% of the disarmed pipelined ops/s (in practice: identical).
+    let (armed, armed_spans) = run_mode_recorded(true, true, &spec, capacity, 1 << 16);
+    let armed_overhead = (pipelined.ops_per_sec - armed.ops_per_sec) / pipelined.ops_per_sec;
+    eprintln!(
+        "  armed:     {:>12.0} ops/s  ({} spans recorded, {:.2}% overhead)",
+        armed.ops_per_sec,
+        armed_spans,
+        armed_overhead * 100.0
+    );
+    assert!(armed_spans > 0, "armed recorder must record spans");
+    assert!(
+        armed.ops_per_sec >= pipelined.ops_per_sec * 0.9,
+        "armed flight recorder costs more than 10% simulated ops/s: \
+         {:.0} armed vs {:.0} disarmed",
+        armed.ops_per_sec,
+        pipelined.ops_per_sec
+    );
+    assert_eq!(
+        (armed.hits, armed.misses, armed.evictions),
+        (pipelined.hits, pipelined.misses, pipelined.evictions),
+        "arming the recorder must not change cache behaviour"
+    );
+
+    if let Some(path) = &trace_path {
+        write_trace(path);
+    }
 
     // Multi-memory-node striping sweep under a message-bound RNIC budget.
     let sweep_spec = YcsbSpec {
@@ -748,6 +865,9 @@ fn main() {
         concat!(
             "{{\n",
             "  \"benchmark\": \"ops\",\n",
+            "  \"schema_version\": 1,\n",
+            "  \"git_describe\": \"{}\",\n",
+            "  \"config_fingerprint\": \"{:016x}\",\n",
             "  \"workload\": \"ycsb-c\",\n",
             "  \"requests\": {},\n",
             "  \"records\": {},\n",
@@ -755,8 +875,11 @@ fn main() {
             "  \"modes\": {{\n",
             "    \"pipelined\": {},\n",
             "    \"batched\": {},\n",
-            "    \"unbatched\": {}\n",
+            "    \"unbatched\": {},\n",
+            "    \"armed_recorder\": {}\n",
             "  }},\n",
+            "  \"armed_recorder_spans\": {},\n",
+            "  \"armed_recorder_overhead_pct\": {:.4},\n",
             "  \"speedup\": {:.4},\n",
             "  \"pipelined_speedup\": {:.4},\n",
             "  \"mn_sweep_message_rate\": {},\n",
@@ -769,12 +892,17 @@ fn main() {
             "  }}\n",
             "}}\n"
         ),
+        git_describe(),
+        config_fingerprint(&spec, capacity),
         requests,
         spec.record_count,
         capacity,
         mode_json(&pipelined),
         mode_json(&batched),
         mode_json(&unbatched),
+        mode_json(&armed),
+        armed_spans,
+        armed_overhead * 100.0,
         speedup,
         pipelined_speedup,
         SWEEP_MESSAGE_RATE,

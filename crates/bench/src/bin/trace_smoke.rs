@@ -1,0 +1,437 @@
+//! Trace-smoke validator for the flight-recorder pipeline.
+//!
+//! Runs a short, seeded, pipelined window with the flight recorder armed,
+//! then gates the whole observability path end to end:
+//!
+//! 1. **In-memory invariants** — zero span drops at this ring size, every
+//!    pool op left at least one span (distinct op ids == the pool's op
+//!    counter), per-phase record order is clock-ordered, and the pipelined
+//!    lookup produced **≥ 2 overlapping `flight` spans on one client**
+//!    (both bucket READs of a lookup share a doorbell, so their flight
+//!    windows must overlap — the signature of the posted-WQE data path).
+//! 2. **Emitted document** — the Chrome-tracing JSON written by
+//!    [`ditto_dm::obs::chrome_trace_json`] re-parses with the hand-rolled
+//!    JSON reader below (no third-party parser in the tree), carries
+//!    exactly one complete event per span and one instant per log event,
+//!    and keeps per-client `flight` spans timestamp-ordered.
+//!
+//! ```text
+//! cargo run --release -p ditto-bench --bin trace_smoke
+//! cargo run --release -p ditto-bench --bin trace_smoke -- TRACE.json …
+//! ```
+//!
+//! With file arguments, each named trace (e.g. the artifact `ops_bench
+//! --trace` wrote) is additionally parsed and gated on the same
+//! document-level invariants.  Exits non-zero on any violation.
+
+use ditto_core::{DittoCache, DittoConfig};
+use ditto_dm::obs::{chrome_trace_json, Phase, Span};
+use ditto_dm::DmConfig;
+use ditto_workloads::{YcsbSpec, YcsbWorkload};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader (validation only — the repo vendors no JSON crate)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value, just rich enough to validate a trace document.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(byte) if byte < 0x80 => {
+                    out.push(byte as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole sequence.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let ch = rest.chars().next().ok_or("empty char")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("bad array separator {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("bad object separator {other:?}")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Document-level gates (shared by the self-run and file arguments)
+// ---------------------------------------------------------------------
+
+/// Parses `text` as a Chrome trace and gates the document invariants.
+/// Returns (complete events, instant events, overlapping-flight-pair
+/// count) for the caller's own assertions.
+fn validate_trace_document(label: &str, text: &str) -> (usize, usize, usize) {
+    let doc = Parser::parse(text)
+        .unwrap_or_else(|e| panic!("{label}: emitted trace is not valid JSON: {e}"));
+    let events = doc
+        .get("traceEvents")
+        .unwrap_or_else(|| panic!("{label}: missing traceEvents"));
+    let Json::Arr(entries) = events else {
+        panic!("{label}: traceEvents is not an array");
+    };
+    let mut complete = 0usize;
+    let mut instants = 0usize;
+    // Per-tid flight spans as (ts, ts+dur), in document order.
+    let mut flights: BTreeMap<i64, Vec<(f64, f64)>> = BTreeMap::new();
+    for entry in entries {
+        let ph = entry.get("ph").and_then(Json::as_str).unwrap_or_else(|| {
+            panic!("{label}: trace entry without ph: {entry:?}");
+        });
+        let tid = entry.get("tid").and_then(Json::as_f64).unwrap_or_else(|| {
+            panic!("{label}: trace entry without tid");
+        }) as i64;
+        match ph {
+            "X" => {
+                complete += 1;
+                let ts = entry.get("ts").and_then(Json::as_f64).expect("ts");
+                let dur = entry.get("dur").and_then(Json::as_f64).expect("dur");
+                assert!(dur >= 0.0, "{label}: negative span duration");
+                let name = entry.get("name").and_then(Json::as_str).expect("name");
+                if name == "flight" {
+                    flights.entry(tid).or_default().push((ts, ts + dur));
+                }
+            }
+            "i" => instants += 1,
+            other => panic!("{label}: unexpected phase {other:?}"),
+        }
+    }
+    let mut overlapping_pairs = 0usize;
+    for (tid, spans) in &flights {
+        for pair in spans.windows(2) {
+            // Flight spans of one client are recorded in ring order, so
+            // their start timestamps must never regress…
+            assert!(
+                pair[1].0 >= pair[0].0,
+                "{label}: client {tid} flight spans out of order: {pair:?}"
+            );
+            // …and two spans posted behind one doorbell share their start,
+            // making them overlap (strictly, when both have width).
+            if pair[0].0 < pair[1].1 && pair[1].0 < pair[0].1 {
+                overlapping_pairs += 1;
+            }
+        }
+    }
+    (complete, instants, overlapping_pairs)
+}
+
+// ---------------------------------------------------------------------
+// Seeded pipelined run
+// ---------------------------------------------------------------------
+
+fn main() {
+    let spec = YcsbSpec {
+        record_count: 2_000,
+        request_count: 5_000,
+        ..YcsbSpec::default()
+    }
+    .with_seed(42);
+    let capacity = spec.record_count * 7 / 10;
+    let dm = DmConfig::default().with_flight_recorder(1 << 18);
+    let cache =
+        DittoCache::with_dedicated_pool(DittoConfig::with_capacity(capacity), dm).unwrap();
+    let mut client = cache.client();
+
+    let mut value = vec![0u8; spec.value_size as usize];
+    for key in 0..spec.record_count {
+        value.fill(key as u8);
+        client.set(&key.to_le_bytes(), &value);
+    }
+    client.dm().publish_clock();
+    cache.pool().reset_stats();
+    client.dm().clear_flight_recorder();
+    let obs_before = cache.pool().stats().obs();
+
+    let mut value_buf = Vec::with_capacity(spec.value_size as usize);
+    for request in spec.run_requests(YcsbWorkload::C) {
+        let key = request.key_bytes();
+        if !client.get_into(&key, &mut value_buf) {
+            value.fill(request.key as u8);
+            client.set(&key, &value);
+        }
+    }
+    client.flush();
+
+    let ops = cache.pool().stats().ops();
+    let obs = cache.pool().stats().obs().delta(&obs_before);
+    let spans: Vec<Span> = client.dm().flight_spans();
+    let events = cache.pool().events_snapshot();
+    eprintln!(
+        "trace_smoke: {ops} ops, {} spans ({} dropped), {} events",
+        spans.len(),
+        obs.spans_dropped,
+        events.len()
+    );
+
+    // Gate 1: the ring was sized for the window — nothing dropped, and the
+    // recorder view is complete.
+    assert_eq!(obs.spans_dropped, 0, "ring too small for the smoke window");
+    assert_eq!(spans.len() as u64, obs.spans_recorded, "recorder/stats span tally diverged");
+
+    // Gate 2: every pool op left at least one span, and no spans invented
+    // ops — distinct op ids must match the pool's op counter exactly.
+    let mut op_ids: Vec<u64> = spans.iter().map(|s| s.op_id).collect();
+    op_ids.sort_unstable();
+    op_ids.dedup();
+    assert_eq!(
+        op_ids.len() as u64, ops,
+        "distinct op ids in the flight recorder must equal the pool's op count"
+    );
+
+    // Gate 3: record order within each phase follows the simulated clock.
+    let mut last_start: BTreeMap<Phase, u64> = BTreeMap::new();
+    for span in &spans {
+        let last = last_start.entry(span.phase).or_insert(0);
+        assert!(
+            span.start_ns >= *last,
+            "{:?} span start regressed: {} after {}",
+            span.phase,
+            span.start_ns,
+            last
+        );
+        *last = span.start_ns;
+        assert!(span.end_ns >= span.start_ns, "span ends before it starts");
+    }
+
+    // Gate 4: the pipelined data path visibly overlapped verbs — at least
+    // two flight spans of this client share wire time.
+    let flight: Vec<&Span> = spans.iter().filter(|s| s.phase == Phase::Flight).collect();
+    let overlapping = flight
+        .windows(2)
+        .filter(|pair| pair[0].overlaps(pair[1]))
+        .count();
+    assert!(
+        overlapping >= 1,
+        "pipelined lookups must produce >=2 overlapping flight spans on one client \
+         ({} flight spans, none overlapping)",
+        flight.len()
+    );
+
+    // Gate 5: the emitted Chrome document re-parses and preserves counts.
+    let json = chrome_trace_json(&[(client.dm().client_id(), spans.clone())], &events);
+    let (complete, instants, file_overlaps) = validate_trace_document("self-run", &json);
+    assert_eq!(complete, spans.len(), "one complete event per span");
+    assert_eq!(instants, events.len(), "one instant per log event");
+    assert!(
+        file_overlaps >= 1,
+        "the emitted document must preserve the overlapping flight spans"
+    );
+    let out = std::env::temp_dir().join("ditto_trace_smoke.json");
+    std::fs::write(&out, &json).expect("write smoke trace");
+    eprintln!(
+        "trace_smoke: OK — {complete} spans, {instants} events, {file_overlaps} overlapping \
+         flight pairs ({})",
+        out.display()
+    );
+
+    // File arguments: validate existing trace artifacts the same way.
+    for path in std::env::args().skip(1) {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let (complete, instants, overlaps) = validate_trace_document(&path, &text);
+        assert!(complete > 0, "{path}: trace holds no spans");
+        assert!(
+            overlaps >= 1,
+            "{path}: expected >=2 overlapping flight spans on one client"
+        );
+        eprintln!(
+            "trace_smoke: {path} OK — {complete} spans, {instants} events, {overlaps} \
+             overlapping flight pairs"
+        );
+    }
+}

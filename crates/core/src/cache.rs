@@ -202,6 +202,75 @@ impl DittoCache {
         total
     }
 
+    /// Renders the whole deployment's counters as one Prometheus-style
+    /// text page: the pool's metric groups
+    /// ([`ditto_dm::obs::text_exposition`]) followed by the cache-level
+    /// `ditto_cache_*` series (hits, misses, sets, evictions, expert
+    /// victories).  One scrape endpoint for the whole stack.
+    pub fn text_exposition(&self) -> String {
+        let mut out = ditto_dm::obs::text_exposition(self.pool.stats());
+        let snap = self.stats.snapshot();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter("ditto_cache_hits_total", "Get operations served from the cache.", snap.hits);
+        counter("ditto_cache_misses_total", "Get operations that missed.", snap.misses);
+        counter("ditto_cache_sets_total", "Set operations accepted.", snap.sets);
+        counter(
+            "ditto_cache_evictions_total",
+            "Objects evicted by the sampling eviction path.",
+            snap.evictions,
+        );
+        counter(
+            "ditto_cache_bucket_evictions_total",
+            "Evictions forced by a full bucket rather than memory pressure.",
+            snap.bucket_evictions,
+        );
+        counter(
+            "ditto_cache_history_inserts_total",
+            "Evicted entries remembered in the lightweight history.",
+            snap.history_inserts,
+        );
+        counter(
+            "ditto_cache_regrets_total",
+            "Ghost hits on evicted entries (the adaptive regret signal).",
+            snap.regrets,
+        );
+        counter(
+            "ditto_cache_weight_syncs_total",
+            "Client-to-controller expert-weight synchronisations.",
+            snap.weight_syncs,
+        );
+        counter(
+            "ditto_cache_fc_flushes_total",
+            "Frequency-counter cache flushes.",
+            snap.fc_flushes,
+        );
+        out.push_str(concat!(
+            "# HELP ditto_cache_hit_rate Hit fraction over the snapshot interval.\n",
+            "# TYPE ditto_cache_hit_rate gauge\n",
+        ));
+        out.push_str(&format!("ditto_cache_hit_rate {}\n", snap.hit_rate()));
+        out.push_str(concat!(
+            "# HELP ditto_cache_expert_victories_total Per-expert wins of the regret vote.\n",
+            "# TYPE ditto_cache_expert_victories_total counter\n",
+        ));
+        for (idx, (name, wins)) in self
+            .config
+            .experts
+            .iter()
+            .zip(snap.expert_victories.iter())
+            .enumerate()
+        {
+            out.push_str(&format!(
+                "ditto_cache_expert_victories_total{{expert=\"{name}\",index=\"{idx}\"}} {wins}\n"
+            ));
+        }
+        out
+    }
+
     pub(crate) fn table(&self) -> SampleFriendlyHashTable {
         self.table.clone()
     }
@@ -291,6 +360,26 @@ mod tests {
         let config = DittoConfig::with_capacity(100).with_experts(vec!["lru", "gdsf"]);
         let cache = DittoCache::with_dedicated_pool(config, DmConfig::small()).unwrap();
         assert!(cache.uses_extension());
+    }
+
+    #[test]
+    fn text_exposition_spans_pool_and_cache_metrics() {
+        let cache = DittoCache::with_capacity(1_000).unwrap();
+        let mut client = cache.client();
+        client.set(b"k", b"v");
+        assert!(client.get(b"k").is_some());
+        let page = cache.text_exposition();
+        // Pool-level groups from the dm crate…
+        assert!(page.contains("ditto_ops_total"));
+        assert!(page.contains("ditto_node_messages_total"));
+        // …and the cache-level series, in the same page.
+        assert!(page.contains("ditto_cache_hits_total 1"));
+        assert!(page.contains("ditto_cache_sets_total 1"));
+        assert!(page.contains("ditto_cache_expert_victories_total{expert=\"lru\""));
+        // Every HELP line has a TYPE line.
+        let helps = page.matches("# HELP ").count();
+        let types = page.matches("# TYPE ").count();
+        assert_eq!(helps, types);
     }
 
     #[test]

@@ -76,8 +76,8 @@ use ditto_dm::migration::WriteDisposition;
 use ditto_dm::rpc::{ALLOC_SERVICE, WEIGHT_SERVICE};
 use crate::recovery::{CrashPoint, RecoveryReport};
 use ditto_dm::{
-    DmClient, DmError, DmResult, MigrationEngine, MigrationState, PoolTopology, RemoteAddr,
-    StripedAllocator, RECONCILE_POISON,
+    DmClient, DmError, DmResult, EventKind, MigrationEngine, MigrationState, Phase, PoolTopology,
+    RecoveryPhase, RemoteAddr, StripedAllocator, RECONCILE_POISON,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -575,8 +575,10 @@ impl DittoClient {
     /// Charged identically in both completion modes; on the pipelined path
     /// it overlaps in-flight transfers.
     fn charge_decode(&self, slots: usize) {
+        let t0 = self.dm.now_ns();
         self.dm
             .advance_ns(slots as u64 * self.config.cpu_decode_slot_ns);
+        self.dm.record_span(Phase::Decode, t0, self.dm.now_ns(), slots as u32);
     }
 
     /// Charges the client CPU cost of gathering and scoring `candidates`
@@ -727,9 +729,20 @@ impl DittoClient {
     /// and would otherwise be double-freed by the sweep.  The recovering
     /// client releases its own hoard automatically.
     pub fn recover_crashed_client(&mut self, dead_id: u32) -> RecoveryReport {
+        let recovery_event = |phase: RecoveryPhase, dm: &DmClient| {
+            dm.pool().record_event(
+                dm.now_ns(),
+                dm.client_id(),
+                EventKind::Recovery {
+                    dead_client: dead_id,
+                    phase,
+                },
+            );
+        };
         // 1. Lock leases: fencing CAS steals, no waiting out the lease.
         // (Each successful steal is recorded in the pool's fault counters
         // by `RemoteLock::reclaim` itself.)
+        recovery_event(RecoveryPhase::LockReclaim, &self.dm);
         let mut report = RecoveryReport {
             locks_reclaimed: self.engine.reclaim_stripe_locks(&self.dm, dead_id),
             ..RecoveryReport::default()
@@ -761,6 +774,7 @@ impl DittoClient {
         //    itself is returned by the segment sweep below.  Whichever of
         //    the entry's two allocations the table does not reference is
         //    the orphan still counted as resident.
+        recovery_event(RecoveryPhase::JournalReplay, &self.dm);
         if let Some(slot_addr) = self.journal_addr_of(dead_id) {
             let mut buf = [0u8; 48];
             if with_retry(&self.dm, |dm| dm.try_read_into(slot_addr, &mut buf)).is_ok() {
@@ -835,6 +849,7 @@ impl DittoClient {
         //    references.  Our own parked ranges could alias dead-owned
         //    space (we may have evicted the dead client's objects), so the
         //    local hoard goes back first.
+        recovery_event(RecoveryPhase::GapSweep, &self.dm);
         self.alloc.release_excess(&self.dm, 0);
         for mn in 0..num_nodes {
             let Ok(node) = self.dm.pool().node(mn) else {
@@ -859,6 +874,7 @@ impl DittoClient {
                 }
             }
         }
+        recovery_event(RecoveryPhase::Done, &self.dm);
         report
     }
 
@@ -951,6 +967,11 @@ impl DittoClient {
             let stok = self.table.bucket_entry_token(secondary);
             let primary_addr = self.table.bucket_addr(primary);
             let secondary_addr = self.table.bucket_addr(secondary);
+            // Address translation through the stripe directory is free in
+            // simulated time, so the span is an instant (detail = attempt).
+            let translate_ns = self.dm.now_ns();
+            self.dm
+                .record_span(Phase::Translate, translate_ns, translate_ns, attempt as u32);
             let short_circuit = self.lookup_short_circuit && write.is_none();
             let mut slots = SearchSlots::new();
             if short_circuit {
@@ -971,6 +992,9 @@ impl DittoClient {
                 }
                 SampleFriendlyHashTable::decode_slots(primary_addr, primary_buf, &mut slots);
                 self.dm.advance_ns(decode_ns);
+                let t1 = self.dm.now_ns();
+                self.dm
+                    .record_span(Phase::Decode, t1 - decode_ns, t1, SLOTS_PER_BUCKET as u32);
                 if let Some(found) = Self::find_live(&slots, hash, fp) {
                     if self.table.bucket_entry_token(primary) == ptok || last {
                         return Ok((slots, Some(found)));
@@ -991,6 +1015,9 @@ impl DittoClient {
                 }
                 SampleFriendlyHashTable::decode_slots(secondary_addr, secondary_buf, &mut slots);
                 self.dm.advance_ns(decode_ns);
+                let t1 = self.dm.now_ns();
+                self.dm
+                    .record_span(Phase::Decode, t1 - decode_ns, t1, SLOTS_PER_BUCKET as u32);
             } else if self.use_async() {
                 // Pipelined lookup: post the object WRITE (if any)
                 // *unsignalled* — `Set` never waits for it — and both bucket
@@ -1564,21 +1591,34 @@ impl DittoClient {
                     return Ok(());
                 }
             }
+            // Each publish attempt — whichever of the three CAS shapes it
+            // takes — is one `Publish` span (detail = 1 on the attempt that
+            // installed the pointer).
+            let publish_start = self.dm.now_ns();
             if let Some((slot_addr, slot)) = existing {
-                if self.replace_existing(slot_addr, &slot, new_atomic) {
+                let won = self.replace_existing(slot_addr, &slot, new_atomic);
+                self.dm
+                    .record_span(Phase::Publish, publish_start, self.dm.now_ns(), won as u32);
+                if won {
                     stored = true;
                     break;
                 }
                 continue;
             }
             if let Some((slot_addr, observed)) = self.choose_insert_slot(&slots) {
-                if self.install_new(slot_addr, &observed, new_atomic, hash) {
+                let won = self.install_new(slot_addr, &observed, new_atomic, hash);
+                self.dm
+                    .record_span(Phase::Publish, publish_start, self.dm.now_ns(), won as u32);
+                if won {
                     stored = true;
                     break;
                 }
                 continue;
             }
-            if self.bucket_evict_and_insert(&slots, new_atomic, hash) {
+            let won = self.bucket_evict_and_insert(&slots, new_atomic, hash);
+            self.dm
+                .record_span(Phase::Publish, publish_start, self.dm.now_ns(), won as u32);
+            if won {
                 stored = true;
                 break;
             }
@@ -2068,6 +2108,14 @@ impl DittoClient {
     /// Falls back to the plain priority choice when the sample holds no
     /// big-enough victim, so memory still gets freed for other clients.
     fn evict_once_for(&mut self, min_blocks: u8) -> bool {
+        let t0 = self.dm.now_ns();
+        let won = self.evict_once_for_inner(min_blocks);
+        self.dm
+            .record_span(Phase::Evict, t0, self.dm.now_ns(), won as u32);
+        won
+    }
+
+    fn evict_once_for_inner(&mut self, min_blocks: u8) -> bool {
         let mut candidates = Candidates::new();
         for attempt in 0..8 {
             self.read_eviction_sample(&mut candidates);
@@ -2311,6 +2359,20 @@ impl DittoClient {
     /// the bytes, swings the slot pointer with the migration-aware CAS and
     /// releases the old blocks.
     fn relocate_object_bytes(
+        &mut self,
+        slot_addr: RemoteAddr,
+        slot: &Slot,
+        bytes: &[u8],
+        preferred: u16,
+    ) -> bool {
+        let t0 = self.dm.now_ns();
+        let moved = self.relocate_object_bytes_inner(slot_addr, slot, bytes, preferred);
+        self.dm
+            .record_span(Phase::Relocate, t0, self.dm.now_ns(), moved as u32);
+        moved
+    }
+
+    fn relocate_object_bytes_inner(
         &mut self,
         slot_addr: RemoteAddr,
         slot: &Slot,

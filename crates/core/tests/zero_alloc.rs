@@ -95,4 +95,43 @@ fn steady_state_get_and_set_do_not_allocate() {
         "steady-state Get/Set must not allocate (counted {allocations} allocations \
          over 4000 operations)"
     );
+
+    // Armed-recorder phase: with the flight recorder recording every op and
+    // the event log live, the steady state must stay allocation-free — the
+    // span ring is pre-allocated at client construction and events are
+    // plain-Copy records in a pre-allocated ring.
+    let armed_cache = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(600),
+        DmConfig::default().with_flight_recorder(1 << 14),
+    )
+    .unwrap();
+    let mut armed_client = armed_cache.client();
+    for round in 0..2u64 {
+        for i in 0..1_000u64 {
+            armed_client.set(&key(i), &[round as u8; 200]);
+        }
+        for i in 0..1_000u64 {
+            let _ = armed_client.get_into(&key(i), &mut value_buf);
+        }
+    }
+    let armed_allocations = count_allocations(|| {
+        for round in 2..4u64 {
+            for i in 0..1_000u64 {
+                armed_client.set(&key(i), &[round as u8; 200]);
+            }
+            for i in 0..1_000u64 {
+                let _ = armed_client.get_into(&key(i), &mut value_buf);
+            }
+        }
+    });
+    let obs = armed_cache.pool().stats().obs();
+    assert!(
+        obs.spans_recorded > 0,
+        "armed phase should record spans: {obs:?}"
+    );
+    assert_eq!(
+        armed_allocations, 0,
+        "armed flight recording must not allocate in steady state \
+         (counted {armed_allocations} allocations over 4000 operations)"
+    );
 }

@@ -7,6 +7,7 @@ use crate::cq::{Completion, CompletionQueue};
 use crate::error::{DmError, DmResult};
 use crate::fault::VerbFate;
 use crate::memnode::MemoryNode;
+use crate::obs::{EventKind, FlightRecorder, Phase, Span};
 use crate::pool::MemoryPool;
 use crate::stats::VerbKind;
 use crate::wqe::WorkQueue;
@@ -38,6 +39,15 @@ pub struct DmClient {
     /// Monotone per-client verb counter feeding the fault injector's
     /// deterministic draws (see [`crate::FaultInjector::fate`]).
     fault_seq: Cell<u64>,
+    /// Monotone op sequence number: spans recorded while an op runs carry
+    /// it as their [`Span::op_id`] (bumped by [`DmClient::begin_op`]).
+    op_seq: Cell<u64>,
+    /// The flight recorder, armed iff
+    /// [`DmConfig::flight_recorder_spans`] > 0.  Disarmed, every
+    /// [`DmClient::record_span`] call is a single discriminant check, and
+    /// recording never advances the simulated clock either way — an armed
+    /// run replays the exact simulated timeline of a disarmed one.
+    recorder: Option<RefCell<FlightRecorder>>,
 }
 
 struct NodeCache {
@@ -86,6 +96,9 @@ impl DmClient {
         // simulated time, not at zero.
         let start = pool.stats().clock_baseline_ns();
         let nodes = NodeCache::snapshot(&pool, pool.resize_epoch());
+        let recorder_spans = pool.config().flight_recorder_spans;
+        let recorder =
+            (recorder_spans > 0).then(|| RefCell::new(FlightRecorder::new(recorder_spans)));
         DmClient {
             pool,
             client_id,
@@ -95,6 +108,8 @@ impl DmClient {
             cq: RefCell::new(CompletionQueue::new()),
             next_wr_id: Cell::new(0),
             fault_seq: Cell::new(0),
+            op_seq: Cell::new(0),
+            recorder,
         }
     }
 
@@ -127,6 +142,55 @@ impl DmClient {
     /// Advances the simulated clock by `us` microseconds.
     pub fn sleep_us(&self, us: u64) {
         self.advance_ns(us * 1_000);
+    }
+
+    /// Whether this client's flight recorder is armed (see
+    /// [`DmConfig::flight_recorder_spans`]).  Callers that would do extra
+    /// work *preparing* a span can guard on this; [`DmClient::record_span`]
+    /// itself is free to call disarmed.
+    pub fn recorder_armed(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The op sequence number spans are currently attributed to (bumped by
+    /// [`DmClient::begin_op`]; 0 before the first op).
+    pub fn op_id(&self) -> u64 {
+        self.op_seq.get()
+    }
+
+    /// Records a phase-stamped span of simulated time into the flight
+    /// recorder.  A no-op (one `Option` discriminant check) when the
+    /// recorder is disarmed; never advances the simulated clock, so armed
+    /// and disarmed runs share one timeline.
+    pub fn record_span(&self, phase: Phase, start_ns: u64, end_ns: u64, detail: u32) {
+        let Some(recorder) = &self.recorder else {
+            return;
+        };
+        let (dropped, wrapped) = recorder.borrow_mut().push(Span {
+            op_id: self.op_seq.get(),
+            phase,
+            start_ns,
+            end_ns,
+            detail,
+        });
+        self.pool.stats().record_span(dropped, wrapped);
+    }
+
+    /// The retained flight-recorder spans, oldest first (empty when
+    /// disarmed).
+    pub fn flight_spans(&self) -> Vec<Span> {
+        self.recorder
+            .as_ref()
+            .map(|r| r.borrow().spans_in_order())
+            .unwrap_or_default()
+    }
+
+    /// Clears the flight recorder (e.g. between warm-up and a measured
+    /// trace window).  A no-op when disarmed.
+    pub fn clear_flight_recorder(&self) {
+        if let Some(recorder) = &self.recorder {
+            recorder.borrow_mut().clear();
+        }
     }
 
     fn charge(&self, addr_mn: u16, kind: VerbKind, bytes: usize, latency_ns: u64) {
@@ -197,6 +261,19 @@ impl DmClient {
             VerbFate::Fail => Some(DmError::VerbFailed { mn_id }),
             VerbFate::Timeout | VerbFate::NodeDead => Some(DmError::VerbTimeout { mn_id }),
         };
+        if let Some(e) = &err {
+            // Injected faults are rare by construction; log each one.  This
+            // is the single choke point both the synchronous verbs and the
+            // WQE ring pass through, so every injected fault is logged once.
+            self.pool.record_event(
+                now,
+                self.client_id,
+                EventKind::VerbFault {
+                    mn_id,
+                    timeout: matches!(e, DmError::VerbTimeout { .. }),
+                },
+            );
+        }
         (factor, err)
     }
 
@@ -284,6 +361,12 @@ impl DmClient {
         let wait = completion.completed_at_ns.saturating_sub(now);
         self.advance_ns(wait + self.pool.config().cq_poll_ns);
         self.pool.stats().record_cq_poll();
+        self.record_span(
+            Phase::Poll,
+            now,
+            self.clock_ns.get(),
+            completion.wr_id as u32,
+        );
         Some(completion)
     }
 
@@ -552,8 +635,10 @@ impl DmClient {
         Ok(outcome.response)
     }
 
-    /// Marks the beginning of an application-level operation.
+    /// Marks the beginning of an application-level operation and advances
+    /// the op sequence number that flight-recorder spans are keyed by.
     pub fn begin_op(&self) {
+        self.op_seq.set(self.op_seq.get() + 1);
         self.op_start_ns.set(self.clock_ns.get());
     }
 

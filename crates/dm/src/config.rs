@@ -71,6 +71,16 @@ pub struct DmConfig {
     /// [`crate::FaultPlan`]).  `None` — the default — injects nothing and
     /// keeps every verb path byte-identical to a fault-free build.
     pub fault: Option<crate::fault::FaultPlan>,
+    /// Capacity of each client's flight recorder in spans; `0` — the
+    /// default — leaves the recorder disarmed (no allocation, and the only
+    /// hot-path cost is an `Option` discriminant check).  Recording never
+    /// advances the simulated clock, so an armed run produces the same
+    /// simulated timeline as a disarmed one (see [`crate::obs`]).
+    pub flight_recorder_spans: usize,
+    /// Capacity of the pool-wide structured event log (see
+    /// [`crate::obs::EventLog`]).  Always on — rare events are cheap —
+    /// overflow overwrites the oldest entry and counts a drop.
+    pub event_log_capacity: usize,
 }
 
 impl Default for DmConfig {
@@ -93,6 +103,8 @@ impl Default for DmConfig {
             async_writes_consume_messages: true,
             placement: PlacementMode::Striped,
             fault: None,
+            flight_recorder_spans: 0,
+            event_log_capacity: 1024,
         }
     }
 }
@@ -159,6 +171,19 @@ impl DmConfig {
     /// Installs a seeded failure model (builder style).
     pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Arms each client's flight recorder with a `spans`-deep ring
+    /// (builder style); `0` disarms it.
+    pub fn with_flight_recorder(mut self, spans: usize) -> Self {
+        self.flight_recorder_spans = spans;
+        self
+    }
+
+    /// Sets the pool-wide event-log capacity (builder style).
+    pub fn with_event_log_capacity(mut self, events: usize) -> Self {
+        self.event_log_capacity = events;
         self
     }
 

@@ -116,6 +116,42 @@ impl LatencyHistogram {
         self.max_ns()
     }
 
+    /// Returns the latencies at each of `ps` (0.0–1.0) in one pass over
+    /// the buckets, in the same order as `ps`.
+    ///
+    /// Agrees with [`LatencyHistogram::percentile_ns`] for every entry but
+    /// walks the 480 buckets once instead of once per quantile, which is
+    /// what the metrics exposition wants when it prints a whole summary
+    /// line.  `ps` need not be sorted.  An empty histogram yields all
+    /// zeros.
+    pub fn quantiles(&self, ps: &[f64]) -> Vec<u64> {
+        let total = self.count();
+        if total == 0 || ps.is_empty() {
+            return vec![0; ps.len()];
+        }
+        // Sort indices by target rank so one cumulative walk serves all.
+        let targets: Vec<u64> = ps
+            .iter()
+            .map(|p| ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64)
+            .collect();
+        let mut order: Vec<usize> = (0..ps.len()).collect();
+        order.sort_by_key(|&i| targets[i]);
+        let mut out = vec![self.max_ns(); ps.len()];
+        let mut seen = 0u64;
+        let mut next = 0usize;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            while next < order.len() && seen >= targets[order[next]] {
+                out[order[next]] = Self::bucket_value(idx);
+                next += 1;
+            }
+            if next == order.len() {
+                break;
+            }
+        }
+        out
+    }
+
     /// Median latency in nanoseconds.
     pub fn median_ns(&self) -> u64 {
         self.percentile_ns(0.5)
@@ -232,6 +268,41 @@ mod tests {
         let h = LatencyHistogram::new();
         h.record(u64::MAX / 4);
         assert!(h.percentile_ns(1.0) > 0);
+    }
+
+    #[test]
+    fn quantiles_match_percentile_ns_at_bucket_boundaries() {
+        let h = LatencyHistogram::new();
+        // Values straddling several log-bucket boundaries, including exact
+        // bucket edges (powers of two) where rounding is most fragile.
+        for v in [1u64, 2, 15, 16, 17, 255, 256, 1 << 12, (1 << 12) + 7, 1 << 20] {
+            h.record(v);
+        }
+        let ps = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];
+        let batch = h.quantiles(&ps);
+        for (p, got) in ps.iter().zip(&batch) {
+            assert_eq!(*got, h.percentile_ns(*p), "quantile diverged at p={p}");
+        }
+    }
+
+    #[test]
+    fn quantiles_accept_unsorted_probes() {
+        let h = LatencyHistogram::new();
+        for i in 1..=1_000u64 {
+            h.record(i);
+        }
+        let out = h.quantiles(&[0.99, 0.5, 0.9]);
+        assert_eq!(out[0], h.percentile_ns(0.99));
+        assert_eq!(out[1], h.percentile_ns(0.5));
+        assert_eq!(out[2], h.percentile_ns(0.9));
+        assert!(out[1] <= out[2] && out[2] <= out[0]);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantiles(&[0.5, 0.99]), vec![0, 0]);
+        assert_eq!(h.quantiles(&[]), Vec::<u64>::new());
     }
 
     #[test]

@@ -180,6 +180,40 @@
 //! [`PoolStats::reset`] — like the contention group, they describe the
 //! deployment's whole life, not a measurement interval.
 //!
+//! # Observability
+//!
+//! The [`obs`] module is a flight recorder for the simulated fabric, built
+//! so that *watching* a run never changes it:
+//!
+//! * **Per-op trace spans** — each [`DmClient`] optionally owns a
+//!   fixed-capacity ring of phase-stamped [`Span`]s
+//!   ([`FlightRecorder`], armed via
+//!   [`DmConfig::with_flight_recorder`]).  The verb layer records
+//!   doorbell posts, per-WQE flight windows, CQ polls and lock
+//!   acquisitions; `ditto_core` adds translate/decode/publish/evict/
+//!   relocate phases on top.  Recording reads the simulated clock but
+//!   never advances it, so an armed run produces the **same simulated
+//!   timeline** as a disarmed one; disarmed (the default) the entire cost
+//!   is one `Option` discriminant check and the ring is never allocated.
+//!   The ring overwrites its oldest span when full and counts the drop —
+//!   steady state allocates nothing.
+//! * **Structured event log** — rare, high-signal transitions (verb
+//!   faults, lock steals and fenced releases, retry-budget exhaustions,
+//!   lease reclaims, migration stripe states, resize-epoch bumps,
+//!   crash-recovery phases) land in one bounded pool-wide [`EventLog`]
+//!   as typed [`EventKind`]s.  Always on; overflow overwrites the oldest
+//!   event and counts a drop in [`PoolStats`].  Test harnesses wrap
+//!   assertions in [`obs::with_event_postmortem`] so a failure dumps the
+//!   event tail into the panic message.
+//! * **Exporters** — [`obs::chrome_trace_json`] renders spans + events as
+//!   a Chrome-tracing / Perfetto JSON document (one `tid` per client);
+//!   [`obs::text_exposition`] renders every counter group
+//!   ([`PoolStats`], contention, faults, migration, obs itself) plus
+//!   latency quantiles as a Prometheus-style text page.
+//!
+//! All recorder/event counters live in the lifetime **obs** group of
+//! [`PoolStats`] ([`ObsSnapshot`]) and survive [`PoolStats::reset`].
+//!
 //! # Examples
 //!
 //! ```
@@ -206,6 +240,7 @@ pub mod histogram;
 pub mod lock;
 pub mod memnode;
 pub mod migration;
+pub mod obs;
 pub mod pool;
 pub mod rpc;
 pub mod stats;
@@ -228,9 +263,13 @@ pub use migration::{
     MigrationEngine, MigrationPlanner, MigrationState, MoveJob, StripeDirectory, WriteDisposition,
     RECONCILE_POISON,
 };
+pub use obs::{
+    Event, EventKind, EventLog, FlightRecorder, Phase, RecoveryPhase, Span, StripeState,
+    POOL_EVENT_CLIENT,
+};
 pub use pool::MemoryPool;
 pub use rpc::{RpcHandler, RpcOutcome};
-pub use stats::{ContentionSnapshot, FaultSnapshot, PoolStats, RunReport};
+pub use stats::{ContentionSnapshot, FaultSnapshot, ObsSnapshot, PoolStats, RunReport};
 pub use topology::{PlacementMode, PoolTopology};
 pub use wqe::WorkQueue;
 

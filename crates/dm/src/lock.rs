@@ -57,6 +57,7 @@
 
 use crate::addr::RemoteAddr;
 use crate::client::DmClient;
+use crate::obs::{EventKind, Phase};
 
 /// Lock bit stored in the most significant bit of the lock word.
 const LOCKED_BIT: u64 = 1 << 63;
@@ -286,6 +287,7 @@ impl RemoteLock {
                             .pool()
                             .stats()
                             .record_lock_exhaustion(acq.retries, acq.backoff_ns);
+                        self.finish_acquire(client, start, &acq);
                         return acq;
                     }
                     backoff_total += self.backoff_ns;
@@ -314,6 +316,7 @@ impl RemoteLock {
                         token: desired,
                     };
                     client.pool().stats().record_lock_acquisition(acq.retries, acq.backoff_ns);
+                    self.finish_acquire(client, start, &acq);
                     return acq;
                 }
             } else if locked && ts <= now {
@@ -336,6 +339,7 @@ impl RemoteLock {
                     };
                     client.pool().stats().record_lock_acquisition(acq.retries, acq.backoff_ns);
                     client.pool().stats().record_lock_steal();
+                    self.finish_acquire(client, start, &acq);
                     return acq;
                 }
             }
@@ -363,6 +367,7 @@ impl RemoteLock {
                         token: 0,
                     };
                     client.pool().stats().record_lock_exhaustion(acq.retries, acq.backoff_ns);
+                    self.finish_acquire(client, start, &acq);
                     return acq;
                 }
             }
@@ -378,6 +383,38 @@ impl RemoteLock {
             };
             backoff_total += wait;
             client.advance_ns(wait);
+        }
+    }
+
+    /// Records the observability footprint of a finished acquisition: one
+    /// [`Phase::Lock`] span covering the whole retry loop (detail = the
+    /// retry count) and a structured event for the rare outcomes (steal,
+    /// exhaustion).  Free when the recorder is disarmed and the outcome is
+    /// a plain `Acquired`.
+    fn finish_acquire(&self, client: &DmClient, start: u64, acq: &LockAcquisition) {
+        client.record_span(Phase::Lock, start, client.now_ns(), acq.retries as u32);
+        match acq.outcome {
+            AcquireOutcome::Acquired { .. } => {}
+            AcquireOutcome::Stolen { previous_owner, .. } => {
+                client.pool().record_event(
+                    client.now_ns(),
+                    client.client_id(),
+                    EventKind::LockSteal {
+                        addr: self.addr,
+                        previous_owner,
+                    },
+                );
+            }
+            AcquireOutcome::Exhausted { holder, .. } => {
+                client.pool().record_event(
+                    client.now_ns(),
+                    client.client_id(),
+                    EventKind::LockExhausted {
+                        addr: self.addr,
+                        holder,
+                    },
+                );
+            }
         }
     }
 
@@ -407,6 +444,11 @@ impl RemoteLock {
                 Ok(_) => {
                     // The epoch moved on (stolen while held): fenced.
                     client.pool().stats().record_fenced_release();
+                    client.pool().record_event(
+                        client.now_ns(),
+                        client.client_id(),
+                        EventKind::FencedRelease { addr: self.addr },
+                    );
                     return ReleaseOutcome::Fenced;
                 }
                 Err(_) if attempt + 1 < 8 => {
@@ -416,6 +458,11 @@ impl RemoteLock {
             }
         }
         client.pool().stats().record_fenced_release();
+        client.pool().record_event(
+            client.now_ns(),
+            client.client_id(),
+            EventKind::FencedRelease { addr: self.addr },
+        );
         ReleaseOutcome::Fenced
     }
 
@@ -442,6 +489,14 @@ impl RemoteLock {
         };
         if old == observed {
             client.pool().stats().record_locks_reclaimed(1);
+            client.pool().record_event(
+                client.now_ns(),
+                client.client_id(),
+                EventKind::LockReclaimed {
+                    addr: self.addr,
+                    dead_owner,
+                },
+            );
             true
         } else {
             false

@@ -66,6 +66,7 @@ use crate::addr::RemoteAddr;
 use crate::client::DmClient;
 use crate::error::{DmError, DmResult};
 use crate::lock::RemoteLock;
+use crate::obs::{EventKind, StripeState};
 use crate::pool::MemoryPool;
 use crate::topology::PoolTopology;
 use parking_lot::Mutex;
@@ -649,6 +650,14 @@ impl MigrationEngine {
             });
         }
         self.dir.begin_move(job.stripe, dst_base);
+        self.pool.record_event(
+            client.now_ns(),
+            client.client_id(),
+            EventKind::Migration {
+                stripe: job.stripe,
+                state: StripeState::Copying,
+            },
+        );
         if let Err(e) = self.copy_stripe(client, src_base, dst_base) {
             // The copy could not complete (e.g. the destination node
             // fail-stopped): unwind — marker cleared, destination range
@@ -664,6 +673,14 @@ impl MigrationEngine {
             return Err(e);
         }
         self.dir.enter_dual_read(job.stripe);
+        self.pool.record_event(
+            client.now_ns(),
+            client.client_id(),
+            EventKind::Migration {
+                stripe: job.stripe,
+                state: StripeState::DualRead,
+            },
+        );
         let _ = lock.release(client, &acq);
         Ok(true)
     }
@@ -703,6 +720,14 @@ impl MigrationEngine {
             return Err(e);
         }
         self.dir.commit(job.stripe);
+        self.pool.record_event(
+            client.now_ns(),
+            client.client_id(),
+            EventKind::Migration {
+                stripe: job.stripe,
+                state: StripeState::Committed,
+            },
+        );
         let _ = lock.release(client, &acq);
         self.parking
             .lock()

@@ -1,0 +1,993 @@
+//! Observability: flight-recorder trace spans, the structured event log and
+//! the exporters that make a run inspectable.
+//!
+//! The counters in [`crate::PoolStats`] answer *how much* — ops, messages,
+//! steals, faults.  This module answers *when*:
+//!
+//! * [`FlightRecorder`] — an allocation-free, fixed-capacity per-client ring
+//!   of phase-stamped [`Span`]s in **simulated** time (translate / post /
+//!   flight / poll / decode / publish / lock / evict / relocate), armed via
+//!   [`crate::DmConfig::flight_recorder_spans`].  Recording never advances
+//!   the simulated clock, so an armed run is simulation-identical to a
+//!   disarmed one; disarmed, the hot-path cost is a single `Option`
+//!   discriminant check in [`crate::DmClient::record_span`].
+//! * [`EventLog`] — a bounded ring of rare [`Event`]s (fault injections,
+//!   lock steals / fences / exhaustions, migration state transitions, epoch
+//!   bumps, crash-recovery phases) shared pool-wide, always on, with drop
+//!   counters when the ring overflows.
+//! * [`chrome_trace_json`] — a Chrome-tracing / Perfetto JSON writer, so WQE
+//!   overlap and the fig18 migration timeline are visually inspectable.
+//! * [`text_exposition`] — a Prometheus-style text dump unifying
+//!   [`crate::PoolStats`], the contention / fault snapshots and
+//!   [`crate::LatencyHistogram`] quantiles.
+//! * [`with_event_postmortem`] — runs a closure and, should it panic,
+//!   re-panics with the event-log tail appended, so a failing chaos seed
+//!   comes with its last-N-events post-mortem.
+
+use crate::addr::RemoteAddr;
+use crate::pool::MemoryPool;
+use crate::stats::PoolStats;
+use std::fmt;
+
+/// The phase of an operation a [`Span`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Key → bucket/slot address computation on the client CPU.
+    Translate,
+    /// Posting WQEs and ringing the doorbell (synchronous CPU/MMIO work).
+    Post,
+    /// A WQE in flight: doorbell-ring end to its completion time.
+    Flight,
+    /// A successful completion-queue poll (any wait plus the CQE read).
+    Poll,
+    /// Decoding fetched bucket/slot bytes on the client CPU.
+    Decode,
+    /// Publishing a slot (the CAS that makes a Set visible).
+    Publish,
+    /// A remote-lock acquisition (first attempt to outcome).
+    Lock,
+    /// An eviction pass (sample, score, victim CAS, free).
+    Evict,
+    /// Relocating an object's bytes between memory nodes.
+    Relocate,
+}
+
+impl Phase {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Translate => "translate",
+            Phase::Post => "post",
+            Phase::Flight => "flight",
+            Phase::Poll => "poll",
+            Phase::Decode => "decode",
+            Phase::Publish => "publish",
+            Phase::Lock => "lock",
+            Phase::Evict => "evict",
+            Phase::Relocate => "relocate",
+        }
+    }
+}
+
+/// One phase-stamped interval of simulated time, keyed by the op that was
+/// current when it was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The issuing client's op sequence number (see
+    /// [`crate::DmClient::op_id`]); 0 before the first `begin_op`.
+    pub op_id: u64,
+    /// What the interval covers.
+    pub phase: Phase,
+    /// Simulated start, in nanoseconds.
+    pub start_ns: u64,
+    /// Simulated end, in nanoseconds (`>= start_ns`; equal for instants).
+    pub end_ns: u64,
+    /// Phase-specific payload: WQE count for `Post`, work-request id for
+    /// `Flight`/`Poll`, retries for `Lock`, bytes for `Relocate`, …
+    pub detail: u32,
+}
+
+impl Span {
+    /// Duration of the span in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Whether two spans overlap in simulated time (shared endpoints do not
+    /// count — a zero-width intersection is not concurrency).
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start_ns < other.end_ns && other.start_ns < self.end_ns
+    }
+}
+
+/// A fixed-capacity ring of [`Span`]s: the per-client flight recorder.
+///
+/// The backing `Vec` is allocated once at construction and never grows, so
+/// recording in steady state is allocation-free (pinned by
+/// `crates/core/tests/zero_alloc.rs`).  When the ring is full the oldest
+/// span is overwritten; [`FlightRecorder::push`] reports drops and wraps so
+/// the caller can feed the pool-wide obs counters.
+pub struct FlightRecorder {
+    spans: Vec<Span>,
+    cap: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            spans: Vec::with_capacity(cap),
+            cap,
+            total: 0,
+        }
+    }
+
+    /// Maximum spans retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Spans currently retained.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no span has been recorded since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans recorded since the last clear (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Spans lost to overwrites since the last clear.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.spans.len() as u64
+    }
+
+    /// Records a span.  Returns `(dropped, wrapped)`: `dropped` when an
+    /// older span was overwritten, `wrapped` when this push started a new
+    /// lap of the ring (slot 0 overwritten).
+    pub fn push(&mut self, span: Span) -> (bool, bool) {
+        let idx = (self.total % self.cap as u64) as usize;
+        let full = self.spans.len() == self.cap;
+        self.total += 1;
+        if full {
+            self.spans[idx] = span;
+            (true, idx == 0)
+        } else {
+            self.spans.push(span);
+            (false, false)
+        }
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans_in_order(&self) -> Vec<Span> {
+        if self.spans.len() < self.cap {
+            return self.spans.clone();
+        }
+        let head = (self.total % self.cap as u64) as usize;
+        let mut out = Vec::with_capacity(self.cap);
+        out.extend_from_slice(&self.spans[head..]);
+        out.extend_from_slice(&self.spans[..head]);
+        out
+    }
+
+    /// Forgets everything (e.g. between warm-up and a measured window).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.total = 0;
+    }
+}
+
+/// Stripe-migration state as seen by the event log (mirrors
+/// [`crate::MigrationState`] without the `Idle` resting state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StripeState {
+    /// Bucket array copying to the destination under the stripe lock.
+    Copying,
+    /// Both copies live; reads resolve via source + forwarding marker.
+    DualRead,
+    /// Directory flipped; the stripe serves from the destination.
+    Committed,
+}
+
+impl StripeState {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            StripeState::Copying => "copying",
+            StripeState::DualRead => "dual-read",
+            StripeState::Committed => "committed",
+        }
+    }
+}
+
+/// Phase of a crash-recovery pass (see `ditto_core`'s
+/// `recover_crashed_client`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// Stealing back every lock the dead client held (fencing-epoch bump).
+    LockReclaim,
+    /// Replaying the dead client's redo journal against a forensic scan.
+    JournalReplay,
+    /// Sweeping granted-but-unreferenced segment bytes back to their nodes.
+    GapSweep,
+    /// All three invariants restored.
+    Done,
+}
+
+impl RecoveryPhase {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPhase::LockReclaim => "lock-reclaim",
+            RecoveryPhase::JournalReplay => "journal-replay",
+            RecoveryPhase::GapSweep => "gap-sweep",
+            RecoveryPhase::Done => "done",
+        }
+    }
+}
+
+/// What a rare [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The fault injector faulted a verb to `mn_id` (`timeout` distinguishes
+    /// a retransmission timeout from an error completion).
+    VerbFault { mn_id: u16, timeout: bool },
+    /// An expired lease at `addr` was taken over via CAS steal.
+    LockSteal { addr: RemoteAddr, previous_owner: u16 },
+    /// An acquisition at `addr` burned its whole retry budget against
+    /// `holder` and gave up ([`crate::AcquireOutcome::Exhausted`]).
+    LockExhausted { addr: RemoteAddr, holder: u16 },
+    /// A release at `addr` was fenced off by a newer lease epoch.
+    FencedRelease { addr: RemoteAddr },
+    /// A recovery pass reclaimed the lock at `addr` from `dead_owner`.
+    LockReclaimed { addr: RemoteAddr, dead_owner: u32 },
+    /// Stripe `stripe` entered migration state `state`.
+    Migration { stripe: u64, state: StripeState },
+    /// The pool's resize epoch advanced to `epoch`.
+    EpochBump { epoch: u64 },
+    /// A crash-recovery pass for `dead_client` entered `phase`.
+    Recovery { dead_client: u32, phase: RecoveryPhase },
+}
+
+/// Sentinel [`Event::client_id`] for events not attributable to one client
+/// (e.g. pool-level epoch bumps).
+pub const POOL_EVENT_CLIENT: u32 = u32::MAX;
+
+/// One rare occurrence, stamped with simulated time and the client that
+/// observed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time of the observation, in nanoseconds.
+    pub at_ns: u64,
+    /// Observing client, or [`POOL_EVENT_CLIENT`] for pool-level events.
+    pub client_id: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12} ns] ", self.at_ns)?;
+        if self.client_id == POOL_EVENT_CLIENT {
+            write!(f, "pool       ")?;
+        } else {
+            write!(f, "client {:<4}", self.client_id)?;
+        }
+        match self.kind {
+            EventKind::VerbFault { mn_id, timeout } => {
+                let what = if timeout { "timeout" } else { "failure" };
+                write!(f, "verb {what} on mn{mn_id}")
+            }
+            EventKind::LockSteal {
+                addr,
+                previous_owner,
+            } => write!(
+                f,
+                "lock steal at mn{}+{:#x} from owner {previous_owner}",
+                addr.mn_id, addr.offset
+            ),
+            EventKind::LockExhausted { addr, holder } => write!(
+                f,
+                "lock exhausted at mn{}+{:#x} (holder {holder})",
+                addr.mn_id, addr.offset
+            ),
+            EventKind::FencedRelease { addr } => {
+                write!(f, "fenced release at mn{}+{:#x}", addr.mn_id, addr.offset)
+            }
+            EventKind::LockReclaimed { addr, dead_owner } => write!(
+                f,
+                "lock reclaimed at mn{}+{:#x} from dead client {dead_owner}",
+                addr.mn_id, addr.offset
+            ),
+            EventKind::Migration { stripe, state } => {
+                write!(f, "stripe {stripe} -> {}", state.name())
+            }
+            EventKind::EpochBump { epoch } => write!(f, "resize epoch -> {epoch}"),
+            EventKind::Recovery { dead_client, phase } => {
+                write!(f, "recovery of client {dead_client}: {}", phase.name())
+            }
+        }
+    }
+}
+
+/// A bounded ring of [`Event`]s shared pool-wide (behind a mutex in the
+/// pool; see [`crate::MemoryPool::record_event`]).
+///
+/// Always on — rare events are cheap — with capacity set by
+/// [`crate::DmConfig::event_log_capacity`]; the backing `Vec` is allocated
+/// once and overflow overwrites the oldest entry, counted as a drop.
+pub struct EventLog {
+    events: Vec<Event>,
+    cap: usize,
+    total: u64,
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventLog {
+            events: Vec::with_capacity(cap),
+            cap,
+            total: 0,
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events recorded since construction (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to overwrites.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.events.len() as u64
+    }
+
+    /// Records an event; returns `true` when an older one was overwritten.
+    pub fn record(&mut self, event: Event) -> bool {
+        let idx = (self.total % self.cap as u64) as usize;
+        let full = self.events.len() == self.cap;
+        self.total += 1;
+        if full {
+            self.events[idx] = event;
+            true
+        } else {
+            self.events.push(event);
+            false
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events_in_order(&self) -> Vec<Event> {
+        if self.events.len() < self.cap {
+            return self.events.clone();
+        }
+        let head = (self.total % self.cap as u64) as usize;
+        let mut out = Vec::with_capacity(self.cap);
+        out.extend_from_slice(&self.events[head..]);
+        out.extend_from_slice(&self.events[..head]);
+        out
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let ordered = self.events_in_order();
+        let skip = ordered.len().saturating_sub(n);
+        ordered[skip..].to_vec()
+    }
+}
+
+/// Formats events one per line (the post-mortem dump format).
+pub fn format_events(events: &[Event]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs `f`, and should it panic, re-panics with the pool's event-log tail
+/// (last `tail` events) appended to the panic message — so a failing chaos
+/// seed comes with its post-mortem instead of a bare assertion.
+///
+/// The closure's panic payload is preserved verbatim when it is a string
+/// (the overwhelmingly common case for `assert!`/`panic!`).
+pub fn with_event_postmortem<R>(pool: &MemoryPool, tail: usize, f: impl FnOnce() -> R) -> R {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            let events = pool.event_tail(tail);
+            let dump = if events.is_empty() {
+                "  (event log empty)\n".to_string()
+            } else {
+                format_events(&events)
+            };
+            panic!(
+                "{msg}\n--- event log tail ({} of {} recorded) ---\n{dump}",
+                events.len(),
+                pool.stats().obs().events_recorded,
+            );
+        }
+    }
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialises per-client span collections (plus optional events as instant
+/// markers) into Chrome-tracing JSON — load the file at `chrome://tracing`
+/// or <https://ui.perfetto.dev>.
+///
+/// Each span becomes a complete (`"ph":"X"`) event with `pid` 0 and `tid`
+/// the client id; timestamps are microseconds of **simulated** time.  Each
+/// [`Event`] becomes a global instant (`"ph":"i"`).  No `serde_json` is
+/// involved: the build image has no crates.io access, so the writer emits
+/// the JSON by hand.
+pub fn chrome_trace_json(traces: &[(u32, Vec<Span>)], events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (client_id, spans) in traces {
+        for span in spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n{{\"name\":\"{}\",\"cat\":\"dm\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"op\":{},\"detail\":{}}}}}",
+                span.phase.name(),
+                span.start_ns as f64 / 1_000.0,
+                span.duration_ns() as f64 / 1_000.0,
+                client_id,
+                span.op_id,
+                span.detail,
+            ));
+        }
+    }
+    for event in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let tid = if event.client_id == POOL_EVENT_CLIENT {
+            0
+        } else {
+            event.client_id
+        };
+        let mut name = String::new();
+        push_json_escaped(&mut name, &event.to_string());
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{:.3},\
+             \"pid\":0,\"tid\":{}}}",
+            name,
+            event.at_ns as f64 / 1_000.0,
+            tid,
+        ));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+fn metric(out: &mut String, name: &str, help: &str, kind: &str, value: impl fmt::Display) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    ));
+}
+
+fn metric_header(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Renders the pool's whole accounting state — traffic, latency quantiles
+/// (via [`crate::LatencyHistogram::quantiles`], one pass), contention,
+/// faults, migration and the obs counters themselves — as a Prometheus-style
+/// text exposition.
+pub fn text_exposition(stats: &PoolStats) -> String {
+    let mut out = String::new();
+    metric(
+        &mut out,
+        "ditto_ops_total",
+        "Application-level operations completed.",
+        "counter",
+        stats.ops(),
+    );
+    let latency = stats.latency();
+    let qs = [0.5, 0.9, 0.99, 0.999];
+    let values = latency.quantiles(&qs);
+    metric_header(
+        &mut out,
+        "ditto_op_latency_seconds",
+        "Operation latency in simulated seconds.",
+        "summary",
+    );
+    for (q, v) in qs.iter().zip(values.iter()) {
+        out.push_str(&format!(
+            "ditto_op_latency_seconds{{quantile=\"{q}\"}} {:.9}\n",
+            *v as f64 / 1e9
+        ));
+    }
+    out.push_str(&format!(
+        "ditto_op_latency_seconds_sum {:.9}\nditto_op_latency_seconds_count {}\n",
+        latency.mean_ns() * latency.count() as f64 / 1e9,
+        latency.count(),
+    ));
+    metric(
+        &mut out,
+        "ditto_doorbells_total",
+        "Doorbell rings across all RNICs.",
+        "counter",
+        stats.doorbells(),
+    );
+    metric(
+        &mut out,
+        "ditto_batched_verbs_total",
+        "Verbs issued through doorbell batches.",
+        "counter",
+        stats.batched_verbs(),
+    );
+    metric(
+        &mut out,
+        "ditto_signalled_wqes_total",
+        "WQEs posted signalled.",
+        "counter",
+        stats.signalled_wqes(),
+    );
+    metric(
+        &mut out,
+        "ditto_unsignalled_wqes_total",
+        "WQEs posted unsignalled.",
+        "counter",
+        stats.unsignalled_wqes(),
+    );
+    metric(
+        &mut out,
+        "ditto_cq_polls_total",
+        "Successful completion-queue polls.",
+        "counter",
+        stats.cq_polls(),
+    );
+
+    let snaps = stats.node_snapshots();
+    metric_header(
+        &mut out,
+        "ditto_node_messages_total",
+        "RNIC messages per memory node.",
+        "counter",
+    );
+    for (mn, s) in snaps.iter().enumerate() {
+        out.push_str(&format!(
+            "ditto_node_messages_total{{node=\"{mn}\"}} {}\n",
+            s.messages
+        ));
+    }
+    metric_header(
+        &mut out,
+        "ditto_node_reads_total",
+        "READ verbs per memory node.",
+        "counter",
+    );
+    for (mn, s) in snaps.iter().enumerate() {
+        out.push_str(&format!(
+            "ditto_node_reads_total{{node=\"{mn}\"}} {}\n",
+            s.reads
+        ));
+    }
+    metric_header(
+        &mut out,
+        "ditto_node_writes_total",
+        "WRITE verbs per memory node.",
+        "counter",
+    );
+    for (mn, s) in snaps.iter().enumerate() {
+        out.push_str(&format!(
+            "ditto_node_writes_total{{node=\"{mn}\"}} {}\n",
+            s.writes
+        ));
+    }
+    metric_header(
+        &mut out,
+        "ditto_node_resident_bytes",
+        "Resident object bytes per memory node (gauge; survives resets).",
+        "gauge",
+    );
+    for (mn, bytes) in stats.resident_bytes().iter().enumerate() {
+        out.push_str(&format!(
+            "ditto_node_resident_bytes{{node=\"{mn}\"}} {bytes}\n"
+        ));
+    }
+    metric_header(
+        &mut out,
+        "ditto_node_verb_faults_total",
+        "Faulted verbs attributed per memory node (lifetime).",
+        "counter",
+    );
+    for mn in 0..snaps.len() {
+        out.push_str(&format!(
+            "ditto_node_verb_faults_total{{node=\"{mn}\"}} {}\n",
+            stats.verb_faults_on(mn as u16)
+        ));
+    }
+
+    let contention = stats.contention();
+    metric(
+        &mut out,
+        "ditto_cas_retries_total",
+        "Failed slot-CAS attempts that forced a retry (lifetime).",
+        "counter",
+        contention.cas_retries,
+    );
+    metric(
+        &mut out,
+        "ditto_lock_acquire_attempts_total",
+        "Remote-lock acquisition attempts (lifetime).",
+        "counter",
+        contention.lock_acquire_attempts,
+    );
+    metric(
+        &mut out,
+        "ditto_lock_acquisitions_total",
+        "Remote-lock acquisitions that succeeded (lifetime).",
+        "counter",
+        contention.lock_acquisitions,
+    );
+    metric(
+        &mut out,
+        "ditto_lock_wait_retries_total",
+        "Failed lock attempts that backed off and retried (lifetime).",
+        "counter",
+        contention.lock_wait_retries,
+    );
+    metric(
+        &mut out,
+        "ditto_backoff_simulated_nanoseconds_total",
+        "Simulated nanoseconds spent in CAS/lock back-off (lifetime).",
+        "counter",
+        contention.backoff_ns,
+    );
+
+    let faults = stats.faults();
+    metric(
+        &mut out,
+        "ditto_verb_failures_total",
+        "Verbs that completed in error (lifetime).",
+        "counter",
+        faults.verb_failures,
+    );
+    metric(
+        &mut out,
+        "ditto_verb_timeouts_total",
+        "Verbs that timed out (lifetime).",
+        "counter",
+        faults.verb_timeouts,
+    );
+    metric(
+        &mut out,
+        "ditto_verb_retries_total",
+        "Higher-layer retries of faulted verbs (lifetime).",
+        "counter",
+        faults.verb_retries,
+    );
+    metric(
+        &mut out,
+        "ditto_lock_steals_total",
+        "Expired lock leases taken over via CAS steal (lifetime).",
+        "counter",
+        faults.lock_steals,
+    );
+    metric(
+        &mut out,
+        "ditto_fenced_releases_total",
+        "Lock releases fenced off by a newer lease epoch (lifetime).",
+        "counter",
+        faults.fenced_releases,
+    );
+    metric(
+        &mut out,
+        "ditto_lock_exhaustions_total",
+        "Lock acquisitions that exhausted their retry budget (lifetime).",
+        "counter",
+        faults.lock_exhaustions,
+    );
+    metric(
+        &mut out,
+        "ditto_locks_reclaimed_total",
+        "Locks reclaimed from crashed clients (lifetime).",
+        "counter",
+        faults.locks_reclaimed,
+    );
+    metric(
+        &mut out,
+        "ditto_recovered_objects_total",
+        "Orphaned objects swept by crash recovery (lifetime).",
+        "counter",
+        faults.recovered_objects,
+    );
+    metric(
+        &mut out,
+        "ditto_recovered_bytes_total",
+        "Orphaned object bytes swept by crash recovery (lifetime).",
+        "counter",
+        faults.recovered_bytes,
+    );
+
+    metric(
+        &mut out,
+        "ditto_migrated_bytes_total",
+        "Bucket-array bytes copied by stripe migrations.",
+        "counter",
+        stats.migrated_bytes(),
+    );
+    metric(
+        &mut out,
+        "ditto_migrated_objects_total",
+        "Objects relocated between memory nodes.",
+        "counter",
+        stats.migrated_objects(),
+    );
+    metric(
+        &mut out,
+        "ditto_stripe_cutovers_total",
+        "Stripe cutovers committed.",
+        "counter",
+        stats.stripe_cutovers(),
+    );
+
+    let obs = stats.obs();
+    metric(
+        &mut out,
+        "ditto_obs_spans_recorded_total",
+        "Flight-recorder spans recorded (lifetime).",
+        "counter",
+        obs.spans_recorded,
+    );
+    metric(
+        &mut out,
+        "ditto_obs_spans_dropped_total",
+        "Flight-recorder spans lost to ring overwrites (lifetime).",
+        "counter",
+        obs.spans_dropped,
+    );
+    metric(
+        &mut out,
+        "ditto_obs_recorder_wraps_total",
+        "Flight-recorder ring wrap-arounds (lifetime).",
+        "counter",
+        obs.recorder_wraps,
+    );
+    metric(
+        &mut out,
+        "ditto_obs_events_recorded_total",
+        "Structured events recorded (lifetime).",
+        "counter",
+        obs.events_recorded,
+    );
+    metric(
+        &mut out,
+        "ditto_obs_events_dropped_total",
+        "Structured events lost to ring overwrites (lifetime).",
+        "counter",
+        obs.events_dropped,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DmConfig;
+
+    fn span(op_id: u64, start: u64, end: u64) -> Span {
+        Span {
+            op_id,
+            phase: Phase::Flight,
+            start_ns: start,
+            end_ns: end,
+            detail: 0,
+        }
+    }
+
+    fn event(at_ns: u64, client: u32) -> Event {
+        Event {
+            at_ns,
+            client_id: client,
+            kind: EventKind::EpochBump { epoch: at_ns },
+        }
+    }
+
+    #[test]
+    fn recorder_wraps_evict_oldest_and_count_drops() {
+        let mut rec = FlightRecorder::new(4);
+        for i in 0..4 {
+            assert_eq!(rec.push(span(i, i, i + 1)), (false, false));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.dropped(), 0);
+        // Capacity + 1: the oldest span is evicted, one drop, one wrap.
+        assert_eq!(rec.push(span(4, 4, 5)), (true, true));
+        assert_eq!(rec.dropped(), 1);
+        let spans = rec.spans_in_order();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans.first().unwrap().op_id, 1, "oldest span evicted");
+        assert_eq!(spans.last().unwrap().op_id, 4);
+        // Subsequent overwrites drop without wrapping until the next lap.
+        assert_eq!(rec.push(span(5, 5, 6)), (true, false));
+        assert_eq!(rec.push(span(6, 6, 7)), (true, false));
+        assert_eq!(rec.push(span(7, 7, 8)), (true, false));
+        assert_eq!(rec.push(span(8, 8, 9)), (true, true));
+        assert_eq!(rec.total(), 9);
+        assert_eq!(rec.dropped(), 5);
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.total(), 0);
+    }
+
+    #[test]
+    fn span_overlap_is_strict() {
+        let a = span(0, 10, 20);
+        let b = span(1, 15, 25);
+        let c = span(2, 20, 30);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c), "shared endpoint is not overlap");
+        assert_eq!(a.duration_ns(), 10);
+    }
+
+    #[test]
+    fn event_log_bounds_and_orders() {
+        let mut log = EventLog::new(3);
+        assert!(!log.record(event(1, 0)));
+        assert!(!log.record(event(2, 1)));
+        assert!(!log.record(event(3, 2)));
+        assert!(log.record(event(4, 3)), "overflow overwrites the oldest");
+        assert_eq!(log.dropped(), 1);
+        assert_eq!(log.total(), 4);
+        let events = log.events_in_order();
+        assert_eq!(events.iter().map(|e| e.at_ns).collect::<Vec<_>>(), [2, 3, 4]);
+        let tail = log.tail(2);
+        assert_eq!(tail.iter().map(|e| e.at_ns).collect::<Vec<_>>(), [3, 4]);
+        assert_eq!(log.tail(99).len(), 3);
+    }
+
+    #[test]
+    fn event_display_is_line_oriented() {
+        let e = Event {
+            at_ns: 1_234,
+            client_id: 7,
+            kind: EventKind::LockSteal {
+                addr: RemoteAddr::new(2, 0x40),
+                previous_owner: 3,
+            },
+        };
+        let line = e.to_string();
+        assert!(line.contains("client 7"), "{line}");
+        assert!(line.contains("lock steal at mn2+0x40"), "{line}");
+        assert!(line.contains("owner 3"), "{line}");
+        let pool_event = Event {
+            at_ns: 5,
+            client_id: POOL_EVENT_CLIENT,
+            kind: EventKind::EpochBump { epoch: 9 },
+        };
+        assert!(pool_event.to_string().contains("pool"));
+        assert!(pool_event.to_string().contains("resize epoch -> 9"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_spans_and_events() {
+        let traces = vec![(3u32, vec![span(17, 1_000, 3_500)])];
+        let events = vec![event(2_000, POOL_EVENT_CLIENT)];
+        let json = chrome_trace_json(&traces, &events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"flight\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"op\":17"));
+        assert!(json.contains("\"ph\":\"i\""));
+        // Balanced braces/brackets (cheap well-formedness check; the full
+        // parser lives in the trace-smoke validator).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_with_nothing_is_valid() {
+        let json = chrome_trace_json(&[], &[]);
+        assert!(json.contains("\"traceEvents\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn text_exposition_unifies_the_counter_groups() {
+        let stats = PoolStats::new(2);
+        stats.record_op(5_000);
+        stats.record_verb(0, crate::stats::VerbKind::Read, 64);
+        stats.record_cas_retry(100);
+        stats.record_lock_steal();
+        stats.record_span(false, false);
+        let text = text_exposition(&stats);
+        for needle in [
+            "# HELP ditto_ops_total",
+            "# TYPE ditto_ops_total counter",
+            "ditto_ops_total 1",
+            "ditto_op_latency_seconds{quantile=\"0.5\"}",
+            "ditto_op_latency_seconds{quantile=\"0.999\"}",
+            "ditto_op_latency_seconds_count 1",
+            "ditto_node_messages_total{node=\"0\"} 1",
+            "ditto_node_messages_total{node=\"1\"} 0",
+            "ditto_cas_retries_total 1",
+            "ditto_lock_steals_total 1",
+            "ditto_obs_spans_recorded_total 1",
+            "ditto_obs_events_dropped_total 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn postmortem_appends_event_tail_to_panics() {
+        let pool = MemoryPool::new(DmConfig::small());
+        pool.record_event(
+            777,
+            4,
+            EventKind::VerbFault {
+                mn_id: 1,
+                timeout: true,
+            },
+        );
+        // Passing closures run through untouched.
+        assert_eq!(with_event_postmortem(&pool, 8, || 42), 42);
+        // A panicking closure re-panics with the tail appended.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_event_postmortem(&pool, 8, || panic!("seed 13 diverged"));
+        }));
+        let payload = result.expect_err("closure must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("postmortem panics with a String");
+        assert!(msg.contains("seed 13 diverged"), "{msg}");
+        assert!(msg.contains("event log tail"), "{msg}");
+        assert!(msg.contains("verb timeout on mn1"), "{msg}");
+        assert!(msg.contains("client 4"), "{msg}");
+    }
+}

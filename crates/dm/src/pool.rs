@@ -8,6 +8,7 @@ use crate::config::DmConfig;
 use crate::error::{DmError, DmResult};
 use crate::fault::FaultInjector;
 use crate::memnode::MemoryNode;
+use crate::obs::{Event, EventKind, EventLog, POOL_EVENT_CLIENT};
 use crate::rpc::{RpcHandler, ALLOC_SERVICE};
 use crate::stats::PoolStats;
 use crate::topology::{PoolTopology, MAX_POOL_NODES};
@@ -30,6 +31,10 @@ struct PoolInner {
     stats: PoolStats,
     /// Runtime face of `config.fault`; inert when no plan is configured.
     fault: FaultInjector,
+    /// Pool-wide structured log of rare events (fault injections, lock
+    /// steals, migration transitions, recovery phases); bounded ring, see
+    /// [`crate::obs::EventLog`].
+    events: Mutex<EventLog>,
 }
 
 /// A handle to the disaggregated memory pool.
@@ -77,6 +82,7 @@ impl MemoryPool {
         let stats = PoolStats::new(num_nodes);
         let topology = PoolTopology::new(num_nodes, config.placement);
         let fault = FaultInjector::new(config.fault.clone());
+        let events = Mutex::new(EventLog::new(config.event_log_capacity));
         let pool = MemoryPool {
             inner: Arc::new(PoolInner {
                 config,
@@ -86,6 +92,7 @@ impl MemoryPool {
                 pool_handlers: Mutex::new(Vec::new()),
                 stats,
                 fault,
+                events,
             }),
         };
         let alloc = Arc::new(AllocService::new());
@@ -112,6 +119,31 @@ impl MemoryPool {
     /// Resets all accounting counters (e.g. after a warm-up phase).
     pub fn reset_stats(&self) {
         self.inner.stats.reset();
+    }
+
+    /// Appends a rare event to the pool's structured event log, stamped
+    /// with the observer's simulated time (`client_id` may be
+    /// [`POOL_EVENT_CLIENT`] for pool-level events).  Bounded: overflow
+    /// overwrites the oldest entry and counts into
+    /// [`crate::stats::ObsSnapshot::events_dropped`].
+    pub fn record_event(&self, at_ns: u64, client_id: u32, kind: EventKind) {
+        let dropped = self.inner.events.lock().record(Event {
+            at_ns,
+            client_id,
+            kind,
+        });
+        self.inner.stats.record_event_logged(dropped);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events_snapshot(&self) -> Vec<Event> {
+        self.inner.events.lock().events_in_order()
+    }
+
+    /// The last `n` retained events, oldest first (the post-mortem tail;
+    /// see [`crate::obs::with_event_postmortem`]).
+    pub fn event_tail(&self, n: usize) -> Vec<Event> {
+        self.inner.events.lock().tail(n)
     }
 
     /// Number of memory nodes ever added to the pool (including drained
@@ -177,7 +209,14 @@ impl MemoryPool {
         self.inner.stats.register_node();
         let mut topology = self.inner.topology.write();
         topology.add_node(id)?;
-        self.inner.epoch.store(topology.epoch(), Ordering::Release);
+        let epoch = topology.epoch();
+        self.inner.epoch.store(epoch, Ordering::Release);
+        drop(topology);
+        self.record_event(
+            self.inner.stats.max_client_clock_ns(),
+            POOL_EVENT_CLIENT,
+            EventKind::EpochBump { epoch },
+        );
         Ok(id)
     }
 
@@ -191,7 +230,14 @@ impl MemoryPool {
     pub fn drain_node(&self, mn_id: u16) -> DmResult<()> {
         let mut topology = self.inner.topology.write();
         topology.drain_node(mn_id)?;
-        self.inner.epoch.store(topology.epoch(), Ordering::Release);
+        let epoch = topology.epoch();
+        self.inner.epoch.store(epoch, Ordering::Release);
+        drop(topology);
+        self.record_event(
+            self.inner.stats.max_client_clock_ns(),
+            POOL_EVENT_CLIENT,
+            EventKind::EpochBump { epoch },
+        );
         Ok(())
     }
 
@@ -230,7 +276,14 @@ impl MemoryPool {
     pub fn bump_resize_epoch(&self) {
         let mut topology = self.inner.topology.write();
         topology.bump_epoch();
-        self.inner.epoch.store(topology.epoch(), Ordering::Release);
+        let epoch = topology.epoch();
+        self.inner.epoch.store(epoch, Ordering::Release);
+        drop(topology);
+        self.record_event(
+            self.inner.stats.max_client_clock_ns(),
+            POOL_EVENT_CLIENT,
+            EventKind::EpochBump { epoch },
+        );
     }
 
     /// Resident object bytes currently accounted to node `mn_id` (see

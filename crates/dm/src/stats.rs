@@ -205,6 +205,18 @@ pub struct PoolStats {
     /// Orphaned object bytes swept by a crash-recovery pass.  Survives
     /// reset.
     recovered_bytes: AtomicU64,
+    /// Flight-recorder spans recorded pool-wide.  Lifetime: survives
+    /// [`PoolStats::reset`] (see [`PoolStats::obs`]).
+    spans_recorded: AtomicU64,
+    /// Flight-recorder spans lost to ring overwrites.  Survives reset.
+    spans_dropped: AtomicU64,
+    /// Flight-recorder ring wrap-arounds (a drop landing on slot 0).
+    /// Survives reset.
+    recorder_wraps: AtomicU64,
+    /// Structured events recorded into the pool event log.  Survives reset.
+    events_recorded: AtomicU64,
+    /// Structured events lost to ring overwrites.  Survives reset.
+    events_dropped: AtomicU64,
 }
 
 /// Point-in-time copy of the pool's contention counters.
@@ -297,6 +309,39 @@ impl FaultSnapshot {
     }
 }
 
+/// Point-in-time copy of the observability self-accounting counters.
+///
+/// Like [`ContentionSnapshot`] and [`FaultSnapshot`] these are *lifetime*
+/// counters — [`PoolStats::reset`] leaves them alone (a recorder that
+/// wrapped during warm-up stays visible).  Per-interval figures come from
+/// diffing two snapshots with [`ObsSnapshot::delta`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Flight-recorder spans recorded.
+    pub spans_recorded: u64,
+    /// Flight-recorder spans lost to ring overwrites.
+    pub spans_dropped: u64,
+    /// Flight-recorder ring wrap-arounds.
+    pub recorder_wraps: u64,
+    /// Structured events recorded into the pool event log.
+    pub events_recorded: u64,
+    /// Structured events lost to ring overwrites.
+    pub events_dropped: u64,
+}
+
+impl ObsSnapshot {
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn delta(&self, earlier: &ObsSnapshot) -> ObsSnapshot {
+        ObsSnapshot {
+            spans_recorded: self.spans_recorded.saturating_sub(earlier.spans_recorded),
+            spans_dropped: self.spans_dropped.saturating_sub(earlier.spans_dropped),
+            recorder_wraps: self.recorder_wraps.saturating_sub(earlier.recorder_wraps),
+            events_recorded: self.events_recorded.saturating_sub(earlier.events_recorded),
+            events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
+        }
+    }
+}
+
 impl PoolStats {
     /// Creates accounting for `num_nodes` memory nodes.
     pub fn new(num_nodes: u16) -> Self {
@@ -344,6 +389,11 @@ impl PoolStats {
             locks_reclaimed: AtomicU64::new(0),
             recovered_objects: AtomicU64::new(0),
             recovered_bytes: AtomicU64::new(0),
+            spans_recorded: AtomicU64::new(0),
+            spans_dropped: AtomicU64::new(0),
+            recorder_wraps: AtomicU64::new(0),
+            events_recorded: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
         }
     }
 
@@ -644,6 +694,41 @@ impl PoolStats {
         }
     }
 
+    /// Records one flight-recorder span; `dropped` when it overwrote an
+    /// older span, `wrapped` when the overwrite started a new lap of the
+    /// ring (see [`crate::obs::FlightRecorder::push`]).
+    pub fn record_span(&self, dropped: bool, wrapped: bool) {
+        self.spans_recorded.fetch_add(1, Ordering::Relaxed);
+        if dropped {
+            self.spans_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if wrapped {
+            self.recorder_wraps.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one structured event landing in the pool event log;
+    /// `dropped` when it overwrote an older event.
+    pub fn record_event_logged(&self, dropped: bool) {
+        self.events_recorded.fetch_add(1, Ordering::Relaxed);
+        if dropped {
+            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the lifetime observability self-accounting counters.
+    /// Diff two snapshots ([`ObsSnapshot::delta`]) for per-interval figures
+    /// — these counters survive [`PoolStats::reset`].
+    pub fn obs(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            spans_recorded: self.spans_recorded.load(Ordering::Relaxed),
+            spans_dropped: self.spans_dropped.load(Ordering::Relaxed),
+            recorder_wraps: self.recorder_wraps.load(Ordering::Relaxed),
+            events_recorded: self.events_recorded.load(Ordering::Relaxed),
+            events_dropped: self.events_dropped.load(Ordering::Relaxed),
+        }
+    }
+
     /// Records a verb of `kind` moving `bytes` payload bytes to node `mn_id`.
     pub fn record_verb(&self, mn_id: u16, kind: VerbKind, bytes: usize) {
         if let Some(node) = self.nodes.get(mn_id as usize) {
@@ -745,8 +830,12 @@ impl PoolStats {
     /// interval, which only blurs the boundary, not the totals.
     ///
     /// The per-node `resident_bytes` gauges (pool state), the contention
-    /// counters (see [`PoolStats::contention`]) and the fault / retry /
-    /// recovery counters (see [`PoolStats::faults`]) deliberately survive.
+    /// counters (see [`PoolStats::contention`]), the fault / retry /
+    /// recovery counters (see [`PoolStats::faults`]) and the observability
+    /// self-accounting counters (see [`PoolStats::obs`]: spans recorded /
+    /// dropped, recorder wraps, events recorded / dropped) deliberately
+    /// survive — a recorder that wrapped or an event log that overflowed
+    /// during warm-up must stay visible to the measured phase.
     pub fn reset(&self) {
         self.clock_baseline_ns
             .fetch_max(self.max_client_clock_ns.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -998,6 +1087,45 @@ mod tests {
         let delta = stats.faults().delta(&before);
         assert_eq!(delta.verb_timeouts, 1);
         assert_eq!(delta.verb_failures, 0);
+    }
+
+    #[test]
+    fn obs_counters_document_and_honor_reset_survival() {
+        // Audit: every observability self-accounting counter is lifetime —
+        // it must survive reset() exactly like the contention and fault
+        // groups.  Exercised field by field so a new ObsSnapshot member
+        // cannot be added without extending this test (struct update syntax
+        // is deliberately avoided below).
+        let stats = PoolStats::new(1);
+        stats.record_span(false, false);
+        stats.record_span(true, false);
+        stats.record_span(true, true);
+        stats.record_event_logged(false);
+        stats.record_event_logged(true);
+        let before = stats.obs();
+        let expected = ObsSnapshot {
+            spans_recorded: 3,
+            spans_dropped: 2,
+            recorder_wraps: 1,
+            events_recorded: 2,
+            events_dropped: 1,
+        };
+        assert_eq!(before, expected);
+        stats.reset();
+        assert_eq!(stats.obs(), before, "obs counters are lifetime");
+        stats.record_span(false, false);
+        stats.record_event_logged(false);
+        let delta = stats.obs().delta(&before);
+        assert_eq!(
+            delta,
+            ObsSnapshot {
+                spans_recorded: 1,
+                spans_dropped: 0,
+                recorder_wraps: 0,
+                events_recorded: 1,
+                events_dropped: 0,
+            }
+        );
     }
 
     #[test]

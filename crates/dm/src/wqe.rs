@@ -272,9 +272,11 @@ impl<'client, 'buf> WorkQueue<'client, 'buf> {
                 fanout += 1;
             }
         }
+        let ring_start = client.now_ns();
         let post_cost = fanout as u64 * cfg.doorbell_latency_ns + self.len as u64 * cfg.verb_issue_ns;
         client.advance_ns(post_cost);
         let ring_end = client.now_ns();
+        client.record_span(crate::obs::Phase::Post, ring_start, ring_end, self.len as u32);
         let stats = client.pool().stats();
         stats.record_batch(self.len, fanout);
         for &mn in &nodes[..fanout] {
@@ -311,6 +313,15 @@ impl<'client, 'buf> WorkQueue<'client, 'buf> {
             node_floor[slot] = node_floor[slot].max(transfer);
             stats.record_verb(mn, wqe.op.kind(), wqe.op.payload_len());
             stats.record_wqe(wqe.signalled);
+            // Every WQE in one ring leaves at ring-end, so a multi-WQE ring
+            // shows its flight spans overlapping — the pipelining the trace
+            // viewer is meant to make visible.
+            client.record_span(
+                crate::obs::Phase::Flight,
+                ring_end,
+                ring_end + node_floor[slot],
+                wqe.wr_id as u32,
+            );
             if wqe.signalled || !status.is_ok() {
                 client.push_completion(Completion {
                     wr_id: wqe.wr_id,

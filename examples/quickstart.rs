@@ -61,4 +61,9 @@ fn main() {
     println!("evictions              : {}", cache_stats.evictions + cache_stats.bucket_evictions);
     println!("regrets collected      : {}", cache_stats.regrets);
     println!("global expert weights  : {:?}", cache.global_weights());
+
+    // The same run, as the unified Prometheus-style exposition: every pool
+    // counter group plus the cache-level series on one scrape page.
+    println!("\n== metrics exposition ==");
+    print!("{}", cache.text_exposition());
 }

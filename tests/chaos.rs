@@ -32,6 +32,7 @@
 
 use ditto::cache::recovery::CrashPoint;
 use ditto::cache::{DittoCache, DittoConfig};
+use ditto::dm::obs::with_event_postmortem;
 use ditto::dm::{DmConfig, FaultPlan, ReleaseOutcome};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -207,7 +208,9 @@ fn chaos_transient_faults_linearize() {
         let states = make_states();
         preload(&cache, &keys, &states);
         injector.set_armed(true);
-        checker_pass(&cache, &keys, &states, seed, threads, ops);
+        with_event_postmortem(cache.pool(), 32, || {
+            checker_pass(&cache, &keys, &states, seed, threads, ops);
+        });
         injector.set_armed(false);
 
         // The plan must actually have fired, and the retry layer must have
@@ -273,7 +276,9 @@ fn chaos_migration_drain_survives_faults() {
                 }
             });
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                checker_pass(&cache, &keys, &states, seed, threads, ops);
+                with_event_postmortem(cache.pool(), 32, || {
+                    checker_pass(&cache, &keys, &states, seed, threads, ops);
+                });
             }));
             stop.store(true, Ordering::SeqCst);
             pump.join().unwrap();
@@ -515,4 +520,43 @@ fn chaos_node_fail_stop_degrades_to_survivors() {
     assert_eq!(stats.verb_faults_on(0), 0, "the survivor saw no faults");
     assert!(cache.pool().resident_object_bytes(0) > 0);
     assert_no_orphans(&cache, "fail-stop");
+}
+
+/// Satellite: a failing chaos checker arrives with its post-mortem — the
+/// re-raised panic carries the event-log tail, so a one-line assertion
+/// failure in CI comes with the rare events that led up to it.
+#[test]
+fn chaos_failure_reports_carry_the_event_log_tail() {
+    let keys = make_keys();
+    let cache = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(KEYS as u64),
+        DmConfig::default()
+            .with_fault_plan(FaultPlan::seeded(7).with_verb_fail_ppm(200_000)),
+    )
+    .unwrap();
+    let states = make_states();
+
+    // A faulted preload populates the event log with real verb-fault events
+    // (the retry layer absorbs them, so the preload itself succeeds).
+    cache.pool().fault_injector().set_armed(true);
+    preload(&cache, &keys, &states);
+    cache.pool().fault_injector().set_armed(false);
+    assert!(
+        cache.pool().stats().obs().events_recorded > 0,
+        "the faulted preload should have logged verb-fault events"
+    );
+
+    // Force a checker-style failure and inspect the enriched payload.
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        with_event_postmortem(cache.pool(), 16, || {
+            panic!("key 3: stale read of version 1, completed floor 2");
+        });
+    }))
+    .expect_err("the forced failure must propagate");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("enriched panic payload is a String");
+    assert!(msg.contains("key 3: stale read"), "original message lost: {msg}");
+    assert!(msg.contains("--- event log tail ("), "no post-mortem section: {msg}");
+    assert!(msg.contains("verb "), "no verb-fault event line in the tail: {msg}");
 }

@@ -27,6 +27,7 @@
 //! `DITTO_STRESS_OPS` (used by the CI stress job).
 
 use ditto::cache::{DittoCache, DittoConfig};
+use ditto::dm::obs::with_event_postmortem;
 use ditto::dm::DmConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -199,7 +200,9 @@ fn concurrent_sets_and_gets_linearize() {
         )
         .unwrap();
         let states = make_states();
-        checker_pass(&cache, &keys, &states, 0xD177_0000 + round, threads, ops);
+        with_event_postmortem(cache.pool(), 32, || {
+            checker_pass(&cache, &keys, &states, 0xD177_0000 + round, threads, ops);
+        });
 
         let snap = cache.stats().snapshot();
         assert!(snap.hits > 0, "seed {round}: checker never hit");
@@ -257,7 +260,9 @@ fn migration_under_live_traffic_drains_and_linearizes() {
             // otherwise the scope waits on the pump thread forever and the
             // panic is masked as a hang.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                checker_pass(&cache, &keys, &states, 0x3513_0000 + round, threads, ops);
+                with_event_postmortem(cache.pool(), 32, || {
+                    checker_pass(&cache, &keys, &states, 0x3513_0000 + round, threads, ops);
+                });
             }));
             stop.store(true, Ordering::SeqCst);
             pump.join().unwrap();
