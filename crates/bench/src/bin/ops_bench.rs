@@ -24,6 +24,18 @@
 //! or if the message-bound sweep is not monotonically increasing from 1 to
 //! 4 nodes.
 //!
+//! An observability section prices the flight recorder on the pipelined
+//! path: a fully armed row (within 10% of disarmed, in practice identical)
+//! and a 1-in-16 **sampled** row that must show exactly 0% simulated
+//! overhead with identical hit/miss/eviction counts — the deterministic
+//! sampling draw never touches the simulated clock.  The armed run also
+//! yields a `phase_attribution` section in `BENCH_ops.json`: per-phase
+//! p50/p99 from the pool's phase histograms plus critical-path shares from
+//! [`ditto_dm::obs::attribution`], gated to sum to ≤ 100% of elapsed op
+//! time.  With `--trace PATH`, a Chrome-tracing document and a companion
+//! `PATH.prom`-style Prometheus exposition page are written for
+//! `obs_report` to analyze.
+//!
 //! A degraded-mode section replays the 4-thread concurrency workload under
 //! armed verb-fault injection at 0 / 0.1% / 1% and reports ops/s and tail
 //! latency per rate, gating that the armed-but-zero row stays within noise
@@ -36,7 +48,8 @@
 //! ```
 
 use ditto_core::{DittoCache, DittoConfig};
-use ditto_dm::{run_clients, DmConfig, FaultPlan};
+use ditto_dm::obs::attribution;
+use ditto_dm::{run_clients, AttributionTable, DmConfig, FaultPlan, Phase, PoolStats};
 use ditto_workloads::{YcsbSpec, YcsbWorkload};
 
 /// RNIC message budget (verbs/s per node) for the striping sweep — low
@@ -59,23 +72,91 @@ struct ModeReport {
     evictions: u64,
 }
 
-fn run_mode(batching: bool, async_completion: bool, spec: &YcsbSpec, capacity: u64) -> ModeReport {
-    run_mode_recorded(batching, async_completion, spec, capacity, 0).0
+/// One phase's row in the `phase_attribution` section of `BENCH_ops.json`:
+/// latency quantiles from the pool's per-phase histograms plus raw/critical
+/// shares from the retained span window's attribution table.
+struct PhaseRow {
+    name: &'static str,
+    spans: u64,
+    hist_count: u64,
+    p50_us: f64,
+    p99_us: f64,
+    critical_share_pct: f64,
+    tail_share_pct: f64,
 }
 
-/// `run_mode` with an optional armed flight recorder (`recorder_spans > 0`);
-/// returns the report plus the recorder's span tally for the armed row.
+/// Per-phase latency + critical-path summary of an armed run.
+///
+/// Quantiles come from the pool's lifetime [`Phase`] histograms (fed at
+/// span close, folded in when the client drops — they cover load *and*
+/// measured phases); the shares come from [`attribution`] over the spans
+/// the ring retained, which at the benchmark's request counts is the tail
+/// window of the measured phase.
+struct PhaseBreakdown {
+    ops: u64,
+    op_p50_us: f64,
+    op_p99_us: f64,
+    critical_share_total_pct: f64,
+    overlap_saved_us: f64,
+    rows: Vec<PhaseRow>,
+}
+
+impl PhaseBreakdown {
+    fn new(table: &AttributionTable, stats: &PoolStats) -> Self {
+        let rows = Phase::ALL
+            .iter()
+            .filter_map(|&phase| {
+                let hist = stats.phase_latency(phase);
+                let att = &table.phases[phase.index()];
+                if hist.count() == 0 && att.spans == 0 {
+                    return None;
+                }
+                let q = hist.quantiles(&[0.5, 0.99]);
+                Some(PhaseRow {
+                    name: phase.name(),
+                    spans: att.spans,
+                    hist_count: hist.count(),
+                    p50_us: q[0] as f64 / 1e3,
+                    p99_us: q[1] as f64 / 1e3,
+                    critical_share_pct: 100.0 * att.critical_ns as f64
+                        / table.elapsed_ns.max(1) as f64,
+                    tail_share_pct: 100.0 * table.tail[phase.index()].critical_ns as f64
+                        / table.tail_elapsed_ns.max(1) as f64,
+                })
+            })
+            .collect();
+        PhaseBreakdown {
+            ops: table.ops,
+            op_p50_us: table.op_p50_ns as f64 / 1e3,
+            op_p99_us: table.op_p99_ns as f64 / 1e3,
+            critical_share_total_pct: 100.0 * table.critical_ns as f64
+                / table.elapsed_ns.max(1) as f64,
+            overlap_saved_us: table.overlap_saved_ns() as f64 / 1e3,
+            rows,
+        }
+    }
+}
+
+fn run_mode(batching: bool, async_completion: bool, spec: &YcsbSpec, capacity: u64) -> ModeReport {
+    run_mode_recorded(batching, async_completion, spec, capacity, 0, 1).0
+}
+
+/// `run_mode` with an optional armed flight recorder (`recorder_spans > 0`)
+/// sampling one op in `sample_one_in`; returns the report, the obs
+/// self-accounting snapshot (span tally, sampling split) and — for armed
+/// runs — the per-phase latency/critical-path breakdown.
 fn run_mode_recorded(
     batching: bool,
     async_completion: bool,
     spec: &YcsbSpec,
     capacity: u64,
     recorder_spans: usize,
-) -> (ModeReport, u64) {
+    sample_one_in: u64,
+) -> (ModeReport, ditto_dm::ObsSnapshot, Option<PhaseBreakdown>) {
     let config = DittoConfig::with_capacity(capacity)
         .with_doorbell_batching(batching)
         .with_async_completion(async_completion);
-    let dm = DmConfig::default().with_flight_recorder(recorder_spans);
+    let dm = DmConfig::default().with_flight_recorder_sampled(recorder_spans, sample_one_in);
     let cache = DittoCache::with_dedicated_pool(config, dm).unwrap();
     let mut client = cache.client();
 
@@ -110,7 +191,7 @@ fn run_mode_recorded(
     let ops = stats.ops();
     let sim_seconds = (client.dm().now_ns() - baseline_ns) as f64 / 1e9;
     let quantiles = stats.latency().quantiles(&[0.5, 0.99]);
-    let spans_recorded = stats.obs().spans_recorded;
+    let obs = stats.obs();
     let report = ModeReport {
         ops,
         sim_seconds,
@@ -124,7 +205,18 @@ fn run_mode_recorded(
         misses: cache_snap.misses,
         evictions: cache_snap.evictions + cache_snap.bucket_evictions,
     };
-    (report, spans_recorded)
+    // Armed runs: serialize the retained ring into a critical-path table,
+    // then drop the client so its per-phase histograms fold into the pool
+    // and the quantiles can be read back.
+    let breakdown = if recorder_spans > 0 {
+        let spans = client.dm().flight_spans();
+        let table = attribution(&[(client.dm().client_id(), spans)]);
+        drop(client);
+        Some(PhaseBreakdown::new(&table, cache.pool().stats()))
+    } else {
+        None
+    };
+    (report, obs, breakdown)
 }
 
 #[derive(Debug, Clone)]
@@ -553,6 +645,20 @@ fn sweep_json(point: &SweepPoint) -> String {
     )
 }
 
+fn phase_row_json(row: &PhaseRow) -> String {
+    format!(
+        "{{\"phase\": \"{}\", \"spans\": {}, \"hist_count\": {}, \"p50_us\": {:.3}, \
+         \"p99_us\": {:.3}, \"critical_share_pct\": {:.2}, \"tail_share_pct\": {:.2}}}",
+        row.name,
+        row.spans,
+        row.hist_count,
+        row.p50_us,
+        row.p99_us,
+        row.critical_share_pct,
+        row.tail_share_pct,
+    )
+}
+
 fn mode_json(report: &ModeReport) -> String {
     format!(
         concat!(
@@ -650,6 +756,13 @@ fn write_trace(path: &str) {
     );
     let json = ditto_dm::obs::chrome_trace_json(&[(client.dm().client_id(), spans)], &events);
     std::fs::write(path, &json).expect("write trace file");
+    // Companion exposition page for `obs_report`: drop the client so its
+    // per-phase histograms fold into the pool, then render the Prometheus
+    // text page next to the trace.
+    drop(client);
+    let prom_path = format!("{}.prom", path.trim_end_matches(".json"));
+    std::fs::write(&prom_path, cache.text_exposition()).expect("write exposition page");
+    eprintln!("ops_bench: wrote phase exposition to {prom_path}");
 }
 
 fn main() {
@@ -705,7 +818,9 @@ fn main() {
     // Armed flight recorder on the pipelined path: recording reads the
     // simulated clock but never advances it, so the armed row must stay
     // within 10% of the disarmed pipelined ops/s (in practice: identical).
-    let (armed, armed_spans) = run_mode_recorded(true, true, &spec, capacity, 1 << 16);
+    let (armed, armed_obs, armed_breakdown) =
+        run_mode_recorded(true, true, &spec, capacity, 1 << 16, 1);
+    let armed_spans = armed_obs.spans_recorded;
     let armed_overhead = (pipelined.ops_per_sec - armed.ops_per_sec) / pipelined.ops_per_sec;
     eprintln!(
         "  armed:     {:>12.0} ops/s  ({} spans recorded, {:.2}% overhead)",
@@ -725,6 +840,66 @@ fn main() {
         (armed.hits, armed.misses, armed.evictions),
         (pipelined.hits, pipelined.misses, pipelined.evictions),
         "arming the recorder must not change cache behaviour"
+    );
+
+    // Sampled arming (1-in-16): the production "always-on" mode.  The
+    // sampling draw is a pure hash off the simulated-clock path, so the row
+    // must show **zero** simulated overhead — ops/s exactly equal to the
+    // disarmed pipelined row — with identical cache behaviour.
+    let (sampled, sampled_obs, _) = run_mode_recorded(true, true, &spec, capacity, 1 << 16, 16);
+    eprintln!(
+        "  sampled:   {:>12.0} ops/s  (1-in-16: {} ops sampled, {} skipped, {} spans)",
+        sampled.ops_per_sec, sampled_obs.ops_sampled, sampled_obs.ops_skipped,
+        sampled_obs.spans_recorded
+    );
+    assert_eq!(
+        sampled.ops_per_sec, pipelined.ops_per_sec,
+        "sampled arming must cost 0% simulated ops/s (the draw never touches the clock)"
+    );
+    assert_eq!(
+        (sampled.hits, sampled.misses, sampled.evictions),
+        (pipelined.hits, pipelined.misses, pipelined.evictions),
+        "sampled arming must not change cache behaviour"
+    );
+    assert!(
+        sampled_obs.ops_sampled > 0 && sampled_obs.ops_skipped > 0,
+        "1-in-16 sampling must both keep and skip ops: {sampled_obs:?}"
+    );
+    assert!(
+        sampled_obs.spans_recorded < armed_spans,
+        "sampling must record fewer spans than full arming: {} vs {armed_spans}",
+        sampled_obs.spans_recorded
+    );
+
+    // Critical-path attribution of the armed pipelined run: where op time
+    // goes once overlap is serialized.  Exclusive charging means the
+    // per-phase shares can never sum past 100% of elapsed op time.
+    let attribution_table =
+        armed_breakdown.expect("armed run must produce a phase breakdown");
+    eprintln!(
+        "  attribution: {} ops, op p50 {:.2} µs, op p99 {:.2} µs, critical {:.1}%, \
+         overlap saved {:.1} µs",
+        attribution_table.ops,
+        attribution_table.op_p50_us,
+        attribution_table.op_p99_us,
+        attribution_table.critical_share_total_pct,
+        attribution_table.overlap_saved_us,
+    );
+    for row in &attribution_table.rows {
+        eprintln!(
+            "    {:<9} {:>7} spans  p50 {:>8.2} µs  p99 {:>8.2} µs  critical {:>5.1}%  tail {:>5.1}%",
+            row.name, row.spans, row.p50_us, row.p99_us, row.critical_share_pct,
+            row.tail_share_pct,
+        );
+    }
+    assert!(
+        attribution_table.ops > 0 && !attribution_table.rows.is_empty(),
+        "attribution must cover the measured window"
+    );
+    assert!(
+        attribution_table.critical_share_total_pct <= 100.0 + 1e-9,
+        "critical-path shares must sum to <= 100% of elapsed op time, got {:.4}%",
+        attribution_table.critical_share_total_pct
     );
 
     if let Some(path) = &trace_path {
@@ -865,7 +1040,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"benchmark\": \"ops\",\n",
-            "  \"schema_version\": 1,\n",
+            "  \"schema_version\": 2,\n",
             "  \"git_describe\": \"{}\",\n",
             "  \"config_fingerprint\": \"{:016x}\",\n",
             "  \"workload\": \"ycsb-c\",\n",
@@ -876,10 +1051,23 @@ fn main() {
             "    \"pipelined\": {},\n",
             "    \"batched\": {},\n",
             "    \"unbatched\": {},\n",
-            "    \"armed_recorder\": {}\n",
+            "    \"armed_recorder\": {},\n",
+            "    \"armed_sampled\": {}\n",
             "  }},\n",
             "  \"armed_recorder_spans\": {},\n",
             "  \"armed_recorder_overhead_pct\": {:.4},\n",
+            "  \"armed_sampled_one_in\": 16,\n",
+            "  \"armed_sampled_spans\": {},\n",
+            "  \"armed_sampled_ops_sampled\": {},\n",
+            "  \"armed_sampled_ops_skipped\": {},\n",
+            "  \"phase_attribution\": {{\n",
+            "    \"ops\": {},\n",
+            "    \"op_p50_us\": {:.3},\n",
+            "    \"op_p99_us\": {:.3},\n",
+            "    \"critical_share_total_pct\": {:.2},\n",
+            "    \"overlap_saved_us\": {:.3},\n",
+            "    \"phases\": [\n      {}\n    ]\n",
+            "  }},\n",
             "  \"speedup\": {:.4},\n",
             "  \"pipelined_speedup\": {:.4},\n",
             "  \"mn_sweep_message_rate\": {},\n",
@@ -901,8 +1089,23 @@ fn main() {
         mode_json(&batched),
         mode_json(&unbatched),
         mode_json(&armed),
+        mode_json(&sampled),
         armed_spans,
         armed_overhead * 100.0,
+        sampled_obs.spans_recorded,
+        sampled_obs.ops_sampled,
+        sampled_obs.ops_skipped,
+        attribution_table.ops,
+        attribution_table.op_p50_us,
+        attribution_table.op_p99_us,
+        attribution_table.critical_share_total_pct,
+        attribution_table.overlap_saved_us,
+        attribution_table
+            .rows
+            .iter()
+            .map(phase_row_json)
+            .collect::<Vec<_>>()
+            .join(",\n      "),
         speedup,
         pipelined_speedup,
         SWEEP_MESSAGE_RATE,

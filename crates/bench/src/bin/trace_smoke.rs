@@ -11,9 +11,11 @@
 //!    windows must overlap — the signature of the posted-WQE data path).
 //! 2. **Emitted document** — the Chrome-tracing JSON written by
 //!    [`ditto_dm::obs::chrome_trace_json`] re-parses with the hand-rolled
-//!    JSON reader below (no third-party parser in the tree), carries
-//!    exactly one complete event per span and one instant per log event,
-//!    and keeps per-client `flight` spans timestamp-ordered.
+//!    JSON reader in [`ditto_bench::jsonv`] (no third-party parser in the
+//!    tree), carries exactly one complete event per span and one instant
+//!    per log event, keeps per-client `flight` spans timestamp-ordered,
+//!    and leads with the Perfetto row-label metadata (`"ph":"M"`
+//!    process/thread names) so trace viewers label rows `client-<id>`.
 //!
 //! ```text
 //! cargo run --release -p ditto-bench --bin trace_smoke
@@ -24,6 +26,7 @@
 //! --trace` wrote) is additionally parsed and gated on the same
 //! document-level invariants.  Exits non-zero on any violation.
 
+use ditto_bench::jsonv::{self, Json};
 use ditto_core::{DittoCache, DittoConfig};
 use ditto_dm::obs::{chrome_trace_json, Phase, Span};
 use ditto_dm::DmConfig;
@@ -31,233 +34,14 @@ use ditto_workloads::{YcsbSpec, YcsbWorkload};
 use std::collections::BTreeMap;
 
 // ---------------------------------------------------------------------
-// Minimal JSON reader (validation only — the repo vendors no JSON crate)
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value, just rich enough to validate a trace document.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at offset {}, found {:?}",
-                byte as char,
-                self.pos,
-                self.peek().map(|b| b as char)
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at offset {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at offset {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".to_string()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or("bad \\u escape")?;
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                Some(byte) if byte < 0x80 => {
-                    out.push(byte as char);
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8: copy the whole sequence.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| e.to_string())?;
-                    let ch = rest.chars().next().ok_or("empty char")?;
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("bad array separator {other:?}")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                other => return Err(format!("bad object separator {other:?}")),
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
 // Document-level gates (shared by the self-run and file arguments)
 // ---------------------------------------------------------------------
 
 /// Parses `text` as a Chrome trace and gates the document invariants.
 /// Returns (complete events, instant events, overlapping-flight-pair
-/// count) for the caller's own assertions.
-fn validate_trace_document(label: &str, text: &str) -> (usize, usize, usize) {
-    let doc = Parser::parse(text)
+/// count, metadata records) for the caller's own assertions.
+fn validate_trace_document(label: &str, text: &str) -> (usize, usize, usize, usize) {
+    let doc = jsonv::parse(text)
         .unwrap_or_else(|e| panic!("{label}: emitted trace is not valid JSON: {e}"));
     let events = doc
         .get("traceEvents")
@@ -267,6 +51,7 @@ fn validate_trace_document(label: &str, text: &str) -> (usize, usize, usize) {
     };
     let mut complete = 0usize;
     let mut instants = 0usize;
+    let mut metadata = 0usize;
     // Per-tid flight spans as (ts, ts+dur), in document order.
     let mut flights: BTreeMap<i64, Vec<(f64, f64)>> = BTreeMap::new();
     for entry in entries {
@@ -288,6 +73,23 @@ fn validate_trace_document(label: &str, text: &str) -> (usize, usize, usize) {
                 }
             }
             "i" => instants += 1,
+            "M" => {
+                // Perfetto row-label metadata: a process_name for the pool
+                // and one thread_name per client, each naming itself in
+                // args.name.
+                metadata += 1;
+                let kind = entry.get("name").and_then(Json::as_str).expect("name");
+                assert!(
+                    kind == "process_name" || kind == "thread_name",
+                    "{label}: unknown metadata record {kind:?}"
+                );
+                let named = entry
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("{label}: metadata record without args.name"));
+                assert!(!named.is_empty(), "{label}: empty metadata name");
+            }
             other => panic!("{label}: unexpected phase {other:?}"),
         }
     }
@@ -307,7 +109,7 @@ fn validate_trace_document(label: &str, text: &str) -> (usize, usize, usize) {
             }
         }
     }
-    (complete, instants, overlapping_pairs)
+    (complete, instants, overlapping_pairs, metadata)
 }
 
 // ---------------------------------------------------------------------
@@ -402,11 +204,18 @@ fn main() {
         flight.len()
     );
 
-    // Gate 5: the emitted Chrome document re-parses and preserves counts.
+    // Gate 5: the emitted Chrome document re-parses and preserves counts,
+    // including the Perfetto row-label metadata (one process_name plus one
+    // thread_name per client).
     let json = chrome_trace_json(&[(client.dm().client_id(), spans.clone())], &events);
-    let (complete, instants, file_overlaps) = validate_trace_document("self-run", &json);
+    let (complete, instants, file_overlaps, metadata) =
+        validate_trace_document("self-run", &json);
     assert_eq!(complete, spans.len(), "one complete event per span");
     assert_eq!(instants, events.len(), "one instant per log event");
+    assert_eq!(
+        metadata, 2,
+        "one process_name plus one thread_name for the single client"
+    );
     assert!(
         file_overlaps >= 1,
         "the emitted document must preserve the overlapping flight spans"
@@ -423,15 +232,19 @@ fn main() {
     for path in std::env::args().skip(1) {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-        let (complete, instants, overlaps) = validate_trace_document(&path, &text);
+        let (complete, instants, overlaps, metadata) = validate_trace_document(&path, &text);
         assert!(complete > 0, "{path}: trace holds no spans");
+        assert!(
+            metadata >= 2,
+            "{path}: expected process_name + thread_name metadata records"
+        );
         assert!(
             overlaps >= 1,
             "{path}: expected >=2 overlapping flight spans on one client"
         );
         eprintln!(
             "trace_smoke: {path} OK — {complete} spans, {instants} events, {overlaps} \
-             overlapping flight pairs"
+             overlapping flight pairs, {metadata} metadata records"
         );
     }
 }

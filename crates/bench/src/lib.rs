@@ -15,6 +15,7 @@ use ditto_dm::{run_clients, DmConfig, MemoryPool, RunReport};
 use ditto_workloads::{replay, CacheBackend, ReplayOptions, ReplayStats, Request};
 use serde::{Deserialize, Serialize};
 
+pub mod jsonv;
 pub mod timing;
 
 /// The systems compared across the evaluation.

@@ -207,6 +207,13 @@ impl DittoCache {
     /// ([`ditto_dm::obs::text_exposition`]) followed by the cache-level
     /// `ditto_cache_*` series (hits, misses, sets, evictions, expert
     /// victories).  One scrape endpoint for the whole stack.
+    ///
+    /// With the flight recorder armed (see
+    /// [`ditto_dm::DmConfig::with_flight_recorder_sampled`]) the page also
+    /// carries the `ditto_phase_latency_seconds{phase=...}` summaries —
+    /// per-phase span quantiles for every phase that recorded at least one
+    /// span — and the `ditto_obs_ops_sampled_total` /
+    /// `ditto_obs_ops_skipped_total` split of the sampling draw.
     pub fn text_exposition(&self) -> String {
         let mut out = ditto_dm::obs::text_exposition(self.pool.stats());
         let snap = self.stats.snapshot();

@@ -573,7 +573,12 @@ impl DittoClient {
 
     /// Charges the client CPU cost of decoding `slots` hash-table slots.
     /// Charged identically in both completion modes; on the pipelined path
-    /// it overlaps in-flight transfers.
+    /// it overlaps in-flight transfers — which is exactly what the
+    /// critical-path attribution ([`ditto_dm::obs::attribution`]) makes
+    /// visible: decode time outranks the concurrent flight span, so the
+    /// overlapped wire time drops out of the op's serialized total.  The
+    /// span also feeds the `phase="decode"` latency histogram when the op
+    /// survived the recorder's sampling draw.
     fn charge_decode(&self, slots: usize) {
         let t0 = self.dm.now_ns();
         self.dm

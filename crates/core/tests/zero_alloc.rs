@@ -134,4 +134,42 @@ fn steady_state_get_and_set_do_not_allocate() {
         "armed flight recording must not allocate in steady state \
          (counted {armed_allocations} allocations over 4000 operations)"
     );
+
+    // Armed-sampled phase: 1-in-16 sampling must stay allocation-free too —
+    // the sampling draw is a pure hash, the per-phase histograms are
+    // pre-allocated at client construction, and skipped ops record nothing.
+    let sampled_cache = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(600),
+        DmConfig::default().with_flight_recorder_sampled(1 << 14, 16),
+    )
+    .unwrap();
+    let mut sampled_client = sampled_cache.client();
+    for round in 0..2u64 {
+        for i in 0..1_000u64 {
+            sampled_client.set(&key(i), &[round as u8; 200]);
+        }
+        for i in 0..1_000u64 {
+            let _ = sampled_client.get_into(&key(i), &mut value_buf);
+        }
+    }
+    let sampled_allocations = count_allocations(|| {
+        for round in 2..4u64 {
+            for i in 0..1_000u64 {
+                sampled_client.set(&key(i), &[round as u8; 200]);
+            }
+            for i in 0..1_000u64 {
+                let _ = sampled_client.get_into(&key(i), &mut value_buf);
+            }
+        }
+    });
+    let obs = sampled_cache.pool().stats().obs();
+    assert!(
+        obs.ops_sampled > 0 && obs.ops_skipped > 0,
+        "1-in-16 sampling over 16 000 ops must both keep and skip: {obs:?}"
+    );
+    assert_eq!(
+        sampled_allocations, 0,
+        "sampled flight recording must not allocate in steady state \
+         (counted {sampled_allocations} allocations over 4000 operations)"
+    );
 }

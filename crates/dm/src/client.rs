@@ -6,6 +6,7 @@ use crate::config::DmConfig;
 use crate::cq::{Completion, CompletionQueue};
 use crate::error::{DmError, DmResult};
 use crate::fault::VerbFate;
+use crate::histogram::LatencyHistogram;
 use crate::memnode::MemoryNode;
 use crate::obs::{EventKind, FlightRecorder, Phase, Span};
 use crate::pool::MemoryPool;
@@ -48,6 +49,16 @@ pub struct DmClient {
     /// recording never advances the simulated clock either way — an armed
     /// run replays the exact simulated timeline of a disarmed one.
     recorder: Option<RefCell<FlightRecorder>>,
+    /// Whether the current op's span set survives the recorder's sampling
+    /// draw (see [`DmConfig::flight_recorder_sample_one_in`]).  Decided
+    /// once per op in [`DmClient::begin_op`] so an op's spans are kept or
+    /// skipped atomically; starts `true` so pre-op spans (op id 0) record.
+    op_sampled: Cell<bool>,
+    /// Client-local per-phase span-latency histograms, armed alongside the
+    /// recorder.  Allocated once at construction (preserving the zero-
+    /// allocation steady state) and folded into
+    /// [`crate::PoolStats::phase_latency`] when the client drops.
+    phase_hist: Option<Box<[LatencyHistogram; Phase::COUNT]>>,
 }
 
 struct NodeCache {
@@ -99,6 +110,11 @@ impl DmClient {
         let recorder_spans = pool.config().flight_recorder_spans;
         let recorder =
             (recorder_spans > 0).then(|| RefCell::new(FlightRecorder::new(recorder_spans)));
+        let phase_hist = (recorder_spans > 0).then(|| {
+            Box::new(std::array::from_fn::<_, { Phase::COUNT }, _>(|_| {
+                LatencyHistogram::new()
+            }))
+        });
         DmClient {
             pool,
             client_id,
@@ -110,6 +126,8 @@ impl DmClient {
             fault_seq: Cell::new(0),
             op_seq: Cell::new(0),
             recorder,
+            op_sampled: Cell::new(true),
+            phase_hist,
         }
     }
 
@@ -152,6 +170,16 @@ impl DmClient {
         self.recorder.is_some()
     }
 
+    /// Whether a span recorded *right now* would actually land: the
+    /// recorder is armed **and** the current op survived the sampling draw
+    /// (see [`DmConfig::flight_recorder_sample_one_in`]).  Like
+    /// [`DmClient::recorder_armed`] this is for callers that would do
+    /// extra work preparing a span; [`DmClient::record_span`] is free to
+    /// call either way.
+    pub fn span_recording(&self) -> bool {
+        self.recorder.is_some() && self.op_sampled.get()
+    }
+
     /// The op sequence number spans are currently attributed to (bumped by
     /// [`DmClient::begin_op`]; 0 before the first op).
     pub fn op_id(&self) -> u64 {
@@ -160,12 +188,19 @@ impl DmClient {
 
     /// Records a phase-stamped span of simulated time into the flight
     /// recorder.  A no-op (one `Option` discriminant check) when the
-    /// recorder is disarmed; never advances the simulated clock, so armed
-    /// and disarmed runs share one timeline.
+    /// recorder is disarmed, and one extra `Cell` read when the current op
+    /// lost the sampling draw; never advances the simulated clock, so
+    /// armed, sampled, and disarmed runs all share one timeline.
+    ///
+    /// Recorded spans also feed this client's per-phase latency histogram
+    /// (see [`crate::PoolStats::phase_latency`]).
     pub fn record_span(&self, phase: Phase, start_ns: u64, end_ns: u64, detail: u32) {
         let Some(recorder) = &self.recorder else {
             return;
         };
+        if !self.op_sampled.get() {
+            return;
+        }
         let (dropped, wrapped) = recorder.borrow_mut().push(Span {
             op_id: self.op_seq.get(),
             phase,
@@ -174,6 +209,9 @@ impl DmClient {
             detail,
         });
         self.pool.stats().record_span(dropped, wrapped);
+        if let Some(hist) = &self.phase_hist {
+            hist[phase.index()].record(end_ns.saturating_sub(start_ns));
+        }
     }
 
     /// The retained flight-recorder spans, oldest first (empty when
@@ -637,9 +675,24 @@ impl DmClient {
 
     /// Marks the beginning of an application-level operation and advances
     /// the op sequence number that flight-recorder spans are keyed by.
+    ///
+    /// With the recorder armed, this is also where the sampling draw
+    /// happens (see [`DmConfig::flight_recorder_sample_one_in`]): a
+    /// deterministic splitmix64 hash of this client's id and the new op
+    /// sequence number decides whether the whole op's span set records.
+    /// No external seed is involved, so two identical runs — or the same
+    /// run armed at different ring sizes — sample the exact same op ids.
     pub fn begin_op(&self) {
         self.op_seq.set(self.op_seq.get() + 1);
         self.op_start_ns.set(self.clock_ns.get());
+        if self.recorder.is_some() {
+            let one_in = self.pool.config().flight_recorder_sample_one_in.max(1);
+            let sampled = one_in == 1
+                || crate::fault::splitmix64(((self.client_id as u64) << 40) ^ self.op_seq.get())
+                    .is_multiple_of(one_in);
+            self.op_sampled.set(sampled);
+            self.pool.stats().record_op_sampled(sampled);
+        }
     }
 
     /// Marks the end of an application-level operation, recording its latency
@@ -700,6 +753,12 @@ impl DmClient {
 impl Drop for DmClient {
     fn drop(&mut self) {
         self.publish_on_drop();
+        // Fold the client-local per-phase histograms into the pool-wide set
+        // exactly once, so the exposition's phase summaries cover every
+        // client that ever connected.
+        if let Some(hist) = self.phase_hist.take() {
+            self.pool.stats().merge_phase_latency(&hist[..]);
+        }
     }
 }
 
@@ -836,5 +895,83 @@ mod tests {
         let client = pool.connect();
         let cap = pool.config().memory_node_capacity;
         let _ = client.read(RemoteAddr::new(0, cap - 4), 64);
+    }
+
+    /// Runs `ops` one-read ops with one hand-recorded span each and
+    /// returns (sampled op ids from the recorder, pool handle).
+    fn run_sampled(one_in: u64, ops: u64) -> (Vec<u64>, MemoryPool) {
+        let pool =
+            MemoryPool::new(DmConfig::small().with_flight_recorder_sampled(1 << 12, one_in));
+        let client = pool.connect();
+        let addr = pool.reserve(64).unwrap();
+        for _ in 0..ops {
+            client.begin_op();
+            let start = client.now_ns();
+            client.read(addr, 16);
+            client.record_span(Phase::Decode, start, client.now_ns(), 0);
+            client.end_op();
+        }
+        let mut sampled: Vec<u64> = client.flight_spans().iter().map(|s| s.op_id).collect();
+        sampled.dedup();
+        drop(client);
+        (sampled, pool)
+    }
+
+    #[test]
+    fn sampling_draw_is_deterministic_and_accounted() {
+        let (sampled_a, pool_a) = run_sampled(4, 256);
+        let (sampled_b, _pool_b) = run_sampled(4, 256);
+        assert_eq!(
+            sampled_a, sampled_b,
+            "same client/op ids must sample identically across runs"
+        );
+        let obs = pool_a.stats().obs();
+        assert_eq!(obs.ops_sampled + obs.ops_skipped, 256);
+        assert_eq!(sampled_a.len() as u64, obs.ops_sampled);
+        assert!(obs.ops_sampled > 0, "1-in-4 over 256 ops must keep some");
+        assert!(obs.ops_skipped > 0, "1-in-4 over 256 ops must skip some");
+    }
+
+    #[test]
+    fn sample_every_op_keeps_all_and_skipped_ops_record_nothing() {
+        let (sampled, pool) = run_sampled(1, 64);
+        assert_eq!(sampled.len(), 64, "1-in-1 sampling keeps every op");
+        let obs = pool.stats().obs();
+        assert_eq!(obs.ops_sampled, 64);
+        assert_eq!(obs.ops_skipped, 0);
+    }
+
+    #[test]
+    fn phase_histograms_merge_into_pool_on_drop() {
+        let (sampled, pool) = run_sampled(4, 256);
+        // One Decode span per sampled op, plus nothing else: the pool-wide
+        // histogram (merged when the client dropped) must agree exactly.
+        assert_eq!(
+            pool.stats().phase_latency(Phase::Decode).count(),
+            sampled.len() as u64
+        );
+        assert_eq!(pool.stats().phase_latency(Phase::Translate).count(), 0);
+    }
+
+    #[test]
+    fn span_recording_tracks_the_sampling_draw() {
+        let pool =
+            MemoryPool::new(DmConfig::small().with_flight_recorder_sampled(1 << 12, 4));
+        let client = pool.connect();
+        assert!(
+            client.span_recording(),
+            "pre-op spans (op id 0) always record on an armed client"
+        );
+        let mut seen_on = false;
+        let mut seen_off = false;
+        for _ in 0..64 {
+            client.begin_op();
+            match client.span_recording() {
+                true => seen_on = true,
+                false => seen_off = true,
+            }
+            client.end_op();
+        }
+        assert!(seen_on && seen_off, "1-in-4 draw must go both ways in 64 ops");
     }
 }

@@ -77,6 +77,16 @@ pub struct DmConfig {
     /// advances the simulated clock, so an armed run produces the same
     /// simulated timeline as a disarmed one (see [`crate::obs`]).
     pub flight_recorder_spans: usize,
+    /// Sampling rate of the armed flight recorder: full span sets are
+    /// recorded for one in this many application-level operations
+    /// (`1` — the default — records every op).  The per-op keep/skip
+    /// decision is a deterministic `splitmix64` draw over the client id and
+    /// op sequence number, so a sampled run replays exactly and two runs of
+    /// the same workload sample the same op ids.  Skipped ops cost one
+    /// `Cell` read per span; sampled vs skipped ops are counted in
+    /// [`crate::PoolStats::obs`].  Irrelevant while the recorder is
+    /// disarmed (`flight_recorder_spans == 0`).
+    pub flight_recorder_sample_one_in: u64,
     /// Capacity of the pool-wide structured event log (see
     /// [`crate::obs::EventLog`]).  Always on — rare events are cheap —
     /// overflow overwrites the oldest entry and counts a drop.
@@ -104,6 +114,7 @@ impl Default for DmConfig {
             placement: PlacementMode::Striped,
             fault: None,
             flight_recorder_spans: 0,
+            flight_recorder_sample_one_in: 1,
             event_log_capacity: 1024,
         }
     }
@@ -175,9 +186,23 @@ impl DmConfig {
     }
 
     /// Arms each client's flight recorder with a `spans`-deep ring
-    /// (builder style); `0` disarms it.
+    /// (builder style); `0` disarms it.  Every op is recorded; for
+    /// always-on production tracing see
+    /// [`DmConfig::with_flight_recorder_sampled`].
     pub fn with_flight_recorder(mut self, spans: usize) -> Self {
         self.flight_recorder_spans = spans;
+        self.flight_recorder_sample_one_in = 1;
+        self
+    }
+
+    /// Arms each client's flight recorder with a `spans`-deep ring that
+    /// records full span sets for one in `one_in_n` operations (builder
+    /// style).  The keep/skip draw is deterministic over (client id, op id)
+    /// — see [`DmConfig::flight_recorder_sample_one_in`] — so runs replay
+    /// exactly; `one_in_n` of 0 or 1 records every op.
+    pub fn with_flight_recorder_sampled(mut self, spans: usize, one_in_n: u64) -> Self {
+        self.flight_recorder_spans = spans;
+        self.flight_recorder_sample_one_in = one_in_n.max(1);
         self
     }
 
@@ -253,6 +278,19 @@ mod tests {
         let large = c.transfer_latency_ns(2_000, 64 * 1024);
         assert!(large > small);
         assert_eq!(c.transfer_latency_ns(2_000, 0), 2_000);
+    }
+
+    #[test]
+    fn flight_recorder_builders_set_sampling() {
+        let every = DmConfig::default().with_flight_recorder(256);
+        assert_eq!(every.flight_recorder_spans, 256);
+        assert_eq!(every.flight_recorder_sample_one_in, 1);
+        let sampled = DmConfig::default().with_flight_recorder_sampled(256, 16);
+        assert_eq!(sampled.flight_recorder_spans, 256);
+        assert_eq!(sampled.flight_recorder_sample_one_in, 16);
+        // 0 means "every op", not division by zero.
+        let zero = DmConfig::default().with_flight_recorder_sampled(256, 0);
+        assert_eq!(zero.flight_recorder_sample_one_in, 1);
     }
 
     #[test]

@@ -148,8 +148,10 @@ pub struct FaultInjector {
     armed: AtomicBool,
 }
 
-/// SplitMix64: a tiny, high-quality avalanche over the draw inputs.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64: a tiny, high-quality avalanche over the draw inputs.  Shared
+/// with the flight recorder's per-op sampling draw (see
+/// [`crate::DmClient::begin_op`]), which needs the same replayability.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

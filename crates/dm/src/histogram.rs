@@ -81,6 +81,15 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Exact sum of every recorded sample, in nanoseconds.
+    ///
+    /// Unlike the bucketed quantiles this is lossless: `record` adds the
+    /// raw value into an atomic accumulator, so exporters can report the
+    /// true total instead of reconstructing it from the (float) mean.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
     /// Mean latency in nanoseconds, or 0 when empty.
     pub fn mean_ns(&self) -> f64 {
         let c = self.count();
@@ -232,6 +241,23 @@ mod tests {
         h.record(1_000);
         h.record(3_000);
         assert_eq!(h.mean_ns(), 2_000.0);
+    }
+
+    #[test]
+    fn sum_is_exact_over_recorded_values() {
+        // The bucketed quantiles are lossy; the sum must not be.  Values
+        // large enough that a float round-trip through the mean would lose
+        // low-order bits are included deliberately.
+        let h = LatencyHistogram::new();
+        let values = [1u64, 7, 12_345, (1 << 53) + 1, (1 << 53) + 3, 999_999_999_999];
+        let mut expected = 0u64;
+        for v in values {
+            h.record(v);
+            expected += v;
+        }
+        assert_eq!(h.sum_ns(), expected, "sum must equal Σ recorded exactly");
+        h.merge(&h);
+        assert_eq!(h.sum_ns(), 2 * expected, "merge adds sums exactly");
     }
 
     #[test]

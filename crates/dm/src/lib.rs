@@ -197,6 +197,30 @@
 //!   is one `Option` discriminant check and the ring is never allocated.
 //!   The ring overwrites its oldest span when full and counts the drop —
 //!   steady state allocates nothing.
+//! * **Sampled always-on arming** — for long runs,
+//!   [`DmConfig::with_flight_recorder_sampled`] keeps the recorder armed
+//!   but records full span sets for only one op in *N*: a deterministic
+//!   `splitmix64` draw over `(client id, op sequence)` decides in
+//!   [`DmClient::begin_op`], so identical runs sample identical op ids and
+//!   an op's spans are kept or skipped *atomically* (no half-traced ops).
+//!   Skipped ops cost one `Cell` read per would-be span; the kept/skipped
+//!   split is counted in [`ObsSnapshot`] (`ops_sampled` / `ops_skipped`).
+//! * **Per-phase latency histograms** — every recorded span also feeds a
+//!   client-local [`LatencyHistogram`] for its [`Phase`], folded into
+//!   [`PoolStats::phase_latency`] when the client drops and exported as
+//!   the `ditto_phase_latency_seconds{phase=...}` summary.  Under 1-in-N
+//!   sampling these are quantiles *of the sampled ops* — unbiased for the
+//!   population because the draw is keyed on op sequence, not latency.
+//! * **Critical-path attribution** — [`obs::attribution`] replays the
+//!   span sets of pipelined ops and charges every instant to the
+//!   highest-ranked phase active at that instant (CPU/lock work ≻ CQ
+//!   waits ≻ wire flight), yielding an [`AttributionTable`]: per-phase
+//!   *critical* (serialized) time vs raw span time, the overlap the
+//!   pipeline hid, and which phase dominates the ops at/above p99.
+//!   Because slices with no active span stay unattributed, the per-phase
+//!   critical shares sum to at most 100 % of elapsed op time.  The
+//!   `obs_report` bin (in `ditto-bench`) runs it offline over an exported
+//!   Chrome trace.
 //! * **Structured event log** — rare, high-signal transitions (verb
 //!   faults, lock steals and fenced releases, retry-budget exhaustions,
 //!   lease reclaims, migration stripe states, resize-epoch bumps,
@@ -264,8 +288,8 @@ pub use migration::{
     RECONCILE_POISON,
 };
 pub use obs::{
-    Event, EventKind, EventLog, FlightRecorder, Phase, RecoveryPhase, Span, StripeState,
-    POOL_EVENT_CLIENT,
+    attribution, AttributionTable, Event, EventKind, EventLog, FlightRecorder, Phase,
+    PhaseAttribution, RecoveryPhase, Span, StripeState, POOL_EVENT_CLIENT,
 };
 pub use pool::MemoryPool;
 pub use rpc::{RpcHandler, RpcOutcome};

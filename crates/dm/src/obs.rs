@@ -53,6 +53,28 @@ pub enum Phase {
 }
 
 impl Phase {
+    /// Number of phases; sizes the per-phase histogram arrays in
+    /// [`crate::PoolStats`] and the attribution tables below.
+    pub const COUNT: usize = 9;
+
+    /// Every phase, in declaration order ([`Phase::index`] order).
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Translate,
+        Phase::Post,
+        Phase::Flight,
+        Phase::Poll,
+        Phase::Decode,
+        Phase::Publish,
+        Phase::Lock,
+        Phase::Evict,
+        Phase::Relocate,
+    ];
+
+    /// Dense index of this phase (declaration order, `< Phase::COUNT`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Stable lowercase name used by the exporters.
     pub fn name(self) -> &'static str {
         match self {
@@ -66,6 +88,12 @@ impl Phase {
             Phase::Evict => "evict",
             Phase::Relocate => "relocate",
         }
+    }
+
+    /// Inverse of [`Phase::name`], for exporters that round-trip through
+    /// text (the Chrome-trace analyzer re-keys events by this).
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.name() == name)
     }
 }
 
@@ -456,12 +484,25 @@ fn push_json_escaped(out: &mut String, s: &str) {
 ///
 /// Each span becomes a complete (`"ph":"X"`) event with `pid` 0 and `tid`
 /// the client id; timestamps are microseconds of **simulated** time.  Each
-/// [`Event`] becomes a global instant (`"ph":"i"`).  No `serde_json` is
-/// involved: the build image has no crates.io access, so the writer emits
-/// the JSON by hand.
+/// [`Event`] becomes a global instant (`"ph":"i"`).  Metadata records
+/// (`"ph":"M"`) name the process `ditto-pool` and each tid `client-<id>`,
+/// so Perfetto labels the rows instead of showing bare thread numbers.  No
+/// `serde_json` is involved: the build image has no crates.io access, so
+/// the writer emits the JSON by hand.
 pub fn chrome_trace_json(traces: &[(u32, Vec<Span>)], events: &[Event]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
-    let mut first = true;
+    // Metadata records lead the stream, so `first` below is always false.
+    let mut first = false;
+    out.push_str(
+        "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"ditto-pool\"}}",
+    );
+    for (client_id, _) in traces {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{client_id},\
+             \"args\":{{\"name\":\"client-{client_id}\"}}}}"
+        ));
+    }
     for (client_id, spans) in traces {
         for span in spans {
             if !first {
@@ -504,6 +545,219 @@ pub fn chrome_trace_json(traces: &[(u32, Vec<Span>)], events: &[Event]) -> Strin
     out
 }
 
+/// One phase's slice of an [`AttributionTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseAttribution {
+    /// Spans of this phase across the attributed ops.
+    pub spans: u64,
+    /// Raw span time: the sum of span durations, counting overlapped
+    /// stretches once per span.
+    pub raw_ns: u64,
+    /// Critical-path (serialized) time: nanoseconds of op timeline
+    /// *exclusively* attributed to this phase.  Each instant of an op is
+    /// charged to at most one active phase — CPU phases outrank CQ waits,
+    /// which outrank pure wire flight — so summing `critical_ns` over all
+    /// phases never exceeds the ops' elapsed time.
+    pub critical_ns: u64,
+    /// Median raw span duration of this phase, in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile raw span duration of this phase, in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Per-phase latency attribution over a set of flight-recorder traces:
+/// where op time actually goes once pipelined spans overlap.
+///
+/// Built by [`attribution`] from the same `(client, spans)` collections
+/// [`chrome_trace_json`] consumes.  `raw` time counts every span in full;
+/// `critical` time serializes overlap by charging each instant of an op to
+/// the highest-ranked phase active at that instant (`Lock`/`Evict`/CPU
+/// work ≻ `Poll` waits ≻ `Flight` wire time), so the per-phase critical
+/// shares sum to at most 100 % of the elapsed op time and their difference
+/// from raw time is precisely the latency the pipeline hid.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionTable {
+    /// Ops attributed (distinct `(client, op_id)` pairs, `op_id > 0`).
+    pub ops: u64,
+    /// Σ per-op elapsed time (first span start to last span end), ns.
+    pub elapsed_ns: u64,
+    /// Σ raw span durations, ns.
+    pub raw_ns: u64,
+    /// Σ exclusively attributed time, ns (`<= elapsed_ns`).
+    pub critical_ns: u64,
+    /// Median per-op elapsed time, ns.
+    pub op_p50_ns: u64,
+    /// 99th-percentile per-op elapsed time, ns.
+    pub op_p99_ns: u64,
+    /// Per-phase totals over **all** ops, indexed by [`Phase::index`].
+    pub phases: [PhaseAttribution; Phase::COUNT],
+    /// Ops in the latency tail (elapsed `>= op_p99_ns`).
+    pub tail_ops: u64,
+    /// Σ elapsed time of the tail ops, ns.
+    pub tail_elapsed_ns: u64,
+    /// Per-phase **critical** time inside the tail ops only: which phase
+    /// dominates p99.  Indexed by [`Phase::index`].
+    pub tail: [PhaseAttribution; Phase::COUNT],
+}
+
+impl AttributionTable {
+    /// Latency the pipeline hid: raw span time minus serialized time.
+    pub fn overlap_saved_ns(&self) -> u64 {
+        self.raw_ns.saturating_sub(self.critical_ns)
+    }
+
+    /// Renders the table in the fixed-width layout `obs_report` prints.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "ops {}   op p50 {:.2} us   op p99 {:.2} us   overlap saved {:.1} us total\n",
+            self.ops,
+            self.op_p50_ns as f64 / 1e3,
+            self.op_p99_ns as f64 / 1e3,
+            self.overlap_saved_ns() as f64 / 1e3,
+        ));
+        out.push_str(
+            "phase      spans    p50_us    p99_us  critical%     tail%  (critical share of op time; tail = ops at/above p99)\n",
+        );
+        for phase in Phase::ALL {
+            let p = &self.phases[phase.index()];
+            if p.spans == 0 {
+                continue;
+            }
+            let share = 100.0 * p.critical_ns as f64 / self.elapsed_ns.max(1) as f64;
+            let tail_share = 100.0 * self.tail[phase.index()].critical_ns as f64
+                / self.tail_elapsed_ns.max(1) as f64;
+            out.push_str(&format!(
+                "{:<9} {:>6} {:>9.2} {:>9.2} {:>9.1} {:>9.1}\n",
+                phase.name(),
+                p.spans,
+                p.p50_ns as f64 / 1e3,
+                p.p99_ns as f64 / 1e3,
+                share,
+                tail_share,
+            ));
+        }
+        out
+    }
+}
+
+/// Rank deciding which active phase an instant of op time is charged to
+/// (highest wins).  Pure wire flight only collects time no other phase
+/// claims; CQ waits hide behind concurrent CPU work; the remaining (CPU /
+/// lock / maintenance) phases rarely overlap each other and tie-break by
+/// declaration order.
+fn attribution_rank(phase: Phase) -> u8 {
+    match phase {
+        Phase::Flight => 0,
+        Phase::Poll => 1,
+        _ => 2 + phase.index() as u8,
+    }
+}
+
+fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Computes per-phase critical-path attribution over per-client span
+/// collections (the shape [`chrome_trace_json`] takes).
+///
+/// Spans are grouped into ops by `(client, op_id)`; spans with `op_id == 0`
+/// (recorded outside any [`crate::DmClient::begin_op`] window — setup,
+/// maintenance) are excluded.  Within an op, every elementary time slice is
+/// charged to the highest-ranked phase active during it (see
+/// [`AttributionTable`]: CPU/lock work ≻ CQ waits ≻ wire flight);
+/// slices where no span is active (client-side think time between posts)
+/// are left unattributed, which is why per-phase critical shares sum to
+/// **at most** 100 % of the elapsed op time.
+pub fn attribution(traces: &[(u32, Vec<Span>)]) -> AttributionTable {
+    let mut table = AttributionTable::default();
+    let mut op_elapsed: Vec<u64> = Vec::new();
+    // (elapsed, per-phase critical ns) per op, for the tail pass.
+    let mut per_op: Vec<(u64, [u64; Phase::COUNT])> = Vec::new();
+    let mut durations: [Vec<u64>; Phase::COUNT] = Default::default();
+
+    for (_client, spans) in traces {
+        let mut idx = 0;
+        while idx < spans.len() {
+            let op_id = spans[idx].op_id;
+            let mut end = idx + 1;
+            while end < spans.len() && spans[end].op_id == op_id {
+                end += 1;
+            }
+            let op = &spans[idx..end];
+            idx = end;
+            if op_id == 0 {
+                continue;
+            }
+
+            let start_ns = op.iter().map(|s| s.start_ns).min().unwrap_or(0);
+            let end_ns = op.iter().map(|s| s.end_ns).max().unwrap_or(0);
+            let elapsed = end_ns.saturating_sub(start_ns);
+            let mut critical = [0u64; Phase::COUNT];
+
+            // Elementary slices between consecutive span boundaries.
+            let mut bounds: Vec<u64> = Vec::with_capacity(op.len() * 2);
+            for s in op {
+                bounds.push(s.start_ns);
+                bounds.push(s.end_ns);
+            }
+            bounds.sort_unstable();
+            bounds.dedup();
+            for w in bounds.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let winner = op
+                    .iter()
+                    .filter(|s| s.start_ns <= lo && s.end_ns >= hi)
+                    .map(|s| s.phase)
+                    .max_by_key(|p| attribution_rank(*p));
+                if let Some(phase) = winner {
+                    critical[phase.index()] += hi - lo;
+                }
+            }
+
+            for s in op {
+                let p = &mut table.phases[s.phase.index()];
+                p.spans += 1;
+                p.raw_ns += s.duration_ns();
+                table.raw_ns += s.duration_ns();
+                durations[s.phase.index()].push(s.duration_ns());
+            }
+            for (i, ns) in critical.iter().enumerate() {
+                table.phases[i].critical_ns += ns;
+                table.critical_ns += ns;
+            }
+            table.ops += 1;
+            table.elapsed_ns += elapsed;
+            op_elapsed.push(elapsed);
+            per_op.push((elapsed, critical));
+        }
+    }
+
+    op_elapsed.sort_unstable();
+    table.op_p50_ns = percentile_sorted(&op_elapsed, 0.50);
+    table.op_p99_ns = percentile_sorted(&op_elapsed, 0.99);
+    for (i, d) in durations.iter_mut().enumerate() {
+        d.sort_unstable();
+        table.phases[i].p50_ns = percentile_sorted(d, 0.50);
+        table.phases[i].p99_ns = percentile_sorted(d, 0.99);
+    }
+    for (elapsed, critical) in &per_op {
+        if *elapsed < table.op_p99_ns {
+            continue;
+        }
+        table.tail_ops += 1;
+        table.tail_elapsed_ns += elapsed;
+        for (i, ns) in critical.iter().enumerate() {
+            table.tail[i].critical_ns += ns;
+        }
+    }
+    table
+}
+
 fn metric(out: &mut String, name: &str, help: &str, kind: &str, value: impl fmt::Display) {
     out.push_str(&format!(
         "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
@@ -544,9 +798,35 @@ pub fn text_exposition(stats: &PoolStats) -> String {
     }
     out.push_str(&format!(
         "ditto_op_latency_seconds_sum {:.9}\nditto_op_latency_seconds_count {}\n",
-        latency.mean_ns() * latency.count() as f64 / 1e9,
+        latency.sum_ns() as f64 / 1e9,
         latency.count(),
     ));
+    metric_header(
+        &mut out,
+        "ditto_phase_latency_seconds",
+        "Span latency per operation phase, from (sampled) flight-recorder \
+         spans; only phases with recorded spans appear.",
+        "summary",
+    );
+    for phase in Phase::ALL {
+        let hist = stats.phase_latency(phase);
+        if hist.count() == 0 {
+            continue;
+        }
+        let name = phase.name();
+        for (q, v) in qs.iter().zip(hist.quantiles(&qs).iter()) {
+            out.push_str(&format!(
+                "ditto_phase_latency_seconds{{phase=\"{name}\",quantile=\"{q}\"}} {:.9}\n",
+                *v as f64 / 1e9
+            ));
+        }
+        out.push_str(&format!(
+            "ditto_phase_latency_seconds_sum{{phase=\"{name}\"}} {:.9}\n\
+             ditto_phase_latency_seconds_count{{phase=\"{name}\"}} {}\n",
+            hist.sum_ns() as f64 / 1e9,
+            hist.count(),
+        ));
+    }
     metric(
         &mut out,
         "ditto_doorbells_total",
@@ -804,6 +1084,20 @@ pub fn text_exposition(stats: &PoolStats) -> String {
         "counter",
         obs.events_dropped,
     );
+    metric(
+        &mut out,
+        "ditto_obs_ops_sampled_total",
+        "Ops whose span sets the armed flight recorder kept (lifetime).",
+        "counter",
+        obs.ops_sampled,
+    );
+    metric(
+        &mut out,
+        "ditto_obs_ops_skipped_total",
+        "Ops the armed flight recorder's sampling draw skipped (lifetime).",
+        "counter",
+        obs.ops_skipped,
+    );
     out
 }
 
@@ -935,6 +1229,145 @@ mod tests {
         let json = chrome_trace_json(&[], &[]);
         assert!(json.contains("\"traceEvents\":["));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_trace_metadata_labels_process_and_threads() {
+        let traces = vec![
+            (3u32, vec![span(17, 1_000, 3_500)]),
+            (9u32, Vec::new()),
+        ];
+        let json = chrome_trace_json(&traces, &[]);
+        assert!(json.contains("\"ph\":\"M\""), "{json}");
+        assert!(
+            json.contains("\"name\":\"process_name\"") && json.contains("\"name\":\"ditto-pool\""),
+            "{json}"
+        );
+        // One thread_name record per client, even span-less ones.
+        assert!(
+            json.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":3")
+                && json.contains("\"name\":\"client-3\""),
+            "{json}"
+        );
+        assert!(json.contains("\"name\":\"client-9\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(phase.index(), i, "ALL must follow declaration order");
+            assert_eq!(Phase::from_name(phase.name()), Some(*phase));
+        }
+        assert_eq!(Phase::from_name("no-such-phase"), None);
+    }
+
+    fn pspan(op_id: u64, phase: Phase, start: u64, end: u64) -> Span {
+        Span {
+            op_id,
+            phase,
+            start_ns: start,
+            end_ns: end,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn attribution_serializes_overlap_exclusively() {
+        // One pipelined op: decode work [40,80) overlaps the flight
+        // [10,110); the poll wait [110,130) closes it out.  An op-id-0
+        // setup span must be excluded.
+        let traces = vec![(0u32, vec![
+            pspan(0, Phase::Translate, 0, 1_000_000),
+            pspan(1, Phase::Post, 0, 10),
+            pspan(1, Phase::Flight, 10, 110),
+            pspan(1, Phase::Decode, 40, 80),
+            pspan(1, Phase::Poll, 110, 130),
+        ])];
+        let table = attribution(&traces);
+        assert_eq!(table.ops, 1);
+        assert_eq!(table.elapsed_ns, 130);
+        assert_eq!(table.raw_ns, 10 + 100 + 40 + 20);
+        // Decode outranks Flight over [40,80), so flight keeps only the
+        // uncovered [10,40) and [80,110) slices.
+        assert_eq!(table.phases[Phase::Post.index()].critical_ns, 10);
+        assert_eq!(table.phases[Phase::Flight.index()].critical_ns, 60);
+        assert_eq!(table.phases[Phase::Decode.index()].critical_ns, 40);
+        assert_eq!(table.phases[Phase::Poll.index()].critical_ns, 20);
+        assert_eq!(table.critical_ns, 130, "no gaps: fully attributed");
+        assert_eq!(table.overlap_saved_ns(), 40);
+        assert_eq!(
+            table.phases[Phase::Translate.index()],
+            PhaseAttribution::default(),
+            "op-id-0 spans are excluded"
+        );
+        // A single op is its own p50, p99 and tail.
+        assert_eq!(table.op_p50_ns, 130);
+        assert_eq!(table.op_p99_ns, 130);
+        assert_eq!(table.tail_ops, 1);
+        assert_eq!(table.tail_elapsed_ns, 130);
+        assert_eq!(table.tail[Phase::Flight.index()].critical_ns, 60);
+        // The rendered table carries every non-empty phase and the header.
+        let rendered = table.format();
+        for needle in ["ops 1", "post", "flight", "decode", "poll"] {
+            assert!(rendered.contains(needle), "missing {needle:?}:\n{rendered}");
+        }
+        assert!(!rendered.contains("translate"), "{rendered}");
+    }
+
+    #[test]
+    fn attribution_leaves_think_time_unattributed() {
+        // Two spans separated by client think time: the gap belongs to no
+        // phase, so critical time undershoots elapsed time.
+        let traces = vec![(1u32, vec![
+            pspan(1, Phase::Post, 0, 10),
+            pspan(1, Phase::Poll, 50, 70),
+        ])];
+        let table = attribution(&traces);
+        assert_eq!(table.elapsed_ns, 70);
+        assert_eq!(table.critical_ns, 30);
+        assert!(table.critical_ns <= table.elapsed_ns);
+    }
+
+    #[test]
+    fn text_exposition_reports_exact_latency_sum() {
+        let stats = PoolStats::new(1);
+        stats.record_op(5_000);
+        stats.record_op(1_234);
+        let text = text_exposition(&stats);
+        // 6 234 ns exactly — not a bucketed mean multiplied back out.
+        assert!(
+            text.contains("ditto_op_latency_seconds_sum 0.000006234"),
+            "{text}"
+        );
+        assert!(text.contains("ditto_op_latency_seconds_count 2"), "{text}");
+    }
+
+    #[test]
+    fn text_exposition_phase_summaries_only_name_fed_phases() {
+        let stats = PoolStats::new(1);
+        let local: Vec<crate::LatencyHistogram> =
+            (0..Phase::COUNT).map(|_| crate::LatencyHistogram::new()).collect();
+        local[Phase::Flight.index()].record(2_000);
+        local[Phase::Flight.index()].record(3_000);
+        stats.merge_phase_latency(&local);
+        stats.record_op_sampled(true);
+        stats.record_op_sampled(false);
+        let text = text_exposition(&stats);
+        for needle in [
+            "# TYPE ditto_phase_latency_seconds summary",
+            "ditto_phase_latency_seconds{phase=\"flight\",quantile=\"0.5\"}",
+            "ditto_phase_latency_seconds_sum{phase=\"flight\"} 0.000005000",
+            "ditto_phase_latency_seconds_count{phase=\"flight\"} 2",
+            "ditto_obs_ops_sampled_total 1",
+            "ditto_obs_ops_skipped_total 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert!(
+            !text.contains("phase=\"translate\""),
+            "empty phases must not appear:\n{text}"
+        );
     }
 
     #[test]

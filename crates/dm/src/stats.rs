@@ -10,6 +10,7 @@
 
 use crate::config::DmConfig;
 use crate::histogram::LatencyHistogram;
+use crate::obs::Phase;
 use crate::topology::MAX_POOL_NODES;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -217,6 +218,19 @@ pub struct PoolStats {
     events_recorded: AtomicU64,
     /// Structured events lost to ring overwrites.  Survives reset.
     events_dropped: AtomicU64,
+    /// Ops whose span sets the armed flight recorder kept (sampling draw
+    /// hit; see [`DmConfig::flight_recorder_sample_one_in`]).  Survives
+    /// reset.
+    ops_sampled: AtomicU64,
+    /// Ops the armed flight recorder's sampling draw skipped.  Survives
+    /// reset.
+    ops_skipped: AtomicU64,
+    /// Per-phase span-latency histograms (indexed by
+    /// [`Phase::index`]), merged in from each client's local set when the
+    /// client drops.  Like the obs counters this is lifetime state: it
+    /// survives [`PoolStats::reset`], so the exposition's phase summaries
+    /// describe the whole run.
+    phase_latency: Vec<LatencyHistogram>,
 }
 
 /// Point-in-time copy of the pool's contention counters.
@@ -327,6 +341,10 @@ pub struct ObsSnapshot {
     pub events_recorded: u64,
     /// Structured events lost to ring overwrites.
     pub events_dropped: u64,
+    /// Ops whose span sets the armed recorder's sampling draw kept.
+    pub ops_sampled: u64,
+    /// Ops the armed recorder's sampling draw skipped.
+    pub ops_skipped: u64,
 }
 
 impl ObsSnapshot {
@@ -338,6 +356,8 @@ impl ObsSnapshot {
             recorder_wraps: self.recorder_wraps.saturating_sub(earlier.recorder_wraps),
             events_recorded: self.events_recorded.saturating_sub(earlier.events_recorded),
             events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
+            ops_sampled: self.ops_sampled.saturating_sub(earlier.ops_sampled),
+            ops_skipped: self.ops_skipped.saturating_sub(earlier.ops_skipped),
         }
     }
 }
@@ -394,6 +414,13 @@ impl PoolStats {
             recorder_wraps: AtomicU64::new(0),
             events_recorded: AtomicU64::new(0),
             events_dropped: AtomicU64::new(0),
+            ops_sampled: AtomicU64::new(0),
+            ops_skipped: AtomicU64::new(0),
+            phase_latency: {
+                let mut v = Vec::with_capacity(Phase::COUNT);
+                v.resize_with(Phase::COUNT, LatencyHistogram::new);
+                v
+            },
         }
     }
 
@@ -716,6 +743,16 @@ impl PoolStats {
         }
     }
 
+    /// Records the sampling decision the armed flight recorder made for
+    /// one op (see [`DmConfig::flight_recorder_sample_one_in`]).
+    pub fn record_op_sampled(&self, sampled: bool) {
+        if sampled {
+            self.ops_sampled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ops_skipped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshot of the lifetime observability self-accounting counters.
     /// Diff two snapshots ([`ObsSnapshot::delta`]) for per-interval figures
     /// — these counters survive [`PoolStats::reset`].
@@ -726,6 +763,24 @@ impl PoolStats {
             recorder_wraps: self.recorder_wraps.load(Ordering::Relaxed),
             events_recorded: self.events_recorded.load(Ordering::Relaxed),
             events_dropped: self.events_dropped.load(Ordering::Relaxed),
+            ops_sampled: self.ops_sampled.load(Ordering::Relaxed),
+            ops_skipped: self.ops_skipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The pool-wide span-latency histogram for `phase`, merged in from
+    /// each client's local histograms when the client drops.  Lifetime
+    /// state — survives [`PoolStats::reset`].
+    pub fn phase_latency(&self, phase: Phase) -> &LatencyHistogram {
+        &self.phase_latency[phase.index()]
+    }
+
+    /// Folds a client's local per-phase histograms (indexed by
+    /// [`Phase::index`]) into the pool-wide set.  Called once per client,
+    /// from [`crate::DmClient`]'s drop path.
+    pub fn merge_phase_latency(&self, local: &[LatencyHistogram]) {
+        for (pooled, client) in self.phase_latency.iter().zip(local) {
+            pooled.merge(client);
         }
     }
 
@@ -833,9 +888,13 @@ impl PoolStats {
     /// counters (see [`PoolStats::contention`]), the fault / retry /
     /// recovery counters (see [`PoolStats::faults`]) and the observability
     /// self-accounting counters (see [`PoolStats::obs`]: spans recorded /
-    /// dropped, recorder wraps, events recorded / dropped) deliberately
-    /// survive — a recorder that wrapped or an event log that overflowed
-    /// during warm-up must stay visible to the measured phase.
+    /// dropped, recorder wraps, events recorded / dropped, ops sampled /
+    /// skipped) deliberately survive — a recorder that wrapped or an event
+    /// log that overflowed during warm-up must stay visible to the
+    /// measured phase.  The per-phase span-latency histograms (see
+    /// [`PoolStats::phase_latency`]) survive too: they are fed from
+    /// (sampled) flight-recorder spans and describe the whole run, not a
+    /// measurement interval.
     pub fn reset(&self) {
         self.clock_baseline_ns
             .fetch_max(self.max_client_clock_ns.load(Ordering::Relaxed), Ordering::Relaxed);
@@ -1102,6 +1161,9 @@ mod tests {
         stats.record_span(true, true);
         stats.record_event_logged(false);
         stats.record_event_logged(true);
+        stats.record_op_sampled(true);
+        stats.record_op_sampled(false);
+        stats.record_op_sampled(false);
         let before = stats.obs();
         let expected = ObsSnapshot {
             spans_recorded: 3,
@@ -1109,12 +1171,15 @@ mod tests {
             recorder_wraps: 1,
             events_recorded: 2,
             events_dropped: 1,
+            ops_sampled: 1,
+            ops_skipped: 2,
         };
         assert_eq!(before, expected);
         stats.reset();
         assert_eq!(stats.obs(), before, "obs counters are lifetime");
         stats.record_span(false, false);
         stats.record_event_logged(false);
+        stats.record_op_sampled(true);
         let delta = stats.obs().delta(&before);
         assert_eq!(
             delta,
@@ -1124,8 +1189,35 @@ mod tests {
                 recorder_wraps: 0,
                 events_recorded: 1,
                 events_dropped: 0,
+                ops_sampled: 1,
+                ops_skipped: 0,
             }
         );
+    }
+
+    #[test]
+    fn phase_latency_histograms_survive_reset() {
+        let stats = PoolStats::new(1);
+        let local: Vec<LatencyHistogram> =
+            (0..Phase::COUNT).map(|_| LatencyHistogram::new()).collect();
+        local[Phase::Flight.index()].record(1_500);
+        local[Phase::Flight.index()].record(2_500);
+        local[Phase::Poll.index()].record(300);
+        stats.merge_phase_latency(&local);
+        assert_eq!(stats.phase_latency(Phase::Flight).count(), 2);
+        assert_eq!(stats.phase_latency(Phase::Flight).sum_ns(), 4_000);
+        assert_eq!(stats.phase_latency(Phase::Poll).count(), 1);
+        assert_eq!(stats.phase_latency(Phase::Translate).count(), 0);
+        stats.reset();
+        assert_eq!(
+            stats.phase_latency(Phase::Flight).count(),
+            2,
+            "phase histograms are lifetime state"
+        );
+        // A second client merging after the reset accumulates on top.
+        stats.merge_phase_latency(&local);
+        assert_eq!(stats.phase_latency(Phase::Flight).count(), 4);
+        assert_eq!(stats.phase_latency(Phase::Flight).sum_ns(), 8_000);
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! Quickstart: deploy Ditto on a simulated disaggregated-memory pool, run a
 //! small skewed workload from several client threads and print the resulting
-//! throughput, latency and adaptive-caching statistics.
+//! throughput, latency, adaptive-caching statistics and phase-level latency
+//! attribution.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use ditto::cache::{DittoCache, DittoConfig};
+use ditto::dm::obs::attribution;
 use ditto::dm::{run_clients, DmConfig};
 use ditto::workloads::{replay, ReplayOptions, YcsbSpec, YcsbWorkload};
 
 fn main() {
     // A cache holding 20 000 objects of ~256 B on a single memory node with a
     // weak (1-core) controller, exactly like the paper's testbed topology.
+    // The flight recorder is armed in its production shape: always on, but
+    // sampling 1 op in 8 (a deterministic hash of (client, op sequence), so
+    // reruns sample the same ops).  Sampling costs nothing on the simulated
+    // timeline and feeds the per-phase histograms on the exposition page.
     let config = DittoConfig::with_capacity(20_000);
-    let cache = DittoCache::with_dedicated_pool(config, DmConfig::default())
-        .expect("cache construction");
+    let dm = DmConfig::default().with_flight_recorder_sampled(1 << 15, 8);
+    let cache = DittoCache::with_dedicated_pool(config, dm).expect("cache construction");
 
     // A scaled-down YCSB-B workload (95 % GET / 5 % UPDATE, Zipfian 0.99).
     let spec = YcsbSpec {
@@ -61,9 +67,34 @@ fn main() {
     println!("evictions              : {}", cache_stats.evictions + cache_stats.bucket_evictions);
     println!("regrets collected      : {}", cache_stats.regrets);
     println!("global expert weights  : {:?}", cache.global_weights());
+    let obs = cache.pool().stats().obs();
+    println!(
+        "sampled ops            : {} kept / {} skipped (1-in-8)",
+        obs.ops_sampled, obs.ops_skipped
+    );
+
+    // Phase-level attribution: replay a short stream on one more client and
+    // serialize its sampled spans into a critical-path table.  Reading the
+    // table: `critical%` is the share of op time each phase owns once
+    // pipelined overlap is charged exclusively (CPU work outranks CQ waits,
+    // which outrank wire flight — the shares sum to at most 100 %), and
+    // `tail%` is the same share inside the ops at/above the p99, i.e. which
+    // phase to blame for the tail.
+    let mut tracer = cache.client();
+    replay(
+        &mut tracer,
+        spec.run_requests_seeded(YcsbWorkload::B, 7).into_iter().take(4_000),
+        ReplayOptions::default(),
+    );
+    tracer.flush();
+    let table = attribution(&[(tracer.dm().client_id(), tracer.dm().flight_spans())]);
+    println!("\n== phase attribution (sampled, one tracer client) ==");
+    print!("{}", table.format());
 
     // The same run, as the unified Prometheus-style exposition: every pool
-    // counter group plus the cache-level series on one scrape page.
+    // counter group plus the cache-level series on one scrape page — now
+    // including the `ditto_phase_latency_seconds{phase=...}` summaries the
+    // sampled recorder fed.
     println!("\n== metrics exposition ==");
     print!("{}", cache.text_exposition());
 }
