@@ -167,16 +167,14 @@ impl CliqueMapCache {
         let state = Arc::new(Mutex::new(ServerState::default()));
         // The RPC service only exists to charge controller CPU for Sets and
         // access-record merges; the state lives in this process.
-        let cpu_charger = Arc::new(
-            move |_node: &ditto_dm::MemoryNode, request: &[u8]| {
-                let cpu = request
-                    .get(..8)
-                    .and_then(|b| <[u8; 8]>::try_from(b).ok())
-                    .map(u64::from_le_bytes)
-                    .unwrap_or(0);
-                Ok(ditto_dm::rpc::RpcOutcome::new(Vec::new(), cpu))
-            },
-        );
+        let cpu_charger = Arc::new(move |_node: &ditto_dm::MemoryNode, request: &[u8]| {
+            let cpu = request
+                .get(..8)
+                .and_then(|b| <[u8; 8]>::try_from(b).ok())
+                .map(u64::from_le_bytes)
+                .unwrap_or(0);
+            Ok(ditto_dm::rpc::RpcOutcome::new(Vec::new(), cpu))
+        });
         pool.register_handler(CLIQUEMAP_SERVICE, cpu_charger);
         CliqueMapCache {
             pool,

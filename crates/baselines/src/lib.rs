@@ -20,4 +20,4 @@ pub mod shardlru;
 
 pub use cliquemap::{CliqueMapCache, CliqueMapClient, CliqueMapConfig, ServerPolicy};
 pub use monolithic::{MonolithicConfig, RedisLikeCluster, ScaleEvent, TimelinePoint};
-pub use shardlru::{LockedListCache, LockedListClient, LockedListConfig, ListVariant};
+pub use shardlru::{ListVariant, LockedListCache, LockedListClient, LockedListConfig};

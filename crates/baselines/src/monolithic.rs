@@ -144,8 +144,7 @@ impl RedisLikeCluster {
         }
         let (small, large) = if from < to { (from, to) } else { (to, from) };
         let moved_fraction = 1.0 - small as f64 / large as f64;
-        let bytes =
-            self.config.num_keys as f64 * self.config.value_size as f64 * moved_fraction;
+        let bytes = self.config.num_keys as f64 * self.config.value_size as f64 * moved_fraction;
         bytes / self.config.migration_bandwidth
     }
 
@@ -225,7 +224,10 @@ mod tests {
         let c = cluster();
         let s32 = c.hottest_shard_share(32);
         let s64 = c.hottest_shard_share(64);
-        assert!(s32 > 1.0 / 32.0, "skew must make the hottest shard over-loaded");
+        assert!(
+            s32 > 1.0 / 32.0,
+            "skew must make the hottest shard over-loaded"
+        );
         assert!(s64 < s32);
         assert!(s64 > 1.0 / 64.0);
     }
@@ -268,13 +270,13 @@ mod tests {
             .find(|p| p.seconds >= 100.0)
             .unwrap()
             .throughput_mops;
-        let during = timeline
-            .iter()
-            .find(|p| p.seconds >= 200.0)
-            .unwrap();
+        let during = timeline.iter().find(|p| p.seconds >= 200.0).unwrap();
         let after = timeline.last().unwrap();
         assert!(during.migrating, "migration should be in flight at t=200 s");
-        assert!(during.throughput_mops < before, "throughput dips during migration");
+        assert!(
+            during.throughput_mops < before,
+            "throughput dips during migration"
+        );
         assert!(during.p99_us > c.config().base_p99_us);
         assert!(!after.migrating);
         assert_eq!(after.serving_nodes, 64);
@@ -286,7 +288,9 @@ mod tests {
         let c = cluster();
         let timeline = c.scale_timeline(32, &[], 100.0, 10.0);
         let first = timeline.first().unwrap().throughput_mops;
-        assert!(timeline.iter().all(|p| (p.throughput_mops - first).abs() < 1e-9));
+        assert!(timeline
+            .iter()
+            .all(|p| (p.throughput_mops - first).abs() < 1e-9));
         assert!(timeline.iter().all(|p| !p.migrating));
     }
 

@@ -214,7 +214,10 @@ impl LockedListCache {
 
     /// Total number of cached objects across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.state.lock().objects.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.state.lock().objects.len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -292,7 +295,8 @@ impl ditto_workloads::CacheBackend for LockedListClient {
         let shard_idx = self.shared.shard_for(key);
         let shard = &self.shared.shards[shard_idx];
         // Object write + index CAS.
-        self.dm.write(shard.list_region, &vec![0u8; value.len().clamp(64, 1024)]);
+        self.dm
+            .write(shard.list_region, &vec![0u8; value.len().clamp(64, 1024)]);
         let _ = self.dm.cas(shard.list_region.add(64), 0, 0);
         if let Some(lock) = &shard.lock {
             let acq = lock.acquire(&self.dm);
@@ -387,7 +391,10 @@ mod tests {
         let _ = kvc_client.get(b"k");
         let kvc_msgs = kvc.pool().stats().node_snapshots()[0].messages;
 
-        assert!(kvs_msgs <= 2, "KVS should need ≤2 messages, used {kvs_msgs}");
+        assert!(
+            kvs_msgs <= 2,
+            "KVS should need ≤2 messages, used {kvs_msgs}"
+        );
         assert!(
             kvc_msgs >= kvs_msgs + 4,
             "KVC adds lock + list verbs: {kvc_msgs} vs {kvs_msgs}"

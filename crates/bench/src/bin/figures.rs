@@ -14,9 +14,7 @@
 
 use ditto_algorithms::registry;
 use ditto_baselines::{MonolithicConfig, RedisLikeCluster, ScaleEvent};
-use ditto_bench::{
-    load_phase, measured_phase, print_row, run_trace, SystemKind, SystemUnderTest,
-};
+use ditto_bench::{load_phase, measured_phase, print_row, run_trace, SystemKind, SystemUnderTest};
 use ditto_core::sim::{simulate_hit_rate, SimConfig};
 use ditto_core::{DittoCache, DittoConfig};
 use ditto_dm::{run_clients, DmConfig};
@@ -170,11 +168,20 @@ fn corpus_scale(scale: f64) -> CorpusScale {
 fn fig1() {
     let cluster = RedisLikeCluster::new(MonolithicConfig::default());
     let events = [
-        ScaleEvent { at_seconds: 180.0, target_nodes: 64 },
-        ScaleEvent { at_seconds: 900.0, target_nodes: 32 },
+        ScaleEvent {
+            at_seconds: 180.0,
+            target_nodes: 64,
+        },
+        ScaleEvent {
+            at_seconds: 900.0,
+            target_nodes: 32,
+        },
     ];
     println!("Redis-like cluster, YCSB-C, scale 32->64->32 nodes");
-    println!("{:>8} {:>7} {:>10} {:>10} {:>10}", "t(s)", "nodes", "migrating", "Mops", "p99(us)");
+    println!(
+        "{:>8} {:>7} {:>10} {:>10} {:>10}",
+        "t(s)", "nodes", "migrating", "Mops", "p99(us)"
+    );
     for p in cluster.scale_timeline(32, &events, 1_500.0, 60.0) {
         println!(
             "{:>8.0} {:>7} {:>10} {:>10.3} {:>10.0}",
@@ -237,8 +244,11 @@ fn fig2(scale: f64) {
 /// Figure 3: hit rates of LRU/LFU as the client split between an
 /// LRU-friendly and an LFU-friendly application changes.
 fn fig3(scale: f64) {
-    let spec = TraceSpec::new((40_000.0 * scale.sqrt() * 10.0) as u64, (600_000.0 * scale) as u64)
-        .with_seed(3);
+    let spec = TraceSpec::new(
+        (40_000.0 * scale.sqrt() * 10.0) as u64,
+        (600_000.0 * scale) as u64,
+    )
+    .with_seed(3);
     let lru_app = lru_friendly(&spec);
     let lfu_app = lfu_friendly(&TraceSpec { seed: 33, ..spec });
     let capacity = (spec.num_keys / 8).max(200) as usize;
@@ -246,19 +256,32 @@ fn fig3(scale: f64) {
     println!("{:>12} {:>10} {:>10}", "lru-clients", "LRU", "LFU");
     for lru_clients in [0usize, 4, 8, 12, 16] {
         let mixed = mix_applications(
-            &[(lru_app.clone(), lru_clients), (lfu_app.clone(), 16 - lru_clients)],
+            &[
+                (lru_app.clone(), lru_clients),
+                (lfu_app.clone(), 16 - lru_clients),
+            ],
             7,
         );
         let lru = simulate_hit_rate(&mixed, SimConfig::single(capacity, "lru")).unwrap();
         let lfu = simulate_hit_rate(&mixed, SimConfig::single(capacity, "lfu")).unwrap();
-        println!("{:>12} {:>10.4} {:>10.4}", format!("{lru_clients}/16"), lru, lfu);
+        println!(
+            "{:>12} {:>10.4} {:>10.4}",
+            format!("{lru_clients}/16"),
+            lru,
+            lfu
+        );
     }
 }
 
 /// Figure 4: LRU vs LFU on the same workload across cache sizes.
 fn fig4(scale: f64) {
     let trace = corpus::webmail(corpus_scale(scale));
-    println!("workload: {} ({} requests, footprint {})", trace.name, trace.len(), trace.footprint);
+    println!(
+        "workload: {} ({} requests, footprint {})",
+        trace.name,
+        trace.len(),
+        trace.footprint
+    );
     println!("{:>14} {:>10} {:>10}", "cache(%fp)", "LRU", "LFU");
     for pct in [1.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
         let capacity = ((trace.footprint as f64) * pct / 100.0).max(16.0) as usize;
@@ -308,7 +331,12 @@ fn fig5(scale: f64) {
     println!("{:>12} {:>10} {:>10}", "percentile", "LRU", "LFU");
     for pct in [10, 25, 50, 75, 90] {
         let idx = (pct * changes_lru.len() / 100).min(changes_lru.len() - 1);
-        println!("{:>12} {:>10.4} {:>10.4}", format!("p{pct}"), changes_lru[idx], changes_lfu[idx]);
+        println!(
+            "{:>12} {:>10.4} {:>10.4}",
+            format!("p{pct}"),
+            changes_lru[idx],
+            changes_lfu[idx]
+        );
     }
     println!(
         "best algorithm changes with client count on {} of {} workloads",
@@ -334,7 +362,10 @@ fn fig13(scale: f64) {
     let sut = SystemUnderTest::build(SystemKind::Ditto, capacity, DmConfig::default());
     load_phase(&sut, 8, &spec.load_requests());
     println!("phase-by-phase steady state (resource adjustments take effect immediately)");
-    println!("{:>26} {:>10} {:>10} {:>10}", "phase", "Mops", "p50(us)", "p99(us)");
+    println!(
+        "{:>26} {:>10} {:>10} {:>10}",
+        "phase", "Mops", "p50(us)", "p99(us)"
+    );
     let phases = [
         ("8 client cores", 8usize),
         ("16 client cores (+8)", 16),
@@ -350,7 +381,9 @@ fn fig13(scale: f64) {
             name, run.report.throughput_mops, run.report.p50_latency_us, run.report.p99_latency_us
         );
     }
-    println!("(memory expansion needs no migration: cached data stays in place, hit rate only grows)");
+    println!(
+        "(memory expansion needs no migration: cached data stays in place, hit rate only grows)"
+    );
 }
 
 /// Figure 14: YCSB throughput and p99 latency vs number of clients.
@@ -365,10 +398,11 @@ fn fig14(scale: f64) {
             load_phase(&sut, 8, &spec.load_requests());
             print!("{:<12}", kind.name());
             for &clients in &client_counts {
-                let run = measured_phase(&sut, kind.name(), clients, ReplayOptions::default(), &|i| {
-                    let requests = spec.run_requests_seeded(workload, 31 + i as u64);
-                    requests[..(2_000).min(requests.len())].to_vec()
-                });
+                let run =
+                    measured_phase(&sut, kind.name(), clients, ReplayOptions::default(), &|i| {
+                        let requests = spec.run_requests_seeded(workload, 31 + i as u64);
+                        requests[..(2_000).min(requests.len())].to_vec()
+                    });
                 print!(
                     " {}cl={:.3}Mops/{:.0}us",
                     clients, run.report.throughput_mops, run.report.p99_latency_us
@@ -387,24 +421,31 @@ fn fig15(scale: f64) {
     let redis = RedisLikeCluster::new(MonolithicConfig::default());
     for workload in [YcsbWorkload::A, YcsbWorkload::C] {
         println!("--- {} ({} clients) ---", workload.name(), clients);
-        println!("{:>10} {:>12} {:>12} {:>12}", "MN cores", "Ditto", "CM-LRU", "Redis(model)");
+        println!(
+            "{:>10} {:>12} {:>12} {:>12}",
+            "MN cores", "Ditto", "CM-LRU", "Redis(model)"
+        );
         for cores in [1u32, 2, 4, 8, 16, 32] {
             let dm = DmConfig::default().with_mn_cores(cores);
             let mut row = Vec::new();
             for kind in [SystemKind::Ditto, SystemKind::CmLru] {
                 let sut = SystemUnderTest::build(kind, capacity, dm.clone());
                 load_phase(&sut, 8, &spec.load_requests());
-                let run = measured_phase(&sut, kind.name(), clients, ReplayOptions::default(), &|i| {
-                    let requests = spec.run_requests_seeded(workload, 77 + i as u64);
-                    requests[..(2_000).min(requests.len())].to_vec()
-                });
+                let run =
+                    measured_phase(&sut, kind.name(), clients, ReplayOptions::default(), &|i| {
+                        let requests = spec.run_requests_seeded(workload, 77 + i as u64);
+                        requests[..(2_000).min(requests.len())].to_vec()
+                    });
                 row.push(run.report.throughput_mops);
             }
             // The Redis model serves each shard with one core.
-            let redis_mops = redis.steady_throughput_mops(cores).min(
-                cores as f64 * redis.config().per_core_ops / 1e6,
+            let redis_mops = redis
+                .steady_throughput_mops(cores)
+                .min(cores as f64 * redis.config().per_core_ops / 1e6);
+            println!(
+                "{:>10} {:>12.3} {:>12.3} {:>12.3}",
+                cores, row[0], row[1], redis_mops
             );
-            println!("{:>10} {:>12.3} {:>12.3} {:>12.3}", cores, row[0], row[1], redis_mops);
         }
     }
 }
@@ -428,7 +469,11 @@ fn fig16(scale: f64, penalized: bool) {
     };
     println!(
         "{} on 5 real-world workload stand-ins (cache = 30% of footprint, {} clients)",
-        if penalized { "penalised throughput (Mops)" } else { "hit rate" },
+        if penalized {
+            "penalised throughput (Mops)"
+        } else {
+            "hit rate"
+        },
         clients
     );
     print!("{:<12}", "system");
@@ -593,7 +638,10 @@ fn fig18(scale: f64) {
         residual
     );
     assert_eq!(residual, 0, "fig18 drain must empty node 3");
-    cache.pool().remove_node(3).expect("drained-to-empty node must be removable");
+    cache
+        .pool()
+        .remove_node(3)
+        .expect("drained-to-empty node must be removable");
     println!("(node 3 decommissioned: handle lookups now return DmError::NodeRemoved)");
 }
 
@@ -621,8 +669,14 @@ fn corpus33(scale: f64) {
         let q = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
         (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
     };
-    println!("relative hit rate (normalised to FIFO eviction) over {} workloads", corpus.len());
-    println!("{:>22} {:>8} {:>8} {:>8} {:>8} {:>8}", "series", "min", "q1", "median", "q3", "max");
+    println!(
+        "relative hit rate (normalised to FIFO eviction) over {} workloads",
+        corpus.len()
+    );
+    println!(
+        "{:>22} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "series", "min", "q1", "median", "q3", "max"
+    );
     for (name, values) in [
         ("max(Ditto-LRU,LFU)", best_rel),
         ("Ditto (adaptive)", adaptive_rel),
@@ -635,8 +689,8 @@ fn corpus33(scale: f64) {
 
 /// Figure 19: the phase-changing workload.
 fn fig19(scale: f64) {
-    let spec = TraceSpec::new((30_000.0 * scale * 33.0) as u64, (800_000.0 * scale) as u64)
-        .with_seed(19);
+    let spec =
+        TraceSpec::new((30_000.0 * scale * 33.0) as u64, (800_000.0 * scale) as u64).with_seed(19);
     let trace = changing_workload(&spec, 4);
     let footprint = ditto_workloads::traces::footprint(&trace);
     let capacity = (footprint * 3 / 10).max(128);
@@ -645,7 +699,10 @@ fn fig19(scale: f64) {
         "4-phase LRU/LFU-switching workload ({} requests, footprint {footprint}, cache {capacity})",
         trace.len()
     );
-    println!("{:<12} {:>16} {:>10}", "system", "penalised Mops", "hit rate");
+    println!(
+        "{:<12} {:>16} {:>10}",
+        "system", "penalised Mops", "hit rate"
+    );
     for kind in [
         SystemKind::CmLru,
         SystemKind::CmLfu,
@@ -672,10 +729,16 @@ fn fig20(scale: f64) {
     let lfu_app = lfu_friendly(&TraceSpec::new(keys, reqs).with_seed(21));
     let capacity = (keys / 5).max(200) as usize;
     println!("relative hit rate (normalised to Ditto-LRU) vs LRU-application client share");
-    println!("{:>10} {:>12} {:>12} {:>12}", "lru share", "Ditto-LRU", "Ditto-LFU", "Ditto");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "lru share", "Ditto-LRU", "Ditto-LFU", "Ditto"
+    );
     for lru_clients in [0usize, 2, 4, 6, 8] {
         let mixed = mix_applications(
-            &[(lru_app.clone(), lru_clients), (lfu_app.clone(), 8 - lru_clients)],
+            &[
+                (lru_app.clone(), lru_clients),
+                (lfu_app.clone(), 8 - lru_clients),
+            ],
             3,
         );
         let lru = simulate_hit_rate(&mixed, SimConfig::single(capacity, "lru")).unwrap();
@@ -697,7 +760,10 @@ fn fig21(scale: f64) {
     let trace = corpus::webmail(corpus_scale(scale));
     let capacity = (trace.footprint / 10).max(128) as usize;
     println!("webmail stand-in, hit rate vs concurrent clients (normalised to Ditto-LRU)");
-    println!("{:>10} {:>12} {:>12} {:>12}", "clients", "Ditto-LRU", "Ditto-LFU", "Ditto");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "clients", "Ditto-LRU", "Ditto-LFU", "Ditto"
+    );
     for clients in [1usize, 8, 32, 64, 128] {
         let reordered = interleave_clients(&trace.requests, clients, 9);
         let lru = simulate_hit_rate(&reordered, SimConfig::single(capacity, "lru")).unwrap();
@@ -718,13 +784,19 @@ fn fig21(scale: f64) {
 fn fig22(scale: f64) {
     let trace = corpus::webmail(corpus_scale(scale));
     println!("webmail stand-in, hit rate vs cache size");
-    println!("{:>12} {:>12} {:>12} {:>12}", "cache(%fp)", "Ditto-LRU", "Ditto-LFU", "Ditto");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "cache(%fp)", "Ditto-LRU", "Ditto-LFU", "Ditto"
+    );
     for pct in [5.0, 10.0, 20.0, 30.0, 50.0] {
         let capacity = ((trace.footprint as f64) * pct / 100.0).max(32.0) as usize;
         let lru = simulate_hit_rate(&trace.requests, SimConfig::single(capacity, "lru")).unwrap();
         let lfu = simulate_hit_rate(&trace.requests, SimConfig::single(capacity, "lfu")).unwrap();
         let adaptive = simulate_hit_rate(&trace.requests, SimConfig::adaptive(capacity)).unwrap();
-        println!("{:>12} {lru:>12.4} {lfu:>12.4} {adaptive:>12.4}", format!("{pct}%"));
+        println!(
+            "{:>12} {lru:>12.4} {lfu:>12.4} {adaptive:>12.4}",
+            format!("{pct}%")
+        );
     }
 }
 
@@ -733,7 +805,10 @@ fn fig23(scale: f64) {
     let trace = corpus::webmail(corpus_scale(scale));
     let capacity = (trace.footprint / 10).max(128);
     let clients = 4;
-    println!("webmail stand-in, {} requests, cache {capacity} objects", trace.len());
+    println!(
+        "webmail stand-in, {} requests, cache {capacity} objects",
+        trace.len()
+    );
     println!("{:<12} {:>10} {:>10}", "algorithm", "Mops", "hit rate");
     for alg in registry::all_algorithms() {
         let config = DittoConfig::single_algorithm(capacity, alg.name());
@@ -765,7 +840,10 @@ fn fig24(scale: f64) {
     println!("{:<34} {:>10} {:>10}", "configuration", "Mops", "msgs/op");
     type Ablation = (&'static str, Box<dyn Fn(&mut DittoConfig)>);
     let variants: Vec<Ablation> = vec![
-        ("Ditto (all techniques)", Box::new(|_c: &mut DittoConfig| {})),
+        (
+            "Ditto (all techniques)",
+            Box::new(|_c: &mut DittoConfig| {}),
+        ),
         (
             "- sample-friendly hash table",
             Box::new(|c: &mut DittoConfig| c.enable_sample_friendly_table = false),

@@ -42,6 +42,14 @@
 //! of the fault-free concurrency point (fault injection must be free when
 //! no faults fire) and that no operations are lost at any rate.
 //!
+//! A `local_tier` section sweeps Zipf θ ∈ {0.9, 0.99, 1.2} on a read-only
+//! trace, replaying each skew remote-only and with the compute-side local
+//! tier (`ditto_core::local_tier`) enabled: ops/s, network messages per op
+//! and the local hit rate per point, with an FNV checksum over every
+//! returned value proving the tier is behaviour-transparent.  The θ=0.99
+//! point is gated at ≥1.5× simulated ops/s and ≤0.5× messages per op
+//! versus the remote-only baseline.
+//!
 //! ```text
 //! cargo run --release -p ditto-bench --bin ops_bench
 //! cargo run --release -p ditto-bench --bin ops_bench -- --requests 500000
@@ -56,6 +64,14 @@ use ditto_workloads::{YcsbSpec, YcsbWorkload};
 /// enough that a single node is message-bound, so adding nodes raises the
 /// ceiling until client compute takes over.
 const SWEEP_MESSAGE_RATE: u64 = 60_000;
+
+/// Local-tier section: per-client tier capacity (objects) and lease length
+/// (simulated ns).  2048 entries cover most of the Zipf hot set at the
+/// swept skews without holding the whole key space, and the 50 µs lease is
+/// long enough that a hot key amortizes its revalidation READs over many
+/// zero-message hits.
+const TIER_CAPACITY: usize = 2_048;
+const TIER_LEASE_NS: u64 = 50_000;
 
 #[derive(Debug, Clone)]
 struct ModeReport {
@@ -234,7 +250,12 @@ struct SweepPoint {
 /// and stretches elapsed time to the most-saturated resource, exactly like
 /// `RunReport` does — the ceiling is `max(client time, per-node messages /
 /// rate)`, so striping the message load over more nodes raises throughput.
-fn run_sweep_point(nodes: u16, async_completion: bool, spec: &YcsbSpec, capacity: u64) -> SweepPoint {
+fn run_sweep_point(
+    nodes: u16,
+    async_completion: bool,
+    spec: &YcsbSpec,
+    capacity: u64,
+) -> SweepPoint {
     let dm = DmConfig::default()
         .with_memory_nodes(nodes)
         .with_message_rate(SWEEP_MESSAGE_RATE);
@@ -446,6 +467,122 @@ fn run_degraded_point(fault_ppm: u32, spec: &YcsbSpec, capacity: u64) -> Degrade
     }
 }
 
+/// One run of the local-tier trace: simulated throughput, network messages
+/// per operation, the tier's coherence counters and an FNV checksum over
+/// every returned value (hit/miss flags included) so the tier-enabled run
+/// can be proven byte-identical to the remote-only run.
+#[derive(Debug, Clone)]
+struct TierRun {
+    ops_per_sec: f64,
+    messages_per_op: f64,
+    checksum: u64,
+    local_hits: u64,
+    local_revalidations: u64,
+    local_hit_rate: f64,
+}
+
+/// One θ point of the `local_tier` section: the same seeded trace replayed
+/// remote-only and with the compute-side tier enabled.
+#[derive(Debug, Clone)]
+struct TierPoint {
+    theta: f64,
+    remote: TierRun,
+    tiered: TierRun,
+    speedup: f64,
+    message_ratio: f64,
+}
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Replays a seeded read-only YCSB-C trace against a cache sized past the
+/// record count (every Get hits, neither run evicts — so the remote-only
+/// and tier-enabled runs are exactly comparable) and reports simulated
+/// ops/s, messages per op and the value checksum.  The tier turns the
+/// skew's hot set into zero-message local hits; the remote-only run pays a
+/// bucket scan plus an object READ for every single Get.
+fn run_tier_trace(spec: &YcsbSpec, tier: Option<(usize, u64)>) -> TierRun {
+    let mut config = DittoConfig::with_capacity(spec.record_count * 2);
+    if let Some((capacity, lease_ns)) = tier {
+        config = config.with_local_tier(capacity, lease_ns);
+    }
+    let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+    let mut client = cache.client();
+
+    // Load phase populates the run phase's actual key space (unlike the
+    // mode sections, which deliberately leave the run phase to cache-aside
+    // fills): the measured window must be pure Gets so the message counts
+    // isolate the read path.
+    let mut value = vec![0u8; spec.value_size as usize];
+    for request in spec.load_requests() {
+        value.fill(request.key as u8);
+        client.set(&request.key_bytes(), &value);
+    }
+    client.dm().publish_clock();
+    cache.pool().reset_stats();
+    client.dm().reset_clock();
+    let baseline_ns = client.dm().now_ns();
+    let local_before = cache.stats().snapshot();
+
+    let mut value_buf = Vec::with_capacity(spec.value_size as usize);
+    let mut checksum: u64 = 0xcbf29ce484222325;
+    for request in spec.run_requests(YcsbWorkload::C) {
+        let hit = client.get_into(&request.key_bytes(), &mut value_buf);
+        checksum = fnv1a(checksum, &[u8::from(hit)]);
+        if hit {
+            checksum = fnv1a(checksum, &value_buf);
+        }
+    }
+    client.flush();
+
+    let sim_seconds = ((client.dm().now_ns() - baseline_ns) as f64 / 1e9).max(1e-12);
+    let messages: u64 = cache
+        .pool()
+        .stats()
+        .node_snapshots()
+        .iter()
+        .map(|s| s.messages)
+        .sum();
+    let local_after = cache.stats().snapshot();
+    let local_hits = local_after.local_hits - local_before.local_hits;
+    TierRun {
+        ops_per_sec: spec.request_count as f64 / sim_seconds,
+        messages_per_op: messages as f64 / spec.request_count as f64,
+        checksum,
+        local_hits,
+        local_revalidations: local_after.local_revalidations - local_before.local_revalidations,
+        local_hit_rate: local_hits as f64 / spec.request_count as f64,
+    }
+}
+
+fn tier_point_json(point: &TierPoint) -> String {
+    format!(
+        concat!(
+            "{{ \"theta\": {:.2}, \"remote_ops_per_sec\": {:.1}, ",
+            "\"tiered_ops_per_sec\": {:.1}, \"speedup\": {:.4}, ",
+            "\"remote_messages_per_op\": {:.4}, \"tiered_messages_per_op\": {:.4}, ",
+            "\"message_ratio\": {:.4}, \"local_hit_rate\": {:.4}, ",
+            "\"local_hits\": {}, \"local_revalidations\": {}, \"values_match\": {} }}"
+        ),
+        point.theta,
+        point.remote.ops_per_sec,
+        point.tiered.ops_per_sec,
+        point.speedup,
+        point.remote.messages_per_op,
+        point.tiered.messages_per_op,
+        point.message_ratio,
+        point.tiered.local_hit_rate,
+        point.tiered.local_hits,
+        point.tiered.local_revalidations,
+        point.remote.checksum == point.tiered.checksum,
+    )
+}
+
 /// One batching mode's trip through the online-resize timeline (fig 18 on
 /// the ops-bench workload): steady → add_node (pump interleaved with
 /// serving) → migrated → drain (pump interleaved) → drained-to-empty.
@@ -484,7 +621,11 @@ fn resize_window(
     let mut value = vec![0u8; spec.value_size as usize];
     let mut value_buf = Vec::with_capacity(spec.value_size as usize);
     let mut pumped = ditto_core::cache::MigrationProgress::default();
-    for (i, request) in spec.run_requests_seeded(YcsbWorkload::C, seed).iter().enumerate() {
+    for (i, request) in spec
+        .run_requests_seeded(YcsbWorkload::C, seed)
+        .iter()
+        .enumerate()
+    {
         let key = request.key_bytes();
         if !client.get_into(&key, &mut value_buf) {
             value.fill(request.key as u8);
@@ -508,7 +649,10 @@ fn resize_window(
         .max()
         .unwrap_or(0);
     let nic_seconds = max_node_messages as f64 / SWEEP_MESSAGE_RATE as f64;
-    (ops as f64 / client_seconds.max(nic_seconds).max(1e-12), pumped)
+    (
+        ops as f64 / client_seconds.max(nic_seconds).max(1e-12),
+        pumped,
+    )
 }
 
 fn run_resize_mode(batching: bool, spec: &YcsbSpec, capacity: u64) -> ResizeReport {
@@ -794,7 +938,10 @@ fn main() {
     // misses with cache-aside fills, and eviction pressure.
     let capacity = spec.record_count * 7 / 10;
 
-    eprintln!("ops_bench: YCSB-C, {requests} requests, {} records", spec.record_count);
+    eprintln!(
+        "ops_bench: YCSB-C, {requests} requests, {} records",
+        spec.record_count
+    );
     let pipelined = run_mode(true, true, &spec, capacity);
     eprintln!(
         "  pipelined: {:>12.0} ops/s  {:.2} verbs/op  {:.2} µs p50  {:.2} µs p99",
@@ -849,7 +996,9 @@ fn main() {
     let (sampled, sampled_obs, _) = run_mode_recorded(true, true, &spec, capacity, 1 << 16, 16);
     eprintln!(
         "  sampled:   {:>12.0} ops/s  (1-in-16: {} ops sampled, {} skipped, {} spans)",
-        sampled.ops_per_sec, sampled_obs.ops_sampled, sampled_obs.ops_skipped,
+        sampled.ops_per_sec,
+        sampled_obs.ops_sampled,
+        sampled_obs.ops_skipped,
         sampled_obs.spans_recorded
     );
     assert_eq!(
@@ -874,8 +1023,7 @@ fn main() {
     // Critical-path attribution of the armed pipelined run: where op time
     // goes once overlap is serialized.  Exclusive charging means the
     // per-phase shares can never sum past 100% of elapsed op time.
-    let attribution_table =
-        armed_breakdown.expect("armed run must produce a phase breakdown");
+    let attribution_table = armed_breakdown.expect("armed run must produce a phase breakdown");
     eprintln!(
         "  attribution: {} ops, op p50 {:.2} µs, op p99 {:.2} µs, critical {:.1}%, \
          overlap saved {:.1} µs",
@@ -926,7 +1074,11 @@ fn main() {
             point.ops_per_sec,
             point.sync_batched_ops_per_sec,
             point.max_node_messages,
-            if point.nic_bound { "NIC-bound" } else { "client-bound" }
+            if point.nic_bound {
+                "NIC-bound"
+            } else {
+                "client-bound"
+            }
         );
         sweep.push(point);
     }
@@ -946,7 +1098,10 @@ fn main() {
     );
     let resize_batched = run_resize_mode(true, &resize_spec, capacity);
     let resize_unbatched = run_resize_mode(false, &resize_spec, capacity);
-    for (name, r) in [("batched", &resize_batched), ("unbatched", &resize_unbatched)] {
+    for (name, r) in [
+        ("batched", &resize_batched),
+        ("unbatched", &resize_unbatched),
+    ] {
         eprintln!(
             "  {name:<10} steady {:>8.0}  migrating {:>8.0}  migrated {:>8.0}  draining {:>8.0}  drained {:>8.0} ops/s  (residual {} B)",
             r.steady_ops_per_sec,
@@ -991,7 +1146,10 @@ fn main() {
     // plumbing itself and must stay within noise of the fault-free
     // 4-thread concurrency point above; the faulted rows must actually
     // inject (and retry) faults without losing operations.
-    eprintln!("ops_bench: degraded mode, {} total requests per point", conc_spec.request_count);
+    eprintln!(
+        "ops_bench: degraded mode, {} total requests per point",
+        conc_spec.request_count
+    );
     let mut degraded = Vec::new();
     for fault_ppm in [0u32, 1_000, 10_000] {
         let point = run_degraded_point(fault_ppm, &conc_spec, capacity);
@@ -1006,7 +1164,10 @@ fn main() {
         );
         degraded.push(point);
     }
-    let conc4 = concurrency.iter().find(|p| p.threads == 4).expect("4-thread point");
+    let conc4 = concurrency
+        .iter()
+        .find(|p| p.threads == 4)
+        .expect("4-thread point");
     let fault_free = &degraded[0];
     assert_eq!(fault_free.verb_failures + fault_free.verb_timeouts, 0);
     let drift = (fault_free.ops_per_sec - conc4.ops_per_sec).abs() / conc4.ops_per_sec;
@@ -1036,11 +1197,95 @@ fn main() {
         );
     }
 
+    // Compute-side local tier: the same seeded read-only trace replayed
+    // remote-only vs tier-enabled across three Zipf skews.  The gated
+    // claim is the tentpole one — at θ=0.99 the tier must deliver ≥1.5×
+    // simulated ops/s on ≤0.5× network messages per op, returning
+    // byte-identical values (checked via the per-run FNV checksum).
+    let tier_spec_for = |theta: f64| {
+        YcsbSpec {
+            record_count: spec.record_count,
+            request_count: (requests / 4).max(20_000),
+            theta,
+            ..YcsbSpec::default()
+        }
+        .with_seed(42)
+    };
+    eprintln!(
+        "ops_bench: local tier, {} requests per point, {} entries, {} ns lease",
+        tier_spec_for(0.99).request_count,
+        TIER_CAPACITY,
+        TIER_LEASE_NS
+    );
+    let mut tier_points = Vec::new();
+    for theta in [0.9f64, 0.99, 1.2] {
+        let tier_spec = tier_spec_for(theta);
+        let remote = run_tier_trace(&tier_spec, None);
+        let tiered = run_tier_trace(&tier_spec, Some((TIER_CAPACITY, TIER_LEASE_NS)));
+        let point = TierPoint {
+            theta,
+            speedup: tiered.ops_per_sec / remote.ops_per_sec,
+            message_ratio: tiered.messages_per_op / remote.messages_per_op,
+            remote,
+            tiered,
+        };
+        eprintln!(
+            "  θ={:<5} {:>11.0} -> {:>11.0} ops/s ({:.2}x)  {:.3} -> {:.3} msgs/op ({:.2}x)  {:.1}% local",
+            point.theta,
+            point.remote.ops_per_sec,
+            point.tiered.ops_per_sec,
+            point.speedup,
+            point.remote.messages_per_op,
+            point.tiered.messages_per_op,
+            point.message_ratio,
+            point.tiered.local_hit_rate * 100.0,
+        );
+        assert_eq!(
+            point.remote.checksum, point.tiered.checksum,
+            "θ={theta}: tier-enabled run diverged from the remote-only values"
+        );
+        assert_eq!(
+            point.remote.local_hits, 0,
+            "θ={theta}: remote-only run used the tier"
+        );
+        assert!(
+            point.tiered.local_hits > 0 && point.tiered.local_revalidations > 0,
+            "θ={theta}: the tier must serve local hits and revalidate expired leases \
+             (hits {}, revalidations {})",
+            point.tiered.local_hits,
+            point.tiered.local_revalidations
+        );
+        tier_points.push(point);
+    }
+    let tier_hot = tier_points
+        .iter()
+        .find(|p| (p.theta - 0.99).abs() < 1e-9)
+        .expect("θ=0.99 tier point");
+    assert!(
+        tier_hot.speedup >= 1.5,
+        "local tier must deliver >=1.5x simulated ops/s at θ=0.99, measured {:.3}x",
+        tier_hot.speedup
+    );
+    assert!(
+        tier_hot.message_ratio <= 0.5,
+        "local tier must cost <=0.5x network messages per op at θ=0.99, measured {:.3}x",
+        tier_hot.message_ratio
+    );
+
+    let describe = git_describe();
+    if describe.ends_with("-dirty") {
+        eprintln!("ops_bench: ================================================================");
+        eprintln!("ops_bench: WARNING: working tree is DIRTY — BENCH_ops.json will be stamped");
+        eprintln!("ops_bench: \"{describe}\" and is NOT attributable to a commit.  Commit (or");
+        eprintln!("ops_bench: stash) first before checking the result file in.");
+        eprintln!("ops_bench: ================================================================");
+    }
+
     let json = format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"ops\",\n",
-            "  \"schema_version\": 2,\n",
+            "  \"schema_version\": 3,\n",
             "  \"git_describe\": \"{}\",\n",
             "  \"config_fingerprint\": \"{:016x}\",\n",
             "  \"workload\": \"ycsb-c\",\n",
@@ -1074,13 +1319,20 @@ fn main() {
             "  \"mn_sweep\": [\n    {}\n  ],\n",
             "  \"concurrency\": [\n    {}\n  ],\n",
             "  \"degraded\": [\n    {}\n  ],\n",
+            "  \"local_tier\": {{\n",
+            "    \"tier_capacity\": {},\n",
+            "    \"tier_lease_ns\": {},\n",
+            "    \"records\": {},\n",
+            "    \"requests\": {},\n",
+            "    \"points\": [\n      {}\n    ]\n",
+            "  }},\n",
             "  \"resize_window\": {{\n",
             "    \"batched\": {},\n",
             "    \"unbatched\": {}\n",
             "  }}\n",
             "}}\n"
         ),
-        git_describe(),
+        describe,
         config_fingerprint(&spec, capacity),
         requests,
         spec.record_count,
@@ -1109,13 +1361,30 @@ fn main() {
         speedup,
         pipelined_speedup,
         SWEEP_MESSAGE_RATE,
-        sweep.iter().map(sweep_json).collect::<Vec<_>>().join(",\n    "),
+        sweep
+            .iter()
+            .map(sweep_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
         concurrency
             .iter()
             .map(concurrency_json)
             .collect::<Vec<_>>()
             .join(",\n    "),
-        degraded.iter().map(degraded_json).collect::<Vec<_>>().join(",\n    "),
+        degraded
+            .iter()
+            .map(degraded_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        TIER_CAPACITY,
+        TIER_LEASE_NS,
+        tier_spec_for(0.99).record_count,
+        tier_spec_for(0.99).request_count,
+        tier_points
+            .iter()
+            .map(tier_point_json)
+            .collect::<Vec<_>>()
+            .join(",\n      "),
         resize_json(&resize_batched),
         resize_json(&resize_unbatched),
     );
@@ -1169,7 +1438,10 @@ fn main() {
     // empties the node completely (and lookup READs leave it), and (b) the
     // migrated pool's message-bound ceiling is higher than the pre-resize
     // steady state — the bucket ranges really spread onto the joiner.
-    for (name, r) in [("batched", &resize_batched), ("unbatched", &resize_unbatched)] {
+    for (name, r) in [
+        ("batched", &resize_batched),
+        ("unbatched", &resize_unbatched),
+    ] {
         assert_eq!(
             r.drained_residual_bytes, 0,
             "{name}: drained node must reach zero resident object bytes"

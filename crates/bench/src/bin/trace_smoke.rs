@@ -125,8 +125,7 @@ fn main() {
     .with_seed(42);
     let capacity = spec.record_count * 7 / 10;
     let dm = DmConfig::default().with_flight_recorder(1 << 18);
-    let cache =
-        DittoCache::with_dedicated_pool(DittoConfig::with_capacity(capacity), dm).unwrap();
+    let cache = DittoCache::with_dedicated_pool(DittoConfig::with_capacity(capacity), dm).unwrap();
     let mut client = cache.client();
 
     let mut value = vec![0u8; spec.value_size as usize];
@@ -163,7 +162,11 @@ fn main() {
     // Gate 1: the ring was sized for the window — nothing dropped, and the
     // recorder view is complete.
     assert_eq!(obs.spans_dropped, 0, "ring too small for the smoke window");
-    assert_eq!(spans.len() as u64, obs.spans_recorded, "recorder/stats span tally diverged");
+    assert_eq!(
+        spans.len() as u64,
+        obs.spans_recorded,
+        "recorder/stats span tally diverged"
+    );
 
     // Gate 2: every pool op left at least one span, and no spans invented
     // ops — distinct op ids must match the pool's op counter exactly.
@@ -171,7 +174,8 @@ fn main() {
     op_ids.sort_unstable();
     op_ids.dedup();
     assert_eq!(
-        op_ids.len() as u64, ops,
+        op_ids.len() as u64,
+        ops,
         "distinct op ids in the flight recorder must equal the pool's op count"
     );
 
@@ -208,8 +212,7 @@ fn main() {
     // including the Perfetto row-label metadata (one process_name plus one
     // thread_name per client).
     let json = chrome_trace_json(&[(client.dm().client_id(), spans.clone())], &events);
-    let (complete, instants, file_overlaps, metadata) =
-        validate_trace_document("self-run", &json);
+    let (complete, instants, file_overlaps, metadata) = validate_trace_document("self-run", &json);
     assert_eq!(complete, spans.len(), "one complete event per span");
     assert_eq!(instants, events.len(), "one instant per log event");
     assert_eq!(
@@ -230,8 +233,8 @@ fn main() {
 
     // File arguments: validate existing trace artifacts the same way.
     for path in std::env::args().skip(1) {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         let (complete, instants, overlaps, metadata) = validate_trace_document(&path, &text);
         assert!(complete > 0, "{path}: trace holds no spans");
         assert!(

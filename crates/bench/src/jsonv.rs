@@ -168,8 +168,8 @@ impl Parser<'_> {
                 }
                 Some(_) => {
                     // Multi-byte UTF-8: copy the whole sequence.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| e.to_string())?;
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
                     let ch = rest.chars().next().ok_or("empty char")?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
@@ -252,7 +252,10 @@ mod tests {
             doc.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
             Some("x\ny")
         );
-        assert_eq!(doc.get("b").and_then(|b| b.get("d")), Some(&Json::Bool(true)));
+        assert_eq!(
+            doc.get("b").and_then(|b| b.get("d")),
+            Some(&Json::Bool(true))
+        );
     }
 
     #[test]

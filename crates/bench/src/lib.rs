@@ -268,12 +268,7 @@ pub fn run_trace(
 ) -> MeasuredRun {
     let sut = SystemUnderTest::build(kind, capacity_objects, DmConfig::default());
     measured_phase(&sut, kind.name(), clients, opts, &|index| {
-        trace
-            .iter()
-            .skip(index)
-            .step_by(clients)
-            .copied()
-            .collect()
+        trace.iter().skip(index).step_by(clients).copied().collect()
     })
 }
 
@@ -302,7 +297,12 @@ mod tests {
             let sut = SystemUnderTest::build(kind, 2_000, DmConfig::small());
             let mut client = sut.client();
             client.set(b"k", b"v");
-            assert_eq!(client.get(b"k").as_deref(), Some(&b"v"[..]), "{}", kind.name());
+            assert_eq!(
+                client.get(b"k").as_deref(),
+                Some(&b"v"[..]),
+                "{}",
+                kind.name()
+            );
             client.finish();
         }
     }

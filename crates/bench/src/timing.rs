@@ -41,7 +41,10 @@ pub fn bench_iters<R>(label: &str, iters: u64, mut f: impl FnMut(u64) -> R) -> f
         std::hint::black_box(f(i));
     }
     let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
-    println!("{label:<40} {:>12} ns/iter  (n={iters})", fmt_thousands(per_iter));
+    println!(
+        "{label:<40} {:>12} ns/iter  (n={iters})",
+        fmt_thousands(per_iter)
+    );
     per_iter
 }
 

@@ -148,9 +148,11 @@ pub mod weight_wire {
         })? as usize;
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            out.push(wire::get_f64(resp, 4 + i * 8).ok_or_else(|| DmError::RpcFailed {
-                reason: "truncated weight reply".to_string(),
-            })?);
+            out.push(
+                wire::get_f64(resp, 4 + i * 8).ok_or_else(|| DmError::RpcFailed {
+                    reason: "truncated weight reply".to_string(),
+                })?,
+            );
         }
         Ok(out)
     }
@@ -263,7 +265,9 @@ mod tests {
             w.apply_regret(0b01, 0);
         }
         let mut rng = StdRng::seed_from_u64(5);
-        let picks_of_1 = (0..1_000).filter(|_| w.choose_expert(&mut rng) == 1).count();
+        let picks_of_1 = (0..1_000)
+            .filter(|_| w.choose_expert(&mut rng) == 1)
+            .count();
         assert!(picks_of_1 > 800, "expert 1 picked only {picks_of_1} times");
     }
 

@@ -5,6 +5,7 @@ use crate::config::DittoConfig;
 use crate::error::{CacheError, CacheResult};
 use crate::hashtable::SampleFriendlyHashTable;
 use crate::history::EvictionHistory;
+use crate::local_tier::CoherenceBoard;
 use crate::slot::BUCKET_SIZE;
 use crate::stats::CacheStats;
 use ditto_algorithms::{registry, CacheAlgorithm};
@@ -35,6 +36,11 @@ pub struct DittoCache {
     stats: Arc<CacheStats>,
     weight_service: Arc<WeightService>,
     migration: Arc<MigrationEngine>,
+    /// Per-key-hash mutation epochs keeping every client's local tier
+    /// coherent with concurrent writers (see [`crate::local_tier`]).
+    /// Shared by all clients of the process; bumps are cheap enough that
+    /// the board exists even when no client enables a tier.
+    board: Arc<CoherenceBoard>,
     /// Base of the per-client crash-recovery redo journal
     /// ([`DittoConfig::enable_crash_recovery_journal`]); `None` when the
     /// journal is disabled.
@@ -94,6 +100,7 @@ impl DittoCache {
             stats,
             weight_service,
             migration,
+            board: Arc::new(CoherenceBoard::new(CoherenceBoard::DEFAULT_SLOTS)),
             journal_base,
         })
     }
@@ -128,7 +135,10 @@ impl DittoCache {
 
     /// Convenience constructor: dedicated pool with default DM timings.
     pub fn with_capacity(capacity_objects: u64) -> CacheResult<Self> {
-        Self::with_dedicated_pool(DittoConfig::with_capacity(capacity_objects), DmConfig::default())
+        Self::with_dedicated_pool(
+            DittoConfig::with_capacity(capacity_objects),
+            DmConfig::default(),
+        )
     }
 
     /// Opens a new client (one per application thread).
@@ -222,9 +232,21 @@ impl DittoCache {
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
             ));
         };
-        counter("ditto_cache_hits_total", "Get operations served from the cache.", snap.hits);
-        counter("ditto_cache_misses_total", "Get operations that missed.", snap.misses);
-        counter("ditto_cache_sets_total", "Set operations accepted.", snap.sets);
+        counter(
+            "ditto_cache_hits_total",
+            "Get operations served from the cache.",
+            snap.hits,
+        );
+        counter(
+            "ditto_cache_misses_total",
+            "Get operations that missed.",
+            snap.misses,
+        );
+        counter(
+            "ditto_cache_sets_total",
+            "Set operations accepted.",
+            snap.sets,
+        );
         counter(
             "ditto_cache_evictions_total",
             "Objects evicted by the sampling eviction path.",
@@ -254,6 +276,26 @@ impl DittoCache {
             "ditto_cache_fc_flushes_total",
             "Frequency-counter cache flushes.",
             snap.fc_flushes,
+        );
+        counter(
+            "ditto_cache_local_hits_total",
+            "Gets served entirely from a compute-side local tier (lifetime).",
+            snap.local_hits,
+        );
+        counter(
+            "ditto_cache_local_revalidations_total",
+            "Local-tier hits that renewed their lease with a slot-word READ (lifetime).",
+            snap.local_revalidations,
+        );
+        counter(
+            "ditto_cache_local_invalidations_total",
+            "Local-tier entries dropped by a coherence-board check (lifetime).",
+            snap.local_invalidations,
+        );
+        counter(
+            "ditto_cache_local_stale_rejects_total",
+            "Local-tier entries dropped by a failed lease revalidation (lifetime).",
+            snap.local_stale_rejects,
         );
         out.push_str(concat!(
             "# HELP ditto_cache_hit_rate Hit fraction over the snapshot interval.\n",
@@ -318,6 +360,10 @@ impl DittoCache {
 
     pub(crate) fn stats_arc(&self) -> Arc<CacheStats> {
         Arc::clone(&self.stats)
+    }
+
+    pub(crate) fn board_arc(&self) -> Arc<CoherenceBoard> {
+        Arc::clone(&self.board)
     }
 }
 

@@ -57,6 +57,7 @@
 //! pool's resize epoch, picking up online `add_node`/`drain_node` calls.
 
 use crate::adaptive::{weight_wire, ExpertWeights};
+use crate::cache::MigrationProgress;
 use crate::cache::{DittoCache, JOURNAL_SLOTS, JOURNAL_SLOT_BYTES};
 use crate::config::DittoConfig;
 use crate::error::CacheResult;
@@ -65,16 +66,16 @@ use crate::hash::{fingerprint, fnv1a64};
 use crate::hashtable::SampleFriendlyHashTable;
 use crate::history::{expert_bitmap, EvictionHistory};
 use crate::inline::InlineVec;
+use crate::local_tier::{CoherenceBoard, LocalTier, TierProbe, FREQ_ADMIT_THRESHOLD, POLICY_FREQ};
 use crate::object;
+use crate::recovery::{CrashPoint, RecoveryReport};
 use crate::slot::{AtomicField, Slot, BUCKET_SIZE, SLOTS_PER_BUCKET, SLOT_SIZE};
 use crate::stats::CacheStats;
-use crate::cache::MigrationProgress;
 use ditto_algorithms::{AccessContext, AccessKind, CacheAlgorithm, Metadata, EXT_WORDS};
 use ditto_dm::alloc::{AllocService, ClientAllocator};
 use ditto_dm::batch::MAX_BATCH;
 use ditto_dm::migration::WriteDisposition;
 use ditto_dm::rpc::{ALLOC_SERVICE, WEIGHT_SERVICE};
-use crate::recovery::{CrashPoint, RecoveryReport};
 use ditto_dm::{
     DmClient, DmError, DmResult, EventKind, MigrationEngine, MigrationState, Phase, PoolTopology,
     RecoveryPhase, RemoteAddr, StripedAllocator, RECONCILE_POISON,
@@ -163,6 +164,12 @@ pub struct DittoClient {
     stats: Arc<CacheStats>,
     alloc: StripedAllocator,
     fc: FcCache,
+    /// The compute-side local tier ([`crate::local_tier`]); `None` unless
+    /// [`DittoConfig::with_local_tier`] enabled it.
+    tier: Option<LocalTier>,
+    /// Shared per-key-hash mutation epochs: bumped by every slot-word
+    /// mutation this client performs, checked on every tier probe.
+    board: Arc<CoherenceBoard>,
     weights: ExpertWeights,
     rng: StdRng,
     /// Per-shard estimates of the sharded global history counters.
@@ -253,6 +260,14 @@ impl DittoClient {
             },
         );
         let seed = 0x5eed_0000 + dm.client_id() as u64;
+        let tier = (config.local_tier_capacity > 0).then(|| {
+            LocalTier::new(
+                config.local_tier_capacity,
+                config.local_tier_lease_ns,
+                config.learning_rate,
+                config.discount_rate(),
+            )
+        });
         DittoClient {
             use_extension: cache.uses_extension(),
             table: cache.table(),
@@ -262,6 +277,8 @@ impl DittoClient {
             stats: cache.stats_arc(),
             alloc,
             fc,
+            tier,
+            board: cache.board_arc(),
             weights,
             rng: StdRng::seed_from_u64(seed),
             counter_estimates: vec![0; num_shards],
@@ -404,7 +421,8 @@ impl DittoClient {
             max_delta.saturating_mul(1_000_000_000) / self.dm.config().mn_message_rate.max(1);
         self.lookup_short_circuit = nic_ns > elapsed_ns;
         self.last_decision_messages.clear();
-        self.last_decision_messages.extend(snaps.iter().map(|s| s.messages));
+        self.last_decision_messages
+            .extend(snaps.iter().map(|s| s.messages));
         self.last_decision_clock_ns = now;
     }
 
@@ -432,7 +450,11 @@ impl DittoClient {
             self.record_failed_slot_cas();
             return false;
         }
-        match self.table.directory().confirm_write(slot_addr, self.mig_token) {
+        match self
+            .table
+            .directory()
+            .confirm_write(slot_addr, self.mig_token)
+        {
             WriteDisposition::Clean => true,
             WriteDisposition::Stale => self.resolve_stale_cas(slot_addr, expected, new),
             WriteDisposition::Mirror { stripe, .. } => {
@@ -446,28 +468,33 @@ impl DittoClient {
                     // Mirror best-effort without the lock — the commit's
                     // reconcile pass squares away any straggler, exactly as
                     // for async metadata mirrors.
-                    if let WriteDisposition::Mirror { addr, .. } =
-                        self.table.directory().confirm_write(slot_addr, self.mig_token)
+                    if let WriteDisposition::Mirror { addr, .. } = self
+                        .table
+                        .directory()
+                        .confirm_write(slot_addr, self.mig_token)
                     {
                         let _ = self.dm.try_write(addr, &new.to_le_bytes());
                     }
                     return true;
                 }
-                let verdict =
-                    match self.table.directory().confirm_write(slot_addr, self.mig_token) {
-                        WriteDisposition::Mirror { addr, .. } => {
-                            // Best-effort under faults: the commit's
-                            // reconcile squares away a lost mirror write.
-                            let _ = self.dm.try_write(addr, &new.to_le_bytes());
-                            Some(true)
-                        }
-                        WriteDisposition::Clean => Some(true),
-                        // The stripe committed while we waited: the holder
-                        // was the commit's reconcile pass, which either
-                        // carried the CAS to the new home or swallowed it.
-                        // Resolve below (the resolution re-takes the lock).
-                        WriteDisposition::Stale => None,
-                    };
+                let verdict = match self
+                    .table
+                    .directory()
+                    .confirm_write(slot_addr, self.mig_token)
+                {
+                    WriteDisposition::Mirror { addr, .. } => {
+                        // Best-effort under faults: the commit's
+                        // reconcile squares away a lost mirror write.
+                        let _ = self.dm.try_write(addr, &new.to_le_bytes());
+                        Some(true)
+                    }
+                    WriteDisposition::Clean => Some(true),
+                    // The stripe committed while we waited: the holder
+                    // was the commit's reconcile pass, which either
+                    // carried the CAS to the new home or swallowed it.
+                    // Resolve below (the resolution re-takes the lock).
+                    WriteDisposition::Stale => None,
+                };
                 let _ = lock.release(&self.dm, &acq);
                 verdict.unwrap_or_else(|| self.resolve_stale_cas(slot_addr, expected, new))
             }
@@ -583,7 +610,8 @@ impl DittoClient {
         let t0 = self.dm.now_ns();
         self.dm
             .advance_ns(slots as u64 * self.config.cpu_decode_slot_ns);
-        self.dm.record_span(Phase::Decode, t0, self.dm.now_ns(), slots as u32);
+        self.dm
+            .record_span(Phase::Decode, t0, self.dm.now_ns(), slots as u32);
     }
 
     /// Charges the client CPU cost of gathering and scoring `candidates`
@@ -792,9 +820,7 @@ impl DittoClient {
                     let (new_mn, new_off) = (word(0) as u16, word(1));
                     let published = refs
                         .get(new_mn as usize)
-                        .is_some_and(|v| {
-                            v.binary_search_by_key(&new_off, |&(off, _)| off).is_ok()
-                        });
+                        .is_some_and(|v| v.binary_search_by_key(&new_off, |&(off, _)| off).is_ok());
                     if published {
                         // Publish CAS landed; the displaced old allocation
                         // (when the entry records one) is the orphan.  It
@@ -837,15 +863,13 @@ impl DittoClient {
                             // Freeing trims the owner registry, so a range
                             // inside a dead-owned segment is not swept (and
                             // freed) a second time below.
-                            report.swept_bytes +=
-                                self.sweep_gap(new_mn, new_off, new_resident);
+                            report.swept_bytes += self.sweep_gap(new_mn, new_off, new_resident);
                         }
                     }
                     // Disarm the entry so a second recovery pass (two
                     // survivors racing, or a retried harness) is a no-op
                     // instead of a double gauge debit.
-                    let _ =
-                        with_retry(&self.dm, |dm| dm.try_write(slot_addr.add(16), &[0u8; 8]));
+                    let _ = with_retry(&self.dm, |dm| dm.try_write(slot_addr.add(16), &[0u8; 8]));
                 }
             }
         }
@@ -896,10 +920,11 @@ impl DittoClient {
     /// traffic and works even against fail-stopped verb paths).  Returns
     /// the bytes freed, or 0 when the RPC could not reach the node.
     fn sweep_gap(&self, mn_id: u16, offset: u64, len: u64) -> u64 {
-        match self
-            .dm
-            .rpc(mn_id, ALLOC_SERVICE, &AllocService::encode_free(offset, len))
-        {
+        match self.dm.rpc(
+            mn_id,
+            ALLOC_SERVICE,
+            &AllocService::encode_free(offset, len),
+        ) {
             Ok(_) => len,
             Err(_) => 0,
         }
@@ -1095,9 +1120,7 @@ impl DittoClient {
                         Ok(_) => write = None,
                         Err(e) => {
                             fault_attempts += 1;
-                            if fault_attempts < MAX_RETRIES
-                                && verb_fault_retryable(&self.dm, &e)
-                            {
+                            if fault_attempts < MAX_RETRIES && verb_fault_retryable(&self.dm, &e) {
                                 continue;
                             }
                             return Err(e);
@@ -1128,9 +1151,7 @@ impl DittoClient {
                         Ok(_) => write = None,
                         Err(e) => {
                             fault_attempts += 1;
-                            if fault_attempts < MAX_RETRIES
-                                && verb_fault_retryable(&self.dm, &e)
-                            {
+                            if fault_attempts < MAX_RETRIES && verb_fault_retryable(&self.dm, &e) {
                                 continue;
                             }
                             return Err(e);
@@ -1151,7 +1172,9 @@ impl DittoClient {
                 let (primary_buf, secondary_buf) = self.bucket_buf.split_at_mut(BUCKET_SIZE);
                 let mut batch = self.dm.batch();
                 if let Some((addr, data)) = write {
-                    batch.write(addr, data).expect("a lookup batch holds three verbs");
+                    batch
+                        .write(addr, data)
+                        .expect("a lookup batch holds three verbs");
                 }
                 batch
                     .read_into(primary_addr, primary_buf)
@@ -1204,7 +1227,20 @@ impl DittoClient {
     fn get_inner(&mut self, key: &[u8], out: &mut Vec<u8>) -> bool {
         let hash = fnv1a64(key);
         let fp = fingerprint(hash);
+        if self.tier.is_some() && self.tier_get(hash, key, out) {
+            return true;
+        }
         for _ in 0..MAX_RETRIES {
+            // Captured *before* the bucket READ: a writer whose publish CAS
+            // completed before this capture also bumped before it, so the
+            // lookup below observes that writer's slot word — the value
+            // admitted under `board_epoch` is current as of the capture.
+            // (Capturing after the lookup would leave a window where a
+            // racing Set replaces the slot, frees the old object — whose
+            // bytes survive until recycled — and bumps, all between our
+            // bucket READ and the capture: the stale object READ would then
+            // be admitted under an epoch that already includes the bump.)
+            let board_epoch = self.board.epoch(hash);
             let Ok((slots, found)) = self.search(hash, fp, None) else {
                 // The lookup could not complete within its fault budget
                 // (or its node fail-stopped).  Degrade to a miss: for a
@@ -1257,8 +1293,11 @@ impl DittoClient {
                 let wr_read;
                 {
                     let mut wq = self.dm.work_queue();
-                    wr_read =
-                        wq.post_read(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len], true);
+                    wr_read = wq.post_read(
+                        slot.atomic.object_addr(),
+                        &mut self.obj_buf[..obj_len],
+                        true,
+                    );
                     for (addr, delta) in flushes {
                         wq.post_faa(addr, delta, false);
                     }
@@ -1288,7 +1327,9 @@ impl DittoClient {
                     .read_into(slot.atomic.object_addr(), &mut self.obj_buf[..obj_len])
                     .expect("an object batch holds few verbs");
                 for (addr, delta) in flushes {
-                    batch.faa(addr, delta).expect("an object batch holds few verbs");
+                    batch
+                        .faa(addr, delta)
+                        .expect("an object batch holds few verbs");
                 }
                 let batch_result = batch.try_execute_mode(self.config.enable_doorbell_batching);
                 for _ in 0..flushes.len() {
@@ -1319,6 +1360,20 @@ impl DittoClient {
             out.extend_from_slice(view.value);
             self.record_access(slot_addr, &slot, Some(&ext), AccessKind::Hit);
             self.stats.record_hit();
+            // A due FC flush means the key just crossed the flush threshold
+            // on this client — unambiguously hot even though the buffered
+            // delta reads as zero again.
+            let hot =
+                !flushes.is_empty() || self.fc.pending_delta(freq_addr) >= FREQ_ADMIT_THRESHOLD;
+            self.tier_admit(
+                hash,
+                key,
+                slot_addr,
+                slot.atomic.encode(),
+                board_epoch,
+                hot,
+                out,
+            );
             if self.config.enable_cooperative_migration
                 && !self.topology.is_active(slot.atomic.object_addr().mn_id)
             {
@@ -1355,6 +1410,135 @@ impl DittoClient {
         self.stats.record_miss();
     }
 
+    // ------------------------------------------------------------------
+    // Compute-side local tier (see `crate::local_tier`)
+    // ------------------------------------------------------------------
+
+    /// Tries to serve `key` from the local tier.  Returns `true` when the
+    /// value was copied into `out` — either straight from a lease-valid
+    /// entry (zero messages) or after a successful 8-byte slot-word
+    /// revalidation (one small READ).
+    fn tier_get(&mut self, hash: u64, key: &[u8], out: &mut Vec<u8>) -> bool {
+        let board_epoch = self.board.epoch(hash);
+        let now = self.dm.now_ns();
+        let Some(tier) = self.tier.as_mut() else {
+            return false;
+        };
+        match tier.probe(hash, key, now, board_epoch, out) {
+            TierProbe::Absent => false,
+            TierProbe::Invalidated => {
+                self.stats.record_local_invalidation();
+                false
+            }
+            TierProbe::Served { slot_addr } => {
+                self.dm.advance_ns(self.config.cpu_local_hit_ns);
+                self.dm
+                    .record_span(Phase::LocalHit, now, self.dm.now_ns(), 1);
+                self.stats.record_local_hit();
+                self.stats.record_hit();
+                self.tier_feed_frequency(slot_addr);
+                true
+            }
+            TierProbe::LeaseExpired {
+                slot_addr,
+                slot_word,
+            } => self.tier_revalidate(hash, slot_addr, slot_word, out),
+        }
+    }
+
+    /// Re-arms an expired lease with one 8-byte READ of the slot's atomic
+    /// word.  An exact match proves no publish/eviction CAS touched the
+    /// slot, so the cached value is still current; any other outcome —
+    /// changed word, `RECONCILE_POISON` after a stripe cutover, a faulted
+    /// READ — conservatively drops the entry and falls back to the remote
+    /// path.
+    fn tier_revalidate(
+        &mut self,
+        hash: u64,
+        slot_addr: RemoteAddr,
+        slot_word: u64,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        let t0 = self.dm.now_ns();
+        // Same ordering argument as the admission capture in `get_inner`:
+        // any bump included here belongs to a CAS the READ below observes.
+        let board_epoch = self.board.epoch(hash);
+        let mut word = [0u8; 8];
+        let matched = with_retry(&self.dm, |dm| dm.try_read_into(slot_addr, &mut word))
+            .is_ok_and(|()| u64::from_le_bytes(word) == slot_word);
+        if !matched {
+            if let Some(tier) = self.tier.as_mut() {
+                tier.remove(hash);
+            }
+            self.stats.record_local_stale_reject();
+            return false;
+        }
+        let now = self.dm.now_ns();
+        let Some(tier) = self.tier.as_mut() else {
+            return false;
+        };
+        let slot_addr = tier.renew_and_serve(hash, now, board_epoch, out);
+        self.dm.advance_ns(self.config.cpu_local_hit_ns);
+        self.dm
+            .record_span(Phase::Revalidate, t0, self.dm.now_ns(), 1);
+        self.stats.record_local_revalidation();
+        self.stats.record_hit();
+        self.tier_feed_frequency(slot_addr);
+        true
+    }
+
+    /// Keeps the *remote* frequency counter of a locally-served key fed, so
+    /// remote eviction keeps seeing this client's interest and does not
+    /// evict its hottest keys.  Buffered by the FC cache, a local hit costs
+    /// an `RDMA_FAA` only every `fc_threshold` accesses (the stateless
+    /// last-access timestamp is deliberately *not* refreshed from local
+    /// hits — a documented staleness the lease bounds).
+    fn tier_feed_frequency(&mut self, slot_addr: RemoteAddr) {
+        if !self.config.enable_fc_cache {
+            return;
+        }
+        let freq_addr = SampleFriendlyHashTable::freq_addr(slot_addr);
+        for (addr, delta) in self.fc.record(freq_addr) {
+            let _ = with_retry(&self.dm, |dm| dm.try_faa(addr, delta));
+            self.stats.record_fc_flush();
+        }
+    }
+
+    /// Offers a validated remote hit to the tier.  `board_epoch` must have
+    /// been captured before the lookup's bucket READ and `slot_word` is the
+    /// atomic word the lookup observed; `hot` is the FC-cache hotness
+    /// verdict consumed by the frequency-threshold admission policy.
+    #[allow(clippy::too_many_arguments)]
+    fn tier_admit(
+        &mut self,
+        hash: u64,
+        key: &[u8],
+        slot_addr: RemoteAddr,
+        slot_word: u64,
+        board_epoch: u64,
+        hot: bool,
+        value: &[u8],
+    ) {
+        let now = self.dm.now_ns();
+        let Some(tier) = self.tier.as_mut() else {
+            return;
+        };
+        let policy = tier.choose_policy(&mut self.rng);
+        if policy == POLICY_FREQ && !hot {
+            return;
+        }
+        tier.admit(
+            hash,
+            key,
+            value,
+            slot_addr,
+            slot_word,
+            now,
+            board_epoch,
+            policy,
+        );
+    }
+
     fn record_access(
         &mut self,
         slot_addr: RemoteAddr,
@@ -1365,7 +1549,10 @@ impl DittoClient {
         let now = self.dm.now_ns();
         // Stateless information: a single asynchronous WRITE (mirrored into
         // the destination copy while the slot's stripe is mid-migration).
-        self.write_slot_meta(SampleFriendlyHashTable::last_ts_addr(slot_addr), &now.to_le_bytes());
+        self.write_slot_meta(
+            SampleFriendlyHashTable::last_ts_addr(slot_addr),
+            &now.to_le_bytes(),
+        );
         if !self.config.enable_sample_friendly_table {
             // Ablation: without the co-designed table the stateless fields are
             // scattered and need an additional write on the data path.
@@ -1479,10 +1666,22 @@ impl DittoClient {
     fn set_inner(&mut self, key: &[u8], value: &[u8]) -> CacheResult<()> {
         let hash = fnv1a64(key);
         let fp = fingerprint(hash);
+        // The writer's own tier copy is stale the moment the Set is issued;
+        // other clients' copies are invalidated by the board bump once the
+        // publish CAS lands (end of this function).
+        if let Some(tier) = self.tier.as_mut() {
+            tier.remove(hash);
+        }
         // Encode into the reusable per-client buffer, temporarily moved out
         // so the borrow checker can see it is disjoint from `self`.
         let mut encoded = std::mem::take(&mut self.encode_buf);
-        object::encode_into(key, value, self.use_extension, &[0; EXT_WORDS], &mut encoded);
+        object::encode_into(
+            key,
+            value,
+            self.use_extension,
+            &[0; EXT_WORDS],
+            &mut encoded,
+        );
         let size_class = encoded.len() / 64;
         if size_class > 254 {
             self.encode_buf = encoded;
@@ -1632,7 +1831,12 @@ impl DittoClient {
             // An armed crash point fired inside a publish: the client is
             // dead mid-protocol.  Skip every cleanup step — no journal
             // clear, no frees, no invalidation — leaving exactly the
-            // debris `recover_crashed_client` must be able to fix.
+            // debris `recover_crashed_client` must be able to fix.  The
+            // coherence bump still happens: the publish CAS may have landed
+            // before the crash, and a stale tier copy surviving a recovered
+            // Set would be exactly the resurrection bug the chaos tests
+            // hunt for.
+            self.board.bump(hash);
             self.encode_buf = encoded;
             return Ok(());
         }
@@ -1652,7 +1856,9 @@ impl DittoClient {
                     // same faults also hide it from every reader).
                     break;
                 };
-                let Some((slot_addr, slot)) = existing else { break };
+                let Some((slot_addr, slot)) = existing else {
+                    break;
+                };
                 if slot.atomic.encode() == new_atomic.encode() {
                     // A judged-failed CAS actually carried our value after
                     // all: the set is installed, nothing to invalidate.
@@ -1679,6 +1885,14 @@ impl DittoClient {
                 self.free_object(obj_addr, encoded.len());
             }
         }
+        // One bump covers every mutation shape this Set may have performed
+        // on its own key's slot — replace, fresh install, bucket
+        // evict-and-insert, or the failed-update invalidation sweep — and
+        // is sequenced after the last CAS but before the operation returns,
+        // so a reader starting after this Set completes always sees it.  A
+        // Set that mutated nothing bumps anyway; the only cost is a
+        // spurious refetch by tier holders of this key.
+        self.board.bump(hash);
         self.journal_clear();
         self.encode_buf = encoded;
         Ok(())
@@ -1713,7 +1927,10 @@ impl DittoClient {
             return true;
         }
         self.record_access(slot_addr, slot, None, AccessKind::Update);
-        self.free_object(slot.atomic.object_addr(), slot.atomic.object_bytes() as usize);
+        self.free_object(
+            slot.atomic.object_addr(),
+            slot.atomic.object_bytes() as usize,
+        );
         true
     }
 
@@ -1808,11 +2025,19 @@ impl DittoClient {
         if !self.slot_cas(victim_addr, expected, new_atomic.encode()) {
             return false;
         }
+        // The *victim key*'s slot word is gone: invalidate its local-tier
+        // copies right away — before even the crash hook, since the CAS
+        // already landed.  (The inserted key's own bump happens once at the
+        // end of `set_inner`.)
+        self.board.bump(victim.hash);
         if self.crash_fired(CrashPoint::AfterPublish) {
             return true;
         }
         self.notify_eviction(&candidates, victim_idx, bitmap);
-        self.free_object(victim.atomic.object_addr(), victim.atomic.object_bytes() as usize);
+        self.free_object(
+            victim.atomic.object_addr(),
+            victim.atomic.object_bytes() as usize,
+        );
         self.write_fresh_metadata(victim_addr, hash);
         self.stats.record_bucket_eviction();
         self.stats.record_eviction(chosen);
@@ -1891,12 +2116,15 @@ impl DittoClient {
     /// from many clients coalesce there into spans no single client could
     /// assemble — and ask once more.
     fn backstop_alloc(&mut self, preferred: u16, size: usize) -> Option<RemoteAddr> {
-        let addr = self.alloc.alloc_exact_on(&self.dm, preferred, size).or_else(|| {
-            if self.alloc.release_excess(&self.dm, 0) == 0 {
-                return None;
-            }
-            self.alloc.alloc_exact_on(&self.dm, preferred, size)
-        })?;
+        let addr = self
+            .alloc
+            .alloc_exact_on(&self.dm, preferred, size)
+            .or_else(|| {
+                if self.alloc.release_excess(&self.dm, 0) == 0 {
+                    return None;
+                }
+                self.alloc.alloc_exact_on(&self.dm, preferred, size)
+            })?;
         self.note_object_alloc(addr, size);
         Some(addr)
     }
@@ -2045,11 +2273,7 @@ impl DittoClient {
             {
                 return;
             }
-            SampleFriendlyHashTable::decode_slots(
-                addr,
-                &self.sample_buf[..slots * SLOT_SIZE],
-                out,
-            );
+            SampleFriendlyHashTable::decode_slots(addr, &self.sample_buf[..slots * SLOT_SIZE], out);
             self.charge_decode(slots);
             return;
         }
@@ -2199,6 +2423,9 @@ impl DittoClient {
             };
 
             if won {
+                // The victim's slot word changed (history entry or empty):
+                // invalidate local-tier copies of the evicted key.
+                self.board.bump(victim.hash);
                 self.notify_eviction(&candidates, victim_idx, bitmap);
                 self.free_object(
                     victim.atomic.object_addr(),
@@ -2244,8 +2471,7 @@ impl DittoClient {
                 // previous pump's commit exhausted the stripe lock) looks
                 // "stale" to begin; resume it at the commit below instead
                 // of dropping it wedged.
-                Ok(false)
-                    if engine.directory().state(job.stripe) == MigrationState::DualRead => {}
+                Ok(false) if engine.directory().state(job.stripe) == MigrationState::DualRead => {}
                 Ok(false) => continue, // stale job (superseded plan)
                 Err(_) => {
                     // The destination cannot host the stripe yet (or its
@@ -2416,6 +2642,10 @@ impl DittoClient {
             self.free_object(new_addr, len);
             return false;
         }
+        // No coherence-board bump: the key→value mapping is unchanged, so a
+        // tier copy stays byte-correct.  The slot *word* did change, which a
+        // later lease revalidation conservatively treats as stale — a
+        // refetch, never a wrong value.
         self.free_object(old_addr, len);
         self.dm
             .pool()
@@ -2632,7 +2862,10 @@ mod tests {
             client.set(format!("key{i}").as_bytes(), &[1u8; 200]);
         }
         let snap = cache.stats().snapshot();
-        assert!(snap.evictions + snap.bucket_evictions > 1_000, "evictions: {snap:?}");
+        assert!(
+            snap.evictions + snap.bucket_evictions > 1_000,
+            "evictions: {snap:?}"
+        );
         // Recently inserted keys are still present.
         let mut recent_hits = 0;
         for i in 1_990..2_000u64 {
@@ -2640,7 +2873,10 @@ mod tests {
                 recent_hits += 1;
             }
         }
-        assert!(recent_hits >= 5, "only {recent_hits}/10 recent keys survive");
+        assert!(
+            recent_hits >= 5,
+            "only {recent_hits}/10 recent keys survive"
+        );
     }
 
     #[test]
@@ -2724,8 +2960,7 @@ mod tests {
     fn batched_get_charges_less_latency_than_unbatched() {
         let run = |batched: bool| {
             let config = DittoConfig::with_capacity(1_000).with_doorbell_batching(batched);
-            let cache =
-                DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
+            let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
             let mut client = cache.client();
             client.set(b"probe", b"x");
             let before = client.dm().now_ns();
@@ -2751,9 +2986,11 @@ mod tests {
         // the secondary READ's flight, and a hit never pays the secondary
         // decode at all.
         let run = |async_completion: bool| {
-            let config = DittoConfig::with_capacity(1_000)
-                .with_async_completion(async_completion);
-            assert!(config.cpu_decode_slot_ns > 0, "the default models decode CPU work");
+            let config = DittoConfig::with_capacity(1_000).with_async_completion(async_completion);
+            assert!(
+                config.cpu_decode_slot_ns > 0,
+                "the default models decode CPU work"
+            );
             let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
             let mut client = cache.client();
             client.set(b"probe", b"x");
@@ -2775,8 +3012,7 @@ mod tests {
     #[test]
     fn pipelined_get_issues_identical_verbs_and_doorbells() {
         let run = |async_completion: bool| {
-            let config = DittoConfig::with_capacity(1_000)
-                .with_async_completion(async_completion);
+            let config = DittoConfig::with_capacity(1_000).with_async_completion(async_completion);
             let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
             let mut client = cache.client();
             client.set(b"probe", b"x");
@@ -2801,7 +3037,10 @@ mod tests {
         let stats = cache.pool().stats();
         // Search ring (2 READs) + object ring (READ + unsignalled FAA).
         assert_eq!(stats.doorbells(), 2);
-        assert!(stats.unsignalled_wqes() >= 1, "the FAA must ride unsignalled");
+        assert!(
+            stats.unsignalled_wqes() >= 1,
+            "the FAA must ride unsignalled"
+        );
         assert_eq!(stats.node_snapshots()[0].faa, 1);
     }
 
@@ -2906,7 +3145,10 @@ mod tests {
         let stats = cache.pool().stats();
         let stripe_budget = 2 * stats.migrated_bytes(); // READ + WRITE per byte
         let object_budget = stats.migrated_object_bytes(); // ≤ READ + WRITE charged
-        assert!(object_budget > stripe_budget / 4, "objects must matter here");
+        assert!(
+            object_budget > stripe_budget / 4,
+            "objects must matter here"
+        );
         let required_ns =
             (stripe_budget + object_budget).saturating_mul(1_000_000_000) / rate * 9 / 10;
         assert!(
@@ -2965,7 +3207,11 @@ mod tests {
         let snaps = cache.pool().stats().node_snapshots();
         assert_eq!(snaps.len(), 4);
         for (mn, snap) in snaps.iter().enumerate() {
-            assert!(snap.messages > 100, "node {mn} served only {} messages", snap.messages);
+            assert!(
+                snap.messages > 100,
+                "node {mn} served only {} messages",
+                snap.messages
+            );
         }
     }
 
@@ -3106,12 +3352,18 @@ mod tests {
         for i in 0..400u64 {
             client.set(format!("key{i}").as_bytes(), format!("value{i}").as_bytes());
         }
-        assert!(cache.pool().resident_object_bytes(1) > 0, "node 1 should hold objects");
+        assert!(
+            cache.pool().resident_object_bytes(1) > 0,
+            "node 1 should hold objects"
+        );
 
         // Drain node 1 and pump the migration to completion.
         cache.pool().drain_node(1).unwrap();
         let progress = cache.pump_migration();
-        assert!(progress.stripes_moved > 0, "half the stripes must move: {progress:?}");
+        assert!(
+            progress.stripes_moved > 0,
+            "half the stripes must move: {progress:?}"
+        );
         assert!(progress.objects_relocated > 0);
         assert_eq!(progress.jobs_remaining, 0);
         assert!(cache.migration().is_idle());
@@ -3119,7 +3371,11 @@ mod tests {
         // The drained node holds no buckets and no resident object bytes.
         let table = cache.table();
         for bucket in 0..table.num_buckets() {
-            assert_ne!(table.node_of_bucket(bucket), 1, "bucket {bucket} still on node 1");
+            assert_ne!(
+                table.node_of_bucket(bucket),
+                1,
+                "bucket {bucket} still on node 1"
+            );
         }
         assert_eq!(cache.pool().resident_object_bytes(1), 0);
         assert!(cache.pool().stats().stripe_cutovers() > 0);
@@ -3202,7 +3458,10 @@ mod tests {
             .expect("some key must land on node 1");
         cache.pool().drain_node(1).unwrap();
         // One Get relocates the hot object off the drained node (no pump).
-        assert_eq!(client.get(key.as_bytes()).as_deref(), Some(&b"hot-value"[..]));
+        assert_eq!(
+            client.get(key.as_bytes()).as_deref(),
+            Some(&b"hot-value"[..])
+        );
         let hash = crate::hash::fnv1a64(key.as_bytes());
         let fp = crate::hash::fingerprint(hash);
         let moved = [table.primary_bucket(hash), table.secondary_bucket(hash)]
@@ -3218,7 +3477,10 @@ mod tests {
         assert!(moved, "hot object should have been re-placed cooperatively");
         assert!(cache.pool().stats().migrated_objects() > 0);
         // The value still reads back afterwards.
-        assert_eq!(client.get(key.as_bytes()).as_deref(), Some(&b"hot-value"[..]));
+        assert_eq!(
+            client.get(key.as_bytes()).as_deref(),
+            Some(&b"hot-value"[..])
+        );
     }
 
     #[test]
@@ -3246,7 +3508,10 @@ mod tests {
                 in_window.push(key);
             }
         }
-        assert!(!in_window.is_empty(), "some key must map to the moving stripe");
+        assert!(
+            !in_window.is_empty(),
+            "some key must map to the moving stripe"
+        );
         engine.commit(client.dm(), &job).unwrap();
 
         // After the cutover the writes are visible at the new home.
@@ -3281,10 +3546,18 @@ mod tests {
         };
         // Pathologically message-bound: the hybrid short-circuits, so a
         // primary-bucket hit costs 1 bucket READ + 1 object READ.
-        assert_eq!(run(1), 2, "message-bound lookups must skip the secondary bucket");
+        assert_eq!(
+            run(1),
+            2,
+            "message-bound lookups must skip the secondary bucket"
+        );
         // Latency-bound (default RNIC budget): the batched both-bucket
         // fetch stays, costing 2 bucket READs + 1 object READ.
-        assert_eq!(run(40_000_000), 3, "latency-bound lookups keep the batched fetch");
+        assert_eq!(
+            run(40_000_000),
+            3,
+            "latency-bound lookups keep the batched fetch"
+        );
     }
 
     #[test]

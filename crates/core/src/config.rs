@@ -125,6 +125,19 @@ pub struct DittoConfig {
     /// the journal writes add messages to the `Set` path, and the
     /// parity/ops baselines are recorded without them.
     pub enable_crash_recovery_journal: bool,
+    /// Capacity (in objects) of the compute-side local cache tier
+    /// ([`crate::local_tier`]); 0 disables the tier.  Each client holds its
+    /// own fixed-capacity, allocation-free store of decoded hot objects; a
+    /// hit on a lease-valid entry costs **zero** network messages.
+    pub local_tier_capacity: usize,
+    /// Lease duration (simulated nanoseconds) of a local-tier entry.  A
+    /// local hit past its lease revalidates with one 8-byte slot-word READ
+    /// before serving; within the lease the entry's coherence rests on the
+    /// in-process coherence board (see the `local_tier` module docs).
+    pub local_tier_lease_ns: u64,
+    /// Client CPU nanoseconds charged per local-tier hit (index probe,
+    /// board check and value copy) — the whole cost of a lease-valid hit.
+    pub cpu_local_hit_ns: u64,
 }
 
 impl Default for DittoConfig {
@@ -157,6 +170,9 @@ impl Default for DittoConfig {
             history_counter_refresh: 256,
             alloc_segment_objects: 16,
             enable_crash_recovery_journal: false,
+            local_tier_capacity: 0,
+            local_tier_lease_ns: 50_000,
+            cpu_local_hit_ns: 50,
         }
     }
 }
@@ -236,6 +252,16 @@ impl DittoConfig {
         self
     }
 
+    /// Enables the compute-side local cache tier (builder style):
+    /// `capacity` decoded hot objects per client, each covered by a
+    /// `lease_ns` coherence lease in simulated time.  Pass `capacity = 0`
+    /// to disable; see [`crate::local_tier`].
+    pub fn with_local_tier(mut self, capacity: usize, lease_ns: u64) -> Self {
+        self.local_tier_capacity = capacity;
+        self.local_tier_lease_ns = lease_ns;
+        self
+    }
+
     /// Largest supported eviction sample size; bounds the fixed-capacity
     /// candidate buffers of the allocation-free data path (the paper uses
     /// K = 5).
@@ -299,6 +325,9 @@ impl DittoConfig {
         }
         if self.enable_adaptive_lookup && self.adaptive_lookup_interval == 0 {
             return Err("adaptive_lookup_interval must be at least 1".to_string());
+        }
+        if self.local_tier_capacity > 0 && self.local_tier_lease_ns == 0 {
+            return Err("local_tier_lease_ns must be at least 1 when the tier is on".to_string());
         }
         Ok(())
     }

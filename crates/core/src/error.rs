@@ -39,7 +39,10 @@ impl fmt::Display for CacheError {
             CacheError::UnknownAlgorithm(name) => write!(f, "unknown caching algorithm: {name}"),
             CacheError::Dm(e) => write!(f, "disaggregated-memory error: {e}"),
             CacheError::ObjectTooLarge { bytes, max } => {
-                write!(f, "object of {bytes} bytes exceeds the maximum of {max} bytes")
+                write!(
+                    f,
+                    "object of {bytes} bytes exceeds the maximum of {max} bytes"
+                )
             }
             CacheError::PointerOverflow { mn_id, offset } => write!(
                 f,
@@ -63,7 +66,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CacheError::InvalidConfig("x".into()).to_string().contains("x"));
+        assert!(CacheError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
         assert!(CacheError::UnknownAlgorithm("zap".into())
             .to_string()
             .contains("zap"));
@@ -75,6 +80,9 @@ mod tests {
     #[test]
     fn dm_errors_convert() {
         let e: CacheError = DmError::NoSuchNode { mn_id: 3 }.into();
-        assert!(matches!(e, CacheError::Dm(DmError::NoSuchNode { mn_id: 3 })));
+        assert!(matches!(
+            e,
+            CacheError::Dm(DmError::NoSuchNode { mn_id: 3 })
+        ));
     }
 }

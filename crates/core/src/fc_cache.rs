@@ -134,6 +134,15 @@ impl FcCache {
         flushes
     }
 
+    /// The increments currently buffered for `freq_addr` (0 when the entry
+    /// flushed or was never recorded).  The local tier's admission policy
+    /// reads this as its client-local hotness signal: a key whose counter
+    /// has accumulated un-flushed increments is being re-read *by this
+    /// client*, which is exactly the population worth caching locally.
+    pub fn pending_delta(&self, freq_addr: RemoteAddr) -> u64 {
+        self.entries.get(&freq_addr.pack()).map_or(0, |e| e.delta)
+    }
+
     /// Takes back one buffered increment for `freq_addr`, if any is
     /// pending.
     ///

@@ -131,7 +131,11 @@ mod tests {
             format!("key{i}").as_bytes().hash(&mut h);
             low_bits.insert(h.finish() % 256);
         }
-        assert!(low_bits.len() > 200, "only {} distinct buckets", low_bits.len());
+        assert!(
+            low_bits.len() > 200,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
     }
 
     #[test]
@@ -142,6 +146,10 @@ mod tests {
             let key = format!("user{i:016}");
             buckets.insert(fnv1a64(key.as_bytes()) % 256);
         }
-        assert!(buckets.len() > 200, "only {} distinct buckets", buckets.len());
+        assert!(
+            buckets.len() > 200,
+            "only {} distinct buckets",
+            buckets.len()
+        );
     }
 }

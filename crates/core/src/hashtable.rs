@@ -163,7 +163,9 @@ impl SampleFriendlyHashTable {
         let bucket_idx = bucket_idx % self.num_buckets;
         let stripe = bucket_idx / self.buckets_per_stripe;
         let within = bucket_idx % self.buckets_per_stripe;
-        self.stripes.current(stripe).add(within * BUCKET_SIZE as u64)
+        self.stripes
+            .current(stripe)
+            .add(within * BUCKET_SIZE as u64)
     }
 
     /// Number of contiguous buckets per stripe.
@@ -194,7 +196,8 @@ impl SampleFriendlyHashTable {
 
     /// Address of slot `slot_idx` within bucket `bucket_idx`.
     pub fn slot_addr(&self, bucket_idx: u64, slot_idx: usize) -> RemoteAddr {
-        self.bucket_addr(bucket_idx).add((slot_idx % SLOTS_PER_BUCKET) as u64 * SLOT_SIZE as u64)
+        self.bucket_addr(bucket_idx)
+            .add((slot_idx % SLOTS_PER_BUCKET) as u64 * SLOT_SIZE as u64)
     }
 
     /// Address of the slot with global index `global_idx` (row-major order).
@@ -214,7 +217,12 @@ impl SampleFriendlyHashTable {
     ///
     /// Callers fetch the segments in one doorbell batch, so sampling stays
     /// a single round trip even when the sample straddles memory nodes.
-    pub fn for_span_segments(&self, start: u64, count: usize, mut f: impl FnMut(RemoteAddr, usize)) {
+    pub fn for_span_segments(
+        &self,
+        start: u64,
+        count: usize,
+        mut f: impl FnMut(RemoteAddr, usize),
+    ) {
         let slots_per_stripe = self.buckets_per_stripe * SLOTS_PER_BUCKET as u64;
         let mut idx = start % self.num_slots();
         let mut remaining = count as u64;
@@ -283,15 +291,17 @@ impl SampleFriendlyHashTable {
     ///
     /// Panics if `bytes` is not a whole number of slots or `out` lacks the
     /// capacity.
-    pub fn decode_slots(
-        addr: RemoteAddr,
-        bytes: &[u8],
-        out: &mut impl Extend<(RemoteAddr, Slot)>,
-    ) {
-        assert!(bytes.len().is_multiple_of(SLOT_SIZE), "partial slot in bucket bytes");
-        out.extend(bytes.chunks_exact(SLOT_SIZE).enumerate().map(|(i, chunk)| {
-            (addr.add((i * SLOT_SIZE) as u64), Slot::from_bytes(chunk))
-        }));
+    pub fn decode_slots(addr: RemoteAddr, bytes: &[u8], out: &mut impl Extend<(RemoteAddr, Slot)>) {
+        assert!(
+            bytes.len().is_multiple_of(SLOT_SIZE),
+            "partial slot in bucket bytes"
+        );
+        out.extend(
+            bytes
+                .chunks_exact(SLOT_SIZE)
+                .enumerate()
+                .map(|(i, chunk)| (addr.add((i * SLOT_SIZE) as u64), Slot::from_bytes(chunk))),
+        );
     }
 
     /// Whether a bucket read raced a stripe cutover's reconcile pass: any
@@ -524,7 +534,9 @@ mod tests {
         }
         // All four nodes carry an equal share of the table.
         for mn in 0..4u16 {
-            let buckets = (0..512u64).filter(|&b| table.node_of_bucket(b) == mn).count();
+            let buckets = (0..512u64)
+                .filter(|&b| table.node_of_bucket(b) == mn)
+                .count();
             assert_eq!(buckets, 128);
         }
     }

@@ -113,7 +113,10 @@ impl EvictionHistory {
     /// (the client's new local estimate of that shard's queue tail).
     pub fn acquire_id(&self, client: &DmClient, shard: u64) -> (u64, u64) {
         let old = client.faa(self.counter_addr(shard), 1) % HISTORY_COUNTER_PERIOD;
-        (Self::pack_id(shard, old), (old + 1) % HISTORY_COUNTER_PERIOD)
+        (
+            Self::pack_id(shard, old),
+            (old + 1) % HISTORY_COUNTER_PERIOD,
+        )
     }
 
     /// Fallible [`EvictionHistory::acquire_id`]: surfaces a faulted FAA so an
@@ -121,7 +124,10 @@ impl EvictionHistory {
     /// panicking.
     pub fn try_acquire_id(&self, client: &DmClient, shard: u64) -> DmResult<(u64, u64)> {
         let old = client.try_faa(self.counter_addr(shard), 1)? % HISTORY_COUNTER_PERIOD;
-        Ok((Self::pack_id(shard, old), (old + 1) % HISTORY_COUNTER_PERIOD))
+        Ok((
+            Self::pack_id(shard, old),
+            (old + 1) % HISTORY_COUNTER_PERIOD,
+        ))
     }
 
     /// Reads the current value of `shard`'s history counter (one

@@ -67,7 +67,11 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
     ///
     /// Panics when `index` is out of bounds.
     pub fn swap_remove(&mut self, index: usize) -> T {
-        assert!(index < self.len, "swap_remove index {index} out of bounds (len {})", self.len);
+        assert!(
+            index < self.len,
+            "swap_remove index {index} out of bounds (len {})",
+            self.len
+        );
         let value = self.items[index];
         self.items[index] = self.items[self.len - 1];
         self.len -= 1;

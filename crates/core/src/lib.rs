@@ -19,6 +19,24 @@
 //! and how a survivor reclaims it (see also the *Failure model* section of
 //! the [`ditto_dm`] crate docs for the fault classes and lease protocol).
 //!
+//! # The compute-side local tier
+//!
+//! [`local_tier`] adds an optional per-client cache of decoded hot objects
+//! in front of the remote data path — enabled with
+//! [`DittoConfig::with_local_tier`].  A `Get` that hits a lease-valid,
+//! coherent entry costs **zero network messages**; one whose lease expired
+//! costs a single 8-byte slot-word READ.  Coherence is two-layered: an
+//! in-process [`local_tier::CoherenceBoard`] of per-key-hash mutation
+//! epochs (bumped by every publish/eviction/invalidation CAS before the
+//! mutating op returns, making local hits linearizable against concurrent
+//! writers) plus leases with slot-word revalidation, which model the
+//! message cost a real multi-process deployment pays.  Admission is
+//! arbitrated by the same expert framework as victim selection, fed by the
+//! FC cache's per-client frequency estimates.  The tier is allocation-free
+//! in steady state and every coherence event is counted in the lifetime
+//! `local_*` counters of [`CacheStats`] (they survive
+//! [`CacheStats::reset`]).
+//!
 //! # Threading model
 //!
 //! The cache mirrors the paper's deployment — many compute-node clients,
@@ -68,6 +86,7 @@ pub mod hash;
 pub mod hashtable;
 pub mod history;
 pub mod inline;
+pub mod local_tier;
 pub mod object;
 pub mod recovery;
 pub mod sim;
@@ -82,6 +101,7 @@ pub use error::{CacheError, CacheResult};
 pub use fc_cache::FcCache;
 pub use hashtable::SampleFriendlyHashTable;
 pub use history::EvictionHistory;
+pub use local_tier::{CoherenceBoard, LocalTier, TierProbe};
 pub use recovery::{CrashPoint, RecoveryReport};
 pub use sim::{simulate_hit_rate, SimCache, SimConfig, SimStats};
 pub use stats::{CacheStats, CacheStatsSnapshot};

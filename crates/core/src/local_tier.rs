@@ -1,0 +1,661 @@
+//! The compute-side local cache tier: zero-message hot reads with
+//! lease-based coherence.
+//!
+//! Ditto's remote data path pays at least one RDMA round trip per `Get`
+//! even for the hottest keys.  This module adds the decentralized
+//! client-side tier DiFache argues for: each [`crate::DittoClient`] owns a
+//! fixed-capacity, allocation-free [`LocalTier`] of decoded hot objects in
+//! front of the remote path.  A `Get` that hits a coherent tier entry
+//! costs **zero network messages**; one whose lease expired costs a single
+//! 8-byte slot-word `RDMA_READ` instead of the full bucket-scan + object
+//! READ.
+//!
+//! # Coherence
+//!
+//! Two mechanisms compose, one per failure domain:
+//!
+//! * **The [`CoherenceBoard`]** — a small shared array of per-key-hash
+//!   epoch counters living in compute-side memory (one per
+//!   [`crate::DittoCache`], shared by every client of the process).  Every
+//!   successful slot-word mutation — a `Set`'s publish CAS, a sampling or
+//!   bucket eviction, a failed-update invalidation sweep — bumps the
+//!   epoch of the mutated key's hash *after* the CAS lands and *before*
+//!   the mutating operation returns.  A tier probe compares the board
+//!   epoch against the value captured when the entry was admitted (a
+//!   point at which the value was known current); any mismatch drops the
+//!   entry.  Because the bump is sequenced before the writer's operation
+//!   completes, a reader that begins after a completed `Set` always
+//!   observes the bump — local hits linearize against concurrent writers
+//!   (enforced by the checker in `tests/local_tier_parity.rs`).  Board
+//!   slots are hashed, so a collision only costs a spurious refetch.
+//! * **Leases + slot-word revalidation** — the protocol a real
+//!   multi-process deployment needs, where no shared board exists.  Each
+//!   entry carries the slot's 8-byte atomic word and a lease in simulated
+//!   time ([`crate::DittoConfig::local_tier_lease_ns`]).  Within the
+//!   lease an entry serves locally; past it, the client re-READs the slot
+//!   word and serves only on an exact match.  Any mutation of the slot —
+//!   a publish CAS, an eviction CAS, a migration relocation, a stripe
+//!   cutover's `RECONCILE_POISON` — changes the word, so the single
+//!   8-byte READ detects staleness (conservatively: a relocation keeps
+//!   the value intact but still forces a refetch).
+//!
+//! # Admission
+//!
+//! Admission reuses the adaptive machinery that drives eviction: the
+//! FC cache's buffered per-client frequency estimate
+//! ([`crate::fc_cache::FcCache::pending_delta`]) is the hotness signal,
+//! and a two-expert [`ExpertWeights`] instance arbitrates between a
+//! frequency-threshold policy and an always-admit policy exactly the way
+//! victim selection arbitrates experts.  When the tier's CLOCK hand
+//! evicts an entry that never served a local hit, the admitting expert is
+//! penalised with a regret, shifting future admissions toward the policy
+//! that keeps useful entries.
+//!
+//! The tier is **allocation-free in steady state**: entries are
+//! preallocated at construction, per-entry key/value buffers grow to the
+//! largest object seen (the `obj_buf` idiom), and the hash index is
+//! pre-reserved so it never rehashes.
+
+use crate::adaptive::ExpertWeights;
+use ditto_dm::RemoteAddr;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Admission policy index: admit only keys whose FC-cache pending delta
+/// reached [`FREQ_ADMIT_THRESHOLD`].
+pub const POLICY_FREQ: usize = 0;
+/// Admission policy index: admit every validated remote hit.
+pub const POLICY_ALWAYS: usize = 1;
+/// Buffered FC-cache increments required by the frequency policy: the key
+/// must have been read more than once recently by this client.
+pub const FREQ_ADMIT_THRESHOLD: u64 = 2;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Shared per-key-hash mutation epochs (see the module docs).  One board
+/// per [`crate::DittoCache`]; cheap enough to check on every tier probe
+/// (one relaxed atomic load) and to bump on every slot mutation.
+#[derive(Debug)]
+pub struct CoherenceBoard {
+    epochs: Box<[AtomicU64]>,
+    mask: usize,
+}
+
+impl CoherenceBoard {
+    /// Default number of epoch slots; collisions only cost spurious
+    /// refetches, so the board stays small and cache-resident.
+    pub const DEFAULT_SLOTS: usize = 4096;
+
+    /// Creates a board with `slots` epoch counters (rounded up to a power
+    /// of two).
+    pub fn new(slots: usize) -> Self {
+        let slots = slots.next_power_of_two().max(2);
+        let mut epochs = Vec::with_capacity(slots);
+        epochs.resize_with(slots, AtomicU64::default);
+        CoherenceBoard {
+            epochs: epochs.into_boxed_slice(),
+            mask: slots - 1,
+        }
+    }
+
+    fn index(&self, key_hash: u64) -> usize {
+        splitmix(key_hash) as usize & self.mask
+    }
+
+    /// Current mutation epoch of `key_hash`'s board slot.
+    pub fn epoch(&self, key_hash: u64) -> u64 {
+        self.epochs[self.index(key_hash)].load(Ordering::Acquire)
+    }
+
+    /// Bumps `key_hash`'s epoch.  Must be called after a successful
+    /// slot-word CAS for the key and **before** the mutating operation
+    /// returns to its caller — that ordering is what makes local hits
+    /// linearizable (module docs).
+    pub fn bump(&self, key_hash: u64) {
+        self.epochs[self.index(key_hash)].fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Outcome of a [`LocalTier::probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierProbe {
+    /// No coherent entry; take the remote path.
+    Absent,
+    /// An entry existed but the coherence board saw a slot mutation since
+    /// admission: the entry was dropped.  Take the remote path.
+    Invalidated,
+    /// Served from the tier — the value was copied into the caller's
+    /// buffer.  `slot_addr` is the remote slot backing the entry (for
+    /// frequency accounting).
+    Served {
+        /// Remote slot the entry mirrors.
+        slot_addr: RemoteAddr,
+    },
+    /// The entry is board-coherent but its lease expired: revalidate by
+    /// READing 8 bytes at `slot_addr` and comparing against `slot_word`
+    /// ([`LocalTier::renew_and_serve`] on a match,
+    /// [`LocalTier::remove`] on a mismatch).
+    LeaseExpired {
+        /// Remote slot whose atomic word must be re-read.
+        slot_addr: RemoteAddr,
+        /// The word the entry was admitted (or last revalidated) under.
+        slot_word: u64,
+    },
+}
+
+#[derive(Debug)]
+struct TierEntry {
+    occupied: bool,
+    hash: u64,
+    key: Vec<u8>,
+    value: Vec<u8>,
+    slot_addr: RemoteAddr,
+    slot_word: u64,
+    lease_expiry_ns: u64,
+    board_epoch: u64,
+    /// CLOCK reference bit.
+    referenced: bool,
+    /// Local hits served by this entry since admission (the regret signal:
+    /// evicting a zero-hit entry penalises its admitting policy).
+    hits: u64,
+    /// Admission policy that let this entry in.
+    policy: usize,
+}
+
+impl TierEntry {
+    fn empty() -> Self {
+        TierEntry {
+            occupied: false,
+            hash: 0,
+            key: Vec::new(),
+            value: Vec::new(),
+            slot_addr: RemoteAddr::new(0, 0),
+            slot_word: 0,
+            lease_expiry_ns: 0,
+            board_epoch: 0,
+            referenced: false,
+            hits: 0,
+            policy: POLICY_ALWAYS,
+        }
+    }
+}
+
+/// Lifetime counters of one client's tier (folded into the shared
+/// [`crate::CacheStats`] by the client as events happen; these stay local
+/// for tests and diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Entries admitted.
+    pub admissions: u64,
+    /// Entries evicted by the CLOCK hand.
+    pub clock_evictions: u64,
+    /// CLOCK evictions of entries that never served a hit (each one costs
+    /// its admitting policy a regret).
+    pub zero_hit_evictions: u64,
+}
+
+/// A per-client, fixed-capacity store of decoded hot objects (module
+/// docs).  Not shared: each client owns one, so no internal locking.
+#[derive(Debug)]
+pub struct LocalTier {
+    entries: Box<[TierEntry]>,
+    /// key-hash → entry index; pre-reserved, never rehashes.
+    index: HashMap<u64, usize>,
+    hand: usize,
+    lease_ns: u64,
+    /// Two-expert admission arbitration (freq-threshold vs always); local
+    /// to the tier, no controller round trips.
+    weights: ExpertWeights,
+    counters: TierCounters,
+}
+
+impl LocalTier {
+    /// Creates a tier holding up to `capacity` objects, each leased for
+    /// `lease_ns` simulated nanoseconds.  `learning_rate`/`discount`
+    /// parameterise the admission experts like the eviction experts.
+    pub fn new(capacity: usize, lease_ns: u64, learning_rate: f64, discount: f64) -> Self {
+        let capacity = capacity.max(1);
+        let mut entries = Vec::with_capacity(capacity);
+        entries.resize_with(capacity, TierEntry::empty);
+        let mut index = HashMap::new();
+        // Reserve past any realistic load factor so steady-state inserts
+        // never rehash (the map holds at most `capacity` keys).
+        index.reserve(capacity * 2);
+        LocalTier {
+            entries: entries.into_boxed_slice(),
+            index,
+            hand: 0,
+            lease_ns,
+            weights: ExpertWeights::new(2, learning_rate, discount, usize::MAX),
+            counters: TierCounters::default(),
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the tier holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Lifetime tier counters.
+    pub fn counters(&self) -> TierCounters {
+        self.counters
+    }
+
+    /// Current admission-policy weights (`[freq, always]`).
+    pub fn admission_weights(&self) -> &[f64] {
+        self.weights.weights()
+    }
+
+    /// Chooses the admission policy for one candidate, weighted by the
+    /// current expert weights.
+    pub fn choose_policy<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.weights.choose_expert(rng)
+    }
+
+    /// Probes for `key`.  On a lease-valid, board-coherent hit the value
+    /// is copied into `out` and [`TierProbe::Served`] is returned; see
+    /// [`TierProbe`] for the other outcomes.  `board_epoch` is the current
+    /// [`CoherenceBoard::epoch`] of the key's hash.
+    pub fn probe(
+        &mut self,
+        hash: u64,
+        key: &[u8],
+        now_ns: u64,
+        board_epoch: u64,
+        out: &mut Vec<u8>,
+    ) -> TierProbe {
+        let Some(&idx) = self.index.get(&hash) else {
+            return TierProbe::Absent;
+        };
+        let entry = &mut self.entries[idx];
+        if entry.key != key {
+            // A key-hash collision; the resident entry keeps its slot.
+            return TierProbe::Absent;
+        }
+        if entry.board_epoch != board_epoch {
+            self.remove_at(idx);
+            return TierProbe::Invalidated;
+        }
+        if now_ns <= entry.lease_expiry_ns {
+            entry.referenced = true;
+            entry.hits += 1;
+            out.clear();
+            out.extend_from_slice(&entry.value);
+            return TierProbe::Served {
+                slot_addr: entry.slot_addr,
+            };
+        }
+        TierProbe::LeaseExpired {
+            slot_addr: entry.slot_addr,
+            slot_word: entry.slot_word,
+        }
+    }
+
+    /// Completes a successful revalidation (the re-read slot word matched):
+    /// renews the lease, re-anchors the board epoch — the value is known
+    /// current as of the revalidation READ — and serves the value into
+    /// `out`.  Must follow a [`TierProbe::LeaseExpired`] probe for `hash`
+    /// with no intervening tier mutation.
+    pub fn renew_and_serve(
+        &mut self,
+        hash: u64,
+        now_ns: u64,
+        board_epoch: u64,
+        out: &mut Vec<u8>,
+    ) -> RemoteAddr {
+        let idx = self.index[&hash];
+        let entry = &mut self.entries[idx];
+        entry.lease_expiry_ns = now_ns + self.lease_ns;
+        entry.board_epoch = board_epoch;
+        entry.referenced = true;
+        entry.hits += 1;
+        out.clear();
+        out.extend_from_slice(&entry.value);
+        entry.slot_addr
+    }
+
+    /// Drops the entry for `hash`, if present (failed revalidation, or a
+    /// writer invalidating its own copy before a `Set`).
+    pub fn remove(&mut self, hash: u64) {
+        if let Some(&idx) = self.index.get(&hash) {
+            self.remove_at(idx);
+        }
+    }
+
+    fn remove_at(&mut self, idx: usize) {
+        let entry = &mut self.entries[idx];
+        entry.occupied = false;
+        entry.referenced = false;
+        self.index.remove(&entry.hash);
+    }
+
+    /// Admits (or refreshes) an entry for `key`.  `board_epoch` must have
+    /// been captured **before** the object bytes were read — admission
+    /// anchors coherence to a point where the value was provably current.
+    /// `policy` is the admission expert that accepted the key (for the
+    /// eviction-regret feedback loop).
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit(
+        &mut self,
+        hash: u64,
+        key: &[u8],
+        value: &[u8],
+        slot_addr: RemoteAddr,
+        slot_word: u64,
+        now_ns: u64,
+        board_epoch: u64,
+        policy: usize,
+    ) {
+        let idx = match self.index.get(&hash) {
+            Some(&idx) => {
+                if self.entries[idx].key != key {
+                    // Hash collision with a resident entry: keep the
+                    // incumbent (evicting on a collision would let two
+                    // keys thrash one slot).
+                    return;
+                }
+                idx
+            }
+            None => {
+                let idx = self.clock_victim();
+                if self.entries[idx].occupied {
+                    self.evict_at(idx);
+                }
+                self.index.insert(hash, idx);
+                self.counters.admissions += 1;
+                idx
+            }
+        };
+        let entry = &mut self.entries[idx];
+        entry.occupied = true;
+        entry.hash = hash;
+        entry.key.clear();
+        entry.key.extend_from_slice(key);
+        entry.value.clear();
+        entry.value.extend_from_slice(value);
+        entry.slot_addr = slot_addr;
+        entry.slot_word = slot_word;
+        entry.lease_expiry_ns = now_ns + self.lease_ns;
+        entry.board_epoch = board_epoch;
+        entry.referenced = true;
+        entry.hits = 0;
+        entry.policy = policy;
+    }
+
+    /// CLOCK second chance over the preallocated entry array.
+    fn clock_victim(&mut self) -> usize {
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.entries.len();
+            let entry = &mut self.entries[idx];
+            if !entry.occupied {
+                return idx;
+            }
+            if entry.referenced {
+                entry.referenced = false;
+                continue;
+            }
+            return idx;
+        }
+    }
+
+    fn evict_at(&mut self, idx: usize) {
+        self.counters.clock_evictions += 1;
+        let (hits, policy) = {
+            let entry = &self.entries[idx];
+            (entry.hits, entry.policy)
+        };
+        if hits == 0 {
+            // The admitting policy let in an entry that never paid off:
+            // regret it, the same signal shape victim selection uses.
+            self.counters.zero_hit_evictions += 1;
+            self.weights.apply_regret(1 << policy, 0);
+        }
+        self.remove_at(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn addr(i: u64) -> RemoteAddr {
+        RemoteAddr::new(0, 64 * i)
+    }
+
+    fn tier(capacity: usize, lease_ns: u64) -> LocalTier {
+        LocalTier::new(capacity, lease_ns, 0.1, 0.99)
+    }
+
+    #[test]
+    fn probe_miss_then_admit_then_hit() {
+        let board = CoherenceBoard::new(64);
+        let mut t = tier(4, 1_000);
+        let mut out = Vec::new();
+        assert_eq!(
+            t.probe(7, b"k", 0, board.epoch(7), &mut out),
+            TierProbe::Absent
+        );
+        t.admit(
+            7,
+            b"k",
+            b"value",
+            addr(1),
+            42,
+            0,
+            board.epoch(7),
+            POLICY_ALWAYS,
+        );
+        let probe = t.probe(7, b"k", 500, board.epoch(7), &mut out);
+        assert_eq!(probe, TierProbe::Served { slot_addr: addr(1) });
+        assert_eq!(out, b"value");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn board_bump_invalidates() {
+        let board = CoherenceBoard::new(64);
+        let mut t = tier(4, 1_000);
+        let mut out = Vec::new();
+        t.admit(
+            7,
+            b"k",
+            b"v1",
+            addr(1),
+            42,
+            0,
+            board.epoch(7),
+            POLICY_ALWAYS,
+        );
+        board.bump(7);
+        assert_eq!(
+            t.probe(7, b"k", 100, board.epoch(7), &mut out),
+            TierProbe::Invalidated
+        );
+        // The entry is gone; the next probe is a plain miss.
+        assert_eq!(
+            t.probe(7, b"k", 100, board.epoch(7), &mut out),
+            TierProbe::Absent
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn expired_lease_revalidates_and_renews() {
+        let board = CoherenceBoard::new(64);
+        let mut t = tier(4, 1_000);
+        let mut out = Vec::new();
+        t.admit(
+            7,
+            b"k",
+            b"v1",
+            addr(1),
+            42,
+            0,
+            board.epoch(7),
+            POLICY_ALWAYS,
+        );
+        let probe = t.probe(7, b"k", 2_000, board.epoch(7), &mut out);
+        assert_eq!(
+            probe,
+            TierProbe::LeaseExpired {
+                slot_addr: addr(1),
+                slot_word: 42
+            }
+        );
+        // Word matched remotely: renew and serve.
+        let served = t.renew_and_serve(7, 2_000, board.epoch(7), &mut out);
+        assert_eq!(served, addr(1));
+        assert_eq!(out, b"v1");
+        // Lease runs from the renewal.
+        assert_eq!(
+            t.probe(7, b"k", 2_500, board.epoch(7), &mut out),
+            TierProbe::Served { slot_addr: addr(1) }
+        );
+    }
+
+    #[test]
+    fn remove_drops_the_entry() {
+        let board = CoherenceBoard::new(64);
+        let mut t = tier(4, 1_000);
+        let mut out = Vec::new();
+        t.admit(
+            7,
+            b"k",
+            b"v1",
+            addr(1),
+            42,
+            0,
+            board.epoch(7),
+            POLICY_ALWAYS,
+        );
+        t.remove(7);
+        assert_eq!(
+            t.probe(7, b"k", 0, board.epoch(7), &mut out),
+            TierProbe::Absent
+        );
+    }
+
+    #[test]
+    fn clock_eviction_bounds_capacity_and_regrets_dead_weight() {
+        let board = CoherenceBoard::new(64);
+        let mut t = tier(2, 1_000);
+        let w_before = t.admission_weights()[POLICY_ALWAYS];
+        for i in 0..10u64 {
+            t.admit(
+                i,
+                &i.to_le_bytes(),
+                b"v",
+                addr(i),
+                i,
+                0,
+                board.epoch(i),
+                POLICY_ALWAYS,
+            );
+        }
+        assert_eq!(t.len(), 2);
+        let c = t.counters();
+        assert_eq!(c.admissions, 10);
+        assert_eq!(c.clock_evictions, 8);
+        assert_eq!(c.zero_hit_evictions, 8, "no entry ever served a hit");
+        assert!(
+            t.admission_weights()[POLICY_ALWAYS] < w_before,
+            "zero-hit evictions must penalise the admitting policy"
+        );
+    }
+
+    #[test]
+    fn hash_collision_keeps_incumbent() {
+        let board = CoherenceBoard::new(64);
+        let mut t = tier(4, 1_000);
+        let mut out = Vec::new();
+        t.admit(
+            7,
+            b"alpha",
+            b"v-alpha",
+            addr(1),
+            1,
+            0,
+            board.epoch(7),
+            POLICY_ALWAYS,
+        );
+        // A different key with the same (unlikely in practice) hash:
+        // neither admitted nor served.
+        t.admit(
+            7,
+            b"beta",
+            b"v-beta",
+            addr(2),
+            2,
+            0,
+            board.epoch(7),
+            POLICY_ALWAYS,
+        );
+        assert_eq!(
+            t.probe(7, b"beta", 0, board.epoch(7), &mut out),
+            TierProbe::Absent
+        );
+        assert_eq!(
+            t.probe(7, b"alpha", 0, board.epoch(7), &mut out),
+            TierProbe::Served { slot_addr: addr(1) }
+        );
+        assert_eq!(out, b"v-alpha");
+    }
+
+    #[test]
+    fn readmission_refreshes_value_in_place() {
+        let board = CoherenceBoard::new(64);
+        let mut t = tier(4, 1_000);
+        let mut out = Vec::new();
+        t.admit(7, b"k", b"v1", addr(1), 1, 0, board.epoch(7), POLICY_ALWAYS);
+        t.admit(
+            7,
+            b"k",
+            b"v2-longer",
+            addr(1),
+            2,
+            10,
+            board.epoch(7),
+            POLICY_FREQ,
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.probe(7, b"k", 20, board.epoch(7), &mut out),
+            TierProbe::Served { slot_addr: addr(1) }
+        );
+        assert_eq!(out, b"v2-longer");
+    }
+
+    #[test]
+    fn choose_policy_is_weight_driven() {
+        let t = tier(4, 1_000);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Uniform weights: both policies get picked over enough draws.
+        let picks: Vec<usize> = (0..100).map(|_| t.choose_policy(&mut rng)).collect();
+        assert!(picks.contains(&POLICY_FREQ));
+        assert!(picks.contains(&POLICY_ALWAYS));
+    }
+
+    #[test]
+    fn board_epochs_are_independent_per_hash_slot() {
+        let board = CoherenceBoard::new(4096);
+        let (a, b) = (1u64, 2u64);
+        let ea = board.epoch(a);
+        board.bump(b);
+        assert_eq!(board.epoch(a), ea, "bumping b must not disturb a");
+        assert_eq!(board.epoch(b), 1);
+    }
+}

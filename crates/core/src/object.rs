@@ -269,7 +269,11 @@ mod tests {
         let ptr = buf.as_ptr();
         encode_into(b"key", &[2u8; 100], false, &[0; EXT_WORDS], &mut buf);
         assert!(buf.len() <= first);
-        assert_eq!(buf.capacity(), cap, "re-encoding a smaller object must not reallocate");
+        assert_eq!(
+            buf.capacity(),
+            cap,
+            "re-encoding a smaller object must not reallocate"
+        );
         assert_eq!(buf.as_ptr(), ptr);
         let d = decode(&buf).unwrap();
         assert_eq!(d.value, vec![2u8; 100]);

@@ -145,7 +145,8 @@ impl SimCache {
         let mut experts = Vec::with_capacity(config.experts.len());
         for name in &config.experts {
             experts.push(
-                registry::by_name(name).ok_or_else(|| CacheError::UnknownAlgorithm(name.clone()))?,
+                registry::by_name(name)
+                    .ok_or_else(|| CacheError::UnknownAlgorithm(name.clone()))?,
             );
         }
         Self::with_experts(config, experts)
@@ -444,7 +445,10 @@ mod tests {
         let lru = simulate_hit_rate(&trace, SimConfig::single(capacity, "lru")).unwrap();
         let lfu = simulate_hit_rate(&trace, SimConfig::single(capacity, "lfu")).unwrap();
         let adaptive = simulate_hit_rate(&trace, SimConfig::adaptive(capacity)).unwrap();
-        assert!(lfu > lru, "workload should be LFU-friendly: lfu={lfu} lru={lru}");
+        assert!(
+            lfu > lru,
+            "workload should be LFU-friendly: lfu={lfu} lru={lru}"
+        );
         let floor = lru.min(lfu) - 0.02;
         assert!(adaptive >= floor, "adaptive {adaptive} below floor {floor}");
     }

@@ -17,8 +17,8 @@
 //! bitmap of the eviction decision.
 
 use crate::error::{CacheError, CacheResult};
-use ditto_dm::RemoteAddr;
 use ditto_algorithms::Metadata;
+use ditto_dm::RemoteAddr;
 
 /// Size of one slot in bytes.
 pub const SLOT_SIZE: usize = 40;
@@ -75,7 +75,10 @@ impl AtomicField {
     /// Panics if `size_class` is the history tag (a caller bug, not a
     /// run-time condition).
     pub fn try_for_object(fp: u8, size_class: u8, addr: RemoteAddr) -> CacheResult<Self> {
-        assert!(size_class != HISTORY_SIZE_TAG, "size class clashes with history tag");
+        assert!(
+            size_class != HISTORY_SIZE_TAG,
+            "size class clashes with history tag"
+        );
         if addr.mn_id >= 256 || addr.offset >= (1 << PTR_OFFSET_BITS) {
             return Err(CacheError::PointerOverflow {
                 mn_id: addr.mn_id,
@@ -148,7 +151,10 @@ impl AtomicField {
 
     /// The object address referenced by a live slot.
     pub fn object_addr(&self) -> RemoteAddr {
-        RemoteAddr::new((self.ptr >> PTR_OFFSET_BITS) as u16, self.ptr & PTR_OFFSET_MASK)
+        RemoteAddr::new(
+            (self.ptr >> PTR_OFFSET_BITS) as u16,
+            self.ptr & PTR_OFFSET_MASK,
+        )
     }
 
     /// The object size in bytes implied by the size class.
@@ -323,12 +329,18 @@ mod tests {
         // Offset overflow.
         assert_eq!(
             AtomicField::try_for_object(1, 1, RemoteAddr::new(0, 1 << 40)),
-            Err(CacheError::PointerOverflow { mn_id: 0, offset: 1 << 40 })
+            Err(CacheError::PointerOverflow {
+                mn_id: 0,
+                offset: 1 << 40
+            })
         );
         // Node-id overflow: the 48-bit pointer keeps only 8 bits of mn_id.
         assert_eq!(
             AtomicField::try_for_object(1, 1, RemoteAddr::new(256, 64)),
-            Err(CacheError::PointerOverflow { mn_id: 256, offset: 64 })
+            Err(CacheError::PointerOverflow {
+                mn_id: 256,
+                offset: 64
+            })
         );
         // The largest admissible address round-trips.
         let max = RemoteAddr::new(255, (1 << PTR_OFFSET_BITS) - 1);

@@ -4,6 +4,13 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Concurrent counters describing cache behaviour.
+///
+/// The `local_*` group tracks the compute-side local tier
+/// ([`crate::local_tier`]) over the cache's *lifetime*: like the pool's
+/// contention counters, they deliberately survive [`CacheStats::reset`] —
+/// coherence events (invalidations, stale rejects) are evidence in
+/// correctness post-mortems and must not vanish when a benchmark clears
+/// its interval counters.
 #[derive(Debug, Default)]
 pub struct CacheStats {
     hits: AtomicU64,
@@ -15,6 +22,10 @@ pub struct CacheStats {
     regrets: AtomicU64,
     weight_syncs: AtomicU64,
     fc_flushes: AtomicU64,
+    local_hits: AtomicU64,
+    local_revalidations: AtomicU64,
+    local_invalidations: AtomicU64,
+    local_stale_rejects: AtomicU64,
     expert_victories: Vec<AtomicU64>,
 }
 
@@ -77,6 +88,29 @@ impl CacheStats {
         self.fc_flushes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a `Get` served entirely from the local tier (0 messages).
+    pub fn record_local_hit(&self) {
+        self.local_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a local-tier hit that renewed its lease with a slot-word
+    /// READ (1 small message) before serving.
+    pub fn record_local_revalidation(&self) {
+        self.local_revalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a local-tier entry dropped because the coherence board saw
+    /// a concurrent slot mutation.
+    pub fn record_local_invalidation(&self) {
+        self.local_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a local-tier entry dropped because its revalidation READ
+    /// observed a changed slot word.
+    pub fn record_local_stale_reject(&self) {
+        self.local_stale_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of all counters.
     pub fn snapshot(&self) -> CacheStatsSnapshot {
         CacheStatsSnapshot {
@@ -89,6 +123,10 @@ impl CacheStats {
             regrets: self.regrets.load(Ordering::Relaxed),
             weight_syncs: self.weight_syncs.load(Ordering::Relaxed),
             fc_flushes: self.fc_flushes.load(Ordering::Relaxed),
+            local_hits: self.local_hits.load(Ordering::Relaxed),
+            local_revalidations: self.local_revalidations.load(Ordering::Relaxed),
+            local_invalidations: self.local_invalidations.load(Ordering::Relaxed),
+            local_stale_rejects: self.local_stale_rejects.load(Ordering::Relaxed),
             expert_victories: self
                 .expert_victories
                 .iter()
@@ -97,7 +135,8 @@ impl CacheStats {
         }
     }
 
-    /// Resets every counter to zero.
+    /// Resets every interval counter to zero.  The lifetime `local_*`
+    /// coherence counters survive by design (see the struct docs).
     pub fn reset(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -135,6 +174,16 @@ pub struct CacheStatsSnapshot {
     pub weight_syncs: u64,
     /// Frequency-counter flushes (`RDMA_FAA`s actually issued).
     pub fc_flushes: u64,
+    /// `Get`s served entirely from the local tier (lifetime; survives
+    /// [`CacheStats::reset`]).
+    pub local_hits: u64,
+    /// Local-tier hits that renewed their lease with a slot-word READ
+    /// (lifetime).
+    pub local_revalidations: u64,
+    /// Local-tier entries dropped by a coherence-board check (lifetime).
+    pub local_invalidations: u64,
+    /// Local-tier entries dropped by a failed revalidation (lifetime).
+    pub local_stale_rejects: u64,
     /// Evictions attributed to each expert.
     pub expert_victories: Vec<u64>,
 }
@@ -176,10 +225,30 @@ mod tests {
         assert_eq!(snap.expert_victories, vec![0, 1]);
         assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
         stats.reset();
-        assert_eq!(stats.snapshot(), CacheStatsSnapshot {
-            expert_victories: vec![0, 0],
-            ..CacheStatsSnapshot::default()
-        });
+        assert_eq!(
+            stats.snapshot(),
+            CacheStatsSnapshot {
+                expert_victories: vec![0, 0],
+                ..CacheStatsSnapshot::default()
+            }
+        );
+    }
+
+    #[test]
+    fn local_tier_counters_survive_reset() {
+        let stats = CacheStats::new(2);
+        stats.record_hit();
+        stats.record_local_hit();
+        stats.record_local_revalidation();
+        stats.record_local_invalidation();
+        stats.record_local_stale_reject();
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.hits, 0, "interval counters reset");
+        assert_eq!(snap.local_hits, 1);
+        assert_eq!(snap.local_revalidations, 1);
+        assert_eq!(snap.local_invalidations, 1);
+        assert_eq!(snap.local_stale_rejects, 1);
     }
 
     #[test]

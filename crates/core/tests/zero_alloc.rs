@@ -85,7 +85,10 @@ fn steady_state_get_and_set_do_not_allocate() {
     });
 
     let snap = cache.stats().snapshot();
-    assert!(snap.hits > 0, "measured phase should produce hits: {snap:?}");
+    assert!(
+        snap.hits > 0,
+        "measured phase should produce hits: {snap:?}"
+    );
     assert!(
         snap.evictions + snap.bucket_evictions > 0,
         "measured phase should evict: {snap:?}"
@@ -171,5 +174,54 @@ fn steady_state_get_and_set_do_not_allocate() {
         sampled_allocations, 0,
         "sampled flight recording must not allocate in steady state \
          (counted {sampled_allocations} allocations over 4000 operations)"
+    );
+
+    // Local-tier phase: with the compute-side tier enabled the measured mix
+    // exercises every tier path — admissions (CLOCK evictions included),
+    // zero-message hits, lease revalidations, board invalidations from the
+    // Sets — and must stay allocation-free: tier entries are preallocated,
+    // per-entry key/value buffers grow to the largest object seen during
+    // warm-up, and the hash index is pre-reserved so it never rehashes.
+    let tiered_cache = DittoCache::with_dedicated_pool(
+        DittoConfig::with_capacity(600).with_local_tier(256, 20_000),
+        DmConfig::default(),
+    )
+    .unwrap();
+    let mut tiered_client = tiered_cache.client();
+    for round in 0..2u64 {
+        for i in 0..1_000u64 {
+            tiered_client.set(&key(i), &[round as u8; 200]);
+        }
+        for i in 0..1_000u64 {
+            let _ = tiered_client.get_into(&key(i), &mut value_buf);
+            // Re-read a hot subset so lease-valid tier hits actually occur
+            // inside one round (the next round's Sets invalidate them).
+            if i % 4 == 0 {
+                let _ = tiered_client.get_into(&key(i), &mut value_buf);
+            }
+        }
+    }
+    let tiered_allocations = count_allocations(|| {
+        for round in 2..4u64 {
+            for i in 0..1_000u64 {
+                tiered_client.set(&key(i), &[round as u8; 200]);
+            }
+            for i in 0..1_000u64 {
+                let _ = tiered_client.get_into(&key(i), &mut value_buf);
+                if i % 4 == 0 {
+                    let _ = tiered_client.get_into(&key(i), &mut value_buf);
+                }
+            }
+        }
+    });
+    let snap = tiered_cache.stats().snapshot();
+    assert!(
+        snap.local_hits > 0,
+        "tiered phase should serve local hits: {snap:?}"
+    );
+    assert_eq!(
+        tiered_allocations, 0,
+        "the local tier must not allocate in steady state \
+         (counted {tiered_allocations} allocations over 4500 operations)"
     );
 }

@@ -8,7 +8,9 @@ use std::fmt;
 ///
 /// The address packs into a single `u64` (16-bit node id, 48-bit offset),
 /// matching the 6-byte pointers stored in Ditto's hash-table slots.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct RemoteAddr {
     /// Identifier of the memory node that owns the bytes.
     pub mn_id: u16,
@@ -46,7 +48,10 @@ impl RemoteAddr {
     }
 
     /// The null address (node 0, offset 0), used as the "empty slot" marker.
-    pub const NULL: RemoteAddr = RemoteAddr { mn_id: 0, offset: 0 };
+    pub const NULL: RemoteAddr = RemoteAddr {
+        mn_id: 0,
+        offset: 0,
+    };
 
     /// Returns `true` if this is the null address.
     pub fn is_null(&self) -> bool {
@@ -121,7 +126,10 @@ mod tests {
     fn try_new_reports_overflow_as_typed_error() {
         assert_eq!(
             RemoteAddr::try_new(3, MAX_OFFSET),
-            Err(crate::error::DmError::AddressOverflow { mn_id: 3, offset: MAX_OFFSET })
+            Err(crate::error::DmError::AddressOverflow {
+                mn_id: 3,
+                offset: MAX_OFFSET
+            })
         );
         assert_eq!(
             RemoteAddr::try_new(3, MAX_OFFSET - 1),

@@ -317,8 +317,7 @@ impl ClientAllocator {
     pub fn release_excess(&mut self, client: &DmClient, keep_blocks: u64) -> u64 {
         let mut released = 0;
         while self.free_blocks() > keep_blocks {
-            let Some((&off, &len)) = self.free_ranges.iter().max_by_key(|&(_, &len)| len)
-            else {
+            let Some((&off, &len)) = self.free_ranges.iter().max_by_key(|&(_, &len)| len) else {
                 break;
             };
             self.free_ranges.remove(&off);
@@ -620,7 +619,9 @@ mod tests {
         alloc.free(a, 64);
         alloc.free(c, 64);
         assert_eq!(alloc.free_blocks(), 3);
-        let merged = alloc.alloc_local(192).expect("coalesced range serves 3 blocks");
+        let merged = alloc
+            .alloc_local(192)
+            .expect("coalesced range serves 3 blocks");
         assert_eq!(merged, a, "merged range starts at the lowest freed offset");
         assert_eq!(alloc.free_blocks(), 0);
     }
@@ -636,11 +637,16 @@ mod tests {
         let mut alloc = ClientAllocator::with_segment_size(0, 4096);
         let a = alloc.alloc(&client, 4096).unwrap();
         alloc.free(a, 4096);
-        let first = alloc.alloc_local(64).expect("split serves the small request");
+        let first = alloc
+            .alloc_local(64)
+            .expect("split serves the small request");
         assert_eq!(first, a, "the split hands out the front of the free block");
         // The remainder keeps serving further requests, splitting down.
         for _ in 0..63 {
-            assert!(alloc.alloc_local(64).is_some(), "remainder must keep serving");
+            assert!(
+                alloc.alloc_local(64).is_some(),
+                "remainder must keep serving"
+            );
         }
         assert!(alloc.alloc_local(64).is_none(), "all 64 blocks handed out");
         assert_eq!(alloc.live_blocks(), 64);
@@ -797,22 +803,21 @@ mod tests {
     #[test]
     fn striped_allocator_falls_back_when_preferred_is_full() {
         // Node 0 is too small for even one segment; node 1 has room.
-        let pool = MemoryPool::with_capacities(
-            DmConfig::small().with_memory_nodes(2),
-            &[4096, 1 << 20],
-        );
+        let pool =
+            MemoryPool::with_capacities(DmConfig::small().with_memory_nodes(2), &[4096, 1 << 20]);
         let client = pool.connect();
         let mut alloc = StripedAllocator::new(pool.topology().active(), 64 * 1024);
         let addr = alloc.alloc_on(&client, 0, 256).unwrap();
-        assert_eq!(addr.mn_id, 1, "allocation must fall back to the node with room");
+        assert_eq!(
+            addr.mn_id, 1,
+            "allocation must fall back to the node with room"
+        );
     }
 
     #[test]
     fn striped_allocator_reports_oom_only_when_every_node_is_full() {
-        let pool = MemoryPool::with_capacities(
-            DmConfig::small().with_memory_nodes(2),
-            &[4096, 4096],
-        );
+        let pool =
+            MemoryPool::with_capacities(DmConfig::small().with_memory_nodes(2), &[4096, 4096]);
         let client = pool.connect();
         let mut alloc = StripedAllocator::new(pool.topology().active(), 64 * 1024);
         assert!(matches!(
@@ -851,7 +856,10 @@ mod tests {
         alloc.free(resident, 256);
         for _ in 0..4 {
             let fresh = alloc.alloc_on(&client, 1, 256).unwrap();
-            assert_eq!(fresh.mn_id, 0, "drained node must receive no new placements");
+            assert_eq!(
+                fresh.mn_id, 0,
+                "drained node must receive no new placements"
+            );
         }
     }
 

@@ -393,8 +393,15 @@ mod tests {
         batch.read_into(a.add(64), &mut b2).unwrap();
         let charged = batch.execute_sequential();
 
-        assert_eq!(charged, 2 * cfg.transfer_latency_ns(cfg.read_latency_ns, 64));
-        assert_eq!(pool.stats().doorbells(), 0, "sequential mode rings no doorbell");
+        assert_eq!(
+            charged,
+            2 * cfg.transfer_latency_ns(cfg.read_latency_ns, 64)
+        );
+        assert_eq!(
+            pool.stats().doorbells(),
+            0,
+            "sequential mode rings no doorbell"
+        );
         assert_eq!(pool.stats().node_snapshots()[0].reads, 2);
     }
 
@@ -491,7 +498,9 @@ mod tests {
     fn fanout_batch_still_beats_sequential_round_trips() {
         let pool = MemoryPool::new(DmConfig::small().with_memory_nodes(4));
         let client = pool.connect();
-        let addrs: Vec<_> = (0..4u16).map(|mn| pool.reserve_on(mn, 64).unwrap()).collect();
+        let addrs: Vec<_> = (0..4u16)
+            .map(|mn| pool.reserve_on(mn, 64).unwrap())
+            .collect();
         let mut bufs = [[0u8; 64]; 4];
         let mut batch = client.batch();
         for (buf, addr) in bufs.iter_mut().zip(&addrs) {
@@ -557,8 +566,9 @@ mod tests {
     fn timed_out_batch_stretches_by_the_retransmission_window() {
         use crate::fault::FaultPlan;
         let timeout_ns = 50_000;
-        let cfg = DmConfig::small()
-            .with_fault_plan(FaultPlan::seeded(7).with_verb_timeouts(crate::fault::PPM as u32, timeout_ns));
+        let cfg = DmConfig::small().with_fault_plan(
+            FaultPlan::seeded(7).with_verb_timeouts(crate::fault::PPM as u32, timeout_ns),
+        );
         let pool = MemoryPool::new(cfg);
         let client = pool.connect();
         let a = pool.reserve(16).unwrap();

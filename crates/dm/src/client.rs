@@ -93,7 +93,12 @@ impl NodeCache {
         let removed = nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| self.removed.get(i).copied().unwrap_or_else(|| n.is_decommissioned()))
+            .map(|(i, n)| {
+                self.removed
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| n.is_decommissioned())
+            })
             .collect();
         self.nodes = nodes;
         self.removed = removed;
@@ -259,7 +264,14 @@ impl DmClient {
     /// client never had a live queue pair to the node.
     fn node_checked(&self, mn_id: u16) -> DmResult<Arc<MemoryNode>> {
         let node = self.node(mn_id);
-        if self.nodes.borrow().removed.get(mn_id as usize).copied().unwrap_or(false) {
+        if self
+            .nodes
+            .borrow()
+            .removed
+            .get(mn_id as usize)
+            .copied()
+            .unwrap_or(false)
+        {
             self.pool.stats().record_verb_failure(mn_id);
             return Err(DmError::NodeRemoved { mn_id });
         }
@@ -441,7 +453,6 @@ impl DmClient {
             None => Ok(drained),
         }
     }
-
 
     /// Issues several independent `RDMA_READ`s as one doorbell batch, each
     /// into its own caller-provided buffer.
@@ -900,8 +911,7 @@ mod tests {
     /// Runs `ops` one-read ops with one hand-recorded span each and
     /// returns (sampled op ids from the recorder, pool handle).
     fn run_sampled(one_in: u64, ops: u64) -> (Vec<u64>, MemoryPool) {
-        let pool =
-            MemoryPool::new(DmConfig::small().with_flight_recorder_sampled(1 << 12, one_in));
+        let pool = MemoryPool::new(DmConfig::small().with_flight_recorder_sampled(1 << 12, one_in));
         let client = pool.connect();
         let addr = pool.reserve(64).unwrap();
         for _ in 0..ops {
@@ -955,8 +965,7 @@ mod tests {
 
     #[test]
     fn span_recording_tracks_the_sampling_draw() {
-        let pool =
-            MemoryPool::new(DmConfig::small().with_flight_recorder_sampled(1 << 12, 4));
+        let pool = MemoryPool::new(DmConfig::small().with_flight_recorder_sampled(1 << 12, 4));
         let client = pool.connect();
         assert!(
             client.span_recording(),
@@ -972,6 +981,9 @@ mod tests {
             }
             client.end_op();
         }
-        assert!(seen_on && seen_off, "1-in-4 draw must go both ways in 64 ops");
+        assert!(
+            seen_on && seen_off,
+            "1-in-4 draw must go both ways in 64 ops"
+        );
     }
 }

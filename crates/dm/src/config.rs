@@ -230,7 +230,12 @@ impl DmConfig {
     /// distinct memory nodes: one doorbell charge **per distinct node**
     /// (each node has its own queue pair), the per-verb issue costs, and the
     /// slowest round trip — the transfers overlap across the NICs.
-    pub fn fanout_batch_latency_ns(&self, verbs: usize, fanout: usize, max_transfer_ns: u64) -> u64 {
+    pub fn fanout_batch_latency_ns(
+        &self,
+        verbs: usize,
+        fanout: usize,
+        max_transfer_ns: u64,
+    ) -> u64 {
         if verbs == 0 {
             return 0;
         }

@@ -127,7 +127,6 @@ impl CompletionQueue {
         self.entries[idx] = self.entries[self.len].take();
         completion
     }
-
 }
 
 impl Default for CompletionQueue {

@@ -101,7 +101,13 @@ impl FaultPlan {
     }
 
     /// Adds a transient slow-NIC window.
-    pub fn with_slow_nic(mut self, mn_id: u16, from_ns: u64, until_ns: u64, factor_pct: u32) -> Self {
+    pub fn with_slow_nic(
+        mut self,
+        mn_id: u16,
+        from_ns: u64,
+        until_ns: u64,
+        factor_pct: u32,
+    ) -> Self {
         self.slow_nics.push(SlowNic {
             mn_id,
             from_ns,
@@ -240,8 +246,7 @@ impl FaultInjector {
         if (fail == 0 && timeout == 0) || !self.is_armed() {
             return VerbFate::Ok;
         }
-        let draw =
-            splitmix64(self.plan.seed ^ ((client_id as u64) << 40).wrapping_add(seq)) % PPM;
+        let draw = splitmix64(self.plan.seed ^ ((client_id as u64) << 40).wrapping_add(seq)) % PPM;
         if draw < fail {
             VerbFate::Fail
         } else if draw < fail + timeout {
@@ -297,15 +302,20 @@ mod tests {
         let inj = FaultInjector::new(Some(FaultPlan::seeded(1).with_node_fail_stop(2, 5_000)));
         assert_eq!(inj.fate(0, 0, 2, 4_999), VerbFate::Ok);
         assert_eq!(inj.fate(0, 1, 2, 5_000), VerbFate::NodeDead);
-        assert_eq!(inj.fate(0, 2, 1, 9_000), VerbFate::Ok, "other nodes live on");
+        assert_eq!(
+            inj.fate(0, 2, 1, 9_000),
+            VerbFate::Ok,
+            "other nodes live on"
+        );
         assert!(inj.node_failed(2, 5_000));
         assert!(!inj.node_failed(2, 0));
     }
 
     #[test]
     fn slow_nic_windows_scale_latency() {
-        let inj =
-            FaultInjector::new(Some(FaultPlan::seeded(1).with_slow_nic(0, 1_000, 2_000, 400)));
+        let inj = FaultInjector::new(Some(
+            FaultPlan::seeded(1).with_slow_nic(0, 1_000, 2_000, 400),
+        ));
         assert_eq!(inj.latency_factor_pct(0, 999), 100);
         assert_eq!(inj.latency_factor_pct(0, 1_000), 400);
         assert_eq!(inj.latency_factor_pct(0, 1_999), 400);
@@ -325,10 +335,18 @@ mod tests {
         assert!(!inj.is_armed());
         assert_eq!(inj.fate(0, 1, 0, 0), VerbFate::Ok, "noise suspended");
         assert_eq!(inj.latency_factor_pct(0, 0), 100, "slow NIC suspended");
-        assert_eq!(inj.fate(0, 2, 1, 9_000), VerbFate::NodeDead, "crash is state, not noise");
+        assert_eq!(
+            inj.fate(0, 2, 1, 9_000),
+            VerbFate::NodeDead,
+            "crash is state, not noise"
+        );
         assert!(inj.node_failed(1, 9_000));
         inj.set_armed(true);
-        assert_eq!(inj.fate(0, 0, 0, 0), VerbFate::Fail, "re-armed draws replay");
+        assert_eq!(
+            inj.fate(0, 0, 0, 0),
+            VerbFate::Fail,
+            "re-armed draws replay"
+        );
     }
 
     #[test]

@@ -249,7 +249,14 @@ mod tests {
         // large enough that a float round-trip through the mean would lose
         // low-order bits are included deliberately.
         let h = LatencyHistogram::new();
-        let values = [1u64, 7, 12_345, (1 << 53) + 1, (1 << 53) + 3, 999_999_999_999];
+        let values = [
+            1u64,
+            7,
+            12_345,
+            (1 << 53) + 1,
+            (1 << 53) + 3,
+            999_999_999_999,
+        ];
         let mut expected = 0u64;
         for v in values {
             h.record(v);
@@ -301,7 +308,18 @@ mod tests {
         let h = LatencyHistogram::new();
         // Values straddling several log-bucket boundaries, including exact
         // bucket edges (powers of two) where rounding is most fragile.
-        for v in [1u64, 2, 15, 16, 17, 255, 256, 1 << 12, (1 << 12) + 7, 1 << 20] {
+        for v in [
+            1u64,
+            2,
+            15,
+            16,
+            17,
+            255,
+            256,
+            1 << 12,
+            (1 << 12) + 7,
+            1 << 20,
+        ] {
             h.record(v);
         }
         let ps = [0.0, 0.1, 0.5, 0.9, 0.99, 1.0];

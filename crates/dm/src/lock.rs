@@ -304,7 +304,9 @@ impl RemoteLock {
                 let desired = pack(true, me, epoch, now.wrapping_add(self.lease_ns));
                 // A faulted CAS was not applied (NAK'd atomic): fall through
                 // to the retry accounting exactly like a lost race.
-                let old = client.try_cas(self.addr, observed, desired).unwrap_or(!observed);
+                let old = client
+                    .try_cas(self.addr, observed, desired)
+                    .unwrap_or(!observed);
                 if old == observed {
                     let acq = LockAcquisition {
                         retries,
@@ -315,7 +317,10 @@ impl RemoteLock {
                         },
                         token: desired,
                     };
-                    client.pool().stats().record_lock_acquisition(acq.retries, acq.backoff_ns);
+                    client
+                        .pool()
+                        .stats()
+                        .record_lock_acquisition(acq.retries, acq.backoff_ns);
                     self.finish_acquire(client, start, &acq);
                     return acq;
                 }
@@ -325,7 +330,9 @@ impl RemoteLock {
                 // old holder's release can never land.
                 let epoch = epoch_of(observed).wrapping_add(1) & EPOCH_MASK;
                 let desired = pack(true, me, epoch, now.wrapping_add(self.lease_ns));
-                let old = client.try_cas(self.addr, observed, desired).unwrap_or(!observed);
+                let old = client
+                    .try_cas(self.addr, observed, desired)
+                    .unwrap_or(!observed);
                 if old == observed {
                     let acq = LockAcquisition {
                         retries,
@@ -337,7 +344,10 @@ impl RemoteLock {
                         },
                         token: desired,
                     };
-                    client.pool().stats().record_lock_acquisition(acq.retries, acq.backoff_ns);
+                    client
+                        .pool()
+                        .stats()
+                        .record_lock_acquisition(acq.retries, acq.backoff_ns);
                     client.pool().stats().record_lock_steal();
                     self.finish_acquire(client, start, &acq);
                     return acq;
@@ -366,7 +376,10 @@ impl RemoteLock {
                         },
                         token: 0,
                     };
-                    client.pool().stats().record_lock_exhaustion(acq.retries, acq.backoff_ns);
+                    client
+                        .pool()
+                        .stats()
+                        .record_lock_exhaustion(acq.retries, acq.backoff_ns);
                     self.finish_acquire(client, start, &acq);
                     return acq;
                 }
@@ -480,7 +493,8 @@ impl RemoteLock {
         let Ok(observed) = client.try_read_u64(self.addr) else {
             return false;
         };
-        if observed & LOCKED_BIT == 0 || owner_of(observed) != (dead_owner as u64 & OWNER_MASK) as u16
+        if observed & LOCKED_BIT == 0
+            || owner_of(observed) != (dead_owner as u64 & OWNER_MASK) as u16
         {
             return false;
         }
@@ -689,7 +703,10 @@ mod tests {
         assert_eq!(f.lock_exhaustions, 1);
         // The failed attempts still feed the contention identity.
         let c = pool.stats().contention();
-        assert_eq!(c.lock_acquire_attempts, c.lock_acquisitions + c.lock_wait_retries);
+        assert_eq!(
+            c.lock_acquire_attempts,
+            c.lock_acquisitions + c.lock_wait_retries
+        );
 
         // The real holder's release still lands: its epoch never moved.
         assert!(lock.release(&holder, &hold).is_released());

@@ -403,7 +403,8 @@ mod tests {
     #[test]
     fn unaligned_write_and_read() {
         let node = MemoryNode::new(0, 4096);
-        node.write(67, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]).unwrap();
+        node.write(67, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11])
+            .unwrap();
         assert_eq!(
             node.read(67, 11).unwrap(),
             vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]

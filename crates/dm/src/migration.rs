@@ -137,7 +137,10 @@ fn retry_verb<T>(
                 if !transient || attempt >= attempts {
                     return Err(e);
                 }
-                client.pool().stats().record_verb_retry(VERB_RETRY_BACKOFF_NS);
+                client
+                    .pool()
+                    .stats()
+                    .record_verb_retry(VERB_RETRY_BACKOFF_NS);
                 client.advance_ns(VERB_RETRY_BACKOFF_NS);
             }
         }
@@ -335,12 +338,15 @@ impl StripeDirectory {
 
     /// The stripe whose *current* range contains `addr`, if any.
     fn locate(&self, addr: RemoteAddr) -> Option<u64> {
-        self.entries.iter().position(|e| {
-            let base = RemoteAddr::unpack(e.load(Ordering::Acquire));
-            base.mn_id == addr.mn_id
-                && addr.offset >= base.offset
-                && addr.offset < base.offset + self.stripe_bytes
-        }).map(|i| i as u64)
+        self.entries
+            .iter()
+            .position(|e| {
+                let base = RemoteAddr::unpack(e.load(Ordering::Acquire));
+                base.mn_id == addr.mn_id
+                    && addr.offset >= base.offset
+                    && addr.offset < base.offset + self.stripe_bytes
+            })
+            .map(|i| i as u64)
     }
 
     /// The stripe whose *current* range contains `addr`, if any.  Lets a
@@ -369,7 +375,12 @@ impl StripeDirectory {
             (base.mn_id == addr.mn_id
                 && addr.offset >= base.offset
                 && addr.offset < base.offset + self.stripe_bytes)
-                .then(|| (i as u64, self.current(i as u64).add(addr.offset - base.offset)))
+                .then(|| {
+                    (
+                        i as u64,
+                        self.current(i as u64).add(addr.offset - base.offset),
+                    )
+                })
         })
     }
 
@@ -416,7 +427,10 @@ impl StripeDirectory {
         match self.forward(stripe) {
             Some(forward) => {
                 let base = self.current(stripe);
-                WriteDisposition::Mirror { stripe, addr: forward.add(addr.offset - base.offset) }
+                WriteDisposition::Mirror {
+                    stripe,
+                    addr: forward.add(addr.offset - base.offset),
+                }
             }
             None => WriteDisposition::Clean,
         }
@@ -444,7 +458,11 @@ impl MigrationPlanner {
         topology
             .pending_reassignments(dir.num_stripes() as u64, |s| dir.current_node(s))
             .into_iter()
-            .map(|r| MoveJob { stripe: r.stripe, src: r.from, dst: r.to })
+            .map(|r| MoveJob {
+                stripe: r.stripe,
+                src: r.from,
+                dst: r.to,
+            })
             .collect()
     }
 }
@@ -597,7 +615,8 @@ impl MigrationEngine {
     /// replacing the pending queue.  Returns the number of pending jobs.
     pub fn replan(&self) -> usize {
         let topology = self.pool.topology();
-        self.planned_epoch.store(topology.epoch(), Ordering::Release);
+        self.planned_epoch
+            .store(topology.epoch(), Ordering::Release);
         let plan = MigrationPlanner::plan(&self.dir, &topology);
         let mut jobs = self.jobs.lock();
         jobs.clear();
@@ -635,9 +654,7 @@ impl MigrationEngine {
     /// plan superseded by a newer resize).
     pub fn begin(&self, client: &DmClient, job: &MoveJob) -> DmResult<bool> {
         let src_base = self.dir.current(job.stripe);
-        if src_base.mn_id != job.src
-            || job.src == job.dst
-            || self.dir.state(job.stripe).is_moving()
+        if src_base.mn_id != job.src || job.src == job.dst || self.dir.state(job.stripe).is_moving()
         {
             return Ok(false);
         }
@@ -789,7 +806,12 @@ impl MigrationEngine {
     /// enough.  Holds no extra state: the caller already holds the stripe
     /// lock, which keeps other reconcile/copy passes off the range (racing
     /// *clients* are exactly who the poison protocol is for).
-    fn reconcile_stripe(&self, client: &DmClient, src: RemoteAddr, dst: RemoteAddr) -> DmResult<()> {
+    fn reconcile_stripe(
+        &self,
+        client: &DmClient,
+        src: RemoteAddr,
+        dst: RemoteAddr,
+    ) -> DmResult<()> {
         let total = self.dir.stripe_bytes();
         let mut buf = vec![0u8; COPY_CHUNK.min(total as usize)];
         let mut observed = vec![0u64; buf.len() / 8];
@@ -815,9 +837,14 @@ impl MigrationEngine {
                 let mut wq = client.work_queue();
                 for (i, out) in observed[base..base + group].iter_mut().enumerate() {
                     let w = base + i;
-                    let expected =
-                        u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
-                    wq.post_cas(src.add(copied + (w * 8) as u64), expected, RECONCILE_POISON, out, true);
+                    let expected = u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
+                    wq.post_cas(
+                        src.add(copied + (w * 8) as u64),
+                        expected,
+                        RECONCILE_POISON,
+                        out,
+                        true,
+                    );
                 }
                 wq.ring();
                 drop(wq);
@@ -829,8 +856,7 @@ impl MigrationEngine {
                     // marker and resolves to the value it carried.
                     for w in base..base + group {
                         let addr = src.add(copied + (w * 8) as u64);
-                        let seed =
-                            u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
+                        let seed = u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
                         let carried = Self::poison_word(client, addr, seed)?;
                         buf[w * 8..w * 8 + 8].copy_from_slice(&carried.to_le_bytes());
                         observed[w] = carried;
@@ -839,8 +865,7 @@ impl MigrationEngine {
                 base += group;
             }
             for w in 0..words {
-                let expected =
-                    u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
+                let expected = u64::from_le_bytes(buf[w * 8..w * 8 + 8].try_into().unwrap());
                 let got = observed[w];
                 if got != expected {
                     // A client CASed the word between the read and the
@@ -931,7 +956,11 @@ mod tests {
         let pool = striped_pool(2);
         let dir = make_directory(&pool, 2, 256);
         let in_stripe0 = dir.current(0).add(40);
-        assert_eq!(dir.mirror_of(in_stripe0), None, "steady state mirrors nothing");
+        assert_eq!(
+            dir.mirror_of(in_stripe0),
+            None,
+            "steady state mirrors nothing"
+        );
 
         let dst = pool.reserve_on(0, 256).unwrap();
         dir.begin_move(1, dst);
@@ -956,13 +985,19 @@ mod tests {
         dir.enter_dual_read(1);
         assert_eq!(
             dir.confirm_write(addr, token),
-            WriteDisposition::Mirror { stripe: 1, addr: dst.add(8) }
+            WriteDisposition::Mirror {
+                stripe: 1,
+                addr: dst.add(8)
+            }
         );
         dir.commit(1);
         // The old source address belongs to no current stripe any more.
         assert_eq!(dir.confirm_write(addr, token), WriteDisposition::Stale);
         // The new home is clean once the token catches up.
-        assert_eq!(dir.confirm_write(dst.add(8), dir.version()), WriteDisposition::Clean);
+        assert_eq!(
+            dir.confirm_write(dst.add(8), dir.version()),
+            WriteDisposition::Clean
+        );
     }
 
     #[test]
@@ -986,7 +1021,10 @@ mod tests {
         // The stalled writer's address now falls inside stripe 0's live
         // range, but ownership changed after the token was captured: the
         // write must be judged Stale, not Clean.
-        assert_eq!(dir.confirm_write(stalled_addr, token), WriteDisposition::Stale);
+        assert_eq!(
+            dir.confirm_write(stalled_addr, token),
+            WriteDisposition::Stale
+        );
         // A fresh operation against the same range is Clean.
         assert_eq!(
             dir.confirm_write(stalled_addr, dir.version()),
@@ -1059,10 +1097,18 @@ mod tests {
         let engine = MigrationEngine::new(&pool, Arc::clone(&dir)).unwrap();
         let client = pool.connect();
         // A job whose src no longer matches the directory is refused.
-        let stale = MoveJob { stripe: 1, src: 0, dst: 1 };
+        let stale = MoveJob {
+            stripe: 1,
+            src: 0,
+            dst: 1,
+        };
         assert!(!engine.run_job(&client, &stale).unwrap());
         // A no-op job (src == dst) is refused too.
-        let noop = MoveJob { stripe: 1, src: 1, dst: 1 };
+        let noop = MoveJob {
+            stripe: 1,
+            src: 1,
+            dst: 1,
+        };
         assert!(!engine.run_job(&client, &noop).unwrap());
         assert_eq!(pool.stats().stripe_cutovers(), 0);
     }
@@ -1077,18 +1123,39 @@ mod tests {
 
         // Move stripe 1 off node 1, then back.
         assert!(engine
-            .run_job(&client, &MoveJob { stripe: 1, src: 1, dst: 0 })
+            .run_job(
+                &client,
+                &MoveJob {
+                    stripe: 1,
+                    src: 1,
+                    dst: 0
+                }
+            )
             .unwrap());
         let parked = dir.current(1);
         assert_eq!(parked.mn_id, 0);
         assert!(engine
-            .run_job(&client, &MoveJob { stripe: 1, src: 0, dst: 1 })
+            .run_job(
+                &client,
+                &MoveJob {
+                    stripe: 1,
+                    src: 0,
+                    dst: 1
+                }
+            )
             .unwrap());
         // Returning to node 1 reuses the vacated range instead of leaking.
         assert_eq!(dir.current(1), original);
         // And a second round trip reuses the node-0 range as well.
         assert!(engine
-            .run_job(&client, &MoveJob { stripe: 1, src: 1, dst: 0 })
+            .run_job(
+                &client,
+                &MoveJob {
+                    stripe: 1,
+                    src: 1,
+                    dst: 0
+                }
+            )
             .unwrap());
         assert_eq!(dir.current(1), parked);
     }
@@ -1108,7 +1175,14 @@ mod tests {
             let client = pool.connect();
             let t0 = client.now_ns();
             assert!(engine
-                .run_job(&client, &MoveJob { stripe: 1, src: 1, dst: 0 })
+                .run_job(
+                    &client,
+                    &MoveJob {
+                        stripe: 1,
+                        src: 1,
+                        dst: 0
+                    }
+                )
                 .unwrap());
             client.now_ns() - t0
         };
@@ -1136,13 +1210,27 @@ mod tests {
         engine.set_copy_rate(1_000_000);
         let client = pool.connect();
         assert!(engine
-            .run_job(&client, &MoveJob { stripe: 1, src: 1, dst: 0 })
+            .run_job(
+                &client,
+                &MoveJob {
+                    stripe: 1,
+                    src: 1,
+                    dst: 0
+                }
+            )
             .unwrap());
         let after_first = client.now_ns();
         // The bucket is shared state: a second job immediately after starts
         // against the budget the first one consumed.
         assert!(engine
-            .run_job(&client, &MoveJob { stripe: 3, src: 1, dst: 0 })
+            .run_job(
+                &client,
+                &MoveJob {
+                    stripe: 3,
+                    src: 1,
+                    dst: 0
+                }
+            )
             .unwrap());
         assert!(client.now_ns() - after_first >= after_first / 2);
     }

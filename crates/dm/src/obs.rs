@@ -6,7 +6,8 @@
 //!
 //! * [`FlightRecorder`] — an allocation-free, fixed-capacity per-client ring
 //!   of phase-stamped [`Span`]s in **simulated** time (translate / post /
-//!   flight / poll / decode / publish / lock / evict / relocate), armed via
+//!   flight / poll / decode / publish / lock / evict / relocate /
+//!   local_hit / revalidate), armed via
 //!   [`crate::DmConfig::flight_recorder_spans`].  Recording never advances
 //!   the simulated clock, so an armed run is simulation-identical to a
 //!   disarmed one; disarmed, the hot-path cost is a single `Option`
@@ -50,12 +51,18 @@ pub enum Phase {
     Evict,
     /// Relocating an object's bytes between memory nodes.
     Relocate,
+    /// A Get served entirely from the compute-side local tier (zero
+    /// network messages; see `ditto_core::local_tier`).
+    LocalHit,
+    /// A local-tier lease revalidation: the single 8-byte slot-word READ
+    /// that re-arms an expired lease.
+    Revalidate,
 }
 
 impl Phase {
     /// Number of phases; sizes the per-phase histogram arrays in
     /// [`crate::PoolStats`] and the attribution tables below.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every phase, in declaration order ([`Phase::index`] order).
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -68,6 +75,8 @@ impl Phase {
         Phase::Lock,
         Phase::Evict,
         Phase::Relocate,
+        Phase::LocalHit,
+        Phase::Revalidate,
     ];
 
     /// Dense index of this phase (declaration order, `< Phase::COUNT`).
@@ -87,6 +96,8 @@ impl Phase {
             Phase::Lock => "lock",
             Phase::Evict => "evict",
             Phase::Relocate => "relocate",
+            Phase::LocalHit => "local_hit",
+            Phase::Revalidate => "revalidate",
         }
     }
 
@@ -268,7 +279,10 @@ pub enum EventKind {
     /// a retransmission timeout from an error completion).
     VerbFault { mn_id: u16, timeout: bool },
     /// An expired lease at `addr` was taken over via CAS steal.
-    LockSteal { addr: RemoteAddr, previous_owner: u16 },
+    LockSteal {
+        addr: RemoteAddr,
+        previous_owner: u16,
+    },
     /// An acquisition at `addr` burned its whole retry budget against
     /// `holder` and gave up ([`crate::AcquireOutcome::Exhausted`]).
     LockExhausted { addr: RemoteAddr, holder: u16 },
@@ -281,7 +295,10 @@ pub enum EventKind {
     /// The pool's resize epoch advanced to `epoch`.
     EpochBump { epoch: u64 },
     /// A crash-recovery pass for `dead_client` entered `phase`.
-    Recovery { dead_client: u32, phase: RecoveryPhase },
+    Recovery {
+        dead_client: u32,
+        phase: RecoveryPhase,
+    },
 }
 
 /// Sentinel [`Event::client_id`] for events not attributable to one client
@@ -617,7 +634,7 @@ impl AttributionTable {
             self.overlap_saved_ns() as f64 / 1e3,
         ));
         out.push_str(
-            "phase      spans    p50_us    p99_us  critical%     tail%  (critical share of op time; tail = ops at/above p99)\n",
+            "phase       spans    p50_us    p99_us  critical%     tail%  (critical share of op time; tail = ops at/above p99)\n",
         );
         for phase in Phase::ALL {
             let p = &self.phases[phase.index()];
@@ -628,7 +645,7 @@ impl AttributionTable {
             let tail_share = 100.0 * self.tail[phase.index()].critical_ns as f64
                 / self.tail_elapsed_ns.max(1) as f64;
             out.push_str(&format!(
-                "{:<9} {:>6} {:>9.2} {:>9.2} {:>9.1} {:>9.1}\n",
+                "{:<10} {:>6} {:>9.2} {:>9.2} {:>9.1} {:>9.1}\n",
                 phase.name(),
                 p.spans,
                 p.p50_ns as f64 / 1e3,
@@ -1172,7 +1189,10 @@ mod tests {
         assert_eq!(log.dropped(), 1);
         assert_eq!(log.total(), 4);
         let events = log.events_in_order();
-        assert_eq!(events.iter().map(|e| e.at_ns).collect::<Vec<_>>(), [2, 3, 4]);
+        assert_eq!(
+            events.iter().map(|e| e.at_ns).collect::<Vec<_>>(),
+            [2, 3, 4]
+        );
         let tail = log.tail(2);
         assert_eq!(tail.iter().map(|e| e.at_ns).collect::<Vec<_>>(), [3, 4]);
         assert_eq!(log.tail(99).len(), 3);
@@ -1233,10 +1253,7 @@ mod tests {
 
     #[test]
     fn chrome_trace_metadata_labels_process_and_threads() {
-        let traces = vec![
-            (3u32, vec![span(17, 1_000, 3_500)]),
-            (9u32, Vec::new()),
-        ];
+        let traces = vec![(3u32, vec![span(17, 1_000, 3_500)]), (9u32, Vec::new())];
         let json = chrome_trace_json(&traces, &[]);
         assert!(json.contains("\"ph\":\"M\""), "{json}");
         assert!(
@@ -1277,13 +1294,16 @@ mod tests {
         // One pipelined op: decode work [40,80) overlaps the flight
         // [10,110); the poll wait [110,130) closes it out.  An op-id-0
         // setup span must be excluded.
-        let traces = vec![(0u32, vec![
-            pspan(0, Phase::Translate, 0, 1_000_000),
-            pspan(1, Phase::Post, 0, 10),
-            pspan(1, Phase::Flight, 10, 110),
-            pspan(1, Phase::Decode, 40, 80),
-            pspan(1, Phase::Poll, 110, 130),
-        ])];
+        let traces = vec![(
+            0u32,
+            vec![
+                pspan(0, Phase::Translate, 0, 1_000_000),
+                pspan(1, Phase::Post, 0, 10),
+                pspan(1, Phase::Flight, 10, 110),
+                pspan(1, Phase::Decode, 40, 80),
+                pspan(1, Phase::Poll, 110, 130),
+            ],
+        )];
         let table = attribution(&traces);
         assert_eq!(table.ops, 1);
         assert_eq!(table.elapsed_ns, 130);
@@ -1319,10 +1339,10 @@ mod tests {
     fn attribution_leaves_think_time_unattributed() {
         // Two spans separated by client think time: the gap belongs to no
         // phase, so critical time undershoots elapsed time.
-        let traces = vec![(1u32, vec![
-            pspan(1, Phase::Post, 0, 10),
-            pspan(1, Phase::Poll, 50, 70),
-        ])];
+        let traces = vec![(
+            1u32,
+            vec![pspan(1, Phase::Post, 0, 10), pspan(1, Phase::Poll, 50, 70)],
+        )];
         let table = attribution(&traces);
         assert_eq!(table.elapsed_ns, 70);
         assert_eq!(table.critical_ns, 30);
@@ -1346,8 +1366,9 @@ mod tests {
     #[test]
     fn text_exposition_phase_summaries_only_name_fed_phases() {
         let stats = PoolStats::new(1);
-        let local: Vec<crate::LatencyHistogram> =
-            (0..Phase::COUNT).map(|_| crate::LatencyHistogram::new()).collect();
+        let local: Vec<crate::LatencyHistogram> = (0..Phase::COUNT)
+            .map(|_| crate::LatencyHistogram::new())
+            .collect();
         local[Phase::Flight.index()].record(2_000);
         local[Phase::Flight.index()].record(3_000);
         stats.merge_phase_latency(&local);

@@ -68,7 +68,10 @@ impl MemoryPool {
     ///
     /// Panics if `capacities` is empty or exceeds the pool node limit.
     pub fn with_capacities(config: DmConfig, capacities: &[u64]) -> Self {
-        assert!(!capacities.is_empty(), "a pool needs at least one memory node");
+        assert!(
+            !capacities.is_empty(),
+            "a pool needs at least one memory node"
+        );
         assert!(
             capacities.len() <= MAX_POOL_NODES,
             "a pool is limited to {MAX_POOL_NODES} memory nodes"
@@ -398,7 +401,11 @@ mod tests {
         let pool = MemoryPool::new(DmConfig::small());
         // The allocation service answers on every node; detailed behaviour is
         // covered in `alloc::tests`.
-        assert!(pool.node(0).unwrap().dispatch_rpc(ALLOC_SERVICE, &[]).is_err());
+        assert!(pool
+            .node(0)
+            .unwrap()
+            .dispatch_rpc(ALLOC_SERVICE, &[])
+            .is_err());
     }
 
     #[test]
@@ -406,8 +413,15 @@ mod tests {
         let pool = MemoryPool::new(DmConfig::small());
         let clone = pool.clone();
         let addr = pool.reserve(64).unwrap();
-        clone.node(0).unwrap().write(addr.offset, b"shared").unwrap();
-        assert_eq!(pool.node(0).unwrap().read(addr.offset, 6).unwrap(), b"shared");
+        clone
+            .node(0)
+            .unwrap()
+            .write(addr.offset, b"shared")
+            .unwrap();
+        assert_eq!(
+            pool.node(0).unwrap().read(addr.offset, 6).unwrap(),
+            b"shared"
+        );
     }
 
     #[test]
@@ -457,10 +471,7 @@ mod tests {
     #[test]
     fn draining_the_last_node_is_rejected() {
         let pool = MemoryPool::new(DmConfig::small());
-        assert!(matches!(
-            pool.drain_node(0),
-            Err(DmError::Topology { .. })
-        ));
+        assert!(matches!(pool.drain_node(0), Err(DmError::Topology { .. })));
         assert_eq!(pool.resize_epoch(), 0);
     }
 
@@ -477,9 +488,18 @@ mod tests {
         pool.stats().record_resident_free(1, 128);
         pool.remove_node(1).unwrap();
         // Node handle lookups now fail with a typed error.
-        assert!(matches!(pool.node(1), Err(DmError::NodeRemoved { mn_id: 1 })));
-        assert!(matches!(pool.remove_node(1), Err(DmError::NodeRemoved { mn_id: 1 })));
-        assert!(matches!(pool.reserve_on(1, 64), Err(DmError::NodeRemoved { .. })));
+        assert!(matches!(
+            pool.node(1),
+            Err(DmError::NodeRemoved { mn_id: 1 })
+        ));
+        assert!(matches!(
+            pool.remove_node(1),
+            Err(DmError::NodeRemoved { mn_id: 1 })
+        ));
+        assert!(matches!(
+            pool.reserve_on(1, 64),
+            Err(DmError::NodeRemoved { .. })
+        ));
         // The other node keeps serving.
         assert!(pool.node(0).is_ok());
     }
@@ -496,7 +516,10 @@ mod tests {
         pool.remove_node(1).unwrap();
         assert_eq!(client.read(addr, 7), b"counter");
         // New handle lookups still fail typed.
-        assert!(matches!(pool.node(1), Err(DmError::NodeRemoved { mn_id: 1 })));
+        assert!(matches!(
+            pool.node(1),
+            Err(DmError::NodeRemoved { mn_id: 1 })
+        ));
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub mod wire {
     /// Reads a `u64` at `offset`, returning `None` if out of range.
     pub fn get_u64(buf: &[u8], offset: usize) -> Option<u64> {
         let bytes = buf.get(offset..offset + 8)?;
-        Some(u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes")))
+        Some(u64::from_le_bytes(
+            bytes.try_into().expect("slice is 8 bytes"),
+        ))
     }
 
     /// Appends an `f64` in little-endian order.
@@ -81,7 +83,9 @@ pub mod wire {
     /// Reads an `f64` at `offset`, returning `None` if out of range.
     pub fn get_f64(buf: &[u8], offset: usize) -> Option<f64> {
         let bytes = buf.get(offset..offset + 8)?;
-        Some(f64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes")))
+        Some(f64::from_le_bytes(
+            bytes.try_into().expect("slice is 8 bytes"),
+        ))
     }
 
     /// Appends a `u32` in little-endian order.
@@ -92,7 +96,9 @@ pub mod wire {
     /// Reads a `u32` at `offset`, returning `None` if out of range.
     pub fn get_u32(buf: &[u8], offset: usize) -> Option<u32> {
         let bytes = buf.get(offset..offset + 4)?;
-        Some(u32::from_le_bytes(bytes.try_into().expect("slice is 4 bytes")))
+        Some(u32::from_le_bytes(
+            bytes.try_into().expect("slice is 4 bytes"),
+        ))
     }
 }
 
@@ -125,9 +131,7 @@ mod tests {
 
     #[test]
     fn closure_implements_handler() {
-        let handler = |_node: &MemoryNode, req: &[u8]| {
-            Ok(RpcOutcome::new(req.to_vec(), 100))
-        };
+        let handler = |_node: &MemoryNode, req: &[u8]| Ok(RpcOutcome::new(req.to_vec(), 100));
         // Only checks that the blanket impl applies; execution is covered by
         // pool-level tests.
         fn assert_handler<H: RpcHandler>(_: &H) {}

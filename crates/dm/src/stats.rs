@@ -262,8 +262,12 @@ impl ContentionSnapshot {
             lock_acquire_attempts: self
                 .lock_acquire_attempts
                 .saturating_sub(earlier.lock_acquire_attempts),
-            lock_acquisitions: self.lock_acquisitions.saturating_sub(earlier.lock_acquisitions),
-            lock_wait_retries: self.lock_wait_retries.saturating_sub(earlier.lock_wait_retries),
+            lock_acquisitions: self
+                .lock_acquisitions
+                .saturating_sub(earlier.lock_acquisitions),
+            lock_wait_retries: self
+                .lock_wait_retries
+                .saturating_sub(earlier.lock_wait_retries),
             backoff_ns: self.backoff_ns.saturating_sub(earlier.backoff_ns),
         }
     }
@@ -307,12 +311,18 @@ impl FaultSnapshot {
             verb_failures: self.verb_failures.saturating_sub(earlier.verb_failures),
             verb_timeouts: self.verb_timeouts.saturating_sub(earlier.verb_timeouts),
             verb_retries: self.verb_retries.saturating_sub(earlier.verb_retries),
-            retry_backoff_ns: self.retry_backoff_ns.saturating_sub(earlier.retry_backoff_ns),
+            retry_backoff_ns: self
+                .retry_backoff_ns
+                .saturating_sub(earlier.retry_backoff_ns),
             lock_steals: self.lock_steals.saturating_sub(earlier.lock_steals),
             fenced_releases: self.fenced_releases.saturating_sub(earlier.fenced_releases),
-            lock_exhaustions: self.lock_exhaustions.saturating_sub(earlier.lock_exhaustions),
+            lock_exhaustions: self
+                .lock_exhaustions
+                .saturating_sub(earlier.lock_exhaustions),
             locks_reclaimed: self.locks_reclaimed.saturating_sub(earlier.locks_reclaimed),
-            recovered_objects: self.recovered_objects.saturating_sub(earlier.recovered_objects),
+            recovered_objects: self
+                .recovered_objects
+                .saturating_sub(earlier.recovered_objects),
             recovered_bytes: self.recovered_bytes.saturating_sub(earlier.recovered_bytes),
         }
     }
@@ -442,9 +452,12 @@ impl PoolStats {
     /// `fanout` distinct memory nodes (one doorbell rung per node).
     pub fn record_batch(&self, verbs: usize, fanout: usize) {
         self.doorbells.fetch_add(fanout as u64, Ordering::Relaxed);
-        self.batched_verbs.fetch_add(verbs as u64, Ordering::Relaxed);
-        self.largest_batch.fetch_max(verbs as u64, Ordering::Relaxed);
-        self.largest_fanout.fetch_max(fanout as u64, Ordering::Relaxed);
+        self.batched_verbs
+            .fetch_add(verbs as u64, Ordering::Relaxed);
+        self.largest_batch
+            .fetch_max(verbs as u64, Ordering::Relaxed);
+        self.largest_fanout
+            .fetch_max(fanout as u64, Ordering::Relaxed);
     }
 
     /// Records one doorbell ring at node `mn_id`'s RNIC.
@@ -554,7 +567,8 @@ impl PoolStats {
     /// Records one object of `bytes` bytes relocated between nodes.
     pub fn record_migrated_object(&self, bytes: u64) {
         self.migrated_objects.fetch_add(1, Ordering::Relaxed);
-        self.migrated_object_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.migrated_object_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Records one committed stripe cutover.
@@ -596,7 +610,8 @@ impl PoolStats {
         self.lock_acquire_attempts
             .fetch_add(wait_retries + 1, Ordering::Relaxed);
         self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
-        self.lock_wait_retries.fetch_add(wait_retries, Ordering::Relaxed);
+        self.lock_wait_retries
+            .fetch_add(wait_retries, Ordering::Relaxed);
         self.backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
     }
 
@@ -658,7 +673,8 @@ impl PoolStats {
     /// back-off paid before it.
     pub fn record_verb_retry(&self, backoff_ns: u64) {
         self.verb_retries.fetch_add(1, Ordering::Relaxed);
-        self.retry_backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
+        self.retry_backoff_ns
+            .fetch_add(backoff_ns, Ordering::Relaxed);
     }
 
     /// Records one expired lock lease taken over via CAS steal.
@@ -680,7 +696,8 @@ impl PoolStats {
         self.lock_exhaustions.fetch_add(1, Ordering::Relaxed);
         self.lock_acquire_attempts
             .fetch_add(wait_retries, Ordering::Relaxed);
-        self.lock_wait_retries.fetch_add(wait_retries, Ordering::Relaxed);
+        self.lock_wait_retries
+            .fetch_add(wait_retries, Ordering::Relaxed);
         self.backoff_ns.fetch_add(backoff_ns, Ordering::Relaxed);
     }
 
@@ -896,8 +913,10 @@ impl PoolStats {
     /// (sampled) flight-recorder spans and describe the whole run, not a
     /// measurement interval.
     pub fn reset(&self) {
-        self.clock_baseline_ns
-            .fetch_max(self.max_client_clock_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.clock_baseline_ns.fetch_max(
+            self.max_client_clock_ns.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         for n in &self.nodes {
             n.messages.store(0, Ordering::Relaxed);
             n.reads.store(0, Ordering::Relaxed);
@@ -1104,7 +1123,11 @@ mod tests {
         assert_eq!(before.lock_wait_retries, 3);
         assert_eq!(before.backoff_ns, 5_400);
         stats.reset();
-        assert_eq!(stats.contention(), before, "contention counters are lifetime");
+        assert_eq!(
+            stats.contention(),
+            before,
+            "contention counters are lifetime"
+        );
         stats.record_cas_retry(100);
         let delta = stats.contention().delta(&before);
         assert_eq!(delta.cas_retries, 1);
@@ -1141,7 +1164,11 @@ mod tests {
         assert_eq!(stats.verb_faults_on(9), 0);
         stats.reset();
         assert_eq!(stats.faults(), before, "fault counters are lifetime");
-        assert_eq!(stats.verb_faults_on(1), 2, "per-node attribution survives reset");
+        assert_eq!(
+            stats.verb_faults_on(1),
+            2,
+            "per-node attribution survives reset"
+        );
         stats.record_verb_timeout(0);
         let delta = stats.faults().delta(&before);
         assert_eq!(delta.verb_timeouts, 1);
@@ -1241,7 +1268,10 @@ mod tests {
             let max = stats.max_client_clock_ns();
             let baseline = stats.clock_baseline_ns();
             assert!(max >= 2_000 + round, "publish lost: {max}");
-            assert!(baseline <= max, "baseline {baseline} ahead of publishes {max}");
+            assert!(
+                baseline <= max,
+                "baseline {baseline} ahead of publishes {max}"
+            );
             // Whatever the interleaving, a later publish still moves time.
             stats.publish_client_clock(10_000);
             assert_eq!(stats.elapsed_client_ns(), 10_000 - baseline);
@@ -1256,7 +1286,8 @@ mod tests {
         let after = vec![snap(1_000, 0)];
         let lat = LatencyHistogram::new();
         lat.record(10_000);
-        let r = RunReport::from_measurement(&config, &before, &after, 1_000, 2_000_000_000, &lat, 4);
+        let r =
+            RunReport::from_measurement(&config, &before, &after, 1_000, 2_000_000_000, &lat, 4);
         assert_eq!(r.bottleneck, Bottleneck::ClientCompute);
         assert!((r.simulated_seconds - 2.0).abs() < 1e-9);
         assert!((r.messages_per_op - 1.0).abs() < 1e-9);
@@ -1269,7 +1300,15 @@ mod tests {
         let before = vec![snap(0, 0)];
         let after = vec![snap(10_000_000, 0)];
         let lat = LatencyHistogram::new();
-        let r = RunReport::from_measurement(&config, &before, &after, 5_000_000, 1_000_000_000, &lat, 64);
+        let r = RunReport::from_measurement(
+            &config,
+            &before,
+            &after,
+            5_000_000,
+            1_000_000_000,
+            &lat,
+            64,
+        );
         assert_eq!(r.bottleneck, Bottleneck::NicMessageRate);
         // 10 M messages at 1 M msg/s = 10 s.
         assert!((r.simulated_seconds - 10.0).abs() < 1e-6);

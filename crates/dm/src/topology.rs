@@ -292,7 +292,10 @@ mod tests {
 
     #[test]
     fn node_limit_is_enforced() {
-        let mut topo = PoolTopology::new(u16::try_from(MAX_POOL_NODES).unwrap(), PlacementMode::Striped);
+        let mut topo = PoolTopology::new(
+            u16::try_from(MAX_POOL_NODES).unwrap(),
+            PlacementMode::Striped,
+        );
         assert!(matches!(
             topo.add_node(MAX_POOL_NODES as u16),
             Err(DmError::Topology { .. })

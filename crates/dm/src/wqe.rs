@@ -59,16 +59,10 @@ pub(crate) enum WqeOp<'buf> {
         buf: &'buf mut [u8],
     },
     /// One-sided `RDMA_WRITE` of borrowed bytes.
-    Write {
-        addr: RemoteAddr,
-        data: &'buf [u8],
-    },
+    Write { addr: RemoteAddr, data: &'buf [u8] },
     /// `RDMA_FAA`; the old value is discarded (a fetched result would have
     /// to be awaited and could not ride a pipeline anyway).
-    Faa {
-        addr: RemoteAddr,
-        delta: u64,
-    },
+    Faa { addr: RemoteAddr, delta: u64 },
     /// `RDMA_CAS`; the observed old value lands in `out` when the verb
     /// executes at ring time (awaiting the completion before reading `out`
     /// is the caller's contract, as for a READ buffer).
@@ -273,10 +267,16 @@ impl<'client, 'buf> WorkQueue<'client, 'buf> {
             }
         }
         let ring_start = client.now_ns();
-        let post_cost = fanout as u64 * cfg.doorbell_latency_ns + self.len as u64 * cfg.verb_issue_ns;
+        let post_cost =
+            fanout as u64 * cfg.doorbell_latency_ns + self.len as u64 * cfg.verb_issue_ns;
         client.advance_ns(post_cost);
         let ring_end = client.now_ns();
-        client.record_span(crate::obs::Phase::Post, ring_start, ring_end, self.len as u32);
+        client.record_span(
+            crate::obs::Phase::Post,
+            ring_start,
+            ring_end,
+            self.len as u32,
+        );
         let stats = client.pool().stats();
         stats.record_batch(self.len, fanout);
         for &mn in &nodes[..fanout] {
@@ -369,7 +369,11 @@ mod tests {
         let wr = wq.post_read(addr, &mut buf, true);
         let post_cost = wq.ring();
         assert_eq!(post_cost, cfg.doorbell_latency_ns + cfg.verb_issue_ns);
-        assert_eq!(client.now_ns() - t0, post_cost, "ring charges only the posting cost");
+        assert_eq!(
+            client.now_ns() - t0,
+            post_cost,
+            "ring charges only the posting cost"
+        );
         drop(wq);
         assert_eq!(buf, [9u8; 64], "the verb executed at ring time");
 
@@ -484,7 +488,11 @@ mod tests {
         assert_eq!(wq.len(), 1, "the overflowing WQE starts a fresh round");
         wq.ring();
         drop(wq);
-        assert_eq!(pool.stats().doorbells(), 2, "overflow rang an extra doorbell");
+        assert_eq!(
+            pool.stats().doorbells(),
+            2,
+            "overflow rang an extra doorbell"
+        );
         assert_eq!(client.read_u64(addr), MAX_WQES as u64 + 1);
     }
 
@@ -499,11 +507,16 @@ mod tests {
         wq.post_write(addr, b"doomed", false); // unsignalled on purpose
         wq.ring();
         drop(wq);
-        let completion = client.poll_cq().expect("error CQE surfaces even for unsignalled WQEs");
+        let completion = client
+            .poll_cq()
+            .expect("error CQE surfaces even for unsignalled WQEs");
         assert_eq!(completion.status, CompletionStatus::Failed { mn_id: 0 });
         assert!(completion.status.check().is_err());
         // The faulted WRITE was NAK'd: the arena was never touched.
-        assert_eq!(pool.node(0).unwrap().read(addr.offset, 6).unwrap(), vec![0u8; 6]);
+        assert_eq!(
+            pool.node(0).unwrap().read(addr.offset, 6).unwrap(),
+            vec![0u8; 6]
+        );
         // The message was still consumed and the fault attributed to node 0.
         assert_eq!(pool.stats().node_snapshots()[0].writes, 1);
         assert_eq!(pool.stats().verb_faults_on(0), 1);

@@ -21,10 +21,8 @@ fn batch_latency_is_doorbell_plus_max_of_transfers() {
         // Random latency model, including zero doorbell/issue costs (the
         // "pure" model in which batch latency is doorbell + max exactly as
         // the paper describes it).
-        let config = DmConfig::small().with_doorbell_costs(
-            rng.gen_range(0u64..1_000),
-            rng.gen_range(0u64..200),
-        );
+        let config = DmConfig::small()
+            .with_doorbell_costs(rng.gen_range(0u64..1_000), rng.gen_range(0u64..200));
         let doorbell = config.doorbell_latency_ns;
         let issue = config.verb_issue_ns;
         let pool = MemoryPool::new(config);
@@ -105,7 +103,8 @@ fn batch_latency_is_doorbell_plus_max_of_transfers() {
 
         // Sequential execution charges the plain sum.
         let before = client.now_ns();
-        let charged = build(&client, region, &kinds, &sizes, &write_buf, &mut read_bufs).execute_sequential();
+        let charged =
+            build(&client, region, &kinds, &sizes, &write_buf, &mut read_bufs).execute_sequential();
         assert_eq!(charged, sum, "case {case}: sequential latency mismatch");
         assert_eq!(client.now_ns() - before, sum);
 
@@ -128,7 +127,9 @@ fn every_batched_verb_still_consumes_a_message() {
         let mut bufs: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; 64]).collect();
         let mut batch = client.batch();
         for (i, buf) in bufs.iter_mut().enumerate() {
-            batch.read_into(region.add((i * 64) as u64), &mut buf[..]).unwrap();
+            batch
+                .read_into(region.add((i * 64) as u64), &mut buf[..])
+                .unwrap();
         }
         batch.execute();
         let snap = &pool.stats().node_snapshots()[0];

@@ -121,7 +121,10 @@ fn drained_pipeline_charges_post_cost_plus_max_of_cpu_and_flight() {
             "case {case_idx}: pipelined {elapsed} cannot beat the slowest transfer {max}"
         );
         if cpu == 0 {
-            assert_eq!(elapsed, batch_latency, "case {case_idx}: no CPU work → batch charge");
+            assert_eq!(
+                elapsed, batch_latency,
+                "case {case_idx}: no CPU work → batch charge"
+            );
         }
     }
 }
@@ -191,7 +194,11 @@ fn unsignalled_wqes_are_never_waited_for() {
     let post = 2 * cfg.doorbell_latency_ns + 2 * cfg.verb_issue_ns;
     let t_read = cfg.transfer_latency_ns(cfg.read_latency_ns, 64);
     let t_write = cfg.transfer_latency_ns(cfg.write_latency_ns, 32 * 1024);
-    assert_eq!(elapsed, post + t_read, "the huge unsignalled WRITE left the critical path");
+    assert_eq!(
+        elapsed,
+        post + t_read,
+        "the huge unsignalled WRITE left the critical path"
+    );
     assert!(t_write > t_read * 2, "sanity: the WRITE really is slower");
     // ... but it still consumed a message and really happened.
     assert_eq!(client.read(b, 4), vec![3u8; 4]);

@@ -102,7 +102,11 @@ mod tests {
         let mixed = interleave_streams(&[a.clone(), b.clone()], 3, 8);
         assert_eq!(mixed.len(), 150);
         let from_a: Vec<u64> = mixed.iter().map(|r| r.key).filter(|k| *k < 1_000).collect();
-        let from_b: Vec<u64> = mixed.iter().map(|r| r.key).filter(|k| *k >= 1_000).collect();
+        let from_b: Vec<u64> = mixed
+            .iter()
+            .map(|r| r.key)
+            .filter(|k| *k >= 1_000)
+            .collect();
         assert_eq!(from_a, (0..100).collect::<Vec<_>>());
         assert_eq!(from_b, (1_000..1_050).collect::<Vec<_>>());
     }
@@ -112,9 +116,18 @@ mod tests {
         let trace = seq(0, 10);
         let shards = partition_clients(&trace, 3);
         assert_eq!(shards.len(), 3);
-        assert_eq!(shards[0].iter().map(|r| r.key).collect::<Vec<_>>(), vec![0, 3, 6, 9]);
-        assert_eq!(shards[1].iter().map(|r| r.key).collect::<Vec<_>>(), vec![1, 4, 7]);
-        assert_eq!(shards[2].iter().map(|r| r.key).collect::<Vec<_>>(), vec![2, 5, 8]);
+        assert_eq!(
+            shards[0].iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![0, 3, 6, 9]
+        );
+        assert_eq!(
+            shards[1].iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![1, 4, 7]
+        );
+        assert_eq!(
+            shards[2].iter().map(|r| r.key).collect::<Vec<_>>(),
+            vec![2, 5, 8]
+        );
     }
 
     #[test]

@@ -110,7 +110,8 @@ pub fn lfu_friendly(spec: &TraceSpec) -> Vec<Request> {
             // Emit a scan burst of cold, never-repeated keys.
             for _ in 0..scan_burst.min(spec.num_requests - i) {
                 requests.push(Request::get(scan_cursor).with_value_size(spec.value_size));
-                scan_cursor = core_keys + ((scan_cursor + 1 - core_keys) % (spec.num_keys - core_keys).max(1));
+                scan_cursor = core_keys
+                    + ((scan_cursor + 1 - core_keys) % (spec.num_keys - core_keys).max(1));
                 i += 1;
             }
             continue;
@@ -193,7 +194,10 @@ mod tests {
         let mut sampled = 0;
         for i in (0..trace.len() - horizon).step_by(97) {
             sampled += 1;
-            if trace[i + 1..i + horizon].iter().any(|r| r.key == trace[i].key) {
+            if trace[i + 1..i + horizon]
+                .iter()
+                .any(|r| r.key == trace[i].key)
+            {
                 reused += 1;
             }
         }

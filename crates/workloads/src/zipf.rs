@@ -20,12 +20,22 @@ pub struct Zipfian {
 impl Zipfian {
     /// Creates a Zipfian distribution over `0..n` with skew `theta`.
     ///
+    /// The Gray et al. inverse works on either side of θ = 1 — for θ > 1
+    /// `alpha` goes negative and `eta` flips sign, but the mapping from the
+    /// uniform draw to a rank stays monotone — so super-skewed workloads
+    /// (e.g. the θ = 1.2 point of the local-tier sweep) use the same
+    /// rejection-free formula.  Only θ = 1 itself is excluded: the inverse
+    /// needs `1 - θ ≠ 0`.
+    ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    /// Panics if `n == 0`, `theta <= 0` or `theta == 1`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "key space must not be empty");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0, 1)");
+        assert!(
+            theta > 0.0 && theta != 1.0,
+            "theta must be positive and != 1 (the inverse divides by 1-θ)"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -180,6 +190,31 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_theta_panics() {
-        let _ = Zipfian::new(10, 1.5);
+        let _ = Zipfian::new(10, 1.0);
+    }
+
+    #[test]
+    fn super_skew_is_sharper_and_in_range() {
+        let mild = Zipfian::new(10_000, 0.99);
+        let sharp = Zipfian::new(10_000, 1.2);
+        let mut rng = StdRng::seed_from_u64(11);
+        let total = 100_000;
+        let (mut top_mild, mut top_sharp) = (0u64, 0u64);
+        for _ in 0..total {
+            if mild.sample(&mut rng) < 100 {
+                top_mild += 1;
+            }
+            let rank = sharp.sample(&mut rng);
+            assert!(rank < 10_000);
+            if rank < 100 {
+                top_sharp += 1;
+            }
+        }
+        // θ = 1.2 concentrates strictly more mass on the head than the
+        // YCSB default, and rank 0 stays the mode.
+        assert!(
+            top_sharp > top_mild,
+            "θ=1.2 top-100 share {top_sharp} must exceed θ=0.99 share {top_mild}"
+        );
     }
 }

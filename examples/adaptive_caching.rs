@@ -22,7 +22,10 @@ fn run(name: &str, config: SimConfig, phases: &[Vec<ditto::workloads::Request>])
 }
 
 fn trim(weights: &[f64]) -> Vec<f64> {
-    weights.iter().map(|w| (w * 100.0).round() / 100.0).collect()
+    weights
+        .iter()
+        .map(|w| (w * 100.0).round() / 100.0)
+        .collect()
 }
 
 fn main() {
@@ -43,7 +46,10 @@ fn main() {
     }
 
     println!("phase-by-phase hit rates (phases alternate LRU- and LFU-friendly):");
-    println!("{:>14}  {:>6} {:>6} {:>6} {:>6}", "", "ph1", "ph2", "ph3", "ph4");
+    println!(
+        "{:>14}  {:>6} {:>6} {:>6} {:>6}",
+        "", "ph1", "ph2", "ph3", "ph4"
+    );
     run("Ditto-LRU", SimConfig::single(capacity, "lru"), &phases);
     run("Ditto-LFU", SimConfig::single(capacity, "lfu"), &phases);
     run("Ditto (adaptive)", SimConfig::adaptive(capacity), &phases);

@@ -45,7 +45,11 @@ impl CacheAlgorithm for CostAwareLru {
     }
 }
 
-fn hit_rate(experts: Vec<Arc<dyn CacheAlgorithm>>, adaptive: bool, trace: &[ditto::workloads::Request]) -> f64 {
+fn hit_rate(
+    experts: Vec<Arc<dyn CacheAlgorithm>>,
+    adaptive: bool,
+    trace: &[ditto::workloads::Request],
+) -> f64 {
     let config = SimConfig {
         adaptive,
         experts: experts.iter().map(|e| e.name().to_string()).collect(),
@@ -66,7 +70,10 @@ fn main() {
 
     println!("== custom caching algorithm via the priority/update interface ==");
     println!("LRU only            : {:.1} % hit rate", lru_only * 100.0);
-    println!("cost-aware LRU only : {:.1} % hit rate", custom_only * 100.0);
+    println!(
+        "cost-aware LRU only : {:.1} % hit rate",
+        custom_only * 100.0
+    );
     println!("adaptive (both)     : {:.1} % hit rate", adaptive * 100.0);
     println!();
     println!(

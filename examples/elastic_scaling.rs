@@ -42,11 +42,9 @@ fn main() {
         request_count: 40_000,
         ..YcsbSpec::default()
     };
-    let cache = DittoCache::with_dedicated_pool(
-        DittoConfig::with_capacity(30_000),
-        DmConfig::default(),
-    )
-    .expect("cache construction");
+    let cache =
+        DittoCache::with_dedicated_pool(DittoConfig::with_capacity(30_000), DmConfig::default())
+            .expect("cache construction");
 
     // Load the records once.
     let load = spec;
@@ -71,7 +69,9 @@ fn main() {
     // is the throughput ceiling, so growing the pool raises it.
     let elastic = DittoCache::with_dedicated_pool(
         DittoConfig::with_capacity(20_000),
-        DmConfig::default().with_memory_nodes(2).with_message_rate(150_000),
+        DmConfig::default()
+            .with_memory_nodes(2)
+            .with_message_rate(150_000),
     )
     .expect("elastic cache construction");
     run_clients(elastic.pool(), 8, |ctx| {
@@ -95,7 +95,10 @@ fn main() {
     window("add_node() -> serving immediately");
     let grow = elastic.pump_migration();
     window("pump_migration() -> load spread");
-    elastic.pool().drain_node(added).expect("drain the new node");
+    elastic
+        .pool()
+        .drain_node(added)
+        .expect("drain the new node");
     window("drain_node() -> resident data serves");
     let shrink = elastic.pump_migration();
     window("pump_migration() -> node empty");
@@ -122,8 +125,14 @@ fn main() {
     println!("== Redis-like cluster: scaling 32 -> 64 -> 32 nodes ==");
     let cluster = RedisLikeCluster::new(MonolithicConfig::default());
     let events = [
-        ScaleEvent { at_seconds: 180.0, target_nodes: 64 },
-        ScaleEvent { at_seconds: 900.0, target_nodes: 32 },
+        ScaleEvent {
+            at_seconds: 180.0,
+            target_nodes: 64,
+        },
+        ScaleEvent {
+            at_seconds: 900.0,
+            target_nodes: 32,
+        },
     ];
     let timeline = cluster.scale_timeline(32, &events, 1_500.0, 60.0);
     for point in &timeline {

@@ -58,13 +58,22 @@ fn main() {
     let cache_stats = cache.stats().snapshot();
     println!("== Ditto quickstart ==");
     println!("clients                : {num_clients}");
-    println!("throughput             : {:.2} Mops", report.throughput_mops);
+    println!(
+        "throughput             : {:.2} Mops",
+        report.throughput_mops
+    );
     println!("median latency         : {:.1} us", report.p50_latency_us);
     println!("p99 latency            : {:.1} us", report.p99_latency_us);
     println!("RNIC messages per op   : {:.2}", report.messages_per_op);
     println!("bottleneck             : {:?}", report.bottleneck);
-    println!("hit rate               : {:.1} %", cache_stats.hit_rate() * 100.0);
-    println!("evictions              : {}", cache_stats.evictions + cache_stats.bucket_evictions);
+    println!(
+        "hit rate               : {:.1} %",
+        cache_stats.hit_rate() * 100.0
+    );
+    println!(
+        "evictions              : {}",
+        cache_stats.evictions + cache_stats.bucket_evictions
+    );
     println!("regrets collected      : {}", cache_stats.regrets);
     println!("global expert weights  : {:?}", cache.global_weights());
     let obs = cache.pool().stats().obs();
@@ -83,7 +92,9 @@ fn main() {
     let mut tracer = cache.client();
     replay(
         &mut tracer,
-        spec.run_requests_seeded(YcsbWorkload::B, 7).into_iter().take(4_000),
+        spec.run_requests_seeded(YcsbWorkload::B, 7)
+            .into_iter()
+            .take(4_000),
         ReplayOptions::default(),
     );
     tracer.flush();

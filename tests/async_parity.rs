@@ -14,7 +14,11 @@ use ditto::workloads::{YcsbSpec, YcsbWorkload};
 /// Replays a get-heavy YCSB-C trace (with cache-aside fills on miss) and
 /// returns every observed value, the cache statistics and the simulated
 /// client time consumed.
-fn run(async_completion: bool, memory_nodes: u16, capacity: u64) -> (Vec<Option<Vec<u8>>>, CacheStatsSnapshot, u64, u64) {
+fn run(
+    async_completion: bool,
+    memory_nodes: u16,
+    capacity: u64,
+) -> (Vec<Option<Vec<u8>>>, CacheStatsSnapshot, u64, u64) {
     let spec = YcsbSpec {
         record_count: 2_000,
         request_count: 12_000,
@@ -62,14 +66,23 @@ fn async_and_synchronous_completion_paths_are_behaviourally_identical() {
     // Byte-identical results, request by request.
     assert_eq!(async_values.len(), sync_values.len());
     for (i, (a, b)) in async_values.iter().zip(&sync_values).enumerate() {
-        assert_eq!(a, b, "request {i} diverged between async and synchronous completion");
+        assert_eq!(
+            a, b,
+            "request {i} diverged between async and synchronous completion"
+        );
     }
 
     // Identical cache evolution: hits, misses, sets, evictions, history.
     assert_eq!(async_stats.hits, sync_stats.hits, "hit counts diverged");
-    assert_eq!(async_stats.misses, sync_stats.misses, "miss counts diverged");
+    assert_eq!(
+        async_stats.misses, sync_stats.misses,
+        "miss counts diverged"
+    );
     assert_eq!(async_stats.sets, sync_stats.sets);
-    assert_eq!(async_stats.evictions, sync_stats.evictions, "eviction counts diverged");
+    assert_eq!(
+        async_stats.evictions, sync_stats.evictions,
+        "eviction counts diverged"
+    );
     assert_eq!(async_stats.bucket_evictions, sync_stats.bucket_evictions);
     assert_eq!(async_stats.history_inserts, sync_stats.history_inserts);
     assert!(async_stats.hits > 0, "trace should produce hits");
@@ -94,7 +107,10 @@ fn async_parity_holds_on_a_striped_pool() {
     // — must nevertheless match the synchronous path exactly.
     let (async_values, async_stats, async_clock, async_messages) = run(true, 4, 350);
     let (sync_values, sync_stats, sync_clock, sync_messages) = run(false, 4, 350);
-    assert_eq!(async_values, sync_values, "values diverged on the striped pool");
+    assert_eq!(
+        async_values, sync_values,
+        "values diverged on the striped pool"
+    );
     assert_eq!(async_stats.hits, sync_stats.hits);
     assert_eq!(async_stats.misses, sync_stats.misses);
     assert_eq!(
@@ -112,7 +128,10 @@ fn async_parity_holds_on_a_striped_pool() {
 #[test]
 fn async_completion_pipelines_signalled_and_unsignalled_wqes() {
     let config = DittoConfig::with_capacity(500);
-    assert!(config.enable_async_completion, "the pipelined path is the default");
+    assert!(
+        config.enable_async_completion,
+        "the pipelined path is the default"
+    );
     let cache = DittoCache::with_dedicated_pool(config, DmConfig::default()).unwrap();
     let mut client = cache.client();
     for i in 0..200u64 {

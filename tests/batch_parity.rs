@@ -54,17 +54,32 @@ fn batched_and_unbatched_data_paths_are_behaviourally_identical() {
     }
 
     // Identical cache evolution: hits, misses, sets, evictions, history.
-    assert_eq!(batched_stats.hits, unbatched_stats.hits, "hit counts diverged");
-    assert_eq!(batched_stats.misses, unbatched_stats.misses, "miss counts diverged");
+    assert_eq!(
+        batched_stats.hits, unbatched_stats.hits,
+        "hit counts diverged"
+    );
+    assert_eq!(
+        batched_stats.misses, unbatched_stats.misses,
+        "miss counts diverged"
+    );
     assert_eq!(batched_stats.sets, unbatched_stats.sets);
     assert_eq!(
         batched_stats.evictions, unbatched_stats.evictions,
         "eviction counts diverged"
     );
-    assert_eq!(batched_stats.bucket_evictions, unbatched_stats.bucket_evictions);
-    assert_eq!(batched_stats.history_inserts, unbatched_stats.history_inserts);
+    assert_eq!(
+        batched_stats.bucket_evictions,
+        unbatched_stats.bucket_evictions
+    );
+    assert_eq!(
+        batched_stats.history_inserts,
+        unbatched_stats.history_inserts
+    );
     assert!(batched_stats.hits > 0, "trace should produce hits");
-    assert!(batched_stats.evictions > 0, "trace should produce evictions");
+    assert!(
+        batched_stats.evictions > 0,
+        "trace should produce evictions"
+    );
 
     // Same work, strictly less simulated time.
     assert!(

@@ -42,11 +42,16 @@ use std::sync::Mutex;
 const KEYS: usize = 64;
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn make_keys() -> Vec<Vec<u8>> {
-    (0..KEYS).map(|i| format!("xk{i:04}").into_bytes()).collect()
+    (0..KEYS)
+        .map(|i| format!("xk{i:04}").into_bytes())
+        .collect()
 }
 
 struct KeyState {
@@ -76,7 +81,11 @@ fn splitmix(mut z: u64) -> u64 {
 /// `tests/concurrent.rs`): every byte is a function of (key, version), so
 /// torn or recycled reads cannot decode.
 fn encode_value(key_idx: u64, version: u64) -> Vec<u8> {
-    let n = 16 + ((key_idx.wrapping_mul(131).wrapping_add(version.wrapping_mul(17))) % 180) as usize;
+    let n = 16
+        + ((key_idx
+            .wrapping_mul(131)
+            .wrapping_add(version.wrapping_mul(17)))
+            % 180) as usize;
     let mut out = Vec::with_capacity(16 + n);
     out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&key_idx.to_le_bytes());
@@ -91,10 +100,17 @@ fn encode_value(key_idx: u64, version: u64) -> Vec<u8> {
 }
 
 fn decode_version(key_idx: u64, bytes: &[u8]) -> u64 {
-    assert!(bytes.len() >= 16, "key {key_idx}: value truncated to {} bytes", bytes.len());
+    assert!(
+        bytes.len() >= 16,
+        "key {key_idx}: value truncated to {} bytes",
+        bytes.len()
+    );
     let version = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
     let stamped_key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-    assert_eq!(stamped_key, key_idx, "key {key_idx}: value stamped for key {stamped_key}");
+    assert_eq!(
+        stamped_key, key_idx,
+        "key {key_idx}: value stamped for key {stamped_key}"
+    );
     assert_eq!(
         bytes,
         &encode_value(key_idx, version)[..],
@@ -196,8 +212,7 @@ fn chaos_transient_faults_linearize() {
     for round in 0..seeds {
         let seed = 0xC805_0000 + round;
         let cache = DittoCache::with_dedicated_pool(
-            DittoConfig::with_capacity(KEYS as u64 * 3 / 4)
-                .with_crash_recovery_journal(true),
+            DittoConfig::with_capacity(KEYS as u64 * 3 / 4).with_crash_recovery_journal(true),
             DmConfig::default().with_fault_plan(chaos_plan(seed)),
         )
         .unwrap();
@@ -216,8 +231,14 @@ fn chaos_transient_faults_linearize() {
         // The plan must actually have fired, and the retry layer must have
         // absorbed faults rather than letting them surface as panics.
         let faults = cache.pool().stats().faults();
-        assert!(faults.verb_failures > 0, "seed {seed}: no verb faults fired");
-        assert!(faults.verb_timeouts > 0, "seed {seed}: no verb timeouts fired");
+        assert!(
+            faults.verb_failures > 0,
+            "seed {seed}: no verb faults fired"
+        );
+        assert!(
+            faults.verb_timeouts > 0,
+            "seed {seed}: no verb timeouts fired"
+        );
         assert!(faults.verb_retries > 0, "seed {seed}: nothing was retried");
         let contention = cache.pool().stats().contention();
         assert_eq!(
@@ -232,10 +253,13 @@ fn chaos_transient_faults_linearize() {
         for (k, key) in keys.iter().enumerate() {
             let v = states[k].issued.fetch_add(1, Ordering::SeqCst) + 1;
             client.set(key, &encode_value(k as u64, v));
-            let bytes = client.get(key).unwrap_or_else(|| {
-                panic!("seed {seed}: key {k} wedged — clean set not readable")
-            });
-            assert!(decode_version(k as u64, &bytes) >= v, "seed {seed}: key {k} stale");
+            let bytes = client
+                .get(key)
+                .unwrap_or_else(|| panic!("seed {seed}: key {k} wedged — clean set not readable"));
+            assert!(
+                decode_version(k as u64, &bytes) >= v,
+                "seed {seed}: key {k} stale"
+            );
         }
         assert_no_orphans(&cache, &format!("seed {seed}"));
     }
@@ -263,7 +287,10 @@ fn chaos_migration_drain_survives_faults() {
         injector.set_armed(false);
         let states = make_states();
         preload(&cache, &keys, &states);
-        assert!(cache.pool().resident_object_bytes(1) > 0, "node 1 must hold objects");
+        assert!(
+            cache.pool().resident_object_bytes(1) > 0,
+            "node 1 must hold objects"
+        );
 
         cache.pool().drain_node(1).unwrap();
         injector.set_armed(true);
@@ -301,7 +328,10 @@ fn chaos_migration_drain_survives_faults() {
             0,
             "seed {seed}: drained node did not empty under faults"
         );
-        assert!(cache.migration().is_idle(), "seed {seed}: migration plan wedged");
+        assert!(
+            cache.migration().is_idle(),
+            "seed {seed}: migration plan wedged"
+        );
         assert_no_orphans(&cache, &format!("seed {seed}"));
 
         // Post-drain sweep: survivors still linearize.
@@ -334,8 +364,7 @@ fn chaos_crash_points_recover_cleanly() {
             // Generous capacity: the crash anatomy is the subject here, not
             // eviction pressure.
             let cache = DittoCache::with_dedicated_pool(
-                DittoConfig::with_capacity(KEYS as u64 * 4)
-                    .with_crash_recovery_journal(true),
+                DittoConfig::with_capacity(KEYS as u64 * 4).with_crash_recovery_journal(true),
                 DmConfig::default().with_fault_plan(chaos_plan(seed)),
             )
             .unwrap();
@@ -385,7 +414,10 @@ fn chaos_crash_points_recover_cleanly() {
             );
             assert!(report.leaked_bytes() > 0, "{point:?}: nothing was leaked?");
             let faults = cache.pool().stats().faults();
-            assert_eq!(faults.recovered_objects, 1, "{point:?}: recovery stat missing");
+            assert_eq!(
+                faults.recovered_objects, 1,
+                "{point:?}: recovery stat missing"
+            );
 
             // Zero orphans: the gauge agrees with the forensic scan again.
             assert_no_orphans(&cache, &format!("{point:?}"));
@@ -396,14 +428,19 @@ fn chaos_crash_points_recover_cleanly() {
             let mut client = cache.client();
             if let Some(bytes) = client.get(&keys[crash_key]) {
                 let got = decode_version(crash_key as u64, &bytes);
-                assert!(got == v || got == v - 1, "{point:?}: impossible version {got}");
+                assert!(
+                    got == v || got == v - 1,
+                    "{point:?}: impossible version {got}"
+                );
                 if point == CrashPoint::AfterPublish {
                     assert_eq!(got, v, "{point:?}: published value must survive");
                 }
             }
             let v2 = states[crash_key].issued.fetch_add(1, Ordering::SeqCst) + 1;
             client.set(&keys[crash_key], &encode_value(crash_key as u64, v2));
-            let bytes = client.get(&keys[crash_key]).expect("key wedged after recovery");
+            let bytes = client
+                .get(&keys[crash_key])
+                .expect("key wedged after recovery");
             assert_eq!(decode_version(crash_key as u64, &bytes), v2);
 
             // Idempotency: a second recovery pass finds nothing left.  The
@@ -412,7 +449,10 @@ fn chaos_crash_points_recover_cleanly() {
             // contract — the survivor returns its hoard first.
             let _ = client.release_parked_memory();
             let again = rescuer.recover_crashed_client(victim_id);
-            assert_eq!(again.journal_entries_replayed, 0, "{point:?}: replay not idempotent");
+            assert_eq!(
+                again.journal_entries_replayed, 0,
+                "{point:?}: replay not idempotent"
+            );
             assert_eq!(again.recovered_bytes, 0, "{point:?}: double gauge debit");
             assert_eq!(again.swept_bytes, 0, "{point:?}: double sweep");
             assert_no_orphans(&cache, &format!("{point:?} (second pass)"));
@@ -457,7 +497,10 @@ fn chaos_dead_lock_holder_is_reclaimed_and_fenced() {
     // Recovery steals the lease without waiting it out...
     let mut rescuer = cache.client();
     let report = rescuer.recover_crashed_client(victim_id);
-    assert_eq!(report.locks_reclaimed, 1, "exactly stripe 0's lock is reclaimed");
+    assert_eq!(
+        report.locks_reclaimed, 1,
+        "exactly stripe 0's lock is reclaimed"
+    );
     assert_eq!(cache.pool().stats().faults().locks_reclaimed, 1);
 
     // ...unwedging the drain to completion.
@@ -467,7 +510,11 @@ fn chaos_dead_lock_holder_is_reclaimed_and_fenced() {
         }
         cache.pump_migration();
     }
-    assert_eq!(cache.pool().resident_object_bytes(1), 0, "drain still wedged");
+    assert_eq!(
+        cache.pool().resident_object_bytes(1),
+        0,
+        "drain still wedged"
+    );
     assert!(cache.migration().is_idle());
 
     // The resurrected owner's release must bounce off the bumped epoch.
@@ -495,7 +542,10 @@ fn chaos_node_fail_stop_degrades_to_survivors() {
     )
     .unwrap();
     let mut client = cache.client();
-    assert!(client.dm().node_failed(1), "membership oracle must see the dead node");
+    assert!(
+        client.dm().node_failed(1),
+        "membership oracle must see the dead node"
+    );
 
     // Every key gets a Set and a Get.  Keys with a bucket on the dead node
     // degrade (dropped Set, missing Get) — but never panic, never wedge.
@@ -511,12 +561,18 @@ fn chaos_node_fail_stop_degrades_to_survivors() {
         served > 0,
         "keys with both buckets on the surviving node must keep full service"
     );
-    assert!(served < KEYS, "some keys must have degraded (dead-node buckets)");
+    assert!(
+        served < KEYS,
+        "some keys must have degraded (dead-node buckets)"
+    );
 
     // New objects landed on the survivor only, and the dead node took the
     // fault attribution.
     let stats = cache.pool().stats();
-    assert!(stats.verb_faults_on(1) > 0, "faults must be attributed to the dead node");
+    assert!(
+        stats.verb_faults_on(1) > 0,
+        "faults must be attributed to the dead node"
+    );
     assert_eq!(stats.verb_faults_on(0), 0, "the survivor saw no faults");
     assert!(cache.pool().resident_object_bytes(0) > 0);
     assert_no_orphans(&cache, "fail-stop");
@@ -530,8 +586,7 @@ fn chaos_failure_reports_carry_the_event_log_tail() {
     let keys = make_keys();
     let cache = DittoCache::with_dedicated_pool(
         DittoConfig::with_capacity(KEYS as u64),
-        DmConfig::default()
-            .with_fault_plan(FaultPlan::seeded(7).with_verb_fail_ppm(200_000)),
+        DmConfig::default().with_fault_plan(FaultPlan::seeded(7).with_verb_fail_ppm(200_000)),
     )
     .unwrap();
     let states = make_states();
@@ -556,7 +611,16 @@ fn chaos_failure_reports_carry_the_event_log_tail() {
     let msg = payload
         .downcast_ref::<String>()
         .expect("enriched panic payload is a String");
-    assert!(msg.contains("key 3: stale read"), "original message lost: {msg}");
-    assert!(msg.contains("--- event log tail ("), "no post-mortem section: {msg}");
-    assert!(msg.contains("verb "), "no verb-fault event line in the tail: {msg}");
+    assert!(
+        msg.contains("key 3: stale read"),
+        "original message lost: {msg}"
+    );
+    assert!(
+        msg.contains("--- event log tail ("),
+        "no post-mortem section: {msg}"
+    );
+    assert!(
+        msg.contains("verb "),
+        "no verb-fault event line in the tail: {msg}"
+    );
 }

@@ -39,11 +39,16 @@ use std::sync::Mutex;
 const KEYS: usize = 64;
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn make_keys() -> Vec<Vec<u8>> {
-    (0..KEYS).map(|i| format!("ck{i:04}").into_bytes()).collect()
+    (0..KEYS)
+        .map(|i| format!("ck{i:04}").into_bytes())
+        .collect()
 }
 
 /// Per-key checker state shared by all threads.
@@ -76,7 +81,10 @@ fn splitmix(mut z: u64) -> u64 {
 /// Value lengths vary with the version so updates exercise both same-class
 /// and cross-class replacements.
 fn payload_len(key_idx: u64, version: u64) -> usize {
-    16 + ((key_idx.wrapping_mul(131).wrapping_add(version.wrapping_mul(17))) % 180) as usize
+    16 + ((key_idx
+        .wrapping_mul(131)
+        .wrapping_add(version.wrapping_mul(17)))
+        % 180) as usize
 }
 
 /// The unique value bytes for (key, version): a 16-byte stamp followed by a
@@ -100,10 +108,17 @@ fn encode_value(key_idx: u64, version: u64) -> Vec<u8> {
 /// Decodes a value observed for `key_idx`, asserting it is *exactly* the
 /// encoding of some version, and returns that version.
 fn decode_version(key_idx: u64, bytes: &[u8]) -> u64 {
-    assert!(bytes.len() >= 16, "key {key_idx}: value truncated to {} bytes", bytes.len());
+    assert!(
+        bytes.len() >= 16,
+        "key {key_idx}: value truncated to {} bytes",
+        bytes.len()
+    );
     let version = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
     let stamped_key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-    assert_eq!(stamped_key, key_idx, "key {key_idx}: value stamped for key {stamped_key}");
+    assert_eq!(
+        stamped_key, key_idx,
+        "key {key_idx}: value stamped for key {stamped_key}"
+    );
     assert_eq!(
         bytes,
         &encode_value(key_idx, version)[..],
@@ -206,7 +221,10 @@ fn concurrent_sets_and_gets_linearize() {
 
         let snap = cache.stats().snapshot();
         assert!(snap.hits > 0, "seed {round}: checker never hit");
-        assert!(snap.misses > 0, "seed {round}: undersized cache never missed");
+        assert!(
+            snap.misses > 0,
+            "seed {round}: undersized cache never missed"
+        );
         // Lifetime contention counters are observable through the pool.
         let contention = cache.pool().stats().contention();
         assert_eq!(
@@ -244,7 +262,10 @@ fn migration_under_live_traffic_drains_and_linearizes() {
                 st.completed.fetch_max(v, Ordering::SeqCst);
             }
         }
-        assert!(cache.pool().resident_object_bytes(1) > 0, "node 1 must hold objects");
+        assert!(
+            cache.pool().resident_object_bytes(1) > 0,
+            "node 1 must hold objects"
+        );
 
         // Drain node 1 while foreground checker threads stay racing.
         cache.pool().drain_node(1).unwrap();
@@ -291,14 +312,23 @@ fn migration_under_live_traffic_drains_and_linearizes() {
                  bytes ({referenced} of them referenced by live slots)"
             );
         }
-        assert!(cache.migration().is_idle(), "seed {round}: migration plan incomplete");
+        assert!(
+            cache.migration().is_idle(),
+            "seed {round}: migration plan incomplete"
+        );
 
         // The resize epoch held the stripe locks; contention accounting saw
         // them, and the counters survive a stats reset by design.
         let stats = cache.pool().stats();
-        assert!(stats.contention().lock_acquisitions > 0, "seed {round}: pump took no locks");
+        assert!(
+            stats.contention().lock_acquisitions > 0,
+            "seed {round}: pump took no locks"
+        );
         stats.reset();
-        assert!(stats.contention().lock_acquisitions > 0, "seed {round}: counters reset");
+        assert!(
+            stats.contention().lock_acquisitions > 0,
+            "seed {round}: counters reset"
+        );
 
         // Post-epoch sweep: every key still linearizes (observed version is
         // at least the completed floor) or is a clean miss.
@@ -307,7 +337,10 @@ fn migration_under_live_traffic_drains_and_linearizes() {
             let floor = states[k].completed.load(Ordering::SeqCst);
             if let Some(bytes) = client.get(key) {
                 let v = decode_version(k as u64, &bytes);
-                assert!(v >= floor, "key {k}: post-migration stale read {v} < {floor}");
+                assert!(
+                    v >= floor,
+                    "key {k}: post-migration stale read {v} < {floor}"
+                );
             }
         }
     }

@@ -66,14 +66,16 @@ fn ditto_needs_fewer_mn_cpu_resources_than_cliquemap() {
     // controller CPU for every Set while Ditto uses none.
     let requests: Vec<Request> = (0..3_000u64).map(Request::update).collect();
 
-    let ditto = DittoCache::with_dedicated_pool(
-        DittoConfig::with_capacity(5_000),
-        DmConfig::default(),
-    )
-    .unwrap();
+    let ditto =
+        DittoCache::with_dedicated_pool(DittoConfig::with_capacity(5_000), DmConfig::default())
+            .unwrap();
     run_clients(ditto.pool(), 2, |_| {
         let mut client = ditto.client();
-        replay(&mut client, requests.iter().copied(), ReplayOptions::default());
+        replay(
+            &mut client,
+            requests.iter().copied(),
+            ReplayOptions::default(),
+        );
         client.flush();
     });
     let ditto_cpu: f64 = ditto
@@ -88,7 +90,11 @@ fn ditto_needs_fewer_mn_cpu_resources_than_cliquemap() {
     let cm = CliqueMapCache::new(cm_pool, CliqueMapConfig::lru(5_000));
     run_clients(cm.pool(), 2, |_| {
         let mut client = cm.client();
-        replay(&mut client, requests.iter().copied(), ReplayOptions::default());
+        replay(
+            &mut client,
+            requests.iter().copied(),
+            ReplayOptions::default(),
+        );
     });
     let cm_cpu: f64 = cm
         .pool()
@@ -108,14 +114,16 @@ fn ditto_needs_fewer_mn_cpu_resources_than_cliquemap() {
 fn ditto_uses_fewer_messages_than_shard_lru() {
     let requests: Vec<Request> = (0..2_000u64).map(|i| Request::get(i % 500)).collect();
 
-    let ditto = DittoCache::with_dedicated_pool(
-        DittoConfig::with_capacity(2_000),
-        DmConfig::default(),
-    )
-    .unwrap();
+    let ditto =
+        DittoCache::with_dedicated_pool(DittoConfig::with_capacity(2_000), DmConfig::default())
+            .unwrap();
     let (ditto_report, _) = run_clients(ditto.pool(), 2, |_| {
         let mut client = ditto.client();
-        replay(&mut client, requests.iter().copied(), ReplayOptions::default());
+        replay(
+            &mut client,
+            requests.iter().copied(),
+            ReplayOptions::default(),
+        );
         client.flush();
     });
 
@@ -125,7 +133,11 @@ fn ditto_uses_fewer_messages_than_shard_lru() {
     );
     let (shard_report, _) = run_clients(shard.pool(), 2, |_| {
         let mut client = shard.client();
-        replay(&mut client, requests.iter().copied(), ReplayOptions::default());
+        replay(
+            &mut client,
+            requests.iter().copied(),
+            ReplayOptions::default(),
+        );
     });
 
     assert!(
@@ -148,7 +160,11 @@ fn message_rate_is_the_bottleneck_with_many_ditto_clients() {
     let requests: Vec<Request> = (0..1_000u64).map(|i| Request::get(i % 1_000)).collect();
     let (report, _) = run_clients(cache.pool(), 8, |_| {
         let mut client = cache.client();
-        replay(&mut client, requests.iter().copied(), ReplayOptions::default());
+        replay(
+            &mut client,
+            requests.iter().copied(),
+            ReplayOptions::default(),
+        );
         client.flush();
     });
     assert_eq!(report.bottleneck, Bottleneck::NicMessageRate);
@@ -191,7 +207,10 @@ fn adaptive_ditto_tracks_the_better_expert_end_to_end() {
     let lfu = hit_rate(DittoConfig::single_algorithm(capacity, "lfu"));
     let adaptive = hit_rate(DittoConfig::with_capacity(capacity));
 
-    assert!(lfu > lru + 0.02, "trace should be LFU-friendly: lfu={lfu} lru={lru}");
+    assert!(
+        lfu > lru + 0.02,
+        "trace should be LFU-friendly: lfu={lfu} lru={lru}"
+    );
     assert!(
         adaptive > lru,
         "adaptive ({adaptive}) should beat the losing expert ({lru})"
@@ -214,13 +233,26 @@ fn lru_friendly_traces_favour_recency_end_to_end() {
 
     let lru = hit_rate(DittoConfig::single_algorithm(capacity, "lru"));
     let lfu = hit_rate(DittoConfig::single_algorithm(capacity, "lfu"));
-    assert!(lru > lfu, "drifting working set should favour LRU: lru={lru} lfu={lfu}");
+    assert!(
+        lru > lfu,
+        "drifting working set should favour LRU: lru={lru} lfu={lfu}"
+    );
 }
 
 #[test]
 fn all_twelve_algorithms_run_on_the_dm_data_path() {
     for algorithm in [
-        "lru", "lfu", "mru", "gds", "lirs", "fifo", "size", "gdsf", "lrfu", "lruk", "lfuda",
+        "lru",
+        "lfu",
+        "mru",
+        "gds",
+        "lirs",
+        "fifo",
+        "size",
+        "gdsf",
+        "lrfu",
+        "lruk",
+        "lfuda",
         "hyperbolic",
     ] {
         let cache = DittoCache::with_dedicated_pool(
@@ -243,6 +275,9 @@ fn all_twelve_algorithms_run_on_the_dm_data_path() {
             snap.evictions + snap.bucket_evictions > 0,
             "{algorithm}: expected evictions"
         );
-        assert!(hits > 0 || algorithm == "mru", "{algorithm}: no recent key survived");
+        assert!(
+            hits > 0 || algorithm == "mru",
+            "{algorithm}: no recent key survived"
+        );
     }
 }

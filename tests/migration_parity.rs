@@ -74,13 +74,19 @@ fn run_live() -> (Vec<Option<Vec<u8>>>, CacheStatsSnapshot, DittoCache) {
     // request batches, as a background thread would).
     cache.pool().add_node().unwrap();
     let grow = cache.pump_migration();
-    assert!(grow.stripes_moved > 0, "add_node must move stripes: {grow:?}");
+    assert!(
+        grow.stripes_moved > 0,
+        "add_node must move stripes: {grow:?}"
+    );
     replay_third(&cache, &mut client, 1, &mut observed);
 
     // Shrink: drain node 1 and pump it to empty.
     cache.pool().drain_node(1).unwrap();
     let shrink = cache.pump_migration();
-    assert!(shrink.stripes_moved > 0, "drain must move stripes: {shrink:?}");
+    assert!(
+        shrink.stripes_moved > 0,
+        "drain must move stripes: {shrink:?}"
+    );
     assert_eq!(shrink.jobs_remaining, 0);
     assert_eq!(
         cache.pool().resident_object_bytes(1),
@@ -114,12 +120,18 @@ fn live_resize_is_behaviourally_identical_to_the_static_final_layout() {
     // Byte-identical results, request by request.
     assert_eq!(live_values.len(), static_values.len());
     for (i, (a, b)) in live_values.iter().zip(&static_values).enumerate() {
-        assert_eq!(a, b, "request {i} diverged between live-resize and static runs");
+        assert_eq!(
+            a, b,
+            "request {i} diverged between live-resize and static runs"
+        );
     }
 
     // Identical cache evolution: a lost object would show as extra misses.
     assert_eq!(live_stats.hits, static_stats.hits, "hit counts diverged");
-    assert_eq!(live_stats.misses, static_stats.misses, "miss counts diverged");
+    assert_eq!(
+        live_stats.misses, static_stats.misses,
+        "miss counts diverged"
+    );
     assert_eq!(live_stats.sets, static_stats.sets, "set counts diverged");
     assert!(live_stats.hits > 0, "trace should produce hits");
 
@@ -134,7 +146,10 @@ fn live_resize_is_behaviourally_identical_to_the_static_final_layout() {
         (total_reads - drained_reads) as f64 >= 0.95 * total_reads as f64,
         "drained node still serves {drained_reads}/{total_reads} READs"
     );
-    assert_eq!(drained_reads, 0, "no bucket or object READ should target the drained node");
+    assert_eq!(
+        drained_reads, 0,
+        "no bucket or object READ should target the drained node"
+    );
 
     // Drain-to-empty held, so the node can be decommissioned outright.
     live_cache.pool().remove_node(1).unwrap();

@@ -28,7 +28,11 @@ fn remote_addr_pack_roundtrip() {
         let mn: u16 = rng.gen();
         let offset = rng.gen_range(0..(1u64 << 48));
         let addr = RemoteAddr::new(mn, offset);
-        assert_eq!(RemoteAddr::unpack(addr.pack()), addr, "mn={mn} offset={offset}");
+        assert_eq!(
+            RemoteAddr::unpack(addr.pack()),
+            addr,
+            "mn={mn} offset={offset}"
+        );
     }
 }
 
@@ -50,7 +54,11 @@ fn pointers_roundtrip_every_admissible_mn_id() {
         let field = AtomicField::try_for_object(rng.gen(), 1, RemoteAddr::new(mn, offset))
             .expect("mn_id < 256 must be encodable");
         let decoded = AtomicField::decode(field.encode());
-        assert_eq!(decoded.object_addr(), RemoteAddr::new(mn, offset), "mn={mn}");
+        assert_eq!(
+            decoded.object_addr(),
+            RemoteAddr::new(mn, offset),
+            "mn={mn}"
+        );
     }
     // Everything beyond is a typed error, not a panic.
     use ditto::cache::error::CacheError;
@@ -124,7 +132,11 @@ fn memory_node_write_read_roundtrip() {
         let len = rng.gen_range(1usize..512);
         let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
         node.write(offset, &data).unwrap();
-        assert_eq!(node.read(offset, len).unwrap(), data, "offset={offset} len={len}");
+        assert_eq!(
+            node.read(offset, len).unwrap(),
+            data,
+            "offset={offset} len={len}"
+        );
     }
 }
 
@@ -243,11 +255,9 @@ fn ditto_never_returns_wrong_values() {
     use std::collections::HashMap;
     let mut rng = rng(10);
     for case in 0..16 {
-        let cache = DittoCache::with_dedicated_pool(
-            DittoConfig::with_capacity(100),
-            DmConfig::default(),
-        )
-        .unwrap();
+        let cache =
+            DittoCache::with_dedicated_pool(DittoConfig::with_capacity(100), DmConfig::default())
+                .unwrap();
         let mut client = cache.client();
         let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
         for _ in 0..rng.gen_range(1usize..400) {

@@ -100,13 +100,19 @@ fn striped_and_single_node_caches_are_behaviourally_identical() {
 
     // Identical cache evolution.
     assert_eq!(single_stats.hits, striped_stats.hits, "hit counts diverged");
-    assert_eq!(single_stats.misses, striped_stats.misses, "miss counts diverged");
+    assert_eq!(
+        single_stats.misses, striped_stats.misses,
+        "miss counts diverged"
+    );
     assert_eq!(single_stats.sets, striped_stats.sets);
     assert_eq!(
         single_stats.evictions, striped_stats.evictions,
         "eviction counts diverged"
     );
-    assert_eq!(single_stats.bucket_evictions, striped_stats.bucket_evictions);
+    assert_eq!(
+        single_stats.bucket_evictions,
+        striped_stats.bucket_evictions
+    );
     assert!(single_stats.hits > 0, "trace should produce hits");
     assert!(
         single_stats.evictions > 0,
